@@ -1,0 +1,81 @@
+// Ablation A6 — index construction: one-by-one insertion (as the paper
+// builds its index) vs STR bulk loading. google-benchmark timings for the
+// build plus a post-build query-cost counter, across dataset sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "workload/data_generator.h"
+
+namespace {
+
+using namespace dqmo;
+
+std::vector<MotionSegment> DataFor(int64_t objects) {
+  DataGeneratorOptions options;
+  options.num_objects = static_cast<int>(objects);
+  options.horizon = 20.0;
+  options.seed = 99;
+  auto data = GenerateMotionData(options);
+  return std::move(data).value();
+}
+
+/// Average reads per mid-sized snapshot query over the built tree.
+double QueryCost(RTree* tree) {
+  Rng rng(123);
+  QueryStats stats;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.Uniform(0, 90);
+    const double y = rng.Uniform(0, 90);
+    const double t = rng.Uniform(0, 19);
+    const StBox q(Box(Interval(x, x + 10), Interval(y, y + 10)),
+                  Interval(t, t + 1.0));
+    auto result = tree->RangeSearch(q, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  return static_cast<double>(stats.node_reads) / 50.0;
+}
+
+void BM_InsertionBuild(benchmark::State& state) {
+  const auto data = DataFor(state.range(0));
+  double query_cost = 0.0;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    PageFile file;
+    auto tree = RTree::Create(&file, RTree::Options());
+    for (const auto& m : data) {
+      benchmark::DoNotOptimize(tree.value()->Insert(m));
+    }
+    query_cost = QueryCost(tree.value().get());
+    nodes = tree.value()->num_nodes();
+  }
+  state.counters["segments"] = static_cast<double>(data.size());
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["reads_per_query"] = query_cost;
+}
+
+void BM_StrBulkLoad(benchmark::State& state) {
+  const auto data = DataFor(state.range(0));
+  double query_cost = 0.0;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    PageFile file;
+    BulkLoadOptions options;
+    auto tree = BulkLoad(&file, data, options);
+    query_cost = QueryCost(tree.value().get());
+    nodes = tree.value()->num_nodes();
+  }
+  state.counters["segments"] = static_cast<double>(data.size());
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["reads_per_query"] = query_cost;
+}
+
+}  // namespace
+
+BENCHMARK(BM_InsertionBuild)->Arg(200)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StrBulkLoad)->Arg(200)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

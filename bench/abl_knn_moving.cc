@@ -1,0 +1,47 @@
+// Ablation A7 — the moving-kNN fence (paper future-work item (i)): a
+// moving observer repeatedly asks for its k nearest objects; the fence
+// answers most instants from the cached candidate set with zero disk
+// accesses. Reports reads per instant vs fresh best-first searches, by
+// query speed.
+#include "bench_common.h"
+#include "common/random.h"
+#include "query/knn.h"
+
+int main() {
+  using namespace dqmo;
+  using namespace dqmo::bench;
+  auto bench = PrepareBench();
+  const int steps = static_cast<int>(GetEnvInt("DQMO_KNN_STEPS", 2000));
+  PrintPreamble("Ablation A7",
+                "moving-kNN fence vs fresh best-first searches (k=10, dt "
+                "0.01)",
+                steps);
+
+  Table table({"query speed", "fence reads/step", "fresh reads/step",
+               "cache answer rate", "speedup"});
+  for (double speed : {0.0, 0.5, 2.0, 8.0}) {
+    MovingKnnQuery::Options options;
+    options.discontinuity_margin = 1e-3;  // Float32 quantization slack.
+    MovingKnnQuery moving(bench->tree(), 10, options);
+    QueryStats fresh;
+    const double t0 = 20.0;
+    const double dt = 0.01;
+    for (int i = 0; i < steps; ++i) {
+      const double t = t0 + i * dt;
+      const Vec point(20.0 + speed * i * dt, 50.0);
+      DQMO_CHECK(moving.At(t, point).ok());
+      DQMO_CHECK(KnnAt(*bench->tree(), point, t, 10, &fresh).ok());
+    }
+    const double fence_reads =
+        static_cast<double>(moving.stats().node_reads) / steps;
+    const double fresh_reads =
+        static_cast<double>(fresh.node_reads) / steps;
+    table.AddRow(
+        {Fmt(speed) + " u/t", Fmt(fence_reads, 3), Fmt(fresh_reads, 2),
+         Fmt(100.0 * static_cast<double>(moving.cache_answers()) / steps) +
+             "%",
+         Fmt(fresh_reads / std::max(1e-9, fence_reads)) + "x"});
+  }
+  table.Print();
+  return 0;
+}

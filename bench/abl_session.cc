@@ -1,0 +1,116 @@
+// Ablation A10 — the automated PDQ <-> NPDQ hand-off (future-work item
+// (iv)): an interactively maneuvering observer is served by the
+// DynamicQuerySession (predictive while motion is stable, non-predictive
+// around direction changes) and compared against always-NPDQ and
+// always-naive evaluation, across interaction rates.
+#include "bench_common.h"
+#include "common/random.h"
+#include "query/session.h"
+#include "workload/query_generator.h"
+
+namespace {
+
+using namespace dqmo;
+using namespace dqmo::bench;
+
+/// Simulated pilot: straight flight with direction changes arriving as a
+/// Poisson-ish process (one change per `mean_leg` time units on average).
+struct Pilot {
+  Vec pos;
+  Vec vel;
+  double next_turn;
+  double mean_leg;
+
+  void Advance(Rng* rng, double t, double dt) {
+    if (t >= next_turn) {
+      const double angle = rng->Uniform(0, 2 * M_PI);
+      const double speed = rng->Uniform(0.5, 2.0);
+      vel = Vec(speed * std::cos(angle), speed * std::sin(angle));
+      next_turn = t + rng->Uniform(0.5 * mean_leg, 1.5 * mean_leg);
+    }
+    for (int d = 0; d < 2; ++d) {
+      pos[d] += vel[d] * dt;
+      if (pos[d] < 6.0 || pos[d] > 94.0) {
+        vel[d] = -vel[d];
+        pos[d] = std::clamp(pos[d], 6.0, 94.0);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto bench = PrepareBench();
+  const int flights = TrajectoriesFromEnv(10);
+  PrintPreamble("Ablation A10",
+                "automated PDQ/NPDQ hand-off vs fixed strategies "
+                "(10 t.u. flights, 10 fps, window 8x8)",
+                flights);
+
+  Table table({"mean leg (t.u.)", "strategy", "reads/frame",
+               "PDQ frame share", "handoffs/flight"});
+  for (double mean_leg : {0.5, 2.0, 8.0}) {
+    double session_reads = 0.0;
+    double npdq_reads = 0.0;
+    double naive_reads = 0.0;
+    double pdq_share = 0.0;
+    double handoffs = 0.0;
+    int64_t frames = 0;
+    Rng rng(515);
+    for (int flight = 0; flight < flights; ++flight) {
+      Rng frng = rng.Fork();
+      Pilot pilot{Vec(frng.Uniform(10, 90), frng.Uniform(10, 90)),
+                  Vec(1.0, 0.0), 0.0, mean_leg};
+      Pilot mirror = pilot;  // Identical path for every strategy.
+      Pilot mirror2 = pilot;
+      Rng path_rng = frng.Fork();
+      Rng path_rng2 = path_rng;  // Copy: same turn decisions.
+      Rng path_rng3 = path_rng;
+
+      DynamicQuerySession::Options sopt;
+      sopt.window = 8.0;
+      DynamicQuerySession session(bench->tree(), sopt);
+      NonPredictiveDynamicQuery npdq(bench->tree());
+      QueryStats naive_stats;
+
+      const double t0 = frng.Uniform(1.0, 85.0);
+      double prev_t = t0;
+      for (int i = 1; i <= 100; ++i) {
+        const double t = t0 + i * 0.1;
+        pilot.Advance(&path_rng, t, 0.1);
+        mirror.Advance(&path_rng2, t, 0.1);
+        mirror2.Advance(&path_rng3, t, 0.1);
+        DQMO_CHECK(session.OnFrame(t, pilot.pos, pilot.vel).ok());
+        const StBox q(Box::Centered(mirror.pos, 8.0), Interval(prev_t, t));
+        DQMO_CHECK(npdq.Execute(q).ok());
+        const StBox q2(Box::Centered(mirror2.pos, 8.0),
+                       Interval(prev_t, t));
+        DQMO_CHECK(bench->tree()->RangeSearch(q2, &naive_stats).ok());
+        prev_t = t;
+        ++frames;
+      }
+      session_reads += static_cast<double>(session.TotalStats().node_reads);
+      npdq_reads += static_cast<double>(npdq.stats().node_reads);
+      naive_reads += static_cast<double>(naive_stats.node_reads);
+      pdq_share +=
+          static_cast<double>(session.session_stats().predictive_frames);
+      handoffs +=
+          static_cast<double>(session.session_stats().handoffs_to_npdq +
+                              session.session_stats().handoffs_to_pdq);
+    }
+    const auto leg = Fmt(mean_leg);
+    table.AddRow({leg, "session (auto hand-off)",
+                  Fmt(session_reads / static_cast<double>(frames), 2),
+                  Fmt(100.0 * pdq_share / static_cast<double>(frames)) + "%",
+                  Fmt(handoffs / flights)});
+    table.AddRow({leg, "always NPDQ",
+                  Fmt(npdq_reads / static_cast<double>(frames), 2), "-",
+                  "-"});
+    table.AddRow({leg, "always naive",
+                  Fmt(naive_reads / static_cast<double>(frames), 2), "-",
+                  "-"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation A3 — Semi-Predictive Dynamic Queries (Sect. 4): SPDQ runs the
+// PDQ algorithm over windows inflated by the deviation bound delta, so an
+// observer drifting up to delta from the predicted path still sees complete
+// results. This bench measures what the allowance costs: subsequent-query
+// I/O and retrieved-object volume as delta grows.
+#include "bench_common.h"
+#include "common/random.h"
+#include "query/pdq.h"
+#include "workload/query_generator.h"
+
+int main() {
+  using namespace dqmo;
+  using namespace dqmo::bench;
+  auto bench = PrepareBench();
+  const int trajectories = TrajectoriesFromEnv(30);
+  PrintPreamble("Ablation A3",
+                "SPDQ cost vs deviation bound delta (window 8x8, overlap "
+                "90%)",
+                trajectories);
+
+  Table table({"delta", "subs reads/query", "objects/query",
+               "vs delta=0 reads", "vs delta=0 objects"});
+  double base_reads = 0.0;
+  double base_objects = 0.0;
+  for (double delta : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    Rng rng(31415);
+    double reads = 0.0;
+    double objects = 0.0;
+    int64_t queries = 0;
+    for (int traj = 0; traj < trajectories; ++traj) {
+      Rng traj_rng = rng.Fork();
+      QueryWorkloadOptions qopt;
+      qopt.overlap = 0.9;
+      auto workload = GenerateDynamicQuery(qopt, &traj_rng);
+      DQMO_CHECK(workload.ok());
+      auto spdq = PredictiveDynamicQuery::Make(
+          bench->tree(), workload->trajectory.Inflate(delta));
+      DQMO_CHECK(spdq.ok());
+      for (int i = 0; i < workload->num_frames(); ++i) {
+        const QueryStats before = (*spdq)->stats();
+        auto frame = (*spdq)->Frame(
+            workload->frame_times[static_cast<size_t>(i)],
+            workload->frame_times[static_cast<size_t>(i) + 1]);
+        DQMO_CHECK(frame.ok());
+        if (i > 0) {
+          const QueryStats d = (*spdq)->stats() - before;
+          reads += static_cast<double>(d.node_reads);
+          objects += static_cast<double>(frame->size());
+          ++queries;
+        }
+      }
+    }
+    reads /= static_cast<double>(queries);
+    objects /= static_cast<double>(queries);
+    if (delta == 0.0) {
+      base_reads = reads;
+      base_objects = objects;
+    }
+    table.AddRow({Fmt(delta), Fmt(reads, 2), Fmt(objects, 2),
+                  Fmt(reads / std::max(1e-9, base_reads), 2) + "x",
+                  Fmt(objects / std::max(1e-9, base_objects), 2) + "x"});
+  }
+  table.Print();
+  return 0;
+}

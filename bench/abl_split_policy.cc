@@ -1,0 +1,102 @@
+// Ablation A12 — node split policy: Guttman's quadratic split (the paper's
+// setup) vs an R*-style margin/overlap split (the paper's reference [2]).
+// Compares build cost proxies (node count, build time) and query I/O on
+// the same workload, for naive snapshots and PDQ.
+#include <chrono>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "query/pdq.h"
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+
+namespace {
+
+using namespace dqmo;
+using namespace dqmo::bench;
+
+struct BuildResult {
+  std::unique_ptr<PageFile> file;
+  std::unique_ptr<RTree> tree;
+  double build_seconds = 0.0;
+};
+
+BuildResult Build(const std::vector<MotionSegment>& data,
+                  SplitPolicy policy) {
+  BuildResult r;
+  r.file = std::make_unique<PageFile>();
+  RTree::Options options;
+  options.split_policy = policy;
+  auto tree = RTree::Create(r.file.get(), options);
+  DQMO_CHECK(tree.ok());
+  r.tree = std::move(tree).value();
+  const auto begin = std::chrono::steady_clock::now();
+  for (const auto& m : data) DQMO_CHECK_OK(r.tree->Insert(m));
+  r.build_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  DataGeneratorOptions data_options;
+  data_options.num_objects =
+      static_cast<int>(GetEnvInt("DQMO_OBJECTS", 2000));
+  data_options.horizon = 50.0;
+  auto data = GenerateMotionData(data_options);
+  DQMO_CHECK(data.ok());
+  const int trajectories = TrajectoriesFromEnv(30);
+  PrintPreamble("Ablation A12",
+                "split policy: Guttman quadratic vs R*-style (same "
+                "workload, window 8x8, overlap 90%)",
+                trajectories);
+
+  Table table({"policy", "build s", "nodes", "naive reads/query",
+               "PDQ subs reads/query"});
+  for (SplitPolicy policy :
+       {SplitPolicy::kQuadratic, SplitPolicy::kRstar}) {
+    BuildResult built = Build(*data, policy);
+    Rng rng(606);
+    QueryWorkloadOptions qopt;
+    qopt.horizon = 50.0;
+    qopt.overlap = 0.9;
+    double naive_reads = 0.0;
+    double pdq_reads = 0.0;
+    int64_t naive_queries = 0;
+    int64_t pdq_queries = 0;
+    for (int traj = 0; traj < trajectories; ++traj) {
+      Rng traj_rng = rng.Fork();
+      auto workload = GenerateDynamicQuery(qopt, &traj_rng);
+      DQMO_CHECK(workload.ok());
+      QueryStats stats;
+      for (int i = 0; i < workload->num_frames(); ++i) {
+        DQMO_CHECK(
+            built.tree->RangeSearch(workload->Frame(i), &stats).ok());
+        ++naive_queries;
+      }
+      naive_reads += static_cast<double>(stats.node_reads);
+      auto pdq =
+          PredictiveDynamicQuery::Make(built.tree.get(),
+                                       workload->trajectory);
+      DQMO_CHECK(pdq.ok());
+      for (int i = 0; i < workload->num_frames(); ++i) {
+        DQMO_CHECK(
+            (*pdq)
+                ->Frame(workload->frame_times[static_cast<size_t>(i)],
+                        workload->frame_times[static_cast<size_t>(i) + 1])
+                .ok());
+        if (i > 0) ++pdq_queries;
+      }
+      pdq_reads += static_cast<double>((*pdq)->stats().node_reads);
+    }
+    table.AddRow(
+        {policy == SplitPolicy::kQuadratic ? "quadratic (paper)" : "R*",
+         Fmt(built.build_seconds, 2), std::to_string(built.tree->num_nodes()),
+         Fmt(naive_reads / static_cast<double>(naive_queries), 2),
+         Fmt(pdq_reads / static_cast<double>(pdq_queries), 3)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Every fig*_ binary reproduces one figure of the paper's Sect. 5:
+// it prepares (or loads from cache) the paper-scale index — 5000 objects,
+// 100x100 space, 100 time units, ~0.5M motion segments — runs the relevant
+// sweep, and prints the rows behind the figure. Scale knobs:
+//   DQMO_TRAJECTORIES=N   trajectories averaged per point (default 50;
+//                         the paper used 1000)
+//   DQMO_FULL=1           paper scale (1000 trajectories)
+//   DQMO_OBJECTS=N        override object count (default 5000)
+//   DQMO_CACHE_DIR=DIR    index cache location (default ./dqmo_cache)
+//   DQMO_BULK_LOAD=1      build the index with STR instead of insertion
+#ifndef DQMO_BENCH_BENCH_COMMON_H_
+#define DQMO_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/string_util.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace dqmo::bench {
+
+/// The paper's overlap sweep (Figs. 6, 7, 10, 11).
+inline std::vector<double> PaperOverlaps() {
+  return {0.0, 0.25, 0.5, 0.8, 0.9, 0.9999};
+}
+
+/// The paper's window sizes: small / medium / big (Figs. 8, 9, 12, 13).
+inline std::vector<double> PaperWindows() { return {8.0, 14.0, 20.0}; }
+
+/// Prepares the shared paper-scale workbench, honoring env overrides.
+inline std::unique_ptr<Workbench> PrepareBench() {
+  IndexConfig config = PaperIndexConfig();
+  config.data.num_objects =
+      static_cast<int>(GetEnvInt("DQMO_OBJECTS", config.data.num_objects));
+  auto bench = Workbench::Prepare(config);
+  DQMO_CHECK(bench.ok());
+  std::printf("# index: %s\n", (*bench)->Describe().c_str());
+  return std::move(bench).value();
+}
+
+inline std::string Fmt(double v, int digits = 1) {
+  return FormatDouble(v, digits);
+}
+
+/// Header block common to every figure binary.
+inline void PrintPreamble(const char* figure, const char* caption,
+                          int trajectories) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("(averaged over %d query trajectories; paper used 1000 — set "
+              "DQMO_FULL=1)\n", trajectories);
+  std::printf("==============================================================\n");
+}
+
+enum class Method { kPdq, kNpdq };
+enum class Metric { kIo, kCpu };
+
+inline Result<SweepRow> RunPoint(Workbench* bench, Method method,
+                                 const SweepOptions& options) {
+  if (method == Method::kPdq) return RunPdqPoint(bench, options);
+  return RunNpdqPoint(bench, options);
+}
+
+/// Figs. 6 / 7 / 10 / 11: first- and subsequent-query cost of the naive
+/// method vs the dynamic-query method across the overlap sweep.
+inline int RunOverlapFigure(Method method, Metric metric, const char* figure,
+                            const char* caption) {
+  auto bench = PrepareBench();
+  const int trajectories = TrajectoriesFromEnv();
+  PrintPreamble(figure, caption, trajectories);
+  const char* dq = method == Method::kPdq ? "PDQ" : "NPDQ";
+
+  Table table =
+      metric == Metric::kIo
+          ? Table({"overlap%", "naive first (leaf/total)",
+                   std::string(dq) + " first (leaf/total)",
+                   "naive subs (leaf/total)",
+                   std::string(dq) + " subs (leaf/total)", "subs speedup"})
+          : Table({"overlap%", "naive first", std::string(dq) + " first",
+                   "naive subs", std::string(dq) + " subs",
+                   "subs speedup"});
+  if (method == Method::kNpdq) {
+    std::printf("# NPDQ snapshots are open-ended future queries "
+                "(Sect. 4.2 / Fig. 5): window x [t, +inf)\n");
+  }
+  for (double overlap : PaperOverlaps()) {
+    SweepOptions options;
+    options.query.overlap = overlap;
+    options.num_trajectories = trajectories;
+    options.open_ended_frames = method == Method::kNpdq;
+    auto row = RunPoint(bench.get(), method, options);
+    DQMO_CHECK(row.ok());
+    auto cell = [&](const MethodCost& cost) {
+      if (metric == Metric::kIo) {
+        return Fmt(cost.io_leaf) + "/" + Fmt(cost.io_total);
+      }
+      return Fmt(cost.cpu, 0);
+    };
+    const double naive_subs = metric == Metric::kIo
+                                  ? row->naive_subsequent.io_total
+                                  : row->naive_subsequent.cpu;
+    const double dq_subs = metric == Metric::kIo ? row->dq_subsequent.io_total
+                                                 : row->dq_subsequent.cpu;
+    table.AddRow({Fmt(overlap * 100, 2), cell(row->naive_first),
+                  cell(row->dq_first), cell(row->naive_subsequent),
+                  cell(row->dq_subsequent),
+                  dq_subs > 0 ? Fmt(naive_subs / dq_subs) + "x" : "inf"});
+  }
+  table.Print();
+  return 0;
+}
+
+/// Figs. 8 / 9 / 12 / 13: subsequent-query cost by window size.
+inline int RunWindowFigure(Method method, Metric metric, const char* figure,
+                           const char* caption) {
+  auto bench = PrepareBench();
+  const int trajectories = TrajectoriesFromEnv();
+  PrintPreamble(figure, caption, trajectories);
+  const char* dq = method == Method::kPdq ? "PDQ" : "NPDQ";
+  const std::vector<double> overlaps = {0.0, 0.5, 0.9, 0.9999};
+
+  std::vector<std::string> headers = {"window"};
+  for (double overlap : overlaps) {
+    headers.push_back(std::string(dq) + " subs @" + Fmt(overlap * 100, 2) +
+                      "%");
+  }
+  headers.push_back("naive subs");
+  Table table(std::move(headers));
+  for (double window : PaperWindows()) {
+    std::vector<std::string> cells = {Fmt(window, 0) + "x" +
+                                      Fmt(window, 0)};
+    double naive = 0.0;
+    for (double overlap : overlaps) {
+      SweepOptions options;
+      options.query.window = window;
+      options.query.overlap = overlap;
+      options.num_trajectories = trajectories;
+      options.open_ended_frames = method == Method::kNpdq;
+      auto row = RunPoint(bench.get(), method, options);
+      DQMO_CHECK(row.ok());
+      cells.push_back(Fmt(metric == Metric::kIo
+                              ? row->dq_subsequent.io_total
+                              : row->dq_subsequent.cpu,
+                          metric == Metric::kIo ? 1 : 0));
+      naive = metric == Metric::kIo ? row->naive_subsequent.io_total
+                                    : row->naive_subsequent.cpu;
+    }
+    cells.push_back(Fmt(naive, metric == Metric::kIo ? 1 : 0));
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace dqmo::bench
+
+#endif  // DQMO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,156 @@
+// Microbenchmarks (google-benchmark) for the geometric and storage kernels
+// on the query hot path: exact segment tests, trapezoid overlap times,
+// TimeSet maintenance, quadratic splits and node (de)serialization.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "geom/timeset.h"
+#include "geom/trajectory.h"
+#include "rtree/node.h"
+#include "rtree/split.h"
+
+namespace {
+
+using namespace dqmo;
+
+StSegment RandomSeg(Rng* rng) {
+  return StSegment(Vec(rng->Uniform(0, 100), rng->Uniform(0, 100)),
+                   Vec(rng->Uniform(0, 100), rng->Uniform(0, 100)),
+                   Interval(rng->Uniform(0, 50), rng->Uniform(50, 100)));
+}
+
+StBox RandomBox(Rng* rng) {
+  const double x = rng->Uniform(0, 90);
+  const double y = rng->Uniform(0, 90);
+  const double t = rng->Uniform(0, 90);
+  return StBox(Box(Interval(x, x + 10), Interval(y, y + 10)),
+               Interval(t, t + 5));
+}
+
+QueryTrajectory RandomTrajectory(Rng* rng, int keys) {
+  std::vector<KeySnapshot> ks;
+  double t = 0.0;
+  for (int i = 0; i < keys; ++i) {
+    ks.emplace_back(t, Box::Centered(Vec(rng->Uniform(10, 90),
+                                         rng->Uniform(10, 90)),
+                                     8.0));
+    t += rng->Uniform(0.5, 2.0);
+  }
+  return QueryTrajectory::Make(std::move(ks)).value();
+}
+
+void BM_SegmentExactIntersect(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<StSegment> segs;
+  std::vector<StBox> boxes;
+  for (int i = 0; i < 1024; ++i) {
+    segs.push_back(RandomSeg(&rng));
+    boxes.push_back(RandomBox(&rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segs[i & 1023].Intersects(boxes[i & 1023]));
+    ++i;
+  }
+}
+
+void BM_TrapezoidOverlapBox(benchmark::State& state) {
+  Rng rng(2);
+  const QueryTrajectory traj =
+      RandomTrajectory(&rng, static_cast<int>(state.range(0)));
+  std::vector<StBox> boxes;
+  for (int i = 0; i < 1024; ++i) boxes.push_back(RandomBox(&rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traj.OverlapTimes(boxes[i & 1023]));
+    ++i;
+  }
+}
+
+void BM_TrapezoidOverlapMotion(benchmark::State& state) {
+  Rng rng(3);
+  const QueryTrajectory traj =
+      RandomTrajectory(&rng, static_cast<int>(state.range(0)));
+  std::vector<StSegment> segs;
+  for (int i = 0; i < 1024; ++i) segs.push_back(RandomSeg(&rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traj.OverlapTimes(segs[i & 1023]));
+    ++i;
+  }
+}
+
+void BM_TimeSetAdd(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Interval> ivs;
+  for (int i = 0; i < 4096; ++i) {
+    const double lo = rng.Uniform(0, 100);
+    ivs.emplace_back(lo, lo + rng.Uniform(0, 2));
+  }
+  for (auto _ : state) {
+    TimeSet set;
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      set.Add(ivs[static_cast<size_t>(i) & 4095]);
+    }
+    benchmark::DoNotOptimize(set);
+  }
+}
+
+void BM_QuadraticSplit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<StBox> boxes;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    boxes.push_back(QuantizeOutward(RandomSeg(&rng).Bounds()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuadraticSplit(boxes, n / 2, 0));
+  }
+}
+
+void BM_NodeSerializeLeaf(benchmark::State& state) {
+  Rng rng(6);
+  Node node;
+  node.self = 1;
+  node.level = 0;
+  node.dims = 2;
+  for (int i = 0; i < LeafCapacity(2); ++i) {
+    MotionSegment m(static_cast<ObjectId>(i), RandomSeg(&rng));
+    m.seg = QuantizeStored(m.seg);
+    node.segments.push_back(std::move(m));
+  }
+  uint8_t page[kPageSize];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.SerializeTo(PageView(page, kPageSize)));
+  }
+}
+
+void BM_NodeDeserializeLeaf(benchmark::State& state) {
+  Rng rng(7);
+  Node node;
+  node.self = 1;
+  node.level = 0;
+  node.dims = 2;
+  for (int i = 0; i < LeafCapacity(2); ++i) {
+    MotionSegment m(static_cast<ObjectId>(i), RandomSeg(&rng));
+    m.seg = QuantizeStored(m.seg);
+    node.segments.push_back(std::move(m));
+  }
+  uint8_t page[kPageSize];
+  benchmark::DoNotOptimize(node.SerializeTo(PageView(page, kPageSize)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Node::DeserializeFrom(page, 1));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SegmentExactIntersect);
+BENCHMARK(BM_TrapezoidOverlapBox)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_TrapezoidOverlapMotion)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_TimeSetAdd)->Arg(16)->Arg(256);
+BENCHMARK(BM_QuadraticSplit)->Arg(64)->Arg(114)->Arg(128);
+BENCHMARK(BM_NodeSerializeLeaf);
+BENCHMARK(BM_NodeDeserializeLeaf);
+
+BENCHMARK_MAIN();

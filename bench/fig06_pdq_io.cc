@@ -1,0 +1,8 @@
+// Fig. 6 of the paper: I/O performance of PDQ: disk accesses per query vs snapshot overlap.
+#include "bench_common.h"
+
+int main() {
+  return dqmo::bench::RunOverlapFigure(dqmo::bench::Method::kPdq,
+                            dqmo::bench::Metric::kIo, "Fig. 6",
+                            "I/O performance of PDQ: disk accesses per query vs snapshot overlap");
+}

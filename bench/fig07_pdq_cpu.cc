@@ -1,0 +1,8 @@
+// Fig. 7 of the paper: CPU performance of PDQ: distance computations per query vs snapshot overlap.
+#include "bench_common.h"
+
+int main() {
+  return dqmo::bench::RunOverlapFigure(dqmo::bench::Method::kPdq,
+                            dqmo::bench::Metric::kCpu, "Fig. 7",
+                            "CPU performance of PDQ: distance computations per query vs snapshot overlap");
+}

@@ -1,0 +1,8 @@
+// Fig. 8 of the paper: Impact of query size on I/O performance of subsequent queries (PDQ).
+#include "bench_common.h"
+
+int main() {
+  return dqmo::bench::RunWindowFigure(dqmo::bench::Method::kPdq,
+                            dqmo::bench::Metric::kIo, "Fig. 8",
+                            "Impact of query size on I/O performance of subsequent queries (PDQ)");
+}

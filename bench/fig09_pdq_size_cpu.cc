@@ -1,0 +1,8 @@
+// Fig. 9 of the paper: Impact of query size on CPU performance of subsequent queries (PDQ).
+#include "bench_common.h"
+
+int main() {
+  return dqmo::bench::RunWindowFigure(dqmo::bench::Method::kPdq,
+                            dqmo::bench::Metric::kCpu, "Fig. 9",
+                            "Impact of query size on CPU performance of subsequent queries (PDQ)");
+}

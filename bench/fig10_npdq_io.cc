@@ -1,0 +1,8 @@
+// Fig. 10 of the paper: I/O performance of NPDQ: disk accesses per query vs snapshot overlap.
+#include "bench_common.h"
+
+int main() {
+  return dqmo::bench::RunOverlapFigure(dqmo::bench::Method::kNpdq,
+                            dqmo::bench::Metric::kIo, "Fig. 10",
+                            "I/O performance of NPDQ: disk accesses per query vs snapshot overlap");
+}

@@ -1,0 +1,8 @@
+// Fig. 11 of the paper: CPU performance of NPDQ: distance computations per query vs snapshot overlap.
+#include "bench_common.h"
+
+int main() {
+  return dqmo::bench::RunOverlapFigure(dqmo::bench::Method::kNpdq,
+                            dqmo::bench::Metric::kCpu, "Fig. 11",
+                            "CPU performance of NPDQ: distance computations per query vs snapshot overlap");
+}

@@ -1,0 +1,8 @@
+// Fig. 12 of the paper: Impact of query size on I/O performance of subsequent queries (NPDQ).
+#include "bench_common.h"
+
+int main() {
+  return dqmo::bench::RunWindowFigure(dqmo::bench::Method::kNpdq,
+                            dqmo::bench::Metric::kIo, "Fig. 12",
+                            "Impact of query size on I/O performance of subsequent queries (NPDQ)");
+}

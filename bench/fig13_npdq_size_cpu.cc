@@ -1,0 +1,8 @@
+// Fig. 13 of the paper: Impact of query range on CPU performance of subsequent queries (NPDQ).
+#include "bench_common.h"
+
+int main() {
+  return dqmo::bench::RunWindowFigure(dqmo::bench::Method::kNpdq,
+                            dqmo::bench::Metric::kCpu, "Fig. 13",
+                            "Impact of query range on CPU performance of subsequent queries (NPDQ)");
+}

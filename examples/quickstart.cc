@@ -1,0 +1,96 @@
+// Quickstart: index mobile objects, ask a snapshot query, then run a
+// predictive dynamic query along a known trajectory.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the core API: PageFile -> RTree -> Insert ->
+// RangeSearch (snapshot) -> PredictiveDynamicQuery (dynamic).
+#include <cstdio>
+
+#include "common/random.h"
+#include "query/pdq.h"
+#include "rtree/rtree.h"
+#include "storage/page_file.h"
+
+using namespace dqmo;
+
+int main() {
+  // 1. A paged store (the simulated disk) and an empty 2-d R-tree in it.
+  PageFile file;
+  auto tree_or = RTree::Create(&file, RTree::Options());
+  if (!tree_or.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 tree_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<RTree> tree = std::move(tree_or).value();
+
+  // 2. Insert motion updates. Each update says: object `oid` was at
+  // `position` at time t_l and moves with `velocity` until t_h (Eq. (1) of
+  // the paper). Here: 500 objects drifting randomly for 20 time units.
+  Rng rng(7);
+  for (ObjectId oid = 0; oid < 500; ++oid) {
+    double t = 0.0;
+    Vec pos(rng.Uniform(0, 100), rng.Uniform(0, 100));
+    while (t < 20.0) {
+      const double dt = rng.Uniform(0.5, 1.5);
+      const Vec velocity(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+      const MotionSegment update =
+          MotionSegment::FromUpdate(oid, pos, velocity, Interval(t, t + dt));
+      DQMO_CHECK_OK(tree->Insert(update));
+      pos = update.seg.p1;
+      t += dt;
+    }
+  }
+  std::printf("indexed %llu motion segments in %zu pages (height %d)\n",
+              static_cast<unsigned long long>(tree->num_segments()),
+              file.num_pages(), tree->height());
+
+  // 3. Snapshot query (Definition 3): who is in [40,60]x[40,60] during
+  // time [10, 10.5]?
+  const StBox snapshot(Box(Interval(40, 60), Interval(40, 60)),
+                       Interval(10.0, 10.5));
+  QueryStats stats;
+  auto hits = tree->RangeSearch(snapshot, &stats);
+  DQMO_CHECK(hits.ok());
+  std::printf("\nsnapshot query %s -> %zu motions, %llu disk accesses\n",
+              snapshot.ToString().c_str(), hits->size(),
+              static_cast<unsigned long long>(stats.node_reads));
+
+  // 4. Dynamic query (Definition 4): an observer flies from (20,50) to
+  // (80,50) between t=5 and t=15, watching an 10x10 window. The PDQ
+  // processor returns each visible object exactly once, with the times it
+  // stays in view.
+  std::vector<KeySnapshot> keys;
+  keys.emplace_back(5.0, Box::Centered(Vec(20, 50), 10.0));
+  keys.emplace_back(15.0, Box::Centered(Vec(80, 50), 10.0));
+  auto trajectory = QueryTrajectory::Make(std::move(keys));
+  DQMO_CHECK(trajectory.ok());
+  auto pdq = PredictiveDynamicQuery::Make(tree.get(), *trajectory);
+  DQMO_CHECK(pdq.ok());
+
+  int frames = 0;
+  int objects = 0;
+  for (double t = 5.0; t < 15.0; t += 0.1) {  // 10 frames per time unit.
+    auto frame = (*pdq)->Frame(t, t + 0.1);
+    DQMO_CHECK(frame.ok());
+    objects += static_cast<int>(frame->size());
+    ++frames;
+    if (!frame->empty() && frames % 20 == 0) {
+      const PdqResult& first = frame->front();
+      std::printf("  t=%.1f: +%zu objects entering view, e.g. oid %u "
+                  "visible %s\n",
+                  t, frame->size(), first.motion.oid,
+                  first.visible_times.ToString().c_str());
+    }
+  }
+  const QueryStats& pstats = (*pdq)->stats();
+  std::printf("\ndynamic query: %d frames, %d objects retrieved "
+              "(each exactly once), %llu total disk accesses\n",
+              frames, objects,
+              static_cast<unsigned long long>(pstats.node_reads));
+  std::printf("a naive client would have paid ~%llu accesses *per frame* "
+              "instead\n",
+              static_cast<unsigned long long>(stats.node_reads));
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "client/result_cache.h"
+
+#include <algorithm>
+
+namespace dqmo {
+
+void ResultCache::Insert(const MotionSegment& motion,
+                         const TimeSet& visible_times) {
+  if (visible_times.empty() || visible_times.End() < now_) return;
+  const MotionSegment::Key key = motion.key();
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Refresh: extend visibility (e.g. the same segment re-reported by an
+    // NPDQ frame after intermittent visibility).
+    TimeSet merged = it->second.visible;
+    merged.AddAll(visible_times);
+    // Drop the old eviction index entry.
+    auto range = by_disappearance_.equal_range(it->second.disappearance);
+    for (auto e = range.first; e != range.second; ++e) {
+      if (e->second == key) {
+        by_disappearance_.erase(e);
+        break;
+      }
+    }
+    it->second.visible = std::move(merged);
+    it->second.disappearance = it->second.visible.End();
+    by_disappearance_.emplace(it->second.disappearance, key);
+    return;
+  }
+  Entry entry{motion, visible_times, visible_times.End()};
+  by_disappearance_.emplace(entry.disappearance, key);
+  by_key_.emplace(key, std::move(entry));
+  ++total_insertions_;
+  peak_size_ = std::max(peak_size_, by_key_.size());
+}
+
+size_t ResultCache::AdvanceTo(double now) {
+  now_ = std::max(now_, now);
+  size_t evicted = 0;
+  while (!by_disappearance_.empty() &&
+         by_disappearance_.begin()->first < now_) {
+    by_key_.erase(by_disappearance_.begin()->second);
+    by_disappearance_.erase(by_disappearance_.begin());
+    ++evicted;
+  }
+  total_evictions_ += evicted;
+  return evicted;
+}
+
+std::vector<MotionSegment> ResultCache::VisibleAt(double t) const {
+  std::vector<MotionSegment> out;
+  for (const auto& [key, entry] : by_key_) {
+    if (entry.visible.Contains(t)) out.push_back(entry.motion);
+  }
+  return out;
+}
+
+bool ResultCache::Contains(const MotionSegment::Key& key) const {
+  return by_key_.contains(key);
+}
+
+}  // namespace dqmo

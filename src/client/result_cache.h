@@ -1,0 +1,73 @@
+// Client-side result cache keyed on object disappearance time.
+//
+// The paper (Sect. 4.1): "Along with each object returned, the database
+// will inform the application about how long that object will stay in the
+// view ... it is easy (at the client) to maintain objects keyed on their
+// 'disappearance time', discarding them from the cache at that time." This
+// is that cache: the rendering client inserts each PDQ/NPDQ result with its
+// visibility times and, each frame, asks for the currently visible set;
+// expired entries are evicted as time advances.
+#ifndef DQMO_CLIENT_RESULT_CACHE_H_
+#define DQMO_CLIENT_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/timeset.h"
+#include "motion/motion_segment.h"
+
+namespace dqmo {
+
+/// Cache of currently (or soon-to-be) visible motion segments.
+class ResultCache {
+ public:
+  ResultCache() = default;
+
+  /// Inserts (or refreshes) a retrieved object with the time set during
+  /// which it is visible. Entries whose visibility already ended are
+  /// ignored.
+  void Insert(const MotionSegment& motion, const TimeSet& visible_times);
+
+  /// Advances the clock, evicting every entry whose disappearance time
+  /// (end of visibility) is before `now`. Returns the number evicted.
+  size_t AdvanceTo(double now);
+
+  /// The objects visible at instant `t` (t must be >= the last AdvanceTo
+  /// time). An object with intermittent visibility is reported only while
+  /// one of its visibility intervals covers `t`.
+  std::vector<MotionSegment> VisibleAt(double t) const;
+
+  /// True iff the segment is cached (visible now or scheduled to be).
+  bool Contains(const MotionSegment::Key& key) const;
+
+  size_t size() const { return by_key_.size(); }
+  bool empty() const { return by_key_.empty(); }
+
+  uint64_t total_insertions() const { return total_insertions_; }
+  uint64_t total_evictions() const { return total_evictions_; }
+
+  /// Peak number of simultaneously cached entries — the client buffer size
+  /// the paper's "late retrieval" argument is about.
+  size_t peak_size() const { return peak_size_; }
+
+ private:
+  struct Entry {
+    MotionSegment motion;
+    TimeSet visible;
+    double disappearance;  // visible.End().
+  };
+
+  std::unordered_map<MotionSegment::Key, Entry, MotionKeyHash> by_key_;
+  // Eviction index: disappearance time -> keys (multimap: ties allowed).
+  std::multimap<double, MotionSegment::Key> by_disappearance_;
+  double now_ = -kInf;
+  uint64_t total_insertions_ = 0;
+  uint64_t total_evictions_ = 0;
+  size_t peak_size_ = 0;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_CLIENT_RESULT_CACHE_H_

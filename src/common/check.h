@@ -1,0 +1,39 @@
+// Internal invariant checks. These guard programmer errors, not user input:
+// user input errors surface as Status, invariant violations abort.
+#ifndef DQMO_COMMON_CHECK_H_
+#define DQMO_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message if `cond` is false. Enabled in all build types —
+/// the costs guarded here are O(1) checks on cold paths.
+#define DQMO_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "DQMO_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define DQMO_CHECK_OK(status_expr)                                        \
+  do {                                                                    \
+    const ::dqmo::Status _dqmo_chk = (status_expr);                       \
+    if (!_dqmo_chk.ok()) {                                                \
+      std::fprintf(stderr, "DQMO_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, _dqmo_chk.ToString().c_str());     \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check for hot paths (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define DQMO_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define DQMO_DCHECK(cond) DQMO_CHECK(cond)
+#endif
+
+#endif  // DQMO_COMMON_CHECK_H_

@@ -1,0 +1,35 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace dqmo {
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return v;
+}
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool GetEnvBool(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  const std::string s(v);
+  if (s == "1" || s == "true" || s == "TRUE" || s == "yes" || s == "YES") {
+    return true;
+  }
+  if (s == "0" || s == "false" || s == "FALSE" || s == "no" || s == "NO") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace dqmo

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Benchmarks and the experiment harness use it to
+// narrate progress; the library itself logs only at kWarn and above.
+#ifndef DQMO_COMMON_LOGGING_H_
+#define DQMO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dqmo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Use via the DQMO_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it (for suppressed levels).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dqmo
+
+#define DQMO_LOG(level)                                             \
+  if (::dqmo::LogLevel::level < ::dqmo::GetLogLevel())              \
+    ;                                                               \
+  else                                                              \
+    ::dqmo::internal::LogMessage(::dqmo::LogLevel::level, __FILE__, \
+                                 __LINE__)                          \
+        .stream()
+
+#endif  // DQMO_COMMON_LOGGING_H_

@@ -1,0 +1,86 @@
+// Result<T>: a value-or-Status, the return type of fallible producers.
+#ifndef DQMO_COMMON_RESULT_H_
+#define DQMO_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dqmo {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Typical usage:
+///
+///   Result<PageId> r = file.Allocate();
+///   if (!r.ok()) return r.status();
+///   PageId id = r.value();
+///
+/// or with the DQMO_ASSIGN_OR_RETURN macro below.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicitly, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (or OK if a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace dqmo
+
+/// Evaluates `rexpr` (a Result<T> expression); if it holds an error, returns
+/// that Status from the enclosing function, otherwise assigns the value into
+/// `lhs` (which may include a declaration, e.g. `auto x`).
+#define DQMO_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  DQMO_ASSIGN_OR_RETURN_IMPL_(                                      \
+      DQMO_RESULT_CONCAT_(_dqmo_result, __LINE__), lhs, rexpr)
+
+#define DQMO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define DQMO_RESULT_CONCAT_INNER_(a, b) a##b
+#define DQMO_RESULT_CONCAT_(a, b) DQMO_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // DQMO_COMMON_RESULT_H_

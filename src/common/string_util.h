@@ -1,0 +1,27 @@
+// Small string formatting helpers used by logging, stats and the harness.
+#ifndef DQMO_COMMON_STRING_UTIL_H_
+#define DQMO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace dqmo {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("1.5", "0.001", "12").
+std::string FormatDouble(double v, int digits = 3);
+
+/// Returns true if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace dqmo
+
+#endif  // DQMO_COMMON_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+// Core scalar type aliases shared across the library.
+#ifndef DQMO_COMMON_TYPES_H_
+#define DQMO_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace dqmo {
+
+/// Identifier of a mobile object. Objects produce many motion segments over
+/// their lifetime; all segments of one object share its ObjectId.
+using ObjectId = uint32_t;
+
+/// Identifier of a 4 KiB page in a PageFile. Pages hold one R-tree node each.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (e.g. the parent of the root node).
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Continuous simulation time. The paper's experiments run over a horizon of
+/// 100 "time units"; we keep time dimensionless the same way.
+using Time = double;
+
+/// Logical update timestamp used by NPDQ update management (Sect. 4.2 of the
+/// paper): a monotonically increasing counter bumped on every index mutation.
+using UpdateStamp = uint64_t;
+
+/// Dimensionality bound for vectors/boxes/index keys. The paper's
+/// motivating applications use d = 2 or 3 native spatial dimensions;
+/// Parametric Space Indexing (src/psi) doubles that (position + velocity
+/// coordinates), so the cap is 6.
+inline constexpr int kMaxSpatialDims = 6;
+
+}  // namespace dqmo
+
+#endif  // DQMO_COMMON_TYPES_H_

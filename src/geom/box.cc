@@ -1,0 +1,164 @@
+#include "geom/box.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqmo {
+
+Box Box::Centered(const Vec& center, double side) {
+  Box b(center.dims);
+  const double half = 0.5 * side;
+  for (int i = 0; i < b.dims; ++i) {
+    b.extent(i) = Interval(center[i] - half, center[i] + half);
+  }
+  return b;
+}
+
+Box Box::Point(const Vec& p) {
+  Box b(p.dims);
+  for (int i = 0; i < b.dims; ++i) b.extent(i) = Interval::Point(p[i]);
+  return b;
+}
+
+Box Box::FromCorners(const Vec& a, const Vec& b) {
+  DQMO_DCHECK(a.dims == b.dims);
+  Box box(a.dims);
+  for (int i = 0; i < box.dims; ++i) {
+    box.extent(i) = Interval(std::min(a[i], b[i]), std::max(a[i], b[i]));
+  }
+  return box;
+}
+
+bool Box::empty() const {
+  for (int i = 0; i < dims; ++i) {
+    if (extent(i).empty()) return true;
+  }
+  return false;
+}
+
+double Box::Volume() const {
+  if (empty()) return 0.0;
+  double vol = 1.0;
+  for (int i = 0; i < dims; ++i) vol *= extent(i).length();
+  return vol;
+}
+
+bool Box::Contains(const Vec& p) const {
+  DQMO_DCHECK(p.dims == dims);
+  for (int i = 0; i < dims; ++i) {
+    if (!extent(i).Contains(p[i])) return false;
+  }
+  return true;
+}
+
+bool Box::Contains(const Box& other) const {
+  if (other.empty()) return true;
+  DQMO_DCHECK(other.dims == dims);
+  for (int i = 0; i < dims; ++i) {
+    if (!extent(i).Contains(other.extent(i))) return false;
+  }
+  return true;
+}
+
+bool Box::Overlaps(const Box& other) const {
+  DQMO_DCHECK(other.dims == dims);
+  for (int i = 0; i < dims; ++i) {
+    if (!extent(i).Overlaps(other.extent(i))) return false;
+  }
+  return true;
+}
+
+Box Box::Intersect(const Box& other) const {
+  DQMO_DCHECK(other.dims == dims);
+  Box r(dims);
+  for (int i = 0; i < dims; ++i) {
+    r.extent(i) = extent(i).Intersect(other.extent(i));
+  }
+  return r;
+}
+
+Box Box::Cover(const Box& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  DQMO_DCHECK(other.dims == dims);
+  Box r(dims);
+  for (int i = 0; i < dims; ++i) {
+    r.extent(i) = extent(i).Cover(other.extent(i));
+  }
+  return r;
+}
+
+Box Box::Inflate(double delta) const {
+  Box r(dims);
+  for (int i = 0; i < dims; ++i) r.extent(i) = extent(i).Inflate(delta);
+  return r;
+}
+
+Box Box::Shift(const Vec& offset) const {
+  DQMO_DCHECK(offset.dims == dims);
+  Box r(dims);
+  for (int i = 0; i < dims; ++i) r.extent(i) = extent(i).Shift(offset[i]);
+  return r;
+}
+
+Vec Box::Center() const {
+  Vec c(dims);
+  for (int i = 0; i < dims; ++i) c[i] = extent(i).mid();
+  return c;
+}
+
+double Box::MinDistance(const Vec& p) const {
+  DQMO_DCHECK(p.dims == dims);
+  double sum = 0.0;
+  for (int i = 0; i < dims; ++i) {
+    double d = 0.0;
+    if (p[i] < extent(i).lo) {
+      d = extent(i).lo - p[i];
+    } else if (p[i] > extent(i).hi) {
+      d = p[i] - extent(i).hi;
+    }
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double Box::MinDistance(const Box& other) const {
+  DQMO_DCHECK(other.dims == dims);
+  double sum = 0.0;
+  for (int i = 0; i < dims; ++i) {
+    double gap = 0.0;
+    if (other.extent(i).hi < extent(i).lo) {
+      gap = extent(i).lo - other.extent(i).hi;
+    } else if (other.extent(i).lo > extent(i).hi) {
+      gap = other.extent(i).lo - extent(i).hi;
+    }
+    sum += gap * gap;
+  }
+  return std::sqrt(sum);
+}
+
+std::string Box::ToString() const {
+  std::string out = "<";
+  for (int i = 0; i < dims; ++i) {
+    if (i > 0) out += " x ";
+    out += extent(i).ToString();
+  }
+  out += ">";
+  return out;
+}
+
+std::string StBox::ToString() const {
+  return "{t=" + time.ToString() + ", s=" + spatial.ToString() + "}";
+}
+
+std::string Vec::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < dims; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string((*this)[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dqmo

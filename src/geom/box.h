@@ -1,0 +1,145 @@
+// Boxes (Definition 2 of the paper): products of intervals, plus the
+// space-time box StBox = spatial box x time interval used throughout
+// indexing and query processing.
+#ifndef DQMO_GEOM_BOX_H_
+#define DQMO_GEOM_BOX_H_
+
+#include <array>
+#include <string>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "geom/interval.h"
+#include "geom/vec.h"
+
+namespace dqmo {
+
+/// d-dimensional spatial box: the product I_1 x ... x I_d. Empty iff any
+/// extent is empty.
+struct Box {
+  std::array<Interval, kMaxSpatialDims> extents{};
+  int dims = 2;
+
+  Box() = default;
+
+  /// Empty box of the given dimensionality.
+  explicit Box(int d) : dims(d) {
+    DQMO_DCHECK(d >= 1 && d <= kMaxSpatialDims);
+  }
+
+  /// 2-d convenience constructor.
+  Box(Interval x, Interval y) : dims(2) {
+    extents[0] = x;
+    extents[1] = y;
+  }
+
+  /// 3-d convenience constructor.
+  Box(Interval x, Interval y, Interval z) : dims(3) {
+    extents[0] = x;
+    extents[1] = y;
+    extents[2] = z;
+  }
+
+  /// Axis-aligned box centered at `center` with side length `side` per dim.
+  static Box Centered(const Vec& center, double side);
+
+  /// Degenerate box equal to a point.
+  static Box Point(const Vec& p);
+
+  /// Smallest box containing two points (e.g. a segment's endpoints).
+  static Box FromCorners(const Vec& a, const Vec& b);
+
+  const Interval& extent(int i) const {
+    DQMO_DCHECK(i >= 0 && i < dims);
+    return extents[static_cast<size_t>(i)];
+  }
+  Interval& extent(int i) {
+    DQMO_DCHECK(i >= 0 && i < dims);
+    return extents[static_cast<size_t>(i)];
+  }
+
+  bool empty() const;
+
+  /// Product of extent lengths (0 when empty).
+  double Volume() const;
+
+  bool Contains(const Vec& p) const;
+
+  /// True iff `other` ⊆ this (empty boxes are contained in anything).
+  bool Contains(const Box& other) const;
+
+  /// Paper's ≬ on boxes: per-dimension overlap in every dimension.
+  bool Overlaps(const Box& other) const;
+
+  /// Paper's ∩ on boxes: per-dimension intersection.
+  Box Intersect(const Box& other) const;
+
+  /// Paper's ⊎ on boxes: per-dimension coverage.
+  Box Cover(const Box& other) const;
+
+  /// Grows every extent by delta on both sides (SPDQ inflation).
+  Box Inflate(double delta) const;
+
+  /// Translates by `offset`.
+  Box Shift(const Vec& offset) const;
+
+  /// Center point (undefined content for empty boxes).
+  Vec Center() const;
+
+  /// Minimum Euclidean distance from p to the box (0 if inside).
+  double MinDistance(const Vec& p) const;
+
+  /// Minimum Euclidean distance between two boxes (0 when they overlap).
+  double MinDistance(const Box& other) const;
+
+  friend bool operator==(const Box& a, const Box& b) {
+    if (a.dims != b.dims) return false;
+    for (int i = 0; i < a.dims; ++i) {
+      if (!(a.extent(i) == b.extent(i))) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+};
+
+/// Space-time box: the paper's query/node rectangle <t, x_1, ..., x_d>.
+struct StBox {
+  Box spatial;
+  Interval time;
+
+  StBox() = default;
+  StBox(Box s, Interval t) : spatial(std::move(s)), time(t) {}
+
+  bool empty() const { return time.empty() || spatial.empty(); }
+
+  bool Overlaps(const StBox& other) const {
+    return time.Overlaps(other.time) && spatial.Overlaps(other.spatial);
+  }
+
+  bool Contains(const StBox& other) const {
+    if (other.empty()) return true;
+    return time.Contains(other.time) && spatial.Contains(other.spatial);
+  }
+
+  StBox Intersect(const StBox& other) const {
+    return StBox(spatial.Intersect(other.spatial),
+                 time.Intersect(other.time));
+  }
+
+  StBox Cover(const StBox& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return StBox(spatial.Cover(other.spatial), time.Cover(other.time));
+  }
+
+  friend bool operator==(const StBox& a, const StBox& b) {
+    return a.spatial == b.spatial && a.time == b.time;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_GEOM_BOX_H_

@@ -1,0 +1,24 @@
+#include "geom/interval.h"
+
+#include "common/string_util.h"
+
+namespace dqmo {
+
+std::string Interval::ToString() const {
+  if (empty()) return "[]";
+  return "[" + FormatDouble(lo) + "," + FormatDouble(hi) + "]";
+}
+
+Interval SolveLinearGe(double a, double b) {
+  if (b > 0.0) return Interval(-a / b, kInf);
+  if (b < 0.0) return Interval(-kInf, -a / b);
+  return a >= 0.0 ? Interval::All() : Interval::Empty();
+}
+
+Interval SolveLinearLe(double a, double b) {
+  if (b > 0.0) return Interval(-kInf, -a / b);
+  if (b < 0.0) return Interval(-a / b, kInf);
+  return a <= 0.0 ? Interval::All() : Interval::Empty();
+}
+
+}  // namespace dqmo

@@ -1,0 +1,107 @@
+// Interval arithmetic (Definition 1 of the paper).
+//
+// An Interval [lo, hi] is empty iff lo > hi. The paper's operations are
+// intersection (∩), coverage (⊎), overlap (≬) and precedes (⪯); we add the
+// containment and linear-inequality helpers the query processors need.
+#ifndef DQMO_GEOM_INTERVAL_H_
+#define DQMO_GEOM_INTERVAL_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace dqmo {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Closed interval of reals; empty when lo > hi.
+struct Interval {
+  double lo = kInf;   // Default-constructed interval is empty.
+  double hi = -kInf;
+
+  constexpr Interval() = default;
+  constexpr Interval(double l, double h) : lo(l), hi(h) {}
+
+  /// The degenerate interval [v, v] (paper: a single value v ≡ [v, v]).
+  static constexpr Interval Point(double v) { return Interval(v, v); }
+
+  /// The canonical empty interval.
+  static constexpr Interval Empty() { return Interval(); }
+
+  /// (-inf, +inf).
+  static constexpr Interval All() { return Interval(-kInf, kInf); }
+
+  bool empty() const { return lo > hi; }
+
+  /// Length (hi - lo); 0 for points, negative never (0 for empty).
+  double length() const { return empty() ? 0.0 : hi - lo; }
+
+  double mid() const { return 0.5 * (lo + hi); }
+
+  bool Contains(double v) const { return lo <= v && v <= hi; }
+
+  /// True iff `other` ⊆ this. The empty interval is contained in anything.
+  bool Contains(const Interval& other) const {
+    if (other.empty()) return true;
+    if (empty()) return false;
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  /// Paper's ≬ (overlap): intersection non-empty.
+  bool Overlaps(const Interval& other) const {
+    return !(empty() || other.empty()) && lo <= other.hi && other.lo <= hi;
+  }
+
+  /// Paper's ⪯ (precedes): every point of this is <= other.lo.
+  /// Empty intervals vacuously precede everything.
+  bool Precedes(const Interval& other) const {
+    return empty() || other.empty() || hi <= other.lo;
+  }
+
+  /// Paper's ∩.
+  Interval Intersect(const Interval& other) const {
+    return Interval(std::max(lo, other.lo), std::min(hi, other.hi));
+  }
+
+  /// Paper's ⊎ (coverage): smallest interval containing both. Coverage with
+  /// an empty interval returns the other operand.
+  Interval Cover(const Interval& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return Interval(std::min(lo, other.lo), std::max(hi, other.hi));
+  }
+
+  /// Grows both ends by delta (>= 0); used by SPDQ window inflation.
+  Interval Inflate(double delta) const {
+    if (empty()) return *this;
+    return Interval(lo - delta, hi + delta);
+  }
+
+  /// Translates by delta.
+  Interval Shift(double delta) const {
+    if (empty()) return *this;
+    return Interval(lo + delta, hi + delta);
+  }
+
+  /// Equality treats all empty intervals as equal.
+  friend bool operator==(const Interval& a, const Interval& b) {
+    if (a.empty() && b.empty()) return true;
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  std::string ToString() const;
+};
+
+/// Solves a + b*t >= 0 over the reals, returning the solution interval
+/// (possibly unbounded via +/-inf, possibly empty, possibly all of R).
+///
+/// This one helper subsumes the four slope cases of Fig. 3(b) in the paper:
+/// every border-vs-border overlap condition is a linear inequality in t.
+Interval SolveLinearGe(double a, double b);
+
+/// Solves a + b*t <= 0 over the reals.
+Interval SolveLinearLe(double a, double b);
+
+}  // namespace dqmo
+
+#endif  // DQMO_GEOM_INTERVAL_H_

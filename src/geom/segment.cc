@@ -1,0 +1,93 @@
+#include "geom/segment.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+
+Vec StSegment::Velocity() const {
+  const double dt = time.length();
+  Vec v(p0.dims);
+  if (dt <= 0.0) return v;
+  for (int i = 0; i < v.dims; ++i) v[i] = (p1[i] - p0[i]) / dt;
+  return v;
+}
+
+double StSegment::Speed() const { return Velocity().Norm(); }
+
+Vec StSegment::PositionAt(double t) const {
+  DQMO_DCHECK(time.Contains(t));
+  const double dt = time.length();
+  if (dt <= 0.0) return p0;
+  return Lerp(p0, p1, (t - time.lo) / dt);
+}
+
+StBox StSegment::Bounds() const {
+  return StBox(Box::FromCorners(p0, p1), time);
+}
+
+Interval StSegment::OverlapTime(const StBox& q) const {
+  DQMO_DCHECK(q.spatial.dims == dims());
+  Interval sol = time.Intersect(q.time);
+  if (sol.empty()) return Interval::Empty();
+  const Vec v = Velocity();
+  for (int i = 0; i < dims() && !sol.empty(); ++i) {
+    // x_i(t) = p0_i + v_i * (t - time.lo)  >= q.lo_i  and  <= q.hi_i.
+    // As a + b*t with b = v_i, a = p0_i - v_i * time.lo - bound.
+    const double b = v[i];
+    const double base = p0[i] - v[i] * time.lo;
+    sol = sol.Intersect(SolveLinearGe(base - q.spatial.extent(i).lo, b));
+    sol = sol.Intersect(SolveLinearLe(base - q.spatial.extent(i).hi, b));
+  }
+  return sol;
+}
+
+bool StSegment::Intersects(const StBox& q) const {
+  return !OverlapTime(q).empty();
+}
+
+double StSegment::DistanceAt(double t, const Vec& p) const {
+  return PositionAt(t).DistanceTo(p);
+}
+
+Interval WithinDistanceTime(const StSegment& a, const StSegment& b,
+                            double delta, const Interval& window) {
+  DQMO_DCHECK(a.dims() == b.dims());
+  DQMO_DCHECK(delta >= 0.0);
+  const Interval domain = a.time.Intersect(b.time).Intersect(window);
+  if (domain.empty()) return Interval::Empty();
+  // Relative motion r(t) = c + d * t; squared distance is
+  // |d|^2 t^2 + 2 c.d t + |c|^2 <= delta^2.
+  const Vec va = a.Velocity();
+  const Vec vb = b.Velocity();
+  Vec c(a.dims());
+  Vec d(a.dims());
+  for (int i = 0; i < a.dims(); ++i) {
+    c[i] = (a.p0[i] - va[i] * a.time.lo) - (b.p0[i] - vb[i] * b.time.lo);
+    d[i] = va[i] - vb[i];
+  }
+  const double qa = d.NormSquared();
+  const double qb = 2.0 * c.Dot(d);
+  const double qc = c.NormSquared() - delta * delta;
+  if (qa <= 0.0) {
+    // Constant relative position: either always or never within range.
+    return qc <= 0.0 ? domain : Interval::Empty();
+  }
+  const double disc = qb * qb - 4.0 * qa * qc;
+  if (disc < 0.0) return Interval::Empty();
+  // Numerically stable roots: compute the larger-magnitude one by
+  // addition, derive the other via the product of roots (qc / qa).
+  const double sq = std::sqrt(disc);
+  const double q = -0.5 * (qb + std::copysign(sq, qb));
+  double r1 = q / qa;
+  double r2 = q != 0.0 ? qc / q : -qb / (2.0 * qa);
+  if (r1 > r2) std::swap(r1, r2);
+  return Interval(r1, r2).Intersect(domain);
+}
+
+std::string StSegment::ToString() const {
+  return StrFormat("seg{%s->%s @ %s}", p0.ToString().c_str(),
+                   p1.ToString().c_str(), time.ToString().c_str());
+}
+
+}  // namespace dqmo

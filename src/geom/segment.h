@@ -1,0 +1,71 @@
+// Space-time line segments: the geometric form of a motion between two
+// updates, and the exact segment-vs-query tests of Sect. 3.2.
+#ifndef DQMO_GEOM_SEGMENT_H_
+#define DQMO_GEOM_SEGMENT_H_
+
+#include <string>
+
+#include "geom/box.h"
+#include "geom/interval.h"
+#include "geom/vec.h"
+
+namespace dqmo {
+
+/// A directed line segment in space-time: the object is at `p0` at time
+/// `time.lo` and moves with constant velocity to `p1` at time `time.hi`.
+///
+/// This is the leaf-level representation of NSI (Sect. 3.2): storing exact
+/// endpoints instead of bounding boxes lets the index skip motions whose BB
+/// intersects a query while the motion itself does not.
+struct StSegment {
+  Vec p0;
+  Vec p1;
+  Interval time;
+
+  StSegment() = default;
+  StSegment(Vec a, Vec b, Interval t) : p0(a), p1(b), time(t) {}
+
+  int dims() const { return p0.dims; }
+
+  /// Constant velocity (p1 - p0) / duration; zero vector for instantaneous
+  /// segments (duration 0).
+  Vec Velocity() const;
+
+  /// Scalar speed |velocity|; 0 for instantaneous segments.
+  double Speed() const;
+
+  /// Location function f(t) = p0 + v * (t - time.lo), Eq. (1) of the paper.
+  /// `t` must lie within the segment's valid time.
+  Vec PositionAt(double t) const;
+
+  /// Minimal space-time bounding rectangle (the internal-node form of NSI).
+  StBox Bounds() const;
+
+  /// The exact time interval during which the moving point lies inside the
+  /// (static) space-time query box, i.e. the solution of
+  ///   q.spatial.lo_i <= x_i(t) <= q.spatial.hi_i  for all i,
+  ///   t in q.time, t in this->time.
+  /// Empty when the motion misses the query even though its BB may not.
+  Interval OverlapTime(const StBox& q) const;
+
+  /// True iff OverlapTime(q) is non-empty.
+  bool Intersects(const StBox& q) const;
+
+  /// Euclidean distance from the moving point at time t to `p`.
+  double DistanceAt(double t, const Vec& p) const;
+
+  std::string ToString() const;
+};
+
+/// The exact time interval within `window` during which the two moving
+/// points are within Euclidean distance `delta` of each other. Both motions
+/// are linear, so the squared inter-object distance is a quadratic in t;
+/// the answer is a single (possibly empty) interval — the kernel of the
+/// spatio-temporal distance join (the paper's future-work item (ii),
+/// following its reference [6]).
+Interval WithinDistanceTime(const StSegment& a, const StSegment& b,
+                            double delta, const Interval& window);
+
+}  // namespace dqmo
+
+#endif  // DQMO_GEOM_SEGMENT_H_

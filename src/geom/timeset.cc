@@ -1,0 +1,86 @@
+#include "geom/timeset.h"
+
+#include <algorithm>
+
+namespace dqmo {
+
+void TimeSet::Add(const Interval& iv) {
+  if (iv.empty()) return;
+  // Find the range of existing intervals that touch [iv.lo, iv.hi].
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.hi < b.lo; });
+  if (first == intervals_.end() || iv.hi < first->lo) {
+    intervals_.insert(first, iv);
+    return;
+  }
+  // Merge [first, last) into one interval covering iv.
+  auto last = first;
+  Interval merged = iv;
+  while (last != intervals_.end() && last->lo <= iv.hi) {
+    merged = merged.Cover(*last);
+    ++last;
+  }
+  *first = merged;
+  intervals_.erase(first + 1, last);
+}
+
+void TimeSet::AddAll(const TimeSet& other) {
+  for (const Interval& iv : other.intervals_) Add(iv);
+}
+
+double TimeSet::TotalLength() const {
+  double sum = 0.0;
+  for (const Interval& iv : intervals_) sum += iv.length();
+  return sum;
+}
+
+bool TimeSet::Contains(double t) const {
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](const Interval& a, double v) { return a.hi < v; });
+  return it != intervals_.end() && it->Contains(t);
+}
+
+bool TimeSet::Overlaps(const Interval& iv) const {
+  return !FirstOverlap(iv).empty();
+}
+
+TimeSet TimeSet::Intersect(const Interval& iv) const {
+  TimeSet out;
+  if (iv.empty()) return out;
+  for (const Interval& member : intervals_) {
+    const Interval x = member.Intersect(iv);
+    if (!x.empty()) out.intervals_.push_back(x);
+  }
+  return out;
+}
+
+Interval TimeSet::FirstOverlap(const Interval& iv) const {
+  if (iv.empty()) return Interval::Empty();
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv.lo,
+      [](const Interval& a, double v) { return a.hi < v; });
+  if (it != intervals_.end() && it->lo <= iv.hi) return *it;
+  return Interval::Empty();
+}
+
+double TimeSet::FirstInstantAtOrAfter(double t) const {
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](const Interval& a, double v) { return a.hi < v; });
+  if (it == intervals_.end()) return kInf;
+  return std::max(t, it->lo);
+}
+
+std::string TimeSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += " u ";
+    out += intervals_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dqmo

@@ -1,0 +1,72 @@
+// TimeSet: a union of disjoint time intervals.
+//
+// A PDQ trajectory can enter, leave and re-enter a bounding box (or a motion
+// segment), so the exact "overlapping time" of Eq. (3) in the paper is a
+// union of intervals, not a single one. The paper joins them (∪_j T^j); we
+// keep the exact set, which both tightens queue priorities and avoids false
+// positives for objects with intermittent visibility.
+#ifndef DQMO_GEOM_TIMESET_H_
+#define DQMO_GEOM_TIMESET_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/interval.h"
+
+namespace dqmo {
+
+/// Sorted union of pairwise-disjoint, non-empty intervals.
+class TimeSet {
+ public:
+  TimeSet() = default;
+
+  /// Singleton set (empty set if `iv` is empty).
+  explicit TimeSet(const Interval& iv) { Add(iv); }
+
+  /// Inserts an interval, merging with any intervals it touches/overlaps.
+  void Add(const Interval& iv);
+
+  /// Union with another set.
+  void AddAll(const TimeSet& other);
+
+  bool empty() const { return intervals_.empty(); }
+
+  /// Earliest instant in the set (+inf when empty).
+  double Start() const { return empty() ? kInf : intervals_.front().lo; }
+
+  /// Latest instant in the set (-inf when empty).
+  double End() const { return empty() ? -kInf : intervals_.back().hi; }
+
+  /// Total measure (sum of lengths).
+  double TotalLength() const;
+
+  bool Contains(double t) const;
+
+  /// True iff any member interval overlaps `iv`.
+  bool Overlaps(const Interval& iv) const;
+
+  /// The part of the set inside `iv`.
+  TimeSet Intersect(const Interval& iv) const;
+
+  /// First member interval that overlaps `iv` (empty Interval if none).
+  Interval FirstOverlap(const Interval& iv) const;
+
+  /// Earliest instant of the set that is >= t (+inf if none). If t falls
+  /// inside a member interval the answer is t itself.
+  double FirstInstantAtOrAfter(double t) const;
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  friend bool operator==(const TimeSet& a, const TimeSet& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_GEOM_TIMESET_H_

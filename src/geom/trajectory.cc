@@ -1,0 +1,103 @@
+#include "geom/trajectory.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+
+Result<QueryTrajectory> QueryTrajectory::Make(std::vector<KeySnapshot> keys) {
+  if (keys.size() < 2) {
+    return Status::InvalidArgument("trajectory needs at least 2 key snapshots");
+  }
+  const int d = keys.front().window.dims;
+  for (size_t j = 0; j < keys.size(); ++j) {
+    if (keys[j].window.dims != d) {
+      return Status::InvalidArgument("key snapshot windows differ in dims");
+    }
+    if (keys[j].window.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("key snapshot %zu has an empty window", j));
+    }
+    if (j > 0 && !(keys[j - 1].t < keys[j].t)) {
+      return Status::InvalidArgument(
+          "key snapshot times must be strictly increasing");
+    }
+  }
+  QueryTrajectory q;
+  q.keys_ = std::move(keys);
+  return q;
+}
+
+TrajectorySegment QueryTrajectory::Segment(int j) const {
+  DQMO_DCHECK(j >= 0 && j < num_segments());
+  const KeySnapshot& a = keys_[static_cast<size_t>(j)];
+  const KeySnapshot& b = keys_[static_cast<size_t>(j) + 1];
+  return TrajectorySegment(a.window, b.window, Interval(a.t, b.t));
+}
+
+Box QueryTrajectory::WindowAt(double t) const {
+  DQMO_DCHECK(TimeSpan().Contains(t));
+  // Find the segment containing t.
+  auto it = std::upper_bound(
+      keys_.begin(), keys_.end(), t,
+      [](double v, const KeySnapshot& k) { return v < k.t; });
+  int j = static_cast<int>(it - keys_.begin()) - 1;
+  j = std::clamp(j, 0, num_segments() - 1);
+  return Segment(j).WindowAt(t);
+}
+
+StBox QueryTrajectory::FrameQuery(double t0, double t1) const {
+  DQMO_DCHECK(t0 <= t1);
+  const Interval frame(t0, t1);
+  Box cover = WindowAt(t0);
+  // Cover the window at t1 and at every key snapshot inside the frame (the
+  // window path is piecewise linear, so extremes occur at ends or keys).
+  cover = cover.Cover(WindowAt(t1));
+  for (const KeySnapshot& k : keys_) {
+    if (k.t > t0 && k.t < t1) cover = cover.Cover(k.window);
+  }
+  return StBox(cover, frame);
+}
+
+TimeSet QueryTrajectory::OverlapTimes(const StBox& r) const {
+  TimeSet times;
+  if (r.empty()) return times;
+  // Only segments temporally overlapping r can contribute.
+  for (int j = 0; j < num_segments(); ++j) {
+    const TrajectorySegment s = Segment(j);
+    if (!s.time.Overlaps(r.time)) continue;
+    times.Add(s.OverlapTime(r));
+  }
+  return times;
+}
+
+TimeSet QueryTrajectory::OverlapTimes(const StSegment& m) const {
+  TimeSet times;
+  for (int j = 0; j < num_segments(); ++j) {
+    const TrajectorySegment s = Segment(j);
+    if (!s.time.Overlaps(m.time)) continue;
+    times.Add(s.OverlapTime(m));
+  }
+  return times;
+}
+
+QueryTrajectory QueryTrajectory::Inflate(double delta) const {
+  QueryTrajectory q;
+  q.keys_ = keys_;
+  for (KeySnapshot& k : q.keys_) k.window = k.window.Inflate(delta);
+  return q;
+}
+
+std::string QueryTrajectory::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(keys_.size());
+  for (const KeySnapshot& k : keys_) {
+    parts.push_back(StrFormat("K(t=%s, %s)", FormatDouble(k.t).c_str(),
+                              k.window.ToString().c_str()));
+  }
+  return "traj[" + StrJoin(parts, ", ") + "]";
+}
+
+}  // namespace dqmo

@@ -1,0 +1,81 @@
+// Query trajectories: sequences of key snapshots (Sect. 4.1, Eq. (2)).
+#ifndef DQMO_GEOM_TRAJECTORY_H_
+#define DQMO_GEOM_TRAJECTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geom/box.h"
+#include "geom/segment.h"
+#include "geom/timeset.h"
+#include "geom/trapezoid.h"
+
+namespace dqmo {
+
+/// A key snapshot K^j: a spatial range window at a given instant.
+struct KeySnapshot {
+  double t = 0.0;
+  Box window;
+
+  KeySnapshot() = default;
+  KeySnapshot(double time, Box w) : t(time), window(std::move(w)) {}
+};
+
+/// The trajectory of a dynamic query: key snapshots K^1..K^n with strictly
+/// increasing times; between consecutive keys the window interpolates
+/// linearly (the trapezoid segments S^j).
+class QueryTrajectory {
+ public:
+  QueryTrajectory() = default;
+
+  /// Builds a trajectory from key snapshots. Fails unless there are at least
+  /// two keys, times are strictly increasing, all windows share one
+  /// dimensionality, and no window is empty.
+  static Result<QueryTrajectory> Make(std::vector<KeySnapshot> keys);
+
+  int dims() const { return keys_.front().window.dims; }
+
+  const std::vector<KeySnapshot>& keys() const { return keys_; }
+
+  /// Number of trapezoid segments (keys - 1).
+  int num_segments() const { return static_cast<int>(keys_.size()) - 1; }
+
+  /// The j-th trapezoid segment S^j (0-based).
+  TrajectorySegment Segment(int j) const;
+
+  /// [K^1.t, K^n.t].
+  Interval TimeSpan() const {
+    return Interval(keys_.front().t, keys_.back().t);
+  }
+
+  /// Interpolated query window at time t (t must lie in TimeSpan()).
+  Box WindowAt(double t) const;
+
+  /// The snapshot query covering frame interval [t0, t1]: time extent
+  /// [t0, t1] and spatial extent covering every window position in between
+  /// (exact for linear interpolation: the coverage of the end windows).
+  StBox FrameQuery(double t0, double t1) const;
+
+  /// Exact times the moving window overlaps static box `r`:
+  /// T_{Q,R} = ∪_j T^j (paper Sect. 4.1), kept as an exact TimeSet.
+  TimeSet OverlapTimes(const StBox& r) const;
+
+  /// Exact times the moving window contains the moving point of `m`.
+  TimeSet OverlapTimes(const StSegment& m) const;
+
+  /// A copy whose every window is inflated by `delta` on all sides: the
+  /// SPDQ transformation (Sect. 4, Semi-Predictive Dynamic Query) allowing
+  /// the observer to deviate up to `delta` from the predicted path.
+  QueryTrajectory Inflate(double delta) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<KeySnapshot> keys_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_GEOM_TRAJECTORY_H_

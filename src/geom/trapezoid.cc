@@ -1,0 +1,93 @@
+#include "geom/trapezoid.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+namespace {
+
+/// Linear function value(t) = a + b * t described by its values at the two
+/// ends of a trajectory segment.
+struct Linear {
+  double a = 0.0;
+  double b = 0.0;
+
+  static Linear Through(double t0, double v0, double t1, double v1) {
+    Linear f;
+    const double dt = t1 - t0;
+    if (dt <= 0.0) {
+      // Degenerate segment (single instant): constant function.
+      f.b = 0.0;
+      f.a = v0;
+    } else {
+      f.b = (v1 - v0) / dt;
+      f.a = v0 - f.b * t0;
+    }
+    return f;
+  }
+
+  double At(double t) const { return a + b * t; }
+};
+
+}  // namespace
+
+Box TrajectorySegment::WindowAt(double t) const {
+  DQMO_DCHECK(time.Contains(t));
+  const double dt = time.length();
+  if (dt <= 0.0) return window0;
+  const double alpha = (t - time.lo) / dt;
+  Box w(dims());
+  for (int i = 0; i < dims(); ++i) {
+    const Interval& e0 = window0.extent(i);
+    const Interval& e1 = window1.extent(i);
+    w.extent(i) = Interval(e0.lo + (e1.lo - e0.lo) * alpha,
+                           e0.hi + (e1.hi - e0.hi) * alpha);
+  }
+  return w;
+}
+
+Interval TrajectorySegment::OverlapTime(const StBox& r) const {
+  DQMO_DCHECK(r.spatial.dims == dims());
+  Interval sol = time.Intersect(r.time);
+  for (int i = 0; i < dims() && !sol.empty(); ++i) {
+    const Linear upper = Linear::Through(time.lo, window0.extent(i).hi,
+                                         time.hi, window1.extent(i).hi);
+    const Linear lower = Linear::Through(time.lo, window0.extent(i).lo,
+                                         time.hi, window1.extent(i).lo);
+    // Upper border above box bottom: U_i(t) >= r.lo_i.
+    sol = sol.Intersect(SolveLinearGe(upper.a - r.spatial.extent(i).lo,
+                                      upper.b));
+    // Lower border below box top: L_i(t) <= r.hi_i.
+    sol = sol.Intersect(SolveLinearLe(lower.a - r.spatial.extent(i).hi,
+                                      lower.b));
+  }
+  return sol;
+}
+
+Interval TrajectorySegment::OverlapTime(const StSegment& m) const {
+  DQMO_DCHECK(m.dims() == dims());
+  Interval sol = time.Intersect(m.time);
+  if (sol.empty()) return sol;
+  const Vec v = m.Velocity();
+  for (int i = 0; i < dims() && !sol.empty(); ++i) {
+    // Motion coordinate as a linear function of absolute time.
+    Linear x;
+    x.b = v[i];
+    x.a = m.p0[i] - v[i] * m.time.lo;
+    const Linear upper = Linear::Through(time.lo, window0.extent(i).hi,
+                                         time.hi, window1.extent(i).hi);
+    const Linear lower = Linear::Through(time.lo, window0.extent(i).lo,
+                                         time.hi, window1.extent(i).lo);
+    // x_i(t) <= U_i(t)  and  x_i(t) >= L_i(t).
+    sol = sol.Intersect(SolveLinearLe(x.a - upper.a, x.b - upper.b));
+    sol = sol.Intersect(SolveLinearGe(x.a - lower.a, x.b - lower.b));
+  }
+  return sol;
+}
+
+std::string TrajectorySegment::ToString() const {
+  return StrFormat("trap{%s -> %s @ %s}", window0.ToString().c_str(),
+                   window1.ToString().c_str(), time.ToString().c_str());
+}
+
+}  // namespace dqmo

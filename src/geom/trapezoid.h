@@ -1,0 +1,51 @@
+// The moving query window between two key snapshots (the "trapezoid"
+// segments of Fig. 3 in the paper) and its overlap-time computations.
+#ifndef DQMO_GEOM_TRAPEZOID_H_
+#define DQMO_GEOM_TRAPEZOID_H_
+
+#include <string>
+
+#include "geom/box.h"
+#include "geom/interval.h"
+#include "geom/segment.h"
+
+namespace dqmo {
+
+/// One segment S^j of a dynamic-query trajectory: the query window
+/// interpolates linearly from `window0` at time `time.lo` (key snapshot K^j)
+/// to `window1` at time `time.hi` (key snapshot K^{j+1}). In each spatial
+/// dimension the region swept in (t, x_i) is a trapezoid whose upper/lower
+/// borders are the linear functions U_i(t) and L_i(t).
+struct TrajectorySegment {
+  Box window0;
+  Box window1;
+  Interval time;
+
+  TrajectorySegment() = default;
+  TrajectorySegment(Box w0, Box w1, Interval t)
+      : window0(std::move(w0)), window1(std::move(w1)), time(t) {}
+
+  int dims() const { return window0.dims; }
+
+  /// The interpolated query window at time t in `time`.
+  Box WindowAt(double t) const;
+
+  /// Exact time interval during which the moving window overlaps the static
+  /// space-time box R — Eq. (3) of the paper:
+  ///   T^j = ∩_i ( T_i^{j,u} ∩ T_i^{j,l} ) ∩ [K^j.t, K^{j+1}.t] ∩ R.t
+  /// Each border condition is one linear inequality in t, which subsumes the
+  /// four slope cases of Fig. 3(b).
+  Interval OverlapTime(const StBox& r) const;
+
+  /// Exact time interval during which the moving window contains the moving
+  /// point of motion segment `m` (leaf-level test): the constraints
+  ///   L_i(t) <= x_i(t) <= U_i(t)
+  /// are linear because both window borders and the motion are linear.
+  Interval OverlapTime(const StSegment& m) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_GEOM_TRAPEZOID_H_

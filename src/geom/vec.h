@@ -1,0 +1,99 @@
+// Small fixed-capacity spatial vector with runtime dimensionality.
+#ifndef DQMO_GEOM_VEC_H_
+#define DQMO_GEOM_VEC_H_
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace dqmo {
+
+/// A point (or velocity) in d-dimensional space, 1 <= d <= kMaxSpatialDims.
+///
+/// Dimensionality is a runtime property: the paper's applications use d = 2
+/// or 3 and the index supports both without recompilation.
+struct Vec {
+  std::array<double, kMaxSpatialDims> v{};
+  int dims = 2;
+
+  Vec() = default;
+
+  /// Zero vector of the given dimensionality.
+  explicit Vec(int d) : dims(d) { DQMO_DCHECK(d >= 1 && d <= kMaxSpatialDims); }
+
+  /// 2-d convenience constructor.
+  Vec(double x, double y) : dims(2) {
+    v[0] = x;
+    v[1] = y;
+  }
+
+  /// 3-d convenience constructor.
+  Vec(double x, double y, double z) : dims(3) {
+    v[0] = x;
+    v[1] = y;
+    v[2] = z;
+  }
+
+  double operator[](int i) const {
+    DQMO_DCHECK(i >= 0 && i < dims);
+    return v[static_cast<size_t>(i)];
+  }
+  double& operator[](int i) {
+    DQMO_DCHECK(i >= 0 && i < dims);
+    return v[static_cast<size_t>(i)];
+  }
+
+  Vec operator+(const Vec& o) const {
+    DQMO_DCHECK(dims == o.dims);
+    Vec r(dims);
+    for (int i = 0; i < dims; ++i) r[i] = (*this)[i] + o[i];
+    return r;
+  }
+
+  Vec operator-(const Vec& o) const {
+    DQMO_DCHECK(dims == o.dims);
+    Vec r(dims);
+    for (int i = 0; i < dims; ++i) r[i] = (*this)[i] - o[i];
+    return r;
+  }
+
+  Vec operator*(double s) const {
+    Vec r(dims);
+    for (int i = 0; i < dims; ++i) r[i] = (*this)[i] * s;
+    return r;
+  }
+
+  double Dot(const Vec& o) const {
+    DQMO_DCHECK(dims == o.dims);
+    double sum = 0.0;
+    for (int i = 0; i < dims; ++i) sum += (*this)[i] * o[i];
+    return sum;
+  }
+
+  double NormSquared() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(NormSquared()); }
+
+  double DistanceTo(const Vec& o) const { return (*this - o).Norm(); }
+
+  friend bool operator==(const Vec& a, const Vec& b) {
+    if (a.dims != b.dims) return false;
+    for (int i = 0; i < a.dims; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+};
+
+/// Linear interpolation between points: a + (b - a) * alpha.
+inline Vec Lerp(const Vec& a, const Vec& b, double alpha) {
+  return a + (b - a) * alpha;
+}
+
+}  // namespace dqmo
+
+#endif  // DQMO_GEOM_VEC_H_

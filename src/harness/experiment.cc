@@ -1,0 +1,297 @@
+#include "harness/experiment.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "rtree/bulk_load.h"
+
+namespace dqmo {
+namespace {
+
+/// FNV-1a over the raw bytes of trivially copyable values.
+class ConfigHasher {
+ public:
+  template <typename T>
+  void Add(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const unsigned char*>(&value);
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+uint64_t HashConfig(const IndexConfig& config) {
+  ConfigHasher h;
+  h.Add(config.data.dims);
+  h.Add(config.data.num_objects);
+  h.Add(config.data.space_size);
+  h.Add(config.data.horizon);
+  h.Add(config.data.mean_update_interval);
+  h.Add(config.data.update_interval_stddev);
+  h.Add(config.data.min_update_interval);
+  h.Add(config.data.mean_speed);
+  h.Add(config.data.speed_stddev);
+  h.Add(config.data.seed);
+  h.Add(config.data.sort_by_start_time);
+  h.Add(config.tree.dims);
+  h.Add(config.tree.fill_factor);
+  h.Add(config.tree.split_policy);
+  h.Add(config.bulk_load);
+  return h.hash();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+IndexConfig PaperIndexConfig() {
+  IndexConfig config;
+  // DataGeneratorOptions defaults already match Sect. 5.
+  config.tree.dims = config.data.dims;
+  config.tree.fill_factor = 0.5;
+  config.bulk_load = GetEnvBool("DQMO_BULK_LOAD", false);
+  config.cache_dir = GetEnvString("DQMO_CACHE_DIR", "dqmo_cache");
+  return config;
+}
+
+int TrajectoriesFromEnv(int fallback) {
+  if (GetEnvBool("DQMO_FULL", false)) {
+    return static_cast<int>(GetEnvInt("DQMO_TRAJECTORIES", 1000));
+  }
+  return static_cast<int>(GetEnvInt("DQMO_TRAJECTORIES", fallback));
+}
+
+Result<std::unique_ptr<Workbench>> Workbench::Prepare(
+    const IndexConfig& config) {
+  auto bench = std::unique_ptr<Workbench>(new Workbench());
+  bench->config_ = config;
+
+  std::string cache_path;
+  if (!config.cache_dir.empty()) {
+    ::mkdir(config.cache_dir.c_str(), 0755);  // Best effort.
+    cache_path = StrFormat("%s/index_%016llx.pgf", config.cache_dir.c_str(),
+                           static_cast<unsigned long long>(
+                               HashConfig(config)));
+  }
+
+  if (!cache_path.empty() && FileExists(cache_path)) {
+    // A stale or incompatible cache (e.g. written by an older build) is
+    // not fatal — fall through and rebuild.
+    Status load = bench->file_.LoadFrom(cache_path);
+    if (load.ok()) {
+      auto opened = RTree::Open(&bench->file_);
+      if (opened.ok()) {
+        bench->tree_ = std::move(opened).value();
+        bench->from_cache_ = true;
+        DQMO_LOG(kInfo) << "Loaded cached index " << cache_path << ": "
+                        << bench->Describe();
+        return bench;
+      }
+      load = opened.status();
+    }
+    DQMO_LOG(kWarn) << "Ignoring stale index cache " << cache_path << ": "
+                    << load.ToString();
+    bench->file_ = PageFile();
+  }
+
+  DQMO_LOG(kInfo) << "Generating motion data ("
+                  << config.data.num_objects << " objects, horizon "
+                  << config.data.horizon << ")...";
+  DQMO_ASSIGN_OR_RETURN(std::vector<MotionSegment> segments,
+                        GenerateMotionData(config.data));
+  DQMO_LOG(kInfo) << "Generated " << segments.size()
+                  << " motion segments; building index ("
+                  << (config.bulk_load ? "STR bulk load" : "insertion")
+                  << ")...";
+  const auto t_begin = std::chrono::steady_clock::now();
+  if (config.bulk_load) {
+    BulkLoadOptions bulk;
+    bulk.tree = config.tree;
+    DQMO_ASSIGN_OR_RETURN(
+        bench->tree_, BulkLoad(&bench->file_, std::move(segments), bulk));
+  } else {
+    DQMO_ASSIGN_OR_RETURN(bench->tree_,
+                          RTree::Create(&bench->file_, config.tree));
+    for (const MotionSegment& m : segments) {
+      DQMO_RETURN_IF_ERROR(bench->tree_->Insert(m));
+    }
+  }
+  DQMO_RETURN_IF_ERROR(bench->tree_->Flush());
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_begin)
+          .count();
+  DQMO_LOG(kInfo) << "Built index in " << FormatDouble(seconds, 1)
+                  << "s: " << bench->Describe();
+
+  if (!cache_path.empty()) {
+    const Status save = bench->file_.SaveTo(cache_path);
+    if (!save.ok()) {
+      DQMO_LOG(kWarn) << "Could not cache index: " << save.ToString();
+    }
+  }
+  bench->file_.ResetStats();
+  return bench;
+}
+
+std::string Workbench::Describe() const {
+  return StrFormat(
+      "%llu segments, %zu nodes, height %d, fanout %d/%d, %zu pages%s",
+      static_cast<unsigned long long>(tree_->num_segments()),
+      tree_->num_nodes(), tree_->height(), tree_->internal_capacity(),
+      tree_->leaf_capacity(), file_.num_pages(),
+      from_cache_ ? " (cached)" : "");
+}
+
+void MethodCost::Accumulate(const QueryStats& delta) {
+  io_total += static_cast<double>(delta.node_reads);
+  io_leaf += static_cast<double>(delta.leaf_reads);
+  cpu += static_cast<double>(delta.distance_computations);
+  results += static_cast<double>(delta.objects_returned);
+}
+
+void MethodCost::Finish(double denominator) {
+  DQMO_CHECK(denominator > 0.0);
+  io_total /= denominator;
+  io_leaf /= denominator;
+  cpu /= denominator;
+  results /= denominator;
+}
+
+namespace {
+
+/// Shared sweep skeleton: generates `num_trajectories` dynamic queries and
+/// feeds each frame to the naive evaluator and to `dq_frame` (a callback
+/// running the dynamic-query method). Frame 0 is the "first query"; frames
+/// 1..n are "subsequent".
+template <typename MakeDqState, typename DqFrame>
+Result<SweepRow> RunSweepPoint(Workbench* bench, const SweepOptions& options,
+                               MakeDqState make_dq_state, DqFrame dq_frame) {
+  DQMO_CHECK(bench != nullptr);
+  RTree* tree = bench->tree();
+  Rng rng(options.seed);
+
+  SweepRow row;
+  row.overlap = options.query.overlap;
+  row.window = options.query.window;
+  int64_t first_count = 0;
+  int64_t subsequent_count = 0;
+
+  for (int traj = 0; traj < options.num_trajectories; ++traj) {
+    Rng traj_rng = rng.Fork();
+    DQMO_ASSIGN_OR_RETURN(DynamicQueryWorkload workload,
+                          GenerateDynamicQuery(options.query, &traj_rng));
+
+    auto frame_query = [&](int i) {
+      if (options.open_ended_frames) {
+        // Open-ended snapshot at the frame instant (Sect. 4.2): the window
+        // at t_i, over all times >= t_i. At 0% overlap consecutive windows
+        // are disjoint and discardability neither helps nor hurts, exactly
+        // as the paper reports for Fig. 10.
+        const double t = workload.frame_times[static_cast<size_t>(i)];
+        return StBox(workload.trajectory.WindowAt(t), Interval(t, kInf));
+      }
+      return workload.Frame(i);
+    };
+
+    // Naive: every frame is an independent snapshot range query.
+    {
+      QueryStats stats;
+      for (int i = 0; i < workload.num_frames(); ++i) {
+        const QueryStats before = stats;
+        DQMO_ASSIGN_OR_RETURN(auto ignored,
+                              tree->RangeSearch(frame_query(i), &stats));
+        (void)ignored;
+        const QueryStats delta = stats - before;
+        if (i == 0) {
+          row.naive_first.Accumulate(delta);
+        } else {
+          row.naive_subsequent.Accumulate(delta);
+        }
+      }
+    }
+
+    // Dynamic query method.
+    {
+      DQMO_ASSIGN_OR_RETURN(auto state, make_dq_state(tree, workload));
+      for (int i = 0; i < workload.num_frames(); ++i) {
+        DQMO_ASSIGN_OR_RETURN(
+            QueryStats delta,
+            dq_frame(state.get(), workload, i, frame_query(i)));
+        if (i == 0) {
+          row.dq_first.Accumulate(delta);
+        } else {
+          row.dq_subsequent.Accumulate(delta);
+        }
+      }
+    }
+
+    first_count += 1;
+    subsequent_count += workload.num_frames() - 1;
+  }
+
+  row.naive_first.Finish(static_cast<double>(first_count));
+  row.naive_subsequent.Finish(static_cast<double>(subsequent_count));
+  row.dq_first.Finish(static_cast<double>(first_count));
+  row.dq_subsequent.Finish(static_cast<double>(subsequent_count));
+  return row;
+}
+
+}  // namespace
+
+Result<SweepRow> RunPdqPoint(Workbench* bench, const SweepOptions& options) {
+  auto make_state = [](RTree* tree, const DynamicQueryWorkload& workload)
+      -> Result<std::unique_ptr<PredictiveDynamicQuery>> {
+    return PredictiveDynamicQuery::Make(tree, workload.trajectory);
+  };
+  auto frame = [](PredictiveDynamicQuery* pdq,
+                  const DynamicQueryWorkload& workload, int i,
+                  const StBox& /*frame_query*/) -> Result<QueryStats> {
+    const QueryStats before = pdq->stats();
+    DQMO_ASSIGN_OR_RETURN(
+        auto results,
+        pdq->Frame(workload.frame_times[static_cast<size_t>(i)],
+                   workload.frame_times[static_cast<size_t>(i) + 1]));
+    (void)results;
+    return pdq->stats() - before;
+  };
+  return RunSweepPoint(bench, options, make_state, frame);
+}
+
+Result<SweepRow> RunNpdqPoint(Workbench* bench, const SweepOptions& options,
+                              const NpdqOptions& npdq_options) {
+  auto make_state = [&npdq_options](RTree* tree,
+                                    const DynamicQueryWorkload& workload)
+      -> Result<std::unique_ptr<NonPredictiveDynamicQuery>> {
+    (void)workload;
+    return std::make_unique<NonPredictiveDynamicQuery>(tree, npdq_options);
+  };
+  auto frame = [](NonPredictiveDynamicQuery* npdq,
+                  const DynamicQueryWorkload& workload, int i,
+                  const StBox& frame_query) -> Result<QueryStats> {
+    (void)workload;
+    (void)i;
+    const QueryStats before = npdq->stats();
+    DQMO_ASSIGN_OR_RETURN(auto results, npdq->Execute(frame_query));
+    (void)results;
+    return npdq->stats() - before;
+  };
+  return RunSweepPoint(bench, options, make_state, frame);
+}
+
+}  // namespace dqmo

@@ -1,0 +1,117 @@
+// Experiment harness shared by the per-figure benchmark binaries: index
+// preparation (with an on-disk cache so the ~0.5M-segment index of Sect. 5
+// is built once per configuration) and the naive/PDQ/NPDQ cost sweeps that
+// produce the rows behind Figs. 6-13.
+#ifndef DQMO_HARNESS_EXPERIMENT_H_
+#define DQMO_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/npdq.h"
+#include "query/pdq.h"
+#include "rtree/rtree.h"
+#include "storage/page_file.h"
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+
+namespace dqmo {
+
+/// Index configuration: the data workload plus how the tree is built.
+struct IndexConfig {
+  DataGeneratorOptions data;
+  RTree::Options tree;
+  /// false (default): build by repeated insertion, as the paper does.
+  /// true: STR bulk load (used by the build ablation and for quick runs).
+  bool bulk_load = false;
+  /// Directory for cached index files; empty disables caching. A config
+  /// hash keys the cache, so changing any option rebuilds.
+  std::string cache_dir;
+};
+
+/// The paper's Sect. 5 configuration (5000 objects, 100x100 space, 100 time
+/// units, 4 KiB pages, fill factor 0.5), with the cache directory taken
+/// from $DQMO_CACHE_DIR (default "dqmo_cache") and bulk_load from
+/// $DQMO_BULK_LOAD (default off).
+IndexConfig PaperIndexConfig();
+
+/// A prepared index: backing page file + opened tree.
+class Workbench {
+ public:
+  /// Builds (or loads from cache) the index for `config`.
+  static Result<std::unique_ptr<Workbench>> Prepare(const IndexConfig& config);
+
+  RTree* tree() { return tree_.get(); }
+  PageFile* file() { return &file_; }
+  const IndexConfig& config() const { return config_; }
+
+  /// One-line summary (segments, nodes, height, build source).
+  std::string Describe() const;
+
+ private:
+  Workbench() = default;
+
+  IndexConfig config_;
+  PageFile file_;
+  std::unique_ptr<RTree> tree_;
+  bool from_cache_ = false;
+};
+
+/// Averaged per-query costs of one method at one sweep point.
+struct MethodCost {
+  double io_total = 0.0;  // Disk accesses per query.
+  double io_leaf = 0.0;   // ... at the leaf level.
+  double cpu = 0.0;       // Distance computations per query.
+  double results = 0.0;   // Objects returned per query.
+
+  void Accumulate(const QueryStats& delta);
+  void Finish(double denominator);
+};
+
+/// One row of a Fig. 6/7/10/11-style sweep: first-query and
+/// subsequent-query costs for the naive method and the dynamic-query
+/// method, at one (overlap, window) point.
+struct SweepRow {
+  double overlap = 0.0;
+  double window = 0.0;
+  MethodCost naive_first;
+  MethodCost naive_subsequent;
+  MethodCost dq_first;
+  MethodCost dq_subsequent;
+};
+
+/// Options shared by the sweep runners.
+struct SweepOptions {
+  QueryWorkloadOptions query;  // window/overlap set per point by the caller.
+  int num_trajectories = 50;   // Paper: 1000 (set via $DQMO_TRAJECTORIES).
+  uint64_t seed = 20020324;    // EDBT 2002 vintage.
+  /// Open-ended snapshot semantics (Sect. 4.2, Fig. 5(a)): each snapshot
+  /// query asks for motions in the window *now or in the future* —
+  /// Q_i = spatial_i x [t_i, +inf) — so the client receives every motion
+  /// once, when it first becomes relevant. This is the semantics under
+  /// which NPDQ discardability prunes aggressively (both temporal
+  /// conditions of Lemma 1 hold vacuously and pruning is purely spatial);
+  /// with bounded frames the subtrees that could be pruned must resolve
+  /// start times finer than one frame, which barely exists at paper scale.
+  /// Used by the Fig. 10-13 NPDQ experiments.
+  bool open_ended_frames = false;
+};
+
+/// Number of trajectories from the environment: $DQMO_TRAJECTORIES, or
+/// 1000 when $DQMO_FULL is truthy, else `fallback`.
+int TrajectoriesFromEnv(int fallback = 50);
+
+/// Runs one sweep point comparing the naive method (independent snapshot
+/// range queries) against PDQ (Sect. 4.1).
+Result<SweepRow> RunPdqPoint(Workbench* bench, const SweepOptions& options);
+
+/// Runs one sweep point comparing the naive method against NPDQ
+/// (Sect. 4.2) with the given evaluation options.
+Result<SweepRow> RunNpdqPoint(Workbench* bench, const SweepOptions& options,
+                              const NpdqOptions& npdq_options = {});
+
+}  // namespace dqmo
+
+#endif  // DQMO_HARNESS_EXPERIMENT_H_

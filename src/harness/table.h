@@ -1,0 +1,31 @@
+// Fixed-width text tables for benchmark output (the "rows behind every
+// figure" of the paper's evaluation).
+#ifndef DQMO_HARNESS_TABLE_H_
+#define DQMO_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dqmo {
+
+/// Column-aligned plain-text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with right-aligned cells and a header separator.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_HARNESS_TABLE_H_

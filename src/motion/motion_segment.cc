@@ -1,0 +1,29 @@
+#include "motion/motion_segment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+
+MotionSegment MotionSegment::FromUpdate(ObjectId oid, const Vec& x_at_tl,
+                                        const Vec& velocity,
+                                        Interval valid_time) {
+  DQMO_DCHECK(!valid_time.empty());
+  const Vec end = x_at_tl + velocity * valid_time.length();
+  return MotionSegment(oid, StSegment(x_at_tl, end, valid_time));
+}
+
+std::string MotionSegment::ToString() const {
+  return StrFormat("motion{oid=%u, %s}", oid, seg.ToString().c_str());
+}
+
+void SortByKey(std::vector<MotionSegment>* segments) {
+  std::sort(segments->begin(), segments->end(),
+            [](const MotionSegment& a, const MotionSegment& b) {
+              return a.key() < b.key();
+            });
+}
+
+}  // namespace dqmo

@@ -1,0 +1,77 @@
+// MotionSegment: the record type stored at the leaf level of the NSI index.
+//
+// Each motion update of an object (Sect. 3.1) contributes one segment: the
+// object id, the valid time interval [t_l, t_h] and the linear motion over
+// it. Per the NSI optimization of Sect. 3.2, leaves store the exact segment
+// endpoints, not the bounding box.
+#ifndef DQMO_MOTION_MOTION_SEGMENT_H_
+#define DQMO_MOTION_MOTION_SEGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "geom/segment.h"
+
+namespace dqmo {
+
+/// One indexed motion update of one object.
+struct MotionSegment {
+  ObjectId oid = 0;
+  StSegment seg;
+
+  MotionSegment() = default;
+  MotionSegment(ObjectId id, StSegment s) : oid(id), seg(std::move(s)) {}
+
+  /// Builds a segment from the paper's update form: initial location
+  /// x(t_l), constant velocity v, valid time [t_l, t_h] (Eq. (1)).
+  static MotionSegment FromUpdate(ObjectId oid, const Vec& x_at_tl,
+                                  const Vec& velocity, Interval valid_time);
+
+  const Interval& valid_time() const { return seg.time; }
+
+  /// Location function f(t) for t within the valid time.
+  Vec PositionAt(double t) const { return seg.PositionAt(t); }
+
+  /// Space-time bounding rectangle (internal-node form).
+  StBox Bounds() const { return seg.Bounds(); }
+
+  /// Identity of a segment: an object has at most one segment per start
+  /// time, so (oid, t_l) identifies it. Used for result bookkeeping and the
+  /// PDQ duplicate-elimination check.
+  struct Key {
+    ObjectId oid;
+    double t_start;
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.oid == b.oid && a.t_start == b.t_start;
+    }
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.oid != b.oid) return a.oid < b.oid;
+      return a.t_start < b.t_start;
+    }
+  };
+
+  Key key() const { return Key{oid, seg.time.lo}; }
+
+  std::string ToString() const;
+};
+
+/// Hash for MotionSegment::Key (for unordered containers in result checks).
+struct MotionKeyHash {
+  size_t operator()(const MotionSegment::Key& k) const {
+    uint64_t h = k.oid;
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(k.t_start));
+    __builtin_memcpy(&bits, &k.t_start, sizeof(bits));
+    h ^= bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Sorts segments by (oid, start time); used to canonicalize result sets.
+void SortByKey(std::vector<MotionSegment>* segments);
+
+}  // namespace dqmo
+
+#endif  // DQMO_MOTION_MOTION_SEGMENT_H_

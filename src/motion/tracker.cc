@@ -1,0 +1,57 @@
+#include "motion/tracker.h"
+
+#include "common/check.h"
+
+namespace dqmo {
+
+DeadReckoningTracker::DeadReckoningTracker(ObjectId oid, double threshold,
+                                           double start_time,
+                                           const Vec& position,
+                                           const Vec& velocity)
+    : oid_(oid),
+      threshold_(threshold),
+      report_time_(start_time),
+      report_pos_(position),
+      report_vel_(velocity),
+      last_time_(start_time),
+      last_pos_(position),
+      last_vel_(velocity) {
+  DQMO_CHECK(threshold > 0.0);
+}
+
+Vec DeadReckoningTracker::PredictedAt(double t) const {
+  DQMO_DCHECK(t >= report_time_);
+  return report_pos_ + report_vel_ * (t - report_time_);
+}
+
+std::optional<MotionSegment> DeadReckoningTracker::Observe(
+    double t, const Vec& position, const Vec& velocity) {
+  DQMO_CHECK(t > last_time_);
+  last_time_ = t;
+  last_pos_ = position;
+  last_vel_ = velocity;
+  const Vec predicted = PredictedAt(t);
+  if (predicted.DistanceTo(position) <= threshold_) {
+    return std::nullopt;  // Database representation still within bounds.
+  }
+  // Close the segment covering [report_time_, t]. Its geometry is what the
+  // database believed: the dead-reckoned straight line. The representation
+  // error over this closed segment stayed within the threshold because we
+  // close it at the first observation that exceeded it.
+  MotionSegment closed = MotionSegment::FromUpdate(
+      oid_, report_pos_, report_vel_, Interval(report_time_, t));
+  // Open a new segment from the true state.
+  report_time_ = t;
+  report_pos_ = position;
+  report_vel_ = velocity;
+  ++updates_emitted_;
+  return closed;
+}
+
+std::optional<MotionSegment> DeadReckoningTracker::Finish() {
+  if (last_time_ <= report_time_) return std::nullopt;
+  return MotionSegment::FromUpdate(oid_, report_pos_, report_vel_,
+                                   Interval(report_time_, last_time_));
+}
+
+}  // namespace dqmo

@@ -1,0 +1,73 @@
+// Dead-reckoning update policy (Sect. 3.1 of the paper).
+//
+// An object's true velocity changes continuously; reporting every change
+// would flood the database. Instead the object (or its tracking sensor)
+// reports a new motion vector only when the database's predicted location
+// — obtained by extrapolating the last report with Eq. (1) — drifts from
+// the true location by more than a threshold. The database's error is then
+// bounded by that threshold at all times.
+#ifndef DQMO_MOTION_TRACKER_H_
+#define DQMO_MOTION_TRACKER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "geom/vec.h"
+#include "motion/motion_segment.h"
+
+namespace dqmo {
+
+/// Tracks one object and decides when to emit motion updates.
+///
+/// Usage: construct with the first observation, then feed time-ordered
+/// (time, true position, true velocity) observations via Observe(). When
+/// the prediction error exceeds the threshold, Observe() returns the motion
+/// segment that just *closed* (from the previous report to now) — that
+/// segment is what gets inserted into the index. Finish() closes the final
+/// open segment.
+class DeadReckoningTracker {
+ public:
+  /// `threshold`: maximum tolerated distance between the database's
+  /// predicted location and the true location before an update is forced.
+  DeadReckoningTracker(ObjectId oid, double threshold, double start_time,
+                       const Vec& position, const Vec& velocity);
+
+  /// Feeds a ground-truth observation at time `t` (strictly increasing).
+  /// Returns the closed motion segment if this observation triggered an
+  /// update, std::nullopt otherwise.
+  std::optional<MotionSegment> Observe(double t, const Vec& position,
+                                       const Vec& velocity);
+
+  /// Closes and returns the currently open segment, ending at the last
+  /// observed time. Returns nullopt if no time has elapsed since the last
+  /// report.
+  std::optional<MotionSegment> Finish();
+
+  /// The database's predicted location at time t (>= last report time),
+  /// per the last reported motion parameters.
+  Vec PredictedAt(double t) const;
+
+  /// Number of updates emitted so far (excluding Finish()).
+  int updates_emitted() const { return updates_emitted_; }
+
+  ObjectId oid() const { return oid_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  ObjectId oid_;
+  double threshold_;
+  // Last reported motion parameters theta = (x(t_l), v) at time t_l.
+  double report_time_;
+  Vec report_pos_;
+  Vec report_vel_;
+  // Most recent ground truth seen.
+  double last_time_;
+  Vec last_pos_;
+  Vec last_vel_;
+  int updates_emitted_ = 0;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_MOTION_TRACKER_H_

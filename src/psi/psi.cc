@@ -1,0 +1,128 @@
+#include "psi/psi.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+namespace {
+
+/// Interval product {v * t : v in vs, t in ts} (both non-empty).
+Interval IntervalMul(const Interval& vs, const Interval& ts) {
+  const double a = vs.lo * ts.lo;
+  const double b = vs.lo * ts.hi;
+  const double c = vs.hi * ts.lo;
+  const double d = vs.hi * ts.hi;
+  return Interval(std::min(std::min(a, b), std::min(c, d)),
+                  std::max(std::max(a, b), std::max(c, d)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PsiIndex>> PsiIndex::Create(PageFile* file,
+                                                   const Options& options) {
+  if (options.dims < 1 || 2 * options.dims > kMaxSpatialDims) {
+    return Status::InvalidArgument(
+        StrFormat("PSI native dims %d out of range", options.dims));
+  }
+  auto index = std::unique_ptr<PsiIndex>(new PsiIndex());
+  index->options_ = options;
+  RTree::Options tree_options;
+  tree_options.dims = 2 * options.dims;
+  tree_options.fill_factor = options.fill_factor;
+  DQMO_ASSIGN_OR_RETURN(index->tree_, RTree::Create(file, tree_options));
+  return index;
+}
+
+MotionSegment PsiIndex::ToParametric(const MotionSegment& m) const {
+  DQMO_DCHECK(m.seg.dims() == options_.dims);
+  const Vec v = m.seg.Velocity();
+  Vec param(2 * options_.dims);
+  for (int i = 0; i < options_.dims; ++i) {
+    // Position at the reference time: a = p0 - v * (t_l - t_ref).
+    param[i] =
+        m.seg.p0[i] - v[i] * (m.seg.time.lo - options_.reference_time);
+    param[options_.dims + i] = v[i];
+  }
+  // A parametric point: a degenerate segment at `param` over the validity
+  // interval (the leaf layout then stores (oid, time, param, param)).
+  return MotionSegment(m.oid, StSegment(param, param, m.seg.time));
+}
+
+MotionSegment PsiIndex::FromParametric(const MotionSegment& pm) const {
+  DQMO_DCHECK(pm.seg.dims() == 2 * options_.dims);
+  Vec p0(options_.dims);
+  Vec p1(options_.dims);
+  for (int i = 0; i < options_.dims; ++i) {
+    const double a = pm.seg.p0[i];
+    const double v = pm.seg.p0[options_.dims + i];
+    p0[i] = a + v * (pm.seg.time.lo - options_.reference_time);
+    p1[i] = a + v * (pm.seg.time.hi - options_.reference_time);
+  }
+  return MotionSegment(pm.oid, StSegment(p0, p1, pm.seg.time));
+}
+
+Status PsiIndex::Insert(const MotionSegment& m) {
+  if (m.seg.dims() != options_.dims) {
+    return Status::InvalidArgument("segment dims mismatch");
+  }
+  if (m.seg.time.empty()) {
+    return Status::InvalidArgument("motion segment has empty valid time");
+  }
+  return tree_->Insert(ToParametric(m));
+}
+
+Status PsiIndex::Visit(PageId pid, const StBox& q, QueryStats* stats,
+                       PageReader* reader,
+                       std::vector<MotionSegment>* out) const {
+  DQMO_ASSIGN_OR_RETURN(Node node, tree_->LoadNode(pid, stats, reader));
+  const int d = options_.dims;
+  if (node.is_leaf()) {
+    for (const MotionSegment& pm : node.segments) {
+      ++stats->distance_computations;
+      const MotionSegment native = FromParametric(pm);
+      if (native.seg.Intersects(q)) {
+        out->push_back(native);
+        ++stats->objects_returned;
+      }
+    }
+    return Status::OK();
+  }
+  for (const ChildEntry& e : node.children) {
+    ++stats->distance_computations;
+    // Times at which children can matter for q.
+    const Interval times = e.bounds.time.Intersect(q.time);
+    if (times.empty()) continue;
+    // Reachability test with interval arithmetic: position_i(t) lies in
+    // A_i + V_i * (t - t_ref); prune unless every native dimension's
+    // reachable band overlaps the query window. Conservative: a child may
+    // still miss (the wedge is not a box), the exact leaf test decides.
+    const Interval tau = times.Shift(-options_.reference_time);
+    bool viable = true;
+    for (int i = 0; i < d && viable; ++i) {
+      const Interval& a = e.bounds.spatial.extent(i);
+      const Interval& v = e.bounds.spatial.extent(d + i);
+      const Interval reach = IntervalMul(v, tau).Shift(a.lo).Cover(
+          IntervalMul(v, tau).Shift(a.hi));
+      viable = reach.Overlaps(q.spatial.extent(i));
+    }
+    if (!viable) continue;
+    DQMO_RETURN_IF_ERROR(Visit(e.child, q, stats, reader, out));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<MotionSegment>> PsiIndex::RangeSearch(
+    const StBox& q, QueryStats* stats, PageReader* reader) const {
+  if (q.spatial.dims != options_.dims) {
+    return Status::InvalidArgument("query dims mismatch");
+  }
+  DQMO_CHECK(stats != nullptr);
+  std::vector<MotionSegment> out;
+  if (q.empty()) return out;
+  DQMO_RETURN_IF_ERROR(Visit(tree_->root(), q, stats, reader, &out));
+  return out;
+}
+
+}  // namespace dqmo

@@ -1,0 +1,75 @@
+// Parametric Space Indexing (PSI) — the alternative to Native Space
+// Indexing that the paper discusses in Sect. 2/3.2 (from its refs [14,15]):
+// instead of indexing a motion's swept region in (space x time), index its
+// *motion parameters* — the position at a global reference time and the
+// velocity — as a point in a 2d-dimensional parametric space, tagged with
+// the update's validity interval.
+//
+// The paper reports that "NSI outperforms PSI, because of the loss of
+// locality associated with PSI" and uses NSI exclusively; this module
+// exists to reproduce that comparison (bench/abl_psi). A spatio-temporal
+// range query maps to a non-rectangular wedge in parametric space, so the
+// search descends with a conservative reachable-interval test
+// (position(t) = a + v * (t - t_ref), evaluated with interval arithmetic
+// over a node's parameter box and clipped validity times) and applies the
+// exact segment test at the leaves.
+#ifndef DQMO_PSI_PSI_H_
+#define DQMO_PSI_PSI_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "motion/motion_segment.h"
+#include "rtree/rtree.h"
+#include "rtree/stats.h"
+
+namespace dqmo {
+
+/// R-tree over motion parameters. Internally reuses the paged R-tree with
+/// 2d "spatial" dimensions: dims 0..d-1 hold the reference-time position
+/// `a`, dims d..2d-1 the velocity `v`; the temporal extent holds the
+/// update's validity interval, exactly as in NSI.
+class PsiIndex {
+ public:
+  struct Options {
+    int dims = 2;               // Native spatial dimensionality.
+    double fill_factor = 0.5;
+    double reference_time = 0.0;  // t_ref for the position parameter.
+  };
+
+  /// Creates a fresh parametric index in the (empty) page file.
+  static Result<std::unique_ptr<PsiIndex>> Create(PageFile* file,
+                                                  const Options& options);
+
+  int dims() const { return options_.dims; }
+  const RTree& tree() const { return *tree_; }
+  uint64_t num_segments() const { return tree_->num_segments(); }
+
+  /// Inserts a motion segment (converted to its parametric form).
+  Status Insert(const MotionSegment& m);
+
+  /// Spatio-temporal range query with the same semantics as
+  /// RTree::RangeSearch: all motions whose exact trajectory intersects `q`
+  /// (results carry native-space geometry reconstructed from the stored
+  /// parameters; keys match the NSI-stored form).
+  Result<std::vector<MotionSegment>> RangeSearch(
+      const StBox& q, QueryStats* stats, PageReader* reader = nullptr) const;
+
+  /// Conversion helpers (exposed for tests).
+  MotionSegment ToParametric(const MotionSegment& m) const;
+  MotionSegment FromParametric(const MotionSegment& pm) const;
+
+ private:
+  PsiIndex() = default;
+
+  Status Visit(PageId pid, const StBox& q, QueryStats* stats,
+               PageReader* reader, std::vector<MotionSegment>* out) const;
+
+  Options options_;
+  std::unique_ptr<RTree> tree_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_PSI_PSI_H_

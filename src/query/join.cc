@@ -1,0 +1,143 @@
+#include "query/join.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace dqmo {
+namespace {
+
+/// Memoizing node loader: during one join, each node of each tree is read
+/// (and charged) at most once, as in a pinned synchronized traversal.
+class NodeCache {
+ public:
+  NodeCache(const RTree* tree, PageReader* reader, QueryStats* stats)
+      : tree_(tree), reader_(reader), stats_(stats) {}
+
+  Result<const Node*> Get(PageId pid) {
+    auto it = cache_.find(pid);
+    if (it != cache_.end()) return &it->second;
+    DQMO_ASSIGN_OR_RETURN(Node node, tree_->LoadNode(pid, stats_, reader_));
+    auto [pos, inserted] = cache_.emplace(pid, std::move(node));
+    (void)inserted;
+    return &pos->second;
+  }
+
+ private:
+  const RTree* tree_;
+  PageReader* reader_;
+  QueryStats* stats_;
+  std::unordered_map<PageId, Node> cache_;
+};
+
+/// Prune test for a pair of space-time boxes.
+bool PairViable(const StBox& a, const StBox& b, const Interval& window,
+                double delta) {
+  const Interval times = a.time.Intersect(b.time).Intersect(window);
+  if (times.empty()) return false;
+  return a.spatial.MinDistance(b.spatial) <= delta;
+}
+
+struct JoinDriver {
+  NodeCache* left_cache;
+  NodeCache* right_cache;
+  const DistanceJoinOptions* options;
+  QueryStats* stats;
+  bool self_join;
+  std::vector<JoinPair>* out;
+
+  Status LeafPairs(const Node& a, const Node& b) {
+    for (const MotionSegment& ma : a.segments) {
+      for (const MotionSegment& mb : b.segments) {
+        if (self_join) {
+          // Report unordered pairs once; skip same-object pairs
+          // (consecutive segments of one trajectory trivially touch).
+          if (ma.oid == mb.oid) continue;
+          if (!(ma.key() < mb.key())) continue;
+        }
+        ++stats->distance_computations;
+        const Interval close = WithinDistanceTime(
+            ma.seg, mb.seg, options->delta, options->time_window);
+        if (close.empty()) continue;
+        out->push_back(JoinPair{ma, mb, close});
+        ++stats->objects_returned;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Visit(PageId left_pid, PageId right_pid) {
+    DQMO_ASSIGN_OR_RETURN(const Node* a, left_cache->Get(left_pid));
+    DQMO_ASSIGN_OR_RETURN(const Node* b, right_cache->Get(right_pid));
+    if (a->is_leaf() && b->is_leaf()) return LeafPairs(*a, *b);
+
+    // Expand the non-leaf side; with two internal nodes, expand the
+    // higher-level one so the traversal stays balanced.
+    const bool expand_left =
+        !a->is_leaf() && (b->is_leaf() || a->level >= b->level);
+    if (expand_left) {
+      const StBox b_bounds = b->ComputeBounds();
+      // Copy the children: the cache may rehash (invalidating `a`) while
+      // descendants are loaded during recursion.
+      const std::vector<ChildEntry> children = a->children;
+      for (const ChildEntry& e : children) {
+        ++stats->distance_computations;
+        if (!PairViable(e.bounds, b_bounds, options->time_window,
+                        options->delta)) {
+          continue;
+        }
+        DQMO_RETURN_IF_ERROR(Visit(e.child, right_pid));
+      }
+      return Status::OK();
+    }
+    const StBox a_bounds = a->ComputeBounds();
+    const std::vector<ChildEntry> children = b->children;
+    for (const ChildEntry& e : children) {
+      ++stats->distance_computations;
+      if (!PairViable(a_bounds, e.bounds, options->time_window,
+                      options->delta)) {
+        continue;
+      }
+      DQMO_RETURN_IF_ERROR(Visit(left_pid, e.child));
+    }
+    return Status::OK();
+  }
+};
+
+Result<std::vector<JoinPair>> RunJoin(const RTree& left, const RTree& right,
+                                      const DistanceJoinOptions& options,
+                                      QueryStats* stats, bool self_join) {
+  if (left.dims() != right.dims()) {
+    return Status::InvalidArgument("joined trees differ in dimensionality");
+  }
+  if (options.delta < 0.0) {
+    return Status::InvalidArgument("join distance must be >= 0");
+  }
+  DQMO_CHECK(stats != nullptr);
+  std::vector<JoinPair> out;
+  NodeCache left_cache(&left, options.left_reader, stats);
+  // For a self-join, share one cache so each node is read once overall.
+  NodeCache right_cache_storage(&right, options.right_reader, stats);
+  NodeCache* right_cache = self_join ? &left_cache : &right_cache_storage;
+  JoinDriver driver{&left_cache, right_cache, &options, stats, self_join,
+                    &out};
+  DQMO_RETURN_IF_ERROR(driver.Visit(left.root(), right.root()));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<JoinPair>> DistanceJoin(const RTree& left,
+                                           const RTree& right,
+                                           const DistanceJoinOptions& options,
+                                           QueryStats* stats) {
+  return RunJoin(left, right, options, stats, /*self_join=*/false);
+}
+
+Result<std::vector<JoinPair>> SelfDistanceJoin(
+    const RTree& tree, const DistanceJoinOptions& options,
+    QueryStats* stats) {
+  return RunJoin(tree, tree, options, stats, /*self_join=*/true);
+}
+
+}  // namespace dqmo

@@ -1,0 +1,64 @@
+// Spatio-temporal distance joins over mobile objects — the paper's
+// future-work item (ii) ("generalizing dynamic queries to include more
+// complex queries involving simple or distance-joins and aggregation"),
+// following the synchronized-traversal style of its reference [6]
+// (Hjaltason & Samet, incremental distance joins).
+//
+// Semantics: a pair (a, b) of motion segments joins iff there is an
+// instant t inside the query's time window — and inside both segments'
+// valid times — at which the two moving points are within Euclidean
+// distance `delta`. The exact within-range time interval is closed-form
+// (quadratic in t; geom/segment.h's WithinDistanceTime) and is reported
+// with each pair.
+#ifndef DQMO_QUERY_JOIN_H_
+#define DQMO_QUERY_JOIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "motion/motion_segment.h"
+#include "rtree/rtree.h"
+#include "rtree/stats.h"
+
+namespace dqmo {
+
+/// One join result: the two motions and the exact time interval during
+/// which they are within range of each other.
+struct JoinPair {
+  MotionSegment left;
+  MotionSegment right;
+  Interval close_time;
+};
+
+struct DistanceJoinOptions {
+  /// Maximum inter-object distance.
+  double delta = 1.0;
+  /// Temporal window of interest.
+  Interval time_window = Interval::All();
+  /// Page sources (nullptr: each tree's backing file).
+  PageReader* left_reader = nullptr;
+  PageReader* right_reader = nullptr;
+};
+
+/// Computes all joining pairs between motions of `left` and `right` via
+/// synchronized R-tree traversal: a node pair is expanded only if the
+/// boxes' time extents overlap the window and their spatial gap is at most
+/// delta. Nodes are read once each (memoized for the duration of the
+/// join); `stats` counts those reads plus pair tests as distance
+/// computations.
+Result<std::vector<JoinPair>> DistanceJoin(const RTree& left,
+                                           const RTree& right,
+                                           const DistanceJoinOptions& options,
+                                           QueryStats* stats);
+
+/// Self-join: all unordered pairs of distinct motions of `tree` within
+/// range (each pair reported once, left.key() < right.key(); the trivial
+/// pair of a motion with itself is excluded, as are pairs of segments of
+/// the same object).
+Result<std::vector<JoinPair>> SelfDistanceJoin(
+    const RTree& tree, const DistanceJoinOptions& options,
+    QueryStats* stats);
+
+}  // namespace dqmo
+
+#endif  // DQMO_QUERY_JOIN_H_

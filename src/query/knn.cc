@@ -1,0 +1,155 @@
+#include "query/knn.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+namespace {
+
+struct HeapEntry {
+  double min_distance;
+  bool is_object;
+  PageId page = kInvalidPageId;
+  MotionSegment motion;
+
+  friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+    return a.min_distance > b.min_distance;
+  }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
+                                    double t, int k, QueryStats* stats,
+                                    PageReader* reader, double prune_bound) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (point.dims != tree.dims()) {
+    return Status::InvalidArgument("query point dims mismatch");
+  }
+  DQMO_CHECK(stats != nullptr);
+
+  std::vector<Neighbor> best;  // Sorted ascending by distance, size <= k.
+  auto worst_bound = [&]() {
+    return static_cast<int>(best.size()) < k ? prune_bound
+                                             : std::min(prune_bound,
+                                                        best.back().distance);
+  };
+
+  MinHeap heap;
+  heap.push(HeapEntry{0.0, false, tree.root(), {}});
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.min_distance > worst_bound()) break;  // Nothing closer remains.
+    if (top.is_object) {
+      best.push_back(Neighbor{top.motion, top.min_distance});
+      std::inplace_merge(best.begin(), best.end() - 1, best.end(),
+                         [](const Neighbor& a, const Neighbor& b) {
+                           return a.distance < b.distance;
+                         });
+      if (static_cast<int>(best.size()) > k) best.pop_back();
+      continue;
+    }
+    DQMO_ASSIGN_OR_RETURN(Node node, tree.LoadNode(top.page, stats, reader));
+    if (node.is_leaf()) {
+      for (const MotionSegment& m : node.segments) {
+        ++stats->distance_computations;
+        if (!m.seg.time.Contains(t)) continue;  // Not alive at t.
+        const double d = m.seg.DistanceAt(t, point);
+        if (d > worst_bound()) continue;
+        heap.push(HeapEntry{d, true, kInvalidPageId, m});
+      }
+    } else {
+      for (const ChildEntry& e : node.children) {
+        ++stats->distance_computations;
+        if (!e.bounds.time.Contains(t)) continue;
+        const double d = e.bounds.spatial.MinDistance(point);
+        if (d > worst_bound()) continue;
+        heap.push(HeapEntry{d, false, e.child, {}});
+      }
+    }
+  }
+  stats->objects_returned += best.size();
+  return best;
+}
+
+MovingKnnQuery::MovingKnnQuery(const RTree* tree, int k,
+                               const Options& options)
+    : tree_(tree), k_(k), options_(options) {
+  DQMO_CHECK(tree != nullptr);
+  DQMO_CHECK(k >= 1);
+}
+
+MovingKnnQuery::MovingKnnQuery(const RTree* tree, int k)
+    : MovingKnnQuery(tree, k, Options()) {}
+
+Result<std::vector<Neighbor>> MovingKnnQuery::At(double t,
+                                                 const Vec& point) {
+  if (t < previous_t_) {
+    return Status::InvalidArgument(
+        "moving kNN instants must be non-decreasing");
+  }
+  previous_t_ = t;
+
+  // Try to answer from the cached candidate set.
+  if (has_cache_ && tree_->stamp() == cache_stamp_) {
+    // Every cached candidate must still be represented by its cached
+    // segment; a rolled-over segment means the object's current position
+    // is not in the cache.
+    bool all_alive = true;
+    std::vector<Neighbor> now;
+    now.reserve(cached_.size());
+    for (const Neighbor& n : cached_) {
+      if (!n.motion.seg.time.Contains(t)) {
+        all_alive = false;
+        break;
+      }
+      ++stats_.distance_computations;
+      now.push_back(Neighbor{n.motion, n.motion.seg.DistanceAt(t, point)});
+    }
+    if (all_alive && static_cast<int>(now.size()) >= k_) {
+      std::sort(now.begin(), now.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  return a.distance < b.distance;
+                });
+      const double moved = point.DistanceTo(cache_point_);
+      const double drift = tree_->max_speed() * (t - cache_t_);
+      const double safe =
+          fence_ - moved - drift - options_.discontinuity_margin;
+      const double kth = now[static_cast<size_t>(k_) - 1].distance;
+      if (kth <= safe) {
+        now.resize(static_cast<size_t>(k_));
+        ++cache_answers_;
+        stats_.objects_returned += now.size();
+        return now;
+      }
+    }
+  }
+
+  // Full search: fetch k + m candidates and rebuild the fence.
+  DQMO_ASSIGN_OR_RETURN(
+      std::vector<Neighbor> candidates,
+      KnnAt(*tree_, point, t, fetch_count(), &stats_, options_.reader));
+  ++full_searches_;
+  has_cache_ = true;
+  cached_ = candidates;
+  fence_ = static_cast<int>(candidates.size()) < fetch_count()
+               ? kInf
+               : candidates.back().distance;
+  cache_t_ = t;
+  cache_point_ = point;
+  cache_stamp_ = tree_->stamp();
+
+  if (static_cast<int>(candidates.size()) > k_) {
+    candidates.resize(static_cast<size_t>(k_));
+  }
+  return candidates;
+}
+
+}  // namespace dqmo

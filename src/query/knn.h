@@ -1,0 +1,110 @@
+// Nearest-neighbor search over mobile objects — the paper's future-work
+// item (i) ("generalizing the concept of dynamic queries to nearest
+// neighbor searches, similar to the moving-query point of [24]").
+//
+// KnnAt() is a best-first (Hjaltason–Samet style, the paper's refs [17,7])
+// search for the k objects nearest to a query point at one time instant.
+// MovingKnnQuery evaluates a *sequence* of such instants along an observer
+// trajectory, priming each search with an upper bound derived from the
+// previous answer set so that most of the tree is pruned when the query
+// point moves smoothly — the dynamic-query idea applied to kNN.
+#ifndef DQMO_QUERY_KNN_H_
+#define DQMO_QUERY_KNN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geom/vec.h"
+#include "motion/motion_segment.h"
+#include "rtree/rtree.h"
+#include "rtree/stats.h"
+
+namespace dqmo {
+
+/// One nearest-neighbor answer: the motion segment alive at the query time
+/// and its distance from the query point at that time.
+struct Neighbor {
+  MotionSegment motion;
+  double distance = 0.0;
+};
+
+/// Returns the (up to) k motion segments alive at time `t` whose positions
+/// at `t` are nearest to `point`, ordered by increasing distance.
+/// `prune_bound`: discard anything farther than this (kInf = no bound).
+Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
+                                    double t, int k, QueryStats* stats,
+                                    PageReader* reader = nullptr,
+                                    double prune_bound = kInf);
+
+/// Incremental kNN along a moving query point — the dynamic-query idea
+/// applied to nearest-neighbor search (in the spirit of the paper's
+/// reference [24], Song & Roussopoulos).
+///
+/// Each full index search fetches k + m candidates and remembers the
+/// (k+m)-th distance as a *fence*. For a later instant t1 with query point
+/// q1, every object outside the cached candidate set was at distance
+/// >= fence from q0 at time t0, so its distance at t1 is at least
+///   fence - |q1 - q0| - max_speed * (t1 - t0) - margin,
+/// where max_speed is the tree's maximum stored motion speed. While the
+/// k-th candidate distance stays below that bound, the answer is computed
+/// entirely from the cache — zero disk accesses.
+///
+/// Soundness assumptions (documented, matching the paper's motion model):
+/// objects alive at t1 were alive at t0 with spatially continuous
+/// trajectories (consecutive motion segments join); concurrent insertions
+/// invalidate the cache automatically via the tree's update stamp. If the
+/// update policy allows small discontinuities between consecutive segments
+/// (e.g. a dead-reckoning threshold, Sect. 3.1), pass that bound as
+/// `Options::discontinuity_margin`.
+class MovingKnnQuery {
+ public:
+  struct Options {
+    /// Extra candidates fetched per full search (m above). Larger values
+    /// widen the fence (fewer full searches) at higher per-search cost.
+    int extra_candidates = -1;  // -1: use k (fetch 2k).
+    /// Slack subtracted from the fence for per-update trajectory jumps.
+    double discontinuity_margin = 0.0;
+    PageReader* reader = nullptr;
+  };
+
+  /// `tree` must outlive the query. k >= 1.
+  MovingKnnQuery(const RTree* tree, int k, const Options& options);
+  MovingKnnQuery(const RTree* tree, int k);
+
+  /// Nearest k objects at time `t` (monotonically non-decreasing across
+  /// calls) from `point`.
+  Result<std::vector<Neighbor>> At(double t, const Vec& point);
+
+  const QueryStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Number of At() calls answered purely from the cache (no disk access).
+  uint64_t cache_answers() const { return cache_answers_; }
+  /// Number of At() calls that ran a full index search.
+  uint64_t full_searches() const { return full_searches_; }
+
+ private:
+  int fetch_count() const {
+    return k_ + (options_.extra_candidates < 0 ? k_
+                                               : options_.extra_candidates);
+  }
+
+  const RTree* tree_;
+  int k_;
+  Options options_;
+  // Cache state from the last full search.
+  bool has_cache_ = false;
+  std::vector<Neighbor> cached_;
+  double fence_ = kInf;      // (k+m)-th distance; +inf if fewer returned.
+  double cache_t_ = 0.0;     // Instant of the last full search.
+  Vec cache_point_;          // Query point of the last full search.
+  UpdateStamp cache_stamp_ = 0;
+  double previous_t_ = -kInf;
+  uint64_t cache_answers_ = 0;
+  uint64_t full_searches_ = 0;
+  QueryStats stats_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_QUERY_KNN_H_

@@ -1,0 +1,104 @@
+#include "query/npdq.h"
+
+#include "common/check.h"
+
+namespace dqmo {
+
+bool Discardable(const StBox& p, const StBox& q, const ChildEntry& r,
+                 SpatialPruning pruning) {
+  // Double-temporal-axes test. A motion (ts, te) is Q-relevant iff
+  // ts <= q.time.hi and te >= q.time.lo; the subtree's Q-relevant motions
+  // have ts in i_ts and te in i_te below. All of them were temporally
+  // P-relevant iff every such ts <= p.time.hi and every such te >=
+  // p.time.lo.
+  const Interval i_ts =
+      r.start_times.Intersect(Interval(-kInf, q.time.hi));
+  const Interval i_te = r.end_times.Intersect(Interval(q.time.lo, kInf));
+  if (i_ts.empty() || i_te.empty()) {
+    return true;  // No Q-relevant motion below R at all.
+  }
+  if (i_ts.hi > p.time.hi) return false;  // Some motion started after P.
+  if (i_te.lo < p.time.lo) return false;  // Some motion ended before P.
+
+  // Spatial containment.
+  for (int i = 0; i < r.bounds.spatial.dims; ++i) {
+    const Interval ri = r.bounds.spatial.extent(i);
+    const Interval region =
+        pruning == SpatialPruning::kIntersectionContained
+            ? ri.Intersect(q.spatial.extent(i))
+            : ri;
+    if (region.empty()) return true;  // Spatially disjoint from Q.
+    if (!p.spatial.extent(i).Contains(region)) return false;
+  }
+  return true;
+}
+
+NonPredictiveDynamicQuery::NonPredictiveDynamicQuery(
+    RTree* tree, const NpdqOptions& options)
+    : tree_(tree), options_(options) {
+  DQMO_CHECK(tree != nullptr);
+}
+
+void NonPredictiveDynamicQuery::ResetHistory() {
+  prev_.reset();
+  prev_stamp_ = 0;
+}
+
+Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& q,
+                                        std::vector<MotionSegment>* out) {
+  DQMO_ASSIGN_OR_RETURN(Node node,
+                        tree_->LoadNode(pid, &stats_, options_.reader));
+  // A node stamped after the previous query ran may contain motions
+  // inserted since then; neither discardability nor the returned-by-P skip
+  // may use P beneath it (Sect. 4.2, Update Management).
+  const bool p_usable = prev_.has_value() && options_.use_previous &&
+                        node.stamp <= prev_stamp_;
+  if (node.is_leaf()) {
+    const bool exact = options_.leaf_semantics == LeafSemantics::kExact;
+    for (const MotionSegment& m : node.segments) {
+      ++stats_.distance_computations;
+      const bool in_q = exact
+                            ? m.seg.Intersects(q)
+                            : QuantizeOutward(m.Bounds()).Overlaps(q);
+      if (!in_q) continue;
+      if (p_usable) {
+        const bool in_p = exact
+                              ? m.seg.Intersects(*prev_)
+                              : QuantizeOutward(m.Bounds()).Overlaps(*prev_);
+        if (in_p) continue;  // Already retrieved by the previous snapshot.
+      }
+      out->push_back(m);
+      ++stats_.objects_returned;
+    }
+    return Status::OK();
+  }
+  for (const ChildEntry& e : node.children) {
+    ++stats_.distance_computations;
+    if (!e.bounds.Overlaps(q)) continue;
+    if (p_usable && Discardable(*prev_, q, e, options_.spatial_pruning)) {
+      ++stats_.nodes_discarded;
+      continue;
+    }
+    DQMO_RETURN_IF_ERROR(Visit(e.child, q, out));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<MotionSegment>> NonPredictiveDynamicQuery::Execute(
+    const StBox& q) {
+  if (q.spatial.dims != tree_->dims()) {
+    return Status::InvalidArgument("query dims mismatch");
+  }
+  if (q.empty()) return Status::InvalidArgument("empty query box");
+  if (prev_.has_value() && q.time.lo < prev_->time.lo) {
+    return Status::InvalidArgument(
+        "NPDQ snapshots must advance monotonically in time");
+  }
+  std::vector<MotionSegment> out;
+  DQMO_RETURN_IF_ERROR(Visit(tree_->root(), q, &out));
+  prev_ = q;
+  prev_stamp_ = tree_->stamp();
+  return out;
+}
+
+}  // namespace dqmo

@@ -1,0 +1,151 @@
+// Predictive Dynamic Query processing (Sect. 4.1 of the paper).
+//
+// A PDQ is associated with a known query trajectory (key snapshots). One
+// priority-queue traversal of the R-tree, ordered by the time each index
+// entry *enters* the moving query window, serves every frame of the dynamic
+// query incrementally: each node is read at most once for the whole query,
+// independent of the frame rate, and each object is returned exactly once,
+// together with the time set during which it stays in view (so the client
+// cache can evict it at its disappearance time).
+#ifndef DQMO_QUERY_PDQ_H_
+#define DQMO_QUERY_PDQ_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/trajectory.h"
+#include "motion/motion_segment.h"
+#include "rtree/rtree.h"
+#include "rtree/stats.h"
+
+namespace dqmo {
+
+/// One retrieved object plus the exact times it is inside the moving window.
+struct PdqResult {
+  MotionSegment motion;
+  TimeSet visible_times;
+};
+
+/// Priority-queue evaluator for predictive dynamic queries.
+///
+/// Not thread-safe; one instance per running dynamic query, exactly like
+/// the per-query priority queue of the paper.
+class PredictiveDynamicQuery : public UpdateListener {
+ public:
+  /// How the processor reacts when an insertion creates new index nodes
+  /// (Sect. 4.1, Update Management).
+  enum class UpdatePolicy {
+    /// Push the lowest-common-ancestor entry of the new nodes into the
+    /// queue; duplicates are eliminated when popped (the paper's default).
+    kLcaInsert,
+    /// Empty the queue and rebuild from the root (the paper's alternative
+    /// for splits near the root). Already-returned objects stay suppressed;
+    /// node re-reads are re-charged, which is the cost this policy trades.
+    kRebuild,
+  };
+
+  struct Options {
+    /// Page source for reads; nullptr uses the tree's backing file.
+    PageReader* reader = nullptr;
+    /// Subscribe to concurrent insertions. When false the query assumes a
+    /// static (historical) database, the common case in the paper.
+    bool track_updates = false;
+    UpdatePolicy update_policy = UpdatePolicy::kLcaInsert;
+    /// With kLcaInsert: if the reported subtree's level is >= this value,
+    /// fall back to a rebuild anyway ("if the lowest common ancestor ... is
+    /// close to the root, it is better to empty the priority queues").
+    /// Default never triggers.
+    int rebuild_level_threshold = 1 << 20;
+  };
+
+  /// Creates the processor. `tree` must outlive it. `trajectory` dims must
+  /// match the tree's.
+  static Result<std::unique_ptr<PredictiveDynamicQuery>> Make(
+      RTree* tree, QueryTrajectory trajectory, const Options& options);
+
+  /// Creates the processor with default options (static database reads).
+  static Result<std::unique_ptr<PredictiveDynamicQuery>> Make(
+      RTree* tree, QueryTrajectory trajectory);
+
+  ~PredictiveDynamicQuery() override;
+
+  PredictiveDynamicQuery(const PredictiveDynamicQuery&) = delete;
+  PredictiveDynamicQuery& operator=(const PredictiveDynamicQuery&) = delete;
+
+  /// The paper's getNext(t_start, t_end): returns the next object that is
+  /// inside the moving window at some instant of [t_start, t_end] and has
+  /// not been returned before, or nullopt when no (more) such object exists
+  /// yet. Frames must advance monotonically: t_start must be >= the
+  /// t_start of every previous call.
+  Result<std::optional<PdqResult>> GetNext(double t_start, double t_end);
+
+  /// Drains GetNext for one frame interval: all newly visible objects in
+  /// [t_start, t_end].
+  Result<std::vector<PdqResult>> Frame(double t_start, double t_end);
+
+  const QueryTrajectory& trajectory() const { return trajectory_; }
+  const QueryStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // UpdateListener interface (invoked by the tree when track_updates).
+  void OnObjectInserted(const MotionSegment& m) override;
+  void OnSubtreeCreated(const ChildEntry& subtree, int level) override;
+  void OnRootSplit(PageId new_root) override;
+
+ private:
+  PredictiveDynamicQuery(RTree* tree, QueryTrajectory trajectory,
+                         const Options& options);
+
+  struct Item {
+    double priority = 0.0;  // Earliest remaining time the item is in view.
+    bool is_object = false;
+    PageId page = kInvalidPageId;  // When !is_object.
+    MotionSegment motion;          // When is_object.
+    TimeSet times;
+
+    /// Identity for duplicate elimination at pop time.
+    bool SameIdentity(const Item& other) const {
+      if (is_object != other.is_object) return false;
+      if (is_object) return motion.key() == other.motion.key();
+      return page == other.page;
+    }
+  };
+
+  struct ItemCompare {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.priority > b.priority;  // Min-heap on priority.
+    }
+  };
+
+  void PushNodeItem(PageId page, TimeSet times, double not_before);
+  void PushObjectItem(const MotionSegment& m, TimeSet times,
+                      double not_before);
+  void RebuildFromRoot();
+  Status Explore(const Item& node_item, double t_start);
+
+  /// Pop-side duplicate elimination (footnote 2 of the paper): identities
+  /// popped at the current priority value.
+  bool IsDuplicate(const Item& item);
+
+  RTree* tree_;
+  QueryTrajectory trajectory_;
+  Options options_;
+  std::priority_queue<Item, std::vector<Item>, ItemCompare> queue_;
+  // Objects already returned; guards exactly-once delivery across update
+  // notifications and queue rebuilds.
+  std::unordered_set<MotionSegment::Key, MotionKeyHash> returned_;
+  std::vector<Item> dedup_window_;
+  double dedup_priority_ = -kInf;
+  double last_t_start_;
+  bool attached_ = false;
+  QueryStats stats_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_QUERY_PDQ_H_

@@ -1,0 +1,61 @@
+#include "rtree/layout.h"
+
+#include <cmath>
+
+namespace dqmo {
+namespace {
+
+// Wrong-code workaround: GCC 12.2 at -O2 performs dead-store elimination
+// that treats a double -> float -> double rounding store as redundant when
+// it overwrites bytes just copied from the unrounded source (whole-struct
+// copy followed by member overwrite), silently skipping the quantization.
+// Keeping the rounding behind a noinline call boundary forces it to
+// materialize. Covered by node_test's QuantizeStoredActuallyRounds.
+__attribute__((noinline)) double ForceFloatRounding(double v) {
+  return static_cast<double>(static_cast<float>(v));
+}
+
+}  // namespace
+
+__attribute__((noinline)) float FloatLowerBound(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) > v) {
+    f = std::nextafterf(f, -std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+__attribute__((noinline)) float FloatUpperBound(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) < v) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+Interval QuantizeOutward(const Interval& iv) {
+  if (iv.empty()) return iv;
+  return Interval(FloatLowerBound(iv.lo), FloatUpperBound(iv.hi));
+}
+
+StBox QuantizeOutward(const StBox& box) {
+  StBox out = box;
+  out.time = QuantizeOutward(box.time);
+  for (int i = 0; i < box.spatial.dims; ++i) {
+    out.spatial.extent(i) = QuantizeOutward(box.spatial.extent(i));
+  }
+  return out;
+}
+
+StSegment QuantizeStored(const StSegment& seg) {
+  StSegment out = seg;
+  out.time = Interval(ForceFloatRounding(seg.time.lo),
+                      ForceFloatRounding(seg.time.hi));
+  for (int i = 0; i < seg.dims(); ++i) {
+    out.p0[i] = ForceFloatRounding(seg.p0[i]);
+    out.p1[i] = ForceFloatRounding(seg.p1[i]);
+  }
+  return out;
+}
+
+}  // namespace dqmo

@@ -1,0 +1,177 @@
+#include "rtree/node.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+
+StBox Node::ComputeBounds() const { return ComputeEntry().bounds; }
+
+ChildEntry Node::ComputeEntry() const {
+  ChildEntry entry;
+  entry.child = self;
+  if (is_leaf()) {
+    for (const MotionSegment& m : segments) {
+      ChildEntry e = ChildEntry::ForBox(QuantizeOutward(m.Bounds()), self);
+      entry.CoverWith(e);
+    }
+  } else {
+    for (const ChildEntry& e : children) entry.CoverWith(e);
+  }
+  if (entry.bounds.empty()) {
+    // Normalize the empty node's bounds to an empty box of the right dims.
+    entry.bounds.spatial = Box(dims);
+  }
+  return entry;
+}
+
+Status Node::SerializeTo(PageView page) const {
+  if (count() > capacity()) {
+    return Status::Internal(
+        StrFormat("node %u overflows page: %d > %d", self, count(),
+                  capacity()));
+  }
+  std::memset(page.data(), 0, page.size());
+  NodeHeader header{};
+  header.level = level;
+  header.count = static_cast<uint16_t>(count());
+  header.dims = static_cast<uint16_t>(dims);
+  header.reserved = 0;
+  header.stamp = stamp;
+  header.unused = 0;
+  page.Write(0, header);
+
+  size_t off = kNodeHeaderSize;
+  if (is_leaf()) {
+    const size_t entry_size = LeafEntrySize(dims);
+    for (const MotionSegment& m : segments) {
+      size_t p = off;
+      page.Write<uint32_t>(p, m.oid);
+      p += sizeof(uint32_t);
+      page.Write<float>(p, static_cast<float>(m.seg.time.lo));
+      p += sizeof(float);
+      page.Write<float>(p, static_cast<float>(m.seg.time.hi));
+      p += sizeof(float);
+      for (int i = 0; i < dims; ++i) {
+        page.Write<float>(p, static_cast<float>(m.seg.p0[i]));
+        p += sizeof(float);
+      }
+      for (int i = 0; i < dims; ++i) {
+        page.Write<float>(p, static_cast<float>(m.seg.p1[i]));
+        p += sizeof(float);
+      }
+      off += entry_size;
+    }
+  } else {
+    const size_t entry_size = InternalEntrySize(dims);
+    for (const ChildEntry& e : children) {
+      size_t p = off;
+      page.Write<float>(p, FloatLowerBound(e.start_times.lo));
+      p += sizeof(float);
+      page.Write<float>(p, FloatUpperBound(e.start_times.hi));
+      p += sizeof(float);
+      page.Write<float>(p, FloatLowerBound(e.end_times.lo));
+      p += sizeof(float);
+      page.Write<float>(p, FloatUpperBound(e.end_times.hi));
+      p += sizeof(float);
+      for (int i = 0; i < dims; ++i) {
+        page.Write<float>(p, FloatLowerBound(e.bounds.spatial.extent(i).lo));
+        p += sizeof(float);
+        page.Write<float>(p, FloatUpperBound(e.bounds.spatial.extent(i).hi));
+        p += sizeof(float);
+      }
+      page.Write<PageId>(p, e.child);
+      off += entry_size;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Node> Node::DeserializeFrom(const uint8_t* data, PageId self) {
+  PageView page(const_cast<uint8_t*>(data), kPageSize);
+  const NodeHeader header = page.Read<NodeHeader>(0);
+  if (header.dims < 1 || header.dims > kMaxSpatialDims) {
+    return Status::Corruption(
+        StrFormat("page %u: bad dims %u", self, header.dims));
+  }
+  Node node;
+  node.self = self;
+  node.level = header.level;
+  node.dims = header.dims;
+  node.stamp = header.stamp;
+  const int dims = node.dims;
+  const int count = header.count;
+  const int cap = node.capacity();
+  if (count > cap) {
+    return Status::Corruption(
+        StrFormat("page %u: count %d exceeds capacity %d", self, count, cap));
+  }
+
+  size_t off = kNodeHeaderSize;
+  if (node.is_leaf()) {
+    const size_t entry_size = LeafEntrySize(dims);
+    node.segments.reserve(static_cast<size_t>(count));
+    for (int k = 0; k < count; ++k) {
+      size_t p = off;
+      MotionSegment m;
+      m.oid = page.Read<uint32_t>(p);
+      p += sizeof(uint32_t);
+      const float tl = page.Read<float>(p);
+      p += sizeof(float);
+      const float th = page.Read<float>(p);
+      p += sizeof(float);
+      m.seg.time = Interval(tl, th);
+      m.seg.p0 = Vec(dims);
+      m.seg.p1 = Vec(dims);
+      for (int i = 0; i < dims; ++i) {
+        m.seg.p0[i] = page.Read<float>(p);
+        p += sizeof(float);
+      }
+      for (int i = 0; i < dims; ++i) {
+        m.seg.p1[i] = page.Read<float>(p);
+        p += sizeof(float);
+      }
+      node.segments.push_back(std::move(m));
+      off += entry_size;
+    }
+  } else {
+    const size_t entry_size = InternalEntrySize(dims);
+    node.children.reserve(static_cast<size_t>(count));
+    for (int k = 0; k < count; ++k) {
+      size_t p = off;
+      ChildEntry e;
+      const float ts_lo = page.Read<float>(p);
+      p += sizeof(float);
+      const float ts_hi = page.Read<float>(p);
+      p += sizeof(float);
+      const float te_lo = page.Read<float>(p);
+      p += sizeof(float);
+      const float te_hi = page.Read<float>(p);
+      p += sizeof(float);
+      e.start_times = Interval(ts_lo, ts_hi);
+      e.end_times = Interval(te_lo, te_hi);
+      e.bounds.time = Interval(ts_lo, te_hi);
+      e.bounds.spatial = Box(dims);
+      for (int i = 0; i < dims; ++i) {
+        const float lo = page.Read<float>(p);
+        p += sizeof(float);
+        const float hi = page.Read<float>(p);
+        p += sizeof(float);
+        e.bounds.spatial.extent(i) = Interval(lo, hi);
+      }
+      e.child = page.Read<PageId>(p);
+      node.children.push_back(std::move(e));
+      off += entry_size;
+    }
+  }
+  return node;
+}
+
+std::string Node::ToString() const {
+  return StrFormat("node{page=%u, level=%u, count=%d, stamp=%llu}", self,
+                   level, count(), static_cast<unsigned long long>(stamp));
+}
+
+}  // namespace dqmo

@@ -1,0 +1,94 @@
+// In-memory R-tree node and its page (de)serialization.
+#ifndef DQMO_RTREE_NODE_H_
+#define DQMO_RTREE_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "geom/box.h"
+#include "motion/motion_segment.h"
+#include "rtree/layout.h"
+#include "storage/page.h"
+
+namespace dqmo {
+
+/// Entry of an internal node: a child pointer, the space-time bounding
+/// rectangle of everything beneath it, and the double-temporal-axes extents
+/// (range of motion start-times and of motion end-times in the subtree)
+/// that power NPDQ discardability (Sect. 4.2, Fig. 5(b)).
+///
+/// Invariants: bounds.time.lo == start_times.lo and
+/// bounds.time.hi == end_times.hi.
+struct ChildEntry {
+  StBox bounds;
+  Interval start_times;
+  Interval end_times;
+  PageId child = kInvalidPageId;
+
+  ChildEntry() = default;
+
+  ChildEntry(StBox b, Interval ts, Interval te, PageId c)
+      : bounds(std::move(b)), start_times(ts), end_times(te), child(c) {}
+
+  /// Entry whose subtree is a single motion segment: degenerate start/end
+  /// time extents.
+  static ChildEntry ForBox(StBox b, PageId c) {
+    ChildEntry e;
+    e.start_times = Interval::Point(b.time.lo);
+    e.end_times = Interval::Point(b.time.hi);
+    e.bounds = std::move(b);
+    e.child = c;
+    return e;
+  }
+
+  /// Merges another entry's geometry into this one (coverage).
+  void CoverWith(const ChildEntry& other) {
+    bounds = bounds.Cover(other.bounds);
+    start_times = start_times.Cover(other.start_times);
+    end_times = end_times.Cover(other.end_times);
+  }
+};
+
+/// One R-tree node. Leaves (level 0) hold exact motion segments (the NSI
+/// leaf optimization of Sect. 3.2); internal nodes hold ChildEntry records.
+struct Node {
+  PageId self = kInvalidPageId;
+  uint16_t level = 0;
+  int dims = 2;
+  UpdateStamp stamp = 0;  // Bumped on every mutation along an insert path.
+  std::vector<ChildEntry> children;    // level > 0
+  std::vector<MotionSegment> segments;  // level == 0
+
+  bool is_leaf() const { return level == 0; }
+
+  int count() const {
+    return static_cast<int>(is_leaf() ? segments.size() : children.size());
+  }
+
+  /// Maximum entries this node may hold.
+  int capacity() const {
+    return is_leaf() ? LeafCapacity(dims) : InternalCapacity(dims);
+  }
+
+  /// Tight space-time bounding rectangle over all entries.
+  StBox ComputeBounds() const;
+
+  /// The full parent entry for this node: tight bounds plus start/end-time
+  /// extents, pointing at `self`.
+  ChildEntry ComputeEntry() const;
+
+  /// Serializes into a kPageSize page. Fails if count exceeds capacity.
+  Status SerializeTo(PageView page) const;
+
+  /// Deserializes a node from page bytes. `self` is taken from the caller
+  /// (pages do not store their own id).
+  static Result<Node> DeserializeFrom(const uint8_t* data, PageId self);
+
+  std::string ToString() const;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_RTREE_NODE_H_

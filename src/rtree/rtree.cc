@@ -1,0 +1,617 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "rtree/split.h"
+
+namespace dqmo {
+namespace {
+
+constexpr uint64_t kTreeMagic = 0x4451'4d4f'5254'5231ULL;  // "DQMORTR1"
+constexpr uint32_t kTreeVersion = 2;
+
+struct MetaPage {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t dims;
+  PageId root;
+  uint32_t height;
+  uint64_t num_segments;
+  uint64_t num_nodes;
+  uint64_t stamp;
+  double fill_factor;
+  double max_speed;
+  uint32_t split_policy;
+  uint32_t reserved;
+};
+
+}  // namespace
+
+std::string QueryStats::ToString() const {
+  return StrFormat(
+      "stats{reads=%llu (leaf %llu), dist=%llu, results=%llu, "
+      "pushes=%llu, pops=%llu, dups=%llu, discarded=%llu}",
+      static_cast<unsigned long long>(node_reads),
+      static_cast<unsigned long long>(leaf_reads),
+      static_cast<unsigned long long>(distance_computations),
+      static_cast<unsigned long long>(objects_returned),
+      static_cast<unsigned long long>(queue_pushes),
+      static_cast<unsigned long long>(queue_pops),
+      static_cast<unsigned long long>(duplicates_skipped),
+      static_cast<unsigned long long>(nodes_discarded));
+}
+
+Result<std::unique_ptr<RTree>> RTree::Create(PageFile* file,
+                                             const Options& options) {
+  if (file == nullptr) return Status::InvalidArgument("null page file");
+  if (file->num_pages() != 0) {
+    return Status::FailedPrecondition("Create requires an empty page file");
+  }
+  if (options.dims < 1 || options.dims > kMaxSpatialDims) {
+    return Status::InvalidArgument(
+        StrFormat("spatial dims %d out of range", options.dims));
+  }
+  if (options.fill_factor <= 0.0 || options.fill_factor > 0.5) {
+    return Status::InvalidArgument(
+        "fill factor must be in (0, 0.5] (minimum fill on split)");
+  }
+  auto tree = std::unique_ptr<RTree>(new RTree(file, options));
+  tree->meta_page_ = file->Allocate();
+  DQMO_CHECK(tree->meta_page_ == 0);
+  // Empty root leaf.
+  tree->root_ = file->Allocate();
+  Node root;
+  root.self = tree->root_;
+  root.level = 0;
+  root.dims = options.dims;
+  root.stamp = 0;
+  DQMO_RETURN_IF_ERROR(tree->StoreNode(&root));
+  tree->height_ = 1;
+  tree->num_nodes_ = 1;
+  DQMO_RETURN_IF_ERROR(tree->WriteMeta());
+  return tree;
+}
+
+Result<std::unique_ptr<RTree>> RTree::Open(PageFile* file) {
+  if (file == nullptr) return Status::InvalidArgument("null page file");
+  if (file->num_pages() == 0) {
+    return Status::FailedPrecondition("page file is empty");
+  }
+  DQMO_ASSIGN_OR_RETURN(auto read, file->Read(0));
+  MetaPage meta;
+  std::memcpy(&meta, read.data, sizeof(meta));
+  if (meta.magic != kTreeMagic) {
+    return Status::Corruption("page 0 is not a DQMO R-tree meta page");
+  }
+  if (meta.version != kTreeVersion) {
+    return Status::NotSupported(
+        StrFormat("tree version %u unsupported", meta.version));
+  }
+  Options options;
+  options.dims = static_cast<int>(meta.dims);
+  options.fill_factor = meta.fill_factor;
+  options.split_policy = static_cast<SplitPolicy>(meta.split_policy);
+  auto tree = std::unique_ptr<RTree>(new RTree(file, options));
+  tree->root_ = meta.root;
+  tree->height_ = static_cast<int>(meta.height);
+  tree->num_segments_ = meta.num_segments;
+  tree->num_nodes_ = meta.num_nodes;
+  tree->stamp_ = meta.stamp;
+  tree->max_speed_ = meta.max_speed;
+  return tree;
+}
+
+Status RTree::WriteMeta() {
+  DQMO_ASSIGN_OR_RETURN(auto view, file_->WritableView(meta_page_));
+  std::memset(view.data(), 0, view.size());
+  MetaPage meta{};
+  meta.magic = kTreeMagic;
+  meta.version = kTreeVersion;
+  meta.dims = static_cast<uint32_t>(options_.dims);
+  meta.root = root_;
+  meta.height = static_cast<uint32_t>(height_);
+  meta.num_segments = num_segments_;
+  meta.num_nodes = num_nodes_;
+  meta.stamp = stamp_;
+  meta.fill_factor = options_.fill_factor;
+  meta.max_speed = max_speed_;
+  meta.split_policy = static_cast<uint32_t>(options_.split_policy);
+  meta.reserved = 0;
+  view.Write(0, meta);
+  return Status::OK();
+}
+
+Status RTree::Flush() { return WriteMeta(); }
+
+Result<Node> RTree::LoadForWrite(PageId pid) const {
+  DQMO_ASSIGN_OR_RETURN(auto read, file_->Read(pid));
+  return Node::DeserializeFrom(read.data, pid);
+}
+
+Status RTree::StoreNode(Node* node) const {
+  DQMO_ASSIGN_OR_RETURN(auto view, file_->WritableView(node->self));
+  return node->SerializeTo(view);
+}
+
+Result<Node> RTree::LoadNode(PageId id, QueryStats* stats,
+                             PageReader* reader) const {
+  PageReader* src = reader != nullptr ? reader : file_;
+  DQMO_ASSIGN_OR_RETURN(auto read, src->Read(id));
+  DQMO_ASSIGN_OR_RETURN(Node node, Node::DeserializeFrom(read.data, id));
+  if (stats != nullptr && read.physical) {
+    ++stats->node_reads;
+    if (node.is_leaf()) ++stats->leaf_reads;
+  }
+  return node;
+}
+
+Result<StBox> RTree::RootBounds() const {
+  DQMO_ASSIGN_OR_RETURN(Node root, LoadNode(root_, nullptr));
+  return root.ComputeBounds();
+}
+
+void RTree::AddListener(UpdateListener* listener) {
+  DQMO_CHECK(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void RTree::RemoveListener(UpdateListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+PageId RTree::AllocatePage() {
+  if (!free_pages_.empty()) {
+    const PageId id = free_pages_.back();
+    free_pages_.pop_back();
+    return id;
+  }
+  return file_->Allocate();
+}
+
+void RTree::FreePage(PageId id) { free_pages_.push_back(id); }
+
+int RTree::MinFill(bool leaf) const {
+  const int capacity = leaf ? leaf_capacity() : internal_capacity();
+  return std::max(1, static_cast<int>(capacity * options_.fill_factor));
+}
+
+Result<ChildEntry> RTree::SplitNode(Node* node, int forced_index) {
+  std::vector<StBox> boxes;
+  const int n = node->count();
+  boxes.reserve(static_cast<size_t>(n));
+  if (node->is_leaf()) {
+    for (const MotionSegment& m : node->segments) {
+      boxes.push_back(QuantizeOutward(m.Bounds()));
+    }
+  } else {
+    for (const ChildEntry& e : node->children) boxes.push_back(e.bounds);
+  }
+  const int min_fill = std::max(
+      1, static_cast<int>(node->capacity() * options_.fill_factor));
+  const SplitPlan plan =
+      SplitEntries(options_.split_policy, boxes, min_fill, forced_index);
+
+  Node sibling;
+  sibling.self = AllocatePage();
+  sibling.level = node->level;
+  sibling.dims = node->dims;
+  sibling.stamp = stamp_;
+  ++num_nodes_;
+
+  Node kept;
+  kept.self = node->self;
+  kept.level = node->level;
+  kept.dims = node->dims;
+  kept.stamp = stamp_;
+  if (node->is_leaf()) {
+    for (int idx : plan.keep) {
+      kept.segments.push_back(node->segments[static_cast<size_t>(idx)]);
+    }
+    for (int idx : plan.move) {
+      sibling.segments.push_back(node->segments[static_cast<size_t>(idx)]);
+    }
+  } else {
+    for (int idx : plan.keep) {
+      kept.children.push_back(node->children[static_cast<size_t>(idx)]);
+    }
+    for (int idx : plan.move) {
+      sibling.children.push_back(node->children[static_cast<size_t>(idx)]);
+    }
+  }
+  *node = std::move(kept);
+  DQMO_RETURN_IF_ERROR(StoreNode(node));
+  DQMO_RETURN_IF_ERROR(StoreNode(&sibling));
+
+  ChildEntry entry = sibling.ComputeEntry();
+  // Record the topmost new node: splits unwind bottom-up, so the last call
+  // during one Insert holds the highest new node, which (by same-path
+  // forcing) covers every earlier one plus the inserted segment.
+  pending_.any_split = true;
+  pending_.topmost = entry;
+  pending_.topmost_level = sibling.level;
+  return entry;
+}
+
+Result<RTree::InsertOutcome> RTree::InsertInto(PageId pid, int node_level,
+                                               const MotionSegment& m) {
+  DQMO_ASSIGN_OR_RETURN(Node node, LoadForWrite(pid));
+  DQMO_CHECK(node.level == node_level);
+  node.stamp = stamp_;  // NPDQ update management: stamp the insertion path.
+  const StBox mbounds = QuantizeOutward(m.Bounds());
+
+  if (node.is_leaf()) {
+    node.segments.push_back(m);
+    if (node.count() <= node.capacity()) {
+      DQMO_RETURN_IF_ERROR(StoreNode(&node));
+      return InsertOutcome{node.ComputeEntry(), std::nullopt};
+    }
+    DQMO_ASSIGN_OR_RETURN(
+        ChildEntry sibling, SplitNode(&node, node.count() - 1));
+    return InsertOutcome{node.ComputeEntry(), sibling};
+  }
+
+  // ChooseSubtree: least enlargement, ties by smaller measure.
+  int best = -1;
+  double best_enl = kInf;
+  double best_measure = kInf;
+  for (int i = 0; i < node.count(); ++i) {
+    const StBox& b = node.children[static_cast<size_t>(i)].bounds;
+    const double enl = Enlargement(b, mbounds);
+    const double measure = SplitMeasure(b);
+    if (enl < best_enl || (enl == best_enl && measure < best_measure)) {
+      best = i;
+      best_enl = enl;
+      best_measure = measure;
+    }
+  }
+  DQMO_CHECK(best >= 0);
+
+  ChildEntry& slot = node.children[static_cast<size_t>(best)];
+  const PageId chosen_child = slot.child;
+  DQMO_ASSIGN_OR_RETURN(InsertOutcome child_outcome,
+                        InsertInto(chosen_child, node_level - 1, m));
+  slot = child_outcome.updated_entry;
+  slot.child = chosen_child;
+
+  if (child_outcome.new_sibling.has_value()) {
+    node.children.push_back(*child_outcome.new_sibling);
+    if (node.count() > node.capacity()) {
+      DQMO_ASSIGN_OR_RETURN(
+          ChildEntry sibling, SplitNode(&node, node.count() - 1));
+      return InsertOutcome{node.ComputeEntry(), sibling};
+    }
+  }
+  DQMO_RETURN_IF_ERROR(StoreNode(&node));
+  return InsertOutcome{node.ComputeEntry(), std::nullopt};
+}
+
+Status RTree::Insert(const MotionSegment& m) {
+  if (m.seg.dims() != options_.dims) {
+    return Status::InvalidArgument(
+        StrFormat("segment dims %d != tree dims %d", m.seg.dims(),
+                  options_.dims));
+  }
+  if (m.seg.time.empty()) {
+    return Status::InvalidArgument("motion segment has empty valid time");
+  }
+  MotionSegment stored = m;
+  stored.seg = QuantizeStored(m.seg);
+  max_speed_ = std::max(max_speed_, stored.seg.Speed());
+
+  ++stamp_;
+  pending_ = PendingNotice{};
+  DQMO_ASSIGN_OR_RETURN(InsertOutcome outcome,
+                        InsertInto(root_, height_ - 1, stored));
+  if (outcome.new_sibling.has_value()) {
+    // Root split: grow the tree by one level.
+    Node new_root;
+    new_root.self = AllocatePage();
+    new_root.level = static_cast<uint16_t>(height_);
+    new_root.dims = options_.dims;
+    new_root.stamp = stamp_;
+    ChildEntry old_root_entry = outcome.updated_entry;
+    old_root_entry.child = root_;
+    new_root.children.push_back(old_root_entry);
+    new_root.children.push_back(*outcome.new_sibling);
+    DQMO_RETURN_IF_ERROR(StoreNode(&new_root));
+    root_ = new_root.self;
+    ++height_;
+    ++num_nodes_;
+    pending_.root_split = true;
+  }
+  ++num_segments_;
+
+  // Fire exactly one notification, mirroring Sect. 4.1's update protocol.
+  for (UpdateListener* l : listeners_) {
+    if (pending_.root_split) {
+      l->OnRootSplit(root_);
+    } else if (pending_.any_split) {
+      l->OnSubtreeCreated(pending_.topmost, pending_.topmost_level);
+    } else {
+      l->OnObjectInserted(stored);
+    }
+  }
+  return Status::OK();
+}
+
+Status RTree::DissolveSubtree(PageId pid,
+                              std::vector<MotionSegment>* orphans) {
+  DQMO_ASSIGN_OR_RETURN(Node node, LoadForWrite(pid));
+  if (node.is_leaf()) {
+    orphans->insert(orphans->end(), node.segments.begin(),
+                    node.segments.end());
+  } else {
+    for (const ChildEntry& e : node.children) {
+      DQMO_RETURN_IF_ERROR(DissolveSubtree(e.child, orphans));
+    }
+  }
+  FreePage(pid);
+  --num_nodes_;
+  return Status::OK();
+}
+
+Result<RTree::RemoveOutcome> RTree::RemoveFrom(
+    PageId pid, int node_level, const MotionSegment::Key& key,
+    const StBox& guide, std::vector<MotionSegment>* orphans) {
+  DQMO_ASSIGN_OR_RETURN(Node node, LoadForWrite(pid));
+  DQMO_CHECK(node.level == node_level);
+  const bool is_root = pid == root_;
+
+  RemoveOutcome outcome;
+  if (node.is_leaf()) {
+    auto it = std::find_if(
+        node.segments.begin(), node.segments.end(),
+        [&](const MotionSegment& m) { return m.key() == key; });
+    if (it == node.segments.end()) return outcome;  // Not here.
+    node.segments.erase(it);
+    outcome.removed = true;
+    node.stamp = stamp_;
+    if (!is_root && node.count() < MinFill(/*leaf=*/true)) {
+      orphans->insert(orphans->end(), node.segments.begin(),
+                      node.segments.end());
+      FreePage(pid);
+      --num_nodes_;
+      outcome.node_dissolved = true;
+      return outcome;
+    }
+    DQMO_RETURN_IF_ERROR(StoreNode(&node));
+    outcome.updated_entry = node.ComputeEntry();
+    return outcome;
+  }
+
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (!node.children[i].bounds.Overlaps(guide)) continue;
+    DQMO_ASSIGN_OR_RETURN(
+        RemoveOutcome child_outcome,
+        RemoveFrom(node.children[i].child, node_level - 1, key, guide,
+                   orphans));
+    if (!child_outcome.removed) continue;
+    outcome.removed = true;
+    node.stamp = stamp_;
+    if (child_outcome.node_dissolved) {
+      node.children.erase(node.children.begin() +
+                          static_cast<ptrdiff_t>(i));
+    } else {
+      const PageId child_id = node.children[i].child;
+      node.children[i] = child_outcome.updated_entry;
+      node.children[i].child = child_id;
+    }
+    if (!is_root && node.count() < MinFill(/*leaf=*/false)) {
+      // Condense: dissolve this whole node; survivors get reinserted.
+      for (const ChildEntry& e : node.children) {
+        DQMO_RETURN_IF_ERROR(DissolveSubtree(e.child, orphans));
+      }
+      FreePage(pid);
+      --num_nodes_;
+      outcome.node_dissolved = true;
+      return outcome;
+    }
+    DQMO_RETURN_IF_ERROR(StoreNode(&node));
+    outcome.updated_entry = node.ComputeEntry();
+    return outcome;
+  }
+  return outcome;  // Not found along any overlapping branch.
+}
+
+Status RTree::Remove(const MotionSegment& m) {
+  if (m.seg.dims() != options_.dims) {
+    return Status::InvalidArgument("segment dims mismatch");
+  }
+  MotionSegment stored = m;
+  stored.seg = QuantizeStored(m.seg);
+  const StBox guide = QuantizeOutward(stored.Bounds());
+
+  ++stamp_;
+  std::vector<MotionSegment> orphans;
+  DQMO_ASSIGN_OR_RETURN(
+      RemoveOutcome outcome,
+      RemoveFrom(root_, height_ - 1, stored.key(), guide, &orphans));
+  if (!outcome.removed) {
+    return Status::NotFound(
+        StrFormat("no motion segment with oid %u starting at %g", m.oid,
+                  m.seg.time.lo));
+  }
+  --num_segments_;
+
+  // Collapse a degenerate root chain: an internal root with one child.
+  for (;;) {
+    QueryStats scratch;
+    DQMO_ASSIGN_OR_RETURN(Node root, LoadNode(root_, &scratch));
+    if (root.is_leaf() || root.count() != 1) break;
+    const PageId only_child = root.children.front().child;
+    FreePage(root_);
+    --num_nodes_;
+    root_ = only_child;
+    --height_;
+  }
+
+  // Reinsert survivors of condensed nodes. Insert() counts and stamps, so
+  // pre-deduct them from the segment count.
+  num_segments_ -= orphans.size();
+  for (const MotionSegment& orphan : orphans) {
+    DQMO_RETURN_IF_ERROR(Insert(orphan));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Shared DFS for the two range-search variants.
+struct RangeSearchDriver {
+  const RTree* tree;
+  const StBox* query;
+  QueryStats* stats;
+  PageReader* reader;
+  bool exact_leaf_test;
+  std::vector<MotionSegment>* out;
+
+  Status Visit(PageId pid) {
+    DQMO_ASSIGN_OR_RETURN(Node node, tree->LoadNode(pid, stats, reader));
+    if (node.is_leaf()) {
+      for (const MotionSegment& m : node.segments) {
+        ++stats->distance_computations;
+        const bool hit = exact_leaf_test
+                             ? m.seg.Intersects(*query)
+                             : QuantizeOutward(m.Bounds()).Overlaps(*query);
+        if (hit) {
+          out->push_back(m);
+          ++stats->objects_returned;
+        }
+      }
+      return Status::OK();
+    }
+    for (const ChildEntry& e : node.children) {
+      ++stats->distance_computations;
+      if (e.bounds.Overlaps(*query)) {
+        DQMO_RETURN_IF_ERROR(Visit(e.child));
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<std::vector<MotionSegment>> RTree::RangeSearch(
+    const StBox& q, QueryStats* stats, PageReader* reader) const {
+  if (q.spatial.dims != options_.dims) {
+    return Status::InvalidArgument("query dims mismatch");
+  }
+  DQMO_CHECK(stats != nullptr);
+  std::vector<MotionSegment> out;
+  if (q.empty()) return out;
+  RangeSearchDriver driver{this, &q, stats, reader, /*exact_leaf_test=*/true,
+                           &out};
+  DQMO_RETURN_IF_ERROR(driver.Visit(root_));
+  return out;
+}
+
+Result<std::vector<MotionSegment>> RTree::RangeSearchBbOnly(
+    const StBox& q, QueryStats* stats, PageReader* reader) const {
+  if (q.spatial.dims != options_.dims) {
+    return Status::InvalidArgument("query dims mismatch");
+  }
+  DQMO_CHECK(stats != nullptr);
+  std::vector<MotionSegment> out;
+  if (q.empty()) return out;
+  RangeSearchDriver driver{this, &q, stats, reader, /*exact_leaf_test=*/false,
+                           &out};
+  DQMO_RETURN_IF_ERROR(driver.Visit(root_));
+  return out;
+}
+
+namespace {
+
+Status CheckSubtree(const RTree& tree, PageId pid, int expected_level,
+                    const ChildEntry* parent_entry, int min_fill_internal,
+                    int min_fill_leaf, bool is_root, UpdateStamp tree_stamp,
+                    bool check_min_fill, uint64_t* segment_count,
+                    size_t* node_count) {
+  QueryStats scratch;
+  DQMO_ASSIGN_OR_RETURN(Node node, tree.LoadNode(pid, &scratch));
+  ++*node_count;
+  if (node.level != expected_level) {
+    return Status::Corruption(
+        StrFormat("node %u: level %u, expected %d", pid, node.level,
+                  expected_level));
+  }
+  if (node.stamp > tree_stamp) {
+    return Status::Corruption(
+        StrFormat("node %u: stamp %llu newer than tree stamp %llu", pid,
+                  static_cast<unsigned long long>(node.stamp),
+                  static_cast<unsigned long long>(tree_stamp)));
+  }
+  const ChildEntry tight = node.ComputeEntry();
+  if (parent_entry != nullptr) {
+    if (!parent_entry->bounds.Contains(tight.bounds) ||
+        !parent_entry->start_times.Contains(tight.start_times) ||
+        !parent_entry->end_times.Contains(tight.end_times)) {
+      return Status::Corruption(
+          StrFormat("node %u: geometry not contained in parent entry", pid));
+    }
+  }
+  if (!node.is_leaf()) {
+    for (const ChildEntry& e : node.children) {
+      if (e.bounds.time.lo != e.start_times.lo ||
+          e.bounds.time.hi != e.end_times.hi) {
+        return Status::Corruption(StrFormat(
+            "node %u: combined time interval inconsistent with start/end "
+            "extents",
+            pid));
+      }
+    }
+  }
+  const int min_fill = node.is_leaf() ? min_fill_leaf : min_fill_internal;
+  if (check_min_fill && !is_root && node.count() < min_fill) {
+    return Status::Corruption(
+        StrFormat("node %u: underfull (%d < %d)", pid, node.count(),
+                  min_fill));
+  }
+  if (is_root && !node.is_leaf() && node.count() < 2) {
+    return Status::Corruption("internal root has fewer than 2 children");
+  }
+  if (node.is_leaf()) {
+    *segment_count += static_cast<uint64_t>(node.count());
+    return Status::OK();
+  }
+  for (const ChildEntry& e : node.children) {
+    DQMO_RETURN_IF_ERROR(
+        CheckSubtree(tree, e.child, expected_level - 1, &e,
+                     min_fill_internal, min_fill_leaf, /*is_root=*/false,
+                     tree_stamp, check_min_fill, segment_count, node_count));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RTree::CheckInvariants(bool check_min_fill) const {
+  uint64_t segment_count = 0;
+  size_t node_count = 0;
+  const int min_internal = std::max(
+      1, static_cast<int>(internal_capacity() * options_.fill_factor));
+  const int min_leaf =
+      std::max(1, static_cast<int>(leaf_capacity() * options_.fill_factor));
+  DQMO_RETURN_IF_ERROR(CheckSubtree(
+      *this, root_, height_ - 1, nullptr, min_internal, min_leaf,
+      /*is_root=*/true, stamp_, check_min_fill, &segment_count, &node_count));
+  if (segment_count != num_segments_) {
+    return Status::Corruption(
+        StrFormat("segment count mismatch: tree says %llu, scan found %llu",
+                  static_cast<unsigned long long>(num_segments_),
+                  static_cast<unsigned long long>(segment_count)));
+  }
+  if (node_count != num_nodes_) {
+    return Status::Corruption(
+        StrFormat("node count mismatch: tree says %zu, scan found %zu",
+                  num_nodes_, node_count));
+  }
+  return Status::OK();
+}
+
+}  // namespace dqmo

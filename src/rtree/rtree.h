@@ -1,0 +1,211 @@
+// The NSI R-tree (Sect. 3.2): a paged Guttman R-tree over space-time whose
+// leaves store exact motion segments, with the update-management hooks the
+// dynamic-query algorithms of Sect. 4 rely on.
+#ifndef DQMO_RTREE_RTREE_H_
+#define DQMO_RTREE_RTREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "geom/box.h"
+#include "motion/motion_segment.h"
+#include "rtree/node.h"
+#include "rtree/split.h"
+#include "rtree/stats.h"
+#include "storage/page_file.h"
+
+namespace dqmo {
+
+/// Receives notifications about concurrent index mutations so that running
+/// dynamic queries stay complete (Sect. 4.1 "Update Management").
+class UpdateListener {
+ public:
+  virtual ~UpdateListener() = default;
+
+  /// A new motion segment was inserted without creating any new node.
+  virtual void OnObjectInserted(const MotionSegment& m) = 0;
+
+  /// An insertion caused one or more splits; `subtree` is the entry of the
+  /// topmost newly created node (the single entry covering every new node
+  /// and the inserted data, thanks to same-path splitting). `level` is that
+  /// node's level (0 = leaf).
+  virtual void OnSubtreeCreated(const ChildEntry& subtree, int level) = 0;
+
+  /// The root itself split; the tree grew by one level. Queries should
+  /// rebuild their state from the new root.
+  virtual void OnRootSplit(PageId new_root) = 0;
+};
+
+/// Paged R-tree over (space x time) storing motion segments.
+///
+/// Page 0 of the backing PageFile holds tree metadata; every other page is
+/// one node. All reads go through a PageReader (the PageFile itself, or a
+/// BufferPool), and every physical node read is charged to the QueryStats
+/// passed by the caller — the paper's disk-access metric.
+class RTree {
+ public:
+  struct Options {
+    int dims = 2;              // Spatial dimensionality.
+    double fill_factor = 0.5;  // Minimum node fill on split (paper: 0.5).
+    /// Node split algorithm; the paper's experiments use Guttman's
+    /// quadratic split, the R*-style split is the bench/abl_split_policy
+    /// alternative.
+    SplitPolicy split_policy = SplitPolicy::kQuadratic;
+  };
+
+  /// Creates a fresh tree (meta page + empty root leaf) in `file`, which
+  /// must be empty. The tree does not own the file.
+  static Result<std::unique_ptr<RTree>> Create(PageFile* file,
+                                               const Options& options);
+
+  /// Opens a tree previously persisted in `file` (via Flush + SaveTo).
+  static Result<std::unique_ptr<RTree>> Open(PageFile* file);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  int dims() const { return options_.dims; }
+  PageId root() const { return root_; }
+  /// Number of levels; 1 = the root is a leaf. (The paper's setup yields
+  /// height 3 over ~0.5M segments.)
+  int height() const { return height_; }
+  uint64_t num_segments() const { return num_segments_; }
+  size_t num_nodes() const { return num_nodes_; }
+  /// Current update timestamp (bumped once per Insert).
+  UpdateStamp stamp() const { return stamp_; }
+  double fill_factor() const { return options_.fill_factor; }
+  /// Maximum speed (length units / time unit) over all stored motion
+  /// segments; used by the moving-kNN fence (query/knn.h).
+  double max_speed() const { return max_speed_; }
+
+  /// Inserts one motion segment. The stored form is float32-quantized (see
+  /// rtree/layout.h); use QuantizeStored() to predict the stored geometry.
+  /// Fires exactly one UpdateListener notification per call.
+  Status Insert(const MotionSegment& m);
+
+  /// Removes the motion segment identified by `m`'s key (object id + start
+  /// time); `m`'s geometry guides the descent, so pass the stored segment
+  /// (e.g. a query result, or the original update — geometry is quantized
+  /// internally). Underfull nodes are condensed Guttman-style: their
+  /// remaining segments are collected and reinserted, and the root is
+  /// collapsed when it degenerates to a single child. Freed pages are
+  /// recycled by subsequent inserts. Returns NotFound if no such segment
+  /// exists. Dynamic queries running concurrently may still deliver a
+  /// motion removed after they started — removal is not retroactive.
+  Status Remove(const MotionSegment& m);
+
+  /// Snapshot range query (Definition 3): all motion segments whose exact
+  /// space-time line intersects `q`. This is the paper's "naive" building
+  /// block: a standard R-tree range search with the exact leaf segment test
+  /// of Sect. 3.2. Reads via `reader` if given, else the backing file.
+  Result<std::vector<MotionSegment>> RangeSearch(
+      const StBox& q, QueryStats* stats, PageReader* reader = nullptr) const;
+
+  /// Ablation variant (Sect. 3.2 optimization *disabled*): leaf entries are
+  /// accepted whenever their bounding boxes intersect `q`, as if the leaves
+  /// stored BBs instead of segment endpoints. May return false admissions.
+  Result<std::vector<MotionSegment>> RangeSearchBbOnly(
+      const StBox& q, QueryStats* stats, PageReader* reader = nullptr) const;
+
+  /// Loads and deserializes node `id` through `reader` (or the backing
+  /// file), charging `stats` if the read was physical.
+  Result<Node> LoadNode(PageId id, QueryStats* stats,
+                        PageReader* reader = nullptr) const;
+
+  /// Bounding rectangle of the entire tree (loads the root; uncharged).
+  Result<StBox> RootBounds() const;
+
+  /// Writes the metadata page. Call before PageFile::SaveTo.
+  Status Flush();
+
+  /// Registers a listener for concurrent-update notifications. The caller
+  /// keeps ownership and must RemoveListener before destroying it.
+  void AddListener(UpdateListener* listener);
+  void RemoveListener(UpdateListener* listener);
+
+  /// Validates structural invariants (entry containment, fill, levels,
+  /// stamps monotone vs tree stamp); used by tests. Expensive: full scan.
+  /// `check_min_fill` should be false for bulk-loaded trees, whose trailing
+  /// tiles may legally be underfull.
+  Status CheckInvariants(bool check_min_fill = true) const;
+
+  /// Internal-node and leaf capacities for this tree's dimensionality.
+  int internal_capacity() const { return InternalCapacity(options_.dims); }
+  int leaf_capacity() const { return LeafCapacity(options_.dims); }
+
+ private:
+  friend Result<std::unique_ptr<RTree>> BulkLoad(
+      PageFile* file, std::vector<MotionSegment> segments,
+      const struct BulkLoadOptions& options);
+
+  RTree(PageFile* file, Options options)
+      : file_(file), options_(options) {}
+
+  struct InsertOutcome {
+    ChildEntry updated_entry;                // New geometry of visited node.
+    std::optional<ChildEntry> new_sibling;   // Set when the node split.
+  };
+
+  Result<InsertOutcome> InsertInto(PageId pid, int node_level,
+                                   const MotionSegment& m);
+
+  struct RemoveOutcome {
+    bool removed = false;        // Target found beneath this node.
+    bool node_dissolved = false; // Node went underfull and was freed.
+    ChildEntry updated_entry;    // Valid when !node_dissolved.
+  };
+
+  Result<RemoveOutcome> RemoveFrom(PageId pid, int node_level,
+                                   const MotionSegment::Key& key,
+                                   const StBox& guide,
+                                   std::vector<MotionSegment>* orphans);
+
+  /// Collects every motion segment stored beneath `pid`, freeing all pages
+  /// of the subtree (used when an internal node underflows).
+  Status DissolveSubtree(PageId pid, std::vector<MotionSegment>* orphans);
+
+  PageId AllocatePage();
+  void FreePage(PageId id);
+  int MinFill(bool leaf) const;
+
+  Result<Node> LoadForWrite(PageId pid) const;
+  Status StoreNode(Node* node) const;
+
+  Status WriteMeta();
+  static Result<Options> ReadMeta(PageFile* file, PageId* root, int* height,
+                                  uint64_t* num_segments, size_t* num_nodes,
+                                  UpdateStamp* stamp);
+
+  // Split `node` (which overflows by one entry); the entry at
+  // `forced_index` is placed in the new node. Returns the new node's entry.
+  Result<ChildEntry> SplitNode(Node* node, int forced_index);
+
+  // State for listener notification of the current Insert.
+  struct PendingNotice {
+    bool any_split = false;
+    bool root_split = false;
+    ChildEntry topmost;
+    int topmost_level = 0;
+  };
+
+  PageFile* file_;
+  Options options_;
+  PageId meta_page_ = 0;
+  PageId root_ = kInvalidPageId;
+  int height_ = 1;
+  uint64_t num_segments_ = 0;
+  size_t num_nodes_ = 0;
+  UpdateStamp stamp_ = 0;
+  double max_speed_ = 0.0;
+  PendingNotice pending_;
+  std::vector<UpdateListener*> listeners_;
+  std::vector<PageId> free_pages_;  // Recycled by AllocatePage().
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_RTREE_RTREE_H_

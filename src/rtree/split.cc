@@ -1,0 +1,258 @@
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "rtree/stats.h"
+
+namespace dqmo {
+namespace {
+
+// Additive padding per dimension so degenerate rectangles (points, purely
+// spatial or purely temporal extents) still produce a meaningful ordering.
+constexpr double kMeasureEps = 1e-6;
+
+}  // namespace
+
+double SplitMeasure(const StBox& box) {
+  if (box.empty()) return 0.0;
+  double m = box.time.length() + kMeasureEps;
+  for (int i = 0; i < box.spatial.dims; ++i) {
+    m *= box.spatial.extent(i).length() + kMeasureEps;
+  }
+  return m;
+}
+
+double Enlargement(const StBox& base, const StBox& extra) {
+  if (base.empty()) return SplitMeasure(extra);
+  return SplitMeasure(base.Cover(extra)) - SplitMeasure(base);
+}
+
+SplitPlan QuadraticSplit(const std::vector<StBox>& boxes, int min_fill,
+                         int forced_index) {
+  const int n = static_cast<int>(boxes.size());
+  DQMO_CHECK(n >= 2);
+  DQMO_CHECK(min_fill >= 1 && 2 * min_fill <= n);
+  DQMO_CHECK(forced_index < n);
+
+  // PickSeeds: the pair wasting the most area if grouped together.
+  int seed_a = 0;
+  int seed_b = 1;
+  double worst = -kInf;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double waste = SplitMeasure(boxes[static_cast<size_t>(i)].Cover(
+                               boxes[static_cast<size_t>(j)])) -
+                           SplitMeasure(boxes[static_cast<size_t>(i)]) -
+                           SplitMeasure(boxes[static_cast<size_t>(j)]);
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<int> group_a{seed_a};
+  std::vector<int> group_b{seed_b};
+  StBox cover_a = boxes[static_cast<size_t>(seed_a)];
+  StBox cover_b = boxes[static_cast<size_t>(seed_b)];
+
+  std::vector<bool> assigned(static_cast<size_t>(n), false);
+  assigned[static_cast<size_t>(seed_a)] = true;
+  assigned[static_cast<size_t>(seed_b)] = true;
+  int remaining = n - 2;
+
+  auto add_to = [&](std::vector<int>* group, StBox* cover, int idx) {
+    group->push_back(idx);
+    *cover = cover->Cover(boxes[static_cast<size_t>(idx)]);
+    assigned[static_cast<size_t>(idx)] = true;
+    --remaining;
+  };
+
+  while (remaining > 0) {
+    // If one group must take all remaining entries to reach min_fill,
+    // assign them wholesale (Guttman's termination rule).
+    if (static_cast<int>(group_a.size()) + remaining == min_fill) {
+      for (int i = 0; i < n; ++i) {
+        if (!assigned[static_cast<size_t>(i)]) add_to(&group_a, &cover_a, i);
+      }
+      break;
+    }
+    if (static_cast<int>(group_b.size()) + remaining == min_fill) {
+      for (int i = 0; i < n; ++i) {
+        if (!assigned[static_cast<size_t>(i)]) add_to(&group_b, &cover_b, i);
+      }
+      break;
+    }
+
+    // PickNext: entry with maximum preference for one group.
+    int best = -1;
+    double best_diff = -kInf;
+    double best_da = 0.0;
+    double best_db = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (assigned[static_cast<size_t>(i)]) continue;
+      const double da = Enlargement(cover_a, boxes[static_cast<size_t>(i)]);
+      const double db = Enlargement(cover_b, boxes[static_cast<size_t>(i)]);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+        best_da = da;
+        best_db = db;
+      }
+    }
+    DQMO_CHECK(best >= 0);
+    // Resolve: smaller enlargement, then smaller measure, then fewer entries.
+    bool to_a;
+    if (best_da != best_db) {
+      to_a = best_da < best_db;
+    } else if (SplitMeasure(cover_a) != SplitMeasure(cover_b)) {
+      to_a = SplitMeasure(cover_a) < SplitMeasure(cover_b);
+    } else {
+      to_a = group_a.size() <= group_b.size();
+    }
+    if (to_a) {
+      add_to(&group_a, &cover_a, best);
+    } else {
+      add_to(&group_b, &cover_b, best);
+    }
+  }
+
+  SplitPlan plan;
+  plan.keep = std::move(group_a);
+  plan.move = std::move(group_b);
+  // Same-path forcing: which group stays on the original page is arbitrary
+  // for split quality, so put the forced entry's group on the new page.
+  if (forced_index >= 0) {
+    const bool forced_in_keep =
+        std::find(plan.keep.begin(), plan.keep.end(), forced_index) !=
+        plan.keep.end();
+    if (forced_in_keep) std::swap(plan.keep, plan.move);
+  }
+  std::sort(plan.keep.begin(), plan.keep.end());
+  std::sort(plan.move.begin(), plan.move.end());
+  return plan;
+}
+
+namespace {
+
+/// Margin (perimeter analogue): sum of extent lengths over all axes.
+double Margin(const StBox& box) {
+  if (box.empty()) return 0.0;
+  double m = box.time.length();
+  for (int i = 0; i < box.spatial.dims; ++i) {
+    m += box.spatial.extent(i).length();
+  }
+  return m;
+}
+
+/// Measure of the overlap region of two boxes.
+double OverlapMeasure(const StBox& a, const StBox& b) {
+  const StBox inter = a.Intersect(b);
+  return inter.empty() ? 0.0 : SplitMeasure(inter);
+}
+
+/// Extent of `box` along sort axis `axis` (0 = time, then spatial dims).
+const Interval& AxisExtent(const StBox& box, int axis) {
+  return axis == 0 ? box.time : box.spatial.extent(axis - 1);
+}
+
+}  // namespace
+
+SplitPlan RstarSplit(const std::vector<StBox>& boxes, int min_fill,
+                     int forced_index) {
+  const int n = static_cast<int>(boxes.size());
+  DQMO_CHECK(n >= 2);
+  DQMO_CHECK(min_fill >= 1 && 2 * min_fill <= n);
+  DQMO_CHECK(forced_index < n);
+  const int axes = 1 + boxes.front().spatial.dims;
+
+  // Prefix/suffix covers for one sorted order let every distribution's
+  // group boxes be computed in O(n).
+  auto evaluate_order = [&](const std::vector<int>& order,
+                            double* margin_sum,
+                            std::pair<int, double>* best) {
+    std::vector<StBox> prefix(static_cast<size_t>(n));
+    std::vector<StBox> suffix(static_cast<size_t>(n));
+    prefix[0] = boxes[static_cast<size_t>(order[0])];
+    for (int i = 1; i < n; ++i) {
+      prefix[static_cast<size_t>(i)] =
+          prefix[static_cast<size_t>(i) - 1].Cover(
+              boxes[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+    }
+    suffix[static_cast<size_t>(n) - 1] =
+        boxes[static_cast<size_t>(order[static_cast<size_t>(n) - 1])];
+    for (int i = n - 2; i >= 0; --i) {
+      suffix[static_cast<size_t>(i)] =
+          suffix[static_cast<size_t>(i) + 1].Cover(
+              boxes[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+    }
+    for (int k = min_fill; k <= n - min_fill; ++k) {
+      const StBox& left = prefix[static_cast<size_t>(k) - 1];
+      const StBox& right = suffix[static_cast<size_t>(k)];
+      *margin_sum += Margin(left) + Margin(right);
+      const double overlap = OverlapMeasure(left, right);
+      const double measure = SplitMeasure(left) + SplitMeasure(right);
+      // Lexicographic score: overlap first, then combined measure.
+      const double score = overlap * 1e9 + measure;
+      if (best->first < 0 || score < best->second) {
+        *best = {k, score};
+      }
+    }
+  };
+
+  double best_axis_margin = kInf;
+  std::vector<int> best_order;
+  int best_split = -1;
+  for (int axis = 0; axis < axes; ++axis) {
+    for (int by_hi = 0; by_hi < 2; ++by_hi) {
+      std::vector<int> order(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const Interval& ia = AxisExtent(boxes[static_cast<size_t>(a)], axis);
+        const Interval& ib = AxisExtent(boxes[static_cast<size_t>(b)], axis);
+        return by_hi ? ia.hi < ib.hi : ia.lo < ib.lo;
+      });
+      double margin_sum = 0.0;
+      std::pair<int, double> best{-1, 0.0};
+      evaluate_order(order, &margin_sum, &best);
+      if (margin_sum < best_axis_margin) {
+        best_axis_margin = margin_sum;
+        best_order = std::move(order);
+        best_split = best.first;
+      }
+    }
+  }
+  DQMO_CHECK(best_split >= min_fill);
+
+  SplitPlan plan;
+  plan.keep.assign(best_order.begin(),
+                   best_order.begin() + best_split);
+  plan.move.assign(best_order.begin() + best_split, best_order.end());
+  if (forced_index >= 0) {
+    const bool forced_in_keep =
+        std::find(plan.keep.begin(), plan.keep.end(), forced_index) !=
+        plan.keep.end();
+    if (forced_in_keep) std::swap(plan.keep, plan.move);
+  }
+  std::sort(plan.keep.begin(), plan.keep.end());
+  std::sort(plan.move.begin(), plan.move.end());
+  return plan;
+}
+
+SplitPlan SplitEntries(SplitPolicy policy, const std::vector<StBox>& boxes,
+                       int min_fill, int forced_index) {
+  switch (policy) {
+    case SplitPolicy::kQuadratic:
+      return QuadraticSplit(boxes, min_fill, forced_index);
+    case SplitPolicy::kRstar:
+      return RstarSplit(boxes, min_fill, forced_index);
+  }
+  return QuadraticSplit(boxes, min_fill, forced_index);
+}
+
+}  // namespace dqmo

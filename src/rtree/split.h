@@ -1,0 +1,61 @@
+// Guttman's quadratic node split, with optional "forced entry" placement.
+//
+// The forced entry supports the paper's update-management requirement
+// (Sect. 4.1): when an insertion causes a cascade of splits, all newly
+// created nodes must lie on one root-to-leaf path, so that a single
+// lowest-common-ancestor entry covers them. We achieve this by forcing the
+// entry that caused the overflow into the *new* node of every split on the
+// way up — the paper notes this "incurs no extra cost nor conflict with the
+// original splitting policy" (which group keeps the original page is
+// arbitrary in Guttman's algorithm).
+#ifndef DQMO_RTREE_SPLIT_H_
+#define DQMO_RTREE_SPLIT_H_
+
+#include <vector>
+
+#include "geom/box.h"
+
+namespace dqmo {
+
+/// Outcome of a split: indices of entries that stay on the original page
+/// and indices that move to the newly allocated page.
+struct SplitPlan {
+  std::vector<int> keep;
+  std::vector<int> move;
+};
+
+/// Measure used for split/choose-subtree decisions: the space-time volume
+/// with a small additive epsilon per dimension, so degenerate (zero-extent)
+/// rectangles still order sensibly.
+double SplitMeasure(const StBox& box);
+
+/// Enlargement of `base`'s measure needed to also cover `extra`.
+double Enlargement(const StBox& base, const StBox& extra);
+
+/// Quadratic split of `boxes` (size >= 2) into two groups with at least
+/// `min_fill` entries each. If `forced_index` >= 0, that entry is guaranteed
+/// to land in the `move` group.
+SplitPlan QuadraticSplit(const std::vector<StBox>& boxes, int min_fill,
+                         int forced_index = -1);
+
+/// R*-style split (Beckmann et al., the paper's reference [2], without
+/// forced reinsertion): choose the split axis by minimum margin sum over
+/// the sorted distributions, then the distribution with minimum group
+/// overlap (ties by combined measure). O(n log n) per axis vs the
+/// quadratic algorithm's O(n^2). Same forced-entry guarantee.
+SplitPlan RstarSplit(const std::vector<StBox>& boxes, int min_fill,
+                     int forced_index = -1);
+
+/// Split algorithm selector (RTree::Options::split_policy).
+enum class SplitPolicy {
+  kQuadratic,  // Guttman's quadratic split (the paper's setup).
+  kRstar,      // R*-style topological split.
+};
+
+/// Dispatches on `policy`.
+SplitPlan SplitEntries(SplitPolicy policy, const std::vector<StBox>& boxes,
+                       int min_fill, int forced_index = -1);
+
+}  // namespace dqmo
+
+#endif  // DQMO_RTREE_SPLIT_H_

@@ -1,0 +1,63 @@
+// Per-query cost counters matching the paper's two performance measures:
+// disk accesses (split leaf vs higher levels) and "distance computations"
+// (geometric tests against child entries; Sect. 5: "for each node loaded,
+// all its children are examined").
+#ifndef DQMO_RTREE_STATS_H_
+#define DQMO_RTREE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dqmo {
+
+struct QueryStats {
+  /// Disk accesses: R-tree node loads that hit the physical store.
+  uint64_t node_reads = 0;
+  /// Subset of node_reads that read leaf pages.
+  uint64_t leaf_reads = 0;
+  /// Geometric tests against child entries / motion segments.
+  uint64_t distance_computations = 0;
+  /// Motion segments reported to the caller.
+  uint64_t objects_returned = 0;
+  /// PDQ bookkeeping.
+  uint64_t queue_pushes = 0;
+  uint64_t queue_pops = 0;
+  uint64_t duplicates_skipped = 0;
+  /// NPDQ bookkeeping: subtrees pruned by the discardability test.
+  uint64_t nodes_discarded = 0;
+
+  uint64_t internal_reads() const { return node_reads - leaf_reads; }
+
+  void Reset() { *this = QueryStats{}; }
+
+  QueryStats operator-(const QueryStats& o) const {
+    QueryStats d;
+    d.node_reads = node_reads - o.node_reads;
+    d.leaf_reads = leaf_reads - o.leaf_reads;
+    d.distance_computations = distance_computations - o.distance_computations;
+    d.objects_returned = objects_returned - o.objects_returned;
+    d.queue_pushes = queue_pushes - o.queue_pushes;
+    d.queue_pops = queue_pops - o.queue_pops;
+    d.duplicates_skipped = duplicates_skipped - o.duplicates_skipped;
+    d.nodes_discarded = nodes_discarded - o.nodes_discarded;
+    return d;
+  }
+
+  QueryStats& operator+=(const QueryStats& o) {
+    node_reads += o.node_reads;
+    leaf_reads += o.leaf_reads;
+    distance_computations += o.distance_computations;
+    objects_returned += o.objects_returned;
+    queue_pushes += o.queue_pushes;
+    queue_pops += o.queue_pops;
+    duplicates_skipped += o.duplicates_skipped;
+    nodes_discarded += o.nodes_discarded;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_RTREE_STATS_H_

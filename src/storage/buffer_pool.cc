@@ -1,0 +1,51 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace dqmo {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
+    : file_(file), capacity_(capacity_pages) {
+  DQMO_CHECK(file != nullptr);
+  DQMO_CHECK(capacity_pages >= 1);
+}
+
+Result<PageReader::ReadResult> BufferPool::Read(PageId id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    // Hit: move to front of LRU order.
+    frames_.splice(frames_.begin(), frames_, it->second);
+    ++hits_;
+    ++file_->mutable_stats()->cache_hits;
+    return ReadResult{frames_.front().bytes.data(), /*physical=*/false};
+  }
+  // Miss: fetch from the file (one disk access) and install.
+  DQMO_ASSIGN_OR_RETURN(auto read, file_->Read(id));
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    index_.erase(frames_.back().id);
+    frames_.pop_back();
+  }
+  Frame frame;
+  frame.id = id;
+  frame.bytes.assign(read.data, read.data + kPageSize);
+  frames_.push_front(std::move(frame));
+  index_[id] = frames_.begin();
+  return ReadResult{frames_.front().bytes.data(), /*physical=*/true};
+}
+
+void BufferPool::Clear() {
+  frames_.clear();
+  index_.clear();
+}
+
+void BufferPool::Invalidate(PageId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  frames_.erase(it->second);
+  index_.erase(it);
+}
+
+}  // namespace dqmo

@@ -1,0 +1,61 @@
+// LRU buffer pool over a PageFile.
+//
+// The paper argues (Sect. 4) that a server-side LRU buffer cannot replace
+// dynamic-query processing: per-session buffers shrink server capacity and
+// still ship redundant data to clients. We implement the pool anyway so the
+// claim can be measured (bench/abl_lru_naive) instead of taken on faith.
+#ifndef DQMO_STORAGE_BUFFER_POOL_H_
+#define DQMO_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/page_file.h"
+
+namespace dqmo {
+
+/// Fixed-capacity LRU page cache implementing PageReader. Reads served from
+/// cache are *not* physical reads; misses fetch from the underlying file
+/// (one disk access) and evict the least-recently-used frame if full.
+class BufferPool : public PageReader {
+ public:
+  /// `capacity_pages` must be >= 1. The pool does not own `file`.
+  BufferPool(PageFile* file, size_t capacity_pages);
+
+  Result<ReadResult> Read(PageId id) override;
+
+  /// Drops every cached frame (e.g. between experiment repetitions).
+  void Clear();
+
+  /// Invalidates one page (called after an in-place page update so stale
+  /// cached bytes are not served).
+  void Invalidate(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return frames_.size(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    PageId id;
+    std::vector<uint8_t> bytes;
+  };
+
+  PageFile* file_;
+  size_t capacity_;
+  // LRU order: front = most recent. map points into the list.
+  std::list<Frame> frames_;
+  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_STORAGE_BUFFER_POOL_H_

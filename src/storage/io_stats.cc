@@ -1,0 +1,14 @@
+#include "storage/io_stats.h"
+
+#include "common/string_util.h"
+
+namespace dqmo {
+
+std::string IoStats::ToString() const {
+  return StrFormat("io{reads=%llu, writes=%llu, hits=%llu}",
+                   static_cast<unsigned long long>(physical_reads),
+                   static_cast<unsigned long long>(physical_writes),
+                   static_cast<unsigned long long>(cache_hits));
+}
+
+}  // namespace dqmo

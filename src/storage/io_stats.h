@@ -1,0 +1,34 @@
+// I/O accounting: the paper's primary performance measure is the number of
+// disk accesses per query, split into leaf-level and higher-level accesses
+// (Figs. 6, 8, 10, 12).
+#ifndef DQMO_STORAGE_IO_STATS_H_
+#define DQMO_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dqmo {
+
+/// Counters for page-level I/O. Physical reads are charged by the PageFile;
+/// cache hits (when a BufferPool is interposed) are not disk accesses.
+struct IoStats {
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  uint64_t cache_hits = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats operator-(const IoStats& other) const {
+    IoStats d;
+    d.physical_reads = physical_reads - other.physical_reads;
+    d.physical_writes = physical_writes - other.physical_writes;
+    d.cache_hits = cache_hits - other.cache_hits;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_STORAGE_IO_STATS_H_

@@ -1,0 +1,52 @@
+// Fixed-size pages and typed little-endian accessors for on-page data.
+#ifndef DQMO_STORAGE_PAGE_H_
+#define DQMO_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace dqmo {
+
+/// Page size in bytes. The paper's experiments use 4 KB pages; node fanout
+/// (145 internal / 127 leaf) follows from this size and the entry layouts in
+/// rtree/node.h.
+inline constexpr size_t kPageSize = 4096;
+
+/// View over one page's bytes with bounds-checked typed reads/writes.
+///
+/// All on-page values are stored in native byte order; the page file is a
+/// single-host format (matching the single-machine testbed of the paper).
+class PageView {
+ public:
+  PageView(uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T Read(size_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DQMO_DCHECK(offset + sizeof(T) <= size_);
+    T value;
+    std::memcpy(&value, data_ + offset, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void Write(size_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DQMO_DCHECK(offset + sizeof(T) <= size_);
+    std::memcpy(data_ + offset, &value, sizeof(T));
+  }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_STORAGE_PAGE_H_

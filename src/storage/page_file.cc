@@ -1,0 +1,118 @@
+#include "storage/page_file.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dqmo {
+namespace {
+
+constexpr uint64_t kMagic = 0x4451'4d4f'5047'4631ULL;  // "DQMOPGF1"
+constexpr uint32_t kVersion = 1;
+
+struct FileHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t reserved;
+  uint64_t num_pages;
+};
+static_assert(sizeof(FileHeader) == 24);
+
+/// RAII wrapper over std::FILE.
+class File {
+ public:
+  File(const char* path, const char* mode) : f_(std::fopen(path, mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  std::FILE* get() { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Status PageFile::CheckId(PageId id) const {
+  if (id >= num_pages_) {
+    return Status::OutOfRange(
+        StrFormat("page %u out of range (file has %zu pages)", id,
+                  num_pages_));
+  }
+  return Status::OK();
+}
+
+PageId PageFile::Allocate() {
+  bytes_.resize(bytes_.size() + kPageSize, 0);
+  return static_cast<PageId>(num_pages_++);
+}
+
+Result<PageReader::ReadResult> PageFile::Read(PageId id) {
+  DQMO_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.physical_reads;
+  return ReadResult{bytes_.data() + static_cast<size_t>(id) * kPageSize,
+                    /*physical=*/true};
+}
+
+Status PageFile::Write(PageId id, const uint8_t* data) {
+  DQMO_RETURN_IF_ERROR(CheckId(id));
+  std::memcpy(bytes_.data() + static_cast<size_t>(id) * kPageSize, data,
+              kPageSize);
+  ++stats_.physical_writes;
+  return Status::OK();
+}
+
+Result<PageView> PageFile::WritableView(PageId id) {
+  DQMO_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.physical_writes;
+  return PageView(bytes_.data() + static_cast<size_t>(id) * kPageSize,
+                  kPageSize);
+}
+
+Status PageFile::SaveTo(const std::string& path) const {
+  File f(path.c_str(), "wb");
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for write");
+  FileHeader header{kMagic, kVersion, 0, num_pages_};
+  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1) {
+    return Status::IOError("short header write to " + path);
+  }
+  if (num_pages_ > 0 &&
+      std::fwrite(bytes_.data(), kPageSize, num_pages_, f.get()) !=
+          num_pages_) {
+    return Status::IOError("short page write to " + path);
+  }
+  return Status::OK();
+}
+
+Status PageFile::LoadFrom(const std::string& path) {
+  File f(path.c_str(), "rb");
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for read");
+  FileHeader header{};
+  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) {
+    return Status::Corruption("short header read from " + path);
+  }
+  if (header.magic != kMagic) {
+    return Status::Corruption(path + " is not a DQMO page file");
+  }
+  if (header.version != kVersion) {
+    return Status::NotSupported(
+        StrFormat("page file version %u unsupported", header.version));
+  }
+  std::vector<uint8_t> bytes(header.num_pages * kPageSize);
+  if (header.num_pages > 0 &&
+      std::fread(bytes.data(), kPageSize, header.num_pages, f.get()) !=
+          header.num_pages) {
+    return Status::Corruption("short page read from " + path);
+  }
+  bytes_ = std::move(bytes);
+  num_pages_ = header.num_pages;
+  stats_.Reset();
+  return Status::OK();
+}
+
+}  // namespace dqmo

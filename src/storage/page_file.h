@@ -1,0 +1,89 @@
+// PageFile: the simulated disk. A flat array of 4 KiB pages with physical
+// read/write accounting, plus persistence to an OS file so that an index can
+// be built once and reused across benchmark binaries.
+#ifndef DQMO_STORAGE_PAGE_FILE_H_
+#define DQMO_STORAGE_PAGE_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace dqmo {
+
+/// Abstract source of pages. Query processors read through this interface;
+/// implementations are PageFile (every read is a disk access) and BufferPool
+/// (reads may be served from cache).
+class PageReader {
+ public:
+  virtual ~PageReader() = default;
+
+  /// Result of a page read: a pointer to the page's kPageSize bytes (valid
+  /// until the next call on the same reader) and whether the read hit the
+  /// physical store (i.e. counts as a disk access).
+  struct ReadResult {
+    const uint8_t* data = nullptr;
+    bool physical = false;
+  };
+
+  /// Reads page `id`. Fails with NotFound/OutOfRange for unknown ids.
+  virtual Result<ReadResult> Read(PageId id) = 0;
+};
+
+/// In-memory paged store standing in for the disk of the paper's testbed.
+///
+/// The substitution (documented in DESIGN.md) preserves the paper's metric:
+/// every PageFile read/write is counted as one disk access, exactly what the
+/// paper measures; actual seek latency is irrelevant to the reported
+/// figures, which plot access *counts*.
+class PageFile : public PageReader {
+ public:
+  PageFile() = default;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+  PageFile(PageFile&&) = default;
+  PageFile& operator=(PageFile&&) = default;
+
+  /// Appends a zeroed page and returns its id.
+  PageId Allocate();
+
+  size_t num_pages() const { return num_pages_; }
+
+  /// Reads page `id`, charging one physical read.
+  Result<ReadResult> Read(PageId id) override;
+
+  /// Writes the kPageSize bytes at `data` into page `id`, charging one
+  /// physical write.
+  Status Write(PageId id, const uint8_t* data);
+
+  /// Mutable view of a page for in-place serialization, charging one
+  /// physical write (the caller is about to overwrite the page).
+  Result<PageView> WritableView(PageId id);
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Persists all pages to `path` (overwriting). Format: magic, version,
+  /// page count, then raw pages.
+  Status SaveTo(const std::string& path) const;
+
+  /// Loads a file written by SaveTo. Replaces current contents.
+  Status LoadFrom(const std::string& path);
+
+ private:
+  Status CheckId(PageId id) const;
+
+  std::vector<uint8_t> bytes_;
+  size_t num_pages_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,89 @@
+#include "workload/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+namespace {
+
+/// Folds a coordinate into [0, size] by mirror reflection (handles
+/// excursions longer than one fold).
+double Reflect(double x, double size) {
+  const double period = 2.0 * size;
+  x = std::fmod(x, period);
+  if (x < 0.0) x += period;
+  return x <= size ? x : period - x;
+}
+
+/// Uniform random direction on the unit sphere of the given dims.
+Vec RandomDirection(Rng* rng, int dims) {
+  for (;;) {
+    Vec v(dims);
+    for (int i = 0; i < dims; ++i) v[i] = rng->Normal();
+    const double n = v.Norm();
+    if (n > 1e-9) return v * (1.0 / n);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<MotionSegment>> GenerateMotionData(
+    const DataGeneratorOptions& options) {
+  if (options.dims < 1 || options.dims > kMaxSpatialDims) {
+    return Status::InvalidArgument("dims out of range");
+  }
+  if (options.num_objects < 1) {
+    return Status::InvalidArgument("need at least one object");
+  }
+  if (options.horizon <= 0.0 || options.space_size <= 0.0) {
+    return Status::InvalidArgument("horizon and space size must be positive");
+  }
+  if (options.min_update_interval <= 0.0) {
+    return Status::InvalidArgument("min update interval must be positive");
+  }
+
+  Rng master(options.seed);
+  std::vector<MotionSegment> segments;
+  segments.reserve(static_cast<size_t>(
+      options.num_objects * options.horizon / options.mean_update_interval));
+
+  for (int oid = 0; oid < options.num_objects; ++oid) {
+    Rng rng = master.Fork();
+    Vec pos(options.dims);
+    for (int i = 0; i < options.dims; ++i) {
+      pos[i] = rng.Uniform(0.0, options.space_size);
+    }
+    double t = 0.0;
+    while (t < options.horizon) {
+      const double dt = std::min(
+          options.horizon - t,
+          std::max(options.min_update_interval,
+                   rng.Normal(options.mean_update_interval,
+                              options.update_interval_stddev)));
+      const double speed =
+          std::max(0.0, rng.Normal(options.mean_speed, options.speed_stddev));
+      const Vec dir = RandomDirection(&rng, options.dims);
+      Vec end(options.dims);
+      for (int i = 0; i < options.dims; ++i) {
+        end[i] = Reflect(pos[i] + dir[i] * speed * dt, options.space_size);
+      }
+      segments.emplace_back(static_cast<ObjectId>(oid),
+                            StSegment(pos, end, Interval(t, t + dt)));
+      pos = end;
+      t += dt;
+    }
+  }
+
+  if (options.sort_by_start_time) {
+    std::stable_sort(segments.begin(), segments.end(),
+                     [](const MotionSegment& a, const MotionSegment& b) {
+                       return a.seg.time.lo < b.seg.time.lo;
+                     });
+  }
+  return segments;
+}
+
+}  // namespace dqmo

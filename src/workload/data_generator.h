@@ -1,0 +1,45 @@
+// Synthetic mobile-object workload matching Sect. 5 of the paper:
+// "5000 objects ... moving randomly in a 2-d space of size 100-by-100
+// length units, updating their motion approximately (random variable,
+// normally distributed) every 1 time unit over a time period of 100 time
+// units ... each object moves in various directions with a speed of
+// approximately 1 length unit / 1 time unit", yielding ~0.5M segments.
+#ifndef DQMO_WORKLOAD_DATA_GENERATOR_H_
+#define DQMO_WORKLOAD_DATA_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "motion/motion_segment.h"
+
+namespace dqmo {
+
+struct DataGeneratorOptions {
+  int dims = 2;
+  int num_objects = 5000;
+  double space_size = 100.0;  // Space is [0, space_size]^dims.
+  double horizon = 100.0;     // Motions generated over [0, horizon].
+  /// Update inter-arrival: max(min_update_interval, N(mean, stddev)).
+  double mean_update_interval = 1.0;
+  double update_interval_stddev = 0.25;
+  double min_update_interval = 0.05;
+  /// Speed: max(0, N(mean, stddev)) length units per time unit.
+  double mean_speed = 1.0;
+  double speed_stddev = 0.25;
+  uint64_t seed = 42;
+  /// Emit segments ordered by start time (the order updates would reach
+  /// the database); false keeps per-object order.
+  bool sort_by_start_time = true;
+};
+
+/// Generates the motion-segment stream. Each object starts at a uniform
+/// random location and performs piecewise-linear motion, changing direction
+/// and speed at every update; positions reflect off the space boundary.
+/// Deterministic in options.seed.
+Result<std::vector<MotionSegment>> GenerateMotionData(
+    const DataGeneratorOptions& options);
+
+}  // namespace dqmo
+
+#endif  // DQMO_WORKLOAD_DATA_GENERATOR_H_

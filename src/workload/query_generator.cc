@@ -1,0 +1,125 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+
+double SpeedForOverlap(const QueryWorkloadOptions& options) {
+  return options.window * (1.0 - options.overlap) / options.snapshot_interval;
+}
+
+Result<DynamicQueryWorkload> GenerateDynamicQuery(
+    const QueryWorkloadOptions& options, Rng* rng) {
+  DQMO_CHECK(rng != nullptr);
+  if (options.dims < 1 || options.dims > kMaxSpatialDims) {
+    return Status::InvalidArgument("dims out of range");
+  }
+  if (options.overlap < 0.0 || options.overlap >= 1.0) {
+    return Status::InvalidArgument("overlap must be in [0, 1)");
+  }
+  if (options.window <= 0.0 || options.window >= options.space_size) {
+    return Status::InvalidArgument(
+        "window must be positive and smaller than the space");
+  }
+  if (options.snapshot_interval <= 0.0 || options.num_snapshots < 1) {
+    return Status::InvalidArgument("bad snapshot schedule");
+  }
+  const int num_frames = options.num_snapshots + 1;  // First + subsequent.
+  const double duration = num_frames * options.snapshot_interval;
+  if (duration >= options.horizon) {
+    return Status::InvalidArgument(
+        StrFormat("dynamic query duration %.3f exceeds horizon %.3f",
+                  duration, options.horizon));
+  }
+
+  const double half = 0.5 * options.window;
+  const double lo = half;
+  const double hi = options.space_size - half;
+  const double speed = SpeedForOverlap(options);
+
+  const double t0 = rng->Uniform(0.0, options.horizon - duration);
+  const double t1 = t0 + duration;
+
+  // Window center: fixed in all axes except a random one, along which it
+  // moves at `speed` with a random initial sign, bouncing between lo/hi.
+  Vec center(options.dims);
+  for (int i = 0; i < options.dims; ++i) center[i] = rng->Uniform(lo, hi);
+  const int axis = rng->UniformInt(0, options.dims - 1);
+  double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+
+  // Key snapshot times: start, end, every bounce, plus regular refreshes.
+  std::vector<double> key_times;
+  key_times.push_back(t0);
+  if (speed > 0.0) {
+    double t = t0;
+    double x = center[axis];
+    double v = sign * speed;
+    while (t < t1) {
+      const double to_wall = v > 0.0 ? (hi - x) / v : (lo - x) / v;
+      const double t_wall = t + to_wall;
+      if (t_wall >= t1) break;
+      key_times.push_back(t_wall);
+      x = v > 0.0 ? hi : lo;
+      v = -v;
+      t = t_wall;
+    }
+  }
+  for (double t = t0 + options.key_snapshot_interval; t < t1;
+       t += options.key_snapshot_interval) {
+    key_times.push_back(t);
+  }
+  key_times.push_back(t1);
+  std::sort(key_times.begin(), key_times.end());
+  // Merge keys closer than epsilon to keep times strictly increasing.
+  constexpr double kMinKeyGap = 1e-7;
+  std::vector<double> merged;
+  for (double t : key_times) {
+    if (merged.empty() || t - merged.back() > kMinKeyGap) merged.push_back(t);
+  }
+  if (merged.back() < t1) merged.push_back(t1);
+
+  // Evaluate the center position at a time by replaying the bounces.
+  auto center_at = [&](double t) {
+    Vec c = center;
+    if (speed <= 0.0) return c;
+    double x = center[axis];
+    double v = sign * speed;
+    double now = t0;
+    for (;;) {
+      const double to_wall = v > 0.0 ? (hi - x) / v : (lo - x) / v;
+      const double t_wall = now + to_wall;
+      if (t_wall >= t) {
+        x += v * (t - now);
+        break;
+      }
+      x = v > 0.0 ? hi : lo;
+      v = -v;
+      now = t_wall;
+    }
+    c[axis] = std::clamp(x, lo, hi);
+    return c;
+  };
+
+  std::vector<KeySnapshot> keys;
+  keys.reserve(merged.size());
+  for (double t : merged) {
+    keys.emplace_back(t, Box::Centered(center_at(t), options.window));
+  }
+  DQMO_ASSIGN_OR_RETURN(QueryTrajectory trajectory,
+                        QueryTrajectory::Make(std::move(keys)));
+
+  DynamicQueryWorkload workload;
+  workload.trajectory = std::move(trajectory);
+  workload.frame_times.reserve(static_cast<size_t>(num_frames) + 1);
+  for (int i = 0; i <= num_frames; ++i) {
+    workload.frame_times.push_back(
+        std::min(t1, t0 + i * options.snapshot_interval));
+  }
+  return workload;
+}
+
+}  // namespace dqmo

@@ -1,0 +1,66 @@
+// Dynamic-query workload matching Sect. 5 of the paper: trajectories of a
+// square observer window moving through the space, one snapshot query every
+// 0.1 time unit, with the trajectory speed chosen to hit a target overlap
+// between consecutive snapshots (the paper sweeps 0, 25, 50, 80, 90 and
+// 99.99%) and window sizes 8x8 / 14x14 / 20x20.
+#ifndef DQMO_WORKLOAD_QUERY_GENERATOR_H_
+#define DQMO_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "geom/trajectory.h"
+
+namespace dqmo {
+
+struct QueryWorkloadOptions {
+  int dims = 2;
+  double space_size = 100.0;
+  double horizon = 100.0;
+  /// Side length of the (square) observer window.
+  double window = 8.0;
+  /// One snapshot query per this many time units (paper: 0.1).
+  double snapshot_interval = 0.1;
+  /// Snapshots per dynamic query beyond the first (paper averages
+  /// "subsequent" cost over 50 consecutive queries).
+  int num_snapshots = 50;
+  /// Target fractional overlap in [0, 1) between consecutive snapshot
+  /// windows; determines the trajectory speed:
+  /// speed = window * (1 - overlap) / snapshot_interval.
+  double overlap = 0.9;
+  /// Key snapshots (PDQ trajectory definition) at least this often; bounce
+  /// points always produce keys.
+  double key_snapshot_interval = 1.0;
+};
+
+/// A generated dynamic query: the PDQ trajectory plus the frame boundaries
+/// at which snapshot queries fire. Frame i covers
+/// [frame_times[i], frame_times[i+1]]; there are num_snapshots + 1 frames
+/// (the "first query" plus the measured subsequent ones).
+struct DynamicQueryWorkload {
+  QueryTrajectory trajectory;
+  std::vector<double> frame_times;  // size num_snapshots + 2.
+
+  int num_frames() const { return static_cast<int>(frame_times.size()) - 1; }
+
+  /// The i-th snapshot query box (FrameQuery over frame i).
+  StBox Frame(int i) const {
+    return trajectory.FrameQuery(frame_times[static_cast<size_t>(i)],
+                                 frame_times[static_cast<size_t>(i) + 1]);
+  }
+};
+
+/// Generates one dynamic query: random start location/time and a random
+/// axis-aligned direction (the overlap target is exact for axis-aligned
+/// motion); the window bounces off the space boundary, producing additional
+/// key snapshots. Deterministic in *rng.
+Result<DynamicQueryWorkload> GenerateDynamicQuery(
+    const QueryWorkloadOptions& options, Rng* rng);
+
+/// The speed implied by an overlap target (exposed for tests).
+double SpeedForOverlap(const QueryWorkloadOptions& options);
+
+}  // namespace dqmo
+
+#endif  // DQMO_WORKLOAD_QUERY_GENERATOR_H_

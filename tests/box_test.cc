@@ -1,0 +1,178 @@
+// Tests for Vec, Box (Definition 2) and StBox.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "geom/box.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::RandomPoint;
+
+TEST(VecTest, ConstructorsAndAccess) {
+  const Vec a(1.0, 2.0);
+  EXPECT_EQ(a.dims, 2);
+  EXPECT_EQ(a[0], 1.0);
+  EXPECT_EQ(a[1], 2.0);
+  const Vec b(1.0, 2.0, 3.0);
+  EXPECT_EQ(b.dims, 3);
+  EXPECT_EQ(b[2], 3.0);
+}
+
+TEST(VecTest, Arithmetic) {
+  const Vec a(1.0, 2.0);
+  const Vec b(3.0, 5.0);
+  EXPECT_EQ(a + b, Vec(4.0, 7.0));
+  EXPECT_EQ(b - a, Vec(2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec(2.0, 4.0));
+  EXPECT_EQ(a.Dot(b), 13.0);
+}
+
+TEST(VecTest, NormsAndDistance) {
+  const Vec a(3.0, 4.0);
+  EXPECT_EQ(a.Norm(), 5.0);
+  EXPECT_EQ(a.NormSquared(), 25.0);
+  EXPECT_EQ(Vec(0.0, 0.0).DistanceTo(a), 5.0);
+}
+
+TEST(VecTest, LerpEndpointsAndMidpoint) {
+  const Vec a(0.0, 0.0);
+  const Vec b(2.0, 4.0);
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), Vec(1.0, 2.0));
+}
+
+TEST(BoxTest, CenteredAndPoint) {
+  const Box b = Box::Centered(Vec(5.0, 5.0), 4.0);
+  EXPECT_EQ(b.extent(0), Interval(3.0, 7.0));
+  EXPECT_EQ(b.extent(1), Interval(3.0, 7.0));
+  const Box p = Box::Point(Vec(1.0, 2.0));
+  EXPECT_EQ(p.Volume(), 0.0);
+  EXPECT_FALSE(p.empty());
+  EXPECT_TRUE(p.Contains(Vec(1.0, 2.0)));
+}
+
+TEST(BoxTest, FromCornersNormalizesOrder) {
+  const Box b = Box::FromCorners(Vec(5.0, 1.0), Vec(2.0, 3.0));
+  EXPECT_EQ(b.extent(0), Interval(2.0, 5.0));
+  EXPECT_EQ(b.extent(1), Interval(1.0, 3.0));
+}
+
+TEST(BoxTest, EmptyPropagates) {
+  Box b(2);
+  EXPECT_TRUE(b.empty());  // Default extents are empty.
+  b.extent(0) = Interval(0.0, 1.0);
+  EXPECT_TRUE(b.empty());  // One empty extent still empties the box.
+  b.extent(1) = Interval(0.0, 1.0);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(BoxTest, VolumeIsExtentProduct) {
+  const Box b(Interval(0.0, 2.0), Interval(0.0, 3.0));
+  EXPECT_EQ(b.Volume(), 6.0);
+  const Box c(Interval(0.0, 2.0), Interval(0.0, 3.0), Interval(0.0, 4.0));
+  EXPECT_EQ(c.Volume(), 24.0);
+}
+
+TEST(BoxTest, OverlapRequiresAllDims) {
+  const Box a(Interval(0.0, 2.0), Interval(0.0, 2.0));
+  EXPECT_TRUE(a.Overlaps(Box(Interval(1.0, 3.0), Interval(1.0, 3.0))));
+  // Overlap in x only.
+  EXPECT_FALSE(a.Overlaps(Box(Interval(1.0, 3.0), Interval(5.0, 6.0))));
+}
+
+TEST(BoxTest, IntersectAndCoverRandomized) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Box a = Box::FromCorners(RandomPoint(&rng, 2, 10),
+                                   RandomPoint(&rng, 2, 10));
+    const Box b = Box::FromCorners(RandomPoint(&rng, 2, 10),
+                                   RandomPoint(&rng, 2, 10));
+    const Box inter = a.Intersect(b);
+    const Box cover = a.Cover(b);
+    const Vec p = RandomPoint(&rng, 2, 10);
+    EXPECT_EQ(inter.empty() ? false : inter.Contains(p),
+              a.Contains(p) && b.Contains(p));
+    if (a.Contains(p) || b.Contains(p)) EXPECT_TRUE(cover.Contains(p));
+    EXPECT_TRUE(cover.Contains(a));
+    EXPECT_TRUE(cover.Contains(b));
+  }
+}
+
+TEST(BoxTest, ContainsIsReflexiveAndAntisymmetricOnVolume) {
+  const Box a(Interval(0.0, 5.0), Interval(0.0, 5.0));
+  const Box b(Interval(1.0, 2.0), Interval(1.0, 2.0));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_TRUE(a.Contains(b));
+  EXPECT_FALSE(b.Contains(a));
+}
+
+TEST(BoxTest, InflateGrowsAllSides) {
+  const Box b = Box(Interval(1.0, 2.0), Interval(3.0, 4.0)).Inflate(0.5);
+  EXPECT_EQ(b.extent(0), Interval(0.5, 2.5));
+  EXPECT_EQ(b.extent(1), Interval(2.5, 4.5));
+}
+
+TEST(BoxTest, ShiftTranslates) {
+  const Box b = Box(Interval(1.0, 2.0), Interval(3.0, 4.0))
+                    .Shift(Vec(1.0, -1.0));
+  EXPECT_EQ(b.extent(0), Interval(2.0, 3.0));
+  EXPECT_EQ(b.extent(1), Interval(2.0, 3.0));
+}
+
+TEST(BoxTest, CenterIsMidpoint) {
+  EXPECT_EQ(Box(Interval(0.0, 4.0), Interval(2.0, 6.0)).Center(),
+            Vec(2.0, 4.0));
+}
+
+TEST(BoxTest, MinDistanceZeroInside) {
+  const Box b(Interval(0.0, 4.0), Interval(0.0, 4.0));
+  EXPECT_EQ(b.MinDistance(Vec(2.0, 2.0)), 0.0);
+  EXPECT_EQ(b.MinDistance(Vec(4.0, 4.0)), 0.0);  // Boundary counts.
+}
+
+TEST(BoxTest, MinDistanceToFaceEdgeCorner) {
+  const Box b(Interval(0.0, 4.0), Interval(0.0, 4.0));
+  EXPECT_EQ(b.MinDistance(Vec(6.0, 2.0)), 2.0);               // Face.
+  EXPECT_DOUBLE_EQ(b.MinDistance(Vec(7.0, 8.0)), 5.0);        // Corner 3-4-5.
+}
+
+TEST(StBoxTest, OverlapNeedsSpaceAndTime) {
+  const StBox a(Box(Interval(0.0, 2.0), Interval(0.0, 2.0)),
+                Interval(0.0, 1.0));
+  const StBox same_space_later(a.spatial, Interval(2.0, 3.0));
+  EXPECT_FALSE(a.Overlaps(same_space_later));
+  const StBox overlapping(Box(Interval(1.0, 3.0), Interval(1.0, 3.0)),
+                          Interval(0.5, 0.7));
+  EXPECT_TRUE(a.Overlaps(overlapping));
+}
+
+TEST(StBoxTest, IntersectCoverContains) {
+  const StBox a(Box(Interval(0.0, 4.0), Interval(0.0, 4.0)),
+                Interval(0.0, 4.0));
+  const StBox b(Box(Interval(2.0, 6.0), Interval(2.0, 6.0)),
+                Interval(2.0, 6.0));
+  const StBox inter = a.Intersect(b);
+  EXPECT_EQ(inter.time, Interval(2.0, 4.0));
+  EXPECT_EQ(inter.spatial.extent(0), Interval(2.0, 4.0));
+  const StBox cover = a.Cover(b);
+  EXPECT_TRUE(cover.Contains(a));
+  EXPECT_TRUE(cover.Contains(b));
+  EXPECT_TRUE(a.Contains(inter));
+}
+
+TEST(StBoxTest, EmptyBehaviour) {
+  StBox e;
+  EXPECT_TRUE(e.empty());
+  const StBox a(Box(Interval(0.0, 1.0), Interval(0.0, 1.0)),
+                Interval(0.0, 1.0));
+  EXPECT_TRUE(a.Contains(e));
+  EXPECT_EQ(a.Cover(e), a);
+}
+
+}  // namespace
+}  // namespace dqmo

@@ -1,0 +1,108 @@
+// Tests for STR bulk loading: structural validity and query equivalence
+// with an insertion-built tree.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rtree/bulk_load.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::BruteForceRange;
+using ::dqmo::testing::KeysOf;
+using ::dqmo::testing::RandomSegments;
+
+TEST(BulkLoadTest, EmptyInputYieldsEmptyTree) {
+  PageFile file;
+  BulkLoadOptions options;
+  auto tree = BulkLoad(&file, {}, options);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->num_segments(), 0u);
+  EXPECT_EQ((*tree)->height(), 1);
+}
+
+TEST(BulkLoadTest, SingleLeafWhenSmall) {
+  PageFile file;
+  Rng rng(1);
+  BulkLoadOptions options;
+  auto tree = BulkLoad(&file, RandomSegments(&rng, 20, 2, 100, 100), options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->num_segments(), 20u);
+  EXPECT_EQ((*tree)->height(), 1);
+  EXPECT_TRUE((*tree)->CheckInvariants(/*check_min_fill=*/false).ok());
+}
+
+TEST(BulkLoadTest, RejectsBadPackFraction) {
+  PageFile file;
+  BulkLoadOptions options;
+  options.pack_fraction = 0.0;
+  EXPECT_TRUE(BulkLoad(&file, {}, options).status().IsInvalidArgument());
+  options.pack_fraction = 1.5;
+  EXPECT_TRUE(BulkLoad(&file, {}, options).status().IsInvalidArgument());
+}
+
+TEST(BulkLoadTest, RejectsDimsMismatch) {
+  PageFile file;
+  BulkLoadOptions options;  // dims = 2.
+  std::vector<MotionSegment> segs;
+  segs.emplace_back(1, StSegment(Vec(0.0, 0.0, 0.0), Vec(1.0, 1.0, 1.0),
+                                 Interval(0.0, 1.0)));
+  EXPECT_TRUE(BulkLoad(&file, segs, options).status().IsInvalidArgument());
+}
+
+class BulkLoadEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkLoadEquivalence, MatchesBruteForceAndInsertionBuild) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 7919);
+  const auto data = RandomSegments(&rng, n, 2, 100, 100);
+
+  PageFile bulk_file;
+  BulkLoadOptions options;
+  auto bulk_tree = BulkLoad(&bulk_file, data, options);
+  ASSERT_TRUE(bulk_tree.ok()) << bulk_tree.status().ToString();
+  EXPECT_EQ((*bulk_tree)->num_segments(), static_cast<uint64_t>(n));
+  ASSERT_TRUE(
+      (*bulk_tree)->CheckInvariants(/*check_min_fill=*/false).ok());
+
+  PageFile insert_file;
+  auto insert_tree = RTree::Create(&insert_file, options.tree);
+  ASSERT_TRUE(insert_tree.ok());
+  for (const auto& m : data) ASSERT_TRUE((*insert_tree)->Insert(m).ok());
+
+  for (int q = 0; q < 40; ++q) {
+    const StBox query = dqmo::testing::RandomQueryBox(&rng, 2, 100, 100);
+    QueryStats s1;
+    QueryStats s2;
+    auto from_bulk = (*bulk_tree)->RangeSearch(query, &s1);
+    auto from_insert = (*insert_tree)->RangeSearch(query, &s2);
+    ASSERT_TRUE(from_bulk.ok());
+    ASSERT_TRUE(from_insert.ok());
+    const auto expected = KeysOf(BruteForceRange(data, query));
+    EXPECT_EQ(KeysOf(*from_bulk), expected);
+    EXPECT_EQ(KeysOf(*from_insert), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadEquivalence,
+                         ::testing::Values(100, 1000, 5000, 20000));
+
+TEST(BulkLoadTest, PackedTreeIsShallowerOrEqual) {
+  Rng rng(9);
+  const auto data = RandomSegments(&rng, 20000, 2, 100, 100);
+  PageFile bulk_file;
+  BulkLoadOptions options;
+  options.pack_fraction = 1.0;  // Fully packed.
+  auto bulk_tree = BulkLoad(&bulk_file, data, options);
+  ASSERT_TRUE(bulk_tree.ok());
+  PageFile insert_file;
+  auto insert_tree = RTree::Create(&insert_file, options.tree);
+  ASSERT_TRUE(insert_tree.ok());
+  for (const auto& m : data) ASSERT_TRUE((*insert_tree)->Insert(m).ok());
+  EXPECT_LE((*bulk_tree)->height(), (*insert_tree)->height());
+  EXPECT_LT((*bulk_tree)->num_nodes(), (*insert_tree)->num_nodes());
+}
+
+}  // namespace
+}  // namespace dqmo

@@ -1,0 +1,116 @@
+// Tests for the client-side ResultCache keyed on disappearance time.
+#include <gtest/gtest.h>
+
+#include "client/result_cache.h"
+
+namespace dqmo {
+namespace {
+
+MotionSegment Obj(ObjectId oid, double t0 = 0.0, double t1 = 100.0) {
+  return MotionSegment(
+      oid, StSegment(Vec(0.0, 0.0), Vec(1.0, 1.0), Interval(t0, t1)));
+}
+
+TimeSet Times(std::initializer_list<Interval> ivs) {
+  TimeSet s;
+  for (const Interval& iv : ivs) s.Add(iv);
+  return s;
+}
+
+TEST(ResultCacheTest, StartsEmpty) {
+  ResultCache cache;
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.VisibleAt(0.0).empty());
+}
+
+TEST(ResultCacheTest, InsertAndVisibility) {
+  ResultCache cache;
+  cache.Insert(Obj(1), Times({{2.0, 5.0}}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Contains(Obj(1).key()));
+  EXPECT_EQ(cache.VisibleAt(3.0).size(), 1u);
+  EXPECT_TRUE(cache.VisibleAt(1.0).empty());  // Not visible yet.
+  EXPECT_TRUE(cache.VisibleAt(6.0).empty());  // No longer visible.
+}
+
+TEST(ResultCacheTest, IntermittentVisibilityRespected) {
+  ResultCache cache;
+  cache.Insert(Obj(1), Times({{2.0, 3.0}, {7.0, 8.0}}));
+  EXPECT_TRUE(cache.VisibleAt(5.0).empty());  // Gap: not visible.
+  EXPECT_EQ(cache.VisibleAt(2.5).size(), 1u);
+  EXPECT_EQ(cache.VisibleAt(7.5).size(), 1u);
+  // Still cached during the gap (disappearance is the *last* end).
+  cache.AdvanceTo(5.0);
+  EXPECT_TRUE(cache.Contains(Obj(1).key()));
+}
+
+TEST(ResultCacheTest, EvictionAtDisappearanceTime) {
+  ResultCache cache;
+  cache.Insert(Obj(1), Times({{0.0, 2.0}}));
+  cache.Insert(Obj(2), Times({{0.0, 5.0}}));
+  cache.Insert(Obj(3), Times({{0.0, 9.0}}));
+  EXPECT_EQ(cache.AdvanceTo(3.0), 1u);  // Object 1 gone.
+  EXPECT_FALSE(cache.Contains(Obj(1).key()));
+  EXPECT_TRUE(cache.Contains(Obj(2).key()));
+  EXPECT_EQ(cache.AdvanceTo(9.0), 1u);  // Object 2 gone; 3 at boundary.
+  EXPECT_TRUE(cache.Contains(Obj(3).key()));
+  EXPECT_EQ(cache.AdvanceTo(9.01), 1u);
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.total_evictions(), 3u);
+}
+
+TEST(ResultCacheTest, ExpiredInsertIgnored) {
+  ResultCache cache;
+  cache.AdvanceTo(10.0);
+  cache.Insert(Obj(1), Times({{2.0, 5.0}}));  // Already disappeared.
+  EXPECT_TRUE(cache.empty());
+  cache.Insert(Obj(2), TimeSet());  // Empty visibility.
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(ResultCacheTest, RefreshExtendsVisibility) {
+  ResultCache cache;
+  cache.Insert(Obj(1), Times({{0.0, 3.0}}));
+  cache.Insert(Obj(1), Times({{5.0, 8.0}}));  // Same object, re-reported.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.total_insertions(), 1u);  // Refresh, not new.
+  cache.AdvanceTo(4.0);
+  EXPECT_TRUE(cache.Contains(Obj(1).key()));  // Now disappears at 8.
+  EXPECT_EQ(cache.VisibleAt(6.0).size(), 1u);
+  cache.AdvanceTo(8.5);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(ResultCacheTest, AdvanceIsMonotone) {
+  ResultCache cache;
+  cache.Insert(Obj(1), Times({{0.0, 5.0}}));
+  cache.AdvanceTo(6.0);
+  EXPECT_TRUE(cache.empty());
+  cache.AdvanceTo(2.0);  // Going backwards is a no-op.
+  cache.Insert(Obj(2), Times({{0.0, 4.0}}));  // Before now=6: ignored.
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(ResultCacheTest, PeakSizeTracksHighWaterMark) {
+  ResultCache cache;
+  for (int i = 0; i < 10; ++i) {
+    cache.Insert(Obj(static_cast<ObjectId>(i)),
+                 Times({{0.0, 1.0 + i * 0.1}}));
+  }
+  cache.AdvanceTo(50.0);
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.peak_size(), 10u);
+  EXPECT_EQ(cache.total_insertions(), 10u);
+}
+
+TEST(ResultCacheTest, ObjectsWithEqualDisappearanceTimesAllEvicted) {
+  ResultCache cache;
+  cache.Insert(Obj(1), Times({{0.0, 5.0}}));
+  cache.Insert(Obj(2), Times({{1.0, 5.0}}));
+  cache.Insert(Obj(3), Times({{2.0, 5.0}}));
+  EXPECT_EQ(cache.AdvanceTo(5.5), 3u);
+}
+
+}  // namespace
+}  // namespace dqmo

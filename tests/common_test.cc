@@ -1,0 +1,221 @@
+// Tests for the common substrate: Status, Result, Rng, string utilities,
+// environment helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 10; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Corruption("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    DQMO_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnExtractsValue) {
+  auto producer = []() -> Result<int> { return 5; };
+  auto consumer = [&]() -> Result<int> {
+    DQMO_ASSIGN_OR_RETURN(int v, producer());
+    return v + 1;
+  };
+  ASSERT_TRUE(consumer().ok());
+  EXPECT_EQ(consumer().value(), 6);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto producer = []() -> Result<int> { return Status::IOError("disk"); };
+  auto consumer = [&]() -> Result<int> {
+    DQMO_ASSIGN_OR_RETURN(int v, producer());
+    return v + 1;
+  };
+  EXPECT_TRUE(consumer().status().IsIOError());
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.0, 5.5);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(2, 5));
+  EXPECT_EQ(seen, (std::set<int>{2, 3, 4, 5}));
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(10);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(11);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.Fork();
+  // The fork must differ from the parent's continued stream.
+  EXPECT_NE(child.NextU64(), a.NextU64());
+}
+
+TEST(StringUtilTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("a=%d b=%s", 3, "xy"), "a=3 b=xy");
+  EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"a"}, ","), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+  EXPECT_EQ(FormatDouble(-3.1400001, 2), "-3.14");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(EnvTest, FallbacksWhenUnset) {
+  ::unsetenv("DQMO_TEST_VAR");
+  EXPECT_EQ(GetEnvString("DQMO_TEST_VAR", "dflt"), "dflt");
+  EXPECT_EQ(GetEnvInt("DQMO_TEST_VAR", 17), 17);
+  EXPECT_EQ(GetEnvBool("DQMO_TEST_VAR", true), true);
+}
+
+TEST(EnvTest, ParsesValues) {
+  ::setenv("DQMO_TEST_VAR", "42", 1);
+  EXPECT_EQ(GetEnvInt("DQMO_TEST_VAR", 0), 42);
+  EXPECT_EQ(GetEnvString("DQMO_TEST_VAR", ""), "42");
+  ::setenv("DQMO_TEST_VAR", "true", 1);
+  EXPECT_TRUE(GetEnvBool("DQMO_TEST_VAR", false));
+  ::setenv("DQMO_TEST_VAR", "0", 1);
+  EXPECT_FALSE(GetEnvBool("DQMO_TEST_VAR", true));
+  ::setenv("DQMO_TEST_VAR", "garbage", 1);
+  EXPECT_EQ(GetEnvInt("DQMO_TEST_VAR", 5), 5);
+  ::unsetenv("DQMO_TEST_VAR");
+}
+
+}  // namespace
+}  // namespace dqmo

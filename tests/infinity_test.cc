@@ -1,0 +1,108 @@
+// Edge-case tests for unbounded (infinite) intervals and boxes — the
+// open-ended snapshot queries of Sect. 4.2 rely on these behaving exactly
+// like their finite counterparts.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/box.h"
+#include "geom/interval.h"
+#include "query/npdq.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+TEST(InfinityIntervalTest, AllContainsEverythingFinite) {
+  const Interval all = Interval::All();
+  EXPECT_TRUE(all.Contains(0.0));
+  EXPECT_TRUE(all.Contains(1e308));
+  EXPECT_TRUE(all.Contains(-1e308));
+  EXPECT_TRUE(all.Contains(Interval(-1e100, 1e100)));
+  EXPECT_FALSE(all.empty());
+}
+
+TEST(InfinityIntervalTest, OpenEndedIntersectionsBehave) {
+  const Interval future(5.0, kInf);
+  EXPECT_EQ(future.Intersect(Interval(0.0, 10.0)), Interval(5.0, 10.0));
+  EXPECT_EQ(future.Intersect(Interval(7.0, kInf)), Interval(7.0, kInf));
+  EXPECT_TRUE(future.Intersect(Interval(0.0, 4.0)).empty());
+  EXPECT_TRUE(future.Overlaps(Interval(4.0, 5.0)));  // Shared boundary.
+}
+
+TEST(InfinityIntervalTest, ContainmentWithOpenEnds) {
+  const Interval future(5.0, kInf);
+  EXPECT_TRUE(future.Contains(Interval(6.0, 1e30)));
+  EXPECT_TRUE(future.Contains(Interval(5.0, kInf)));
+  EXPECT_FALSE(future.Contains(Interval(4.0, 6.0)));
+  EXPECT_TRUE(Interval::All().Contains(future));
+  EXPECT_FALSE(future.Contains(Interval::All()));
+}
+
+TEST(InfinityIntervalTest, CoverWithOpenEnds) {
+  const Interval past(-kInf, 3.0);
+  const Interval future(5.0, kInf);
+  EXPECT_EQ(past.Cover(future), Interval::All());
+}
+
+TEST(InfinityIntervalTest, LengthOfUnboundedIsInf) {
+  EXPECT_EQ(Interval(0.0, kInf).length(), kInf);
+  EXPECT_EQ(Interval::All().length(), kInf);
+}
+
+TEST(InfinityBoxTest, OpenEndedStBoxOverlap) {
+  // The open-ended snapshot of the NPDQ experiments.
+  const StBox open(Box(Interval(10, 20), Interval(10, 20)),
+                   Interval(50.0, kInf));
+  const StBox past_motion(Box(Interval(12, 14), Interval(12, 14)),
+                          Interval(10.0, 20.0));
+  const StBox live_motion(Box(Interval(12, 14), Interval(12, 14)),
+                          Interval(49.0, 51.0));
+  EXPECT_FALSE(open.Overlaps(past_motion));
+  EXPECT_TRUE(open.Overlaps(live_motion));
+}
+
+TEST(InfinityQueryTest, OpenEndedRangeSearchMatchesBruteForce) {
+  PageFile file;
+  auto tree = RTree::Create(&file, RTree::Options());
+  ASSERT_TRUE(tree.ok());
+  Rng rng(77);
+  const auto data =
+      dqmo::testing::RandomSegments(&rng, 2000, 2, 100, 100);
+  for (const auto& m : data) ASSERT_TRUE((*tree)->Insert(m).ok());
+  for (int q = 0; q < 30; ++q) {
+    const double x = rng.Uniform(0, 80);
+    const double y = rng.Uniform(0, 80);
+    const double t = rng.Uniform(0, 100);
+    const StBox query(Box(Interval(x, x + 15), Interval(y, y + 15)),
+                      Interval(t, kInf));
+    QueryStats stats;
+    auto result = (*tree)->RangeSearch(query, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(dqmo::testing::KeysOf(*result),
+              dqmo::testing::KeysOf(
+                  dqmo::testing::BruteForceRange(data, query)));
+  }
+}
+
+TEST(InfinityQueryTest, DiscardableHandlesOpenEndedQueries) {
+  // Both temporal conditions of Lemma 1 are vacuous for consecutive
+  // open-ended snapshots; pruning reduces to spatial containment.
+  const StBox p(Box(Interval(0, 10), Interval(0, 10)),
+                Interval(5.0, kInf));
+  const StBox q(Box(Interval(1, 11), Interval(0, 10)),
+                Interval(5.5, kInf));
+  ChildEntry covered;
+  covered.bounds = StBox(Box(Interval(2, 9), Interval(2, 9)),
+                         Interval(0.0, 100.0));
+  covered.start_times = Interval(0.0, 99.0);
+  covered.end_times = Interval(1.0, 100.0);
+  EXPECT_TRUE(
+      Discardable(p, q, covered, SpatialPruning::kIntersectionContained));
+  ChildEntry escaping = covered;
+  escaping.bounds.spatial.extent(0) = Interval(2.0, 10.5);  // Pokes out.
+  EXPECT_FALSE(
+      Discardable(p, q, escaping, SpatialPruning::kIntersectionContained));
+}
+
+}  // namespace
+}  // namespace dqmo

@@ -1,0 +1,225 @@
+// End-to-end integration tests: a scaled-down version of the paper's
+// Sect. 5 experiment, exercising data generation, index build, all three
+// query methods, the client cache and the experiment harness together.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "client/result_cache.h"
+#include "harness/experiment.h"
+#include "query/npdq.h"
+#include "query/pdq.h"
+#include "test_util.h"
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::KeysOf;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Scaled-down paper setup: 400 objects over 40 time units (~16k
+    // segments), shared by all tests in this suite.
+    IndexConfig config;
+    config.data.num_objects = 400;
+    config.data.horizon = 40.0;
+    config.data.seed = 1234;
+    config.tree.dims = 2;
+    config.cache_dir = "";  // No disk cache in tests.
+    auto bench = Workbench::Prepare(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench->release();
+    auto data = GenerateMotionData(config.data);
+    ASSERT_TRUE(data.ok());
+    data_ = new std::vector<MotionSegment>(std::move(*data));
+    for (auto& m : *data_) m.seg = QuantizeStored(m.seg);
+  }
+
+  static void TearDownTestSuite() {
+    delete bench_;
+    delete data_;
+    bench_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static Workbench* bench_;
+  static std::vector<MotionSegment>* data_;
+};
+
+Workbench* IntegrationTest::bench_ = nullptr;
+std::vector<MotionSegment>* IntegrationTest::data_ = nullptr;
+
+TEST_F(IntegrationTest, IndexMatchesGeneratedData) {
+  EXPECT_EQ(bench_->tree()->num_segments(), data_->size());
+  EXPECT_TRUE(bench_->tree()->CheckInvariants().ok());
+  EXPECT_GE(bench_->tree()->height(), 2);
+}
+
+TEST_F(IntegrationTest, AllMethodsAgreeOnADynamicQuery) {
+  Rng rng(555);
+  QueryWorkloadOptions qopt;
+  qopt.horizon = 40.0;
+  qopt.overlap = 0.9;
+  qopt.num_snapshots = 30;
+  auto workload = GenerateDynamicQuery(qopt, &rng);
+  ASSERT_TRUE(workload.ok());
+
+  // PDQ (exact moving-window semantics).
+  auto pdq =
+      PredictiveDynamicQuery::Make(bench_->tree(), workload->trajectory);
+  ASSERT_TRUE(pdq.ok());
+  std::set<MotionSegment::Key> pdq_keys;
+  for (int i = 0; i < workload->num_frames(); ++i) {
+    auto frame =
+        (*pdq)->Frame(workload->frame_times[static_cast<size_t>(i)],
+                      workload->frame_times[static_cast<size_t>(i) + 1]);
+    ASSERT_TRUE(frame.ok());
+    for (const auto& item : *frame) pdq_keys.insert(item.motion.key());
+  }
+
+  // NPDQ with exact leaf semantics + sound pruning.
+  NpdqOptions nopt;
+  nopt.leaf_semantics = LeafSemantics::kExact;
+  nopt.spatial_pruning = SpatialPruning::kNodeContained;
+  NonPredictiveDynamicQuery npdq(bench_->tree(), nopt);
+  std::set<MotionSegment::Key> npdq_keys;
+  for (int i = 0; i < workload->num_frames(); ++i) {
+    auto result = npdq.Execute(workload->Frame(i));
+    ASSERT_TRUE(result.ok());
+    for (const auto& m : *result) npdq_keys.insert(m.key());
+  }
+
+  // Naive rectangles per frame (exact leaf test).
+  std::set<MotionSegment::Key> naive_keys;
+  for (int i = 0; i < workload->num_frames(); ++i) {
+    QueryStats stats;
+    auto result = bench_->tree()->RangeSearch(workload->Frame(i), &stats);
+    ASSERT_TRUE(result.ok());
+    for (const auto& m : *result) naive_keys.insert(m.key());
+  }
+
+  // NPDQ and naive share rectangle semantics: identical unions.
+  EXPECT_EQ(npdq_keys, naive_keys);
+  // PDQ (tight trapezoid region) is a subset of the rectangle union, and
+  // must equal the brute-force moving-window answer.
+  EXPECT_TRUE(std::includes(naive_keys.begin(), naive_keys.end(),
+                            pdq_keys.begin(), pdq_keys.end()));
+  std::set<MotionSegment::Key> expected_pdq;
+  for (const auto& m : *data_) {
+    if (!workload->trajectory.OverlapTimes(m.seg).empty()) {
+      expected_pdq.insert(m.key());
+    }
+  }
+  EXPECT_EQ(pdq_keys, expected_pdq);
+}
+
+TEST_F(IntegrationTest, ClientCacheReconstructsVisibleSetPerFrame) {
+  // The full client loop the paper describes: PDQ results go into the
+  // disappearance-time cache; at every frame, the cache's visible set must
+  // equal the brute-force set of objects in the window at that instant.
+  Rng rng(556);
+  QueryWorkloadOptions qopt;
+  qopt.horizon = 40.0;
+  qopt.overlap = 0.95;
+  qopt.num_snapshots = 25;
+  auto workload = GenerateDynamicQuery(qopt, &rng);
+  ASSERT_TRUE(workload.ok());
+  auto pdq =
+      PredictiveDynamicQuery::Make(bench_->tree(), workload->trajectory);
+  ASSERT_TRUE(pdq.ok());
+
+  ResultCache cache;
+  for (int i = 0; i < workload->num_frames(); ++i) {
+    const double t0 = workload->frame_times[static_cast<size_t>(i)];
+    const double t1 = workload->frame_times[static_cast<size_t>(i) + 1];
+    auto frame = (*pdq)->Frame(t0, t1);
+    ASSERT_TRUE(frame.ok());
+    cache.AdvanceTo(t0);
+    for (const auto& item : *frame) {
+      cache.Insert(item.motion, item.visible_times);
+    }
+    // Render instant: middle of the frame.
+    const double t = 0.5 * (t0 + t1);
+    std::set<MotionSegment::Key> expected;
+    const Box window = workload->trajectory.WindowAt(t);
+    for (const auto& m : *data_) {
+      if (m.seg.time.Contains(t) && window.Contains(m.seg.PositionAt(t))) {
+        expected.insert(m.key());
+      }
+    }
+    EXPECT_EQ(KeysOf(cache.VisibleAt(t)), expected) << "frame " << i;
+  }
+  EXPECT_GT(cache.total_insertions(), 0u);
+}
+
+TEST_F(IntegrationTest, HarnessSweepShapesMatchPaperClaims) {
+  // Reduced Fig. 6/10 shape check: subsequent-query costs of PDQ and NPDQ
+  // fall with overlap and beat naive at high overlap; naive is flat.
+  SweepOptions sopt;
+  sopt.query.horizon = 40.0;
+  sopt.query.num_snapshots = 20;
+  sopt.num_trajectories = 8;
+
+  sopt.query.overlap = 0.0;
+  auto pdq_low = RunPdqPoint(bench_, sopt);
+  ASSERT_TRUE(pdq_low.ok()) << pdq_low.status().ToString();
+  sopt.query.overlap = 0.9999;
+  auto pdq_high = RunPdqPoint(bench_, sopt);
+  ASSERT_TRUE(pdq_high.ok());
+
+  // Naive subsequent cost is roughly overlap-independent (same window).
+  EXPECT_GT(pdq_low->naive_subsequent.io_total, 0.0);
+  EXPECT_GT(pdq_high->naive_subsequent.io_total, 0.0);
+  // PDQ subsequent cost beats naive, dramatically at high overlap.
+  EXPECT_LT(pdq_high->dq_subsequent.io_total,
+            0.25 * pdq_high->naive_subsequent.io_total);
+  EXPECT_LT(pdq_low->dq_subsequent.io_total,
+            pdq_low->naive_subsequent.io_total);
+  // Higher overlap -> cheaper PDQ subsequent queries.
+  EXPECT_LT(pdq_high->dq_subsequent.io_total,
+            pdq_low->dq_subsequent.io_total + 1e-9);
+
+  sopt.query.overlap = 0.9999;
+  auto npdq_high = RunNpdqPoint(bench_, sopt);
+  ASSERT_TRUE(npdq_high.ok());
+  EXPECT_LT(npdq_high->dq_subsequent.io_total,
+            npdq_high->naive_subsequent.io_total);
+  // PDQ beats NPDQ at equal overlap (Sect. 5's concluding comparison).
+  EXPECT_LE(pdq_high->dq_subsequent.io_total,
+            npdq_high->dq_subsequent.io_total + 1e-9);
+}
+
+TEST_F(IntegrationTest, CpuTracksIo) {
+  SweepOptions sopt;
+  sopt.query.horizon = 40.0;
+  sopt.query.num_snapshots = 15;
+  sopt.num_trajectories = 5;
+  sopt.query.overlap = 0.9;
+  auto row = RunPdqPoint(bench_, sopt);
+  ASSERT_TRUE(row.ok());
+  // Distance computations accompany every node load (children examined).
+  EXPECT_GT(row->naive_subsequent.cpu, row->naive_subsequent.io_total);
+  EXPECT_GT(row->dq_first.cpu, 0.0);
+}
+
+TEST_F(IntegrationTest, WorkbenchCachePersistsAndReloads) {
+  const std::string dir = std::string(::testing::TempDir()) + "/dqmo_wb";
+  IndexConfig config;
+  config.data.num_objects = 50;
+  config.data.horizon = 10.0;
+  config.cache_dir = dir;
+  auto first = Workbench::Prepare(config);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const auto segments = (*first)->tree()->num_segments();
+  // Second prepare must load the cached file and agree.
+  auto second = Workbench::Prepare(config);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->tree()->num_segments(), segments);
+  EXPECT_NE((*second)->Describe().find("cached"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dqmo

@@ -1,0 +1,149 @@
+// Tests for Interval (Definition 1 of the paper) and the linear-inequality
+// solver underlying all overlap-time computations.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/interval.h"
+
+namespace dqmo {
+namespace {
+
+TEST(IntervalTest, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.length(), 0.0);
+}
+
+TEST(IntervalTest, PointIntervalIsSingleValue) {
+  const Interval p = Interval::Point(3.0);
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.lo, 3.0);
+  EXPECT_EQ(p.hi, 3.0);
+  EXPECT_EQ(p.length(), 0.0);
+  EXPECT_TRUE(p.Contains(3.0));
+  EXPECT_FALSE(p.Contains(3.0001));
+}
+
+TEST(IntervalTest, EmptyWhenLoExceedsHi) {
+  EXPECT_TRUE(Interval(2.0, 1.0).empty());
+  EXPECT_FALSE(Interval(1.0, 1.0).empty());
+}
+
+TEST(IntervalTest, IntersectBasics) {
+  const Interval a(0.0, 5.0);
+  const Interval b(3.0, 8.0);
+  EXPECT_EQ(a.Intersect(b), Interval(3.0, 5.0));
+  EXPECT_EQ(b.Intersect(a), Interval(3.0, 5.0));
+  EXPECT_TRUE(a.Intersect(Interval(6.0, 7.0)).empty());
+  // Touching endpoints intersect in a point (closed intervals).
+  EXPECT_EQ(a.Intersect(Interval(5.0, 9.0)), Interval::Point(5.0));
+}
+
+TEST(IntervalTest, CoverBasics) {
+  EXPECT_EQ(Interval(0.0, 1.0).Cover(Interval(4.0, 5.0)), Interval(0.0, 5.0));
+  // Coverage with empty returns the other operand (paper's ⊎ convention for
+  // our implementation).
+  EXPECT_EQ(Interval::Empty().Cover(Interval(1.0, 2.0)), Interval(1.0, 2.0));
+  EXPECT_EQ(Interval(1.0, 2.0).Cover(Interval::Empty()), Interval(1.0, 2.0));
+}
+
+TEST(IntervalTest, OverlapsMatchesIntersectNonEmpty) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Interval a(rng.Uniform(0, 10), rng.Uniform(0, 10));
+    const Interval b(rng.Uniform(0, 10), rng.Uniform(0, 10));
+    EXPECT_EQ(a.Overlaps(b), !a.Intersect(b).empty());
+  }
+}
+
+TEST(IntervalTest, PrecedesSemantics) {
+  EXPECT_TRUE(Interval(0.0, 1.0).Precedes(Interval(1.0, 2.0)));
+  EXPECT_TRUE(Interval(0.0, 1.0).Precedes(Interval(5.0, 6.0)));
+  EXPECT_FALSE(Interval(0.0, 2.0).Precedes(Interval(1.0, 3.0)));
+  EXPECT_TRUE(Interval::Empty().Precedes(Interval(0.0, 1.0)));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  const Interval a(0.0, 10.0);
+  EXPECT_TRUE(a.Contains(Interval(2.0, 3.0)));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_FALSE(a.Contains(Interval(-1.0, 3.0)));
+  EXPECT_TRUE(a.Contains(Interval::Empty()));
+  EXPECT_FALSE(Interval::Empty().Contains(a));
+  EXPECT_TRUE(Interval::Empty().Contains(Interval::Empty()));
+}
+
+TEST(IntervalTest, InflateAndShift) {
+  EXPECT_EQ(Interval(1.0, 2.0).Inflate(0.5), Interval(0.5, 2.5));
+  EXPECT_EQ(Interval(1.0, 2.0).Shift(3.0), Interval(4.0, 5.0));
+  EXPECT_TRUE(Interval::Empty().Inflate(1.0).empty());
+  EXPECT_TRUE(Interval::Empty().Shift(1.0).empty());
+}
+
+TEST(IntervalTest, MidAndLength) {
+  EXPECT_EQ(Interval(2.0, 6.0).mid(), 4.0);
+  EXPECT_EQ(Interval(2.0, 6.0).length(), 4.0);
+}
+
+TEST(IntervalTest, ToStringFormats) {
+  EXPECT_EQ(Interval::Empty().ToString(), "[]");
+  EXPECT_EQ(Interval(1.0, 2.5).ToString(), "[1,2.5]");
+}
+
+TEST(SolveLinearTest, PositiveSlope) {
+  // 2t - 4 >= 0  ->  t >= 2.
+  const Interval s = SolveLinearGe(-4.0, 2.0);
+  EXPECT_EQ(s.lo, 2.0);
+  EXPECT_EQ(s.hi, kInf);
+}
+
+TEST(SolveLinearTest, NegativeSlope) {
+  // -t + 3 >= 0  ->  t <= 3.
+  const Interval s = SolveLinearGe(3.0, -1.0);
+  EXPECT_EQ(s.lo, -kInf);
+  EXPECT_EQ(s.hi, 3.0);
+}
+
+TEST(SolveLinearTest, ZeroSlope) {
+  EXPECT_EQ(SolveLinearGe(1.0, 0.0), Interval::All());
+  EXPECT_TRUE(SolveLinearGe(-1.0, 0.0).empty());
+  EXPECT_EQ(SolveLinearGe(0.0, 0.0), Interval::All());
+  EXPECT_EQ(SolveLinearLe(-1.0, 0.0), Interval::All());
+  EXPECT_TRUE(SolveLinearLe(1.0, 0.0).empty());
+}
+
+TEST(SolveLinearTest, LeMirrorsGe) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.Uniform(-10, 10);
+    const double b = rng.Uniform(-5, 5);
+    const Interval ge = SolveLinearGe(a, b);
+    const Interval le = SolveLinearLe(-a, -b);
+    EXPECT_EQ(ge, le) << "a=" << a << " b=" << b;
+  }
+}
+
+// Property: every solution interval endpoint actually satisfies (or
+// boundary-satisfies) the inequality, and sampled points agree.
+class SolveLinearProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveLinearProperty, SampledPointsAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.Uniform(-20, 20);
+    const double b = rng.Uniform(-4, 4);
+    const Interval sol = SolveLinearGe(a, b);
+    for (int s = 0; s < 20; ++s) {
+      const double t = rng.Uniform(-50, 50);
+      const bool satisfied = a + b * t >= -1e-9;
+      EXPECT_EQ(sol.Contains(t), satisfied || std::abs(a + b * t) < 1e-9)
+          << "a=" << a << " b=" << b << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveLinearProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dqmo

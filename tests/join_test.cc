@@ -1,0 +1,235 @@
+// Tests for spatio-temporal distance joins (future-work item (ii)):
+// the WithinDistanceTime kernel against sampling, and tree joins against
+// brute-force nested loops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "query/join.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::RandomPoint;
+using ::dqmo::testing::RandomSegments;
+
+using PairKey = std::pair<MotionSegment::Key, MotionSegment::Key>;
+
+PairKey KeyOf(const JoinPair& p) {
+  return {p.left.key(), p.right.key()};
+}
+
+// ---- WithinDistanceTime kernel ----
+
+TEST(WithinDistanceTimeTest, ParallelMoversConstantGap) {
+  // Two objects moving identically, 3 apart: within delta=4 always,
+  // within delta=2 never.
+  const StSegment a(Vec(0, 0), Vec(10, 0), Interval(0, 10));
+  const StSegment b(Vec(0, 3), Vec(10, 3), Interval(0, 10));
+  EXPECT_EQ(WithinDistanceTime(a, b, 4.0, Interval::All()),
+            Interval(0, 10));
+  EXPECT_TRUE(WithinDistanceTime(a, b, 2.0, Interval::All()).empty());
+}
+
+TEST(WithinDistanceTimeTest, HeadOnPass) {
+  // a moves right, b moves left along the same line; they cross at t=5,
+  // x=5. Relative speed 2: within distance 2 during [4, 6].
+  const StSegment a(Vec(0, 0), Vec(10, 0), Interval(0, 10));
+  const StSegment b(Vec(10, 0), Vec(0, 0), Interval(0, 10));
+  EXPECT_EQ(WithinDistanceTime(a, b, 2.0, Interval::All()),
+            Interval(4.0, 6.0));
+}
+
+TEST(WithinDistanceTimeTest, WindowClipsAnswer) {
+  const StSegment a(Vec(0, 0), Vec(10, 0), Interval(0, 10));
+  const StSegment b(Vec(10, 0), Vec(0, 0), Interval(0, 10));
+  EXPECT_EQ(WithinDistanceTime(a, b, 2.0, Interval(5.5, 20.0)),
+            Interval(5.5, 6.0));
+  EXPECT_TRUE(
+      WithinDistanceTime(a, b, 2.0, Interval(7.0, 20.0)).empty());
+}
+
+TEST(WithinDistanceTimeTest, DisjointValidTimes) {
+  const StSegment a(Vec(0, 0), Vec(1, 0), Interval(0, 1));
+  const StSegment b(Vec(0, 0), Vec(1, 0), Interval(2, 3));
+  EXPECT_TRUE(WithinDistanceTime(a, b, 100.0, Interval::All()).empty());
+}
+
+TEST(WithinDistanceTimeTest, ZeroDeltaTouchRequiresExactMeeting) {
+  const StSegment a(Vec(0, 0), Vec(10, 0), Interval(0, 10));
+  const StSegment b(Vec(10, 0), Vec(0, 0), Interval(0, 10));
+  const Interval touch = WithinDistanceTime(a, b, 0.0, Interval::All());
+  ASSERT_FALSE(touch.empty());
+  EXPECT_NEAR(touch.lo, 5.0, 1e-9);
+  EXPECT_NEAR(touch.hi, 5.0, 1e-9);
+}
+
+class WithinDistanceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WithinDistanceProperty, MatchesSampling) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 400; ++iter) {
+    const StSegment a(RandomPoint(&rng, 2, 20), RandomPoint(&rng, 2, 20),
+                      Interval(rng.Uniform(0, 5), rng.Uniform(5, 10)));
+    const StSegment b(RandomPoint(&rng, 2, 20), RandomPoint(&rng, 2, 20),
+                      Interval(rng.Uniform(0, 5), rng.Uniform(5, 10)));
+    const double delta = rng.Uniform(0.5, 8.0);
+    const Interval close = WithinDistanceTime(a, b, delta, Interval::All());
+    const Interval domain = a.time.Intersect(b.time);
+    for (int k = 0; k <= 40; ++k) {
+      // Clamp: lo + length can overshoot hi by an ulp at k = 40.
+      const double t =
+          std::min(domain.hi, domain.lo + domain.length() * k / 40.0);
+      const double dist =
+          a.PositionAt(t).DistanceTo(b.PositionAt(t));
+      // Near-tangency is numerically ill-conditioned (slow crossings of
+      // the delta threshold); assert only outside a small boundary band.
+      if (dist <= delta - 1e-6) {
+        EXPECT_TRUE(close.Contains(t)) << "t=" << t << " dist=" << dist;
+      }
+      if (dist >= delta + 1e-6) {
+        EXPECT_FALSE(close.Contains(t)) << "t=" << t << " dist=" << dist;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WithinDistanceProperty,
+                         ::testing::Values(3, 5, 7));
+
+// ---- Tree joins ----
+
+struct JoinFixture {
+  PageFile file;
+  std::unique_ptr<RTree> tree;
+  std::vector<MotionSegment> data;
+};
+
+void BuildFixture(JoinFixture* fx, uint64_t seed, int n) {
+  auto tree = RTree::Create(&fx->file, RTree::Options());
+  ASSERT_TRUE(tree.ok());
+  fx->tree = std::move(tree).value();
+  Rng rng(seed);
+  fx->data = RandomSegments(&rng, n, 2, 60, 30, /*max_duration=*/3.0);
+  for (const auto& m : fx->data) ASSERT_TRUE(fx->tree->Insert(m).ok());
+}
+
+std::set<PairKey> BruteForceJoin(const std::vector<MotionSegment>& left,
+                                 const std::vector<MotionSegment>& right,
+                                 double delta, const Interval& window,
+                                 bool self) {
+  std::set<PairKey> out;
+  for (const auto& a : left) {
+    for (const auto& b : right) {
+      if (self) {
+        if (a.oid == b.oid) continue;
+        if (!(a.key() < b.key())) continue;
+      }
+      if (!WithinDistanceTime(a.seg, b.seg, delta, window).empty()) {
+        out.insert({a.key(), b.key()});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(DistanceJoinTest, RejectsBadArguments) {
+  JoinFixture fx;
+  BuildFixture(&fx, 1, 50);
+  QueryStats stats;
+  DistanceJoinOptions options;
+  options.delta = -1.0;
+  EXPECT_TRUE(DistanceJoin(*fx.tree, *fx.tree, options, &stats)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DistanceJoinTest, SelfJoinMatchesBruteForce) {
+  JoinFixture fx;
+  BuildFixture(&fx, 2, 400);
+  for (double delta : {0.5, 2.0}) {
+    DistanceJoinOptions options;
+    options.delta = delta;
+    options.time_window = Interval(5.0, 15.0);
+    QueryStats stats;
+    auto pairs = SelfDistanceJoin(*fx.tree, options, &stats);
+    ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+    std::set<PairKey> got;
+    for (const auto& p : *pairs) {
+      // Reported order is canonical and close_time is non-empty & valid.
+      EXPECT_TRUE(p.left.key() < p.right.key());
+      EXPECT_FALSE(p.close_time.empty());
+      const double mid = p.close_time.mid();
+      EXPECT_LE(p.left.seg.PositionAt(mid).DistanceTo(
+                    p.right.seg.PositionAt(mid)),
+                delta + 1e-6);
+      got.insert(KeyOf(p));
+    }
+    EXPECT_EQ(got, BruteForceJoin(fx.data, fx.data, delta,
+                                  options.time_window, /*self=*/true));
+    EXPECT_EQ(got.size(), pairs->size());  // No duplicates.
+  }
+}
+
+TEST(DistanceJoinTest, TwoTreeJoinMatchesBruteForce) {
+  JoinFixture friendly;
+  JoinFixture hostile;
+  BuildFixture(&friendly, 3, 300);
+  BuildFixture(&hostile, 4, 250);
+  DistanceJoinOptions options;
+  options.delta = 1.5;
+  options.time_window = Interval(0.0, 30.0);
+  QueryStats stats;
+  auto pairs = DistanceJoin(*friendly.tree, *hostile.tree, options, &stats);
+  ASSERT_TRUE(pairs.ok());
+  std::set<PairKey> got;
+  for (const auto& p : *pairs) got.insert(KeyOf(p));
+  EXPECT_EQ(got, BruteForceJoin(friendly.data, hostile.data, options.delta,
+                                options.time_window, /*self=*/false));
+}
+
+TEST(DistanceJoinTest, NodesReadAtMostOncePerTree) {
+  JoinFixture fx;
+  BuildFixture(&fx, 5, 2000);
+  DistanceJoinOptions options;
+  options.delta = 2.0;
+  QueryStats stats;
+  auto pairs = SelfDistanceJoin(*fx.tree, options, &stats);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_LE(stats.node_reads, fx.tree->num_nodes());
+}
+
+TEST(DistanceJoinTest, EmptyWindowYieldsNothingCheaply) {
+  JoinFixture fx;
+  BuildFixture(&fx, 6, 500);
+  DistanceJoinOptions options;
+  options.delta = 5.0;
+  options.time_window = Interval(100.0, 200.0);  // Beyond all motions.
+  QueryStats stats;
+  auto pairs = SelfDistanceJoin(*fx.tree, options, &stats);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+  EXPECT_LE(stats.node_reads, 2u);  // Roots only.
+}
+
+TEST(DistanceJoinTest, MismatchedDimsRejected) {
+  PageFile f2;
+  PageFile f3;
+  RTree::Options o2;
+  RTree::Options o3;
+  o3.dims = 3;
+  auto t2 = RTree::Create(&f2, o2);
+  auto t3 = RTree::Create(&f3, o3);
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(t3.ok());
+  QueryStats stats;
+  EXPECT_TRUE(DistanceJoin(**t2, **t3, DistanceJoinOptions(), &stats)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dqmo

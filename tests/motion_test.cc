@@ -1,0 +1,136 @@
+// Tests for the motion model: MotionSegment records and the dead-reckoning
+// update policy of Sect. 3.1 (bounded representation error).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "motion/motion_segment.h"
+#include "motion/tracker.h"
+
+namespace dqmo {
+namespace {
+
+TEST(MotionSegmentTest, FromUpdateAppliesLocationFunction) {
+  // Eq. (1): x(t) = x(t_l) + v * (t - t_l).
+  const MotionSegment m = MotionSegment::FromUpdate(
+      7, Vec(1.0, 2.0), Vec(0.5, -1.0), Interval(10.0, 14.0));
+  EXPECT_EQ(m.oid, 7u);
+  EXPECT_EQ(m.PositionAt(10.0), Vec(1.0, 2.0));
+  EXPECT_EQ(m.PositionAt(14.0), Vec(3.0, -2.0));
+  EXPECT_EQ(m.PositionAt(12.0), Vec(2.0, 0.0));
+}
+
+TEST(MotionSegmentTest, KeyIdentifiesOidAndStart) {
+  const MotionSegment a = MotionSegment::FromUpdate(
+      1, Vec(0.0, 0.0), Vec(1.0, 0.0), Interval(0.0, 1.0));
+  const MotionSegment b = MotionSegment::FromUpdate(
+      1, Vec(5.0, 0.0), Vec(1.0, 0.0), Interval(1.0, 2.0));
+  const MotionSegment c = MotionSegment::FromUpdate(
+      2, Vec(0.0, 0.0), Vec(1.0, 0.0), Interval(0.0, 1.0));
+  EXPECT_EQ(a.key(), a.key());
+  EXPECT_FALSE(a.key() == b.key());
+  EXPECT_FALSE(a.key() == c.key());
+  EXPECT_TRUE(a.key() < b.key());
+  EXPECT_TRUE(a.key() < c.key());
+}
+
+TEST(MotionSegmentTest, SortByKeyOrdersDeterministically) {
+  std::vector<MotionSegment> v;
+  v.push_back(MotionSegment::FromUpdate(2, Vec(0, 0), Vec(1, 0),
+                                        Interval(0.0, 1.0)));
+  v.push_back(MotionSegment::FromUpdate(1, Vec(0, 0), Vec(1, 0),
+                                        Interval(5.0, 6.0)));
+  v.push_back(MotionSegment::FromUpdate(1, Vec(0, 0), Vec(1, 0),
+                                        Interval(0.0, 1.0)));
+  SortByKey(&v);
+  EXPECT_EQ(v[0].oid, 1u);
+  EXPECT_EQ(v[0].seg.time.lo, 0.0);
+  EXPECT_EQ(v[1].oid, 1u);
+  EXPECT_EQ(v[1].seg.time.lo, 5.0);
+  EXPECT_EQ(v[2].oid, 2u);
+}
+
+TEST(MotionKeyHashTest, EqualKeysHashEqual) {
+  const MotionSegment::Key a{3, 1.25};
+  const MotionSegment::Key b{3, 1.25};
+  EXPECT_EQ(MotionKeyHash()(a), MotionKeyHash()(b));
+}
+
+TEST(TrackerTest, NoUpdateWhilePredictionHolds) {
+  // Object moves exactly as reported: no updates should ever fire.
+  DeadReckoningTracker tracker(1, 0.5, 0.0, Vec(0.0, 0.0), Vec(1.0, 0.0));
+  for (int i = 1; i <= 10; ++i) {
+    const double t = 0.1 * i;
+    auto update = tracker.Observe(t, Vec(t, 0.0), Vec(1.0, 0.0));
+    EXPECT_FALSE(update.has_value()) << "t=" << t;
+  }
+  EXPECT_EQ(tracker.updates_emitted(), 0);
+  // Finish closes the trailing open segment.
+  auto tail = tracker.Finish();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->seg.time, Interval(0.0, 1.0));
+}
+
+TEST(TrackerTest, UpdateFiresWhenErrorExceedsThreshold) {
+  DeadReckoningTracker tracker(1, 0.5, 0.0, Vec(0.0, 0.0), Vec(1.0, 0.0));
+  // True object stands still; prediction runs away at speed 1.
+  auto u1 = tracker.Observe(0.4, Vec(0.0, 0.0), Vec(0.0, 0.0));
+  EXPECT_FALSE(u1.has_value());  // Error 0.4 <= 0.5.
+  auto u2 = tracker.Observe(0.6, Vec(0.0, 0.0), Vec(0.0, 0.0));
+  ASSERT_TRUE(u2.has_value());  // Error 0.6 > 0.5.
+  EXPECT_EQ(u2->seg.time, Interval(0.0, 0.6));
+  // The closed segment reflects the *reported* (dead-reckoned) motion.
+  EXPECT_EQ(u2->seg.p0, Vec(0.0, 0.0));
+  EXPECT_EQ(u2->seg.p1, Vec(0.6, 0.0));
+  EXPECT_EQ(tracker.updates_emitted(), 1);
+}
+
+TEST(TrackerTest, PredictedAtExtrapolatesLastReport) {
+  DeadReckoningTracker tracker(1, 1.0, 2.0, Vec(1.0, 1.0), Vec(2.0, 0.0));
+  EXPECT_EQ(tracker.PredictedAt(3.0), Vec(3.0, 1.0));
+}
+
+TEST(TrackerTest, ErrorBoundedByThresholdProperty) {
+  // Sect. 3.1's claim: with threshold-triggered updates, the database's
+  // dead-reckoned position never drifts from the truth by more than the
+  // threshold at observation granularity.
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double threshold = rng.Uniform(0.2, 1.0);
+    Vec pos(0.0, 0.0);
+    Vec vel(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+    DeadReckoningTracker tracker(9, threshold, 0.0, pos, vel);
+    std::vector<MotionSegment> closed;
+    const double dt = 0.05;
+    for (int step = 1; step <= 400; ++step) {
+      const double t = step * dt;
+      // Smooth random velocity drift.
+      vel[0] += rng.Uniform(-0.1, 0.1);
+      vel[1] += rng.Uniform(-0.1, 0.1);
+      pos = pos + vel * dt;
+      // Before the tracker reacts, check the drift of the open segment.
+      const double drift = tracker.PredictedAt(t).DistanceTo(pos);
+      auto update = tracker.Observe(t, pos, vel);
+      if (update.has_value()) {
+        closed.push_back(*update);
+      } else {
+        EXPECT_LE(drift, threshold + 1e-9);
+      }
+    }
+    // Closed segments tile time contiguously from 0.
+    double expected_start = 0.0;
+    for (const MotionSegment& m : closed) {
+      EXPECT_DOUBLE_EQ(m.seg.time.lo, expected_start);
+      expected_start = m.seg.time.hi;
+    }
+  }
+}
+
+TEST(TrackerTest, FinishReturnsNulloptWithoutElapsedTime) {
+  DeadReckoningTracker tracker(1, 0.5, 0.0, Vec(0.0, 0.0), Vec(1.0, 0.0));
+  EXPECT_FALSE(tracker.Finish().has_value());
+}
+
+}  // namespace
+}  // namespace dqmo

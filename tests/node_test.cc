@@ -1,0 +1,239 @@
+// Tests for the on-page node layout: capacities matching the experimental
+// setup, serialization round-trips, and outward-rounded float32 bounds.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "rtree/node.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::RandomSegment;
+
+TEST(LayoutTest, CapacitiesMatchDesign) {
+  // Leaf fanout 127 matches the paper's Sect. 5 setup; internal fanout 113
+  // reflects the double-temporal-axes entry (see layout.h).
+  EXPECT_EQ(LeafCapacity(2), 127);
+  EXPECT_EQ(InternalCapacity(2), 113);
+  // Entries must tile within the page.
+  for (int d = 1; d <= 3; ++d) {
+    EXPECT_LE(kNodeHeaderSize +
+                  static_cast<size_t>(InternalCapacity(d)) *
+                      InternalEntrySize(d),
+              kPageSize);
+    EXPECT_LE(kNodeHeaderSize +
+                  static_cast<size_t>(LeafCapacity(d)) * LeafEntrySize(d),
+              kPageSize);
+    EXPECT_GE(InternalCapacity(d), 2);
+    EXPECT_GE(LeafCapacity(d), 2);
+  }
+}
+
+TEST(LayoutTest, FloatBoundsRoundOutward) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-1000.0, 1000.0);
+    EXPECT_LE(static_cast<double>(FloatLowerBound(v)), v);
+    EXPECT_GE(static_cast<double>(FloatUpperBound(v)), v);
+  }
+}
+
+TEST(LayoutTest, QuantizeOutwardContainsOriginal) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const StBox b = dqmo::testing::RandomQueryBox(&rng, 2, 100, 100);
+    const StBox q = QuantizeOutward(b);
+    EXPECT_TRUE(q.Contains(b));
+  }
+}
+
+TEST(LayoutTest, QuantizeStoredActuallyRounds) {
+  // Regression test for a GCC 12.2 -O2 wrong-code issue: dead-store
+  // elimination dropped the double->float->double rounding stores inside
+  // QuantizeStored, making it the identity function (see layout.cc's
+  // ForceFloatRounding). The reference values below are computed through
+  // volatile floats, which the compiler cannot elide.
+  Rng rng(55);
+  for (int i = 0; i < 1000; ++i) {
+    const StSegment raw(Vec(rng.Uniform(0, 100), rng.Uniform(0, 100)),
+                        Vec(rng.Uniform(0, 100), rng.Uniform(0, 100)),
+                        Interval(rng.Uniform(0, 50), rng.Uniform(50, 100)));
+    const StSegment q = QuantizeStored(raw);
+    auto expect_rounded = [](double stored, double original) {
+      volatile float f = static_cast<float>(original);
+      EXPECT_EQ(stored, static_cast<double>(f));
+    };
+    expect_rounded(q.time.lo, raw.time.lo);
+    expect_rounded(q.time.hi, raw.time.hi);
+    for (int d = 0; d < 2; ++d) {
+      expect_rounded(q.p0[d], raw.p0[d]);
+      expect_rounded(q.p1[d], raw.p1[d]);
+    }
+  }
+}
+
+TEST(LayoutTest, QuantizeStoredIsIdempotent) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const MotionSegment m = RandomSegment(&rng, 1, 2, 100, 100);
+    const StSegment once = QuantizeStored(m.seg);
+    const StSegment twice = QuantizeStored(once);
+    EXPECT_EQ(once.p0, twice.p0);
+    EXPECT_EQ(once.p1, twice.p1);
+    EXPECT_EQ(once.time, twice.time);
+  }
+}
+
+TEST(NodeTest, EmptyLeafRoundTrip) {
+  Node node;
+  node.self = 4;
+  node.level = 0;
+  node.dims = 2;
+  node.stamp = 99;
+  uint8_t page[kPageSize];
+  ASSERT_TRUE(node.SerializeTo(PageView(page, kPageSize)).ok());
+  auto back = Node::DeserializeFrom(page, 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->self, 4u);
+  EXPECT_EQ(back->level, 0);
+  EXPECT_EQ(back->dims, 2);
+  EXPECT_EQ(back->stamp, 99u);
+  EXPECT_EQ(back->count(), 0);
+}
+
+TEST(NodeTest, LeafRoundTripPreservesSegments) {
+  Rng rng(8);
+  Node node;
+  node.self = 1;
+  node.level = 0;
+  node.dims = 2;
+  node.stamp = 5;
+  for (int i = 0; i < LeafCapacity(2); ++i) {
+    node.segments.push_back(
+        RandomSegment(&rng, static_cast<ObjectId>(i), 2, 100, 100));
+  }
+  uint8_t page[kPageSize];
+  ASSERT_TRUE(node.SerializeTo(PageView(page, kPageSize)).ok());
+  auto back = Node::DeserializeFrom(page, 1);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->count(), LeafCapacity(2));
+  for (int i = 0; i < back->count(); ++i) {
+    const MotionSegment& a = node.segments[static_cast<size_t>(i)];
+    const MotionSegment& b = back->segments[static_cast<size_t>(i)];
+    EXPECT_EQ(a.oid, b.oid);
+    // Values were pre-quantized, so the round trip is bit-exact.
+    EXPECT_EQ(a.seg.p0, b.seg.p0);
+    EXPECT_EQ(a.seg.p1, b.seg.p1);
+    EXPECT_EQ(a.seg.time, b.seg.time);
+  }
+}
+
+TEST(NodeTest, InternalRoundTripPreservesEntries) {
+  Rng rng(9);
+  Node node;
+  node.self = 2;
+  node.level = 3;
+  node.dims = 2;
+  node.stamp = 7;
+  for (int i = 0; i < InternalCapacity(2); ++i) {
+    const MotionSegment m =
+        RandomSegment(&rng, static_cast<ObjectId>(i), 2, 100, 100);
+    ChildEntry e = ChildEntry::ForBox(QuantizeOutward(m.Bounds()),
+                                      static_cast<PageId>(i + 10));
+    node.children.push_back(e);
+  }
+  uint8_t page[kPageSize];
+  ASSERT_TRUE(node.SerializeTo(PageView(page, kPageSize)).ok());
+  auto back = Node::DeserializeFrom(page, 2);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->count(), InternalCapacity(2));
+  for (int i = 0; i < back->count(); ++i) {
+    const ChildEntry& a = node.children[static_cast<size_t>(i)];
+    const ChildEntry& b = back->children[static_cast<size_t>(i)];
+    EXPECT_EQ(a.child, b.child);
+    // Bounds survive conservatively (outward float32 rounding).
+    EXPECT_TRUE(b.bounds.Contains(a.bounds));
+    EXPECT_TRUE(b.start_times.Contains(a.start_times));
+    EXPECT_TRUE(b.end_times.Contains(a.end_times));
+    // Combined interval consistency.
+    EXPECT_EQ(b.bounds.time.lo, b.start_times.lo);
+    EXPECT_EQ(b.bounds.time.hi, b.end_times.hi);
+  }
+}
+
+TEST(NodeTest, OverfullNodeRejected) {
+  Node node;
+  node.self = 1;
+  node.level = 0;
+  node.dims = 2;
+  Rng rng(10);
+  for (int i = 0; i <= LeafCapacity(2); ++i) {
+    node.segments.push_back(RandomSegment(&rng, 0, 2, 10, 10));
+  }
+  uint8_t page[kPageSize];
+  EXPECT_TRUE(node.SerializeTo(PageView(page, kPageSize)).IsInternal());
+}
+
+TEST(NodeTest, DeserializeRejectsBadDims) {
+  uint8_t page[kPageSize] = {};
+  NodeHeader header{};
+  header.level = 0;
+  header.count = 0;
+  header.dims = 9;  // Invalid.
+  PageView(page, kPageSize).Write(0, header);
+  EXPECT_TRUE(Node::DeserializeFrom(page, 0).status().IsCorruption());
+}
+
+TEST(NodeTest, DeserializeRejectsOverflowCount) {
+  uint8_t page[kPageSize] = {};
+  NodeHeader header{};
+  header.level = 0;
+  header.count = 60000;
+  header.dims = 2;
+  PageView(page, kPageSize).Write(0, header);
+  EXPECT_TRUE(Node::DeserializeFrom(page, 0).status().IsCorruption());
+}
+
+TEST(NodeTest, ComputeEntryCoversAllSegments) {
+  Rng rng(11);
+  Node node;
+  node.self = 3;
+  node.level = 0;
+  node.dims = 2;
+  for (int i = 0; i < 50; ++i) {
+    node.segments.push_back(
+        RandomSegment(&rng, static_cast<ObjectId>(i), 2, 100, 100));
+  }
+  const ChildEntry entry = node.ComputeEntry();
+  EXPECT_EQ(entry.child, 3u);
+  for (const MotionSegment& m : node.segments) {
+    EXPECT_TRUE(entry.bounds.Contains(QuantizeOutward(m.Bounds())));
+    EXPECT_TRUE(entry.start_times.Contains(m.seg.time.lo));
+    EXPECT_TRUE(entry.end_times.Contains(m.seg.time.hi));
+  }
+}
+
+TEST(NodeTest, ThreeDimensionalRoundTrip) {
+  Rng rng(12);
+  Node node;
+  node.self = 1;
+  node.level = 0;
+  node.dims = 3;
+  for (int i = 0; i < 20; ++i) {
+    node.segments.push_back(
+        RandomSegment(&rng, static_cast<ObjectId>(i), 3, 50, 50));
+  }
+  uint8_t page[kPageSize];
+  ASSERT_TRUE(node.SerializeTo(PageView(page, kPageSize)).ok());
+  auto back = Node::DeserializeFrom(page, 1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->dims, 3);
+  ASSERT_EQ(back->count(), 20);
+  EXPECT_EQ(back->segments[7].seg.p0, node.segments[7].seg.p0);
+}
+
+}  // namespace
+}  // namespace dqmo

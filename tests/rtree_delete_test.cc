@@ -1,0 +1,182 @@
+// Tests for R-tree deletion: condense-and-reinsert, root collapse, page
+// recycling, and query correctness after interleaved inserts and removes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "rtree/rtree.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::BruteForceRange;
+using ::dqmo::testing::KeysOf;
+using ::dqmo::testing::RandomSegments;
+
+std::unique_ptr<RTree> MakeTree(PageFile* file) {
+  auto tree = RTree::Create(file, RTree::Options());
+  EXPECT_TRUE(tree.ok());
+  return std::move(tree).value();
+}
+
+TEST(RTreeDeleteTest, RemoveFromEmptyTreeIsNotFound) {
+  PageFile file;
+  auto tree = MakeTree(&file);
+  MotionSegment m(1, StSegment(Vec(1, 1), Vec(2, 2), Interval(0, 1)));
+  EXPECT_TRUE(tree->Remove(m).IsNotFound());
+}
+
+TEST(RTreeDeleteTest, InsertThenRemoveRoundTrip) {
+  PageFile file;
+  auto tree = MakeTree(&file);
+  MotionSegment m(7, StSegment(Vec(1, 1), Vec(2, 2), Interval(0, 1)));
+  ASSERT_TRUE(tree->Insert(m).ok());
+  EXPECT_EQ(tree->num_segments(), 1u);
+  ASSERT_TRUE(tree->Remove(m).ok());
+  EXPECT_EQ(tree->num_segments(), 0u);
+  EXPECT_TRUE(tree->Remove(m).IsNotFound());  // Second remove fails.
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(RTreeDeleteTest, RemoveRejectsDimsMismatch) {
+  PageFile file;
+  auto tree = MakeTree(&file);
+  MotionSegment m(1, StSegment(Vec(1, 1, 1), Vec(2, 2, 2), Interval(0, 1)));
+  EXPECT_TRUE(tree->Remove(m).IsInvalidArgument());
+}
+
+TEST(RTreeDeleteTest, RemoveAcceptsUnquantizedOriginal) {
+  // The caller may pass the original (double-precision) update; removal
+  // must quantize identically to insertion.
+  PageFile file;
+  auto tree = MakeTree(&file);
+  MotionSegment m(3, StSegment(Vec(10.123456789, 20.987654321),
+                               Vec(11.111111111, 21.222222222),
+                               Interval(0.333333333, 1.666666666)));
+  ASSERT_TRUE(tree->Insert(m).ok());
+  EXPECT_TRUE(tree->Remove(m).ok());
+  EXPECT_EQ(tree->num_segments(), 0u);
+}
+
+class RTreeDeleteRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeDeleteRandomized, DeleteHalfMatchesBruteForce) {
+  PageFile file;
+  auto tree = MakeTree(&file);
+  Rng rng(GetParam());
+  std::vector<MotionSegment> alive = RandomSegments(&rng, 3000, 2, 100, 100);
+  for (const auto& m : alive) ASSERT_TRUE(tree->Insert(m).ok());
+
+  // Remove a random half, checking invariants periodically.
+  for (int round = 0; round < 1500; ++round) {
+    const size_t victim = rng.UniformU64(alive.size());
+    ASSERT_TRUE(tree->Remove(alive[victim]).ok()) << "round " << round;
+    alive.erase(alive.begin() + static_cast<ptrdiff_t>(victim));
+    if (round % 300 == 299) {
+      ASSERT_TRUE(tree->CheckInvariants().ok()) << "round " << round;
+    }
+  }
+  EXPECT_EQ(tree->num_segments(), alive.size());
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  for (int q = 0; q < 40; ++q) {
+    const StBox query = dqmo::testing::RandomQueryBox(&rng, 2, 100, 100);
+    QueryStats stats;
+    auto result = tree->RangeSearch(query, &stats);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(KeysOf(*result), KeysOf(BruteForceRange(alive, query)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeDeleteRandomized,
+                         ::testing::Values(11, 12, 13));
+
+TEST(RTreeDeleteTest, DeleteEverythingCollapsesTree) {
+  PageFile file;
+  auto tree = MakeTree(&file);
+  Rng rng(21);
+  const auto data = RandomSegments(&rng, 2000, 2, 100, 100);
+  for (const auto& m : data) ASSERT_TRUE(tree->Insert(m).ok());
+  ASSERT_GE(tree->height(), 2);
+  for (const auto& m : data) {
+    ASSERT_TRUE(tree->Remove(m).ok());
+  }
+  EXPECT_EQ(tree->num_segments(), 0u);
+  EXPECT_EQ(tree->height(), 1);
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  // And the tree remains fully usable.
+  for (const auto& m : data) ASSERT_TRUE(tree->Insert(m).ok());
+  EXPECT_EQ(tree->num_segments(), data.size());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(RTreeDeleteTest, PagesAreRecycled) {
+  PageFile file;
+  auto tree = MakeTree(&file);
+  Rng rng(22);
+  const auto data = RandomSegments(&rng, 2000, 2, 100, 100);
+  for (const auto& m : data) ASSERT_TRUE(tree->Insert(m).ok());
+  const size_t pages_after_build = file.num_pages();
+  // Churn: delete and reinsert everything a few times; the file must not
+  // grow materially (freed pages get reused).
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (const auto& m : data) ASSERT_TRUE(tree->Remove(m).ok());
+    for (const auto& m : data) ASSERT_TRUE(tree->Insert(m).ok());
+  }
+  EXPECT_LE(file.num_pages(), pages_after_build + 8);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(RTreeDeleteTest, StampAdvancesOnRemove) {
+  PageFile file;
+  auto tree = MakeTree(&file);
+  MotionSegment m(5, StSegment(Vec(1, 1), Vec(2, 2), Interval(0, 1)));
+  ASSERT_TRUE(tree->Insert(m).ok());
+  const UpdateStamp before = tree->stamp();
+  ASSERT_TRUE(tree->Remove(m).ok());
+  EXPECT_GT(tree->stamp(), before);
+}
+
+TEST(RTreeDeleteTest, PersistenceAfterDeletions) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/rtree_delete_persist.pgf";
+  Rng rng(23);
+  auto data = RandomSegments(&rng, 1500, 2, 100, 100);
+  std::set<MotionSegment::Key> expected;
+  {
+    PageFile file;
+    auto tree = MakeTree(&file);
+    for (const auto& m : data) ASSERT_TRUE(tree->Insert(m).ok());
+    for (size_t i = 0; i < data.size(); i += 2) {
+      ASSERT_TRUE(tree->Remove(data[i]).ok());
+    }
+    std::vector<MotionSegment> alive;
+    for (size_t i = 1; i < data.size(); i += 2) alive.push_back(data[i]);
+    QueryStats stats;
+    const StBox everything(
+        Box(Interval(-1, 101), Interval(-1, 101)), Interval(-1, 101));
+    expected = KeysOf(tree->RangeSearch(everything, &stats).value());
+    EXPECT_EQ(expected, KeysOf(alive));
+    ASSERT_TRUE(tree->Flush().ok());
+    ASSERT_TRUE(file.SaveTo(path).ok());
+  }
+  {
+    PageFile file;
+    ASSERT_TRUE(file.LoadFrom(path).ok());
+    auto tree = RTree::Open(&file);
+    ASSERT_TRUE(tree.ok());
+    QueryStats stats;
+    const StBox everything(
+        Box(Interval(-1, 101), Interval(-1, 101)), Interval(-1, 101));
+    EXPECT_EQ(KeysOf((*tree)->RangeSearch(everything, &stats).value()),
+              expected);
+    EXPECT_TRUE((*tree)->CheckInvariants().ok());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dqmo

@@ -1,0 +1,143 @@
+// Tests for StSegment: the location function (Eq. (1)) and the exact
+// segment-vs-query-box intersection of Sect. 3.2, validated against dense
+// time sampling.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/segment.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::RandomPoint;
+
+StSegment MakeSeg(Vec a, Vec b, double t0, double t1) {
+  return StSegment(a, b, Interval(t0, t1));
+}
+
+TEST(SegmentTest, VelocityAndPosition) {
+  const StSegment s = MakeSeg(Vec(0.0, 0.0), Vec(2.0, 4.0), 1.0, 3.0);
+  EXPECT_EQ(s.Velocity(), Vec(1.0, 2.0));
+  EXPECT_EQ(s.PositionAt(1.0), Vec(0.0, 0.0));
+  EXPECT_EQ(s.PositionAt(3.0), Vec(2.0, 4.0));
+  EXPECT_EQ(s.PositionAt(2.0), Vec(1.0, 2.0));
+}
+
+TEST(SegmentTest, InstantaneousSegmentIsStationary) {
+  const StSegment s = MakeSeg(Vec(1.0, 1.0), Vec(1.0, 1.0), 2.0, 2.0);
+  EXPECT_EQ(s.Velocity(), Vec(0.0, 0.0));
+  EXPECT_EQ(s.PositionAt(2.0), Vec(1.0, 1.0));
+}
+
+TEST(SegmentTest, BoundsCoverTrajectory) {
+  const StSegment s = MakeSeg(Vec(3.0, 1.0), Vec(1.0, 5.0), 0.0, 2.0);
+  const StBox b = s.Bounds();
+  EXPECT_EQ(b.spatial.extent(0), Interval(1.0, 3.0));
+  EXPECT_EQ(b.spatial.extent(1), Interval(1.0, 5.0));
+  EXPECT_EQ(b.time, Interval(0.0, 2.0));
+}
+
+TEST(SegmentTest, OverlapTimeStationaryInside) {
+  const StSegment s = MakeSeg(Vec(1.0, 1.0), Vec(1.0, 1.0), 0.0, 10.0);
+  const StBox q(Box(Interval(0.0, 2.0), Interval(0.0, 2.0)),
+                Interval(3.0, 4.0));
+  EXPECT_EQ(s.OverlapTime(q), Interval(3.0, 4.0));
+}
+
+TEST(SegmentTest, OverlapTimeCrossingBox) {
+  // Moves along x from 0 to 10 over t in [0, 10]; box x in [2, 4].
+  const StSegment s = MakeSeg(Vec(0.0, 0.0), Vec(10.0, 0.0), 0.0, 10.0);
+  const StBox q(Box(Interval(2.0, 4.0), Interval(-1.0, 1.0)),
+                Interval(0.0, 10.0));
+  EXPECT_EQ(s.OverlapTime(q), Interval(2.0, 4.0));
+}
+
+TEST(SegmentTest, OverlapTimeClippedByQueryTime) {
+  const StSegment s = MakeSeg(Vec(0.0, 0.0), Vec(10.0, 0.0), 0.0, 10.0);
+  const StBox q(Box(Interval(2.0, 8.0), Interval(-1.0, 1.0)),
+                Interval(5.0, 6.0));
+  EXPECT_EQ(s.OverlapTime(q), Interval(5.0, 6.0));
+}
+
+TEST(SegmentTest, BbIntersectsButSegmentMisses) {
+  // Diagonal segment whose BB covers the box but whose line passes beside
+  // it — the Sect. 3.2 false-admission case the exact test eliminates.
+  const StSegment s = MakeSeg(Vec(0.0, 0.0), Vec(10.0, 10.0), 0.0, 10.0);
+  const StBox q(Box(Interval(8.0, 10.0), Interval(0.0, 2.0)),
+                Interval(0.0, 10.0));
+  EXPECT_TRUE(s.Bounds().Overlaps(q));
+  EXPECT_FALSE(s.Intersects(q));
+}
+
+TEST(SegmentTest, TemporalDisjointMisses) {
+  const StSegment s = MakeSeg(Vec(1.0, 1.0), Vec(1.0, 1.0), 0.0, 1.0);
+  const StBox q(Box(Interval(0.0, 2.0), Interval(0.0, 2.0)),
+                Interval(2.0, 3.0));
+  EXPECT_FALSE(s.Intersects(q));
+}
+
+TEST(SegmentTest, TouchingBoundaryCounts) {
+  // Ends exactly on the box's lower-left corner at the query start time.
+  const StSegment s = MakeSeg(Vec(0.0, 0.0), Vec(2.0, 2.0), 0.0, 2.0);
+  const StBox q(Box(Interval(2.0, 4.0), Interval(2.0, 4.0)),
+                Interval(2.0, 5.0));
+  EXPECT_TRUE(s.Intersects(q));
+  EXPECT_EQ(s.OverlapTime(q), Interval::Point(2.0));
+}
+
+TEST(SegmentTest, DistanceAt) {
+  const StSegment s = MakeSeg(Vec(0.0, 0.0), Vec(10.0, 0.0), 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(s.DistanceAt(5.0, Vec(5.0, 3.0)), 3.0);
+}
+
+TEST(SegmentTest, ThreeDimensionalOverlap) {
+  const StSegment s(Vec(0.0, 0.0, 0.0), Vec(10.0, 10.0, 10.0),
+                    Interval(0.0, 10.0));
+  const StBox q(Box(Interval(4.0, 6.0), Interval(4.0, 6.0),
+                    Interval(4.0, 6.0)),
+                Interval(0.0, 10.0));
+  EXPECT_EQ(s.OverlapTime(q), Interval(4.0, 6.0));
+}
+
+// Property: OverlapTime agrees with dense sampling of the location
+// function. Sampled instants inside the reported interval must lie in the
+// box; instants clearly outside must not (allowing boundary tolerance).
+class SegmentOverlapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmentOverlapProperty, MatchesSampling) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 300; ++iter) {
+    const StSegment s = MakeSeg(RandomPoint(&rng, 2, 10),
+                                RandomPoint(&rng, 2, 10),
+                                rng.Uniform(0, 5), rng.Uniform(5, 10));
+    const StBox q = dqmo::testing::RandomQueryBox(&rng, 2, 10.0, 10.0, 5.0,
+                                                  10.0);
+    const Interval overlap = s.OverlapTime(q);
+    for (int k = 0; k <= 50; ++k) {
+      const double t =
+          s.time.lo + (s.time.hi - s.time.lo) * k / 50.0;
+      const bool inside =
+          q.time.Contains(t) && q.spatial.Contains(s.PositionAt(t));
+      if (inside) {
+        // Tolerance: a point grazing the box boundary may fall a rounding
+        // error outside the solver's interval.
+        EXPECT_TRUE(overlap.Inflate(1e-9).Contains(t))
+            << "sampled inside point not in overlap; t=" << t;
+      }
+      if (!overlap.empty() &&
+          (t < overlap.lo - 1e-9 || t > overlap.hi + 1e-9)) {
+        EXPECT_FALSE(inside) << "point outside overlap lies in box; t=" << t;
+      }
+      if (overlap.empty()) {
+        EXPECT_FALSE(inside) << "empty overlap but sampled point inside";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentOverlapProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace dqmo

@@ -1,0 +1,208 @@
+// Tests for DynamicQuerySession: automated PDQ <-> NPDQ hand-off (the
+// paper's future-work item (iv) and the three operating modes of Sect. 4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "query/session.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::KeysOf;
+using ::dqmo::testing::RandomSegments;
+
+struct SessionFixture {
+  PageFile file;
+  std::unique_ptr<RTree> tree;
+  std::vector<MotionSegment> data;
+};
+
+void BuildFixture(SessionFixture* fx, uint64_t seed, int n = 4000) {
+  auto tree = RTree::Create(&fx->file, RTree::Options());
+  ASSERT_TRUE(tree.ok());
+  fx->tree = std::move(tree).value();
+  Rng rng(seed);
+  fx->data = RandomSegments(&rng, n, 2, 100, 100);
+  for (const auto& m : fx->data) ASSERT_TRUE(fx->tree->Insert(m).ok());
+}
+
+DynamicQuerySession::Options DefaultOptions() {
+  DynamicQuerySession::Options options;
+  options.window = 10.0;
+  options.deviation_bound = 1.0;
+  options.prediction_horizon = 4.0;
+  options.stable_frames_to_predict = 4;
+  return options;
+}
+
+TEST(SessionTest, RejectsNonAdvancingTime) {
+  SessionFixture fx;
+  BuildFixture(&fx, 1, 200);
+  DynamicQuerySession session(fx.tree.get(), DefaultOptions());
+  ASSERT_TRUE(session.OnFrame(5.0, Vec(50, 50), Vec(1, 0)).ok());
+  EXPECT_TRUE(session.OnFrame(5.0, Vec(50, 50), Vec(1, 0))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session.OnFrame(4.0, Vec(50, 50), Vec(1, 0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SessionTest, StartsNonPredictiveThenHandsOffToPdq) {
+  SessionFixture fx;
+  BuildFixture(&fx, 2, 500);
+  DynamicQuerySession session(fx.tree.get(), DefaultOptions());
+  EXPECT_EQ(session.mode(), DynamicQuerySession::Mode::kNonPredictive);
+  // Straight, steady motion: after the stability streak the session must
+  // switch to predictive mode and stay there.
+  Vec pos(20, 50);
+  const Vec vel(1.0, 0.0);
+  bool saw_handoff = false;
+  for (int i = 0; i < 40; ++i) {
+    const double t = 10.0 + i * 0.1;
+    pos[0] = 20.0 + (t - 10.0) * 1.0;
+    auto frame = session.OnFrame(t, pos, vel);
+    ASSERT_TRUE(frame.ok());
+    saw_handoff |= frame->handoff;
+  }
+  EXPECT_TRUE(saw_handoff);
+  EXPECT_EQ(session.mode(), DynamicQuerySession::Mode::kPredictive);
+  EXPECT_EQ(session.session_stats().handoffs_to_pdq, 1u);
+  EXPECT_EQ(session.session_stats().handoffs_to_npdq, 0u);
+  EXPECT_GT(session.session_stats().predictive_frames, 25u);
+}
+
+TEST(SessionTest, JitterWithinBoundStaysPredictive) {
+  SessionFixture fx;
+  BuildFixture(&fx, 3, 500);
+  auto options = DefaultOptions();
+  DynamicQuerySession session(fx.tree.get(), options);
+  Rng rng(33);
+  Vec pos(20, 50);
+  const Vec vel(1.0, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    const double t = 10.0 + i * 0.1;
+    // True position: straight line plus jitter well inside the bound.
+    Vec observed = pos;
+    observed[0] = 20.0 + (t - 10.0) + rng.Uniform(-0.3, 0.3);
+    observed[1] = 50.0 + rng.Uniform(-0.3, 0.3);
+    ASSERT_TRUE(session.OnFrame(t, observed, vel).ok());
+  }
+  EXPECT_EQ(session.mode(), DynamicQuerySession::Mode::kPredictive);
+  EXPECT_EQ(session.session_stats().handoffs_to_npdq, 0u);
+}
+
+TEST(SessionTest, SharpTurnTriggersHandoffAndRecovery) {
+  SessionFixture fx;
+  BuildFixture(&fx, 4, 500);
+  DynamicQuerySession session(fx.tree.get(), DefaultOptions());
+  auto drive = [&](double t, const Vec& p, const Vec& v) {
+    auto frame = session.OnFrame(t, p, v);
+    ASSERT_TRUE(frame.ok());
+  };
+  double t = 10.0;
+  // Leg 1: eastbound until predictive.
+  for (int i = 0; i < 20; ++i, t += 0.1) {
+    drive(t, Vec(20.0 + (t - 10.0), 50.0), Vec(1.0, 0.0));
+  }
+  ASSERT_EQ(session.mode(), DynamicQuerySession::Mode::kPredictive);
+  // Sharp 90-degree turn: northbound at 3 u/t — deviates quickly.
+  const Vec corner(20.0 + (t - 10.0), 50.0);
+  const double turn_t = t;
+  for (int i = 0; i < 30; ++i, t += 0.1) {
+    drive(t, Vec(corner[0], corner[1] + 3.0 * (t - turn_t)),
+          Vec(0.0, 3.0));
+  }
+  EXPECT_GE(session.session_stats().handoffs_to_npdq, 1u);
+  // The steady northbound leg must have re-established prediction.
+  EXPECT_EQ(session.mode(), DynamicQuerySession::Mode::kPredictive);
+  EXPECT_GE(session.session_stats().handoffs_to_pdq, 2u);
+}
+
+TEST(SessionTest, PredictionRenewedWhenHorizonExhausted) {
+  SessionFixture fx;
+  BuildFixture(&fx, 5, 500);
+  auto options = DefaultOptions();
+  options.prediction_horizon = 2.0;
+  DynamicQuerySession session(fx.tree.get(), options);
+  for (int i = 0; i < 100; ++i) {
+    const double t = 10.0 + i * 0.1;  // 10 time units total.
+    ASSERT_TRUE(
+        session.OnFrame(t, Vec(20.0 + (t - 10.0), 50.0), Vec(1.0, 0.0))
+            .ok());
+  }
+  EXPECT_GE(session.session_stats().pdq_renewals, 3u);
+  EXPECT_EQ(session.session_stats().handoffs_to_npdq, 0u);
+}
+
+// Completeness across mode switches: at every frame, the set of objects
+// delivered so far must cover everything whose exact trajectory is inside
+// the observer's window during that frame (the session may deliver
+// supersets — SPDQ inflation, BB leaf semantics — but must never miss).
+class SessionCompleteness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SessionCompleteness, NoVisibleObjectEverMissed) {
+  SessionFixture fx;
+  BuildFixture(&fx, GetParam());
+  DynamicQuerySession session(fx.tree.get(), DefaultOptions());
+  Rng rng(GetParam() * 31);
+
+  std::set<MotionSegment::Key> delivered;
+  Vec pos(30, 30);
+  Vec vel(1.2, 0.4);
+  double t = 5.0;
+  for (int i = 0; i < 120; ++i, t += 0.1) {
+    // Occasionally jerk the observer (interaction).
+    if (i % 37 == 36) {
+      vel = Vec(rng.Uniform(-2, 2), rng.Uniform(-2, 2));
+    }
+    pos = pos + vel * 0.1;
+    pos[0] = std::clamp(pos[0], 6.0, 94.0);
+    pos[1] = std::clamp(pos[1], 6.0, 94.0);
+    auto frame = session.OnFrame(t, pos, vel);
+    ASSERT_TRUE(frame.ok());
+    for (const MotionSegment& m : frame->fresh) delivered.insert(m.key());
+
+    // Ground truth: exact hits of the observer's *instantaneous* window at
+    // the frame time (covered by both engines: NPDQ queries this window
+    // over the frame interval; SPDQ's inflation bound covers the actual
+    // observer whenever prediction holds).
+    const StBox actual(Box::Centered(pos, 10.0), Interval::Point(t));
+    for (const MotionSegment& m : fx.data) {
+      if (m.seg.Intersects(actual)) {
+        EXPECT_TRUE(delivered.contains(m.key()))
+            << "frame " << i << " (mode "
+            << (frame->mode == DynamicQuerySession::Mode::kPredictive
+                    ? "PDQ"
+                    : "NPDQ")
+            << "): visible object " << m.oid << " never delivered";
+      }
+    }
+  }
+  EXPECT_GT(session.session_stats().predictive_frames, 0u);
+  EXPECT_GT(session.session_stats().non_predictive_frames, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionCompleteness,
+                         ::testing::Values(41, 42, 43));
+
+TEST(SessionTest, TotalStatsAggregateBothEngines) {
+  SessionFixture fx;
+  BuildFixture(&fx, 6, 1000);
+  DynamicQuerySession session(fx.tree.get(), DefaultOptions());
+  for (int i = 0; i < 30; ++i) {
+    const double t = 10.0 + i * 0.1;
+    ASSERT_TRUE(
+        session.OnFrame(t, Vec(40.0 + (t - 10.0), 50.0), Vec(1.0, 0.0))
+            .ok());
+  }
+  const QueryStats total = session.TotalStats();
+  EXPECT_GT(total.node_reads, 0u);
+  EXPECT_GT(total.distance_computations, 0u);
+}
+
+}  // namespace
+}  // namespace dqmo

@@ -1,0 +1,216 @@
+// Tests for the paged storage engine: PageFile accounting/persistence and
+// the LRU BufferPool.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace dqmo {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void FillPage(uint8_t* buf, uint8_t value) {
+  std::memset(buf, value, kPageSize);
+}
+
+TEST(PageFileTest, AllocateGrowsSequentialIds) {
+  PageFile f;
+  EXPECT_EQ(f.num_pages(), 0u);
+  EXPECT_EQ(f.Allocate(), 0u);
+  EXPECT_EQ(f.Allocate(), 1u);
+  EXPECT_EQ(f.Allocate(), 2u);
+  EXPECT_EQ(f.num_pages(), 3u);
+}
+
+TEST(PageFileTest, NewPagesAreZeroed) {
+  PageFile f;
+  const PageId id = f.Allocate();
+  auto read = f.Read(id);
+  ASSERT_TRUE(read.ok());
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ(read->data[i], 0);
+}
+
+TEST(PageFileTest, WriteThenReadRoundTrips) {
+  PageFile f;
+  const PageId id = f.Allocate();
+  uint8_t buf[kPageSize];
+  FillPage(buf, 0xAB);
+  ASSERT_TRUE(f.Write(id, buf).ok());
+  auto read = f.Read(id);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(std::memcmp(read->data, buf, kPageSize), 0);
+  EXPECT_TRUE(read->physical);
+}
+
+TEST(PageFileTest, OutOfRangeRejected) {
+  PageFile f;
+  f.Allocate();
+  EXPECT_TRUE(f.Read(5).status().IsOutOfRange());
+  uint8_t buf[kPageSize] = {};
+  EXPECT_TRUE(f.Write(5, buf).IsOutOfRange());
+  EXPECT_TRUE(f.WritableView(5).status().IsOutOfRange());
+}
+
+TEST(PageFileTest, StatsCountPhysicalOps) {
+  PageFile f;
+  const PageId id = f.Allocate();
+  uint8_t buf[kPageSize] = {};
+  ASSERT_TRUE(f.Write(id, buf).ok());
+  ASSERT_TRUE(f.Read(id).ok());
+  ASSERT_TRUE(f.Read(id).ok());
+  EXPECT_EQ(f.stats().physical_writes, 1u);
+  EXPECT_EQ(f.stats().physical_reads, 2u);
+  f.ResetStats();
+  EXPECT_EQ(f.stats().physical_reads, 0u);
+}
+
+TEST(PageFileTest, WritableViewEditsInPlace) {
+  PageFile f;
+  const PageId id = f.Allocate();
+  {
+    auto view = f.WritableView(id);
+    ASSERT_TRUE(view.ok());
+    view->Write<uint32_t>(0, 0xDEADBEEF);
+    view->Write<double>(8, 2.5);
+  }
+  auto read = f.Read(id);
+  ASSERT_TRUE(read.ok());
+  PageView v(const_cast<uint8_t*>(read->data), kPageSize);
+  EXPECT_EQ(v.Read<uint32_t>(0), 0xDEADBEEFu);
+  EXPECT_EQ(v.Read<double>(8), 2.5);
+}
+
+TEST(PageFileTest, SaveAndLoadRoundTrips) {
+  const std::string path = TempPath("pf_roundtrip.pgf");
+  PageFile f;
+  for (int i = 0; i < 5; ++i) {
+    const PageId id = f.Allocate();
+    uint8_t buf[kPageSize];
+    FillPage(buf, static_cast<uint8_t>(0x10 + i));
+    ASSERT_TRUE(f.Write(id, buf).ok());
+  }
+  ASSERT_TRUE(f.SaveTo(path).ok());
+
+  PageFile g;
+  ASSERT_TRUE(g.LoadFrom(path).ok());
+  EXPECT_EQ(g.num_pages(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto read = g.Read(static_cast<PageId>(i));
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read->data[17], 0x10 + i);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PageFileTest, LoadRejectsMissingFile) {
+  PageFile f;
+  EXPECT_TRUE(f.LoadFrom(TempPath("does_not_exist.pgf")).IsIOError());
+}
+
+TEST(PageFileTest, LoadRejectsGarbageFile) {
+  const std::string path = TempPath("pf_garbage.pgf");
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(fp, nullptr);
+  const char junk[] = "this is not a page file at all, sorry about that";
+  std::fwrite(junk, 1, sizeof(junk), fp);
+  std::fclose(fp);
+  PageFile f;
+  EXPECT_TRUE(f.LoadFrom(path).IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(PageFileTest, SaveEmptyFileWorks) {
+  const std::string path = TempPath("pf_empty.pgf");
+  PageFile f;
+  ASSERT_TRUE(f.SaveTo(path).ok());
+  PageFile g;
+  ASSERT_TRUE(g.LoadFrom(path).ok());
+  EXPECT_EQ(g.num_pages(), 0u);
+  std::remove(path.c_str());
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 10; ++i) {
+      const PageId id = file_.Allocate();
+      uint8_t buf[kPageSize];
+      FillPage(buf, static_cast<uint8_t>(i));
+      ASSERT_TRUE(file_.Write(id, buf).ok());
+    }
+    file_.ResetStats();
+  }
+
+  PageFile file_;
+};
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  BufferPool pool(&file_, 4);
+  auto r1 = pool.Read(3);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->physical);
+  EXPECT_EQ(r1->data[0], 3);
+  auto r2 = pool.Read(3);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->physical);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(file_.stats().physical_reads, 1u);
+  EXPECT_EQ(file_.stats().cache_hits, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(&file_, 2);
+  ASSERT_TRUE(pool.Read(0).ok());  // Cache: {0}
+  ASSERT_TRUE(pool.Read(1).ok());  // Cache: {1, 0}
+  ASSERT_TRUE(pool.Read(0).ok());  // Hit; order {0, 1}
+  ASSERT_TRUE(pool.Read(2).ok());  // Evicts 1. Cache {2, 0}
+  EXPECT_FALSE(pool.Read(0)->physical);  // Still cached.
+  EXPECT_TRUE(pool.Read(1)->physical);   // Was evicted.
+}
+
+TEST_F(BufferPoolTest, CapacityRespected) {
+  BufferPool pool(&file_, 3);
+  for (PageId id = 0; id < 10; ++id) ASSERT_TRUE(pool.Read(id).ok());
+  EXPECT_EQ(pool.cached_pages(), 3u);
+}
+
+TEST_F(BufferPoolTest, ClearDropsEverything) {
+  BufferPool pool(&file_, 4);
+  ASSERT_TRUE(pool.Read(0).ok());
+  ASSERT_TRUE(pool.Read(1).ok());
+  pool.Clear();
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  EXPECT_TRUE(pool.Read(0)->physical);
+}
+
+TEST_F(BufferPoolTest, InvalidateDropsOnePage) {
+  BufferPool pool(&file_, 4);
+  ASSERT_TRUE(pool.Read(0).ok());
+  ASSERT_TRUE(pool.Read(1).ok());
+  pool.Invalidate(0);
+  EXPECT_TRUE(pool.Read(0)->physical);   // Re-fetched.
+  EXPECT_FALSE(pool.Read(1)->physical);  // Still cached.
+}
+
+TEST_F(BufferPoolTest, ServesFreshDataAfterInvalidation) {
+  BufferPool pool(&file_, 4);
+  ASSERT_TRUE(pool.Read(5).ok());
+  uint8_t buf[kPageSize];
+  FillPage(buf, 0x99);
+  ASSERT_TRUE(file_.Write(5, buf).ok());
+  // Without invalidation the pool would serve stale bytes.
+  EXPECT_EQ(pool.Read(5)->data[0], 5);
+  pool.Invalidate(5);
+  EXPECT_EQ(pool.Read(5)->data[0], 0x99);
+}
+
+}  // namespace
+}  // namespace dqmo

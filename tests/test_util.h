@@ -1,0 +1,97 @@
+// Shared helpers for the DQMO test suite: random geometry generators and
+// brute-force reference implementations that the indexed/incremental
+// algorithms are checked against.
+#ifndef DQMO_TESTS_TEST_UTIL_H_
+#define DQMO_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "geom/box.h"
+#include "geom/segment.h"
+#include "geom/trajectory.h"
+#include "motion/motion_segment.h"
+#include "rtree/layout.h"
+
+namespace dqmo::testing {
+
+/// Uniform random point in [0, size]^dims.
+inline Vec RandomPoint(Rng* rng, int dims, double size) {
+  Vec p(dims);
+  for (int i = 0; i < dims; ++i) p[i] = rng->Uniform(0.0, size);
+  return p;
+}
+
+/// Random motion segment within [0, size]^dims and time in [0, horizon],
+/// pre-quantized to the stored (float32) form so that expectations match
+/// what the index returns bit-for-bit.
+inline MotionSegment RandomSegment(Rng* rng, ObjectId oid, int dims,
+                                   double size, double horizon,
+                                   double max_duration = 2.0) {
+  const double t0 = rng->Uniform(0.0, horizon);
+  const double dt = rng->Uniform(0.01, max_duration);
+  StSegment seg(RandomPoint(rng, dims, size), RandomPoint(rng, dims, size),
+                Interval(t0, std::min(horizon, t0 + dt)));
+  MotionSegment m(oid, seg);
+  m.seg = QuantizeStored(m.seg);
+  return m;
+}
+
+/// A batch of random segments with object ids 0..n-1.
+inline std::vector<MotionSegment> RandomSegments(Rng* rng, int n, int dims,
+                                                 double size, double horizon,
+                                                 double max_duration = 2.0) {
+  std::vector<MotionSegment> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(RandomSegment(rng, static_cast<ObjectId>(i), dims, size,
+                                horizon, max_duration));
+  }
+  return out;
+}
+
+/// Random space-time query box.
+inline StBox RandomQueryBox(Rng* rng, int dims, double size, double horizon,
+                            double max_side = 30.0, double max_dt = 5.0) {
+  Box spatial(dims);
+  for (int i = 0; i < dims; ++i) {
+    const double lo = rng->Uniform(0.0, size);
+    spatial.extent(i) = Interval(lo, lo + rng->Uniform(0.1, max_side));
+  }
+  const double t0 = rng->Uniform(0.0, horizon);
+  return StBox(spatial, Interval(t0, t0 + rng->Uniform(0.0, max_dt)));
+}
+
+/// Brute-force exact range query (reference for RTree::RangeSearch).
+inline std::vector<MotionSegment> BruteForceRange(
+    const std::vector<MotionSegment>& data, const StBox& q) {
+  std::vector<MotionSegment> out;
+  for (const MotionSegment& m : data) {
+    if (m.seg.Intersects(q)) out.push_back(m);
+  }
+  return out;
+}
+
+/// Brute-force bounding-box range query.
+inline std::vector<MotionSegment> BruteForceRangeBb(
+    const std::vector<MotionSegment>& data, const StBox& q) {
+  std::vector<MotionSegment> out;
+  for (const MotionSegment& m : data) {
+    if (QuantizeOutward(m.Bounds()).Overlaps(q)) out.push_back(m);
+  }
+  return out;
+}
+
+/// Canonical key set of a result list (for set comparisons).
+inline std::set<MotionSegment::Key> KeysOf(
+    const std::vector<MotionSegment>& segments) {
+  std::set<MotionSegment::Key> keys;
+  for (const MotionSegment& m : segments) keys.insert(m.key());
+  return keys;
+}
+
+}  // namespace dqmo::testing
+
+#endif  // DQMO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,168 @@
+// Tests for TimeSet (disjoint interval unions used by PDQ).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "geom/timeset.h"
+
+namespace dqmo {
+namespace {
+
+TEST(TimeSetTest, EmptyByDefault) {
+  TimeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Start(), kInf);
+  EXPECT_EQ(s.End(), -kInf);
+  EXPECT_EQ(s.TotalLength(), 0.0);
+}
+
+TEST(TimeSetTest, AddIgnoresEmptyInterval) {
+  TimeSet s;
+  s.Add(Interval::Empty());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TimeSetTest, DisjointAddsStaySeparate) {
+  TimeSet s;
+  s.Add(Interval(5.0, 6.0));
+  s.Add(Interval(1.0, 2.0));
+  ASSERT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.intervals()[0], Interval(1.0, 2.0));
+  EXPECT_EQ(s.intervals()[1], Interval(5.0, 6.0));
+  EXPECT_EQ(s.Start(), 1.0);
+  EXPECT_EQ(s.End(), 6.0);
+  EXPECT_EQ(s.TotalLength(), 2.0);
+}
+
+TEST(TimeSetTest, OverlappingAddsMerge) {
+  TimeSet s;
+  s.Add(Interval(1.0, 3.0));
+  s.Add(Interval(2.0, 5.0));
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval(1.0, 5.0));
+}
+
+TEST(TimeSetTest, TouchingAddsMerge) {
+  TimeSet s;
+  s.Add(Interval(1.0, 2.0));
+  s.Add(Interval(2.0, 3.0));
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval(1.0, 3.0));
+}
+
+TEST(TimeSetTest, BridgingAddMergesMultiple) {
+  TimeSet s;
+  s.Add(Interval(1.0, 2.0));
+  s.Add(Interval(3.0, 4.0));
+  s.Add(Interval(5.0, 6.0));
+  s.Add(Interval(1.5, 5.5));  // Bridges all three.
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval(1.0, 6.0));
+}
+
+TEST(TimeSetTest, ContainsChecksMembership) {
+  TimeSet s;
+  s.Add(Interval(1.0, 2.0));
+  s.Add(Interval(4.0, 5.0));
+  EXPECT_TRUE(s.Contains(1.5));
+  EXPECT_TRUE(s.Contains(4.0));
+  EXPECT_FALSE(s.Contains(3.0));
+  EXPECT_FALSE(s.Contains(0.0));
+  EXPECT_FALSE(s.Contains(6.0));
+}
+
+TEST(TimeSetTest, OverlapsAndFirstOverlap) {
+  TimeSet s;
+  s.Add(Interval(1.0, 2.0));
+  s.Add(Interval(4.0, 5.0));
+  EXPECT_TRUE(s.Overlaps(Interval(1.5, 3.0)));
+  EXPECT_TRUE(s.Overlaps(Interval(3.0, 4.0)));
+  EXPECT_FALSE(s.Overlaps(Interval(2.5, 3.5)));
+  EXPECT_EQ(s.FirstOverlap(Interval(0.0, 10.0)), Interval(1.0, 2.0));
+  EXPECT_EQ(s.FirstOverlap(Interval(3.0, 10.0)), Interval(4.0, 5.0));
+  EXPECT_TRUE(s.FirstOverlap(Interval(2.5, 3.5)).empty());
+}
+
+TEST(TimeSetTest, IntersectClipsMembers) {
+  TimeSet s;
+  s.Add(Interval(1.0, 3.0));
+  s.Add(Interval(5.0, 7.0));
+  const TimeSet clipped = s.Intersect(Interval(2.0, 6.0));
+  ASSERT_EQ(clipped.intervals().size(), 2u);
+  EXPECT_EQ(clipped.intervals()[0], Interval(2.0, 3.0));
+  EXPECT_EQ(clipped.intervals()[1], Interval(5.0, 6.0));
+}
+
+TEST(TimeSetTest, FirstInstantAtOrAfter) {
+  TimeSet s;
+  s.Add(Interval(1.0, 2.0));
+  s.Add(Interval(4.0, 5.0));
+  EXPECT_EQ(s.FirstInstantAtOrAfter(0.0), 1.0);
+  EXPECT_EQ(s.FirstInstantAtOrAfter(1.5), 1.5);
+  EXPECT_EQ(s.FirstInstantAtOrAfter(2.0), 2.0);
+  EXPECT_EQ(s.FirstInstantAtOrAfter(3.0), 4.0);
+  EXPECT_EQ(s.FirstInstantAtOrAfter(5.0), 5.0);
+  EXPECT_EQ(s.FirstInstantAtOrAfter(5.01), kInf);
+}
+
+TEST(TimeSetTest, AddAllMergesSets) {
+  TimeSet a;
+  a.Add(Interval(1.0, 2.0));
+  TimeSet b;
+  b.Add(Interval(1.5, 3.0));
+  b.Add(Interval(5.0, 6.0));
+  a.AddAll(b);
+  ASSERT_EQ(a.intervals().size(), 2u);
+  EXPECT_EQ(a.intervals()[0], Interval(1.0, 3.0));
+  EXPECT_EQ(a.intervals()[1], Interval(5.0, 6.0));
+}
+
+// Property test: TimeSet behaves like a set of reals built naively.
+class TimeSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TimeSetProperty, MatchesNaiveMembership) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    TimeSet s;
+    std::vector<Interval> raw;
+    const int n = rng.UniformInt(1, 15);
+    for (int i = 0; i < n; ++i) {
+      const double lo = rng.Uniform(0.0, 20.0);
+      const Interval iv(lo, lo + rng.Uniform(0.0, 3.0));
+      raw.push_back(iv);
+      s.Add(iv);
+    }
+    // Invariant: sorted, disjoint, non-touching members.
+    for (size_t i = 1; i < s.intervals().size(); ++i) {
+      EXPECT_GT(s.intervals()[i].lo, s.intervals()[i - 1].hi);
+    }
+    // Membership matches the naive union.
+    for (int k = 0; k < 200; ++k) {
+      const double t = rng.Uniform(-1.0, 24.0);
+      bool naive = false;
+      for (const Interval& iv : raw) naive |= iv.Contains(t);
+      EXPECT_EQ(s.Contains(t), naive) << "t=" << t;
+    }
+    // FirstInstantAtOrAfter is consistent with membership.
+    for (int k = 0; k < 50; ++k) {
+      const double t = rng.Uniform(-1.0, 24.0);
+      const double first = s.FirstInstantAtOrAfter(t);
+      if (first != kInf) {
+        EXPECT_GE(first, t);
+        EXPECT_TRUE(s.Contains(first));
+        // No member point in [t, first).
+        if (first > t) {
+          const double probe = 0.5 * (t + first);
+          EXPECT_FALSE(s.Contains(probe) && probe < first - 1e-12);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeSetProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace dqmo

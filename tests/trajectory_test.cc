@@ -1,0 +1,174 @@
+// Tests for QueryTrajectory: key-snapshot validation (Eq. (2)), window
+// interpolation, frame queries, overlap TimeSets and SPDQ inflation.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/trajectory.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::RandomPoint;
+
+QueryTrajectory SimpleTrajectory() {
+  // Window of side 2 moving along x: center 0 at t=0, 10 at t=10,
+  // then back to 5 at t=15.
+  std::vector<KeySnapshot> keys;
+  keys.emplace_back(0.0, Box::Centered(Vec(0.0, 0.0), 2.0));
+  keys.emplace_back(10.0, Box::Centered(Vec(10.0, 0.0), 2.0));
+  keys.emplace_back(15.0, Box::Centered(Vec(5.0, 0.0), 2.0));
+  auto result = QueryTrajectory::Make(std::move(keys));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(TrajectoryTest, MakeRejectsTooFewKeys) {
+  std::vector<KeySnapshot> keys;
+  keys.emplace_back(0.0, Box::Centered(Vec(0.0, 0.0), 2.0));
+  EXPECT_TRUE(QueryTrajectory::Make(keys).status().IsInvalidArgument());
+}
+
+TEST(TrajectoryTest, MakeRejectsNonIncreasingTimes) {
+  std::vector<KeySnapshot> keys;
+  keys.emplace_back(0.0, Box::Centered(Vec(0.0, 0.0), 2.0));
+  keys.emplace_back(0.0, Box::Centered(Vec(1.0, 0.0), 2.0));
+  EXPECT_TRUE(QueryTrajectory::Make(keys).status().IsInvalidArgument());
+}
+
+TEST(TrajectoryTest, MakeRejectsEmptyWindow) {
+  std::vector<KeySnapshot> keys;
+  keys.emplace_back(0.0, Box(2));  // Empty box.
+  keys.emplace_back(1.0, Box::Centered(Vec(0.0, 0.0), 2.0));
+  EXPECT_TRUE(QueryTrajectory::Make(keys).status().IsInvalidArgument());
+}
+
+TEST(TrajectoryTest, MakeRejectsMixedDims) {
+  std::vector<KeySnapshot> keys;
+  keys.emplace_back(0.0, Box::Centered(Vec(0.0, 0.0), 2.0));
+  keys.emplace_back(1.0, Box::Centered(Vec(0.0, 0.0, 0.0), 2.0));
+  EXPECT_TRUE(QueryTrajectory::Make(keys).status().IsInvalidArgument());
+}
+
+TEST(TrajectoryTest, BasicAccessors) {
+  const QueryTrajectory q = SimpleTrajectory();
+  EXPECT_EQ(q.dims(), 2);
+  EXPECT_EQ(q.num_segments(), 2);
+  EXPECT_EQ(q.TimeSpan(), Interval(0.0, 15.0));
+}
+
+TEST(TrajectoryTest, WindowAtInterpolatesAcrossSegments) {
+  const QueryTrajectory q = SimpleTrajectory();
+  EXPECT_EQ(q.WindowAt(5.0).Center(), Vec(5.0, 0.0));
+  EXPECT_EQ(q.WindowAt(10.0).Center(), Vec(10.0, 0.0));
+  EXPECT_EQ(q.WindowAt(12.5).Center(), Vec(7.5, 0.0));
+  EXPECT_EQ(q.WindowAt(15.0).Center(), Vec(5.0, 0.0));
+}
+
+TEST(TrajectoryTest, FrameQueryCoversWindowPath) {
+  const QueryTrajectory q = SimpleTrajectory();
+  const StBox f = q.FrameQuery(2.0, 3.0);
+  EXPECT_EQ(f.time, Interval(2.0, 3.0));
+  // Window centers 2..3, side 2 -> x extent [1, 4].
+  EXPECT_EQ(f.spatial.extent(0), Interval(1.0, 4.0));
+}
+
+TEST(TrajectoryTest, FrameQuerySpanningKeyIncludesTurnPoint) {
+  const QueryTrajectory q = SimpleTrajectory();
+  // Frame [9, 11] spans the turn at t=10 where the center peaks at 10.
+  const StBox f = q.FrameQuery(9.0, 11.0);
+  EXPECT_EQ(f.spatial.extent(0).hi, 11.0);  // Peak center 10 + half side 1.
+  EXPECT_DOUBLE_EQ(f.spatial.extent(0).lo, 8.0);
+}
+
+TEST(TrajectoryTest, OverlapTimesBoxAcrossTurn) {
+  const QueryTrajectory q = SimpleTrajectory();
+  // Box at x in [8.5, 9.5]: window (half-width 1) covers it while center
+  // in [7.5, 10] going out (t in [7.5, 10]) and center in [10, 7.5] coming
+  // back (t in [10, 12.5]) -> one merged interval [7.5, 12.5].
+  const StBox r(Box(Interval(8.5, 9.5), Interval(-1.0, 1.0)),
+                Interval(0.0, 15.0));
+  const TimeSet times = q.OverlapTimes(r);
+  ASSERT_EQ(times.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(times.intervals()[0].lo, 7.5);
+  EXPECT_DOUBLE_EQ(times.intervals()[0].hi, 12.5);
+}
+
+TEST(TrajectoryTest, OverlapTimesCanBeDisjoint) {
+  // Trajectory passes the box, leaves, and returns.
+  std::vector<KeySnapshot> keys;
+  keys.emplace_back(0.0, Box::Centered(Vec(0.0, 0.0), 2.0));
+  keys.emplace_back(5.0, Box::Centered(Vec(10.0, 0.0), 2.0));
+  keys.emplace_back(10.0, Box::Centered(Vec(0.0, 0.0), 2.0));
+  QueryTrajectory q = QueryTrajectory::Make(std::move(keys)).value();
+  const StBox r(Box(Interval(3.9, 4.1), Interval(-1.0, 1.0)),
+                Interval(0.0, 10.0));
+  const TimeSet times = q.OverlapTimes(r);
+  ASSERT_EQ(times.intervals().size(), 2u);
+  EXPECT_LT(times.intervals()[0].hi, times.intervals()[1].lo);
+}
+
+TEST(TrajectoryTest, OverlapTimesMotionMatchesSampling) {
+  Rng rng(55);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<KeySnapshot> keys;
+    double t = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      keys.emplace_back(
+          t, Box::Centered(RandomPoint(&rng, 2, 10), rng.Uniform(1.0, 4.0)));
+      t += rng.Uniform(1.0, 5.0);
+    }
+    QueryTrajectory q = QueryTrajectory::Make(std::move(keys)).value();
+    const StSegment m(RandomPoint(&rng, 2, 10), RandomPoint(&rng, 2, 10),
+                      Interval(rng.Uniform(0, 3), rng.Uniform(4, 12)));
+    const TimeSet times = q.OverlapTimes(m);
+    const Interval span = q.TimeSpan().Intersect(m.time);
+    if (span.empty()) {
+      EXPECT_TRUE(times.empty());
+      continue;
+    }
+    for (int k = 0; k <= 80; ++k) {
+      const double tt = span.lo + span.length() * k / 80.0;
+      const bool inside = q.WindowAt(tt).Contains(m.PositionAt(tt));
+      if (inside) {
+        EXPECT_TRUE(times.Contains(tt)) << "t=" << tt;
+      }
+      // Points strictly interior to the complement must be outside.
+      if (!times.Contains(tt)) {
+        const double next = times.FirstInstantAtOrAfter(tt);
+        if (next > tt + 1e-9) EXPECT_FALSE(inside) << "t=" << tt;
+      }
+    }
+  }
+}
+
+TEST(TrajectoryTest, InflateGrowsEveryWindow) {
+  const QueryTrajectory q = SimpleTrajectory();
+  const QueryTrajectory big = q.Inflate(0.5);
+  for (double t : {0.0, 5.0, 14.0}) {
+    const Box w = q.WindowAt(t);
+    const Box v = big.WindowAt(t);
+    EXPECT_TRUE(v.Contains(w));
+    EXPECT_DOUBLE_EQ(v.extent(0).length(), w.extent(0).length() + 1.0);
+  }
+}
+
+TEST(TrajectoryTest, InflatedTrajectoryOverlapsSuperset) {
+  Rng rng(66);
+  const QueryTrajectory q = SimpleTrajectory();
+  const QueryTrajectory big = q.Inflate(1.0);
+  for (int i = 0; i < 200; ++i) {
+    const StBox r = dqmo::testing::RandomQueryBox(&rng, 2, 12, 15, 4, 6);
+    const TimeSet small_times = q.OverlapTimes(r);
+    const TimeSet big_times = big.OverlapTimes(r);
+    // Everything visible in the tight trajectory is visible in the
+    // inflated one (SPDQ conservativeness).
+    for (const Interval& iv : small_times.intervals()) {
+      EXPECT_TRUE(big_times.Contains(iv.lo));
+      EXPECT_TRUE(big_times.Contains(iv.hi));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqmo

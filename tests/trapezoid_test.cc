@@ -1,0 +1,152 @@
+// Tests for TrajectorySegment: the moving-window trapezoid of Fig. 3 and
+// its overlap-time computations (Eq. (3)), validated against sampling.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/trapezoid.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+using ::dqmo::testing::RandomPoint;
+
+TrajectorySegment MovingWindow(Vec c0, Vec c1, double side, double t0,
+                               double t1) {
+  return TrajectorySegment(Box::Centered(c0, side), Box::Centered(c1, side),
+                           Interval(t0, t1));
+}
+
+TEST(TrapezoidTest, WindowInterpolatesLinearly) {
+  const TrajectorySegment s =
+      MovingWindow(Vec(0.0, 0.0), Vec(10.0, 0.0), 2.0, 0.0, 10.0);
+  EXPECT_EQ(s.WindowAt(0.0).Center(), Vec(0.0, 0.0));
+  EXPECT_EQ(s.WindowAt(10.0).Center(), Vec(10.0, 0.0));
+  EXPECT_EQ(s.WindowAt(5.0).Center(), Vec(5.0, 0.0));
+  EXPECT_EQ(s.WindowAt(5.0).extent(0).length(), 2.0);
+}
+
+TEST(TrapezoidTest, WindowCanGrowAndShrink) {
+  // Same center, window side goes 2 -> 6 (e.g. the observer gains altitude).
+  const TrajectorySegment s(Box::Centered(Vec(0.0, 0.0), 2.0),
+                            Box::Centered(Vec(0.0, 0.0), 6.0),
+                            Interval(0.0, 4.0));
+  EXPECT_DOUBLE_EQ(s.WindowAt(2.0).extent(0).length(), 4.0);
+}
+
+TEST(TrapezoidTest, StaticWindowOverlapIsPlainBoxTest) {
+  const TrajectorySegment s =
+      MovingWindow(Vec(5.0, 5.0), Vec(5.0, 5.0), 2.0, 0.0, 10.0);
+  const StBox inside(Box(Interval(4.5, 5.5), Interval(4.5, 5.5)),
+                     Interval(2.0, 3.0));
+  EXPECT_EQ(s.OverlapTime(inside), Interval(2.0, 3.0));
+  const StBox outside(Box(Interval(8.0, 9.0), Interval(8.0, 9.0)),
+                      Interval(2.0, 3.0));
+  EXPECT_TRUE(s.OverlapTime(outside).empty());
+}
+
+TEST(TrapezoidTest, MovingWindowEntersAndLeavesBox) {
+  // Window of side 2 moving along x from center 0 to 10 over [0, 10];
+  // static box at x in [4, 6]: window's leading edge reaches 4 when center
+  // is at 3 (t = 3); trailing edge leaves 6 when center passes 7 (t = 7).
+  const TrajectorySegment s =
+      MovingWindow(Vec(0.0, 0.0), Vec(10.0, 0.0), 2.0, 0.0, 10.0);
+  const StBox r(Box(Interval(4.0, 6.0), Interval(-1.0, 1.0)),
+                Interval(0.0, 10.0));
+  EXPECT_EQ(s.OverlapTime(r), Interval(3.0, 7.0));
+}
+
+TEST(TrapezoidTest, OverlapClippedBySegmentAndBoxTimes) {
+  const TrajectorySegment s =
+      MovingWindow(Vec(0.0, 0.0), Vec(10.0, 0.0), 2.0, 0.0, 10.0);
+  const StBox r(Box(Interval(4.0, 6.0), Interval(-1.0, 1.0)),
+                Interval(5.0, 6.5));
+  EXPECT_EQ(s.OverlapTime(r), Interval(5.0, 6.5));
+}
+
+TEST(TrapezoidTest, MotionOvertakenByWindow) {
+  // Object moving at speed 0.5 along x; window (side 2) moving at speed 1
+  // starts behind and overtakes it.
+  const StSegment m(Vec(5.0, 0.0), Vec(10.0, 0.0), Interval(0.0, 10.0));
+  const TrajectorySegment s =
+      MovingWindow(Vec(0.0, 0.0), Vec(10.0, 0.0), 2.0, 0.0, 10.0);
+  // Window covers x in [t-1, t+1]; object at 5 + 0.5 t. Inside while
+  // t - 1 <= 5 + 0.5t <= t + 1  ->  t >= 8 (lower) and always (upper).
+  EXPECT_EQ(s.OverlapTime(m), Interval(8.0, 10.0));
+}
+
+TEST(TrapezoidTest, MotionCrossingWindowPath) {
+  // Object crosses the window's path perpendicularly.
+  const StSegment m(Vec(5.0, -5.0), Vec(5.0, 5.0), Interval(0.0, 10.0));
+  const TrajectorySegment s =
+      MovingWindow(Vec(0.0, 0.0), Vec(10.0, 0.0), 2.0, 0.0, 10.0);
+  // x: window covers 5 while t in [4, 6]. y: object at -5 + t, inside
+  // [-1, 1] while t in [4, 6]. Overlap: [4, 6].
+  EXPECT_EQ(s.OverlapTime(m), Interval(4.0, 6.0));
+}
+
+TEST(TrapezoidTest, DegenerateInstantSegment) {
+  const TrajectorySegment s(Box::Centered(Vec(0.0, 0.0), 2.0),
+                            Box::Centered(Vec(0.0, 0.0), 2.0),
+                            Interval(3.0, 3.0));
+  const StBox hit(Box(Interval(-0.5, 0.5), Interval(-0.5, 0.5)),
+                  Interval(0.0, 10.0));
+  EXPECT_EQ(s.OverlapTime(hit), Interval::Point(3.0));
+}
+
+// Property: box overlap times match dense sampling of WindowAt.
+class TrapezoidBoxProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrapezoidBoxProperty, BoxOverlapMatchesSampling) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const TrajectorySegment s(
+        Box::Centered(RandomPoint(&rng, 2, 10), rng.Uniform(0.5, 4.0)),
+        Box::Centered(RandomPoint(&rng, 2, 10), rng.Uniform(0.5, 4.0)),
+        Interval(0.0, 10.0));
+    const StBox r = dqmo::testing::RandomQueryBox(&rng, 2, 10, 10, 6, 10);
+    const Interval overlap = s.OverlapTime(r);
+    for (int k = 0; k <= 60; ++k) {
+      const double t = 10.0 * k / 60.0;
+      const bool inside =
+          r.time.Contains(t) && s.WindowAt(t).Overlaps(r.spatial);
+      if (inside) EXPECT_TRUE(overlap.Contains(t)) << "t=" << t;
+      if (!overlap.empty() &&
+          (t < overlap.lo - 1e-9 || t > overlap.hi + 1e-9)) {
+        EXPECT_FALSE(inside) << "t=" << t;
+      }
+      if (overlap.empty()) EXPECT_FALSE(inside) << "t=" << t;
+    }
+  }
+}
+
+// Property: motion overlap times match dense sampling of positions.
+TEST_P(TrapezoidBoxProperty, MotionOverlapMatchesSampling) {
+  Rng rng(GetParam() + 1000);
+  for (int iter = 0; iter < 200; ++iter) {
+    const TrajectorySegment s(
+        Box::Centered(RandomPoint(&rng, 2, 10), rng.Uniform(0.5, 4.0)),
+        Box::Centered(RandomPoint(&rng, 2, 10), rng.Uniform(0.5, 4.0)),
+        Interval(2.0, 8.0));
+    const StSegment m(RandomPoint(&rng, 2, 10), RandomPoint(&rng, 2, 10),
+                      Interval(rng.Uniform(0, 4), rng.Uniform(6, 10)));
+    const Interval overlap = s.OverlapTime(m);
+    const Interval span = s.time.Intersect(m.time);
+    for (int k = 0; k <= 60; ++k) {
+      const double t = span.lo + (span.hi - span.lo) * k / 60.0;
+      const bool inside = s.WindowAt(t).Contains(m.PositionAt(t));
+      if (inside) EXPECT_TRUE(overlap.Contains(t)) << "t=" << t;
+      if (!overlap.empty() &&
+          (t < overlap.lo - 1e-9 || t > overlap.hi + 1e-9)) {
+        EXPECT_FALSE(inside) << "t=" << t;
+      }
+      if (overlap.empty()) EXPECT_FALSE(inside) << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrapezoidBoxProperty,
+                         ::testing::Values(7, 17, 27));
+
+}  // namespace
+}  // namespace dqmo

@@ -1,0 +1,225 @@
+// Tests for the Sect. 5 workload generators: data properties (bounds,
+// contiguity, scale) and query trajectories (overlap targeting, bouncing).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+
+namespace dqmo {
+namespace {
+
+TEST(DataGeneratorTest, ValidatesOptions) {
+  DataGeneratorOptions bad;
+  bad.dims = 0;
+  EXPECT_TRUE(GenerateMotionData(bad).status().IsInvalidArgument());
+  bad = DataGeneratorOptions();
+  bad.num_objects = 0;
+  EXPECT_TRUE(GenerateMotionData(bad).status().IsInvalidArgument());
+  bad = DataGeneratorOptions();
+  bad.horizon = -1;
+  EXPECT_TRUE(GenerateMotionData(bad).status().IsInvalidArgument());
+}
+
+TEST(DataGeneratorTest, DeterministicInSeed) {
+  DataGeneratorOptions options;
+  options.num_objects = 20;
+  options.horizon = 10.0;
+  auto a = GenerateMotionData(options);
+  auto b = GenerateMotionData(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].oid, (*b)[i].oid);
+    EXPECT_EQ((*a)[i].seg.p0, (*b)[i].seg.p0);
+    EXPECT_EQ((*a)[i].seg.time, (*b)[i].seg.time);
+  }
+  options.seed = 43;
+  auto c = GenerateMotionData(options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->front().seg.p0, c->front().seg.p0);
+}
+
+TEST(DataGeneratorTest, SegmentsStayInSpaceAndHorizon) {
+  DataGeneratorOptions options;
+  options.num_objects = 50;
+  options.horizon = 20.0;
+  auto data = GenerateMotionData(options);
+  ASSERT_TRUE(data.ok());
+  for (const auto& m : *data) {
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_GE(m.seg.p0[d], 0.0);
+      EXPECT_LE(m.seg.p0[d], options.space_size);
+      EXPECT_GE(m.seg.p1[d], 0.0);
+      EXPECT_LE(m.seg.p1[d], options.space_size);
+    }
+    EXPECT_GE(m.seg.time.lo, 0.0);
+    EXPECT_LE(m.seg.time.hi, options.horizon + 1e-6);
+    EXPECT_GT(m.seg.time.length(), 0.0);
+  }
+}
+
+TEST(DataGeneratorTest, PerObjectSegmentsTileTimeContiguously) {
+  DataGeneratorOptions options;
+  options.num_objects = 30;
+  options.horizon = 15.0;
+  options.sort_by_start_time = false;
+  auto data = GenerateMotionData(options);
+  ASSERT_TRUE(data.ok());
+  std::map<ObjectId, double> last_end;
+  std::map<ObjectId, Vec> last_pos;
+  for (const auto& m : *data) {
+    auto it = last_end.find(m.oid);
+    if (it != last_end.end()) {
+      // Consecutive updates abut in time and space (float32 quantization
+      // happens at insert time, not generation time).
+      EXPECT_DOUBLE_EQ(m.seg.time.lo, it->second);
+      EXPECT_EQ(m.seg.p0, last_pos[m.oid]);
+    } else {
+      EXPECT_DOUBLE_EQ(m.seg.time.lo, 0.0);
+    }
+    last_end[m.oid] = m.seg.time.hi;
+    last_pos[m.oid] = m.seg.p1;
+  }
+  for (const auto& [oid, end] : last_end) {
+    EXPECT_DOUBLE_EQ(end, options.horizon) << "object " << oid;
+  }
+}
+
+TEST(DataGeneratorTest, ScaleMatchesPaperSetup) {
+  // Paper: 5000 objects, ~1 update per time unit, 100 time units
+  // -> ~500k segments (they report 502,504).
+  DataGeneratorOptions options;  // Defaults are the paper's setup.
+  auto data = GenerateMotionData(options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_GT(data->size(), 450000u);
+  EXPECT_LT(data->size(), 560000u);
+}
+
+TEST(DataGeneratorTest, SortedByStartTimeWhenRequested) {
+  DataGeneratorOptions options;
+  options.num_objects = 40;
+  options.horizon = 10.0;
+  auto data = GenerateMotionData(options);
+  ASSERT_TRUE(data.ok());
+  for (size_t i = 1; i < data->size(); ++i) {
+    EXPECT_LE((*data)[i - 1].seg.time.lo, (*data)[i].seg.time.lo);
+  }
+}
+
+TEST(QueryGeneratorTest, ValidatesOptions) {
+  Rng rng(1);
+  QueryWorkloadOptions bad;
+  bad.overlap = 1.0;
+  EXPECT_TRUE(GenerateDynamicQuery(bad, &rng).status().IsInvalidArgument());
+  bad = QueryWorkloadOptions();
+  bad.window = 200.0;
+  EXPECT_TRUE(GenerateDynamicQuery(bad, &rng).status().IsInvalidArgument());
+  bad = QueryWorkloadOptions();
+  bad.num_snapshots = 0;
+  EXPECT_TRUE(GenerateDynamicQuery(bad, &rng).status().IsInvalidArgument());
+}
+
+TEST(QueryGeneratorTest, SpeedForOverlapFormula) {
+  QueryWorkloadOptions options;
+  options.window = 8.0;
+  options.snapshot_interval = 0.1;
+  options.overlap = 0.0;
+  EXPECT_DOUBLE_EQ(SpeedForOverlap(options), 80.0);
+  options.overlap = 0.9;
+  EXPECT_NEAR(SpeedForOverlap(options), 8.0, 1e-9);
+  options.overlap = 0.9999;
+  EXPECT_NEAR(SpeedForOverlap(options), 0.008, 1e-9);
+}
+
+class QueryGeneratorOverlap : public ::testing::TestWithParam<double> {};
+
+TEST_P(QueryGeneratorOverlap, ConsecutiveWindowsHitTargetOverlap) {
+  const double target = GetParam();
+  Rng rng(77);
+  QueryWorkloadOptions options;
+  options.overlap = target;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto workload = GenerateDynamicQuery(options, &rng);
+    ASSERT_TRUE(workload.ok());
+    // Overlap fraction between consecutive *instantaneous* windows. A
+    // bounce inside a frame reduces displacement, so overlap may only ever
+    // exceed the target, never fall short.
+    for (size_t i = 0; i + 1 < workload->frame_times.size(); ++i) {
+      const Box w0 =
+          workload->trajectory.WindowAt(workload->frame_times[i]);
+      const Box w1 =
+          workload->trajectory.WindowAt(workload->frame_times[i + 1]);
+      const double inter = w0.Intersect(w1).empty()
+                               ? 0.0
+                               : w0.Intersect(w1).Volume();
+      const double frac = inter / w0.Volume();
+      EXPECT_GE(frac, target - 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, QueryGeneratorOverlap,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.8, 0.9,
+                                           0.9999));
+
+TEST(QueryGeneratorTest, WindowsStayInsideSpace) {
+  Rng rng(88);
+  QueryWorkloadOptions options;
+  options.overlap = 0.0;  // Fastest: most bounces.
+  options.window = 20.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto workload = GenerateDynamicQuery(options, &rng);
+    ASSERT_TRUE(workload.ok());
+    for (const KeySnapshot& k : workload->trajectory.keys()) {
+      for (int d = 0; d < 2; ++d) {
+        EXPECT_GE(k.window.extent(d).lo, -1e-9);
+        EXPECT_LE(k.window.extent(d).hi, options.space_size + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, FrameScheduleMatchesOptions) {
+  Rng rng(99);
+  QueryWorkloadOptions options;
+  options.num_snapshots = 50;
+  options.snapshot_interval = 0.1;
+  auto workload = GenerateDynamicQuery(options, &rng);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->num_frames(), 51);  // First + 50 subsequent.
+  EXPECT_EQ(workload->frame_times.size(), 52u);
+  for (size_t i = 1; i < workload->frame_times.size(); ++i) {
+    EXPECT_NEAR(
+        workload->frame_times[i] - workload->frame_times[i - 1], 0.1, 1e-9);
+  }
+  // Trajectory spans the frames.
+  EXPECT_DOUBLE_EQ(workload->trajectory.TimeSpan().lo,
+                   workload->frame_times.front());
+  EXPECT_NEAR(workload->trajectory.TimeSpan().hi,
+              workload->frame_times.back(), 1e-9);
+}
+
+TEST(QueryGeneratorTest, FrameQueriesHaveWindowSizedSpatialExtent) {
+  Rng rng(111);
+  QueryWorkloadOptions options;
+  options.overlap = 0.9;
+  options.window = 8.0;
+  auto workload = GenerateDynamicQuery(options, &rng);
+  ASSERT_TRUE(workload.ok());
+  const double speed = SpeedForOverlap(options);
+  for (int i = 0; i < workload->num_frames(); ++i) {
+    const StBox q = workload->Frame(i);
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_GE(q.spatial.extent(d).length(), options.window - 1e-9);
+      // At most window + per-frame displacement.
+      EXPECT_LE(q.spatial.extent(d).length(),
+                options.window + speed * options.snapshot_interval + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqmo

@@ -1,0 +1,251 @@
+// dqmo_tool — command-line utility for DQMO index files.
+//
+//   dqmo_tool build <index.pgf> [--objects N] [--horizon T] [--seed S]
+//                   [--bulk]
+//       Generate a Sect. 5-style workload and build an index file.
+//
+//   dqmo_tool info <index.pgf>
+//       Print tree metadata and level-by-level occupancy statistics.
+//
+//   dqmo_tool query <index.pgf> <x0> <x1> <y0> <y1> <t0> <t1>
+//       Run a snapshot range query and print matches plus I/O cost.
+//
+//   dqmo_tool knn <index.pgf> <x> <y> <t> <k>
+//       K nearest objects to (x, y) at time t.
+//
+//   dqmo_tool verify <index.pgf>
+//       Run the structural invariant checker.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "query/knn.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "workload/data_generator.h"
+
+namespace dqmo {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dqmo_tool build <index.pgf> [--objects N] [--horizon T]"
+               " [--seed S] [--bulk]\n"
+               "  dqmo_tool info <index.pgf>\n"
+               "  dqmo_tool query <index.pgf> x0 x1 y0 y1 t0 t1\n"
+               "  dqmo_tool knn <index.pgf> x y t k\n"
+               "  dqmo_tool verify <index.pgf>\n");
+  return 2;
+}
+
+Result<std::pair<std::unique_ptr<PageFile>, std::unique_ptr<RTree>>> OpenIndex(
+    const std::string& path) {
+  auto file = std::make_unique<PageFile>();
+  DQMO_RETURN_IF_ERROR(file->LoadFrom(path));
+  DQMO_ASSIGN_OR_RETURN(std::unique_ptr<RTree> tree, RTree::Open(file.get()));
+  return std::make_pair(std::move(file), std::move(tree));
+}
+
+int CmdBuild(const std::string& path, int argc, char** argv) {
+  DataGeneratorOptions options;
+  bool bulk = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--objects") {
+      options.num_objects = static_cast<int>(next_value());
+    } else if (arg == "--horizon") {
+      options.horizon = next_value();
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(next_value());
+    } else if (arg == "--bulk") {
+      bulk = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  auto data = GenerateMotionData(options);
+  if (!data.ok()) return Fail(data.status());
+  std::printf("generated %zu motion segments (%d objects, horizon %g)\n",
+              data->size(), options.num_objects, options.horizon);
+  PageFile file;
+  std::unique_ptr<RTree> tree;
+  if (bulk) {
+    BulkLoadOptions bulk_options;
+    auto built = BulkLoad(&file, std::move(*data), bulk_options);
+    if (!built.ok()) return Fail(built.status());
+    tree = std::move(built).value();
+  } else {
+    auto created = RTree::Create(&file, RTree::Options());
+    if (!created.ok()) return Fail(created.status());
+    tree = std::move(created).value();
+    for (const MotionSegment& m : *data) {
+      const Status status = tree->Insert(m);
+      if (!status.ok()) return Fail(status);
+    }
+  }
+  if (Status s = tree->Flush(); !s.ok()) return Fail(s);
+  if (Status s = file.SaveTo(path); !s.ok()) return Fail(s);
+  std::printf("wrote %s: %llu segments, %zu nodes, height %d, %zu pages\n",
+              path.c_str(),
+              static_cast<unsigned long long>(tree->num_segments()),
+              tree->num_nodes(), tree->height(), file.num_pages());
+  return 0;
+}
+
+Status CollectLevelStats(const RTree& tree, PageId pid,
+                         std::map<int, std::pair<size_t, size_t>>* levels) {
+  QueryStats scratch;
+  DQMO_ASSIGN_OR_RETURN(Node node, tree.LoadNode(pid, &scratch));
+  auto& [count, entries] = (*levels)[node.level];
+  ++count;
+  entries += static_cast<size_t>(node.count());
+  if (!node.is_leaf()) {
+    for (const ChildEntry& e : node.children) {
+      DQMO_RETURN_IF_ERROR(CollectLevelStats(tree, e.child, levels));
+    }
+  }
+  return Status::OK();
+}
+
+int CmdInfo(const std::string& path) {
+  auto opened = OpenIndex(path);
+  if (!opened.ok()) return Fail(opened.status());
+  auto& [file, tree] = *opened;
+  std::printf("index      : %s\n", path.c_str());
+  std::printf("pages      : %zu (%zu KiB)\n", file->num_pages(),
+              file->num_pages() * kPageSize / 1024);
+  std::printf("segments   : %llu\n",
+              static_cast<unsigned long long>(tree->num_segments()));
+  std::printf("nodes      : %zu\n", tree->num_nodes());
+  std::printf("height     : %d\n", tree->height());
+  std::printf("dims       : %d\n", tree->dims());
+  std::printf("fanout     : %d internal / %d leaf\n",
+              tree->internal_capacity(), tree->leaf_capacity());
+  std::printf("max speed  : %.3f\n", tree->max_speed());
+  std::printf("stamp      : %llu\n",
+              static_cast<unsigned long long>(tree->stamp()));
+  std::map<int, std::pair<size_t, size_t>> levels;
+  if (Status s = CollectLevelStats(*tree, tree->root(), &levels); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("occupancy  :\n");
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const auto& [level, stats] = *it;
+    const int capacity =
+        level == 0 ? tree->leaf_capacity() : tree->internal_capacity();
+    std::printf("  level %d: %6zu nodes, avg fill %5.1f%%%s\n", level,
+                stats.first,
+                100.0 * static_cast<double>(stats.second) /
+                    (static_cast<double>(stats.first) * capacity),
+                level == 0 ? " (leaves)" : "");
+  }
+  return 0;
+}
+
+int CmdQuery(const std::string& path, char** argv) {
+  auto opened = OpenIndex(path);
+  if (!opened.ok()) return Fail(opened.status());
+  auto& [file, tree] = *opened;
+  (void)file;
+  if (tree->dims() != 2) {
+    std::fprintf(stderr, "query command supports 2-d indexes only\n");
+    return 2;
+  }
+  const StBox q(
+      Box(Interval(std::atof(argv[0]), std::atof(argv[1])),
+          Interval(std::atof(argv[2]), std::atof(argv[3]))),
+      Interval(std::atof(argv[4]), std::atof(argv[5])));
+  QueryStats stats;
+  auto result = tree->RangeSearch(q, &stats);
+  if (!result.ok()) return Fail(result.status());
+  for (const MotionSegment& m : *result) {
+    std::printf("%s\n", m.ToString().c_str());
+  }
+  std::printf("-- %zu motions, %llu disk accesses (%llu leaf), "
+              "%llu geometric tests\n",
+              result->size(),
+              static_cast<unsigned long long>(stats.node_reads),
+              static_cast<unsigned long long>(stats.leaf_reads),
+              static_cast<unsigned long long>(stats.distance_computations));
+  return 0;
+}
+
+int CmdKnn(const std::string& path, char** argv) {
+  auto opened = OpenIndex(path);
+  if (!opened.ok()) return Fail(opened.status());
+  auto& [file, tree] = *opened;
+  (void)file;
+  if (tree->dims() != 2) {
+    std::fprintf(stderr, "knn command supports 2-d indexes only\n");
+    return 2;
+  }
+  const Vec point(std::atof(argv[0]), std::atof(argv[1]));
+  const double t = std::atof(argv[2]);
+  const int k = std::atoi(argv[3]);
+  QueryStats stats;
+  auto result = KnnAt(*tree, point, t, k, &stats);
+  if (!result.ok()) return Fail(result.status());
+  for (const Neighbor& n : *result) {
+    std::printf("d=%8.3f  %s\n", n.distance, n.motion.ToString().c_str());
+  }
+  std::printf("-- %zu neighbors, %llu disk accesses\n", result->size(),
+              static_cast<unsigned long long>(stats.node_reads));
+  return 0;
+}
+
+int CmdVerify(const std::string& path) {
+  auto opened = OpenIndex(path);
+  if (!opened.ok()) return Fail(opened.status());
+  auto& [file, tree] = *opened;
+  (void)file;
+  const Status status = tree->CheckInvariants();
+  if (!status.ok()) {
+    std::printf("INVALID: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK: %llu segments across %zu nodes, all invariants hold\n",
+              static_cast<unsigned long long>(tree->num_segments()),
+              tree->num_nodes());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  if (command == "build") return CmdBuild(path, argc - 3, argv + 3);
+  if (command == "info") return CmdInfo(path);
+  if (command == "query") {
+    if (argc != 9) return Usage();
+    return CmdQuery(path, argv + 3);
+  }
+  if (command == "knn") {
+    if (argc != 7) return Usage();
+    return CmdKnn(path, argv + 3);
+  }
+  if (command == "verify") return CmdVerify(path);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace dqmo
+
+int main(int argc, char** argv) { return dqmo::Run(argc, argv); }
