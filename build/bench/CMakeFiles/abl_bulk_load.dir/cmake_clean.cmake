@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bulk_load.dir/abl_bulk_load.cc.o"
+  "CMakeFiles/abl_bulk_load.dir/abl_bulk_load.cc.o.d"
+  "abl_bulk_load"
+  "abl_bulk_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bulk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

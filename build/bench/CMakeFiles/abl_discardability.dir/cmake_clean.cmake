@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_discardability.dir/abl_discardability.cc.o"
+  "CMakeFiles/abl_discardability.dir/abl_discardability.cc.o.d"
+  "abl_discardability"
+  "abl_discardability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_discardability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_join.dir/abl_join.cc.o"
+  "CMakeFiles/abl_join.dir/abl_join.cc.o.d"
+  "abl_join"
+  "abl_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

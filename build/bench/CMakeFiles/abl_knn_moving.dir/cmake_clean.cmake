@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_knn_moving.dir/abl_knn_moving.cc.o"
+  "CMakeFiles/abl_knn_moving.dir/abl_knn_moving.cc.o.d"
+  "abl_knn_moving"
+  "abl_knn_moving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_knn_moving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_leaf_segment_test.dir/abl_leaf_segment_test.cc.o"
+  "CMakeFiles/abl_leaf_segment_test.dir/abl_leaf_segment_test.cc.o.d"
+  "abl_leaf_segment_test"
+  "abl_leaf_segment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_leaf_segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lru_naive.dir/abl_lru_naive.cc.o"
+  "CMakeFiles/abl_lru_naive.dir/abl_lru_naive.cc.o.d"
+  "abl_lru_naive"
+  "abl_lru_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lru_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_psi.dir/abl_psi.cc.o"
+  "CMakeFiles/abl_psi.dir/abl_psi.cc.o.d"
+  "abl_psi"
+  "abl_psi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_psi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

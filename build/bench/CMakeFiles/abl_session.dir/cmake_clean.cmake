@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_session.dir/abl_session.cc.o"
+  "CMakeFiles/abl_session.dir/abl_session.cc.o.d"
+  "abl_session"
+  "abl_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

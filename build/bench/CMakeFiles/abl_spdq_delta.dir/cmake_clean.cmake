@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_spdq_delta.dir/abl_spdq_delta.cc.o"
+  "CMakeFiles/abl_spdq_delta.dir/abl_spdq_delta.cc.o.d"
+  "abl_spdq_delta"
+  "abl_spdq_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_spdq_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

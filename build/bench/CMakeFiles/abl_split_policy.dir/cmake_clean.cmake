@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_split_policy.dir/abl_split_policy.cc.o"
+  "CMakeFiles/abl_split_policy.dir/abl_split_policy.cc.o.d"
+  "abl_split_policy"
+  "abl_split_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_split_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_update_mgmt.dir/abl_update_mgmt.cc.o"
+  "CMakeFiles/abl_update_mgmt.dir/abl_update_mgmt.cc.o.d"
+  "abl_update_mgmt"
+  "abl_update_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_update_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

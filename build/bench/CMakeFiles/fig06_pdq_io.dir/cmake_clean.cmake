@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pdq_io.dir/fig06_pdq_io.cc.o"
+  "CMakeFiles/fig06_pdq_io.dir/fig06_pdq_io.cc.o.d"
+  "fig06_pdq_io"
+  "fig06_pdq_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pdq_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pdq_cpu.dir/fig07_pdq_cpu.cc.o"
+  "CMakeFiles/fig07_pdq_cpu.dir/fig07_pdq_cpu.cc.o.d"
+  "fig07_pdq_cpu"
+  "fig07_pdq_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pdq_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pdq_size_io.dir/fig08_pdq_size_io.cc.o"
+  "CMakeFiles/fig08_pdq_size_io.dir/fig08_pdq_size_io.cc.o.d"
+  "fig08_pdq_size_io"
+  "fig08_pdq_size_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pdq_size_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

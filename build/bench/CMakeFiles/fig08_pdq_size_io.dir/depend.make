@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_pdq_size_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_npdq_size_io.dir/fig12_npdq_size_io.cc.o"
+  "CMakeFiles/fig12_npdq_size_io.dir/fig12_npdq_size_io.cc.o.d"
+  "fig12_npdq_size_io"
+  "fig12_npdq_size_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_npdq_size_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_npdq_size_cpu.dir/fig13_npdq_size_cpu.cc.o"
+  "CMakeFiles/fig13_npdq_size_cpu.dir/fig13_npdq_size_cpu.cc.o.d"
+  "fig13_npdq_size_cpu"
+  "fig13_npdq_size_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_npdq_size_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_flight.dir/interactive_flight.cc.o"
+  "CMakeFiles/interactive_flight.dir/interactive_flight.cc.o.d"
+  "interactive_flight"
+  "interactive_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

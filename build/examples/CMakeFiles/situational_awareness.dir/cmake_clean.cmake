@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/situational_awareness.dir/situational_awareness.cc.o"
+  "CMakeFiles/situational_awareness.dir/situational_awareness.cc.o.d"
+  "situational_awareness"
+  "situational_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/situational_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/result_cache.cc" "src/client/CMakeFiles/dqmo_client.dir/result_cache.cc.o" "gcc" "src/client/CMakeFiles/dqmo_client.dir/result_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/dqmo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/motion/CMakeFiles/dqmo_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

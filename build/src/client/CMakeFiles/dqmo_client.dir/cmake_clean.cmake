@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_client.dir/result_cache.cc.o"
+  "CMakeFiles/dqmo_client.dir/result_cache.cc.o.d"
+  "libdqmo_client.a"
+  "libdqmo_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_common.dir/env.cc.o"
+  "CMakeFiles/dqmo_common.dir/env.cc.o.d"
+  "CMakeFiles/dqmo_common.dir/logging.cc.o"
+  "CMakeFiles/dqmo_common.dir/logging.cc.o.d"
+  "CMakeFiles/dqmo_common.dir/random.cc.o"
+  "CMakeFiles/dqmo_common.dir/random.cc.o.d"
+  "CMakeFiles/dqmo_common.dir/status.cc.o"
+  "CMakeFiles/dqmo_common.dir/status.cc.o.d"
+  "CMakeFiles/dqmo_common.dir/string_util.cc.o"
+  "CMakeFiles/dqmo_common.dir/string_util.cc.o.d"
+  "libdqmo_common.a"
+  "libdqmo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

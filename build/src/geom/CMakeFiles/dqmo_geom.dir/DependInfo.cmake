@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/box.cc" "src/geom/CMakeFiles/dqmo_geom.dir/box.cc.o" "gcc" "src/geom/CMakeFiles/dqmo_geom.dir/box.cc.o.d"
+  "/root/repo/src/geom/interval.cc" "src/geom/CMakeFiles/dqmo_geom.dir/interval.cc.o" "gcc" "src/geom/CMakeFiles/dqmo_geom.dir/interval.cc.o.d"
+  "/root/repo/src/geom/segment.cc" "src/geom/CMakeFiles/dqmo_geom.dir/segment.cc.o" "gcc" "src/geom/CMakeFiles/dqmo_geom.dir/segment.cc.o.d"
+  "/root/repo/src/geom/timeset.cc" "src/geom/CMakeFiles/dqmo_geom.dir/timeset.cc.o" "gcc" "src/geom/CMakeFiles/dqmo_geom.dir/timeset.cc.o.d"
+  "/root/repo/src/geom/trajectory.cc" "src/geom/CMakeFiles/dqmo_geom.dir/trajectory.cc.o" "gcc" "src/geom/CMakeFiles/dqmo_geom.dir/trajectory.cc.o.d"
+  "/root/repo/src/geom/trapezoid.cc" "src/geom/CMakeFiles/dqmo_geom.dir/trapezoid.cc.o" "gcc" "src/geom/CMakeFiles/dqmo_geom.dir/trapezoid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dqmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

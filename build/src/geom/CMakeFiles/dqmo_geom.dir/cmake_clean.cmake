@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_geom.dir/box.cc.o"
+  "CMakeFiles/dqmo_geom.dir/box.cc.o.d"
+  "CMakeFiles/dqmo_geom.dir/interval.cc.o"
+  "CMakeFiles/dqmo_geom.dir/interval.cc.o.d"
+  "CMakeFiles/dqmo_geom.dir/segment.cc.o"
+  "CMakeFiles/dqmo_geom.dir/segment.cc.o.d"
+  "CMakeFiles/dqmo_geom.dir/timeset.cc.o"
+  "CMakeFiles/dqmo_geom.dir/timeset.cc.o.d"
+  "CMakeFiles/dqmo_geom.dir/trajectory.cc.o"
+  "CMakeFiles/dqmo_geom.dir/trajectory.cc.o.d"
+  "CMakeFiles/dqmo_geom.dir/trapezoid.cc.o"
+  "CMakeFiles/dqmo_geom.dir/trapezoid.cc.o.d"
+  "libdqmo_geom.a"
+  "libdqmo_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_harness.dir/experiment.cc.o"
+  "CMakeFiles/dqmo_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/dqmo_harness.dir/table.cc.o"
+  "CMakeFiles/dqmo_harness.dir/table.cc.o.d"
+  "libdqmo_harness.a"
+  "libdqmo_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

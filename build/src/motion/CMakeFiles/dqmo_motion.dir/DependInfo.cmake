@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/motion/motion_segment.cc" "src/motion/CMakeFiles/dqmo_motion.dir/motion_segment.cc.o" "gcc" "src/motion/CMakeFiles/dqmo_motion.dir/motion_segment.cc.o.d"
+  "/root/repo/src/motion/tracker.cc" "src/motion/CMakeFiles/dqmo_motion.dir/tracker.cc.o" "gcc" "src/motion/CMakeFiles/dqmo_motion.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/dqmo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_motion.dir/motion_segment.cc.o"
+  "CMakeFiles/dqmo_motion.dir/motion_segment.cc.o.d"
+  "CMakeFiles/dqmo_motion.dir/tracker.cc.o"
+  "CMakeFiles/dqmo_motion.dir/tracker.cc.o.d"
+  "libdqmo_motion.a"
+  "libdqmo_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

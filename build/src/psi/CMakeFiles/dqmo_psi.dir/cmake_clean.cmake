@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_psi.dir/psi.cc.o"
+  "CMakeFiles/dqmo_psi.dir/psi.cc.o.d"
+  "libdqmo_psi.a"
+  "libdqmo_psi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_psi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

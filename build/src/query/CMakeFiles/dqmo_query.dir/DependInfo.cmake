@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/join.cc" "src/query/CMakeFiles/dqmo_query.dir/join.cc.o" "gcc" "src/query/CMakeFiles/dqmo_query.dir/join.cc.o.d"
+  "/root/repo/src/query/knn.cc" "src/query/CMakeFiles/dqmo_query.dir/knn.cc.o" "gcc" "src/query/CMakeFiles/dqmo_query.dir/knn.cc.o.d"
+  "/root/repo/src/query/npdq.cc" "src/query/CMakeFiles/dqmo_query.dir/npdq.cc.o" "gcc" "src/query/CMakeFiles/dqmo_query.dir/npdq.cc.o.d"
+  "/root/repo/src/query/pdq.cc" "src/query/CMakeFiles/dqmo_query.dir/pdq.cc.o" "gcc" "src/query/CMakeFiles/dqmo_query.dir/pdq.cc.o.d"
+  "/root/repo/src/query/session.cc" "src/query/CMakeFiles/dqmo_query.dir/session.cc.o" "gcc" "src/query/CMakeFiles/dqmo_query.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtree/CMakeFiles/dqmo_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dqmo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/motion/CMakeFiles/dqmo_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dqmo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_query.dir/join.cc.o"
+  "CMakeFiles/dqmo_query.dir/join.cc.o.d"
+  "CMakeFiles/dqmo_query.dir/knn.cc.o"
+  "CMakeFiles/dqmo_query.dir/knn.cc.o.d"
+  "CMakeFiles/dqmo_query.dir/npdq.cc.o"
+  "CMakeFiles/dqmo_query.dir/npdq.cc.o.d"
+  "CMakeFiles/dqmo_query.dir/pdq.cc.o"
+  "CMakeFiles/dqmo_query.dir/pdq.cc.o.d"
+  "CMakeFiles/dqmo_query.dir/session.cc.o"
+  "CMakeFiles/dqmo_query.dir/session.cc.o.d"
+  "libdqmo_query.a"
+  "libdqmo_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_rtree.dir/bulk_load.cc.o"
+  "CMakeFiles/dqmo_rtree.dir/bulk_load.cc.o.d"
+  "CMakeFiles/dqmo_rtree.dir/layout.cc.o"
+  "CMakeFiles/dqmo_rtree.dir/layout.cc.o.d"
+  "CMakeFiles/dqmo_rtree.dir/node.cc.o"
+  "CMakeFiles/dqmo_rtree.dir/node.cc.o.d"
+  "CMakeFiles/dqmo_rtree.dir/rtree.cc.o"
+  "CMakeFiles/dqmo_rtree.dir/rtree.cc.o.d"
+  "CMakeFiles/dqmo_rtree.dir/split.cc.o"
+  "CMakeFiles/dqmo_rtree.dir/split.cc.o.d"
+  "libdqmo_rtree.a"
+  "libdqmo_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/dqmo_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/dqmo_storage.dir/io_stats.cc.o"
+  "CMakeFiles/dqmo_storage.dir/io_stats.cc.o.d"
+  "CMakeFiles/dqmo_storage.dir/page_file.cc.o"
+  "CMakeFiles/dqmo_storage.dir/page_file.cc.o.d"
+  "libdqmo_storage.a"
+  "libdqmo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

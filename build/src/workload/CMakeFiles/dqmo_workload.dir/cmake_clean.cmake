@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_workload.dir/data_generator.cc.o"
+  "CMakeFiles/dqmo_workload.dir/data_generator.cc.o.d"
+  "CMakeFiles/dqmo_workload.dir/query_generator.cc.o"
+  "CMakeFiles/dqmo_workload.dir/query_generator.cc.o.d"
+  "libdqmo_workload.a"
+  "libdqmo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infinity_test.dir/infinity_test.cc.o"
+  "CMakeFiles/infinity_test.dir/infinity_test.cc.o.d"
+  "infinity_test"
+  "infinity_test.pdb"
+  "infinity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infinity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

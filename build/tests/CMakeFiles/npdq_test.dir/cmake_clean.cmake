@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npdq_test.dir/npdq_test.cc.o"
+  "CMakeFiles/npdq_test.dir/npdq_test.cc.o.d"
+  "npdq_test"
+  "npdq_test.pdb"
+  "npdq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npdq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

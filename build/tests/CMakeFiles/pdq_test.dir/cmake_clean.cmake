@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdq_test.dir/pdq_test.cc.o"
+  "CMakeFiles/pdq_test.dir/pdq_test.cc.o.d"
+  "pdq_test"
+  "pdq_test.pdb"
+  "pdq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/segment_test.cc" "tests/CMakeFiles/segment_test.dir/segment_test.cc.o" "gcc" "tests/CMakeFiles/segment_test.dir/segment_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/psi/CMakeFiles/dqmo_psi.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/dqmo_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dqmo_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/dqmo_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dqmo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/dqmo_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dqmo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/motion/CMakeFiles/dqmo_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dqmo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeset_test.dir/timeset_test.cc.o"
+  "CMakeFiles/timeset_test.dir/timeset_test.cc.o.d"
+  "timeset_test"
+  "timeset_test.pdb"
+  "timeset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trapezoid_test.dir/trapezoid_test.cc.o"
+  "CMakeFiles/trapezoid_test.dir/trapezoid_test.cc.o.d"
+  "trapezoid_test"
+  "trapezoid_test.pdb"
+  "trapezoid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trapezoid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_test[1]_include.cmake")
+include("/root/repo/build/tests/box_test[1]_include.cmake")
+include("/root/repo/build/tests/segment_test[1]_include.cmake")
+include("/root/repo/build/tests/timeset_test[1]_include.cmake")
+include("/root/repo/build/tests/trapezoid_test[1]_include.cmake")
+include("/root/repo/build/tests/trajectory_test[1]_include.cmake")
+include("/root/repo/build/tests/motion_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/node_test[1]_include.cmake")
+include("/root/repo/build/tests/split_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/bulk_load_test[1]_include.cmake")
+include("/root/repo/build/tests/pdq_test[1]_include.cmake")
+include("/root/repo/build/tests/npdq_test[1]_include.cmake")
+include("/root/repo/build/tests/knn_test[1]_include.cmake")
+include("/root/repo/build/tests/client_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_delete_test[1]_include.cmake")
+include("/root/repo/build/tests/join_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/psi_test[1]_include.cmake")
+include("/root/repo/build/tests/infinity_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmo_tool.dir/dqmo_tool.cc.o"
+  "CMakeFiles/dqmo_tool.dir/dqmo_tool.cc.o.d"
+  "dqmo_tool"
+  "dqmo_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmo_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
