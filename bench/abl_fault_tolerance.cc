@@ -1,0 +1,214 @@
+// Ablation A6 — storage integrity & fault tolerance.
+//
+// Part 1: what checksum verification costs. The same naive snapshot sweep
+// is timed with verification enabled (the default; verify-once caching
+// means steady-state reads pay a flag check) and disabled; the acceptance
+// bar for the subsystem is < 5% wall-clock overhead. The cold cost — one
+// CRC32C pass over every page, what `dqmo_tool scrub` or an untrusted load
+// pays — is reported separately.
+//
+// Part 2: what degraded-result queries deliver. PDQ trajectories run
+// against a PageFile wrapped in FaultyPageReader (seeded transient faults
+// at 0.01% / 0.1% / 1% per read) + RetryingPageReader, under
+// FaultPolicy::kSkipSubtree — once with the default 3 attempts (retries
+// absorb transient faults) and once with retries disabled (every fault
+// becomes a skipped subtree). Reports recall against the fault-free answer
+// and the full counter set: retries, checksum failures, pages skipped,
+// degraded (partial) trajectories.
+#include <chrono>
+#include <set>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "query/pdq.h"
+#include "storage/fault.h"
+#include "workload/query_generator.h"
+
+namespace {
+
+using namespace dqmo;
+using namespace dqmo::bench;
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Runs `rounds` full naive snapshot sweeps and returns the wall-clock
+/// seconds; `sink` defeats dead-code elimination.
+double TimeNaiveSweep(Workbench* bench, int rounds, uint64_t* sink) {
+  Rng rng(271828);
+  QueryWorkloadOptions qopt;
+  qopt.overlap = 0.8;
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    Rng traj_rng = rng.Fork();
+    auto workload = GenerateDynamicQuery(qopt, &traj_rng);
+    DQMO_CHECK(workload.ok());
+    QueryStats stats;
+    for (int i = 0; i < workload->num_frames(); ++i) {
+      auto result = bench->tree()->RangeSearch(workload->Frame(i), &stats);
+      DQMO_CHECK(result.ok());
+      *sink += result->size();
+    }
+  }
+  return Seconds(start, std::chrono::steady_clock::now());
+}
+
+struct FaultRow {
+  double rate = 0.0;
+  double recall = 1.0;       // |degraded ∩ clean| / |clean| over all runs.
+  uint64_t retries = 0;
+  uint64_t crc_failures = 0;
+  uint64_t pages_skipped = 0;
+  uint64_t exhausted = 0;
+  int degraded_runs = 0;     // Trajectories answered kPartial.
+  int runs = 0;
+};
+
+FaultRow RunFaultPoint(Workbench* bench, double rate, int trajectories,
+                       int max_attempts) {
+  FaultRow row;
+  row.rate = rate;
+  Rng rng(314159);
+  QueryWorkloadOptions qopt;
+  qopt.overlap = 0.8;
+  uint64_t clean_total = 0;
+  uint64_t kept_total = 0;
+
+  const IoStats io_before = bench->file()->stats();
+  for (int traj = 0; traj < trajectories; ++traj) {
+    Rng traj_rng = rng.Fork();
+    auto workload = GenerateDynamicQuery(qopt, &traj_rng);
+    DQMO_CHECK(workload.ok());
+
+    // Fault-free reference.
+    std::set<MotionSegment::Key> clean_keys;
+    {
+      auto pdq = PredictiveDynamicQuery::Make(bench->tree(),
+                                              workload->trajectory);
+      DQMO_CHECK(pdq.ok());
+      for (int i = 1; i < workload->num_frames(); ++i) {
+        auto frame =
+            (*pdq)->Frame(workload->frame_times[static_cast<size_t>(i - 1)],
+                          workload->frame_times[static_cast<size_t>(i)]);
+        DQMO_CHECK(frame.ok());
+        for (const PdqResult& r : *frame) clean_keys.insert(r.motion.key());
+      }
+    }
+
+    // Degraded run: faults at `rate`, absorbed where possible by retries,
+    // skipped where not.
+    FaultInjector::Options fopt;
+    fopt.seed = 0xFA017u + static_cast<uint64_t>(traj);
+    fopt.transient_fault_rate = rate;
+    FaultInjector injector(fopt);
+    FaultyPageReader faulty(bench->file(), &injector);
+    RetryingPageReader::RetryPolicy policy;
+    policy.max_attempts = max_attempts;
+    RetryingPageReader retrying(&faulty, policy,
+                                bench->file()->mutable_stats());
+    PredictiveDynamicQuery::Options options;
+    options.reader = &retrying;
+    options.fault_policy = FaultPolicy::kSkipSubtree;
+    auto pdq = PredictiveDynamicQuery::Make(bench->tree(),
+                                            workload->trajectory, options);
+    DQMO_CHECK(pdq.ok());
+    std::set<MotionSegment::Key> degraded_keys;
+    for (int i = 1; i < workload->num_frames(); ++i) {
+      auto frame =
+          (*pdq)->Frame(workload->frame_times[static_cast<size_t>(i - 1)],
+                        workload->frame_times[static_cast<size_t>(i)]);
+      DQMO_CHECK(frame.ok());
+      for (const PdqResult& r : *frame) degraded_keys.insert(r.motion.key());
+    }
+
+    clean_total += clean_keys.size();
+    for (const auto& key : degraded_keys) {
+      kept_total += clean_keys.count(key);
+    }
+    row.pages_skipped += (*pdq)->skip_report().pages_skipped();
+    row.exhausted += retrying.exhausted_reads();
+    if ((*pdq)->integrity() == ResultIntegrity::kPartial) {
+      ++row.degraded_runs;
+    }
+    ++row.runs;
+  }
+  const IoStats io_delta = bench->file()->stats() - io_before;
+  row.retries = io_delta.retries;
+  row.crc_failures = io_delta.checksum_failures;
+  row.recall = clean_total == 0
+                   ? 1.0
+                   : static_cast<double>(kept_total) /
+                         static_cast<double>(clean_total);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  auto bench = PrepareBench();
+  const int trajectories = TrajectoriesFromEnv(20);
+  PrintPreamble("Ablation A6", "storage integrity & fault tolerance",
+                trajectories);
+
+  // Part 1: checksum verification overhead on the naive snapshot sweep.
+  const int rounds = trajectories;
+  uint64_t sink = 0;
+  TimeNaiveSweep(bench.get(), 2, &sink);  // Warm up (page cache, branch pred).
+  const double with_crc = TimeNaiveSweep(bench.get(), rounds, &sink);
+  bench->file()->set_verify_on_read(false);
+  const double without_crc = TimeNaiveSweep(bench.get(), rounds, &sink);
+  bench->file()->set_verify_on_read(true);
+  const double overhead =
+      without_crc > 0.0 ? (with_crc - without_crc) / without_crc * 100.0
+                        : 0.0;
+  // Cold cost: a full CRC32C pass over every page (what scrub or an
+  // untrusted load pays, once).
+  const auto scrub_start = std::chrono::steady_clock::now();
+  std::vector<PageId> bad;
+  DQMO_CHECK(bench->file()->VerifyAllPages(&bad) == 0);
+  const double scrub_s =
+      Seconds(scrub_start, std::chrono::steady_clock::now());
+  std::printf("\nchecksum verification cost:\n");
+  std::printf("  sweep, verify on : %8.3f s  (steady state: verify-once "
+              "caching)\n", with_crc);
+  std::printf("  sweep, verify off: %8.3f s\n", without_crc);
+  std::printf("  overhead         : %+7.2f %%  (acceptance bar: < 5%%)\n",
+              overhead);
+  std::printf("  cold scrub       : %8.3f s for %zu pages (%.2f us/page)\n",
+              scrub_s, bench->file()->num_pages(),
+              scrub_s * 1e6 /
+                  static_cast<double>(bench->file()->num_pages()));
+
+  // Part 2: PDQ recall under seeded transient fault rates, with and
+  // without retry absorption.
+  for (const int attempts : {3, 1}) {
+    std::printf("\nPDQ under kSkipSubtree, transient faults, %s:\n",
+                attempts > 1 ? "retrying reader (3 attempts)"
+                             : "retries disabled (every fault skips)");
+    Table table({"fault rate", "recall%", "retries", "crc fails",
+                 "pages skipped", "exhausted", "degraded runs"});
+    for (double rate : {0.0001, 0.001, 0.01}) {
+      const FaultRow row =
+          RunFaultPoint(bench.get(), rate, trajectories, attempts);
+      table.AddRow({Fmt(rate * 100, 2) + "%", Fmt(row.recall * 100, 3),
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(row.retries)),
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          row.crc_failures)),
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          row.pages_skipped)),
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          row.exhausted)),
+                    StrFormat("%d/%d", row.degraded_runs, row.runs)});
+    }
+    table.Print();
+  }
+  std::printf("# recall = fraction of the fault-free PDQ answer retained; "
+              "a retry absorbs a transient fault,\n"
+              "# a skip loses the subtree for the trajectory's remaining "
+              "run (PDQ reads each node once).\n");
+  (void)sink;
+  return 0;
+}

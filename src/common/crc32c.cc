@@ -1,0 +1,65 @@
+#include "common/crc32c.h"
+
+namespace dqmo {
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+/// Eight 256-entry tables: t[0] is the classic byte-at-a-time table,
+/// t[s][b] advances byte b through s additional zero bytes, so eight
+/// lookups consume eight input bytes at once.
+struct Crc32cTables {
+  uint32_t t[8][256];
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables = [] {
+    Crc32cTables tb{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+      }
+      tb.t[0][i] = crc;
+    }
+    for (int s = 1; s < 8; ++s) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        tb.t[s][i] = (tb.t[s - 1][i] >> 8) ^ tb.t[0][tb.t[s - 1][i] & 0xFFu];
+      }
+    }
+    return tb;
+  }();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Crc32cTables& tb = Tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    // Fold the running CRC into the first four bytes, then advance all
+    // eight through the tables. Bytes are combined explicitly so the code
+    // is byte-order independent.
+    const uint32_t c = crc ^ (static_cast<uint32_t>(p[0]) |
+                              (static_cast<uint32_t>(p[1]) << 8) |
+                              (static_cast<uint32_t>(p[2]) << 16) |
+                              (static_cast<uint32_t>(p[3]) << 24));
+    crc = tb.t[7][c & 0xFFu] ^ tb.t[6][(c >> 8) & 0xFFu] ^
+          tb.t[5][(c >> 16) & 0xFFu] ^ tb.t[4][(c >> 24) & 0xFFu] ^
+          tb.t[3][p[4]] ^ tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace dqmo

@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// Software slice-by-8 implementation: processes 8 input bytes per step
+// through eight 256-entry tables, endian-independent. Used as the per-page
+// integrity checksum of the storage layer (storage/page.h); CRC32C is the
+// same polynomial RocksDB / LevelDB / iSCSI use, chosen for its error
+// detection strength on 4 KiB blocks.
+#ifndef DQMO_COMMON_CRC32C_H_
+#define DQMO_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dqmo {
+
+/// CRC32C of `n` bytes at `data` in one shot.
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Extends a running CRC32C with `n` more bytes; `Crc32cExtend(0, d, n)`
+/// equals `Crc32c(d, n)`. Allows checksumming split buffers.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace dqmo
+
+#endif  // DQMO_COMMON_CRC32C_H_

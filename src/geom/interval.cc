@@ -6,7 +6,11 @@ namespace dqmo {
 
 std::string Interval::ToString() const {
   if (empty()) return "[]";
-  return "[" + FormatDouble(lo) + "," + FormatDouble(hi) + "]";
+  // StrFormat rather than operator+ chaining: GCC 12 at -O2 emits a bogus
+  // -Wrestrict for `const char* + std::string&&` (PR105651), and Release CI
+  // builds with -Werror.
+  return StrFormat("[%s,%s]", FormatDouble(lo).c_str(),
+                   FormatDouble(hi).c_str());
 }
 
 Interval SolveLinearGe(double a, double b) {

@@ -163,6 +163,7 @@ void MethodCost::Accumulate(const QueryStats& delta) {
   io_leaf += static_cast<double>(delta.leaf_reads);
   cpu += static_cast<double>(delta.distance_computations);
   results += static_cast<double>(delta.objects_returned);
+  pages_skipped += static_cast<double>(delta.pages_skipped);
 }
 
 void MethodCost::Finish(double denominator) {
@@ -171,6 +172,7 @@ void MethodCost::Finish(double denominator) {
   io_leaf /= denominator;
   cpu /= denominator;
   results /= denominator;
+  pages_skipped /= denominator;
 }
 
 namespace {

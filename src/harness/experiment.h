@@ -65,6 +65,9 @@ struct MethodCost {
   double io_leaf = 0.0;   // ... at the leaf level.
   double cpu = 0.0;       // Distance computations per query.
   double results = 0.0;   // Objects returned per query.
+  /// Unreadable subtree roots skipped per query (non-zero only in the
+  /// fault-tolerance ablation, which sweeps under kSkipSubtree).
+  double pages_skipped = 0.0;
 
   void Accumulate(const QueryStats& delta);
   void Finish(double denominator);

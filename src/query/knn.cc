@@ -13,6 +13,7 @@ struct HeapEntry {
   double min_distance;
   bool is_object;
   PageId page = kInvalidPageId;
+  StBox bounds;  // When !is_object: parent-entry box (empty for root).
   MotionSegment motion;
 
   friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
@@ -28,6 +29,15 @@ using MinHeap =
 Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
                                     double t, int k, QueryStats* stats,
                                     PageReader* reader, double prune_bound) {
+  KnnOptions options;
+  options.reader = reader;
+  options.prune_bound = prune_bound;
+  return KnnAt(tree, point, t, k, stats, options);
+}
+
+Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
+                                    double t, int k, QueryStats* stats,
+                                    const KnnOptions& options) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   if (point.dims != tree.dims()) {
     return Status::InvalidArgument("query point dims mismatch");
@@ -36,13 +46,13 @@ Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
 
   std::vector<Neighbor> best;  // Sorted ascending by distance, size <= k.
   auto worst_bound = [&]() {
-    return static_cast<int>(best.size()) < k ? prune_bound
-                                             : std::min(prune_bound,
-                                                        best.back().distance);
+    return static_cast<int>(best.size()) < k
+               ? options.prune_bound
+               : std::min(options.prune_bound, best.back().distance);
   };
 
   MinHeap heap;
-  heap.push(HeapEntry{0.0, false, tree.root(), {}});
+  heap.push(HeapEntry{0.0, false, tree.root(), StBox(), {}});
   while (!heap.empty()) {
     HeapEntry top = heap.top();
     heap.pop();
@@ -56,14 +66,19 @@ Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
       if (static_cast<int>(best.size()) > k) best.pop_back();
       continue;
     }
-    DQMO_ASSIGN_OR_RETURN(Node node, tree.LoadNode(top.page, stats, reader));
+    DQMO_ASSIGN_OR_RETURN(
+        std::optional<Node> maybe_node,
+        tree.LoadNodeOrSkip(top.page, top.bounds, options.fault_policy,
+                            options.skip_report, stats, options.reader));
+    if (!maybe_node.has_value()) continue;  // Subtree skipped.
+    const Node& node = *maybe_node;
     if (node.is_leaf()) {
       for (const MotionSegment& m : node.segments) {
         ++stats->distance_computations;
         if (!m.seg.time.Contains(t)) continue;  // Not alive at t.
         const double d = m.seg.DistanceAt(t, point);
         if (d > worst_bound()) continue;
-        heap.push(HeapEntry{d, true, kInvalidPageId, m});
+        heap.push(HeapEntry{d, true, kInvalidPageId, StBox(), m});
       }
     } else {
       for (const ChildEntry& e : node.children) {
@@ -71,7 +86,7 @@ Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
         if (!e.bounds.time.Contains(t)) continue;
         const double d = e.bounds.spatial.MinDistance(point);
         if (d > worst_bound()) continue;
-        heap.push(HeapEntry{d, false, e.child, {}});
+        heap.push(HeapEntry{d, false, e.child, e.bounds, {}});
       }
     }
   }
@@ -96,6 +111,7 @@ Result<std::vector<Neighbor>> MovingKnnQuery::At(double t,
         "moving kNN instants must be non-decreasing");
   }
   previous_t_ = t;
+  skip_report_.Reset();
 
   // Try to answer from the cached candidate set.
   if (has_cache_ && tree_->stamp() == cache_stamp_) {
@@ -133,18 +149,29 @@ Result<std::vector<Neighbor>> MovingKnnQuery::At(double t,
   }
 
   // Full search: fetch k + m candidates and rebuild the fence.
+  KnnOptions knn_options;
+  knn_options.reader = options_.reader;
+  knn_options.fault_policy = options_.fault_policy;
+  knn_options.skip_report = &skip_report_;
   DQMO_ASSIGN_OR_RETURN(
       std::vector<Neighbor> candidates,
-      KnnAt(*tree_, point, t, fetch_count(), &stats_, options_.reader));
+      KnnAt(*tree_, point, t, fetch_count(), &stats_, knn_options));
   ++full_searches_;
-  has_cache_ = true;
-  cached_ = candidates;
-  fence_ = static_cast<int>(candidates.size()) < fetch_count()
-               ? kInf
-               : candidates.back().distance;
-  cache_t_ = t;
-  cache_point_ = point;
-  cache_stamp_ = tree_->stamp();
+  if (skip_report_.pages_skipped() == 0) {
+    has_cache_ = true;
+    cached_ = candidates;
+    fence_ = static_cast<int>(candidates.size()) < fetch_count()
+                 ? kInf
+                 : candidates.back().distance;
+    cache_t_ = t;
+    cache_point_ = point;
+    cache_stamp_ = tree_->stamp();
+  } else {
+    // Degraded search: the candidate set may miss true neighbors, so a
+    // fence built from it is unsound — answer this frame degraded but make
+    // the next frame re-search the (hopefully recovered) index.
+    has_cache_ = false;
+  }
 
   if (static_cast<int>(candidates.size()) > k_) {
     candidates.resize(static_cast<size_t>(k_));

@@ -28,6 +28,22 @@ struct Neighbor {
   double distance = 0.0;
 };
 
+/// Options for KnnAt.
+struct KnnOptions {
+  PageReader* reader = nullptr;  // nullptr: read from the tree's file.
+  /// Discard anything farther than this (kInf = no bound).
+  double prune_bound = kInf;
+  /// Reaction to unreadable nodes (rtree/fault_policy.h). Degraded-kNN
+  /// contract: under kSkipSubtree every returned distance is still correct
+  /// and the list is still sorted, but true neighbors inside a skipped
+  /// subtree are missing — the k-th returned object may be farther than the
+  /// true k-th. (Unlike range queries the result is NOT a subset of the
+  /// fault-free answer: the search backfills with farther objects.)
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
+  /// Receives the skipped subtrees under kSkipSubtree (may be null).
+  SkipReport* skip_report = nullptr;
+};
+
 /// Returns the (up to) k motion segments alive at time `t` whose positions
 /// at `t` are nearest to `point`, ordered by increasing distance.
 /// `prune_bound`: discard anything farther than this (kInf = no bound).
@@ -35,6 +51,11 @@ Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
                                     double t, int k, QueryStats* stats,
                                     PageReader* reader = nullptr,
                                     double prune_bound = kInf);
+
+/// KnnAt with full traversal options (degraded-result support).
+Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
+                                    double t, int k, QueryStats* stats,
+                                    const KnnOptions& options);
 
 /// Incremental kNN along a moving query point — the dynamic-query idea
 /// applied to nearest-neighbor search (in the spirit of the paper's
@@ -65,6 +86,11 @@ class MovingKnnQuery {
     /// Slack subtracted from the fence for per-update trajectory jumps.
     double discontinuity_margin = 0.0;
     PageReader* reader = nullptr;
+    /// Reaction to unreadable nodes; see KnnOptions::fault_policy for the
+    /// degraded-kNN contract. A degraded full search additionally does NOT
+    /// install the fence cache: a fence built from an incomplete candidate
+    /// set would let later frames silently compound the miss.
+    FaultPolicy fault_policy = FaultPolicy::kFailFast;
   };
 
   /// `tree` must outlive the query. k >= 1.
@@ -82,6 +108,12 @@ class MovingKnnQuery {
   uint64_t cache_answers() const { return cache_answers_; }
   /// Number of At() calls that ran a full index search.
   uint64_t full_searches() const { return full_searches_; }
+
+  /// Subtrees skipped by the most recent At() (reset at each call; cache
+  /// answers trivially report kComplete — they read nothing).
+  const SkipReport& skip_report() const { return skip_report_; }
+  /// Integrity of the most recent At()'s answer.
+  ResultIntegrity integrity() const { return skip_report_.integrity(); }
 
  private:
   int fetch_count() const {
@@ -103,6 +135,7 @@ class MovingKnnQuery {
   uint64_t cache_answers_ = 0;
   uint64_t full_searches_ = 0;
   QueryStats stats_;
+  SkipReport skip_report_;
 };
 
 }  // namespace dqmo

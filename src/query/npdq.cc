@@ -44,10 +44,15 @@ void NonPredictiveDynamicQuery::ResetHistory() {
   prev_stamp_ = 0;
 }
 
-Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& q,
+Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
+                                        const StBox& q,
                                         std::vector<MotionSegment>* out) {
-  DQMO_ASSIGN_OR_RETURN(Node node,
-                        tree_->LoadNode(pid, &stats_, options_.reader));
+  DQMO_ASSIGN_OR_RETURN(
+      std::optional<Node> maybe_node,
+      tree_->LoadNodeOrSkip(pid, entry_bounds, options_.fault_policy,
+                            &skip_report_, &stats_, options_.reader));
+  if (!maybe_node.has_value()) return Status::OK();  // Subtree skipped.
+  const Node& node = *maybe_node;
   // A node stamped after the previous query ran may contain motions
   // inserted since then; neither discardability nor the returned-by-P skip
   // may use P beneath it (Sect. 4.2, Update Management).
@@ -79,7 +84,7 @@ Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& q,
       ++stats_.nodes_discarded;
       continue;
     }
-    DQMO_RETURN_IF_ERROR(Visit(e.child, q, out));
+    DQMO_RETURN_IF_ERROR(Visit(e.child, e.bounds, q, out));
   }
   return Status::OK();
 }
@@ -95,7 +100,8 @@ Result<std::vector<MotionSegment>> NonPredictiveDynamicQuery::Execute(
         "NPDQ snapshots must advance monotonically in time");
   }
   std::vector<MotionSegment> out;
-  DQMO_RETURN_IF_ERROR(Visit(tree_->root(), q, &out));
+  skip_report_.Reset();
+  DQMO_RETURN_IF_ERROR(Visit(tree_->root(), StBox(), q, &out));
   prev_ = q;
   prev_stamp_ = tree_->stamp();
   return out;

@@ -65,6 +65,12 @@ struct NpdqOptions {
   /// Disables all use of the previous query (the processor degenerates to
   /// independent snapshot evaluation; used for baseline comparisons).
   bool use_previous = true;
+  /// Reaction to unreadable nodes (rtree/fault_policy.h). Under
+  /// kSkipSubtree each Execute completes over the readable tree and reports
+  /// the skips through skip_report(). Note that a skip degrades the whole
+  /// *sequence*: the snapshot becomes this-and-future queries' "previous"
+  /// despite missing objects, so anything lost stays lost.
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
 };
 
 /// True iff subtree entry `r` is discardable for current query `q` given
@@ -93,11 +99,16 @@ class NonPredictiveDynamicQuery {
   const QueryStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Subtrees skipped by the most recent Execute (reset at each call).
+  const SkipReport& skip_report() const { return skip_report_; }
+  /// Integrity of the most recent Execute's answer.
+  ResultIntegrity integrity() const { return skip_report_.integrity(); }
+
   /// The previous snapshot box, if any (for tests).
   const std::optional<StBox>& previous() const { return prev_; }
 
  private:
-  Status Visit(PageId pid, const StBox& q,
+  Status Visit(PageId pid, const StBox& entry_bounds, const StBox& q,
                std::vector<MotionSegment>* out);
 
   RTree* tree_;
@@ -105,6 +116,7 @@ class NonPredictiveDynamicQuery {
   std::optional<StBox> prev_;
   UpdateStamp prev_stamp_ = 0;  // Tree stamp when prev_ was executed.
   QueryStats stats_;
+  SkipReport skip_report_;
 };
 
 }  // namespace dqmo

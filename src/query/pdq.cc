@@ -40,21 +40,23 @@ PredictiveDynamicQuery::PredictiveDynamicQuery(RTree* tree,
   // it is popped and explored (one disk access), matching the paper's "each
   // node read at most once" accounting; until then the full trajectory span
   // is a safe over-approximation.
-  PushNodeItem(tree_->root(), TimeSet(trajectory_.TimeSpan()), -kInf);
+  PushNodeItem(tree_->root(), StBox(), TimeSet(trajectory_.TimeSpan()),
+               -kInf);
 }
 
 PredictiveDynamicQuery::~PredictiveDynamicQuery() {
   if (attached_) tree_->RemoveListener(this);
 }
 
-void PredictiveDynamicQuery::PushNodeItem(PageId page, TimeSet times,
-                                          double not_before) {
+void PredictiveDynamicQuery::PushNodeItem(PageId page, const StBox& bounds,
+                                          TimeSet times, double not_before) {
   const double start = times.FirstInstantAtOrAfter(not_before);
   if (start == kInf) return;  // Entirely in the past: never relevant again.
   Item item;
   item.priority = start;
   item.is_object = false;
   item.page = page;
+  item.bounds = bounds;
   item.times = std::move(times);
   queue_.push(std::move(item));
   ++stats_.queue_pushes;
@@ -92,7 +94,12 @@ bool PredictiveDynamicQuery::IsDuplicate(const Item& item) {
 Status PredictiveDynamicQuery::Explore(const Item& node_item,
                                        double t_start) {
   DQMO_ASSIGN_OR_RETURN(
-      Node node, tree_->LoadNode(node_item.page, &stats_, options_.reader));
+      std::optional<Node> maybe_node,
+      tree_->LoadNodeOrSkip(node_item.page, node_item.bounds,
+                            options_.fault_policy, &skip_report_, &stats_,
+                            options_.reader));
+  if (!maybe_node.has_value()) return Status::OK();  // Subtree skipped.
+  const Node& node = *maybe_node;
   if (node.is_leaf()) {
     for (const MotionSegment& m : node.segments) {
       ++stats_.distance_computations;
@@ -105,7 +112,7 @@ Status PredictiveDynamicQuery::Explore(const Item& node_item,
       ++stats_.distance_computations;
       TimeSet times = trajectory_.OverlapTimes(e.bounds);
       if (times.empty()) continue;
-      PushNodeItem(e.child, std::move(times), t_start);
+      PushNodeItem(e.child, e.bounds, std::move(times), t_start);
     }
   }
   return Status::OK();
@@ -175,7 +182,7 @@ void PredictiveDynamicQuery::RebuildFromRoot() {
   queue_ = {};
   dedup_window_.clear();
   dedup_priority_ = -kInf;
-  PushNodeItem(tree_->root(), TimeSet(trajectory_.TimeSpan()),
+  PushNodeItem(tree_->root(), StBox(), TimeSet(trajectory_.TimeSpan()),
                last_t_start_);
 }
 
@@ -194,7 +201,8 @@ void PredictiveDynamicQuery::OnSubtreeCreated(const ChildEntry& subtree,
   }
   TimeSet times = trajectory_.OverlapTimes(subtree.bounds);
   if (times.empty()) return;
-  PushNodeItem(subtree.child, std::move(times), last_t_start_);
+  PushNodeItem(subtree.child, subtree.bounds, std::move(times),
+               last_t_start_);
 }
 
 void PredictiveDynamicQuery::OnRootSplit(PageId /*new_root*/) {

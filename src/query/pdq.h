@@ -61,6 +61,11 @@ class PredictiveDynamicQuery : public UpdateListener {
     /// close to the root, it is better to empty the priority queues").
     /// Default never triggers.
     int rebuild_level_threshold = 1 << 20;
+    /// Reaction to unreadable nodes (rtree/fault_policy.h). Under
+    /// kSkipSubtree an unexplorable subtree is dropped from the queue and
+    /// recorded in skip_report(); results become a subset of the fault-free
+    /// answer and integrity() flips to kPartial.
+    FaultPolicy fault_policy = FaultPolicy::kFailFast;
   };
 
   /// Creates the processor. `tree` must outlive it. `trajectory` dims must
@@ -92,6 +97,12 @@ class PredictiveDynamicQuery : public UpdateListener {
   const QueryStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Subtrees skipped so far (only populated under kSkipSubtree);
+  /// accumulates over the whole life of the query.
+  const SkipReport& skip_report() const { return skip_report_; }
+  /// kPartial once any subtree was skipped.
+  ResultIntegrity integrity() const { return skip_report_.integrity(); }
+
   // UpdateListener interface (invoked by the tree when track_updates).
   void OnObjectInserted(const MotionSegment& m) override;
   void OnSubtreeCreated(const ChildEntry& subtree, int level) override;
@@ -105,6 +116,7 @@ class PredictiveDynamicQuery : public UpdateListener {
     double priority = 0.0;  // Earliest remaining time the item is in view.
     bool is_object = false;
     PageId page = kInvalidPageId;  // When !is_object.
+    StBox bounds;  // When !is_object: parent-entry box (empty for root).
     MotionSegment motion;          // When is_object.
     TimeSet times;
 
@@ -122,7 +134,8 @@ class PredictiveDynamicQuery : public UpdateListener {
     }
   };
 
-  void PushNodeItem(PageId page, TimeSet times, double not_before);
+  void PushNodeItem(PageId page, const StBox& bounds, TimeSet times,
+                    double not_before);
   void PushObjectItem(const MotionSegment& m, TimeSet times,
                       double not_before);
   void RebuildFromRoot();
@@ -144,6 +157,7 @@ class PredictiveDynamicQuery : public UpdateListener {
   double last_t_start_;
   bool attached_ = false;
   QueryStats stats_;
+  SkipReport skip_report_;
 };
 
 }  // namespace dqmo

@@ -4,11 +4,20 @@
 #include "common/string_util.h"
 
 namespace dqmo {
+namespace {
+
+NpdqOptions WithSessionFaultPolicy(NpdqOptions npdq, FaultPolicy policy) {
+  npdq.fault_policy = policy;
+  return npdq;
+}
+
+}  // namespace
 
 DynamicQuerySession::DynamicQuerySession(RTree* tree, const Options& options)
     : tree_(tree),
       options_(options),
-      npdq_(tree, options.npdq),
+      npdq_(tree,
+            WithSessionFaultPolicy(options.npdq, options.fault_policy)),
       last_velocity_(tree->dims()) {
   DQMO_CHECK(tree != nullptr);
   DQMO_CHECK(options.window > 0.0);
@@ -25,7 +34,11 @@ Vec DynamicQuerySession::PredictedAt(double t) const {
 
 Status DynamicQuerySession::StartPredictive(double t, const Vec& position,
                                             const Vec& velocity) {
-  if (spdq_ != nullptr) retired_pdq_stats_ += spdq_->stats();
+  if (spdq_ != nullptr) {
+    retired_pdq_stats_ += spdq_->stats();
+    skip_report_.MergeTail(spdq_->skip_report(), spdq_skips_merged_);
+  }
+  spdq_skips_merged_ = 0;
   prediction_t0_ = t;
   prediction_origin_ = position;
   prediction_velocity_ = velocity;
@@ -45,6 +58,7 @@ Status DynamicQuerySession::StartPredictive(double t, const Vec& position,
   PredictiveDynamicQuery::Options pdq_options;
   pdq_options.reader = options_.reader;
   pdq_options.track_updates = true;  // Stay correct under live insertions.
+  pdq_options.fault_policy = options_.fault_policy;
   DQMO_ASSIGN_OR_RETURN(
       spdq_, PredictiveDynamicQuery::Make(tree_, std::move(trajectory),
                                           pdq_options));
@@ -86,6 +100,24 @@ Result<DynamicQuerySession::FrameResult> DynamicQuerySession::OnFrame(
       for (PdqResult& r : frame) result.fresh.push_back(std::move(r.motion));
       result.mode = Mode::kPredictive;
       ++session_stats_.predictive_frames;
+      const size_t spdq_skips = spdq_->skip_report().skipped_pages().size();
+      if (spdq_skips == spdq_skips_merged_) return result;
+
+      // Degraded traversal: deliver what was found, flagged partial, and
+      // fall back to NPDQ. The PDQ reads each node once, so a subtree it
+      // skipped would stay lost for its whole remaining run; NPDQ re-reads
+      // every snapshot and recovers the moment the fault clears.
+      skip_report_.MergeTail(spdq_->skip_report(), spdq_skips_merged_);
+      spdq_skips_merged_ = spdq_skips;
+      result.integrity = ResultIntegrity::kPartial;
+      ++session_stats_.degraded_frames;
+      mode_ = Mode::kNonPredictive;
+      npdq_.ResetHistory();
+      stable_streak_ = 0;
+      streak_anchor_.reset();
+      ++session_stats_.handoffs_to_npdq;
+      ++session_stats_.degraded_fallbacks;
+      result.handoff = true;
       return result;
     }
     // Deviated beyond the bound: hand off to NPDQ. The previous NPDQ
@@ -102,6 +134,11 @@ Result<DynamicQuerySession::FrameResult> DynamicQuerySession::OnFrame(
   DQMO_ASSIGN_OR_RETURN(result.fresh, NpdqFrame(t0, t, position));
   result.mode = Mode::kNonPredictive;
   ++session_stats_.non_predictive_frames;
+  if (npdq_.skip_report().pages_skipped() > 0) {
+    skip_report_.Merge(npdq_.skip_report());
+    result.integrity = ResultIntegrity::kPartial;
+    ++session_stats_.degraded_frames;
+  }
 
   // Stability watch: hand back to PDQ after enough frames consistent with
   // a constant-velocity extrapolation from the streak anchor.

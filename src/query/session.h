@@ -49,10 +49,19 @@ class DynamicQuerySession {
     double prediction_horizon = 5.0;
     /// Consecutive in-bound frames required before handing back to PDQ.
     int stable_frames_to_predict = 5;
-    /// Evaluation options for the NPDQ fallback.
+    /// Evaluation options for the NPDQ fallback. (Its fault_policy field is
+    /// overridden by the session-level `fault_policy` below.)
     NpdqOptions npdq;
     /// Page source for PDQ reads (nullptr: the tree's file).
     PageReader* reader = nullptr;
+    /// Reaction to unreadable nodes, applied to both engines
+    /// (rtree/fault_policy.h). Under kSkipSubtree a frame served from a
+    /// degraded traversal is flagged FrameResult::integrity == kPartial,
+    /// and a degraded *predictive* frame additionally hands the session off
+    /// to NPDQ: the PDQ reads every node once, so a subtree it skipped is
+    /// lost for its whole remaining run, while NPDQ re-reads per snapshot
+    /// and recovers as soon as the fault clears.
+    FaultPolicy fault_policy = FaultPolicy::kFailFast;
   };
 
   enum class Mode { kPredictive, kNonPredictive };
@@ -64,6 +73,10 @@ class DynamicQuerySession {
     Mode mode = Mode::kNonPredictive;
     /// True if this frame triggered a mode change.
     bool handoff = false;
+    /// kPartial when this frame's traversal skipped unreadable subtrees
+    /// (only possible under FaultPolicy::kSkipSubtree); `fresh` may then
+    /// miss visible objects.
+    ResultIntegrity integrity = ResultIntegrity::kComplete;
   };
 
   struct SessionStats {
@@ -72,6 +85,10 @@ class DynamicQuerySession {
     uint64_t handoffs_to_npdq = 0;
     uint64_t handoffs_to_pdq = 0;
     uint64_t pdq_renewals = 0;  // Prediction horizon exhausted, refit.
+    uint64_t degraded_frames = 0;  // Frames answered kPartial.
+    /// PDQ -> NPDQ handoffs forced by a degraded predictive traversal
+    /// (subset of handoffs_to_npdq).
+    uint64_t degraded_fallbacks = 0;
   };
 
   /// `tree` must outlive the session.
@@ -84,6 +101,9 @@ class DynamicQuerySession {
 
   Mode mode() const { return mode_; }
   const SessionStats& session_stats() const { return session_stats_; }
+
+  /// Every subtree skipped over the session's lifetime (both engines).
+  const SkipReport& skip_report() const { return skip_report_; }
 
   /// Combined query-processing cost across both engines.
   QueryStats TotalStats() const;
@@ -106,6 +126,9 @@ class DynamicQuerySession {
 
   // Predictive state.
   std::unique_ptr<PredictiveDynamicQuery> spdq_;
+  /// Prefix of spdq_'s (accumulating) skip report already folded into
+  /// skip_report_; reset whenever a new SPDQ is built.
+  size_t spdq_skips_merged_ = 0;
   double prediction_t0_ = 0.0;
   Vec prediction_origin_;
   Vec prediction_velocity_;
@@ -119,6 +142,7 @@ class DynamicQuerySession {
 
   SessionStats session_stats_;
   QueryStats retired_pdq_stats_;  // Stats of finished PDQ instances.
+  SkipReport skip_report_;        // Session-lifetime accumulation.
 };
 
 }  // namespace dqmo

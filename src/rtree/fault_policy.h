@@ -1,0 +1,114 @@
+// Degraded-result semantics: what a query does when a page of the tree
+// cannot be read (I/O failure or checksum mismatch that survived the
+// retry policy of storage/fault.h).
+//
+// The paper's dynamic queries run continuously against a server-resident
+// index; aborting a long-running monitoring session because one page went
+// bad is usually worse than answering from the readable remainder. The
+// contract (DESIGN.md, "Fault model & integrity"):
+//
+//   kFailFast     — the traversal aborts; the caller sees the typed Status
+//                   (Corruption / IOError naming the page). Nothing partial
+//                   is returned. This is the default everywhere.
+//   kSkipSubtree  — an unreadable node is *skipped*: the traversal records
+//                   the page id and the space-time region whose answers may
+//                   be lost (the parent entry's bounds), then continues.
+//                   The query completes, flagged ResultIntegrity::kPartial.
+//
+// Under kSkipSubtree, range-style results are a subset of the fault-free
+// answer (skipping only removes results, never fabricates them); kNN keeps
+// every returned distance correct but may omit true neighbors (the k-th
+// returned object can be farther than the true k-th). Callers must check
+// integrity() before treating a degraded answer as exact.
+#ifndef DQMO_RTREE_FAULT_POLICY_H_
+#define DQMO_RTREE_FAULT_POLICY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "geom/box.h"
+
+namespace dqmo {
+
+/// What a traversal does with an unreadable subtree.
+enum class FaultPolicy : uint8_t {
+  kFailFast = 0,
+  kSkipSubtree = 1,
+};
+
+/// Whether an answer is exact or may be missing objects.
+enum class ResultIntegrity : uint8_t {
+  kComplete = 0,
+  kPartial = 1,
+};
+
+inline const char* ToString(ResultIntegrity integrity) {
+  return integrity == ResultIntegrity::kComplete ? "complete" : "partial";
+}
+
+/// Record of the subtrees a degraded traversal could not read: which pages,
+/// why, and a cover of the space-time region whose answers may be missing.
+class SkipReport {
+ public:
+  /// Records one unreadable subtree. `bounds` is the parent entry's
+  /// space-time box (pass an empty StBox when unknown, e.g. for the root);
+  /// `cause` is the final status that made the subtree unreadable.
+  void RecordSkip(PageId page, const StBox& bounds, const Status& cause) {
+    skipped_pages_.push_back(page);
+    lost_region_ = lost_region_.Cover(bounds);
+    if (last_cause_.ok()) last_cause_ = cause;
+  }
+
+  /// Folds another report into this one (e.g. per-frame into per-session).
+  void Merge(const SkipReport& other) { MergeTail(other, 0); }
+
+  /// Folds only other's skips from index `from_index` on — for
+  /// incrementally draining a report that keeps accumulating (the session
+  /// controller tracks a cursor into its live PDQ's report). The lost
+  /// region is covered wholesale, which is safe: it grows monotonically.
+  void MergeTail(const SkipReport& other, size_t from_index) {
+    skipped_pages_.insert(
+        skipped_pages_.end(),
+        other.skipped_pages_.begin() +
+            static_cast<ptrdiff_t>(
+                std::min(from_index, other.skipped_pages_.size())),
+        other.skipped_pages_.end());
+    lost_region_ = lost_region_.Cover(other.lost_region_);
+    if (last_cause_.ok()) last_cause_ = other.last_cause_;
+  }
+
+  void Reset() { *this = SkipReport(); }
+
+  /// Number of subtree-root pages skipped. (Descendants of a skipped
+  /// subtree were never visited and are not counted — the traversal cannot
+  /// know how many there were.)
+  uint64_t pages_skipped() const { return skipped_pages_.size(); }
+  const std::vector<PageId>& skipped_pages() const { return skipped_pages_; }
+
+  /// Cover of the parent-entry bounds of every skipped subtree: any object
+  /// this traversal missed lies inside this space-time box. Empty when
+  /// nothing was skipped (or only the root was, whose bounds are unknown).
+  const StBox& lost_region() const { return lost_region_; }
+
+  /// First error that caused a skip (OK when nothing was skipped).
+  const Status& last_cause() const { return last_cause_; }
+
+  ResultIntegrity integrity() const {
+    return skipped_pages_.empty() ? ResultIntegrity::kComplete
+                                  : ResultIntegrity::kPartial;
+  }
+
+ private:
+  std::vector<PageId> skipped_pages_;
+  StBox lost_region_;  // Starts empty; Cover() grows it per skip.
+  Status last_cause_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_RTREE_FAULT_POLICY_H_

@@ -55,15 +55,18 @@ constexpr size_t LeafEntrySize(int dims) {
 }
 
 /// Maximum entries per internal node (fanout). 113 for d = 2 (see the
-/// double-temporal-axes note above).
+/// double-temporal-axes note above). Entries fill the page payload; the
+/// last kPageTrailerSize bytes are the page-format-v2 checksum trailer
+/// (storage/page.h), which happens to fit in the slack the entry layouts
+/// left unused, so v2 fanouts equal the v1 fanouts at every d.
 constexpr int InternalCapacity(int dims) {
-  return static_cast<int>((kPageSize - kNodeHeaderSize) /
+  return static_cast<int>((kPagePayloadSize - kNodeHeaderSize) /
                           InternalEntrySize(dims));
 }
 
 /// Maximum entries per leaf node. 127 for d = 2.
 constexpr int LeafCapacity(int dims) {
-  return static_cast<int>((kPageSize - kNodeHeaderSize) /
+  return static_cast<int>((kPagePayloadSize - kNodeHeaderSize) /
                           LeafEntrySize(dims));
 }
 

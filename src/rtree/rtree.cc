@@ -33,7 +33,7 @@ struct MetaPage {
 std::string QueryStats::ToString() const {
   return StrFormat(
       "stats{reads=%llu (leaf %llu), dist=%llu, results=%llu, "
-      "pushes=%llu, pops=%llu, dups=%llu, discarded=%llu}",
+      "pushes=%llu, pops=%llu, dups=%llu, discarded=%llu, skipped=%llu}",
       static_cast<unsigned long long>(node_reads),
       static_cast<unsigned long long>(leaf_reads),
       static_cast<unsigned long long>(distance_computations),
@@ -41,7 +41,8 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(queue_pushes),
       static_cast<unsigned long long>(queue_pops),
       static_cast<unsigned long long>(duplicates_skipped),
-      static_cast<unsigned long long>(nodes_discarded));
+      static_cast<unsigned long long>(nodes_discarded),
+      static_cast<unsigned long long>(pages_skipped));
 }
 
 Result<std::unique_ptr<RTree>> RTree::Create(PageFile* file,
@@ -146,6 +147,21 @@ Result<Node> RTree::LoadNode(PageId id, QueryStats* stats,
     if (node.is_leaf()) ++stats->leaf_reads;
   }
   return node;
+}
+
+Result<std::optional<Node>> RTree::LoadNodeOrSkip(
+    PageId id, const StBox& entry_bounds, FaultPolicy policy,
+    SkipReport* report, QueryStats* stats, PageReader* reader) const {
+  Result<Node> node = LoadNode(id, stats, reader);
+  if (node.ok()) return std::optional<Node>(std::move(node).value());
+  const Status& s = node.status();
+  // Only *read* failures are skippable; a malformed request (OutOfRange id)
+  // indicates a caller bug and propagates under either policy.
+  const bool skippable = s.IsIOError() || s.IsCorruption();
+  if (policy != FaultPolicy::kSkipSubtree || !skippable) return s;
+  if (report != nullptr) report->RecordSkip(id, entry_bounds, s);
+  if (stats != nullptr) ++stats->pages_skipped;
+  return std::optional<Node>(std::nullopt);
 }
 
 Result<StBox> RTree::RootBounds() const {
@@ -469,9 +485,16 @@ struct RangeSearchDriver {
   PageReader* reader;
   bool exact_leaf_test;
   std::vector<MotionSegment>* out;
+  FaultPolicy fault_policy = FaultPolicy::kFailFast;
+  SkipReport* skip_report = nullptr;
 
-  Status Visit(PageId pid) {
-    DQMO_ASSIGN_OR_RETURN(Node node, tree->LoadNode(pid, stats, reader));
+  Status Visit(PageId pid, const StBox& entry_bounds) {
+    DQMO_ASSIGN_OR_RETURN(
+        std::optional<Node> maybe_node,
+        tree->LoadNodeOrSkip(pid, entry_bounds, fault_policy, skip_report,
+                             stats, reader));
+    if (!maybe_node.has_value()) return Status::OK();  // Subtree skipped.
+    const Node& node = *maybe_node;
     if (node.is_leaf()) {
       for (const MotionSegment& m : node.segments) {
         ++stats->distance_computations;
@@ -488,7 +511,7 @@ struct RangeSearchDriver {
     for (const ChildEntry& e : node.children) {
       ++stats->distance_computations;
       if (e.bounds.Overlaps(*query)) {
-        DQMO_RETURN_IF_ERROR(Visit(e.child));
+        DQMO_RETURN_IF_ERROR(Visit(e.child, e.bounds));
       }
     }
     return Status::OK();
@@ -499,15 +522,28 @@ struct RangeSearchDriver {
 
 Result<std::vector<MotionSegment>> RTree::RangeSearch(
     const StBox& q, QueryStats* stats, PageReader* reader) const {
+  SearchOptions opts;
+  opts.reader = reader;
+  return RangeSearch(q, stats, opts);
+}
+
+Result<std::vector<MotionSegment>> RTree::RangeSearch(
+    const StBox& q, QueryStats* stats, const SearchOptions& opts) const {
   if (q.spatial.dims != options_.dims) {
     return Status::InvalidArgument("query dims mismatch");
   }
   DQMO_CHECK(stats != nullptr);
   std::vector<MotionSegment> out;
   if (q.empty()) return out;
-  RangeSearchDriver driver{this, &q, stats, reader, /*exact_leaf_test=*/true,
-                           &out};
-  DQMO_RETURN_IF_ERROR(driver.Visit(root_));
+  RangeSearchDriver driver{this,
+                           &q,
+                           stats,
+                           opts.reader,
+                           /*exact_leaf_test=*/true,
+                           &out,
+                           opts.fault_policy,
+                           opts.skip_report};
+  DQMO_RETURN_IF_ERROR(driver.Visit(root_, StBox()));
   return out;
 }
 
@@ -519,9 +555,9 @@ Result<std::vector<MotionSegment>> RTree::RangeSearchBbOnly(
   DQMO_CHECK(stats != nullptr);
   std::vector<MotionSegment> out;
   if (q.empty()) return out;
-  RangeSearchDriver driver{this, &q, stats, reader, /*exact_leaf_test=*/false,
+  RangeSearchDriver driver{this, &q,   stats, reader, /*exact_leaf_test=*/false,
                            &out};
-  DQMO_RETURN_IF_ERROR(driver.Visit(root_));
+  DQMO_RETURN_IF_ERROR(driver.Visit(root_, StBox()));
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -13,6 +14,7 @@
 #include "common/types.h"
 #include "geom/box.h"
 #include "motion/motion_segment.h"
+#include "rtree/fault_policy.h"
 #include "rtree/node.h"
 #include "rtree/split.h"
 #include "rtree/stats.h"
@@ -98,12 +100,31 @@ class RTree {
   /// motion removed after they started — removal is not retroactive.
   Status Remove(const MotionSegment& m);
 
+  /// Traversal options shared by the search entry points.
+  struct SearchOptions {
+    /// Reads go through this reader when set (BufferPool / fault wrappers),
+    /// else the backing file.
+    PageReader* reader = nullptr;
+    /// What to do when a node cannot be read (rtree/fault_policy.h).
+    FaultPolicy fault_policy = FaultPolicy::kFailFast;
+    /// Receives the skipped subtrees under kSkipSubtree (may be null; the
+    /// count still lands in QueryStats::pages_skipped).
+    SkipReport* skip_report = nullptr;
+  };
+
   /// Snapshot range query (Definition 3): all motion segments whose exact
   /// space-time line intersects `q`. This is the paper's "naive" building
   /// block: a standard R-tree range search with the exact leaf segment test
   /// of Sect. 3.2. Reads via `reader` if given, else the backing file.
   Result<std::vector<MotionSegment>> RangeSearch(
       const StBox& q, QueryStats* stats, PageReader* reader = nullptr) const;
+
+  /// RangeSearch with full traversal options (degraded-result support).
+  /// Under FaultPolicy::kSkipSubtree the returned set is a subset of the
+  /// fault-free answer; consult opts.skip_report (or stats->pages_skipped)
+  /// for whether anything was lost.
+  Result<std::vector<MotionSegment>> RangeSearch(
+      const StBox& q, QueryStats* stats, const SearchOptions& opts) const;
 
   /// Ablation variant (Sect. 3.2 optimization *disabled*): leaf entries are
   /// accepted whenever their bounding boxes intersect `q`, as if the leaves
@@ -115,6 +136,20 @@ class RTree {
   /// file), charging `stats` if the read was physical.
   Result<Node> LoadNode(PageId id, QueryStats* stats,
                         PageReader* reader = nullptr) const;
+
+  /// LoadNode with degraded-result handling: under kSkipSubtree a read
+  /// failure (IOError / Corruption / truncated node) is absorbed — the skip
+  /// is recorded in `report` (if non-null) and stats->pages_skipped, and
+  /// std::nullopt is returned so the caller prunes the subtree.
+  /// `entry_bounds` is the parent entry's box (empty when unknown, e.g. the
+  /// root). Malformed *requests* (OutOfRange ids) and kFailFast errors
+  /// propagate unchanged.
+  Result<std::optional<Node>> LoadNodeOrSkip(PageId id,
+                                             const StBox& entry_bounds,
+                                             FaultPolicy policy,
+                                             SkipReport* report,
+                                             QueryStats* stats,
+                                             PageReader* reader) const;
 
   /// Bounding rectangle of the entire tree (loads the root; uncharged).
   Result<StBox> RootBounds() const;

@@ -25,6 +25,9 @@ struct QueryStats {
   uint64_t duplicates_skipped = 0;
   /// NPDQ bookkeeping: subtrees pruned by the discardability test.
   uint64_t nodes_discarded = 0;
+  /// Subtree roots skipped as unreadable under FaultPolicy::kSkipSubtree
+  /// (rtree/fault_policy.h). Non-zero implies the answer was partial.
+  uint64_t pages_skipped = 0;
 
   uint64_t internal_reads() const { return node_reads - leaf_reads; }
 
@@ -40,6 +43,7 @@ struct QueryStats {
     d.queue_pops = queue_pops - o.queue_pops;
     d.duplicates_skipped = duplicates_skipped - o.duplicates_skipped;
     d.nodes_discarded = nodes_discarded - o.nodes_discarded;
+    d.pages_skipped = pages_skipped - o.pages_skipped;
     return d;
   }
 
@@ -52,6 +56,7 @@ struct QueryStats {
     queue_pops += o.queue_pops;
     duplicates_skipped += o.duplicates_skipped;
     nodes_discarded += o.nodes_discarded;
+    pages_skipped += o.pages_skipped;
     return *this;
   }
 

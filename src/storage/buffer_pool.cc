@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/string_util.h"
 
 namespace dqmo {
 
@@ -22,7 +23,15 @@ Result<PageReader::ReadResult> BufferPool::Read(PageId id) {
     return ReadResult{frames_.front().bytes.data(), /*physical=*/false};
   }
   // Miss: fetch from the file (one disk access) and install.
-  DQMO_ASSIGN_OR_RETURN(auto read, file_->Read(id));
+  PageReader* src = source_ != nullptr ? source_ : static_cast<PageReader*>(file_);
+  DQMO_ASSIGN_OR_RETURN(auto read, src->Read(id));
+  if (source_ != nullptr && !PageChecksumOk(read.data)) {
+    ++file_->mutable_stats()->checksum_failures;
+    return Status::Corruption(
+        StrFormat("page %u checksum mismatch (stored %08x, computed %08x)",
+                  id, StoredPageChecksum(read.data),
+                  ComputePageChecksum(read.data)));
+  }
   ++misses_;
   if (frames_.size() >= capacity_) {
     index_.erase(frames_.back().id);

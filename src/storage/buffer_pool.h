@@ -26,6 +26,16 @@ class BufferPool : public PageReader {
   /// `capacity_pages` must be >= 1. The pool does not own `file`.
   BufferPool(PageFile* file, size_t capacity_pages);
 
+  /// Interposes `source` (not owned; nullptr to remove) between the pool
+  /// and the file: misses fetch through it instead of the file directly.
+  /// Used to route misses through the fault-tolerance wrappers in
+  /// storage/fault.h. Because such a source may hand back bytes the
+  /// PageFile never verified (FaultyPageReader corrupts *after* the file's
+  /// own check), the pool verifies the checksum of every page fetched
+  /// through a source before caching it — a corrupt page must not be
+  /// laundered into a "clean" cache hit.
+  void set_source(PageReader* source) { source_ = source; }
+
   Result<ReadResult> Read(PageId id) override;
 
   /// Drops every cached frame (e.g. between experiment repetitions).
@@ -48,6 +58,7 @@ class BufferPool : public PageReader {
   };
 
   PageFile* file_;
+  PageReader* source_ = nullptr;
   size_t capacity_;
   // LRU order: front = most recent. map points into the list.
   std::list<Frame> frames_;

@@ -1,0 +1,146 @@
+#include "storage/fault.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+
+FaultInjector::FaultInjector(const Options& options)
+    : options_(options), rng_(options.seed) {
+  DQMO_CHECK(options.transient_fault_rate >= 0.0 &&
+             options.transient_fault_rate <= 1.0);
+}
+
+void FaultInjector::AddBitFlip(PageId page, size_t offset, uint8_t mask,
+                               bool transient) {
+  DQMO_CHECK(offset < kPageSize);
+  flips_[page].push_back(BitFlip{offset, mask, transient});
+}
+
+void FaultInjector::AddPermanentFault(PageId page) {
+  dead_pages_[page] = true;
+}
+
+FaultInjector::Decision FaultInjector::NextRead(PageId page) {
+  const uint64_t n = ++reads_seen_;
+  // The Bernoulli stream advances on *every* read regardless of which
+  // branch fires, so decisions for read #n are independent of the pages
+  // read before it — this is what makes schedules replayable across query
+  // plans that reorder their page accesses.
+  const bool rate_fault = options_.transient_fault_rate > 0.0 &&
+                          rng_.Bernoulli(options_.transient_fault_rate);
+  Decision d;
+  if (dead_pages_.count(page) != 0) {
+    d.kind = Decision::Kind::kPermanentFail;
+  } else if (options_.fail_after != 0 && n > options_.fail_after) {
+    d.kind = Decision::Kind::kPermanentFail;
+  } else if (options_.fail_every_kth != 0 &&
+             n % options_.fail_every_kth == 0) {
+    d.kind = Decision::Kind::kTransientFail;
+  } else if (rate_fault) {
+    d.kind = Decision::Kind::kTransientFail;
+  } else {
+    auto it = flips_.find(page);
+    if (it != flips_.end()) {
+      for (const BitFlip& flip : it->second) {
+        if (!flip.spent) {
+          d.kind = Decision::Kind::kCorrupt;
+          break;
+        }
+      }
+    }
+  }
+  if (d.kind != Decision::Kind::kPass) ++faults_injected_;
+  return d;
+}
+
+void FaultInjector::ApplyCorruption(PageId page, uint8_t* buf) {
+  auto it = flips_.find(page);
+  if (it == flips_.end()) return;
+  for (BitFlip& flip : it->second) {
+    if (flip.spent) continue;
+    buf[flip.offset] ^= flip.mask;
+    if (flip.transient) flip.spent = true;
+  }
+}
+
+FaultyPageReader::FaultyPageReader(PageReader* base, FaultInjector* injector)
+    : base_(base), injector_(injector) {
+  DQMO_CHECK(base != nullptr && injector != nullptr);
+}
+
+Result<PageReader::ReadResult> FaultyPageReader::Read(PageId id) {
+  const FaultInjector::Decision d = injector_->NextRead(id);
+  using Kind = FaultInjector::Decision::Kind;
+  switch (d.kind) {
+    case Kind::kTransientFail:
+      return Status::IOError(
+          StrFormat("injected transient fault reading page %u", id));
+    case Kind::kPermanentFail:
+      return Status::IOError(
+          StrFormat("injected permanent fault reading page %u", id));
+    case Kind::kCorrupt: {
+      DQMO_ASSIGN_OR_RETURN(auto read, base_->Read(id));
+      scratch_.assign(read.data, read.data + kPageSize);
+      injector_->ApplyCorruption(id, scratch_.data());
+      return ReadResult{scratch_.data(), read.physical};
+    }
+    case Kind::kPass:
+      break;
+  }
+  return base_->Read(id);
+}
+
+RetryingPageReader::RetryingPageReader(PageReader* base,
+                                       const RetryPolicy& policy,
+                                       IoStats* stats, Clock clock)
+    : base_(base), policy_(policy), stats_(stats), clock_(std::move(clock)) {
+  DQMO_CHECK(base != nullptr);
+  DQMO_CHECK(policy.max_attempts >= 1);
+  if (!clock_) {
+    clock_ = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
+}
+
+Result<PageReader::ReadResult> RetryingPageReader::Read(PageId id) {
+  const double start = clock_();
+  Status last = Status::OK();
+  for (int attempt = 1;; ++attempt) {
+    if (attempt > 1 && stats_ != nullptr) ++stats_->retries;
+    Result<ReadResult> r = base_->Read(id);
+    if (r.ok()) {
+      const ReadResult read = *r;
+      if (!policy_.verify_checksums || PageChecksumOk(read.data)) {
+        return read;
+      }
+      if (stats_ != nullptr) ++stats_->checksum_failures;
+      last = Status::Corruption(StrFormat(
+          "page %u checksum mismatch (stored %08x, computed %08x)", id,
+          StoredPageChecksum(read.data), ComputePageChecksum(read.data)));
+    } else {
+      last = r.status();
+      if (!Retryable(last)) return last;  // e.g. OutOfRange: a bad request.
+    }
+    if (attempt >= policy_.max_attempts) break;
+    if (policy_.per_read_deadline > 0.0 &&
+        clock_() - start >= policy_.per_read_deadline) {
+      last = Status(last.code(),
+                    last.message() + StrFormat(" (deadline %.3fs exceeded "
+                                               "after %d attempts)",
+                                               policy_.per_read_deadline,
+                                               attempt));
+      break;
+    }
+  }
+  ++exhausted_reads_;
+  return last;
+}
+
+}  // namespace dqmo

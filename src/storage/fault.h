@@ -1,0 +1,183 @@
+// Deterministic storage-fault injection and the retrying reader that
+// absorbs it.
+//
+// The paper's testbed assumes a well-behaved disk; a server tracking
+// thousands of moving objects cannot. This module provides the fault model
+// for the integrity subsystem (DESIGN.md, "Fault model & integrity"):
+//
+//   PageFile  ->  FaultyPageReader  ->  RetryingPageReader  ->  queries
+//   (sealed       (injects seeded        (bounded retries,
+//    + verified)   failures)              verifies checksums)
+//
+// Every schedule is reproducible from an Rng seed, so a failing
+// degraded-query run can be replayed bit-for-bit.
+#ifndef DQMO_STORAGE_FAULT_H_
+#define DQMO_STORAGE_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace dqmo {
+
+/// Decides, deterministically, whether each successive read fails and how.
+/// A schedule combines:
+///   - a seeded Bernoulli stream of *transient* faults (transient_fault_rate),
+///   - "hard" points: fail permanently after N reads (fail_after), fail
+///     transiently on every Kth read (fail_every_kth),
+///   - targeted corruptions: flip bits of page P at byte B, either once
+///     (transient: the stored page is intact, only the returned copy is
+///     damaged) or persistently (every read of P returns damaged bytes).
+///
+/// Determinism contract: the outcome of read #n depends only on the seed,
+/// the options, and n — never on wall-clock or pointer values.
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 42;
+    /// Probability that any given read fails transiently (IOError).
+    double transient_fault_rate = 0.0;
+    /// After this many successful reads, every further read fails
+    /// permanently (IOError, non-recovering). 0 disables.
+    uint64_t fail_after = 0;
+    /// Every Kth read (K, 2K, ...) fails transiently. 0 disables.
+    uint64_t fail_every_kth = 0;
+  };
+
+  /// What the injector decided for one read.
+  struct Decision {
+    enum class Kind : uint8_t {
+      kPass,           // Deliver the page untouched.
+      kTransientFail,  // IOError this time; a retry may succeed.
+      kPermanentFail,  // IOError now and on every future attempt.
+      kCorrupt,        // Deliver the page with bytes flipped.
+    };
+    Kind kind = Kind::kPass;
+  };
+
+  explicit FaultInjector(const Options& options);
+
+  /// Registers a bit flip: reads of `page` return its bytes with `mask`
+  /// XORed into byte `offset`. Transient flips damage only the first
+  /// delivered copy (a retry sees clean bytes); persistent flips damage
+  /// every delivery, modelling at-rest corruption.
+  void AddBitFlip(PageId page, size_t offset, uint8_t mask, bool transient);
+
+  /// Registers `page` as unreadable: every read of it fails with IOError.
+  void AddPermanentFault(PageId page);
+
+  /// Decides the fate of the next read of `page`. Advances the seeded
+  /// stream, so call exactly once per physical read attempt.
+  Decision NextRead(PageId page);
+
+  /// Applies any registered (still-armed) bit flips for `page` to `buf`
+  /// (kPageSize bytes). Consumes transient flips.
+  void ApplyCorruption(PageId page, uint8_t* buf);
+
+  /// Total reads decided so far.
+  uint64_t reads_seen() const { return reads_seen_; }
+  /// Faults injected so far (all kinds).
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  struct BitFlip {
+    size_t offset;
+    uint8_t mask;
+    bool transient;
+    bool spent = false;  // Transient flips fire once.
+  };
+
+  Options options_;
+  Rng rng_;
+  uint64_t reads_seen_ = 0;
+  uint64_t faults_injected_ = 0;
+  std::unordered_map<PageId, std::vector<BitFlip>> flips_;
+  std::unordered_map<PageId, bool> dead_pages_;
+};
+
+/// PageReader decorator that injects the faults an injector schedules.
+/// Failed reads still count as physical accesses on the underlying reader's
+/// accounting only when the underlying read actually happened (corruption
+/// does read the page; transient/permanent failures abort before it).
+class FaultyPageReader : public PageReader {
+ public:
+  /// Neither pointer is owned. `injector` may be shared across readers
+  /// (its stream then interleaves in call order).
+  FaultyPageReader(PageReader* base, FaultInjector* injector);
+
+  Result<ReadResult> Read(PageId id) override;
+
+ private:
+  PageReader* base_;
+  FaultInjector* injector_;
+  // Corrupted deliveries need a private buffer: the base reader's bytes
+  // must stay pristine (transient corruption, by definition, is not
+  // written back).
+  std::vector<uint8_t> scratch_;
+};
+
+/// PageReader decorator that absorbs transient faults by retrying, verifies
+/// checksums on every delivered page, and converts unrecoverable failures
+/// into typed errors for the degraded-result machinery above it.
+///
+/// Retry policy: IOError / Corruption results are retried up to
+/// max_attempts total attempts or until the per-read deadline (measured by
+/// the injectable clock) expires, whichever is first; other codes (e.g.
+/// OutOfRange for a bad page id) are returned immediately — retrying a
+/// malformed request cannot help.
+class RetryingPageReader : public PageReader {
+ public:
+  struct RetryPolicy {
+    /// Total attempts per read, including the first. Must be >= 1.
+    int max_attempts = 3;
+    /// Wall-clock budget per read in seconds; once exceeded, no further
+    /// attempts are made (the attempt in flight is not interrupted).
+    /// <= 0 means no deadline.
+    double per_read_deadline = 0.0;
+    /// Verify the delivered page's checksum even when the base reader
+    /// claims success; a mismatch counts as a retryable corruption.
+    bool verify_checksums = true;
+  };
+
+  /// Seconds-valued monotonic clock; injectable so deadline behaviour is
+  /// testable without sleeping.
+  using Clock = std::function<double()>;
+
+  /// `base` is not owned. `stats` (may be null) receives retry and
+  /// checksum-failure counts; pass the PageFile's mutable_stats() to fold
+  /// them into the experiment accounting. A default clock (steady_clock)
+  /// is used when `clock` is null.
+  RetryingPageReader(PageReader* base, const RetryPolicy& policy,
+                     IoStats* stats = nullptr, Clock clock = nullptr);
+
+  Result<ReadResult> Read(PageId id) override;
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Reads that ultimately failed after exhausting the policy.
+  uint64_t exhausted_reads() const { return exhausted_reads_; }
+
+ private:
+  static bool Retryable(const Status& s) {
+    return s.IsIOError() || s.IsCorruption();
+  }
+
+  PageReader* base_;
+  RetryPolicy policy_;
+  IoStats* stats_;
+  Clock clock_;
+  uint64_t exhausted_reads_ = 0;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_STORAGE_FAULT_H_

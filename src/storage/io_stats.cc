@@ -5,10 +5,13 @@
 namespace dqmo {
 
 std::string IoStats::ToString() const {
-  return StrFormat("io{reads=%llu, writes=%llu, hits=%llu}",
-                   static_cast<unsigned long long>(physical_reads),
-                   static_cast<unsigned long long>(physical_writes),
-                   static_cast<unsigned long long>(cache_hits));
+  return StrFormat(
+      "io{reads=%llu, writes=%llu, hits=%llu, crc_fail=%llu, retries=%llu}",
+      static_cast<unsigned long long>(physical_reads),
+      static_cast<unsigned long long>(physical_writes),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(checksum_failures),
+      static_cast<unsigned long long>(retries));
 }
 
 }  // namespace dqmo

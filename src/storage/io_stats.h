@@ -15,6 +15,12 @@ struct IoStats {
   uint64_t physical_reads = 0;
   uint64_t physical_writes = 0;
   uint64_t cache_hits = 0;
+  /// Page reads whose CRC32C trailer did not match the payload (storage
+  /// corruption detected and surfaced as Status::Corruption).
+  uint64_t checksum_failures = 0;
+  /// Reads re-issued by RetryingPageReader after a transient failure. Does
+  /// not count the first attempt.
+  uint64_t retries = 0;
 
   void Reset() { *this = IoStats{}; }
 
@@ -23,6 +29,8 @@ struct IoStats {
     d.physical_reads = physical_reads - other.physical_reads;
     d.physical_writes = physical_writes - other.physical_writes;
     d.cache_hits = cache_hits - other.cache_hits;
+    d.checksum_failures = checksum_failures - other.checksum_failures;
+    d.retries = retries - other.retries;
     return d;
   }
 

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 
 #include "common/check.h"
 
@@ -13,6 +14,29 @@ namespace dqmo {
 /// (145 internal / 127 leaf) follows from this size and the entry layouts in
 /// rtree/node.h.
 inline constexpr size_t kPageSize = 4096;
+
+/// Page format v2: the last 4 bytes of every page hold a CRC32C of the
+/// preceding kPagePayloadSize bytes ("sealing"), verified on every physical
+/// read so a flipped bit in a page body surfaces as Status::Corruption
+/// instead of being deserialized into garbage geometry. The trailer lives
+/// in space the node layouts never used (rtree/layout.h derives fanouts
+/// from kPagePayloadSize), so v2 keeps the paper's 113/127 fanout, and v1
+/// pages — whose trailer bytes were zeroed slack — remain readable.
+inline constexpr size_t kPageTrailerSize = 4;
+inline constexpr size_t kPagePayloadSize = kPageSize - kPageTrailerSize;
+inline constexpr size_t kPageChecksumOffset = kPagePayloadSize;
+
+/// CRC32C over a page's payload (everything except the trailer).
+uint32_t ComputePageChecksum(const uint8_t* page);
+
+/// Writes the payload checksum into the page's trailer.
+void SealPage(uint8_t* page);
+
+/// True iff the trailer matches the payload.
+bool PageChecksumOk(const uint8_t* page);
+
+/// Checksum currently stored in a page's trailer.
+uint32_t StoredPageChecksum(const uint8_t* page);
 
 /// View over one page's bytes with bounds-checked typed reads/writes.
 ///

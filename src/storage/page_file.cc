@@ -9,7 +9,13 @@ namespace dqmo {
 namespace {
 
 constexpr uint64_t kMagic = 0x4451'4d4f'5047'4631ULL;  // "DQMOPGF1"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionLegacy = 1;  // No page checksums.
+constexpr uint32_t kVersion = 2;        // CRC32C trailer per page.
+
+/// Upper bound on a plausible page count (256 GiB of pages). Headers
+/// claiming more are rejected as corrupt before any allocation is sized
+/// from them.
+constexpr uint64_t kMaxLoadablePages = 1ULL << 26;
 
 struct FileHeader {
   uint64_t magic;
@@ -32,6 +38,14 @@ class File {
   bool ok() const { return f_ != nullptr; }
   std::FILE* get() { return f_; }
 
+  /// Size in bytes, or -1 on error. Leaves the position at the start.
+  long Size() {
+    if (std::fseek(f_, 0, SEEK_END) != 0) return -1;
+    const long size = std::ftell(f_);
+    if (std::fseek(f_, 0, SEEK_SET) != 0) return -1;
+    return size;
+  }
+
  private:
   std::FILE* f_;
 };
@@ -47,34 +61,98 @@ Status PageFile::CheckId(PageId id) const {
   return Status::OK();
 }
 
+Status PageFile::CheckWritable() const {
+  if (legacy_read_only_) {
+    return Status::FailedPrecondition(
+        "legacy (v1) page file is read-only; re-save to upgrade to v2");
+  }
+  return Status::OK();
+}
+
 PageId PageFile::Allocate() {
   bytes_.resize(bytes_.size() + kPageSize, 0);
+  dirty_.push_back(1);  // Zeroed page: trailer not yet a valid checksum.
+  verified_.push_back(0);
   return static_cast<PageId>(num_pages_++);
+}
+
+void PageFile::SealIfDirty(PageId id) {
+  if (dirty_[id] == 0) return;
+  SealPage(PageData(id));
+  dirty_[id] = 0;
+  verified_[id] = 1;  // Freshly sealed: consistent by construction.
 }
 
 Result<PageReader::ReadResult> PageFile::Read(PageId id) {
   DQMO_RETURN_IF_ERROR(CheckId(id));
   ++stats_.physical_reads;
-  return ReadResult{bytes_.data() + static_cast<size_t>(id) * kPageSize,
-                    /*physical=*/true};
+  SealIfDirty(id);
+  const uint8_t* data = PageData(id);
+  // Verify-once: a page is checked when it enters memory untrusted (an
+  // unverified load) and trusted until its bytes change — the block-cache
+  // model. Steady-state reads pay only this branch.
+  if (verify_on_read_ && verified_[id] == 0) {
+    if (!PageChecksumOk(data)) {
+      ++stats_.checksum_failures;
+      return Status::Corruption(
+          StrFormat("page %u checksum mismatch (stored %08x, computed %08x)",
+                    id, StoredPageChecksum(data), ComputePageChecksum(data)));
+    }
+    verified_[id] = 1;
+  }
+  return ReadResult{data, /*physical=*/true};
 }
 
 Status PageFile::Write(PageId id, const uint8_t* data) {
+  DQMO_RETURN_IF_ERROR(CheckWritable());
   DQMO_RETURN_IF_ERROR(CheckId(id));
-  std::memcpy(bytes_.data() + static_cast<size_t>(id) * kPageSize, data,
-              kPageSize);
+  std::memcpy(PageData(id), data, kPageSize);
+  SealPage(PageData(id));
+  dirty_[id] = 0;
+  verified_[id] = 1;
   ++stats_.physical_writes;
   return Status::OK();
 }
 
 Result<PageView> PageFile::WritableView(PageId id) {
+  DQMO_RETURN_IF_ERROR(CheckWritable());
   DQMO_RETURN_IF_ERROR(CheckId(id));
   ++stats_.physical_writes;
-  return PageView(bytes_.data() + static_cast<size_t>(id) * kPageSize,
-                  kPageSize);
+  dirty_[id] = 1;  // Sealed lazily before the next read/verify/save.
+  return PageView(PageData(id), kPageSize);
 }
 
-Status PageFile::SaveTo(const std::string& path) const {
+Status PageFile::VerifyPage(PageId id) {
+  DQMO_RETURN_IF_ERROR(CheckId(id));
+  SealIfDirty(id);
+  const uint8_t* data = PageData(id);
+  // Scrub semantics: always recompute, never trust the verified_ cache.
+  if (!PageChecksumOk(data)) {
+    ++stats_.checksum_failures;
+    return Status::Corruption(
+        StrFormat("page %u checksum mismatch (stored %08x, computed %08x)",
+                  id, StoredPageChecksum(data), ComputePageChecksum(data)));
+  }
+  verified_[id] = 1;
+  return Status::OK();
+}
+
+size_t PageFile::VerifyAllPages(std::vector<PageId>* bad) {
+  size_t corrupt = 0;
+  for (PageId id = 0; id < num_pages_; ++id) {
+    SealIfDirty(id);
+    if (PageChecksumOk(PageData(id))) {
+      verified_[id] = 1;
+    } else {
+      ++corrupt;
+      if (bad != nullptr) bad->push_back(id);
+    }
+  }
+  return corrupt;
+}
+
+Status PageFile::SaveTo(const std::string& path) {
+  for (PageId id = 0; id < num_pages_; ++id) SealIfDirty(id);
   File f(path.c_str(), "wb");
   if (!f.ok()) return Status::IOError("cannot open " + path + " for write");
   FileHeader header{kMagic, kVersion, 0, num_pages_};
@@ -89,9 +167,12 @@ Status PageFile::SaveTo(const std::string& path) const {
   return Status::OK();
 }
 
-Status PageFile::LoadFrom(const std::string& path) {
+Status PageFile::LoadFrom(const std::string& path,
+                          const LoadOptions& options) {
   File f(path.c_str(), "rb");
   if (!f.ok()) return Status::IOError("cannot open " + path + " for read");
+  const long file_size = f.Size();
+  if (file_size < 0) return Status::IOError("cannot stat " + path);
   FileHeader header{};
   if (std::fread(&header, sizeof(header), 1, f.get()) != 1) {
     return Status::Corruption("short header read from " + path);
@@ -99,9 +180,29 @@ Status PageFile::LoadFrom(const std::string& path) {
   if (header.magic != kMagic) {
     return Status::Corruption(path + " is not a DQMO page file");
   }
-  if (header.version != kVersion) {
+  if (header.version != kVersion && header.version != kVersionLegacy) {
     return Status::NotSupported(
         StrFormat("page file version %u unsupported", header.version));
+  }
+  // Never size anything from the header before sanity-checking it against
+  // reality: a corrupt count must not drive a huge allocation or let a
+  // truncated file masquerade as intact.
+  if (header.num_pages > kMaxLoadablePages) {
+    return Status::Corruption(
+        StrFormat("%s: absurd page count %llu in header", path.c_str(),
+                  static_cast<unsigned long long>(header.num_pages)));
+  }
+  const uint64_t expected_size =
+      sizeof(FileHeader) + header.num_pages * kPageSize;
+  if (static_cast<uint64_t>(file_size) != expected_size) {
+    return Status::Corruption(StrFormat(
+        "%s: header claims %llu pages (%llu bytes) but file is %ld bytes "
+        "(%s at offset %ld)",
+        path.c_str(), static_cast<unsigned long long>(header.num_pages),
+        static_cast<unsigned long long>(expected_size), file_size,
+        static_cast<uint64_t>(file_size) < expected_size ? "truncated"
+                                                         : "trailing data",
+        file_size));
   }
   std::vector<uint8_t> bytes(header.num_pages * kPageSize);
   if (header.num_pages > 0 &&
@@ -109,8 +210,37 @@ Status PageFile::LoadFrom(const std::string& path) {
           header.num_pages) {
     return Status::Corruption("short page read from " + path);
   }
+  const bool legacy = header.version == kVersionLegacy;
+  if (legacy) {
+    // v1 pages carry no checksum; their trailer bytes were zeroed slack.
+    // Seal them in memory so subsequent reads verify uniformly.
+    for (uint64_t id = 0; id < header.num_pages; ++id) {
+      SealPage(bytes.data() + id * kPageSize);
+    }
+  } else if (options.verify_checksums) {
+    for (uint64_t id = 0; id < header.num_pages; ++id) {
+      const uint8_t* page = bytes.data() + id * kPageSize;
+      if (!PageChecksumOk(page)) {
+        ++stats_.checksum_failures;
+        return Status::Corruption(StrFormat(
+            "%s: page %llu checksum mismatch at file offset %llu "
+            "(stored %08x, computed %08x)",
+            path.c_str(), static_cast<unsigned long long>(id),
+            static_cast<unsigned long long>(sizeof(FileHeader) +
+                                            id * kPageSize),
+            StoredPageChecksum(page), ComputePageChecksum(page)));
+      }
+    }
+  }
   bytes_ = std::move(bytes);
   num_pages_ = header.num_pages;
+  dirty_.assign(num_pages_, 0);
+  // Legacy pages were sealed just above (consistent by construction) and
+  // v2 pages were verified unless the caller opted out — only the opt-out
+  // leaves pages untrusted, to be verified on first read.
+  verified_.assign(num_pages_,
+                   (legacy || options.verify_checksums) ? 1 : 0);
+  legacy_read_only_ = legacy;
   stats_.Reset();
   return Status::OK();
 }

@@ -1,6 +1,13 @@
 // PageFile: the simulated disk. A flat array of 4 KiB pages with physical
 // read/write accounting, plus persistence to an OS file so that an index can
 // be built once and reused across benchmark binaries.
+//
+// Integrity (page format v2): every page carries a CRC32C trailer over its
+// payload (storage/page.h). Pages are sealed when written, verified on load
+// and on the first read after entering memory untrusted, then trusted until
+// their bytes change (verify-once, the block-cache model), so corruption
+// surfaces as Status::Corruption carrying the page id instead of garbage
+// geometry.
 #ifndef DQMO_STORAGE_PAGE_FILE_H_
 #define DQMO_STORAGE_PAGE_FILE_H_
 
@@ -16,8 +23,9 @@
 namespace dqmo {
 
 /// Abstract source of pages. Query processors read through this interface;
-/// implementations are PageFile (every read is a disk access) and BufferPool
-/// (reads may be served from cache).
+/// implementations are PageFile (every read is a disk access), BufferPool
+/// (reads may be served from cache), and the fault-tolerance wrappers in
+/// storage/fault.h (FaultyPageReader, RetryingPageReader).
 class PageReader {
  public:
   virtual ~PageReader() = default;
@@ -30,7 +38,8 @@ class PageReader {
     bool physical = false;
   };
 
-  /// Reads page `id`. Fails with NotFound/OutOfRange for unknown ids.
+  /// Reads page `id`. Fails with NotFound/OutOfRange for unknown ids and
+  /// with Corruption (message carries the page id) for checksum mismatches.
   virtual Result<ReadResult> Read(PageId id) = 0;
 };
 
@@ -42,6 +51,14 @@ class PageReader {
 /// figures, which plot access *counts*.
 class PageFile : public PageReader {
  public:
+  /// Options for LoadFrom.
+  struct LoadOptions {
+    /// Verify every page's checksum while loading (v2 files); the first
+    /// mismatch fails the load with Corruption carrying the page id and
+    /// file offset. Disable only for forensic access (dqmo_tool scrub).
+    bool verify_checksums = true;
+  };
+
   PageFile() = default;
 
   PageFile(const PageFile&) = delete;
@@ -54,33 +71,85 @@ class PageFile : public PageReader {
 
   size_t num_pages() const { return num_pages_; }
 
-  /// Reads page `id`, charging one physical read.
+  /// Reads page `id`, charging one physical read. Verifies the page's
+  /// checksum on the first read after the page entered memory untrusted
+  /// (a LoadFrom with verify_checksums=false); once verified, a page is
+  /// trusted until its bytes change — the block-cache model, so
+  /// steady-state reads pay only a flag check. A mismatch returns
+  /// Corruption naming the page and increments stats().checksum_failures.
+  /// set_verify_on_read(false) disables even the first-read check.
   Result<ReadResult> Read(PageId id) override;
 
-  /// Writes the kPageSize bytes at `data` into page `id`, charging one
-  /// physical write.
+  /// Writes the kPageSize bytes at `data` into page `id` and seals it,
+  /// charging one physical write. (The trailer bytes of `data` are
+  /// overwritten by the freshly computed checksum.)
   Status Write(PageId id, const uint8_t* data);
 
   /// Mutable view of a page for in-place serialization, charging one
-  /// physical write (the caller is about to overwrite the page).
+  /// physical write (the caller is about to overwrite the page). The page
+  /// is re-sealed lazily before it is next read, verified, or saved.
   Result<PageView> WritableView(PageId id);
 
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
   void ResetStats() { stats_.Reset(); }
 
-  /// Persists all pages to `path` (overwriting). Format: magic, version,
-  /// page count, then raw pages.
-  Status SaveTo(const std::string& path) const;
+  /// Toggles checksum verification on Read (default on). Exists so the
+  /// fault-tolerance bench can measure verification cost; leave on
+  /// otherwise.
+  void set_verify_on_read(bool verify) { verify_on_read_ = verify; }
+  bool verify_on_read() const { return verify_on_read_; }
 
-  /// Loads a file written by SaveTo. Replaces current contents.
-  Status LoadFrom(const std::string& path);
+  /// True when this file was loaded from a legacy (v1) image; such files
+  /// are readable but immutable (Write/WritableView fail with
+  /// FailedPrecondition). Allocate still appends fresh pages, and SaveTo
+  /// persists the whole file as v2 — the upgrade path.
+  bool legacy_read_only() const { return legacy_read_only_; }
+
+  /// Verifies one page's checksum (sealing it first if it has pending
+  /// in-place writes). Always recomputes — scrub semantics, no trust
+  /// cache. Corruption carries the page id.
+  Status VerifyPage(PageId id);
+
+  /// Verifies every page, appending the ids of all corrupt pages to `bad`
+  /// (unlike Read/LoadFrom it does not stop at the first). Returns the
+  /// number of corrupt pages found. Used by `dqmo_tool scrub`.
+  size_t VerifyAllPages(std::vector<PageId>* bad);
+
+  /// Persists all pages to `path` (overwriting). Format: magic, version 2,
+  /// page count, then raw sealed pages.
+  Status SaveTo(const std::string& path);
+
+  /// Loads a file written by SaveTo, replacing current contents. The byte
+  /// count is validated against the header before anything is trusted:
+  /// truncated, oversized, or absurdly-sized files fail with Corruption
+  /// carrying the offending offset. Version 1 files (no checksums) load
+  /// read-only; their pages are sealed in memory so reads verify.
+  Status LoadFrom(const std::string& path, const LoadOptions& options);
+  Status LoadFrom(const std::string& path) {
+    return LoadFrom(path, LoadOptions());
+  }
 
  private:
   Status CheckId(PageId id) const;
+  Status CheckWritable() const;
+
+  uint8_t* PageData(PageId id) {
+    return bytes_.data() + static_cast<size_t>(id) * kPageSize;
+  }
+
+  /// Recomputes the trailer of a page dirtied via WritableView.
+  void SealIfDirty(PageId id);
 
   std::vector<uint8_t> bytes_;
+  /// Pages written in place via WritableView whose trailer is stale.
+  std::vector<uint8_t> dirty_;
+  /// Pages whose checksum has been verified (or freshly computed) since
+  /// their bytes last changed; Read trusts these without re-hashing.
+  std::vector<uint8_t> verified_;
   size_t num_pages_ = 0;
+  bool verify_on_read_ = true;
+  bool legacy_read_only_ = false;
   IoStats stats_;
 };
 

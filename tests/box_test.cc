@@ -97,7 +97,9 @@ TEST(BoxTest, IntersectAndCoverRandomized) {
     const Vec p = RandomPoint(&rng, 2, 10);
     EXPECT_EQ(inter.empty() ? false : inter.Contains(p),
               a.Contains(p) && b.Contains(p));
-    if (a.Contains(p) || b.Contains(p)) EXPECT_TRUE(cover.Contains(p));
+    if (a.Contains(p) || b.Contains(p)) {
+      EXPECT_TRUE(cover.Contains(p));
+    }
     EXPECT_TRUE(cover.Contains(a));
     EXPECT_TRUE(cover.Contains(b));
   }

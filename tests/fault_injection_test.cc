@@ -1,0 +1,265 @@
+// Tests for the deterministic fault injector and the retrying reader
+// (storage/fault.h).
+#include "storage/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace dqmo {
+namespace {
+
+/// A page file with `n` pages whose payloads are filled with their id.
+PageFile MakeFile(int n) {
+  PageFile f;
+  uint8_t buf[kPageSize];
+  for (int i = 0; i < n; ++i) {
+    const PageId id = f.Allocate();
+    std::memset(buf, static_cast<int>(0x10 + i), kPageSize);
+    EXPECT_TRUE(f.Write(id, buf).ok());
+  }
+  return f;
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultInjector::Options options;
+  options.seed = 1234;
+  options.transient_fault_rate = 0.25;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int i = 0; i < 2000; ++i) {
+    const PageId page = static_cast<PageId>(i % 7);
+    EXPECT_EQ(static_cast<int>(a.NextRead(page).kind),
+              static_cast<int>(b.NextRead(page).kind))
+        << "diverged at read " << i;
+  }
+  EXPECT_EQ(a.faults_injected(), b.faults_injected());
+  EXPECT_GT(a.faults_injected(), 0u);   // 0.25 over 2000 reads: certain.
+  EXPECT_LT(a.faults_injected(), 1000u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector::Options options;
+  options.transient_fault_rate = 0.5;
+  options.seed = 1;
+  FaultInjector a(options);
+  options.seed = 2;
+  FaultInjector b(options);
+  int diffs = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.NextRead(0).kind != b.NextRead(0).kind) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultInjectorTest, ScheduleIsIndependentOfPageIds) {
+  // The Bernoulli stream advances once per read regardless of which page is
+  // read, so two query plans touching different pages see the same fault
+  // positions — what makes degraded-run replays meaningful.
+  FaultInjector::Options options;
+  options.seed = 99;
+  options.transient_fault_rate = 0.3;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(static_cast<int>(a.NextRead(0).kind),
+              static_cast<int>(b.NextRead(static_cast<PageId>(i)).kind))
+        << "read " << i;
+  }
+}
+
+TEST(FaultInjectorTest, FailAfterIsPermanent) {
+  FaultInjector::Options options;
+  options.fail_after = 5;
+  FaultInjector injector(options);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(injector.NextRead(0).kind,
+              FaultInjector::Decision::Kind::kPass);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.NextRead(0).kind,
+              FaultInjector::Decision::Kind::kPermanentFail);
+  }
+}
+
+TEST(FaultInjectorTest, FailEveryKthIsTransient) {
+  FaultInjector::Options options;
+  options.fail_every_kth = 3;
+  FaultInjector injector(options);
+  for (int i = 1; i <= 12; ++i) {
+    const auto kind = injector.NextRead(0).kind;
+    if (i % 3 == 0) {
+      EXPECT_EQ(kind, FaultInjector::Decision::Kind::kTransientFail) << i;
+    } else {
+      EXPECT_EQ(kind, FaultInjector::Decision::Kind::kPass) << i;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, DeadPagesAlwaysFail) {
+  FaultInjector injector(FaultInjector::Options{});
+  injector.AddPermanentFault(3);
+  EXPECT_EQ(injector.NextRead(2).kind, FaultInjector::Decision::Kind::kPass);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(injector.NextRead(3).kind,
+              FaultInjector::Decision::Kind::kPermanentFail);
+  }
+}
+
+TEST(FaultyPageReaderTest, TransientBitFlipDamagesOnlyOneDelivery) {
+  PageFile file = MakeFile(2);
+  FaultInjector injector(FaultInjector::Options{});
+  injector.AddBitFlip(/*page=*/1, /*offset=*/40, /*mask=*/0x08,
+                      /*transient=*/true);
+  FaultyPageReader faulty(&file, &injector);
+
+  auto first = faulty.Read(1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->data[40], 0x11 ^ 0x08);
+  EXPECT_FALSE(PageChecksumOk(first->data));  // The flip is detectable.
+
+  // The base page was never touched; the next delivery is clean.
+  auto second = faulty.Read(1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->data[40], 0x11);
+  EXPECT_TRUE(PageChecksumOk(second->data));
+}
+
+TEST(FaultyPageReaderTest, PersistentBitFlipDamagesEveryDelivery) {
+  PageFile file = MakeFile(1);
+  FaultInjector injector(FaultInjector::Options{});
+  injector.AddBitFlip(0, 7, 0x80, /*transient=*/false);
+  FaultyPageReader faulty(&file, &injector);
+  for (int i = 0; i < 3; ++i) {
+    auto read = faulty.Read(0);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read->data[7], 0x10 ^ 0x80);
+  }
+  // The stored page itself stays pristine.
+  auto direct = file.Read(0);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->data[7], 0x10);
+}
+
+TEST(RetryingPageReaderTest, AbsorbsTransientFaults) {
+  PageFile file = MakeFile(1);
+  FaultInjector::Options options;
+  options.fail_every_kth = 2;  // Reads 2, 4, 6, ... fail transiently.
+  FaultInjector injector(options);
+  FaultyPageReader faulty(&file, &injector);
+  RetryingPageReader::RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingPageReader retrying(&faulty, policy, file.mutable_stats());
+
+  // Read 1 passes outright; read 2 fails and its retry (read 3) passes; and
+  // so on — every logical read succeeds, some after one retry.
+  for (int i = 0; i < 10; ++i) {
+    auto read = retrying.Read(0);
+    ASSERT_TRUE(read.ok()) << "logical read " << i;
+    EXPECT_EQ(read->data[0], 0x10);
+  }
+  EXPECT_GT(file.stats().retries, 0u);
+  EXPECT_EQ(retrying.exhausted_reads(), 0u);
+}
+
+TEST(RetryingPageReaderTest, RetriesChecksumMismatchAndRecovers) {
+  PageFile file = MakeFile(1);
+  FaultInjector injector(FaultInjector::Options{});
+  injector.AddBitFlip(0, 123, 0x01, /*transient=*/true);
+  FaultyPageReader faulty(&file, &injector);
+  RetryingPageReader retrying(&faulty, RetryingPageReader::RetryPolicy{},
+                              file.mutable_stats());
+
+  // First attempt delivers a corrupt copy; the verifier catches it and the
+  // retry (transient flip now spent) delivers clean bytes.
+  auto read = retrying.Read(0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->data[123], 0x10);
+  EXPECT_TRUE(PageChecksumOk(read->data));
+  EXPECT_EQ(file.stats().checksum_failures, 1u);
+  EXPECT_EQ(file.stats().retries, 1u);
+}
+
+TEST(RetryingPageReaderTest, PermanentFaultExhaustsRetries) {
+  PageFile file = MakeFile(2);
+  FaultInjector injector(FaultInjector::Options{});
+  injector.AddPermanentFault(1);
+  FaultyPageReader faulty(&file, &injector);
+  RetryingPageReader::RetryPolicy policy;
+  policy.max_attempts = 4;
+  RetryingPageReader retrying(&faulty, policy, file.mutable_stats());
+
+  const Status s = retrying.Read(1).status();
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(file.stats().retries, 3u);  // 4 attempts = 3 retries.
+  EXPECT_EQ(retrying.exhausted_reads(), 1u);
+
+  // Persistent at-rest corruption likewise survives every retry and comes
+  // back as Corruption.
+  injector.AddBitFlip(0, 50, 0xFF, /*transient=*/false);
+  const Status c = retrying.Read(0).status();
+  EXPECT_TRUE(c.IsCorruption()) << c.ToString();
+  EXPECT_EQ(retrying.exhausted_reads(), 2u);
+}
+
+TEST(RetryingPageReaderTest, NonRetryableErrorsPassThroughImmediately) {
+  PageFile file = MakeFile(1);
+  RetryingPageReader retrying(&file, RetryingPageReader::RetryPolicy{},
+                              file.mutable_stats());
+  const Status s = retrying.Read(42).status();
+  EXPECT_TRUE(s.IsOutOfRange()) << s.ToString();
+  EXPECT_EQ(file.stats().retries, 0u);
+  EXPECT_EQ(retrying.exhausted_reads(), 0u);
+}
+
+TEST(RetryingPageReaderTest, DeadlineStopsRetriesViaInjectedClock) {
+  PageFile file = MakeFile(1);
+  FaultInjector injector(FaultInjector::Options{});
+  injector.AddPermanentFault(0);
+  FaultyPageReader faulty(&file, &injector);
+  RetryingPageReader::RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.per_read_deadline = 1.0;
+  double now = 0.0;
+  // Each clock inspection advances fake time by 0.4s: the deadline expires
+  // after a few attempts, far short of max_attempts.
+  RetryingPageReader retrying(&faulty, policy, file.mutable_stats(),
+                              [&now] { return now += 0.4; });
+  const Status s = retrying.Read(0).status();
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.message().find("deadline"), std::string::npos) << s.message();
+  EXPECT_LT(file.stats().retries, 10u);
+  EXPECT_EQ(retrying.exhausted_reads(), 1u);
+}
+
+TEST(RetryingPageReaderTest, EndToEndStackIsDeterministic) {
+  // Same seed, same logical read sequence => identical outcomes through the
+  // whole PageFile -> FaultyPageReader -> RetryingPageReader stack.
+  std::vector<int> outcomes[2];
+  uint64_t retries[2];
+  for (int run = 0; run < 2; ++run) {
+    PageFile file = MakeFile(4);
+    FaultInjector::Options options;
+    options.seed = 7;
+    options.transient_fault_rate = 0.2;
+    FaultInjector injector(options);
+    FaultyPageReader faulty(&file, &injector);
+    RetryingPageReader retrying(&faulty, RetryingPageReader::RetryPolicy{},
+                                file.mutable_stats());
+    for (int i = 0; i < 200; ++i) {
+      outcomes[run].push_back(
+          retrying.Read(static_cast<PageId>(i % 4)).ok() ? 1 : 0);
+    }
+    retries[run] = file.stats().retries;
+  }
+  EXPECT_EQ(outcomes[0], outcomes[1]);
+  EXPECT_EQ(retries[0], retries[1]);
+  EXPECT_GT(retries[0], 0u);
+}
+
+}  // namespace
+}  // namespace dqmo

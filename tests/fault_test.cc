@@ -3,12 +3,15 @@
 // results.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/random.h"
 #include "query/join.h"
 #include "query/knn.h"
 #include "query/npdq.h"
 #include "query/pdq.h"
 #include "rtree/rtree.h"
+#include "storage/fault.h"
 #include "test_util.h"
 
 namespace dqmo {
@@ -33,19 +36,20 @@ class FlakyReader : public PageReader {
   int budget_;
 };
 
-/// PageReader that returns corrupted bytes for one page.
+/// PageReader that XORs `mask` into payload byte `offset` of one page on
+/// every delivery (at-rest corruption: the stored page is untouched, but
+/// all reads see the damage).
 class CorruptingReader : public PageReader {
  public:
-  CorruptingReader(PageFile* file, PageId victim)
-      : file_(file), victim_(victim) {}
+  CorruptingReader(PageFile* file, PageId victim, size_t offset,
+                   uint8_t mask)
+      : file_(file), victim_(victim), offset_(offset), mask_(mask) {}
 
   Result<ReadResult> Read(PageId id) override {
     DQMO_ASSIGN_OR_RETURN(ReadResult r, file_->Read(id));
     if (id == victim_) {
       std::memcpy(garbled_, r.data, kPageSize);
-      // Smash the header: absurd dims.
-      garbled_[4] = 0x77;
-      garbled_[5] = 0x77;
+      garbled_[offset_] ^= mask_;
       return ReadResult{garbled_, r.physical};
     }
     return r;
@@ -54,6 +58,8 @@ class CorruptingReader : public PageReader {
  private:
   PageFile* file_;
   PageId victim_;
+  size_t offset_;
+  uint8_t mask_;
   uint8_t garbled_[kPageSize];
 };
 
@@ -140,12 +146,34 @@ TEST_F(FaultFixture, JoinPropagatesReadFailure) {
 }
 
 TEST_F(FaultFixture, CorruptPageSurfacesAsCorruption) {
-  // Corrupt the root: every search must fail with Corruption, not crash.
-  CorruptingReader reader(&file_, tree_->root());
+  // Smash the root's header dims byte: every search must fail with
+  // Corruption (deserializer sanity check or checksum), not crash.
+  CorruptingReader reader(&file_, tree_->root(), /*offset=*/4,
+                          /*mask=*/0x77);
   QueryStats stats;
   auto result = tree_->RangeSearch(BigQuery(), &stats, &reader);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST_F(FaultFixture, ChecksumLayerCatchesSubtleEntryCorruption) {
+  // Flip one bit deep inside the root's entry array — geometry the node
+  // deserializer cannot sanity-check (the damaged box still parses). The
+  // retrying reader's checksum verification must catch it: the corruption
+  // persists across every retry, so the read exhausts the policy and
+  // surfaces as Corruption naming the page.
+  CorruptingReader corrupting(&file_, tree_->root(), /*offset=*/512,
+                              /*mask=*/0x04);
+  RetryingPageReader reader(&corrupting, RetryingPageReader::RetryPolicy{},
+                            file_.mutable_stats());
+  QueryStats stats;
+  auto result = tree_->RangeSearch(BigQuery(), &stats, &reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status().ToString();
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos)
+      << result.status().message();
+  EXPECT_GT(file_.stats().checksum_failures, 0u);
+  EXPECT_GT(file_.stats().retries, 0u);
 }
 
 TEST_F(FaultFixture, LoadNodeRejectsUnknownPage) {

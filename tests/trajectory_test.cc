@@ -136,7 +136,9 @@ TEST(TrajectoryTest, OverlapTimesMotionMatchesSampling) {
       // Points strictly interior to the complement must be outside.
       if (!times.Contains(tt)) {
         const double next = times.FirstInstantAtOrAfter(tt);
-        if (next > tt + 1e-9) EXPECT_FALSE(inside) << "t=" << tt;
+        if (next > tt + 1e-9) {
+          EXPECT_FALSE(inside) << "t=" << tt;
+        }
       }
     }
   }

@@ -110,12 +110,16 @@ TEST_P(TrapezoidBoxProperty, BoxOverlapMatchesSampling) {
       const double t = 10.0 * k / 60.0;
       const bool inside =
           r.time.Contains(t) && s.WindowAt(t).Overlaps(r.spatial);
-      if (inside) EXPECT_TRUE(overlap.Contains(t)) << "t=" << t;
+      if (inside) {
+        EXPECT_TRUE(overlap.Contains(t)) << "t=" << t;
+      }
       if (!overlap.empty() &&
           (t < overlap.lo - 1e-9 || t > overlap.hi + 1e-9)) {
         EXPECT_FALSE(inside) << "t=" << t;
       }
-      if (overlap.empty()) EXPECT_FALSE(inside) << "t=" << t;
+      if (overlap.empty()) {
+        EXPECT_FALSE(inside) << "t=" << t;
+      }
     }
   }
 }
@@ -135,12 +139,16 @@ TEST_P(TrapezoidBoxProperty, MotionOverlapMatchesSampling) {
     for (int k = 0; k <= 60; ++k) {
       const double t = span.lo + (span.hi - span.lo) * k / 60.0;
       const bool inside = s.WindowAt(t).Contains(m.PositionAt(t));
-      if (inside) EXPECT_TRUE(overlap.Contains(t)) << "t=" << t;
+      if (inside) {
+        EXPECT_TRUE(overlap.Contains(t)) << "t=" << t;
+      }
       if (!overlap.empty() &&
           (t < overlap.lo - 1e-9 || t > overlap.hi + 1e-9)) {
         EXPECT_FALSE(inside) << "t=" << t;
       }
-      if (overlap.empty()) EXPECT_FALSE(inside) << "t=" << t;
+      if (overlap.empty()) {
+        EXPECT_FALSE(inside) << "t=" << t;
+      }
     }
   }
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run twice: a Release-flavored build (the exact
+# configuration the benchmarks use) and an ASan/UBSan build that shakes out
+# memory and UB bugs the optimizer can hide. Both must pass cleanly.
+#
+#   tools/ci.sh [jobs]
+#
+# Build trees live in build-ci/{release,sanitize}, leaving the developer's
+# ./build untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run_pass() {
+  local name="$1"
+  shift
+  local dir="build-ci/${name}"
+  echo "==== [${name}] configure ===="
+  cmake -B "${dir}" -S . -DDQMO_WERROR=ON "$@"
+  echo "==== [${name}] build ===="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==== [${name}] test ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_pass release -DCMAKE_BUILD_TYPE=Release
+run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDQMO_SANITIZE=ON
+
+echo "==== ci.sh: both passes green ===="
