@@ -3,9 +3,13 @@
 // DynamicQuerySession (predictive while motion is stable, non-predictive
 // around direction changes) and compared against always-NPDQ and
 // always-naive evaluation, across interaction rates.
+#include <thread>
+
 #include "bench_common.h"
 #include "common/random.h"
 #include "query/session.h"
+#include "server/executor.h"
+#include "storage/buffer_pool.h"
 #include "workload/query_generator.h"
 
 namespace {
@@ -37,6 +41,98 @@ struct Pilot {
     }
   }
 };
+
+/// Multi-threaded engine mode: the same seeded session batch is run once
+/// serially and once on `threads` executor threads over a shared sharded
+/// BufferPool, and the per-session checksums are diffed. The sessions are
+/// deterministic, so any mismatch is a concurrency bug ("oracle mismatches
+/// vs serial replay" below must be 0). On multi-core hardware the wall-time
+/// ratio approaches the thread count; on a single core it hovers near 1x,
+/// so the ratio is reported, not asserted.
+void RunConcurrentEngineMode(Workbench* bench) {
+  const int threads = static_cast<int>(GetEnvInt("DQMO_THREADS", 8));
+  std::printf("\n==============================================================\n");
+  std::printf("Concurrent multi-session engine — %d executor threads, "
+              "shared sharded buffer pool\n", threads);
+#if defined(__SANITIZE_THREAD__)
+  std::printf("ThreadSanitizer: ENABLED (this run is race-checked)\n");
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  std::printf("ThreadSanitizer: ENABLED (this run is race-checked)\n");
+#else
+  std::printf("ThreadSanitizer: disabled (build with -DDQMO_SANITIZE=thread; "
+              "tools/ci.sh runs the race-checked configuration)\n");
+#endif
+#else
+  std::printf("ThreadSanitizer: disabled (build with -DDQMO_SANITIZE=thread; "
+              "tools/ci.sh runs the race-checked configuration)\n");
+#endif
+  std::printf("==============================================================\n");
+
+  // Steady state for concurrent readers: every page sealed + pre-verified.
+  DQMO_CHECK(bench->file()->Publish().ok());
+
+  std::vector<SessionSpec> specs;
+  for (int i = 0; i < 2 * threads; ++i) {
+    SessionSpec spec;
+    spec.kind = static_cast<SessionKind>(i % 3);
+    spec.seed = 900 + static_cast<uint64_t>(i);
+    spec.frames = 100;
+    spec.t0 = 2.0 + 0.4 * i;
+    specs.push_back(spec);
+  }
+
+  BufferPool serial_pool(bench->file(), 256, /*num_shards=*/16);
+  SessionScheduler::Options sopt;
+  sopt.num_threads = 1;
+  sopt.reader = &serial_pool;
+  sopt.pool = &serial_pool;
+  const ExecutorReport serial =
+      SessionScheduler(bench->tree(), sopt).Run(specs);
+  DQMO_CHECK(serial.status.ok());
+
+  BufferPool shared_pool(bench->file(), 256, /*num_shards=*/16);
+  SessionScheduler::Options copt;
+  copt.num_threads = threads;
+  copt.reader = &shared_pool;
+  copt.pool = &shared_pool;
+  const ExecutorReport concurrent =
+      SessionScheduler(bench->tree(), copt).Run(specs);
+  DQMO_CHECK(concurrent.status.ok());
+
+  size_t mismatches = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (concurrent.sessions[i].checksum != serial.sessions[i].checksum ||
+        concurrent.sessions[i].objects_delivered !=
+            serial.sessions[i].objects_delivered) {
+      ++mismatches;
+    }
+  }
+
+  const double hit_rate =
+      concurrent.pool_hits + concurrent.pool_misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(concurrent.pool_hits) /
+                static_cast<double>(concurrent.pool_hits +
+                                    concurrent.pool_misses);
+  std::printf("sessions: %zu (%d frames each), objects delivered: %llu\n",
+              specs.size(), specs.empty() ? 0 : specs.front().frames,
+              static_cast<unsigned long long>(concurrent.total_objects));
+  std::printf("oracle mismatches vs serial replay: %zu\n", mismatches);
+  std::printf("serial wall: %ss   %d-thread wall: %ss   throughput ratio: "
+              "%sx (hardware threads: %u)\n",
+              Fmt(serial.wall_seconds, 3).c_str(), threads,
+              Fmt(concurrent.wall_seconds, 3).c_str(),
+              Fmt(concurrent.wall_seconds > 0.0
+                      ? serial.wall_seconds / concurrent.wall_seconds
+                      : 0.0, 2).c_str(),
+              std::thread::hardware_concurrency());
+  std::printf("shared pool: %s%% hit rate (%llu hits / %llu misses)\n",
+              Fmt(hit_rate).c_str(),
+              static_cast<unsigned long long>(concurrent.pool_hits),
+              static_cast<unsigned long long>(concurrent.pool_misses));
+  DQMO_CHECK(mismatches == 0);
+}
 
 }  // namespace
 
@@ -112,5 +208,6 @@ int main() {
                   "-"});
   }
   table.Print();
+  RunConcurrentEngineMode(bench.get());
   return 0;
 }

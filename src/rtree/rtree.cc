@@ -171,10 +171,12 @@ Result<StBox> RTree::RootBounds() const {
 
 void RTree::AddListener(UpdateListener* listener) {
   DQMO_CHECK(listener != nullptr);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.push_back(listener);
 }
 
 void RTree::RemoveListener(UpdateListener* listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.erase(
       std::remove(listeners_.begin(), listeners_.end(), listener),
       listeners_.end());
@@ -343,6 +345,11 @@ Status RTree::Insert(const MotionSegment& m) {
   ++num_segments_;
 
   // Fire exactly one notification, mirroring Sect. 4.1's update protocol.
+  // Held across the callbacks: Insert runs under the exclusive TreeGate in
+  // concurrent mode, so no session is mid-frame, and the callbacks only
+  // push queue items (no I/O, no other locks) — the lock order is always
+  // gate, then listeners_mu_.
+  std::lock_guard<std::mutex> listeners_lock(listeners_mu_);
   for (UpdateListener* l : listeners_) {
     if (pending_.root_split) {
       l->OnRootSplit(root_);

@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -159,6 +160,11 @@ class RTree {
 
   /// Registers a listener for concurrent-update notifications. The caller
   /// keeps ownership and must RemoveListener before destroying it.
+  /// Add/Remove are safe to call from concurrent query sessions (an
+  /// internal mutex guards the registry); the notifications themselves fire
+  /// from Insert, which the concurrent engine runs under the exclusive side
+  /// of the TreeGate (server/executor.h), so a listener is never notified
+  /// while its owning session is mid-frame.
   void AddListener(UpdateListener* listener);
   void RemoveListener(UpdateListener* listener);
 
@@ -237,6 +243,9 @@ class RTree {
   UpdateStamp stamp_ = 0;
   double max_speed_ = 0.0;
   PendingNotice pending_;
+  /// Guards listeners_: sessions running under the shared side of the
+  /// TreeGate register/unregister their PDQs concurrently.
+  mutable std::mutex listeners_mu_;
   std::vector<UpdateListener*> listeners_;
   std::vector<PageId> free_pages_;  // Recycled by AllocatePage().
 };

@@ -1,0 +1,330 @@
+#include "server/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "geom/box.h"
+#include "query/knn.h"
+#include "query/npdq.h"
+#include "query/session.h"
+
+namespace dqmo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Result checksums. FNV-1a over a canonical byte stream: frame index, then
+// the frame's results sorted by key. Canonicalization makes the checksum a
+// function of *what* was delivered, never of thread scheduling.
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+inline void FoldBytes(uint64_t* h, const void* p, size_t n) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(p);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= bytes[i];
+    *h *= kFnvPrime;
+  }
+}
+
+inline void FoldU64(uint64_t* h, uint64_t v) { FoldBytes(h, &v, sizeof(v)); }
+
+inline void FoldDouble(uint64_t* h, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  FoldU64(h, bits);
+}
+
+void FoldSegments(uint64_t* h, std::vector<MotionSegment>* fresh) {
+  SortByKey(fresh);
+  for (const MotionSegment& m : *fresh) {
+    FoldU64(h, m.oid);
+    FoldDouble(h, m.seg.time.lo);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observer model: the same random-turn flight as bench/abl_session.cc's
+// Pilot, parameterized by the bounce region so tests can confine sessions
+// spatially. Driven entirely by the session's own Rng — deterministic.
+
+struct Observer {
+  Vec pos;
+  Vec vel;
+  double next_turn = 0.0;
+
+  void Advance(Rng* rng, const SessionSpec& spec, double t) {
+    if (t >= next_turn) {
+      const double angle = rng->Uniform(0, 2 * M_PI);
+      const double speed = rng->Uniform(0.5, 2.0);
+      vel = Vec(speed * std::cos(angle), speed * std::sin(angle));
+      next_turn = t + rng->Uniform(0.5 * spec.mean_leg, 1.5 * spec.mean_leg);
+    }
+    for (int d = 0; d < 2; ++d) {
+      pos[d] += vel[d] * spec.frame_dt;
+      if (pos[d] < spec.region_lo || pos[d] > spec.region_hi) {
+        vel[d] = -vel[d];
+        pos[d] = std::clamp(pos[d], spec.region_lo, spec.region_hi);
+      }
+    }
+  }
+};
+
+Observer MakeObserver(Rng* rng, const SessionSpec& spec) {
+  // Start well inside the region so the first frames are not all bounces.
+  const double margin = 0.1 * (spec.region_hi - spec.region_lo);
+  Observer obs;
+  obs.pos = Vec(rng->Uniform(spec.region_lo + margin, spec.region_hi - margin),
+                rng->Uniform(spec.region_lo + margin, spec.region_hi - margin));
+  obs.vel = Vec(1.0, 0.0);
+  return obs;
+}
+
+/// Holds the gate's shared side for one frame (no-op when gate is null).
+std::shared_lock<std::shared_mutex> LockFrame(TreeGate* gate) {
+  if (gate == nullptr) return std::shared_lock<std::shared_mutex>();
+  return gate->LockShared();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ThreadPool.
+
+ThreadPool::ThreadPool(int num_threads) {
+  DQMO_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ and drained.
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TreeGate.
+
+TreeGate::WriteGuard::WriteGuard(TreeGate* gate)
+    : gate_(gate), lock_(gate->mu_) {}
+
+TreeGate::WriteGuard::~WriteGuard() {
+  // Still exclusive here: hand the dirtied pages over to the readers.
+  // Stale cached copies are dropped first, then every dirty page is
+  // sealed, so the next shared section reads fresh, checksummed bytes
+  // without mutating anything but atomic counters.
+  if (gate_->file_ != nullptr) {
+    if (gate_->pool_ != nullptr) {
+      for (PageId id : gate_->file_->dirty_page_ids()) {
+        gate_->pool_->Invalidate(id);
+      }
+    }
+    gate_->file_->SealAllDirty();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session runners.
+
+namespace {
+
+SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
+                                PageReader* reader, TreeGate* gate) {
+  SessionResult out;
+  out.checksum = kFnvOffset;
+  Rng rng(spec.seed);
+  Observer obs = MakeObserver(&rng, spec);
+
+  DynamicQuerySession::Options sopt;
+  sopt.window = spec.window;
+  sopt.reader = reader;
+  sopt.npdq.reader = reader;
+  DynamicQuerySession session(tree, sopt);
+
+  for (int i = 1; i <= spec.frames; ++i) {
+    const double t = spec.t0 + i * spec.frame_dt;
+    obs.Advance(&rng, spec, t);
+    auto lock = LockFrame(gate);
+    auto frame = session.OnFrame(t, obs.pos, obs.vel);
+    if (!frame.ok()) {
+      out.status = frame.status();
+      break;
+    }
+    FoldU64(&out.checksum, static_cast<uint64_t>(i));
+    FoldSegments(&out.checksum, &frame->fresh);
+    out.objects_delivered += frame->fresh.size();
+    ++out.frames_completed;
+  }
+  // The session (and its SPDQ's update listener) must unregister before
+  // the gate lock of the last frame is long gone; destruction here is
+  // outside any shared section, which is fine — AddListener/RemoveListener
+  // are internally synchronized against the writer's notifications.
+  out.stats = session.TotalStats();
+  return out;
+}
+
+SessionResult RunNpdqSession(RTree* tree, const SessionSpec& spec,
+                             PageReader* reader, TreeGate* gate) {
+  SessionResult out;
+  out.checksum = kFnvOffset;
+  Rng rng(spec.seed);
+  Observer obs = MakeObserver(&rng, spec);
+
+  NpdqOptions nopt;
+  nopt.reader = reader;
+  NonPredictiveDynamicQuery npdq(tree, nopt);
+
+  double prev_t = spec.t0;
+  for (int i = 1; i <= spec.frames; ++i) {
+    const double t = spec.t0 + i * spec.frame_dt;
+    obs.Advance(&rng, spec, t);
+    const StBox q(Box::Centered(obs.pos, spec.window), Interval(prev_t, t));
+    auto lock = LockFrame(gate);
+    auto fresh = npdq.Execute(q);
+    if (!fresh.ok()) {
+      out.status = fresh.status();
+      break;
+    }
+    FoldU64(&out.checksum, static_cast<uint64_t>(i));
+    FoldSegments(&out.checksum, &*fresh);
+    out.objects_delivered += fresh->size();
+    ++out.frames_completed;
+    prev_t = t;
+  }
+  out.stats = npdq.stats();
+  return out;
+}
+
+SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
+                            PageReader* reader, TreeGate* gate) {
+  SessionResult out;
+  out.checksum = kFnvOffset;
+  Rng rng(spec.seed);
+  Observer obs = MakeObserver(&rng, spec);
+
+  MovingKnnQuery::Options kopt;
+  kopt.reader = reader;
+  MovingKnnQuery knn(tree, spec.k, kopt);
+
+  for (int i = 1; i <= spec.frames; ++i) {
+    const double t = spec.t0 + i * spec.frame_dt;
+    obs.Advance(&rng, spec, t);
+    auto lock = LockFrame(gate);
+    auto neighbors = knn.At(t, obs.pos);
+    if (!neighbors.ok()) {
+      out.status = neighbors.status();
+      break;
+    }
+    FoldU64(&out.checksum, static_cast<uint64_t>(i));
+    for (const Neighbor& n : *neighbors) {
+      FoldU64(&out.checksum, n.motion.oid);
+      FoldDouble(&out.checksum, n.distance);
+    }
+    out.objects_delivered += neighbors->size();
+    ++out.frames_completed;
+  }
+  out.stats = knn.stats();
+  return out;
+}
+
+}  // namespace
+
+SessionResult RunSession(RTree* tree, const SessionSpec& spec,
+                         PageReader* reader, TreeGate* gate) {
+  switch (spec.kind) {
+    case SessionKind::kNpdq:
+      return RunNpdqSession(tree, spec, reader, gate);
+    case SessionKind::kKnn:
+      return RunKnnSession(tree, spec, reader, gate);
+    case SessionKind::kSession:
+      break;
+  }
+  return RunHandoffSession(tree, spec, reader, gate);
+}
+
+// ---------------------------------------------------------------------------
+// SessionScheduler.
+
+ExecutorReport SessionScheduler::Run(const std::vector<SessionSpec>& specs) {
+  ExecutorReport report;
+  report.sessions.resize(specs.size());
+  const uint64_t hits0 =
+      options_.pool != nullptr ? options_.pool->hits() : 0;
+  const uint64_t misses0 =
+      options_.pool != nullptr ? options_.pool->misses() : 0;
+  const auto start = std::chrono::steady_clock::now();
+
+  if (options_.num_threads <= 1) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      report.sessions[i] =
+          RunSession(tree_, specs[i], options_.reader, options_.gate);
+    }
+  } else {
+    ThreadPool pool(options_.num_threads);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      SessionResult* slot = &report.sessions[i];
+      const SessionSpec* spec = &specs[i];
+      pool.Submit([this, slot, spec] {
+        *slot = RunSession(tree_, *spec, options_.reader, options_.gate);
+      });
+    }
+    pool.Wait();
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const SessionResult& s : report.sessions) {
+    report.total_stats += s.stats;
+    report.total_objects += s.objects_delivered;
+    if (report.status.ok() && !s.status.ok()) report.status = s.status;
+  }
+  if (options_.pool != nullptr) {
+    report.pool_hits = options_.pool->hits() - hits0;
+    report.pool_misses = options_.pool->misses() - misses0;
+  }
+  return report;
+}
+
+}  // namespace dqmo

@@ -1,0 +1,212 @@
+// Concurrent multi-session query engine.
+//
+// The paper (Sect. 4) frames dynamic queries as a *server-side* service:
+// many clients each run a continuous query over the shared index. This
+// module supplies the server scaffolding: a fixed-size ThreadPool, the
+// single-writer/multi-reader TreeGate that serializes motion updates
+// against running sessions, and a SessionScheduler that executes many
+// deterministic, seed-driven query sessions (PDQ/NPDQ hand-off sessions,
+// raw NPDQ sequences, moving kNN) concurrently against one shared RTree —
+// typically through one shared sharded BufferPool.
+//
+// Threading model (see DESIGN.md "Threading model" for the full story):
+//
+//  * Sessions only *read* the tree. The read path is race-free provided the
+//    backing PageFile was Publish()ed (or every writer seals its dirt
+//    before readers resume — the TreeGate write guard does).
+//  * Insert/Remove take the exclusive side of the gate; sessions take the
+//    shared side once per frame, so a frame always sees a consistent tree.
+//  * Each session is deterministic given its spec: the observer trajectory
+//    is derived from the seed, and the per-frame results are folded into an
+//    order-independent-of-thread-schedule FNV-1a checksum. Running the same
+//    specs serially therefore reproduces the checksums exactly — the basis
+//    of the differential tests in tests/executor_test.cc.
+#ifndef DQMO_SERVER_EXECUTOR_H_
+#define DQMO_SERVER_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "rtree/rtree.h"
+#include "rtree/stats.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace dqmo {
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` (>= 1) workers immediately.
+  explicit ThreadPool(int num_threads);
+  /// Blocks until every submitted task finished, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Signaled when tasks arrive / stop.
+  std::condition_variable idle_cv_;  // Signaled when the pool drains.
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Single-writer / multi-reader gate over one RTree + its storage.
+///
+/// Readers (query sessions) hold the shared side for the duration of one
+/// frame; the writer (motion updates) holds the exclusive side per Insert
+/// batch. The write guard's release does the storage handover that makes
+/// the next shared section race-free: it invalidates every dirtied page in
+/// the shared BufferPool (stale cached bytes must not be served) and seals
+/// all dirty pages (so readers never race to recompute a checksum
+/// trailer). Lock order where it matters: gate first, then the tree's
+/// internal listeners mutex.
+class TreeGate {
+ public:
+  /// Neither pointer is owned; `pool` may be null (no cache to
+  /// invalidate). `file` may be null only if no writer ever runs.
+  explicit TreeGate(PageFile* file, BufferPool* pool = nullptr)
+      : file_(file), pool_(pool) {}
+
+  TreeGate(const TreeGate&) = delete;
+  TreeGate& operator=(const TreeGate&) = delete;
+
+  /// Shared (reader) side; hold for at most one query frame.
+  [[nodiscard]] std::shared_lock<std::shared_mutex> LockShared() {
+    return std::shared_lock<std::shared_mutex>(mu_);
+  }
+
+  /// Exclusive (writer) side. Destruction performs the storage handover
+  /// (pool invalidation + sealing) *before* readers resume.
+  class WriteGuard {
+   public:
+    ~WriteGuard();
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    friend class TreeGate;
+    explicit WriteGuard(TreeGate* gate);
+    TreeGate* gate_;
+    std::unique_lock<std::shared_mutex> lock_;
+  };
+
+  [[nodiscard]] WriteGuard LockExclusive() { return WriteGuard(this); }
+
+ private:
+  std::shared_mutex mu_;
+  PageFile* file_;
+  BufferPool* pool_;
+};
+
+/// Which query algorithm a session runs.
+enum class SessionKind {
+  kSession,  // DynamicQuerySession: automated PDQ <-> NPDQ hand-off.
+  kNpdq,     // Raw NPDQ snapshot sequence over the observer's window.
+  kKnn,      // MovingKnnQuery along the observer trajectory.
+};
+
+/// One deterministic client session: an observer flying a seed-derived
+/// random-turn trajectory inside [region_lo, region_hi]^2, issuing one
+/// query per frame. Equal specs produce equal results and checksums, on
+/// any thread, provided the tree contents visible to each frame are equal.
+struct SessionSpec {
+  SessionKind kind = SessionKind::kSession;
+  uint64_t seed = 1;
+  int frames = 100;
+  double frame_dt = 0.1;
+  /// First frame covers [t0, t0 + frame_dt].
+  double t0 = 1.0;
+  /// Side length of the square view window (kSession / kNpdq).
+  double window = 8.0;
+  /// Neighbor count (kKnn).
+  int k = 8;
+  /// Mean straight-leg duration of the observer's flight.
+  double mean_leg = 4.0;
+  /// The observer bounces inside this square. Tests running concurrent
+  /// inserts confine readers and writer to disjoint regions, which makes
+  /// every interleaving deliver identical results.
+  double region_lo = 6.0;
+  double region_hi = 94.0;
+};
+
+/// Outcome of one session.
+struct SessionResult {
+  Status status;  // First frame failure, or OK.
+  /// FNV-1a over (frame index, sorted result keys / neighbor distances).
+  uint64_t checksum = 0;
+  uint64_t objects_delivered = 0;
+  uint64_t frames_completed = 0;
+  /// This session's query-processing cost (disk accesses etc.).
+  QueryStats stats;
+};
+
+/// Aggregate outcome of one SessionScheduler::Run.
+struct ExecutorReport {
+  std::vector<SessionResult> sessions;
+  /// Sum of every session's QueryStats.
+  QueryStats total_stats;
+  uint64_t total_objects = 0;
+  /// Shared-pool hit/miss deltas over this run (0 when no pool was given).
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  double wall_seconds = 0.0;
+  Status status;  // First session failure, or OK.
+};
+
+/// Runs one session to completion. `reader` is the page source for every
+/// query read (null: the tree's file). When `gate` is non-null the shared
+/// side is held for each frame; pass null in single-threaded use.
+SessionResult RunSession(RTree* tree, const SessionSpec& spec,
+                         PageReader* reader, TreeGate* gate);
+
+/// Runs a batch of sessions, one task per session, over a fixed-size
+/// thread pool (num_threads <= 1: inline on the calling thread, in spec
+/// order — the serial replay mode the differential tests compare against).
+class SessionScheduler {
+ public:
+  struct Options {
+    int num_threads = 1;
+    /// Page source shared by all sessions (typically a sharded
+    /// BufferPool); null reads the tree's file directly.
+    PageReader* reader = nullptr;
+    /// Reader/writer gate; null when no writer runs concurrently.
+    TreeGate* gate = nullptr;
+    /// When set, the report carries this pool's hit/miss deltas.
+    BufferPool* pool = nullptr;
+  };
+
+  SessionScheduler(RTree* tree, const Options& options)
+      : tree_(tree), options_(options) {}
+
+  ExecutorReport Run(const std::vector<SessionSpec>& specs);
+
+ private:
+  RTree* tree_;
+  Options options_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_SERVER_EXECUTOR_H_

@@ -1,60 +1,115 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.h"
 #include "common/string_util.h"
 
 namespace dqmo {
+namespace {
 
-BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
+/// Per-thread scratch page the pool copies frames into before returning.
+/// Decouples the returned pointer from the frame's lifetime: another
+/// thread's eviction can free the frame without invalidating a read in
+/// flight. Shared by all pools on the thread — the documented contract is
+/// "valid until this thread's next BufferPool read".
+uint8_t* ScratchPage() {
+  thread_local std::vector<uint8_t> scratch(kPageSize);
+  return scratch.data();
+}
+
+}  // namespace
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages, int num_shards)
     : file_(file), capacity_(capacity_pages) {
   DQMO_CHECK(file != nullptr);
   DQMO_CHECK(capacity_pages >= 1);
+  DQMO_CHECK(num_shards >= 1);
+  num_shards_ = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(num_shards), capacity_pages));
+  shard_capacity_ = capacity_ / static_cast<size_t>(num_shards_);
+  DQMO_CHECK(shard_capacity_ >= 1);
+  shards_ = std::make_unique<Shard[]>(static_cast<size_t>(num_shards_));
 }
 
 Result<PageReader::ReadResult> BufferPool::Read(PageId id) {
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    // Hit: move to front of LRU order.
-    frames_.splice(frames_.begin(), frames_, it->second);
-    ++hits_;
-    ++file_->mutable_stats()->cache_hits;
-    return ReadResult{frames_.front().bytes.data(), /*physical=*/false};
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(id);
+    if (it != shard.index.end()) {
+      // Hit: move to front of the shard's LRU order.
+      shard.frames.splice(shard.frames.begin(), shard.frames, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      file_->mutable_stats()->cache_hits.fetch_add(
+          1, std::memory_order_relaxed);
+      std::memcpy(ScratchPage(), shard.frames.front().bytes.data(),
+                  kPageSize);
+      return ReadResult{ScratchPage(), /*physical=*/false};
+    }
   }
-  // Miss: fetch from the file (one disk access) and install.
-  PageReader* src = source_ != nullptr ? source_ : static_cast<PageReader*>(file_);
+  // Miss: fetch from the file (one disk access) outside the shard lock, so
+  // a slow fetch does not stall hits on other pages of the shard. Two
+  // threads missing the same page both fetch (both are real disk accesses);
+  // the second install finds the frame already cached and reuses it.
+  PageReader* src =
+      source_ != nullptr ? source_ : static_cast<PageReader*>(file_);
   DQMO_ASSIGN_OR_RETURN(auto read, src->Read(id));
   if (source_ != nullptr && !PageChecksumOk(read.data)) {
-    ++file_->mutable_stats()->checksum_failures;
+    file_->mutable_stats()->checksum_failures.fetch_add(
+        1, std::memory_order_relaxed);
     return Status::Corruption(
         StrFormat("page %u checksum mismatch (stored %08x, computed %08x)",
                   id, StoredPageChecksum(read.data),
                   ComputePageChecksum(read.data)));
   }
-  ++misses_;
-  if (frames_.size() >= capacity_) {
-    index_.erase(frames_.back().id);
-    frames_.pop_back();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::memcpy(ScratchPage(), read.data, kPageSize);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(id);
+    if (it == shard.index.end()) {
+      if (shard.frames.size() >= shard_capacity_) {
+        shard.index.erase(shard.frames.back().id);
+        shard.frames.pop_back();
+      }
+      Frame frame;
+      frame.id = id;
+      frame.bytes.assign(ScratchPage(), ScratchPage() + kPageSize);
+      shard.frames.push_front(std::move(frame));
+      shard.index[id] = shard.frames.begin();
+    } else {
+      shard.frames.splice(shard.frames.begin(), shard.frames, it->second);
+    }
   }
-  Frame frame;
-  frame.id = id;
-  frame.bytes.assign(read.data, read.data + kPageSize);
-  frames_.push_front(std::move(frame));
-  index_[id] = frames_.begin();
-  return ReadResult{frames_.front().bytes.data(), /*physical=*/true};
+  return ReadResult{ScratchPage(), /*physical=*/true};
 }
 
 void BufferPool::Clear() {
-  frames_.clear();
-  index_.clear();
+  for (int s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    shards_[s].frames.clear();
+    shards_[s].index.clear();
+  }
 }
 
 void BufferPool::Invalidate(PageId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return;
-  frames_.erase(it->second);
-  index_.erase(it);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it == shard.index.end()) return;
+  shard.frames.erase(it->second);
+  shard.index.erase(it);
+}
+
+size_t BufferPool::cached_pages() const {
+  size_t total = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].frames.size();
+  }
+  return total;
 }
 
 }  // namespace dqmo

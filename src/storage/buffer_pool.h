@@ -3,12 +3,17 @@
 // The paper argues (Sect. 4) that a server-side LRU buffer cannot replace
 // dynamic-query processing: per-session buffers shrink server capacity and
 // still ship redundant data to clients. We implement the pool anyway so the
-// claim can be measured (bench/abl_lru_naive) instead of taken on faith.
+// claim can be measured (bench/abl_lru_naive) instead of taken on faith —
+// and, sharded, it is the shared page cache of the concurrent query engine
+// (server/executor.h).
 #ifndef DQMO_STORAGE_BUFFER_POOL_H_
 #define DQMO_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -21,10 +26,25 @@ namespace dqmo {
 /// Fixed-capacity LRU page cache implementing PageReader. Reads served from
 /// cache are *not* physical reads; misses fetch from the underlying file
 /// (one disk access) and evict the least-recently-used frame if full.
+///
+/// Thread safety: the pool is sharded N ways — PageId hashes to a shard,
+/// each shard has its own mutex, LRU list and index, and the hit/miss
+/// counters are atomic — so concurrent readers contend only when they touch
+/// the same shard. With num_shards == 1 (the default) the pool is a single
+/// exact LRU, byte-for-byte the paper's Sect. 4 buffer; sharding divides
+/// the capacity evenly and makes eviction LRU *per shard*, the standard
+/// server trade (global LRU order is given up for lock spreading).
+///
+/// Read() returns a pointer into a per-thread scratch page: it stays valid
+/// until the calling thread's next BufferPool read (on any pool), never
+/// invalidated by other threads' evictions. Callers in this codebase
+/// deserialize immediately, which is always safe.
 class BufferPool : public PageReader {
  public:
   /// `capacity_pages` must be >= 1. The pool does not own `file`.
-  BufferPool(PageFile* file, size_t capacity_pages);
+  /// `num_shards` must be >= 1 and is clamped to `capacity_pages` (each
+  /// shard needs at least one frame).
+  BufferPool(PageFile* file, size_t capacity_pages, int num_shards = 1);
 
   /// Interposes `source` (not owned; nullptr to remove) between the pool
   /// and the file: misses fetch through it instead of the file directly.
@@ -33,23 +53,29 @@ class BufferPool : public PageReader {
   /// PageFile never verified (FaultyPageReader corrupts *after* the file's
   /// own check), the pool verifies the checksum of every page fetched
   /// through a source before caching it — a corrupt page must not be
-  /// laundered into a "clean" cache hit.
+  /// laundered into a "clean" cache hit. Not thread-safe: set it before
+  /// readers start. (The fault wrappers themselves are single-threaded.)
   void set_source(PageReader* source) { source_ = source; }
 
   Result<ReadResult> Read(PageId id) override;
 
   /// Drops every cached frame (e.g. between experiment repetitions).
+  /// Requires exclusion from concurrent readers.
   void Clear();
 
   /// Invalidates one page (called after an in-place page update so stale
-  /// cached bytes are not served).
+  /// cached bytes are not served). Call from the writer while readers are
+  /// excluded (the TreeGate write section).
   void Invalidate(PageId id);
 
   size_t capacity() const { return capacity_; }
-  size_t cached_pages() const { return frames_.size(); }
+  int num_shards() const { return num_shards_; }
+  size_t cached_pages() const;
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Frame {
@@ -57,14 +83,29 @@ class BufferPool : public PageReader {
     std::vector<uint8_t> bytes;
   };
 
+  /// One lock domain: an exact LRU over its slice of the capacity.
+  struct Shard {
+    mutable std::mutex mu;
+    // LRU order: front = most recent. map points into the list.
+    std::list<Frame> frames;
+    std::unordered_map<PageId, std::list<Frame>::iterator> index;
+  };
+
+  Shard& ShardFor(PageId id) {
+    // Fibonacci multiplicative hash: consecutive page ids (tree nodes laid
+    // out in allocation order) spread across shards instead of clustering.
+    const uint64_t h = static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ULL;
+    return shards_[(h >> 32) % static_cast<uint64_t>(num_shards_)];
+  }
+
   PageFile* file_;
   PageReader* source_ = nullptr;
   size_t capacity_;
-  // LRU order: front = most recent. map points into the list.
-  std::list<Frame> frames_;
-  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  size_t shard_capacity_;
+  int num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace dqmo

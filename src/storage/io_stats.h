@@ -4,6 +4,7 @@
 #ifndef DQMO_STORAGE_IO_STATS_H_
 #define DQMO_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -11,30 +12,76 @@ namespace dqmo {
 
 /// Counters for page-level I/O. Physical reads are charged by the PageFile;
 /// cache hits (when a BufferPool is interposed) are not disk accesses.
+///
+/// The counters are atomic so that one PageFile / BufferPool can be shared
+/// by concurrent query sessions without under-counting (plain uint64_t
+/// increments silently lose updates the moment two threads share a pool).
+/// Increments use relaxed ordering: the counters are statistics, never a
+/// synchronization mechanism. Copies and differences snapshot each counter
+/// individually; take them while the storage layer is quiescent when a
+/// cross-counter-consistent view matters.
 struct IoStats {
-  uint64_t physical_reads = 0;
-  uint64_t physical_writes = 0;
-  uint64_t cache_hits = 0;
+  std::atomic<uint64_t> physical_reads{0};
+  std::atomic<uint64_t> physical_writes{0};
+  std::atomic<uint64_t> cache_hits{0};
   /// Page reads whose CRC32C trailer did not match the payload (storage
   /// corruption detected and surfaced as Status::Corruption).
-  uint64_t checksum_failures = 0;
+  std::atomic<uint64_t> checksum_failures{0};
   /// Reads re-issued by RetryingPageReader after a transient failure. Does
   /// not count the first attempt.
-  uint64_t retries = 0;
+  std::atomic<uint64_t> retries{0};
 
-  void Reset() { *this = IoStats{}; }
+  IoStats() = default;
+  IoStats(const IoStats& other) { CopyFrom(other); }
+  IoStats& operator=(const IoStats& other) {
+    CopyFrom(other);
+    return *this;
+  }
+
+  void Reset() { CopyFrom(IoStats{}); }
 
   IoStats operator-(const IoStats& other) const {
     IoStats d;
-    d.physical_reads = physical_reads - other.physical_reads;
-    d.physical_writes = physical_writes - other.physical_writes;
-    d.cache_hits = cache_hits - other.cache_hits;
-    d.checksum_failures = checksum_failures - other.checksum_failures;
-    d.retries = retries - other.retries;
+    d.physical_reads = physical_reads.load(std::memory_order_relaxed) -
+                       other.physical_reads.load(std::memory_order_relaxed);
+    d.physical_writes = physical_writes.load(std::memory_order_relaxed) -
+                        other.physical_writes.load(std::memory_order_relaxed);
+    d.cache_hits = cache_hits.load(std::memory_order_relaxed) -
+                   other.cache_hits.load(std::memory_order_relaxed);
+    d.checksum_failures =
+        checksum_failures.load(std::memory_order_relaxed) -
+        other.checksum_failures.load(std::memory_order_relaxed);
+    d.retries = retries.load(std::memory_order_relaxed) -
+                other.retries.load(std::memory_order_relaxed);
     return d;
   }
 
+  friend bool operator==(const IoStats& a, const IoStats& b) {
+    return a.physical_reads == b.physical_reads &&
+           a.physical_writes == b.physical_writes &&
+           a.cache_hits == b.cache_hits &&
+           a.checksum_failures == b.checksum_failures &&
+           a.retries == b.retries;
+  }
+
   std::string ToString() const;
+
+ private:
+  void CopyFrom(const IoStats& other) {
+    physical_reads.store(
+        other.physical_reads.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    physical_writes.store(
+        other.physical_writes.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    cache_hits.store(other.cache_hits.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    checksum_failures.store(
+        other.checksum_failures.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    retries.store(other.retries.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
 };
 
 }  // namespace dqmo

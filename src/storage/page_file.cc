@@ -1,5 +1,6 @@
 #include "storage/page_file.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
@@ -50,7 +51,33 @@ class File {
   std::FILE* f_;
 };
 
+/// Atomic view of one per-page flag byte. The flag vectors are plain
+/// uint8_t storage; the read path touches them only through these helpers
+/// so concurrent readers are race-free (std::atomic_ref, C++20).
+inline uint8_t LoadFlag(const std::vector<uint8_t>& flags, PageId id) {
+  // atomic_ref<const T> arrives only in C++26; cast away constness for the
+  // load (the underlying byte is always mutable vector storage).
+  return std::atomic_ref<uint8_t>(const_cast<uint8_t&>(flags[id]))
+      .load(std::memory_order_acquire);
+}
+
+inline void StoreFlag(std::vector<uint8_t>& flags, PageId id, uint8_t v) {
+  std::atomic_ref<uint8_t>(flags[id]).store(v, std::memory_order_release);
+}
+
 }  // namespace
+
+void PageFile::MoveFrom(PageFile& other) {
+  bytes_ = std::move(other.bytes_);
+  dirty_ = std::move(other.dirty_);
+  verified_ = std::move(other.verified_);
+  dirty_pages_ = std::move(other.dirty_pages_);
+  num_pages_ = other.num_pages_;
+  verify_on_read_ = other.verify_on_read_;
+  legacy_read_only_ = other.legacy_read_only_;
+  stats_ = other.stats_;
+  other.num_pages_ = 0;
+}
 
 Status PageFile::CheckId(PageId id) const {
   if (id >= num_pages_) {
@@ -73,32 +100,61 @@ PageId PageFile::Allocate() {
   bytes_.resize(bytes_.size() + kPageSize, 0);
   dirty_.push_back(1);  // Zeroed page: trailer not yet a valid checksum.
   verified_.push_back(0);
-  return static_cast<PageId>(num_pages_++);
+  const PageId id = static_cast<PageId>(num_pages_++);
+  dirty_pages_.push_back(id);
+  return id;
 }
 
 void PageFile::SealIfDirty(PageId id) {
-  if (dirty_[id] == 0) return;
+  if (LoadFlag(dirty_, id) == 0) return;
+  // Serialize sealing: when two readers hit the same lazily-dirty page,
+  // exactly one recomputes the trailer; the other waits and sees the clean
+  // flag (release/acquire on the flag orders the trailer bytes).
+  std::lock_guard<std::mutex> lock(seal_mu_);
+  if (LoadFlag(dirty_, id) == 0) return;
   SealPage(PageData(id));
-  dirty_[id] = 0;
-  verified_[id] = 1;  // Freshly sealed: consistent by construction.
+  StoreFlag(verified_, id, 1);  // Freshly sealed: consistent by construction.
+  StoreFlag(dirty_, id, 0);
+}
+
+void PageFile::SealAllDirty() {
+  for (PageId id : dirty_pages_) SealIfDirty(id);
+  dirty_pages_.clear();
+}
+
+Status PageFile::Publish() {
+  SealAllDirty();
+  for (PageId id = 0; id < num_pages_; ++id) {
+    if (LoadFlag(verified_, id) != 0) continue;
+    if (!PageChecksumOk(PageData(id))) {
+      ++stats_.checksum_failures;
+      return Status::Corruption(StrFormat(
+          "page %u checksum mismatch (stored %08x, computed %08x)", id,
+          StoredPageChecksum(PageData(id)),
+          ComputePageChecksum(PageData(id))));
+    }
+    StoreFlag(verified_, id, 1);
+  }
+  return Status::OK();
 }
 
 Result<PageReader::ReadResult> PageFile::Read(PageId id) {
   DQMO_RETURN_IF_ERROR(CheckId(id));
-  ++stats_.physical_reads;
+  stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
   SealIfDirty(id);
   const uint8_t* data = PageData(id);
   // Verify-once: a page is checked when it enters memory untrusted (an
   // unverified load) and trusted until its bytes change — the block-cache
-  // model. Steady-state reads pay only this branch.
-  if (verify_on_read_ && verified_[id] == 0) {
+  // model. Steady-state reads pay only this flag load; racing verifiers
+  // both hash the (immutable) bytes and both publish the same flag.
+  if (verify_on_read_ && LoadFlag(verified_, id) == 0) {
     if (!PageChecksumOk(data)) {
       ++stats_.checksum_failures;
       return Status::Corruption(
           StrFormat("page %u checksum mismatch (stored %08x, computed %08x)",
                     id, StoredPageChecksum(data), ComputePageChecksum(data)));
     }
-    verified_[id] = 1;
+    StoreFlag(verified_, id, 1);
   }
   return ReadResult{data, /*physical=*/true};
 }
@@ -108,17 +164,21 @@ Status PageFile::Write(PageId id, const uint8_t* data) {
   DQMO_RETURN_IF_ERROR(CheckId(id));
   std::memcpy(PageData(id), data, kPageSize);
   SealPage(PageData(id));
-  dirty_[id] = 0;
-  verified_[id] = 1;
-  ++stats_.physical_writes;
+  StoreFlag(verified_, id, 1);
+  StoreFlag(dirty_, id, 0);
+  stats_.physical_writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<PageView> PageFile::WritableView(PageId id) {
   DQMO_RETURN_IF_ERROR(CheckWritable());
   DQMO_RETURN_IF_ERROR(CheckId(id));
-  ++stats_.physical_writes;
-  dirty_[id] = 1;  // Sealed lazily before the next read/verify/save.
+  stats_.physical_writes.fetch_add(1, std::memory_order_relaxed);
+  if (LoadFlag(dirty_, id) == 0) {
+    StoreFlag(dirty_, id, 1);  // Sealed lazily before the next read/save.
+    dirty_pages_.push_back(id);
+  }
+  StoreFlag(verified_, id, 0);
   return PageView(PageData(id), kPageSize);
 }
 
@@ -133,7 +193,7 @@ Status PageFile::VerifyPage(PageId id) {
         StrFormat("page %u checksum mismatch (stored %08x, computed %08x)",
                   id, StoredPageChecksum(data), ComputePageChecksum(data)));
   }
-  verified_[id] = 1;
+  StoreFlag(verified_, id, 1);
   return Status::OK();
 }
 
@@ -142,7 +202,7 @@ size_t PageFile::VerifyAllPages(std::vector<PageId>* bad) {
   for (PageId id = 0; id < num_pages_; ++id) {
     SealIfDirty(id);
     if (PageChecksumOk(PageData(id))) {
-      verified_[id] = 1;
+      StoreFlag(verified_, id, 1);
     } else {
       ++corrupt;
       if (bad != nullptr) bad->push_back(id);
@@ -153,6 +213,7 @@ size_t PageFile::VerifyAllPages(std::vector<PageId>* bad) {
 
 Status PageFile::SaveTo(const std::string& path) {
   for (PageId id = 0; id < num_pages_; ++id) SealIfDirty(id);
+  dirty_pages_.clear();
   File f(path.c_str(), "wb");
   if (!f.ok()) return Status::IOError("cannot open " + path + " for write");
   FileHeader header{kMagic, kVersion, 0, num_pages_};
@@ -235,6 +296,7 @@ Status PageFile::LoadFrom(const std::string& path,
   bytes_ = std::move(bytes);
   num_pages_ = header.num_pages;
   dirty_.assign(num_pages_, 0);
+  dirty_pages_.clear();
   // Legacy pages were sealed just above (consistent by construction) and
   // v2 pages were verified unless the caller opted out — only the opt-out
   // leaves pages untrusted, to be verified on first read.

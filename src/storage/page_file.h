@@ -8,9 +8,20 @@
 // their bytes change (verify-once, the block-cache model), so corruption
 // surfaces as Status::Corruption carrying the page id instead of garbage
 // geometry.
+//
+// Threading model (see DESIGN.md "Threading model"): concurrent Read calls
+// are safe with each other — the I/O counters are atomic, the verify-once /
+// dirty flags are accessed through std::atomic_ref, and lazy sealing is
+// serialized by an internal mutex. All *mutations* (Allocate, Write,
+// WritableView, LoadFrom, SaveTo, Clear-like calls) require external
+// exclusion from every reader; the query engine provides it with the
+// single-writer/multi-reader TreeGate (server/executor.h). Publish() puts a
+// file into the steady state concurrent readers want: no dirty pages, every
+// page pre-verified, so the read path mutates nothing but atomic counters.
 #ifndef DQMO_STORAGE_PAGE_FILE_H_
 #define DQMO_STORAGE_PAGE_FILE_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,7 +42,8 @@ class PageReader {
   virtual ~PageReader() = default;
 
   /// Result of a page read: a pointer to the page's kPageSize bytes (valid
-  /// until the next call on the same reader) and whether the read hit the
+  /// until the next call on the same reader — for BufferPool, until the
+  /// calling thread's next read on any pool) and whether the read hit the
   /// physical store (i.e. counts as a disk access).
   struct ReadResult {
     const uint8_t* data = nullptr;
@@ -63,10 +75,15 @@ class PageFile : public PageReader {
 
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
-  PageFile(PageFile&&) = default;
-  PageFile& operator=(PageFile&&) = default;
+  /// Moves are not thread-safe: never move a file another thread can reach.
+  PageFile(PageFile&& other) noexcept { MoveFrom(other); }
+  PageFile& operator=(PageFile&& other) noexcept {
+    if (this != &other) MoveFrom(other);
+    return *this;
+  }
 
-  /// Appends a zeroed page and returns its id.
+  /// Appends a zeroed page and returns its id. Requires exclusion from
+  /// concurrent readers (page storage may reallocate).
   PageId Allocate();
 
   size_t num_pages() const { return num_pages_; }
@@ -78,6 +95,7 @@ class PageFile : public PageReader {
   /// steady-state reads pay only a flag check. A mismatch returns
   /// Corruption naming the page and increments stats().checksum_failures.
   /// set_verify_on_read(false) disables even the first-read check.
+  /// Safe to call from concurrent readers.
   Result<ReadResult> Read(PageId id) override;
 
   /// Writes the kPageSize bytes at `data` into page `id` and seals it,
@@ -89,6 +107,25 @@ class PageFile : public PageReader {
   /// physical write (the caller is about to overwrite the page). The page
   /// is re-sealed lazily before it is next read, verified, or saved.
   Result<PageView> WritableView(PageId id);
+
+  /// Seals every page dirtied via WritableView right now, instead of
+  /// lazily on the next read. A writer that shares the file with
+  /// concurrent readers must call this before readers resume (the
+  /// TreeGate write guard does), so no two readers race to seal the same
+  /// page; cost is proportional to the number of dirtied pages.
+  void SealAllDirty();
+
+  /// Pages dirtied via WritableView/Allocate since the last SealAllDirty.
+  /// May contain duplicates of already-resealed ids. The TreeGate write
+  /// guard walks this to invalidate stale BufferPool frames before
+  /// sealing. Requires exclusion from writers.
+  const std::vector<PageId>& dirty_page_ids() const { return dirty_pages_; }
+
+  /// Prepares the file for concurrent readers: seals every dirty page and
+  /// verifies every page's checksum up front, so the steady-state Read
+  /// path mutates nothing but atomic counters. Fails with Corruption on
+  /// the first bad page. Idempotent.
+  Status Publish();
 
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
@@ -138,15 +175,25 @@ class PageFile : public PageReader {
     return bytes_.data() + static_cast<size_t>(id) * kPageSize;
   }
 
-  /// Recomputes the trailer of a page dirtied via WritableView.
+  /// Recomputes the trailer of a page dirtied via WritableView. Safe under
+  /// concurrent readers: the dirty flag is read atomically and sealing is
+  /// serialized by seal_mu_.
   void SealIfDirty(PageId id);
 
+  void MoveFrom(PageFile& other);
+
   std::vector<uint8_t> bytes_;
-  /// Pages written in place via WritableView whose trailer is stale.
+  /// Per-page flags, accessed through std::atomic_ref on the read path.
+  /// dirty_: page written in place via WritableView, trailer stale.
+  /// verified_: checksum verified (or freshly computed) since the bytes
+  /// last changed; Read trusts these without re-hashing.
   std::vector<uint8_t> dirty_;
-  /// Pages whose checksum has been verified (or freshly computed) since
-  /// their bytes last changed; Read trusts these without re-hashing.
   std::vector<uint8_t> verified_;
+  /// Ids dirtied via WritableView since the last SealAllDirty (may hold
+  /// already-resealed ids; SealIfDirty is a no-op for them).
+  std::vector<PageId> dirty_pages_;
+  /// Serializes lazy sealing when concurrent readers hit a dirty page.
+  std::mutex seal_mu_;
   size_t num_pages_ = 0;
   bool verify_on_read_ = true;
   bool legacy_read_only_ = false;

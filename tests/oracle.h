@@ -1,0 +1,150 @@
+// Differential oracle for the dynamic-query algorithms: brute-force
+// reference implementations that answer every query by linear scan over the
+// full data set, with the *same* delivery semantics as the indexed
+// processors. The oracle tests (tests/oracle_test.cc) sweep seeded random
+// workloads and assert exact result equality, frame by frame.
+//
+// Semantics mirrored here (and where they come from):
+//
+//  * Snapshot (Definition 3): exact segment-vs-box intersection — the
+//    existing BruteForceRange.
+//  * PDQ (Sect. 4.1): an object is delivered in the first frame [t0, t1]
+//    whose interval meets the object's exact visible-time set
+//    T = trajectory.OverlapTimes(m.seg), each object at most once. This is
+//    exactly PredictiveDynamicQuery::GetNext's rule: expired items
+//    (visible only before the current frame) are dropped, future items are
+//    requeued — so the rule also holds across mid-session insertions.
+//  * NPDQ (Sect. 4.2, default LeafSemantics::kBoundingBox +
+//    SpatialPruning::kIntersectionContained): frame i delivers the
+//    BB-matches of q_i that were not BB-matches of q_{i-1}. Exact for a
+//    static tree; concurrent insertions may legally cause re-deliveries
+//    (stamped subtrees opt out of the previous-query skip), which the
+//    insert-sweep tests bound instead of equating.
+//  * kNN: the k alive objects with smallest StSegment::DistanceAt — the
+//    identical distance computation KnnAt uses on the identical stored
+//    (float32-quantized) geometry, so distances match bit-for-bit.
+#ifndef DQMO_TESTS_ORACLE_H_
+#define DQMO_TESTS_ORACLE_H_
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/trajectory.h"
+#include "motion/motion_segment.h"
+#include "query/knn.h"
+#include "rtree/layout.h"
+#include "test_util.h"
+
+namespace dqmo::testing {
+
+/// The flat data set every oracle scans. Feed it the *stored* form of each
+/// segment (Insert quantizes for you) so expectations match the index
+/// bit-for-bit.
+class NaiveOracle {
+ public:
+  NaiveOracle() = default;
+  explicit NaiveOracle(std::vector<MotionSegment> data)
+      : data_(std::move(data)) {}
+
+  /// Mirrors RTree::Insert (including float32 quantization).
+  void Insert(const MotionSegment& m) {
+    data_.push_back(m);
+    data_.back().seg = QuantizeStored(m.seg);
+  }
+
+  const std::vector<MotionSegment>& data() const { return data_; }
+
+  /// Snapshot query, exact leaf semantics (reference for RangeSearch).
+  std::vector<MotionSegment> Snapshot(const StBox& q) const {
+    return BruteForceRange(data_, q);
+  }
+
+  /// k nearest alive objects at time `t`, by increasing DistanceAt.
+  /// Ties are broken by key so the oracle itself is deterministic; the
+  /// indexed search may order equal distances differently, so compare
+  /// distances positionally and keys only where distances are unique.
+  std::vector<Neighbor> Knn(const Vec& point, double t, int k) const {
+    std::vector<Neighbor> all;
+    for (const MotionSegment& m : data_) {
+      if (!m.seg.time.Contains(t)) continue;
+      all.push_back(Neighbor{m, m.seg.DistanceAt(t, point)});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.motion.key() < b.motion.key();
+              });
+    if (static_cast<int>(all.size()) > k) all.resize(static_cast<size_t>(k));
+    return all;
+  }
+
+ private:
+  std::vector<MotionSegment> data_;
+};
+
+/// Stateful PDQ reference over a known query trajectory: exactly-once
+/// delivery, first frame whose interval meets the visible-time set.
+/// Works for SPDQ too — construct it over the *inflated* trajectory.
+class PdqOracle {
+ public:
+  PdqOracle(const NaiveOracle* oracle, QueryTrajectory trajectory)
+      : oracle_(oracle), trajectory_(std::move(trajectory)) {}
+
+  /// Keys delivered in frame [t0, t1]. Sees insertions into the underlying
+  /// oracle automatically (an object inserted between frames joins the
+  /// scan from the next frame on, exactly like a tracked PDQ).
+  std::set<MotionSegment::Key> Frame(double t0, double t1) {
+    std::set<MotionSegment::Key> out;
+    const Interval frame(t0, t1);
+    for (const MotionSegment& m : oracle_->data()) {
+      if (delivered_.count(m.key()) > 0) continue;
+      if (trajectory_.OverlapTimes(m.seg).Overlaps(frame)) {
+        out.insert(m.key());
+        delivered_.insert(m.key());
+      }
+    }
+    return out;
+  }
+
+ private:
+  const NaiveOracle* oracle_;
+  QueryTrajectory trajectory_;
+  std::set<MotionSegment::Key> delivered_;
+};
+
+/// Stateful NPDQ reference under the default configuration: frame i
+/// delivers BB-matches(q_i) minus BB-matches(q_{i-1}).
+class NpdqOracle {
+ public:
+  explicit NpdqOracle(const NaiveOracle* oracle) : oracle_(oracle) {}
+
+  /// True iff the stored segment's (outward-quantized) bounding box — the
+  /// leaf entry geometry — intersects `q`.
+  static bool Matches(const MotionSegment& m, const StBox& q) {
+    return QuantizeOutward(m.Bounds()).Overlaps(q);
+  }
+
+  std::set<MotionSegment::Key> Frame(const StBox& q) {
+    std::set<MotionSegment::Key> out;
+    for (const MotionSegment& m : oracle_->data()) {
+      if (!Matches(m, q)) continue;
+      if (prev_.has_value() && Matches(m, *prev_)) continue;
+      out.insert(m.key());
+    }
+    prev_ = q;
+    return out;
+  }
+
+  const std::optional<StBox>& previous() const { return prev_; }
+
+ private:
+  const NaiveOracle* oracle_;
+  std::optional<StBox> prev_;
+};
+
+}  // namespace dqmo::testing
+
+#endif  // DQMO_TESTS_ORACLE_H_

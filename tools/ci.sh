@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification, run twice: a Release-flavored build (the exact
-# configuration the benchmarks use) and an ASan/UBSan build that shakes out
-# memory and UB bugs the optimizer can hide. Both must pass cleanly.
+# Tier-1 verification, run three times: a Release-flavored build (the exact
+# configuration the benchmarks use), an ASan/UBSan build that shakes out
+# memory and UB bugs the optimizer can hide, and a TSan build that runs the
+# concurrency test layer (executor + oracle sweep) against the
+# multi-session query engine. All must pass cleanly.
 #
 #   tools/ci.sh [jobs]
 #
-# Build trees live in build-ci/{release,sanitize}, leaving the developer's
-# ./build untouched.
+# Build trees live in build-ci/{release,sanitize,tsan}, leaving the
+# developer's ./build untouched.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +27,22 @@ run_pass() {
 }
 
 run_pass release -DCMAKE_BUILD_TYPE=Release
-run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDQMO_SANITIZE=ON
+run_pass sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDQMO_SANITIZE=address
 
-echo "==== ci.sh: both passes green ===="
+# TSan pass: build everything, but run only the tests that exercise real
+# concurrency plus one differential-oracle sweep seed — TSan's 5-15x
+# slowdown makes the full suite impractical in this stage, and the
+# single-threaded tests gain nothing from it.
+tsan_dir="build-ci/tsan"
+echo "==== [tsan] configure ===="
+cmake -B "${tsan_dir}" -S . -DDQMO_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDQMO_SANITIZE=thread
+echo "==== [tsan] build ===="
+cmake --build "${tsan_dir}" -j "${jobs}"
+echo "==== [tsan] executor tests ===="
+"${tsan_dir}/tests/executor_test"
+"${tsan_dir}/tests/determinism_test"
+echo "==== [tsan] oracle sweep (seed 1) ===="
+"${tsan_dir}/tests/oracle_test" --gtest_filter='*seed1'
+
+echo "==== ci.sh: all passes green ===="
