@@ -1,4 +1,4 @@
-// Ablation A6 — storage integrity & fault tolerance.
+// Ablation A13 — storage integrity & fault tolerance.
 //
 // Part 1: what checksum verification costs. The same naive snapshot sweep
 // is timed with verification enabled (the default; verify-once caching
@@ -149,7 +149,7 @@ FaultRow RunFaultPoint(Workbench* bench, double rate, int trajectories,
 int main() {
   auto bench = PrepareBench();
   const int trajectories = TrajectoriesFromEnv(20);
-  PrintPreamble("Ablation A6", "storage integrity & fault tolerance",
+  PrintPreamble("Ablation A13", "storage integrity & fault tolerance",
                 trajectories);
 
   // Part 1: checksum verification overhead on the naive snapshot sweep.

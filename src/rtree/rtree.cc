@@ -26,6 +26,11 @@ struct MetaPage {
   double max_speed;
   uint32_t split_policy;
   uint32_t reserved;
+  /// Highest WAL LSN whose insert this image contains (0: none / pre-WAL
+  /// image). Appended within the zeroed meta page, so version 2 files
+  /// written before durability existed read back as wal_lsn = 0 — "replay
+  /// everything" — which is exactly right for them.
+  uint64_t wal_lsn;
 };
 
 }  // namespace
@@ -102,6 +107,7 @@ Result<std::unique_ptr<RTree>> RTree::Open(PageFile* file) {
   tree->num_nodes_ = meta.num_nodes;
   tree->stamp_ = meta.stamp;
   tree->max_speed_ = meta.max_speed;
+  tree->applied_lsn_ = meta.wal_lsn;
   return tree;
 }
 
@@ -121,6 +127,7 @@ Status RTree::WriteMeta() {
   meta.max_speed = max_speed_;
   meta.split_policy = static_cast<uint32_t>(options_.split_policy);
   meta.reserved = 0;
+  meta.wal_lsn = applied_lsn_;
   view.Write(0, meta);
   return Status::OK();
 }
@@ -343,6 +350,15 @@ Status RTree::Insert(const MotionSegment& m) {
     pending_.root_split = true;
   }
   ++num_segments_;
+
+  // Durable-insert hook: buffer a redo record for the stored (quantized)
+  // segment — replaying it through Insert reproduces the index bit-for-bit
+  // because quantization is idempotent. Not durable (and therefore not
+  // acknowledgeable) until the owner calls WalWriter::Sync; the concurrent
+  // engine does so in the TreeGate write guard before readers resume.
+  if (wal_ != nullptr) {
+    DQMO_ASSIGN_OR_RETURN(applied_lsn_, wal_->AppendInsert(stored));
+  }
 
   // Fire exactly one notification, mirroring Sect. 4.1's update protocol.
   // Held across the callbacks: Insert runs under the exclusive TreeGate in

@@ -20,6 +20,7 @@
 #include "rtree/split.h"
 #include "rtree/stats.h"
 #include "storage/page_file.h"
+#include "storage/wal.h"
 
 namespace dqmo {
 
@@ -158,6 +159,22 @@ class RTree {
   /// Writes the metadata page. Call before PageFile::SaveTo.
   Status Flush();
 
+  /// Durable-insert hook: once attached (not owned; pass nullptr to
+  /// detach), every successful Insert buffers a redo record of the stored
+  /// segment into `wal` and advances applied_lsn(). The insert is durable
+  /// only after WalWriter::Sync — callers must not acknowledge it before
+  /// then. Recovery (server/durability.h) replays with the WAL detached so
+  /// replayed inserts are not re-logged.
+  void AttachWal(WalWriter* wal) { wal_ = wal; }
+  WalWriter* wal() const { return wal_; }
+
+  /// Highest WAL LSN whose insert this tree contains; persisted in the
+  /// meta page by Flush so a checkpoint image can tell recovery which log
+  /// records it already holds. 0 = none (fresh tree or pre-WAL image).
+  uint64_t applied_lsn() const { return applied_lsn_; }
+  /// Recovery sets this after replaying a record with the WAL detached.
+  void set_applied_lsn(uint64_t lsn) { applied_lsn_ = lsn; }
+
   /// Registers a listener for concurrent-update notifications. The caller
   /// keeps ownership and must RemoveListener before destroying it.
   /// Add/Remove are safe to call from concurrent query sessions (an
@@ -242,6 +259,8 @@ class RTree {
   size_t num_nodes_ = 0;
   UpdateStamp stamp_ = 0;
   double max_speed_ = 0.0;
+  WalWriter* wal_ = nullptr;     // Durable-insert hook; see AttachWal.
+  uint64_t applied_lsn_ = 0;
   PendingNotice pending_;
   /// Guards listeners_: sessions running under the shared side of the
   /// TreeGate register/unregister their PDQs concurrently.

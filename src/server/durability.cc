@@ -1,0 +1,117 @@
+#include "server/durability.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "storage/fault.h"
+
+namespace dqmo {
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  return StrFormat(
+      "recovery{image=%s, ckpt_lsn=%llu, scanned=%llu, replayed=%llu, "
+      "skipped=%llu, torn_bytes=%llu, lsn=%llu}",
+      checkpoint_loaded ? "loaded" : "fresh",
+      static_cast<unsigned long long>(checkpoint_lsn),
+      static_cast<unsigned long long>(wal_records_scanned),
+      static_cast<unsigned long long>(replayed),
+      static_cast<unsigned long long>(skipped),
+      static_cast<unsigned long long>(torn_bytes_dropped),
+      static_cast<unsigned long long>(recovered_lsn));
+}
+
+Result<std::unique_ptr<DurableIndex>> DurableIndex::Open(
+    const std::string& pgf_path, const std::string& wal_path,
+    const Options& options) {
+  auto index = std::unique_ptr<DurableIndex>(new DurableIndex());
+  index->pgf_path_ = pgf_path;
+  index->wal_path_ = wal_path;
+  index->options_ = options;
+
+  // 1. Checkpoint image, if one was ever installed. A crash-left .tmp next
+  // to it is ignored by construction: only the rename installs an image.
+  if (FileExists(pgf_path)) {
+    DQMO_RETURN_IF_ERROR(index->file_.LoadFrom(pgf_path));
+    DQMO_ASSIGN_OR_RETURN(index->tree_, RTree::Open(&index->file_));
+    index->report_.checkpoint_loaded = true;
+    index->report_.checkpoint_lsn = index->tree_->applied_lsn();
+  } else {
+    DQMO_ASSIGN_OR_RETURN(index->tree_,
+                          RTree::Create(&index->file_, options.tree));
+  }
+
+  // 2. Scan the log: torn tails are tolerated (nothing past the tear was
+  // acknowledged), mid-log corruption propagates as the scan's typed error.
+  DQMO_ASSIGN_OR_RETURN(WalScan scan, ScanWal(wal_path));
+  index->report_.wal_records_scanned = scan.records.size();
+  index->report_.torn_bytes_dropped = scan.torn_bytes;
+  index->report_.torn_tail = scan.torn_tail;
+
+  // 3. Redo the tail. The WAL is not attached yet, so replayed inserts are
+  // not re-logged; the stored form is already quantized, so Insert
+  // reproduces the pre-crash tree bit-for-bit.
+  const uint64_t base_lsn = index->tree_->applied_lsn();
+  for (const WalRecord& rec : scan.records) {
+    if (rec.type != WalRecordType::kInsert || rec.lsn <= base_lsn) {
+      ++index->report_.skipped;
+      continue;
+    }
+    DQMO_RETURN_IF_ERROR(index->tree_->Insert(rec.motion));
+    index->tree_->set_applied_lsn(rec.lsn);
+    ++index->report_.replayed;
+  }
+  index->report_.recovered_lsn = index->tree_->applied_lsn();
+
+  // 4. Open the writer (truncating any torn tail in place) and attach it.
+  // min_next_lsn guards the reset-log case: an empty post-checkpoint WAL
+  // must not restart LSNs below what the image already claims to contain.
+  WalWriter::Options wal_options = options.wal;
+  wal_options.min_next_lsn = index->tree_->applied_lsn() + 1;
+  DQMO_RETURN_IF_ERROR(index->wal_.Open(
+      wal_path, index->file_.mutable_stats(), wal_options));
+  index->tree_->AttachWal(&index->wal_);
+  return index;
+}
+
+Status DurableIndex::Insert(const MotionSegment& m) {
+  DQMO_RETURN_IF_ERROR(tree_->Insert(m));
+  if (options_.sync_each_insert) return wal_.Sync();
+  return Status::OK();
+}
+
+Status DurableIndex::Sync() { return wal_.Sync(); }
+
+Status DurableIndex::Checkpoint() {
+  // Make every logged insert durable before the image that contains it can
+  // exist; a crash from here on recovers from (old image, full log).
+  DQMO_RETURN_IF_ERROR(wal_.Sync());
+  CrashPoints::Hit(crash_points::kCkptBeforeTemp);
+  // Meta (with the applied LSN) goes into the pages, then the whole image
+  // is installed atomically — SaveTo's temp + fsync + rename, with the
+  // kSaveBeforeRename crash point between the two.
+  DQMO_RETURN_IF_ERROR(tree_->Flush());
+  DQMO_RETURN_IF_ERROR(file_.SaveTo(pgf_path_));
+  // Marker after the image: recovery does not need it (the meta LSN is
+  // authoritative), but walinfo uses it to explain a log whose reset never
+  // happened.
+  DQMO_RETURN_IF_ERROR(
+      wal_.AppendCheckpoint(tree_->applied_lsn(), tree_->num_segments())
+          .status());
+  DQMO_RETURN_IF_ERROR(wal_.Sync());
+  CrashPoints::Hit(crash_points::kCkptBeforeWalReset);
+  // The image now contains everything: start an empty log (atomic rename
+  // again), LSN sequence continuing.
+  return wal_.Reset();
+}
+
+}  // namespace dqmo

@@ -78,16 +78,20 @@ class ThreadPool {
 /// frame; the writer (motion updates) holds the exclusive side per Insert
 /// batch. The write guard's release does the storage handover that makes
 /// the next shared section race-free: it invalidates every dirtied page in
-/// the shared BufferPool (stale cached bytes must not be served) and seals
+/// the shared BufferPool (stale cached bytes must not be served), seals
 /// all dirty pages (so readers never race to recompute a checksum
-/// trailer). Lock order where it matters: gate first, then the tree's
-/// internal listeners mutex.
+/// trailer), and — when a WAL is attached — syncs the write-ahead log, so
+/// readers never observe a motion whose redo record is not yet durable.
+/// Lock order where it matters: gate first, then the tree's internal
+/// listeners mutex.
 class TreeGate {
  public:
-  /// Neither pointer is owned; `pool` may be null (no cache to
-  /// invalidate). `file` may be null only if no writer ever runs.
-  explicit TreeGate(PageFile* file, BufferPool* pool = nullptr)
-      : file_(file), pool_(pool) {}
+  /// No pointer is owned; `pool` may be null (no cache to invalidate) and
+  /// `wal` may be null (no durability). `file` may be null only if no
+  /// writer ever runs.
+  explicit TreeGate(PageFile* file, BufferPool* pool = nullptr,
+                    WalWriter* wal = nullptr)
+      : file_(file), pool_(pool), wal_(wal) {}
 
   TreeGate(const TreeGate&) = delete;
   TreeGate& operator=(const TreeGate&) = delete;
@@ -114,10 +118,22 @@ class TreeGate {
 
   [[nodiscard]] WriteGuard LockExclusive() { return WriteGuard(this); }
 
+  /// First WAL sync failure observed by a write guard's release (OK when
+  /// none): a destructor cannot return a Status, so the writer checks here
+  /// after its batch — inserts in a failed batch were never made durable
+  /// and must not be acknowledged.
+  Status wal_status() const {
+    std::lock_guard<std::mutex> lock(wal_status_mu_);
+    return wal_status_;
+  }
+
  private:
   std::shared_mutex mu_;
   PageFile* file_;
   BufferPool* pool_;
+  WalWriter* wal_;
+  mutable std::mutex wal_status_mu_;
+  Status wal_status_;  // Guarded by wal_status_mu_.
 };
 
 /// Which query algorithm a session runs.

@@ -1,12 +1,71 @@
 #include "storage/fault.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstring>
+#include <mutex>
 
 #include "common/check.h"
 #include "common/string_util.h"
 
 namespace dqmo {
+namespace {
+
+/// Armed-point state. The fast path (disarmed) reads only g_armed; the
+/// slow path serializes on a mutex so a multi-threaded child still dies at
+/// exactly the requested hit.
+std::atomic<bool> g_armed{false};
+std::mutex g_crash_mu;
+std::string g_crash_name;       // Guarded by g_crash_mu.
+uint64_t g_crash_skip = 0;      // Hits to survive before dying.
+
+}  // namespace
+
+void CrashPoints::Arm(const char* name, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(g_crash_mu);
+  g_crash_name = name;
+  g_crash_skip = skip;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void CrashPoints::Disarm() {
+  std::lock_guard<std::mutex> lock(g_crash_mu);
+  g_crash_name.clear();
+  g_armed.store(false, std::memory_order_release);
+}
+
+bool CrashPoints::armed() {
+  return g_armed.load(std::memory_order_acquire);
+}
+
+bool CrashPoints::ConsumeHit(const char* name) {
+  if (!g_armed.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(g_crash_mu);
+  if (g_crash_name != name) return false;
+  if (g_crash_skip > 0) {
+    --g_crash_skip;
+    return false;
+  }
+  return true;
+}
+
+void CrashPoints::Hit(const char* name) {
+  if (ConsumeHit(name)) Die();
+}
+
+void CrashPoints::Die() {
+  // _exit, not exit: no atexit handlers, no stream flushing — the process
+  // state that survives is exactly what already reached the kernel.
+  ::_exit(kExitCode);
+}
+
+std::vector<std::string> CrashPoints::All() {
+  return {crash_points::kWalBeforeSync, crash_points::kWalTornWrite,
+          crash_points::kWalAfterSync,  crash_points::kCkptBeforeTemp,
+          crash_points::kSaveBeforeRename,
+          crash_points::kCkptBeforeWalReset};
+}
 
 FaultInjector::FaultInjector(const Options& options)
     : options_(options), rng_(options.seed) {

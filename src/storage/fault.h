@@ -14,8 +14,10 @@
 #ifndef DQMO_STORAGE_FAULT_H_
 #define DQMO_STORAGE_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +30,71 @@
 #include "storage/page_file.h"
 
 namespace dqmo {
+
+/// Names of the crash points the durability protocol registers, in the
+/// order they are reached. Tests iterate CrashPoints::All(); the constants
+/// exist so call sites and tests cannot drift apart.
+namespace crash_points {
+/// WalWriter::Sync, before any byte of the pending batch reaches the file:
+/// the whole batch is lost, none of it was acknowledged.
+inline constexpr char kWalBeforeSync[] = "wal:before_sync";
+/// WalWriter::Sync, after roughly half the pending batch's bytes were
+/// written: recovery must truncate the torn record.
+inline constexpr char kWalTornWrite[] = "wal:torn_write";
+/// WalWriter::Sync, after the fsync: the batch is durable but the caller
+/// never saw Sync return (durable-but-unacknowledged inserts may surface
+/// after recovery; they must never be *lost*).
+inline constexpr char kWalAfterSync[] = "wal:after_sync";
+/// DurableIndex::Checkpoint, after the WAL sync but before the checkpoint
+/// temp file is written: the old image plus the full log must recover.
+inline constexpr char kCkptBeforeTemp[] = "ckpt:before_temp";
+/// PageFile::SaveTo, after the temp file is written and fsynced but before
+/// the rename: the previous image must be untouched.
+inline constexpr char kSaveBeforeRename[] = "save:before_rename";
+/// DurableIndex::Checkpoint, after the rename installed the new image but
+/// before the WAL reset: recovery must skip the already-checkpointed
+/// records by LSN instead of replaying them twice.
+inline constexpr char kCkptBeforeWalReset[] = "ckpt:before_wal_reset";
+}  // namespace crash_points
+
+/// Deterministic kill-point injection for the fork-based crash tests
+/// (tests/recovery_test.cc): a test arms one named point (optionally
+/// skipping the first `skip` hits), forks, and the child dies with
+/// _exit(kExitCode) the moment the durability code reaches it — no stack
+/// unwinding, no buffers flushed, exactly like a kill -9 at that
+/// instruction. Disarmed (the default) a crash point costs one relaxed
+/// atomic load.
+///
+/// The registry is process-global; Arm/Disarm are meant for a forked child
+/// before it starts work (arming while other threads run durability code
+/// would kill the process from an arbitrary thread, which is the point of
+/// the exercise but rarely what a unit test wants).
+class CrashPoints {
+ public:
+  /// Exit code of a crashed process; chosen to be distinguishable from
+  /// gtest failures (1), sanitizer aborts, and signal deaths.
+  static constexpr int kExitCode = 87;
+
+  /// Arms `name`: the (skip+1)-th Hit/ConsumeHit of that name crashes.
+  static void Arm(const char* name, uint64_t skip = 0);
+  static void Disarm();
+  static bool armed();
+
+  /// Crashes via _exit(kExitCode) if `name` is armed and its skip count is
+  /// exhausted; otherwise decrements and returns.
+  static void Hit(const char* name);
+
+  /// Like Hit but lets the caller interleave work between the decision and
+  /// the death (the torn-write point writes half a batch first): returns
+  /// true when this hit should crash — the caller must then call Die().
+  static bool ConsumeHit(const char* name);
+
+  /// Immediate _exit(kExitCode).
+  [[noreturn]] static void Die();
+
+  /// Every registered crash point name, in protocol order.
+  static std::vector<std::string> All();
+};
 
 /// Decides, deterministically, whether each successive read fails and how.
 /// A schedule combines:

@@ -6,12 +6,15 @@ namespace dqmo {
 
 std::string IoStats::ToString() const {
   return StrFormat(
-      "io{reads=%llu, writes=%llu, hits=%llu, crc_fail=%llu, retries=%llu}",
+      "io{reads=%llu, writes=%llu, hits=%llu, crc_fail=%llu, retries=%llu, "
+      "wal_app=%llu, wal_sync=%llu}",
       static_cast<unsigned long long>(physical_reads),
       static_cast<unsigned long long>(physical_writes),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(checksum_failures),
-      static_cast<unsigned long long>(retries));
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(wal_appends),
+      static_cast<unsigned long long>(wal_syncs));
 }
 
 }  // namespace dqmo

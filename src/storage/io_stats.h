@@ -30,6 +30,12 @@ struct IoStats {
   /// Reads re-issued by RetryingPageReader after a transient failure. Does
   /// not count the first attempt.
   std::atomic<uint64_t> retries{0};
+  /// WAL records buffered by WalWriter::Append* and batches made durable by
+  /// WalWriter::Sync. Counted separately from physical page I/O so the
+  /// paper's disk-access metric (and the A13/A14 ablation numbers) stay
+  /// comparable whether or not durability is enabled.
+  std::atomic<uint64_t> wal_appends{0};
+  std::atomic<uint64_t> wal_syncs{0};
 
   IoStats() = default;
   IoStats(const IoStats& other) { CopyFrom(other); }
@@ -53,6 +59,10 @@ struct IoStats {
         other.checksum_failures.load(std::memory_order_relaxed);
     d.retries = retries.load(std::memory_order_relaxed) -
                 other.retries.load(std::memory_order_relaxed);
+    d.wal_appends = wal_appends.load(std::memory_order_relaxed) -
+                    other.wal_appends.load(std::memory_order_relaxed);
+    d.wal_syncs = wal_syncs.load(std::memory_order_relaxed) -
+                  other.wal_syncs.load(std::memory_order_relaxed);
     return d;
   }
 
@@ -61,7 +71,8 @@ struct IoStats {
            a.physical_writes == b.physical_writes &&
            a.cache_hits == b.cache_hits &&
            a.checksum_failures == b.checksum_failures &&
-           a.retries == b.retries;
+           a.retries == b.retries && a.wal_appends == b.wal_appends &&
+           a.wal_syncs == b.wal_syncs;
   }
 
   std::string ToString() const;
@@ -81,6 +92,10 @@ struct IoStats {
         std::memory_order_relaxed);
     retries.store(other.retries.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
+    wal_appends.store(other.wal_appends.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    wal_syncs.store(other.wal_syncs.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
   }
 };
 

@@ -153,8 +153,11 @@ class PageFile : public PageReader {
   /// number of corrupt pages found. Used by `dqmo_tool scrub`.
   size_t VerifyAllPages(std::vector<PageId>* bad);
 
-  /// Persists all pages to `path` (overwriting). Format: magic, version 2,
-  /// page count, then raw sealed pages.
+  /// Persists all pages atomically: writes `<path>.tmp`, fflush+fsync,
+  /// then rename(2) over `path` — a crash mid-save (including at the
+  /// kSaveBeforeRename crash point) leaves the previous file at `path`
+  /// intact and loadable. Format: magic, version 2, page count, then raw
+  /// sealed pages.
   Status SaveTo(const std::string& path);
 
   /// Loads a file written by SaveTo, replacing current contents. The byte

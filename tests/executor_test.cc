@@ -14,6 +14,7 @@
 #include "common/random.h"
 #include "server/executor.h"
 #include "storage/buffer_pool.h"
+#include "storage/wal.h"
 #include "test_util.h"
 
 namespace dqmo {
@@ -232,6 +233,85 @@ TEST(ExecutorTest, EightReadersOneWriterMatchSerialReplay) {
 
   ExpectSameResults(concurrent, serial);
   EXPECT_GT(concurrent.total_objects, 0u);
+}
+
+TEST(ExecutorTest, DurableWritesUnderGateMatchSerialReplayAndSurviveInWal) {
+  // Same readers-vs-writer interleaving as above, but the tree has a WAL
+  // attached and the gate syncs it on every write-guard release. Readers
+  // must still match the serial replay (the WAL work happens while the
+  // writer holds the gate exclusively), every insert must be on disk in
+  // LSN order when the writer finishes, and no sync failure may be parked
+  // on the gate.
+  Fixture fx;
+  BuildFixture(&fx, 17, 800);
+  const std::vector<SessionSpec> specs =
+      ReaderSpecs(8, /*include_knn=*/false, /*region_hi=*/70.0);
+
+  const std::string wal_path =
+      std::string(::testing::TempDir()) + "/executor_durable.wal";
+  std::remove(wal_path.c_str());
+  WalWriter wal;
+  ASSERT_TRUE(wal.Open(wal_path, fx.file.mutable_stats()).ok());
+  fx.tree->AttachWal(&wal);
+
+  BufferPool shared_pool(&fx.file, 128, /*num_shards=*/8);
+  TreeGate gate(&fx.file, &shared_pool, &wal);
+
+  constexpr int kInserts = 64;
+  std::atomic<bool> writer_failed{false};
+  std::thread writer([&fx, &gate, &writer_failed] {
+    Rng rng(1717);
+    for (int i = 0; i < kInserts; ++i) {
+      StSegment seg(Vec(rng.Uniform(90, 100), rng.Uniform(90, 100)),
+                    Vec(rng.Uniform(90, 100), rng.Uniform(90, 100)),
+                    Interval(rng.Uniform(0, 90), rng.Uniform(90, 100)));
+      MotionSegment m(static_cast<ObjectId>(300000 + i), seg);
+      {
+        auto guard = gate.LockExclusive();
+        if (!fx.tree->Insert(m).ok()) writer_failed.store(true);
+      }  // Guard release appends are synced here, still exclusive.
+      std::this_thread::yield();
+    }
+  });
+
+  SessionScheduler::Options copt;
+  copt.num_threads = 8;
+  copt.reader = &shared_pool;
+  copt.gate = &gate;
+  copt.pool = &shared_pool;
+  const ExecutorReport concurrent =
+      SessionScheduler(fx.tree.get(), copt).Run(specs);
+  writer.join();
+  EXPECT_FALSE(writer_failed.load());
+  EXPECT_TRUE(gate.wal_status().ok()) << gate.wal_status().ToString();
+
+  // Every acknowledged insert is durable: the log holds exactly kInserts
+  // records, LSN-contiguous, all synced (nothing left buffered).
+  EXPECT_EQ(wal.pending_records(), 0u);
+  EXPECT_EQ(wal.synced_lsn(), static_cast<uint64_t>(kInserts));
+  wal.Close();
+  fx.tree->AttachWal(nullptr);
+  auto scan = ScanWal(wal_path);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->records.size(), static_cast<size_t>(kInserts));
+  EXPECT_FALSE(scan->torn_tail);
+  for (size_t i = 0; i < scan->records.size(); ++i) {
+    EXPECT_EQ(scan->records[i].lsn, i + 1);
+    EXPECT_EQ(scan->records[i].motion.oid,
+              static_cast<ObjectId>(300000 + i));
+  }
+  EXPECT_GE(fx.file.stats().wal_syncs.load(),
+            static_cast<uint64_t>(kInserts));
+
+  // Readers saw a consistent tree throughout: serial replay matches.
+  BufferPool serial_pool(&fx.file, 128, /*num_shards=*/8);
+  SessionScheduler::Options sopt;
+  sopt.num_threads = 1;
+  sopt.reader = &serial_pool;
+  const ExecutorReport serial =
+      SessionScheduler(fx.tree.get(), sopt).Run(specs);
+  ExpectSameResults(concurrent, serial);
+  std::remove(wal_path.c_str());
 }
 
 TEST(ExecutorTest, WriteGuardInvalidatesDirtiedPagesInPool) {

@@ -2,6 +2,9 @@
 // the LRU BufferPool.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -287,6 +290,74 @@ TEST(PageFileLoadFuzz, TruncationIsAlwaysDetected) {
   const Status s = g.LoadFrom(path);
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
   EXPECT_NE(s.message().find("trailing"), std::string::npos) << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(PageFileLoadFuzz, ZeroLengthFileRejectedWithTypedError) {
+  // A zero-byte file is what a crash between open and the first header
+  // write leaves behind. It must be a typed error, never a crash.
+  const std::string path = TempPath("pf_zero.pgf");
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(fp, nullptr);
+  std::fclose(fp);
+  PageFile f;
+  const Status s = f.LoadFrom(path);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(PageFileLoadFuzz, HeaderClaimingMorePagesThanFileHoldsRejected) {
+  // A truncated checkpoint: plausible header, fewer page bytes than it
+  // declares. The size check must catch it before any page is trusted.
+  const std::string path = TempPath("pf_short_pages.pgf");
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(fp, nullptr);
+  struct {
+    uint64_t magic = 0x4451'4d4f'5047'4631ULL;
+    uint32_t version = 2;
+    uint32_t reserved = 0;
+    uint64_t num_pages = 5;
+  } header;
+  ASSERT_EQ(std::fwrite(&header, sizeof(header), 1, fp), 1u);
+  std::vector<uint8_t> two_pages(2 * kPageSize, 0x7E);
+  ASSERT_EQ(std::fwrite(two_pages.data(), 1, two_pages.size(), fp),
+            two_pages.size());
+  std::fclose(fp);
+  PageFile f;
+  const Status s = f.LoadFrom(path);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.message().find("truncated"), std::string::npos) << s.message();
+  std::remove(path.c_str());
+}
+
+TEST(PageFileSaveAtomicity, FailedSaveLeavesPreviousFileLoadable) {
+  // SaveTo must never touch `path` until the replacement image is complete:
+  // inject a mid-save failure by planting a directory where SaveTo puts its
+  // temp file, and verify the old image still loads bit-for-bit.
+  const std::string path = TempPath("pf_atomic.pgf");
+  PageFile old_file;
+  const PageId id = old_file.Allocate();
+  uint8_t buf[kPageSize];
+  FillPage(buf, 0x77);
+  ASSERT_TRUE(old_file.Write(id, buf).ok());
+  ASSERT_TRUE(old_file.SaveTo(path).ok());
+
+  const std::string tmp = path + ".tmp";
+  ASSERT_EQ(std::remove(tmp.c_str()), -1);  // SaveTo cleaned up after itself.
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0700), 0);
+  PageFile replacement;
+  const PageId rid = replacement.Allocate();
+  FillPage(buf, 0x99);
+  ASSERT_TRUE(replacement.Write(rid, buf).ok());
+  const Status s = replacement.SaveTo(path);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  ASSERT_EQ(::rmdir(tmp.c_str()), 0);
+
+  PageFile g;
+  ASSERT_TRUE(g.LoadFrom(path).ok());
+  auto read = g.Read(0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->data[10], 0x77);  // The old bytes, untouched.
   std::remove(path.c_str());
 }
 

@@ -3,7 +3,11 @@
 # configuration the benchmarks use), an ASan/UBSan build that shakes out
 # memory and UB bugs the optimizer can hide, and a TSan build that runs the
 # concurrency test layer (executor + oracle sweep) against the
-# multi-session query engine. All must pass cleanly.
+# multi-session query engine — including the durable-writes executor test,
+# whose WAL appends happen under the TreeGate write guard. A final
+# crash-recovery stage re-runs the fork-based kill tests (every registered
+# CrashPoint) explicitly under the default build and once under ASan, then
+# smoke-runs the CI-size durability ablation. All must pass cleanly.
 #
 #   tools/ci.sh [jobs]
 #
@@ -44,5 +48,19 @@ echo "==== [tsan] executor tests ===="
 "${tsan_dir}/tests/determinism_test"
 echo "==== [tsan] oracle sweep (seed 1) ===="
 "${tsan_dir}/tests/oracle_test" --gtest_filter='*seed1'
+
+# Crash-recovery stage: the fork-based kill tests kill a child at every
+# registered CrashPoint and assert recovery matches the oracle on the
+# durable prefix. Run explicitly (they are in ctest too, but a regression
+# here must be unmissable): once against the default build, once under
+# ASan — fork is safe in both, unlike TSan. Then the CI-size durability
+# ablation proves the WAL/recovery path works end-to-end at bench scale.
+echo "==== [crash-recovery] default-build kill tests ===="
+"build-ci/release/tests/recovery_test"
+"build-ci/release/tests/wal_test"
+echo "==== [crash-recovery] asan kill tests ===="
+"build-ci/sanitize/tests/recovery_test"
+echo "==== [crash-recovery] CI-size recovery ablation ===="
+DQMO_RECOVERY_INSERTS=1000 "build-ci/release/bench/abl_recovery"
 
 echo "==== ci.sh: all passes green ===="

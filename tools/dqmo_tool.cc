@@ -20,6 +20,15 @@
 //       Check every page's CRC32C and report each corrupt page with its
 //       file offset. Unlike a normal load (which stops at the first bad
 //       page), scrub reads the whole file and lists all damage.
+//
+//   dqmo_tool walinfo <index.wal>
+//       Scan a write-ahead log: record count by type, LSN range, and the
+//       torn-tail report (bytes dropped by a crash mid-append, if any).
+//
+//   dqmo_tool recover <index.pgf> <index.wal>
+//       Run crash recovery: load the last checkpoint image (if any),
+//       replay the WAL tail, report what was redone, and checkpoint the
+//       recovered tree back to <index.pgf> (resetting the WAL).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +40,8 @@
 #include "query/knn.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
+#include "server/durability.h"
+#include "storage/wal.h"
 #include "workload/data_generator.h"
 
 namespace dqmo {
@@ -50,7 +61,9 @@ int Usage() {
                "  dqmo_tool query <index.pgf> x0 x1 y0 y1 t0 t1\n"
                "  dqmo_tool knn <index.pgf> x y t k\n"
                "  dqmo_tool verify <index.pgf>\n"
-               "  dqmo_tool scrub <index.pgf>\n");
+               "  dqmo_tool scrub <index.pgf>\n"
+               "  dqmo_tool walinfo <index.wal>\n"
+               "  dqmo_tool recover <index.pgf> <index.wal>\n");
   return 2;
 }
 
@@ -256,6 +269,86 @@ int CmdScrub(const std::string& path) {
   return corrupt == 0 ? 0 : 1;
 }
 
+int CmdWalInfo(const std::string& path) {
+  auto scan = ScanWal(path);
+  if (!scan.ok()) return Fail(scan.status());
+  uint64_t inserts = 0;
+  uint64_t checkpoints = 0;
+  uint64_t last_ckpt_lsn = 0;
+  uint64_t last_ckpt_segments = 0;
+  for (const WalRecord& rec : scan->records) {
+    if (rec.type == WalRecordType::kInsert) {
+      ++inserts;
+    } else {
+      ++checkpoints;
+      last_ckpt_lsn = rec.checkpoint_lsn;
+      last_ckpt_segments = rec.checkpoint_segments;
+    }
+  }
+  std::printf("wal        : %s\n", path.c_str());
+  std::printf("records    : %zu (%llu inserts, %llu checkpoint markers)\n",
+              scan->records.size(),
+              static_cast<unsigned long long>(inserts),
+              static_cast<unsigned long long>(checkpoints));
+  if (!scan->records.empty()) {
+    std::printf("lsn range  : %llu .. %llu\n",
+                static_cast<unsigned long long>(scan->records.front().lsn),
+                static_cast<unsigned long long>(scan->last_lsn));
+  }
+  if (checkpoints > 0) {
+    std::printf("last ckpt  : lsn %llu, %llu segments\n",
+                static_cast<unsigned long long>(last_ckpt_lsn),
+                static_cast<unsigned long long>(last_ckpt_segments));
+  }
+  std::printf("good bytes : %llu\n",
+              static_cast<unsigned long long>(scan->good_bytes));
+  if (scan->torn_tail) {
+    std::printf("torn tail  : %llu trailing bytes damaged (crash "
+                "mid-append; recovery truncates them)\n",
+                static_cast<unsigned long long>(scan->torn_bytes));
+  } else {
+    std::printf("torn tail  : none\n");
+  }
+  return 0;
+}
+
+int CmdRecover(const std::string& pgf_path, const std::string& wal_path) {
+  auto index = DurableIndex::Open(pgf_path, wal_path,
+                                  DurableIndex::Options());
+  if (!index.ok()) return Fail(index.status());
+  const RecoveryReport& report = (*index)->report();
+  std::printf("checkpoint : %s\n",
+              report.checkpoint_loaded
+                  ? StrFormat("loaded (applied lsn %llu)",
+                              static_cast<unsigned long long>(
+                                  report.checkpoint_lsn))
+                        .c_str()
+                  : "none (fresh tree)");
+  std::printf("wal        : %llu records scanned, %llu replayed, "
+              "%llu skipped\n",
+              static_cast<unsigned long long>(report.wal_records_scanned),
+              static_cast<unsigned long long>(report.replayed),
+              static_cast<unsigned long long>(report.skipped));
+  if (report.torn_tail) {
+    std::printf("torn tail  : %llu bytes truncated\n",
+                static_cast<unsigned long long>(report.torn_bytes_dropped));
+  }
+  RTree* tree = (*index)->tree();
+  std::printf("recovered  : %llu segments, %zu nodes, height %d, "
+              "lsn %llu\n",
+              static_cast<unsigned long long>(tree->num_segments()),
+              tree->num_nodes(), tree->height(),
+              static_cast<unsigned long long>(report.recovered_lsn));
+  if (Status s = tree->CheckInvariants(); !s.ok()) {
+    std::printf("INVALID recovered tree: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = (*index)->Checkpoint(); !s.ok()) return Fail(s);
+  std::printf("checkpointed recovered tree to %s (wal reset)\n",
+              pgf_path.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string command = argv[1];
@@ -272,6 +365,11 @@ int Run(int argc, char** argv) {
   }
   if (command == "verify") return CmdVerify(path);
   if (command == "scrub") return CmdScrub(path);
+  if (command == "walinfo") return CmdWalInfo(path);
+  if (command == "recover") {
+    if (argc != 4) return Usage();
+    return CmdRecover(path, argv[3]);
+  }
   return Usage();
 }
 
