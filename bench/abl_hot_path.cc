@@ -1,0 +1,250 @@
+// Ablation A15 — the zero-copy query hot path, dimension by dimension:
+// decoded-node cache {off, on} x node representation {AoS legacy, SoA} x
+// kernel tier {scalar, vector}. Every configuration answers the *same*
+// seeded PDQ sweep and kNN probe set; the per-config checksums must be
+// identical (the hot path's bit-identity contract), only the cost may move.
+//
+// Reported metric: node-scan CPU as ns per pruned entry — wall time of the
+// query phase divided by the number of per-entry prune decisions
+// (QueryStats::distance_computations, which both paths count identically) —
+// plus node visits split into physical decodes and decoded-cache hits.
+//
+// Env knobs, on top of the bench_common ones:
+//   DQMO_HOT_PATH_FRAMES=N    frames per PDQ trajectory (default 60)
+//   DQMO_CHECK_SPEEDUP=1      exit non-zero unless the full hot path
+//                             (cache+SoA+vector) beats legacy AoS by >= 2x
+//                             ns/entry on the PDQ sweep (the CI gate)
+#include <chrono>
+#include <cstring>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "query/kernels.h"
+#include "query/knn.h"
+#include "query/pdq.h"
+#include "rtree/node_cache.h"
+
+namespace {
+
+using namespace dqmo;
+using namespace dqmo::bench;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void FoldU64(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xFF;
+    *h *= kFnvPrime;
+  }
+}
+
+void FoldDouble(uint64_t* h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  FoldU64(h, bits);
+}
+
+struct Config {
+  const char* name;
+  HotPath path;
+  bool cache;
+  bool vector;  // SoA only: auto-dispatch (AVX2 when available) vs scalar.
+};
+
+struct RunCost {
+  double wall_seconds = 0.0;
+  uint64_t entries = 0;      // Per-entry prune decisions (ns/entry basis).
+  uint64_t node_reads = 0;   // Physical page decodes.
+  uint64_t decoded_hits = 0; // Served from the decoded-node cache.
+  uint64_t objects = 0;
+  uint64_t checksum = kFnvOffset;
+
+  double ns_per_entry() const {
+    return entries == 0 ? 0.0 : 1e9 * wall_seconds / static_cast<double>(entries);
+  }
+};
+
+QueryTrajectory MakeTrajectory(Rng* rng) {
+  std::vector<KeySnapshot> keys;
+  Vec pos(rng->Uniform(20, 80), rng->Uniform(20, 80));
+  double t = rng->Uniform(5, 20);
+  keys.emplace_back(t, Box::Centered(pos, 10.0));
+  for (int j = 0; j < 6; ++j) {
+    t += rng->Uniform(2.0, 5.0);
+    pos = Vec(std::clamp(pos[0] + rng->Uniform(-8, 8), 5.0, 95.0),
+              std::clamp(pos[1] + rng->Uniform(-8, 8), 5.0, 95.0));
+    keys.emplace_back(t, Box::Centered(pos, 10.0));
+  }
+  return QueryTrajectory::Make(std::move(keys)).value();
+}
+
+/// One full pass of the workload under the active configuration. The mix
+/// is node-scan dominated by design — that is the CPU this ablation
+/// measures: PDQ visits each node once per trajectory (box + segment
+/// kernels), the NPDQ window sweep re-scans overlapping subtrees every
+/// snapshot (classification kernel + repeat decodes, where the cache
+/// applies), and the kNN probes re-run full searches (distance kernels).
+/// Costs accumulate into *cost when non-null (warmup passes discard them).
+void RunWorkload(Workbench* bench, int trajectories, int frames,
+                 HotPath hot_path, RunCost* cost) {
+  QueryStats stats;
+  uint64_t checksum = kFnvOffset;
+  uint64_t objects = 0;
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(2002);
+  for (int q = 0; q < trajectories; ++q) {
+    const QueryTrajectory trajectory = MakeTrajectory(&rng);
+    PredictiveDynamicQuery::Options opt;
+    opt.hot_path = hot_path;
+    auto pdq = PredictiveDynamicQuery::Make(bench->tree(), trajectory, opt);
+    DQMO_CHECK(pdq.ok());
+    NpdqOptions nopt;
+    nopt.hot_path = hot_path;
+    NonPredictiveDynamicQuery npdq(bench->tree(), nopt);
+    const Interval span = trajectory.TimeSpan();
+    const double dt = span.length() / frames;
+    double prev = span.lo;
+    for (int i = 1; i <= frames; ++i) {
+      const double t = span.lo + i * dt;
+      auto frame = (*pdq)->Frame(prev, t);
+      DQMO_CHECK(frame.ok());
+      for (const PdqResult& r : *frame) {
+        FoldU64(&checksum, r.motion.oid);
+        FoldDouble(&checksum, r.motion.seg.time.lo);
+        ++objects;
+      }
+      // The same frame answered non-predictively: an NPDQ snapshot over
+      // the trajectory's interpolated window.
+      auto fresh = npdq.Execute(trajectory.FrameQuery(prev, t));
+      DQMO_CHECK(fresh.ok());
+      for (const MotionSegment& m : *fresh) {
+        FoldU64(&checksum, m.oid);
+        FoldDouble(&checksum, m.seg.time.lo);
+      }
+      prev = t;
+    }
+    stats += (*pdq)->stats();
+    stats += npdq.stats();
+
+    KnnOptions kopt;
+    kopt.hot_path = hot_path;
+    for (int p = 0; p < 10; ++p) {
+      const Vec point(rng.Uniform(5, 95), rng.Uniform(5, 95));
+      auto neighbors = KnnAt(*bench->tree(), point, rng.Uniform(10, 90), 10,
+                             &stats, kopt);
+      DQMO_CHECK(neighbors.ok());
+      for (const Neighbor& n : *neighbors) {
+        FoldU64(&checksum, n.motion.oid);
+        FoldDouble(&checksum, n.distance);
+      }
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (cost == nullptr) return;
+  cost->wall_seconds = wall;
+  cost->entries = stats.distance_computations.load();
+  cost->node_reads = stats.node_reads.load();
+  cost->decoded_hits = stats.decoded_hits.load();
+  cost->objects = objects;
+  cost->checksum = checksum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
+  auto bench = PrepareBench();
+  const int trajectories = TrajectoriesFromEnv(20);
+  const int frames =
+      static_cast<int>(GetEnvInt("DQMO_HOT_PATH_FRAMES", 60));
+  PrintPreamble("Ablation A15",
+                "zero-copy hot path: decoded-node cache x SoA kernels x "
+                "SIMD tier (same queries, identical checksums required)",
+                trajectories);
+  std::printf("# SIMD auto-dispatch level: %s "
+              "(DQMO_DISABLE_SIMD=1 forces scalar)\n",
+              SimdLevelName(ActiveSimdLevel()));
+
+  const Config configs[] = {
+      {"legacy AoS (pre-optimization)", HotPath::kLegacyAos, false, false},
+      {"SoA kernels, scalar", HotPath::kSoa, false, false},
+      {"SoA kernels, vector", HotPath::kSoa, false, true},
+      {"SoA kernels, scalar + cache", HotPath::kSoa, true, false},
+      {"SoA kernels, vector + cache", HotPath::kSoa, true, true},
+  };
+
+  Table table({"configuration", "ns/entry", "entries", "node visits",
+               "(reads + cache hits)", "speedup vs AoS", "checksum"});
+  BenchJsonWriter json("abl_hot_path");
+  double baseline_ns = 0.0;
+  double best_ns = 0.0;
+  uint64_t baseline_checksum = 0;
+  bool checksums_agree = true;
+  for (const Config& config : configs) {
+    ForceSimdLevel(config.path == HotPath::kSoa && !config.vector
+                       ? std::optional<SimdLevel>(SimdLevel::kScalar)
+                       : std::nullopt);
+    DecodedNodeCache cache(4096);
+    if (config.cache) bench->tree()->AttachNodeCache(&cache);
+    // Warmup: populates the decoded cache and faults in the page cache so
+    // the timed pass measures node-scan CPU, not first-touch costs.
+    RunWorkload(bench.get(), std::min(trajectories, 3), frames, config.path,
+                nullptr);
+    RunCost cost;
+    RunWorkload(bench.get(), trajectories, frames, config.path, &cost);
+    bench->tree()->AttachNodeCache(nullptr);
+    ForceSimdLevel(std::nullopt);
+
+    if (baseline_ns == 0.0) {
+      baseline_ns = cost.ns_per_entry();
+      baseline_checksum = cost.checksum;
+    }
+    best_ns = cost.ns_per_entry();  // Last config = full hot path.
+    checksums_agree = checksums_agree && cost.checksum == baseline_checksum;
+    char checksum_hex[32];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                  static_cast<unsigned long long>(cost.checksum));
+    char visit_split[64];
+    std::snprintf(visit_split, sizeof(visit_split), "(%llu + %llu)",
+                  static_cast<unsigned long long>(cost.node_reads),
+                  static_cast<unsigned long long>(cost.decoded_hits));
+    table.AddRow(
+        {config.name, Fmt(cost.ns_per_entry(), 1),
+         std::to_string(cost.entries),
+         std::to_string(cost.node_reads + cost.decoded_hits), visit_split,
+         Fmt(baseline_ns / std::max(cost.ns_per_entry(), 1e-12), 2) + "x",
+         checksum_hex});
+    json.AddRow()
+        .Str("config", config.name)
+        .Str("path", config.path == HotPath::kSoa ? "soa" : "aos")
+        .Int("cache", config.cache ? 1 : 0)
+        .Str("simd", config.path != HotPath::kSoa ? "n/a"
+                     : config.vector ? SimdLevelName(ActiveSimdLevel())
+                                     : "scalar")
+        .Num("wall_seconds", cost.wall_seconds)
+        .Int("entries", cost.entries)
+        .Num("ns_per_entry", cost.ns_per_entry())
+        .Int("node_reads", cost.node_reads)
+        .Int("decoded_hits", cost.decoded_hits)
+        .Int("objects", cost.objects)
+        .Str("checksum", checksum_hex);
+  }
+  table.Print();
+  json.Write();
+
+  DQMO_CHECK(checksums_agree);  // Bit-identity across every configuration.
+  const double speedup = best_ns > 0.0 ? baseline_ns / best_ns : 0.0;
+  std::printf("full hot path vs legacy AoS: %sx ns/entry\n",
+              Fmt(speedup, 2).c_str());
+  if (GetEnvInt("DQMO_CHECK_SPEEDUP", 0) != 0 && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: hot-path speedup %.2fx below the 2x acceptance "
+                 "threshold\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -115,6 +115,29 @@ void RunConcurrentEngineMode(Workbench* bench) {
           : 100.0 * static_cast<double>(concurrent.pool_hits) /
                 static_cast<double>(concurrent.pool_hits +
                                     concurrent.pool_misses);
+  BenchJsonWriter json("abl_session_engine");
+  for (size_t i = 0; i < specs.size(); ++i) {
+    json.AddRow()
+        .Int("session", static_cast<uint64_t>(i))
+        .Int("seed", specs[i].seed)
+        .Int("checksum_serial", serial.sessions[i].checksum)
+        .Int("checksum_threaded", concurrent.sessions[i].checksum)
+        .Int("objects_delivered", concurrent.sessions[i].objects_delivered);
+  }
+  json.AddRow()
+      .Str("session", "total")
+      .Int("threads", static_cast<uint64_t>(threads))
+      .Int("objects_delivered", concurrent.total_objects)
+      .Int("mismatches", static_cast<uint64_t>(mismatches))
+      .Num("serial_wall_seconds", serial.wall_seconds)
+      .Num("threaded_wall_seconds", concurrent.wall_seconds)
+      .Num("sessions_per_second",
+           concurrent.wall_seconds > 0.0
+               ? static_cast<double>(specs.size()) / concurrent.wall_seconds
+               : 0.0)
+      .Int("node_reads", concurrent.total_stats.node_reads.load())
+      .Int("decoded_hits", concurrent.total_stats.decoded_hits.load());
+  json.Write();
   std::printf("sessions: %zu (%d frames each), objects delivered: %llu\n",
               specs.size(), specs.empty() ? 0 : specs.front().frames,
               static_cast<unsigned long long>(concurrent.total_objects));
@@ -136,7 +159,8 @@ void RunConcurrentEngineMode(Workbench* bench) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
   auto bench = PrepareBench();
   const int flights = TrajectoriesFromEnv(10);
   PrintPreamble("Ablation A10",

@@ -10,12 +10,16 @@
 //   DQMO_OBJECTS=N        override object count (default 5000)
 //   DQMO_CACHE_DIR=DIR    index cache location (default ./dqmo_cache)
 //   DQMO_BULK_LOAD=1      build the index with STR instead of insertion
+//   DQMO_JSON=1           additionally write BENCH_<name>.json (also
+//                         enabled by a --json argv flag); tools/bench.sh
+//                         collects these machine-readable results
 #ifndef DQMO_BENCH_BENCH_COMMON_H_
 #define DQMO_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -25,6 +29,109 @@
 #include "harness/table.h"
 
 namespace dqmo::bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable output: BENCH_<name>.json next to the human tables, for
+// committing alongside code changes (the perf trajectory of the repo).
+
+/// Whether JSON output is on. Defaults to the DQMO_JSON env toggle; a
+/// --json argv flag (InitJsonMode) also enables it.
+inline bool& JsonMode() {
+  static bool enabled = GetEnvInt("DQMO_JSON", 0) != 0;
+  return enabled;
+}
+
+/// Scans argv for --json. Call first thing in main().
+inline void InitJsonMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") JsonMode() = true;
+  }
+}
+
+/// One flat JSON object (a sweep point / result row) under construction.
+class JsonObject {
+ public:
+  JsonObject& Num(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return Raw(key, buf);
+  }
+  JsonObject& Int(const char* key, uint64_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonObject& Str(const char* key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return Raw(key, quoted);
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  JsonObject& Raw(const char* key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates rows and writes BENCH_<name>.json on Write() (or
+/// destruction) when JSON mode is on; a silent no-op otherwise.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+  ~BenchJsonWriter() { Write(); }
+
+  JsonObject& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  void Write() {
+    if (written_ || !JsonMode()) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "# json: cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [\n", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].ToString().c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("# json: wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<JsonObject> rows_;
+  bool written_ = false;
+};
+
+/// Serializes a MethodCost into `row` under `prefix`_-qualified keys.
+inline void AddCostFields(JsonObject* row, const char* prefix,
+                          const MethodCost& cost) {
+  const std::string p(prefix);
+  row->Num((p + "_io_total").c_str(), cost.io_total);
+  row->Num((p + "_io_leaf").c_str(), cost.io_leaf);
+  row->Num((p + "_cpu").c_str(), cost.cpu);
+  row->Num((p + "_results").c_str(), cost.results);
+}
 
 /// The paper's overlap sweep (Figs. 6, 7, 10, 11).
 inline std::vector<double> PaperOverlaps() {
@@ -69,13 +176,15 @@ inline Result<SweepRow> RunPoint(Workbench* bench, Method method,
 }
 
 /// Figs. 6 / 7 / 10 / 11: first- and subsequent-query cost of the naive
-/// method vs the dynamic-query method across the overlap sweep.
-inline int RunOverlapFigure(Method method, Metric metric, const char* figure,
-                            const char* caption) {
+/// method vs the dynamic-query method across the overlap sweep. `slug`
+/// names the BENCH_<slug>.json written under --json / DQMO_JSON=1.
+inline int RunOverlapFigure(Method method, Metric metric, const char* slug,
+                            const char* figure, const char* caption) {
   auto bench = PrepareBench();
   const int trajectories = TrajectoriesFromEnv();
   PrintPreamble(figure, caption, trajectories);
   const char* dq = method == Method::kPdq ? "PDQ" : "NPDQ";
+  BenchJsonWriter json(slug);
 
   Table table =
       metric == Metric::kIo
@@ -97,6 +206,12 @@ inline int RunOverlapFigure(Method method, Metric metric, const char* figure,
     options.open_ended_frames = method == Method::kNpdq;
     auto row = RunPoint(bench.get(), method, options);
     DQMO_CHECK(row.ok());
+    JsonObject& jrow = json.AddRow();
+    jrow.Str("method", dq).Num("overlap", overlap);
+    AddCostFields(&jrow, "naive_first", row->naive_first);
+    AddCostFields(&jrow, "naive_subsequent", row->naive_subsequent);
+    AddCostFields(&jrow, "dq_first", row->dq_first);
+    AddCostFields(&jrow, "dq_subsequent", row->dq_subsequent);
     auto cell = [&](const MethodCost& cost) {
       if (metric == Metric::kIo) {
         return Fmt(cost.io_leaf) + "/" + Fmt(cost.io_total);
@@ -118,12 +233,13 @@ inline int RunOverlapFigure(Method method, Metric metric, const char* figure,
 }
 
 /// Figs. 8 / 9 / 12 / 13: subsequent-query cost by window size.
-inline int RunWindowFigure(Method method, Metric metric, const char* figure,
-                           const char* caption) {
+inline int RunWindowFigure(Method method, Metric metric, const char* slug,
+                           const char* figure, const char* caption) {
   auto bench = PrepareBench();
   const int trajectories = TrajectoriesFromEnv();
   PrintPreamble(figure, caption, trajectories);
   const char* dq = method == Method::kPdq ? "PDQ" : "NPDQ";
+  BenchJsonWriter json(slug);
   const std::vector<double> overlaps = {0.0, 0.5, 0.9, 0.9999};
 
   std::vector<std::string> headers = {"window"};
@@ -145,6 +261,10 @@ inline int RunWindowFigure(Method method, Metric metric, const char* figure,
       options.open_ended_frames = method == Method::kNpdq;
       auto row = RunPoint(bench.get(), method, options);
       DQMO_CHECK(row.ok());
+      JsonObject& jrow = json.AddRow();
+      jrow.Str("method", dq).Num("window", window).Num("overlap", overlap);
+      AddCostFields(&jrow, "naive_subsequent", row->naive_subsequent);
+      AddCostFields(&jrow, "dq_subsequent", row->dq_subsequent);
       cells.push_back(Fmt(metric == Metric::kIo
                               ? row->dq_subsequent.io_total
                               : row->dq_subsequent.cpu,

@@ -1,12 +1,18 @@
 // Microbenchmarks (google-benchmark) for the geometric and storage kernels
 // on the query hot path: exact segment tests, trapezoid overlap times,
-// TimeSet maintenance, quadratic splits and node (de)serialization.
+// TimeSet maintenance, quadratic splits, node (de)serialization, the SoA
+// decode + batch-prune kernels (scalar vs AVX2), and the PDQ heap-pop
+// move-vs-copy regression guard.
 #include <benchmark/benchmark.h>
+
+#include <queue>
 
 #include "common/random.h"
 #include "geom/timeset.h"
 #include "geom/trajectory.h"
+#include "query/kernels.h"
 #include "rtree/node.h"
+#include "rtree/node_soa.h"
 #include "rtree/split.h"
 
 namespace {
@@ -143,6 +149,144 @@ void BM_NodeDeserializeLeaf(benchmark::State& state) {
   }
 }
 
+Node RandomLeafNode(Rng* rng) {
+  Node node;
+  node.self = 1;
+  node.level = 0;
+  node.dims = 2;
+  for (int i = 0; i < LeafCapacity(2); ++i) {
+    MotionSegment m(static_cast<ObjectId>(i), RandomSeg(rng));
+    m.seg = QuantizeStored(m.seg);
+    node.segments.push_back(std::move(m));
+  }
+  return node;
+}
+
+Node RandomInternalNode(Rng* rng) {
+  Node node;
+  node.self = 2;
+  node.level = 1;
+  node.dims = 2;
+  for (int i = 0; i < InternalCapacity(2); ++i) {
+    node.children.push_back(ChildEntry::ForBox(
+        QuantizeOutward(RandomSeg(rng).Bounds()),
+        static_cast<PageId>(i + 10)));
+  }
+  return node;
+}
+
+SoaNode DecodeSoa(const Node& node) {
+  uint8_t page[kPageSize];
+  benchmark::DoNotOptimize(node.SerializeTo(PageView(page, kPageSize)));
+  SoaNode soa;
+  benchmark::DoNotOptimize(soa.DecodeFrom(page, node.self));
+  return soa;
+}
+
+/// Pins the benchmarked tier; skips when the CPU lacks it. range(0): 0 =
+/// scalar, 1 = AVX2 (mirrors the kernels' runtime dispatch).
+bool PinSimdTier(benchmark::State& state) {
+  if (state.range(0) == 0) {
+    ForceSimdLevel(SimdLevel::kScalar);
+    return true;
+  }
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) {
+    ForceSimdLevel(SimdLevel::kAvx2);
+    return true;
+  }
+#endif
+  state.SkipWithError("CPU lacks AVX2");
+  return false;
+}
+
+/// Decode of a full leaf page into reused SoA columns — the per-visit cost
+/// the decoded-node cache amortizes (compare BM_NodeDeserializeLeaf, the
+/// AoS decode the legacy path pays instead).
+void BM_SoaDecodeLeaf(benchmark::State& state) {
+  Rng rng(8);
+  const Node node = RandomLeafNode(&rng);
+  uint8_t page[kPageSize];
+  benchmark::DoNotOptimize(node.SerializeTo(PageView(page, kPageSize)));
+  SoaNode soa;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soa.DecodeFrom(page, 1));
+  }
+}
+
+/// PDQ internal-node candidacy over a full node, per dispatch tier.
+void BM_PdqOverlapBoxBatch(benchmark::State& state) {
+  if (!PinSimdTier(state)) return;
+  Rng rng(9);
+  const QueryTrajectory traj = RandomTrajectory(&rng, 8);
+  const TrajectoryCoeffs coeffs = TrajectoryCoeffs::Build(traj);
+  const SoaNode soa = DecodeSoa(RandomInternalNode(&rng));
+  std::vector<TimeSet> out;
+  for (auto _ : state) {
+    PdqOverlapBoxBatch(coeffs, soa, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * soa.count);
+  ForceSimdLevel(std::nullopt);
+}
+
+/// NPDQ leaf emission over a full leaf, per dispatch tier (bounding-box
+/// semantics with a usable previous snapshot — the paper configuration).
+void BM_NpdqLeafMatchBatch(benchmark::State& state) {
+  if (!PinSimdTier(state)) return;
+  Rng rng(10);
+  const SoaNode soa = DecodeSoa(RandomLeafNode(&rng));
+  const StBox p = RandomBox(&rng);
+  StBox q = p;
+  q.time = Interval(p.time.lo + 0.5, p.time.hi + 0.5);
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    NpdqLeafMatchBatch(&p, q, /*exact=*/false, soa, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * soa.count);
+  ForceSimdLevel(std::nullopt);
+}
+
+/// PDQ heap pop, move vs copy. GetNext moves the top item out of the heap
+/// slot (pdq.cc); range(0) == 0 measures that, range(0) == 1 the
+/// pre-optimization copy of the TimeSet + MotionSegment payload, so the
+/// spread is the per-pop win this guard protects.
+void BM_PdqQueuePops(benchmark::State& state) {
+  struct Item {
+    double priority = 0.0;
+    MotionSegment motion;
+    TimeSet times;
+  };
+  struct ItemCompare {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.priority > b.priority;
+    }
+  };
+  Rng rng(11);
+  std::priority_queue<Item, std::vector<Item>, ItemCompare> queue;
+  for (int i = 0; i < 256; ++i) {
+    Item item;
+    item.priority = rng.Uniform(0, 100);
+    item.motion = MotionSegment(static_cast<ObjectId>(i), RandomSeg(&rng));
+    for (int j = 0; j < 6; ++j) {
+      const double lo = rng.Uniform(0, 100);
+      item.times.Add(Interval(lo, lo + rng.Uniform(0, 3)));
+    }
+    queue.push(std::move(item));
+  }
+  const bool copy = state.range(0) != 0;
+  for (auto _ : state) {
+    // Steady state: pop one, requeue it at a later priority.
+    Item item = copy ? queue.top()
+                     : std::move(const_cast<Item&>(queue.top()));
+    queue.pop();
+    item.priority += rng.Uniform(0, 10);
+    if (item.priority > 100.0) item.priority -= 100.0;
+    queue.push(std::move(item));
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_SegmentExactIntersect);
@@ -152,5 +296,9 @@ BENCHMARK(BM_TimeSetAdd)->Arg(16)->Arg(256);
 BENCHMARK(BM_QuadraticSplit)->Arg(64)->Arg(114)->Arg(128);
 BENCHMARK(BM_NodeSerializeLeaf);
 BENCHMARK(BM_NodeDeserializeLeaf);
+BENCHMARK(BM_SoaDecodeLeaf);
+BENCHMARK(BM_PdqOverlapBoxBatch)->Arg(0)->Arg(1);
+BENCHMARK(BM_NpdqLeafMatchBatch)->Arg(0)->Arg(1);
+BENCHMARK(BM_PdqQueuePops)->Arg(0)->Arg(1);
 
 BENCHMARK_MAIN();

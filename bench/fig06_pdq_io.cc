@@ -1,8 +1,9 @@
 // Fig. 6 of the paper: I/O performance of PDQ: disk accesses per query vs snapshot overlap.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
   return dqmo::bench::RunOverlapFigure(dqmo::bench::Method::kPdq,
-                            dqmo::bench::Metric::kIo, "Fig. 6",
+                            dqmo::bench::Metric::kIo, "fig06_pdq_io", "Fig. 6",
                             "I/O performance of PDQ: disk accesses per query vs snapshot overlap");
 }

@@ -1,8 +1,9 @@
 // Fig. 7 of the paper: CPU performance of PDQ: distance computations per query vs snapshot overlap.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
   return dqmo::bench::RunOverlapFigure(dqmo::bench::Method::kPdq,
-                            dqmo::bench::Metric::kCpu, "Fig. 7",
+                            dqmo::bench::Metric::kCpu, "fig07_pdq_cpu", "Fig. 7",
                             "CPU performance of PDQ: distance computations per query vs snapshot overlap");
 }

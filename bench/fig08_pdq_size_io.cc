@@ -1,8 +1,9 @@
 // Fig. 8 of the paper: Impact of query size on I/O performance of subsequent queries (PDQ).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
   return dqmo::bench::RunWindowFigure(dqmo::bench::Method::kPdq,
-                            dqmo::bench::Metric::kIo, "Fig. 8",
+                            dqmo::bench::Metric::kIo, "fig08_pdq_size_io", "Fig. 8",
                             "Impact of query size on I/O performance of subsequent queries (PDQ)");
 }

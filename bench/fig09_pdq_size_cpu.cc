@@ -1,8 +1,9 @@
 // Fig. 9 of the paper: Impact of query size on CPU performance of subsequent queries (PDQ).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
   return dqmo::bench::RunWindowFigure(dqmo::bench::Method::kPdq,
-                            dqmo::bench::Metric::kCpu, "Fig. 9",
+                            dqmo::bench::Metric::kCpu, "fig09_pdq_size_cpu", "Fig. 9",
                             "Impact of query size on CPU performance of subsequent queries (PDQ)");
 }

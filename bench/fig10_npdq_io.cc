@@ -1,8 +1,9 @@
 // Fig. 10 of the paper: I/O performance of NPDQ: disk accesses per query vs snapshot overlap.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
   return dqmo::bench::RunOverlapFigure(dqmo::bench::Method::kNpdq,
-                            dqmo::bench::Metric::kIo, "Fig. 10",
+                            dqmo::bench::Metric::kIo, "fig10_npdq_io", "Fig. 10",
                             "I/O performance of NPDQ: disk accesses per query vs snapshot overlap");
 }

@@ -1,8 +1,9 @@
 // Fig. 11 of the paper: CPU performance of NPDQ: distance computations per query vs snapshot overlap.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
   return dqmo::bench::RunOverlapFigure(dqmo::bench::Method::kNpdq,
-                            dqmo::bench::Metric::kCpu, "Fig. 11",
+                            dqmo::bench::Metric::kCpu, "fig11_npdq_cpu", "Fig. 11",
                             "CPU performance of NPDQ: distance computations per query vs snapshot overlap");
 }

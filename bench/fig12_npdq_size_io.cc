@@ -1,8 +1,9 @@
 // Fig. 12 of the paper: Impact of query size on I/O performance of subsequent queries (NPDQ).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
   return dqmo::bench::RunWindowFigure(dqmo::bench::Method::kNpdq,
-                            dqmo::bench::Metric::kIo, "Fig. 12",
+                            dqmo::bench::Metric::kIo, "fig12_npdq_size_io", "Fig. 12",
                             "Impact of query size on I/O performance of subsequent queries (NPDQ)");
 }

@@ -1,8 +1,9 @@
 // Fig. 13 of the paper: Impact of query range on CPU performance of subsequent queries (NPDQ).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
   return dqmo::bench::RunWindowFigure(dqmo::bench::Method::kNpdq,
-                            dqmo::bench::Metric::kCpu, "Fig. 13",
+                            dqmo::bench::Metric::kCpu, "fig13_npdq_size_cpu", "Fig. 13",
                             "Impact of query range on CPU performance of subsequent queries (NPDQ)");
 }

@@ -26,6 +26,10 @@ class TimeSet {
   /// Inserts an interval, merging with any intervals it touches/overlaps.
   void Add(const Interval& iv);
 
+  /// Empties the set, keeping the allocated capacity (scratch reuse in the
+  /// query hot path).
+  void Clear() { intervals_.clear(); }
+
   /// Union with another set.
   void AddAll(const TimeSet& other);
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "query/kernels.h"
 
 namespace dqmo {
 namespace {
@@ -51,19 +52,62 @@ Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
                : std::min(options.prune_bound, best.back().distance);
   };
 
+  // Kernel outputs, reused across every node scan of this search.
+  std::vector<double> dist_scratch;
+  std::vector<uint8_t> alive_scratch;
+  const bool soa = options.hot_path == HotPath::kSoa;
+
   MinHeap heap;
   heap.push(HeapEntry{0.0, false, tree.root(), StBox(), {}});
   while (!heap.empty()) {
-    HeapEntry top = heap.top();
+    HeapEntry top = std::move(const_cast<HeapEntry&>(heap.top()));
     heap.pop();
     if (top.min_distance > worst_bound()) break;  // Nothing closer remains.
     if (top.is_object) {
-      best.push_back(Neighbor{top.motion, top.min_distance});
+      best.push_back(Neighbor{std::move(top.motion), top.min_distance});
       std::inplace_merge(best.begin(), best.end() - 1, best.end(),
                          [](const Neighbor& a, const Neighbor& b) {
                            return a.distance < b.distance;
                          });
       if (static_cast<int>(best.size()) > k) best.pop_back();
+      continue;
+    }
+    if (soa) {
+      DQMO_ASSIGN_OR_RETURN(
+          std::shared_ptr<const SoaNode> node,
+          tree.LoadNodeSoaOrSkip(top.page, top.bounds, options.fault_policy,
+                                 options.skip_report, stats,
+                                 options.reader));
+      if (node == nullptr) continue;  // Subtree skipped.
+      // Legacy charges one distance computation per entry before the alive
+      // filter; the kernels evaluate exactly those entries. `best` cannot
+      // change during one node scan (only object pops change it), so the
+      // bound is loop-invariant here exactly as in the legacy loop.
+      stats->distance_computations.fetch_add(
+          static_cast<uint64_t>(node->count), std::memory_order_relaxed);
+      const double bound = worst_bound();
+      if (node->is_leaf()) {
+        KnnLeafDistanceBatch(*node, t, point, &dist_scratch, &alive_scratch);
+        for (int i = 0; i < node->count; ++i) {
+          if (alive_scratch[static_cast<size_t>(i)] == 0) continue;
+          const double d = dist_scratch[static_cast<size_t>(i)];
+          if (d > bound) continue;
+          heap.push(
+              HeapEntry{d, true, kInvalidPageId, StBox(), node->SegmentAt(i)});
+        }
+      } else {
+        KnnEntryDistanceBatch(*node, t, point, &dist_scratch,
+                              &alive_scratch);
+        for (int i = 0; i < node->count; ++i) {
+          if (alive_scratch[static_cast<size_t>(i)] == 0) continue;
+          const double d = dist_scratch[static_cast<size_t>(i)];
+          if (d > bound) continue;
+          heap.push(HeapEntry{d, false,
+                              node->child[static_cast<size_t>(i)],
+                              node->EntryBoundsAt(i),
+                              {}});
+        }
+      }
       continue;
     }
     DQMO_ASSIGN_OR_RETURN(
@@ -153,6 +197,7 @@ Result<std::vector<Neighbor>> MovingKnnQuery::At(double t,
   knn_options.reader = options_.reader;
   knn_options.fault_policy = options_.fault_policy;
   knn_options.skip_report = &skip_report_;
+  knn_options.hot_path = options_.hot_path;
   DQMO_ASSIGN_OR_RETURN(
       std::vector<Neighbor> candidates,
       KnnAt(*tree_, point, t, fetch_count(), &stats_, knn_options));

@@ -16,6 +16,7 @@
 #include "common/result.h"
 #include "geom/vec.h"
 #include "motion/motion_segment.h"
+#include "rtree/node_soa.h"
 #include "rtree/rtree.h"
 #include "rtree/stats.h"
 
@@ -42,6 +43,10 @@ struct KnnOptions {
   FaultPolicy fault_policy = FaultPolicy::kFailFast;
   /// Receives the skipped subtrees under kSkipSubtree (may be null).
   SkipReport* skip_report = nullptr;
+  /// kSoa scans nodes through the decoded-node cache and the batch distance
+  /// kernels (query/kernels.h); kLegacyAos keeps the original per-entry
+  /// path. Results and counters are bit-identical either way.
+  HotPath hot_path = HotPath::kSoa;
 };
 
 /// Returns the (up to) k motion segments alive at time `t` whose positions
@@ -91,6 +96,8 @@ class MovingKnnQuery {
     /// install the fence cache: a fence built from an incomplete candidate
     /// set would let later frames silently compound the miss.
     FaultPolicy fault_policy = FaultPolicy::kFailFast;
+    /// Hot-path selector forwarded to each full search (KnnOptions).
+    HotPath hot_path = HotPath::kSoa;
   };
 
   /// `tree` must outlive the query. k >= 1.

@@ -1,6 +1,7 @@
 #include "query/npdq.h"
 
 #include "common/check.h"
+#include "query/kernels.h"
 
 namespace dqmo {
 
@@ -45,8 +46,63 @@ void NonPredictiveDynamicQuery::ResetHistory() {
 }
 
 Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
-                                        const StBox& q,
+                                        const StBox& q, int depth,
                                         std::vector<MotionSegment>* out) {
+  if (options_.hot_path == HotPath::kLegacyAos) {
+    return VisitLegacy(pid, entry_bounds, q, depth, out);
+  }
+  DQMO_ASSIGN_OR_RETURN(
+      std::shared_ptr<const SoaNode> node,
+      tree_->LoadNodeSoaOrSkip(pid, entry_bounds, options_.fault_policy,
+                               &skip_report_, &stats_, options_.reader));
+  if (node == nullptr) return Status::OK();  // Subtree skipped.
+  // A node stamped after the previous query ran may contain motions
+  // inserted since then; neither discardability nor the returned-by-P skip
+  // may use P beneath it (Sect. 4.2, Update Management).
+  const bool p_usable = prev_.has_value() && options_.use_previous &&
+                        node->stamp <= prev_stamp_;
+  // The legacy loops charge one distance computation per entry up front.
+  stats_.distance_computations.fetch_add(static_cast<uint64_t>(node->count),
+                                         std::memory_order_relaxed);
+  if (node->is_leaf()) {
+    // The batch kernel answers "in Q and not already retrieved by P" for
+    // the whole leaf; only the emitted segments are ever materialized.
+    NpdqLeafMatchBatch(p_usable ? &*prev_ : nullptr, q,
+                       options_.leaf_semantics == LeafSemantics::kExact,
+                       *node, &leaf_match_);
+    for (int k = 0; k < node->count; ++k) {
+      if (!leaf_match_[static_cast<size_t>(k)]) continue;
+      out->push_back(node->SegmentAt(k));
+      stats_.objects_returned.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }
+  if (static_cast<size_t>(depth) >= cls_pool_.size()) {
+    cls_pool_.resize(static_cast<size_t>(depth) + 1);
+  }
+  NpdqClassifyBatch(
+      p_usable ? &*prev_ : nullptr, q,
+      options_.spatial_pruning == SpatialPruning::kIntersectionContained,
+      *node, &cls_pool_[static_cast<size_t>(depth)]);
+  for (int k = 0; k < node->count; ++k) {
+    // Re-index the pool each iteration: the recursive Visit below may grow
+    // it, which moves (but preserves) the per-depth buffers.
+    const uint8_t cls = cls_pool_[static_cast<size_t>(depth)]
+                                 [static_cast<size_t>(k)];
+    if (cls == kNpdqSkip) continue;
+    if (cls == kNpdqDiscard) {
+      stats_.nodes_discarded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    DQMO_RETURN_IF_ERROR(Visit(node->child[static_cast<size_t>(k)],
+                               node->EntryBoundsAt(k), q, depth + 1, out));
+  }
+  return Status::OK();
+}
+
+Status NonPredictiveDynamicQuery::VisitLegacy(
+    PageId pid, const StBox& entry_bounds, const StBox& q, int depth,
+    std::vector<MotionSegment>* out) {
   DQMO_ASSIGN_OR_RETURN(
       std::optional<Node> maybe_node,
       tree_->LoadNodeOrSkip(pid, entry_bounds, options_.fault_policy,
@@ -84,7 +140,7 @@ Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
       ++stats_.nodes_discarded;
       continue;
     }
-    DQMO_RETURN_IF_ERROR(Visit(e.child, e.bounds, q, out));
+    DQMO_RETURN_IF_ERROR(VisitLegacy(e.child, e.bounds, q, depth + 1, out));
   }
   return Status::OK();
 }
@@ -101,7 +157,7 @@ Result<std::vector<MotionSegment>> NonPredictiveDynamicQuery::Execute(
   }
   std::vector<MotionSegment> out;
   skip_report_.Reset();
-  DQMO_RETURN_IF_ERROR(Visit(tree_->root(), StBox(), q, &out));
+  DQMO_RETURN_IF_ERROR(Visit(tree_->root(), StBox(), q, 0, &out));
   prev_ = q;
   prev_stamp_ = tree_->stamp();
   return out;

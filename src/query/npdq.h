@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "geom/box.h"
 #include "motion/motion_segment.h"
+#include "rtree/node_soa.h"
 #include "rtree/rtree.h"
 #include "rtree/stats.h"
 
@@ -71,6 +72,11 @@ struct NpdqOptions {
   /// *sequence*: the snapshot becomes this-and-future queries' "previous"
   /// despite missing objects, so anything lost stays lost.
   FaultPolicy fault_policy = FaultPolicy::kFailFast;
+  /// kSoa visits nodes through the decoded-node cache and classifies
+  /// internal entries with the batch kernel (query/kernels.h); kLegacyAos
+  /// keeps the original per-entry path. Results and counters are
+  /// bit-identical either way.
+  HotPath hot_path = HotPath::kSoa;
 };
 
 /// True iff subtree entry `r` is discardable for current query `q` given
@@ -109,11 +115,19 @@ class NonPredictiveDynamicQuery {
 
  private:
   Status Visit(PageId pid, const StBox& entry_bounds, const StBox& q,
-               std::vector<MotionSegment>* out);
+               int depth, std::vector<MotionSegment>* out);
+  Status VisitLegacy(PageId pid, const StBox& entry_bounds, const StBox& q,
+                     int depth, std::vector<MotionSegment>* out);
 
   RTree* tree_;
   NpdqOptions options_;
   std::optional<StBox> prev_;
+  // One classification buffer per recursion depth, reused across Execute
+  // calls so the hot path performs no per-node allocation once warm.
+  std::vector<std::vector<uint8_t>> cls_pool_;
+  // Leaf emission flags, reused across leaves (leaf visits never recurse,
+  // so unlike cls_pool_ one buffer serves every depth).
+  std::vector<uint8_t> leaf_match_;
   UpdateStamp prev_stamp_ = 0;  // Tree stamp when prev_ was executed.
   QueryStats stats_;
   SkipReport skip_report_;

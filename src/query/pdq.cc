@@ -35,6 +35,7 @@ PredictiveDynamicQuery::PredictiveDynamicQuery(RTree* tree,
     : tree_(tree),
       trajectory_(std::move(trajectory)),
       options_(options),
+      coeffs_(TrajectoryCoeffs::Build(trajectory_)),
       last_t_start_(-kInf) {
   // Seed the queue with the root. Its exact overlap times are computed when
   // it is popped and explored (one disk access), matching the paper's "each
@@ -59,7 +60,7 @@ void PredictiveDynamicQuery::PushNodeItem(PageId page, const StBox& bounds,
   item.bounds = bounds;
   item.times = std::move(times);
   queue_.push(std::move(item));
-  ++stats_.queue_pushes;
+  stats_.queue_pushes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void PredictiveDynamicQuery::PushObjectItem(const MotionSegment& m,
@@ -73,7 +74,7 @@ void PredictiveDynamicQuery::PushObjectItem(const MotionSegment& m,
   item.motion = m;
   item.times = std::move(times);
   queue_.push(std::move(item));
-  ++stats_.queue_pushes;
+  stats_.queue_pushes.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool PredictiveDynamicQuery::IsDuplicate(const Item& item) {
@@ -85,14 +86,48 @@ bool PredictiveDynamicQuery::IsDuplicate(const Item& item) {
     dedup_priority_ = item.priority;
     dedup_window_.clear();
   }
-  for (const Item& seen : dedup_window_) {
-    if (seen.SameIdentity(item)) return true;
+  for (const DedupKey& seen : dedup_window_) {
+    if (seen.Matches(item)) return true;
   }
   return false;
 }
 
 Status PredictiveDynamicQuery::Explore(const Item& node_item,
                                        double t_start) {
+  if (options_.hot_path == HotPath::kLegacyAos) {
+    return ExploreLegacy(node_item, t_start);
+  }
+  DQMO_ASSIGN_OR_RETURN(
+      std::shared_ptr<const SoaNode> node,
+      tree_->LoadNodeSoaOrSkip(node_item.page, node_item.bounds,
+                               options_.fault_policy, &skip_report_, &stats_,
+                               options_.reader));
+  if (node == nullptr) return Status::OK();  // Subtree skipped.
+  // The legacy loop charges one distance computation per entry before the
+  // empty-times filter; the batch kernels evaluate exactly those entries.
+  stats_.distance_computations.fetch_add(static_cast<uint64_t>(node->count),
+                                         std::memory_order_relaxed);
+  if (node->is_leaf()) {
+    PdqOverlapSegmentsBatch(coeffs_, *node, &overlap_scratch_);
+    for (int k = 0; k < node->count; ++k) {
+      TimeSet& times = overlap_scratch_[static_cast<size_t>(k)];
+      if (times.empty()) continue;
+      PushObjectItem(node->SegmentAt(k), std::move(times), t_start);
+    }
+  } else {
+    PdqOverlapBoxBatch(coeffs_, *node, &overlap_scratch_);
+    for (int k = 0; k < node->count; ++k) {
+      TimeSet& times = overlap_scratch_[static_cast<size_t>(k)];
+      if (times.empty()) continue;
+      PushNodeItem(node->child[static_cast<size_t>(k)],
+                   node->EntryBoundsAt(k), std::move(times), t_start);
+    }
+  }
+  return Status::OK();
+}
+
+Status PredictiveDynamicQuery::ExploreLegacy(const Item& node_item,
+                                             double t_start) {
   DQMO_ASSIGN_OR_RETURN(
       std::optional<Node> maybe_node,
       tree_->LoadNodeOrSkip(node_item.page, node_item.bounds,
@@ -132,14 +167,20 @@ Result<std::optional<PdqResult>> PredictiveDynamicQuery::GetNext(
 
   while (!queue_.empty()) {
     if (queue_.top().priority > t_end) return std::optional<PdqResult>{};
-    Item item = queue_.top();
+    // Move the item out of the heap slot instead of copying its TimeSet and
+    // MotionSegment payload; pop() only needs the slot to be destructible,
+    // and ItemCompare reads nothing but the double priority.
+    Item item = std::move(const_cast<Item&>(queue_.top()));
     queue_.pop();
-    ++stats_.queue_pops;
+    stats_.queue_pops.fetch_add(1, std::memory_order_relaxed);
     if (IsDuplicate(item)) {
-      ++stats_.duplicates_skipped;
+      stats_.duplicates_skipped.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    dedup_window_.push_back(item);
+    dedup_window_.push_back(DedupKey{item.is_object, item.page,
+                                     item.is_object ? item.motion.key()
+                                                    : MotionSegment::Key{
+                                                          0, 0.0}});
 
     if (!item.times.Overlaps(frame)) {
       // In view neither now nor earlier this frame. If it re-enters the
@@ -148,16 +189,16 @@ Result<std::optional<PdqResult>> PredictiveDynamicQuery::GetNext(
       if (next == kInf) continue;
       item.priority = next;
       queue_.push(std::move(item));
-      ++stats_.queue_pushes;
+      stats_.queue_pushes.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
 
     if (item.is_object) {
       if (!returned_.insert(item.motion.key()).second) {
-        ++stats_.duplicates_skipped;
+        stats_.duplicates_skipped.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      ++stats_.objects_returned;
+      stats_.objects_returned.fetch_add(1, std::memory_order_relaxed);
       return std::optional<PdqResult>(
           PdqResult{item.motion, std::move(item.times)});
     }

@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "geom/trajectory.h"
 #include "motion/motion_segment.h"
+#include "query/kernels.h"
 #include "rtree/rtree.h"
 #include "rtree/stats.h"
 
@@ -66,6 +67,10 @@ class PredictiveDynamicQuery : public UpdateListener {
     /// recorded in skip_report(); results become a subset of the fault-free
     /// answer and integrity() flips to kPartial.
     FaultPolicy fault_policy = FaultPolicy::kFailFast;
+    /// kSoa explores nodes through the decoded-node cache and the batch
+    /// kernels (query/kernels.h); kLegacyAos keeps the original per-entry
+    /// path. Results and counters are bit-identical either way.
+    HotPath hot_path = HotPath::kSoa;
   };
 
   /// Creates the processor. `tree` must outlive it. `trajectory` dims must
@@ -119,13 +124,6 @@ class PredictiveDynamicQuery : public UpdateListener {
     StBox bounds;  // When !is_object: parent-entry box (empty for root).
     MotionSegment motion;          // When is_object.
     TimeSet times;
-
-    /// Identity for duplicate elimination at pop time.
-    bool SameIdentity(const Item& other) const {
-      if (is_object != other.is_object) return false;
-      if (is_object) return motion.key() == other.motion.key();
-      return page == other.page;
-    }
   };
 
   struct ItemCompare {
@@ -140,6 +138,21 @@ class PredictiveDynamicQuery : public UpdateListener {
                       double not_before);
   void RebuildFromRoot();
   Status Explore(const Item& node_item, double t_start);
+  Status ExploreLegacy(const Item& node_item, double t_start);
+
+  /// Identity of a popped item, recorded for duplicate elimination without
+  /// copying the item's TimeSet/MotionSegment payload.
+  struct DedupKey {
+    bool is_object = false;
+    PageId page = kInvalidPageId;
+    MotionSegment::Key key{0, 0.0};
+
+    bool Matches(const Item& item) const {
+      if (is_object != item.is_object) return false;
+      if (is_object) return key == item.motion.key();
+      return page == item.page;
+    }
+  };
 
   /// Pop-side duplicate elimination (footnote 2 of the paper): identities
   /// popped at the current priority value.
@@ -148,11 +161,15 @@ class PredictiveDynamicQuery : public UpdateListener {
   RTree* tree_;
   QueryTrajectory trajectory_;
   Options options_;
+  TrajectoryCoeffs coeffs_;
   std::priority_queue<Item, std::vector<Item>, ItemCompare> queue_;
   // Objects already returned; guards exactly-once delivery across update
   // notifications and queue rebuilds.
   std::unordered_set<MotionSegment::Key, MotionKeyHash> returned_;
-  std::vector<Item> dedup_window_;
+  std::vector<DedupKey> dedup_window_;
+  // Kernel output TimeSets, reused across Explore calls so the hot path
+  // performs no per-node allocation once capacities have warmed up.
+  std::vector<TimeSet> overlap_scratch_;
   double dedup_priority_ = -kInf;
   double last_t_start_;
   bool attached_ = false;

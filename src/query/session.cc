@@ -6,8 +6,10 @@
 namespace dqmo {
 namespace {
 
-NpdqOptions WithSessionFaultPolicy(NpdqOptions npdq, FaultPolicy policy) {
+NpdqOptions WithSessionOverrides(NpdqOptions npdq, FaultPolicy policy,
+                                 HotPath hot_path) {
   npdq.fault_policy = policy;
+  npdq.hot_path = hot_path;
   return npdq;
 }
 
@@ -16,8 +18,8 @@ NpdqOptions WithSessionFaultPolicy(NpdqOptions npdq, FaultPolicy policy) {
 DynamicQuerySession::DynamicQuerySession(RTree* tree, const Options& options)
     : tree_(tree),
       options_(options),
-      npdq_(tree,
-            WithSessionFaultPolicy(options.npdq, options.fault_policy)),
+      npdq_(tree, WithSessionOverrides(options.npdq, options.fault_policy,
+                                       options.hot_path)),
       last_velocity_(tree->dims()) {
   DQMO_CHECK(tree != nullptr);
   DQMO_CHECK(options.window > 0.0);
@@ -59,6 +61,7 @@ Status DynamicQuerySession::StartPredictive(double t, const Vec& position,
   pdq_options.reader = options_.reader;
   pdq_options.track_updates = true;  // Stay correct under live insertions.
   pdq_options.fault_policy = options_.fault_policy;
+  pdq_options.hot_path = options_.hot_path;
   DQMO_ASSIGN_OR_RETURN(
       spdq_, PredictiveDynamicQuery::Make(tree_, std::move(trajectory),
                                           pdq_options));

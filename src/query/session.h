@@ -62,6 +62,10 @@ class DynamicQuerySession {
     /// lost for its whole remaining run, while NPDQ re-reads per snapshot
     /// and recovers as soon as the fault clears.
     FaultPolicy fault_policy = FaultPolicy::kFailFast;
+    /// Hot-path selector applied to both engines (overrides npdq.hot_path,
+    /// like fault_policy above). kSoa serves frames through the decoded-node
+    /// cache and batch kernels; kLegacyAos keeps the pre-optimization path.
+    HotPath hot_path = HotPath::kSoa;
   };
 
   enum class Mode { kPredictive, kNonPredictive };

@@ -1,0 +1,80 @@
+#include "rtree/node_cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dqmo {
+
+DecodedNodeCache::DecodedNodeCache(size_t capacity_nodes, int num_shards) {
+  DQMO_CHECK(capacity_nodes >= 1);
+  DQMO_CHECK(num_shards >= 1);
+  capacity_ = capacity_nodes;
+  num_shards_ = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_shards), capacity_nodes));
+  shard_capacity_ =
+      (capacity_ + static_cast<size_t>(num_shards_) - 1) /
+      static_cast<size_t>(num_shards_);
+  shards_ = std::make_unique<Shard[]>(static_cast<size_t>(num_shards_));
+}
+
+std::shared_ptr<const SoaNode> DecodedNodeCache::Lookup(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
+  return it->second->node;
+}
+
+void DecodedNodeCache::Insert(PageId id,
+                              std::shared_ptr<const SoaNode> node) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    it->second->node = std::move(node);
+    shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
+    return;
+  }
+  if (shard.entries.size() >= shard_capacity_) {
+    shard.index.erase(shard.entries.back().id);
+    shard.entries.pop_back();
+  }
+  shard.entries.push_front(Entry{id, std::move(node)});
+  shard.index[id] = shard.entries.begin();
+}
+
+void DecodedNodeCache::Invalidate(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it == shard.index.end()) return;
+  shard.entries.erase(it->second);
+  shard.index.erase(it);
+}
+
+void DecodedNodeCache::Clear() {
+  for (int s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.index.clear();
+  }
+}
+
+size_t DecodedNodeCache::cached_nodes() const {
+  size_t total = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace dqmo

@@ -1,0 +1,141 @@
+#include "rtree/node_soa.h"
+
+#include "common/string_util.h"
+#include "rtree/layout.h"
+#include "storage/page.h"
+
+namespace dqmo {
+
+Status SoaNode::DecodeFrom(const uint8_t* data, PageId self_id) {
+  PageView page(const_cast<uint8_t*>(data), kPageSize);
+  const NodeHeader header = page.Read<NodeHeader>(0);
+  if (header.dims < 1 || header.dims > kMaxSpatialDims) {
+    return Status::Corruption(
+        StrFormat("page %u: bad dims %u", self_id, header.dims));
+  }
+  self = self_id;
+  level = header.level;
+  dims = header.dims;
+  stamp = header.stamp;
+  const int n = header.count;
+  const int cap = is_leaf() ? LeafCapacity(dims) : InternalCapacity(dims);
+  if (n > cap) {
+    return Status::Corruption(
+        StrFormat("page %u: count %d exceeds capacity %d", self_id, n, cap));
+  }
+  count = n;
+
+  start_lo.clear();
+  start_hi.clear();
+  end_lo.clear();
+  end_hi.clear();
+  child.clear();
+  t_lo.clear();
+  t_hi.clear();
+  oid.clear();
+  for (int i = 0; i < kMaxSpatialDims; ++i) {
+    sp_lo[i].clear();
+    sp_hi[i].clear();
+    p0[i].clear();
+    p1[i].clear();
+  }
+
+  size_t off = kNodeHeaderSize;
+  if (is_leaf()) {
+    const size_t entry_size = LeafEntrySize(dims);
+    oid.reserve(static_cast<size_t>(n));
+    t_lo.reserve(static_cast<size_t>(n));
+    t_hi.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < dims; ++i) {
+      p0[i].reserve(static_cast<size_t>(n));
+      p1[i].reserve(static_cast<size_t>(n));
+    }
+    for (int k = 0; k < n; ++k) {
+      size_t p = off;
+      oid.push_back(page.Read<uint32_t>(p));
+      p += sizeof(uint32_t);
+      t_lo.push_back(page.Read<float>(p));
+      p += sizeof(float);
+      t_hi.push_back(page.Read<float>(p));
+      p += sizeof(float);
+      for (int i = 0; i < dims; ++i) {
+        p0[i].push_back(page.Read<float>(p));
+        p += sizeof(float);
+      }
+      for (int i = 0; i < dims; ++i) {
+        p1[i].push_back(page.Read<float>(p));
+        p += sizeof(float);
+      }
+      off += entry_size;
+    }
+  } else {
+    const size_t entry_size = InternalEntrySize(dims);
+    start_lo.reserve(static_cast<size_t>(n));
+    start_hi.reserve(static_cast<size_t>(n));
+    end_lo.reserve(static_cast<size_t>(n));
+    end_hi.reserve(static_cast<size_t>(n));
+    child.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < dims; ++i) {
+      sp_lo[i].reserve(static_cast<size_t>(n));
+      sp_hi[i].reserve(static_cast<size_t>(n));
+    }
+    for (int k = 0; k < n; ++k) {
+      size_t p = off;
+      start_lo.push_back(page.Read<float>(p));
+      p += sizeof(float);
+      start_hi.push_back(page.Read<float>(p));
+      p += sizeof(float);
+      end_lo.push_back(page.Read<float>(p));
+      p += sizeof(float);
+      end_hi.push_back(page.Read<float>(p));
+      p += sizeof(float);
+      for (int i = 0; i < dims; ++i) {
+        sp_lo[i].push_back(page.Read<float>(p));
+        p += sizeof(float);
+        sp_hi[i].push_back(page.Read<float>(p));
+        p += sizeof(float);
+      }
+      child.push_back(page.Read<PageId>(p));
+      off += entry_size;
+    }
+  }
+  return Status::OK();
+}
+
+ChildEntry SoaNode::ChildEntryAt(int k) const {
+  ChildEntry e;
+  e.start_times = Interval(start_lo[k], start_hi[k]);
+  e.end_times = Interval(end_lo[k], end_hi[k]);
+  e.bounds.time = Interval(start_lo[k], end_hi[k]);
+  e.bounds.spatial = Box(dims);
+  for (int i = 0; i < dims; ++i) {
+    e.bounds.spatial.extent(i) = Interval(sp_lo[i][k], sp_hi[i][k]);
+  }
+  e.child = child[k];
+  return e;
+}
+
+StBox SoaNode::EntryBoundsAt(int k) const {
+  StBox b;
+  b.time = Interval(start_lo[k], end_hi[k]);
+  b.spatial = Box(dims);
+  for (int i = 0; i < dims; ++i) {
+    b.spatial.extent(i) = Interval(sp_lo[i][k], sp_hi[i][k]);
+  }
+  return b;
+}
+
+MotionSegment SoaNode::SegmentAt(int k) const {
+  MotionSegment m;
+  m.oid = oid[k];
+  m.seg.time = Interval(t_lo[k], t_hi[k]);
+  m.seg.p0 = Vec(dims);
+  m.seg.p1 = Vec(dims);
+  for (int i = 0; i < dims; ++i) {
+    m.seg.p0[i] = p0[i][k];
+    m.seg.p1[i] = p1[i][k];
+  }
+  return m;
+}
+
+}  // namespace dqmo

@@ -38,7 +38,8 @@ struct MetaPage {
 std::string QueryStats::ToString() const {
   return StrFormat(
       "stats{reads=%llu (leaf %llu), dist=%llu, results=%llu, "
-      "pushes=%llu, pops=%llu, dups=%llu, discarded=%llu, skipped=%llu}",
+      "pushes=%llu, pops=%llu, dups=%llu, discarded=%llu, skipped=%llu, "
+      "decoded=%llu}",
       static_cast<unsigned long long>(node_reads),
       static_cast<unsigned long long>(leaf_reads),
       static_cast<unsigned long long>(distance_computations),
@@ -47,7 +48,8 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(queue_pops),
       static_cast<unsigned long long>(duplicates_skipped),
       static_cast<unsigned long long>(nodes_discarded),
-      static_cast<unsigned long long>(pages_skipped));
+      static_cast<unsigned long long>(pages_skipped),
+      static_cast<unsigned long long>(decoded_hits));
 }
 
 Result<std::unique_ptr<RTree>> RTree::Create(PageFile* file,
@@ -141,6 +143,11 @@ Result<Node> RTree::LoadForWrite(PageId pid) const {
 
 Status RTree::StoreNode(Node* node) const {
   DQMO_ASSIGN_OR_RETURN(auto view, file_->WritableView(node->self));
+  // The page is about to change: any cached decode of it is now stale.
+  // Writers run either single-threaded or under the exclusive side of the
+  // TreeGate, so no reader can observe the window between write and
+  // invalidation.
+  if (node_cache_ != nullptr) node_cache_->Invalidate(node->self);
   return node->SerializeTo(view);
 }
 
@@ -171,6 +178,50 @@ Result<std::optional<Node>> RTree::LoadNodeOrSkip(
   return std::optional<Node>(std::nullopt);
 }
 
+Result<std::shared_ptr<const SoaNode>> RTree::LoadNodeSoa(
+    PageId id, QueryStats* stats, PageReader* reader) const {
+  if (node_cache_ != nullptr) {
+    std::shared_ptr<const SoaNode> cached = node_cache_->Lookup(id);
+    if (cached != nullptr) {
+      if (stats != nullptr) {
+        stats->decoded_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return cached;
+    }
+  }
+  PageReader* src = reader != nullptr ? reader : file_;
+  DQMO_ASSIGN_OR_RETURN(auto read, src->Read(id));
+  auto node = std::make_shared<SoaNode>();
+  DQMO_RETURN_IF_ERROR(node->DecodeFrom(read.data, id));
+  if (stats != nullptr && read.physical) {
+    stats->node_reads.fetch_add(1, std::memory_order_relaxed);
+    if (node->is_leaf()) {
+      stats->leaf_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::shared_ptr<const SoaNode> result = std::move(node);
+  if (node_cache_ != nullptr) node_cache_->Insert(id, result);
+  return result;
+}
+
+Result<std::shared_ptr<const SoaNode>> RTree::LoadNodeSoaOrSkip(
+    PageId id, const StBox& entry_bounds, FaultPolicy policy,
+    SkipReport* report, QueryStats* stats, PageReader* reader) const {
+  Result<std::shared_ptr<const SoaNode>> node =
+      LoadNodeSoa(id, stats, reader);
+  if (node.ok()) return node;
+  const Status& s = node.status();
+  // Same skippability rule as LoadNodeOrSkip: only read failures are
+  // absorbable; malformed requests propagate under either policy.
+  const bool skippable = s.IsIOError() || s.IsCorruption();
+  if (policy != FaultPolicy::kSkipSubtree || !skippable) return s;
+  if (report != nullptr) report->RecordSkip(id, entry_bounds, s);
+  if (stats != nullptr) {
+    stats->pages_skipped.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::shared_ptr<const SoaNode>(nullptr);
+}
+
 Result<StBox> RTree::RootBounds() const {
   DQMO_ASSIGN_OR_RETURN(Node root, LoadNode(root_, nullptr));
   return root.ComputeBounds();
@@ -198,7 +249,10 @@ PageId RTree::AllocatePage() {
   return file_->Allocate();
 }
 
-void RTree::FreePage(PageId id) { free_pages_.push_back(id); }
+void RTree::FreePage(PageId id) {
+  if (node_cache_ != nullptr) node_cache_->Invalidate(id);
+  free_pages_.push_back(id);
+}
 
 int RTree::MinFill(bool leaf) const {
   const int capacity = leaf ? leaf_capacity() : internal_capacity();

@@ -17,6 +17,8 @@
 #include "motion/motion_segment.h"
 #include "rtree/fault_policy.h"
 #include "rtree/node.h"
+#include "rtree/node_cache.h"
+#include "rtree/node_soa.h"
 #include "rtree/split.h"
 #include "rtree/stats.h"
 #include "storage/page_file.h"
@@ -153,6 +155,28 @@ class RTree {
                                              QueryStats* stats,
                                              PageReader* reader) const;
 
+  /// Zero-copy variant of LoadNode: returns the decoded SoA form of node
+  /// `id`. When a decoded-node cache is attached, a cache hit skips the
+  /// page store entirely (charged to stats->decoded_hits, not node_reads);
+  /// a miss reads through `reader` (or the backing file), decodes once, and
+  /// populates the cache. The returned node is immutable and pinned by the
+  /// shared_ptr — safe across concurrent eviction and invalidation.
+  Result<std::shared_ptr<const SoaNode>> LoadNodeSoa(
+      PageId id, QueryStats* stats, PageReader* reader = nullptr) const;
+
+  /// LoadNodeSoa with the degraded-result handling of LoadNodeOrSkip:
+  /// under kSkipSubtree an unreadable node yields nullptr (skip recorded in
+  /// `report` / stats->pages_skipped) so the caller prunes the subtree.
+  Result<std::shared_ptr<const SoaNode>> LoadNodeSoaOrSkip(
+      PageId id, const StBox& entry_bounds, FaultPolicy policy,
+      SkipReport* report, QueryStats* stats, PageReader* reader) const;
+
+  /// Decoded-node cache hook (not owned; pass nullptr to detach). Every
+  /// page write or free invalidates the attached cache's entry, so cached
+  /// decodes never go stale; see rtree/node_cache.h for the full protocol.
+  void AttachNodeCache(DecodedNodeCache* cache) { node_cache_ = cache; }
+  DecodedNodeCache* node_cache() const { return node_cache_; }
+
   /// Bounding rectangle of the entire tree (loads the root; uncharged).
   Result<StBox> RootBounds() const;
 
@@ -260,6 +284,7 @@ class RTree {
   UpdateStamp stamp_ = 0;
   double max_speed_ = 0.0;
   WalWriter* wal_ = nullptr;     // Durable-insert hook; see AttachWal.
+  DecodedNodeCache* node_cache_ = nullptr;  // See AttachNodeCache.
   uint64_t applied_lsn_ = 0;
   PendingNotice pending_;
   /// Guards listeners_: sessions running under the shared side of the

@@ -5,33 +5,51 @@
 #ifndef DQMO_RTREE_STATS_H_
 #define DQMO_RTREE_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace dqmo {
 
+/// Counters are atomic with relaxed ordering (the IoStats pattern): one
+/// stats block can be read by a monitor while a query runs, and hot-loop
+/// bumps never serialize the scan — they are statistics, not a
+/// synchronization mechanism. Batch kernels charge whole-node counts with a
+/// single fetch_add. Copies and differences snapshot each counter
+/// individually.
 struct QueryStats {
   /// Disk accesses: R-tree node loads that hit the physical store.
-  uint64_t node_reads = 0;
+  std::atomic<uint64_t> node_reads{0};
   /// Subset of node_reads that read leaf pages.
-  uint64_t leaf_reads = 0;
+  std::atomic<uint64_t> leaf_reads{0};
   /// Geometric tests against child entries / motion segments.
-  uint64_t distance_computations = 0;
+  std::atomic<uint64_t> distance_computations{0};
   /// Motion segments reported to the caller.
-  uint64_t objects_returned = 0;
+  std::atomic<uint64_t> objects_returned{0};
   /// PDQ bookkeeping.
-  uint64_t queue_pushes = 0;
-  uint64_t queue_pops = 0;
-  uint64_t duplicates_skipped = 0;
+  std::atomic<uint64_t> queue_pushes{0};
+  std::atomic<uint64_t> queue_pops{0};
+  std::atomic<uint64_t> duplicates_skipped{0};
   /// NPDQ bookkeeping: subtrees pruned by the discardability test.
-  uint64_t nodes_discarded = 0;
+  std::atomic<uint64_t> nodes_discarded{0};
   /// Subtree roots skipped as unreadable under FaultPolicy::kSkipSubtree
   /// (rtree/fault_policy.h). Non-zero implies the answer was partial.
-  uint64_t pages_skipped = 0;
+  std::atomic<uint64_t> pages_skipped{0};
+  /// Node loads served from the decoded-node cache (rtree/node_cache.h).
+  /// Such loads bypass the page store entirely, so they are charged here
+  /// and *not* to node_reads — the paper's disk-access metric stays honest.
+  std::atomic<uint64_t> decoded_hits{0};
+
+  QueryStats() = default;
+  QueryStats(const QueryStats& other) { CopyFrom(other); }
+  QueryStats& operator=(const QueryStats& other) {
+    CopyFrom(other);
+    return *this;
+  }
 
   uint64_t internal_reads() const { return node_reads - leaf_reads; }
 
-  void Reset() { *this = QueryStats{}; }
+  void Reset() { CopyFrom(QueryStats{}); }
 
   QueryStats operator-(const QueryStats& o) const {
     QueryStats d;
@@ -44,6 +62,7 @@ struct QueryStats {
     d.duplicates_skipped = duplicates_skipped - o.duplicates_skipped;
     d.nodes_discarded = nodes_discarded - o.nodes_discarded;
     d.pages_skipped = pages_skipped - o.pages_skipped;
+    d.decoded_hits = decoded_hits - o.decoded_hits;
     return d;
   }
 
@@ -57,10 +76,39 @@ struct QueryStats {
     duplicates_skipped += o.duplicates_skipped;
     nodes_discarded += o.nodes_discarded;
     pages_skipped += o.pages_skipped;
+    decoded_hits += o.decoded_hits;
     return *this;
   }
 
   std::string ToString() const;
+
+ private:
+  void CopyFrom(const QueryStats& other) {
+    node_reads.store(other.node_reads.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    leaf_reads.store(other.leaf_reads.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    distance_computations.store(
+        other.distance_computations.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    objects_returned.store(
+        other.objects_returned.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    queue_pushes.store(other.queue_pushes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    queue_pops.store(other.queue_pops.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    duplicates_skipped.store(
+        other.duplicates_skipped.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    nodes_discarded.store(
+        other.nodes_discarded.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    pages_skipped.store(other.pages_skipped.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    decoded_hits.store(other.decoded_hits.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
 };
 
 }  // namespace dqmo

@@ -155,9 +155,10 @@ TreeGate::WriteGuard::~WriteGuard() {
   // sealed, so the next shared section reads fresh, checksummed bytes
   // without mutating anything but atomic counters.
   if (gate_->file_ != nullptr) {
-    if (gate_->pool_ != nullptr) {
+    if (gate_->pool_ != nullptr || gate_->node_cache_ != nullptr) {
       for (PageId id : gate_->file_->dirty_page_ids()) {
-        gate_->pool_->Invalidate(id);
+        if (gate_->pool_ != nullptr) gate_->pool_->Invalidate(id);
+        if (gate_->node_cache_ != nullptr) gate_->node_cache_->Invalidate(id);
       }
     }
     gate_->file_->SealAllDirty();
@@ -190,6 +191,7 @@ SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
   sopt.window = spec.window;
   sopt.reader = reader;
   sopt.npdq.reader = reader;
+  sopt.hot_path = spec.hot_path;
   DynamicQuerySession session(tree, sopt);
 
   for (int i = 1; i <= spec.frames; ++i) {
@@ -223,6 +225,7 @@ SessionResult RunNpdqSession(RTree* tree, const SessionSpec& spec,
 
   NpdqOptions nopt;
   nopt.reader = reader;
+  nopt.hot_path = spec.hot_path;
   NonPredictiveDynamicQuery npdq(tree, nopt);
 
   double prev_t = spec.t0;
@@ -255,6 +258,7 @@ SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
 
   MovingKnnQuery::Options kopt;
   kopt.reader = reader;
+  kopt.hot_path = spec.hot_path;
   MovingKnnQuery knn(tree, spec.k, kopt);
 
   for (int i = 1; i <= spec.frames; ++i) {

@@ -86,12 +86,19 @@ class ThreadPool {
 /// listeners mutex.
 class TreeGate {
  public:
-  /// No pointer is owned; `pool` may be null (no cache to invalidate) and
-  /// `wal` may be null (no durability). `file` may be null only if no
-  /// writer ever runs.
+  /// No pointer is owned; `pool` may be null (no cache to invalidate),
+  /// `wal` may be null (no durability), and `node_cache` may be null (no
+  /// decoded-node cache in use). `file` may be null only if no writer ever
+  /// runs.
+  ///
+  /// Passing the decoded-node cache here is belt-and-braces: the tree
+  /// already invalidates it synchronously on every StoreNode/FreePage (see
+  /// RTree::AttachNodeCache), so the guard's sweep over the dirty page ids
+  /// only matters for pages dirtied behind the tree's back.
   explicit TreeGate(PageFile* file, BufferPool* pool = nullptr,
-                    WalWriter* wal = nullptr)
-      : file_(file), pool_(pool), wal_(wal) {}
+                    WalWriter* wal = nullptr,
+                    DecodedNodeCache* node_cache = nullptr)
+      : file_(file), pool_(pool), wal_(wal), node_cache_(node_cache) {}
 
   TreeGate(const TreeGate&) = delete;
   TreeGate& operator=(const TreeGate&) = delete;
@@ -132,6 +139,7 @@ class TreeGate {
   PageFile* file_;
   BufferPool* pool_;
   WalWriter* wal_;
+  DecodedNodeCache* node_cache_;
   mutable std::mutex wal_status_mu_;
   Status wal_status_;  // Guarded by wal_status_mu_.
 };
@@ -165,6 +173,10 @@ struct SessionSpec {
   /// every interleaving deliver identical results.
   double region_lo = 6.0;
   double region_hi = 94.0;
+  /// Query hot path for every engine the session drives (results and
+  /// QueryStats are bit-identical across paths; the determinism tests
+  /// assert exactly that).
+  HotPath hot_path = HotPath::kSoa;
 };
 
 /// Outcome of one session.

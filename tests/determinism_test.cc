@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "rtree/node_cache.h"
 #include "server/executor.h"
 #include "storage/buffer_pool.h"
 #include "test_util.h"
@@ -82,6 +83,109 @@ TEST(DeterminismTest, SerialRunsAreByteIdentical) {
   EXPECT_EQ(r1.pool_misses, r2.pool_misses);
   EXPECT_TRUE(io1 == io2) << io1.ToString() << " vs " << io2.ToString();
   EXPECT_GT(r1.total_objects, 0u);
+}
+
+TEST(DeterminismTest, LegacyAndSoaPathsAreByteIdentical) {
+  // The zero-copy hot path (SoA decode + batch kernels + relaxed atomic
+  // counters) must be invisible to results AND to every exact counter:
+  // checksums, delivered objects, node reads, distance computations. No
+  // decoded-node cache here — with one attached, node_reads legitimately
+  // shrink (hits are counted as decoded_hits instead).
+  PageFile file;
+  auto tree_or = RTree::Create(&file, RTree::Options());
+  ASSERT_TRUE(tree_or.ok());
+  std::unique_ptr<RTree> tree = std::move(tree_or).value();
+  Rng rng(2027);
+  for (const auto& m : RandomSegments(&rng, 600, 2, 100, 100)) {
+    ASSERT_TRUE(tree->Insert(m).ok());
+  }
+  ASSERT_TRUE(file.Publish().ok());
+
+  auto run = [&](HotPath hot_path) {
+    std::vector<SessionSpec> specs = Workload();
+    for (SessionSpec& spec : specs) spec.hot_path = hot_path;
+    SessionScheduler::Options opt;
+    opt.num_threads = 1;
+    return SessionScheduler(tree.get(), opt).Run(specs);
+  };
+
+  const ExecutorReport soa = run(HotPath::kSoa);
+  const ExecutorReport aos = run(HotPath::kLegacyAos);
+  ASSERT_TRUE(soa.status.ok()) << soa.status.ToString();
+  ASSERT_TRUE(aos.status.ok()) << aos.status.ToString();
+  ASSERT_EQ(soa.sessions.size(), aos.sessions.size());
+  for (size_t i = 0; i < soa.sessions.size(); ++i) {
+    EXPECT_EQ(soa.sessions[i].checksum, aos.sessions[i].checksum)
+        << "session " << i;
+    EXPECT_EQ(soa.sessions[i].objects_delivered,
+              aos.sessions[i].objects_delivered)
+        << "session " << i;
+    const QueryStats& s = soa.sessions[i].stats;
+    const QueryStats& a = aos.sessions[i].stats;
+    EXPECT_EQ(s.node_reads, a.node_reads) << "session " << i;
+    EXPECT_EQ(s.leaf_reads, a.leaf_reads) << "session " << i;
+    EXPECT_EQ(s.distance_computations, a.distance_computations)
+        << "session " << i;
+    EXPECT_EQ(s.objects_returned, a.objects_returned) << "session " << i;
+    EXPECT_EQ(s.nodes_discarded, a.nodes_discarded) << "session " << i;
+    EXPECT_EQ(s.queue_pushes, a.queue_pushes) << "session " << i;
+    EXPECT_EQ(s.queue_pops, a.queue_pops) << "session " << i;
+    EXPECT_EQ(s.duplicates_skipped, a.duplicates_skipped) << "session " << i;
+  }
+  EXPECT_EQ(soa.total_objects, aos.total_objects);
+  EXPECT_GT(soa.total_objects, 0u);
+  // The SoA run never touched the cacheless decoded-hit counter.
+  EXPECT_EQ(soa.total_stats.decoded_hits, 0u);
+}
+
+TEST(DeterminismTest, DecodedNodeCacheIsTransparent) {
+  // Rerunning the workload with a decoded-node cache attached must change
+  // only the cost split (decoded_hits replacing repeat node_reads), never
+  // the results.
+  PageFile file;
+  auto tree_or = RTree::Create(&file, RTree::Options());
+  ASSERT_TRUE(tree_or.ok());
+  std::unique_ptr<RTree> tree = std::move(tree_or).value();
+  Rng rng(2028);
+  for (const auto& m : RandomSegments(&rng, 600, 2, 100, 100)) {
+    ASSERT_TRUE(tree->Insert(m).ok());
+  }
+  ASSERT_TRUE(file.Publish().ok());
+
+  const std::vector<SessionSpec> specs = Workload();
+  SessionScheduler::Options opt;
+  opt.num_threads = 1;
+  const ExecutorReport uncached = SessionScheduler(tree.get(), opt).Run(specs);
+
+  DecodedNodeCache cache(512);
+  tree->AttachNodeCache(&cache);
+  const ExecutorReport cached = SessionScheduler(tree.get(), opt).Run(specs);
+  tree->AttachNodeCache(nullptr);
+
+  ASSERT_TRUE(uncached.status.ok());
+  ASSERT_TRUE(cached.status.ok());
+  ASSERT_EQ(uncached.sessions.size(), cached.sessions.size());
+  for (size_t i = 0; i < uncached.sessions.size(); ++i) {
+    EXPECT_EQ(uncached.sessions[i].checksum, cached.sessions[i].checksum)
+        << "session " << i;
+    EXPECT_EQ(uncached.sessions[i].objects_delivered,
+              cached.sessions[i].objects_delivered)
+        << "session " << i;
+    EXPECT_EQ(uncached.sessions[i].stats.objects_returned,
+              cached.sessions[i].stats.objects_returned)
+        << "session " << i;
+    EXPECT_EQ(uncached.sessions[i].stats.distance_computations,
+              cached.sessions[i].stats.distance_computations)
+        << "session " << i;
+  }
+  EXPECT_GT(cached.total_stats.decoded_hits.load(), 0u);
+  EXPECT_LT(cached.total_stats.node_reads.load(),
+            uncached.total_stats.node_reads.load());
+  // Physical reads + cache hits account for exactly the visits the
+  // uncached run paid for with reads.
+  EXPECT_EQ(cached.total_stats.node_reads.load() +
+                cached.total_stats.decoded_hits.load(),
+            uncached.total_stats.node_reads.load());
 }
 
 TEST(DeterminismTest, ChecksumSensitiveToWorkload) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "query/knn.h"
 #include "query/npdq.h"
 #include "query/pdq.h"
+#include "rtree/node_cache.h"
 #include "test_util.h"
 
 namespace dqmo {
@@ -70,6 +72,12 @@ class OracleSweep : public ::testing::TestWithParam<OracleCase> {
     auto tree = RTree::Create(&file_, RTree::Options());
     ASSERT_TRUE(tree.ok()) << tree.status().ToString();
     tree_ = std::move(tree).value();
+    // Every sweep runs through the decoded-node cache: the insert-heavy
+    // sweeps double as invalidation tests (a stale decode would break the
+    // exact-equality assertions), and the CI TSan stage runs these same
+    // sweeps with the cache's sharded locking under contention.
+    node_cache_ = std::make_unique<DecodedNodeCache>(256);
+    tree_->AttachNodeCache(node_cache_.get());
     rng_ = Rng(c.seed * 7919 + 17);
     data_ = c.skewed ? SkewedSegments(&rng_, kObjects, 100, 100)
                      : RandomSegments(&rng_, kObjects, 2, 100, 100);
@@ -138,6 +146,7 @@ class OracleSweep : public ::testing::TestWithParam<OracleCase> {
 
   PageFile file_;
   std::unique_ptr<RTree> tree_;
+  std::unique_ptr<DecodedNodeCache> node_cache_;
   std::vector<MotionSegment> data_;
   NaiveOracle oracle_;
   Rng rng_{0};
@@ -249,6 +258,8 @@ TEST_P(OracleSweep, MovingKnnMatchesOracle) {
   auto tree_or = RTree::Create(&file, RTree::Options());
   ASSERT_TRUE(tree_or.ok());
   std::unique_ptr<RTree> tree = std::move(tree_or).value();
+  DecodedNodeCache knn_cache(256);
+  tree->AttachNodeCache(&knn_cache);
   NaiveOracle oracle;
   constexpr double kHorizon = 30.0;
   const bool skewed = GetParam().skewed;

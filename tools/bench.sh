@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite in JSON mode and collects the machine-readable
+# results as BENCH_<name>.json in the repo root, for committing alongside
+# code changes (the perf trajectory of the repo).
+#
+#   tools/bench.sh [build-dir]
+#
+# Uses ./build-bench (Release, the configuration the kernels are tuned
+# for) unless a build directory is given; configures and builds it if
+# needed. Scale is CI-size by default — set DQMO_FULL=1 / DQMO_OBJECTS /
+# DQMO_TRAJECTORIES for bigger sweeps (bench/bench_common.h documents the
+# knobs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build-bench}"
+jobs="$(nproc)"
+
+if [[ ! -f "${build}/CMakeCache.txt" ]]; then
+  cmake -B "${build}" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+
+# Every driver that emits a BENCH_<name>.json under --json. The figure
+# sweeps shrink to CI size via the env below; abl_hot_path additionally
+# runs its 5-configuration matrix.
+json_benches=(
+  fig06_pdq_io fig07_pdq_cpu fig08_pdq_size_io fig09_pdq_size_cpu
+  fig10_npdq_io fig11_npdq_cpu fig12_npdq_size_io fig13_npdq_size_cpu
+  abl_session abl_hot_path
+)
+cmake --build "${build}" -j "${jobs}" -- "${json_benches[@]}"
+
+export DQMO_CACHE_DIR="${DQMO_CACHE_DIR:-${build}/dqmo_cache}"
+export DQMO_OBJECTS="${DQMO_OBJECTS:-1500}"
+export DQMO_TRAJECTORIES="${DQMO_TRAJECTORIES:-8}"
+
+for bench in "${json_benches[@]}"; do
+  echo "==== ${bench} ===="
+  "${build}/bench/${bench}" --json
+done
+
+echo "==== collected ===="
+ls -l BENCH_*.json

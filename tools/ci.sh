@@ -4,10 +4,13 @@
 # memory and UB bugs the optimizer can hide, and a TSan build that runs the
 # concurrency test layer (executor + oracle sweep) against the
 # multi-session query engine — including the durable-writes executor test,
-# whose WAL appends happen under the TreeGate write guard. A final
+# whose WAL appends happen under the TreeGate write guard. A
 # crash-recovery stage re-runs the fork-based kill tests (every registered
 # CrashPoint) explicitly under the default build and once under ASan, then
-# smoke-runs the CI-size durability ablation. All must pass cleanly.
+# smoke-runs the CI-size durability ablation. A final hot-path stage gates
+# the A15 ablation: the zero-copy query hot path must beat the legacy AoS
+# path by >= 2x ns/entry at -O3, with and without SIMD. All must pass
+# cleanly.
 #
 #   tools/ci.sh [jobs]
 #
@@ -46,6 +49,8 @@ cmake --build "${tsan_dir}" -j "${jobs}"
 echo "==== [tsan] executor tests ===="
 "${tsan_dir}/tests/executor_test"
 "${tsan_dir}/tests/determinism_test"
+echo "==== [tsan] hot-path kernels + decoded-node cache ===="
+"${tsan_dir}/tests/kernels_test"
 echo "==== [tsan] oracle sweep (seed 1) ===="
 "${tsan_dir}/tests/oracle_test" --gtest_filter='*seed1'
 
@@ -62,5 +67,21 @@ echo "==== [crash-recovery] asan kill tests ===="
 "build-ci/sanitize/tests/recovery_test"
 echo "==== [crash-recovery] CI-size recovery ablation ===="
 DQMO_RECOVERY_INSERTS=1000 "build-ci/release/bench/abl_recovery"
+
+# Hot-path performance gate: the A15 ablation at CI size, against the
+# Release (-O3) build the kernels are tuned for. DQMO_CHECK_SPEEDUP=1 makes
+# the binary exit non-zero unless the full hot path (decoded-node cache +
+# SoA kernels + SIMD dispatch) beats the legacy AoS path by >= 2x ns/entry;
+# the binary itself also asserts bit-identical checksums across every
+# configuration. A second run with DQMO_DISABLE_SIMD=1 proves the scalar
+# fallback both stays correct and still clears the gate on cache + SoA
+# alone.
+hot_path_env=(DQMO_OBJECTS=1500 DQMO_TRAJECTORIES=8 DQMO_HOT_PATH_FRAMES=40
+              DQMO_CACHE_DIR=build-ci/dqmo_cache DQMO_CHECK_SPEEDUP=1)
+echo "==== [hot-path] A15 ablation gate (auto SIMD) ===="
+env "${hot_path_env[@]}" "build-ci/release/bench/abl_hot_path"
+echo "==== [hot-path] A15 ablation gate (DQMO_DISABLE_SIMD=1 fallback) ===="
+env "${hot_path_env[@]}" DQMO_DISABLE_SIMD=1 \
+  "build-ci/release/bench/abl_hot_path"
 
 echo "==== ci.sh: all passes green ===="
