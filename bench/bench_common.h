@@ -24,8 +24,10 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "harness/experiment.h"
+#include "harness/metrics_report.h"
 #include "harness/table.h"
 
 namespace dqmo::bench {
@@ -112,7 +114,11 @@ class BenchJsonWriter {
       std::fprintf(f, "  %s%s\n", rows_[i].ToString().c_str(),
                    i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "]}\n");
+    // MetricsSnapshot block: the run's process-wide metrics (latency
+    // quantiles included), so committed BENCH_*.json carry the perf
+    // trajectory and tools/bench.sh can diff p99s between runs.
+    std::fprintf(f, "],\n\"metrics\": %s}\n",
+                 MetricsRegistry::Global().JsonText().c_str());
     std::fclose(f);
     std::printf("# json: wrote %s (%zu rows)\n", path.c_str(), rows_.size());
   }
@@ -229,6 +235,7 @@ inline int RunOverlapFigure(Method method, Metric metric, const char* slug,
                   dq_subs > 0 ? Fmt(naive_subs / dq_subs) + "x" : "inf"});
   }
   table.Print();
+  PrintMetricsSummary();
   return 0;
 }
 
@@ -276,6 +283,7 @@ inline int RunWindowFigure(Method method, Metric metric, const char* slug,
     table.AddRow(std::move(cells));
   }
   table.Print();
+  PrintMetricsSummary();
   return 0;
 }
 

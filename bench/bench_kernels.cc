@@ -7,6 +7,7 @@
 
 #include <queue>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "geom/timeset.h"
 #include "geom/trajectory.h"
@@ -287,6 +288,49 @@ void BM_PdqQueuePops(benchmark::State& state) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Metrics overhead: the per-record cost the instrumentation adds to hot
+// paths. range(0): 1 = metrics on (one relaxed fetch_add per record),
+// 0 = DQMO_METRICS=off (the record path reduces to one branch; the timer
+// variant must not touch the clock). These quantify the cost model stated
+// in common/metrics.h; tools/ci.sh enforces the end-to-end consequence on
+// abl_hot_path.
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  const bool was_enabled = MetricsEnabled();
+  SetMetricsEnabled(state.range(0) != 0);
+  Counter counter;
+  for (auto _ : state) {
+    counter.Add();
+    benchmark::DoNotOptimize(&counter);
+  }
+  SetMetricsEnabled(was_enabled);
+}
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  const bool was_enabled = MetricsEnabled();
+  SetMetricsEnabled(state.range(0) != 0);
+  Histogram histogram;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.Record(v);
+    v = (v * 2862933555777941757ull + 3037000493ull) >> 40;  // Vary buckets.
+    benchmark::DoNotOptimize(&histogram);
+  }
+  SetMetricsEnabled(was_enabled);
+}
+
+void BM_MetricsScopedTimer(benchmark::State& state) {
+  const bool was_enabled = MetricsEnabled();
+  SetMetricsEnabled(state.range(0) != 0);
+  Histogram histogram;
+  for (auto _ : state) {
+    ScopedLatencyTimer timer(&histogram);
+    benchmark::DoNotOptimize(&histogram);
+  }
+  SetMetricsEnabled(was_enabled);
+}
+
 }  // namespace
 
 BENCHMARK(BM_SegmentExactIntersect);
@@ -300,5 +344,8 @@ BENCHMARK(BM_SoaDecodeLeaf);
 BENCHMARK(BM_PdqOverlapBoxBatch)->Arg(0)->Arg(1);
 BENCHMARK(BM_NpdqLeafMatchBatch)->Arg(0)->Arg(1);
 BENCHMARK(BM_PdqQueuePops)->Arg(0)->Arg(1);
+BENCHMARK(BM_MetricsCounterAdd)->Arg(0)->Arg(1);
+BENCHMARK(BM_MetricsHistogramRecord)->Arg(0)->Arg(1);
+BENCHMARK(BM_MetricsScopedTimer)->Arg(0)->Arg(1);
 
 BENCHMARK_MAIN();

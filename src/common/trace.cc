@@ -1,0 +1,245 @@
+#include "common/trace.h"
+
+#include <cinttypes>
+#include <deque>
+#include <mutex>
+
+#include "common/env.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Thread-local frame capture state. One frame at a time per thread; the
+// record vector is reused across frames so steady-state capture allocates
+// nothing.
+
+struct FrameState {
+  bool open = false;
+  bool armed = false;      // Spans are being recorded.
+  bool sampled = false;    // Feed per-kind histograms at frame close.
+  uint64_t start_ns = 0;
+  uint64_t session_id = 0;
+  uint64_t frame_index = 0;
+  uint64_t deadline_ns = 0;
+  uint16_t depth = 0;
+  uint64_t frame_counter = 0;  // Per-thread, drives sampling.
+  std::vector<SpanRecord> spans;
+};
+
+FrameState& Tls() {
+  thread_local FrameState state;
+  return state;
+}
+
+Histogram* FrameHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "dqmo_query_frame_ns", "Wall time of one dynamic-query frame");
+  return h;
+}
+
+Counter* SlowFrameCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "dqmo_query_slow_frames_total",
+      "Frames that overran the DQMO_SLOW_FRAME_US deadline");
+  return c;
+}
+
+Histogram* SpanHistogram(SpanKind kind) {
+  static Histogram* histograms[kNumSpanKinds] = {};
+  const int i = static_cast<int>(kind);
+  if (histograms[i] == nullptr) {
+    histograms[i] = MetricsRegistry::Global().GetHistogram(
+        std::string("dqmo_span_") + SpanKindName(kind) + "_ns",
+        std::string("Sampled duration of ") + SpanKindName(kind) + " spans");
+  }
+  return histograms[i];
+}
+
+}  // namespace
+
+namespace internal {
+thread_local bool tls_frame_armed = false;
+}  // namespace internal
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kFrame:
+      return "frame";
+    case SpanKind::kGateWait:
+      return "gate_wait";
+    case SpanKind::kNodeFetch:
+      return "node_fetch";
+    case SpanKind::kSoaDecode:
+      return "soa_decode";
+    case SpanKind::kKernelPrune:
+      return "kernel_prune";
+    case SpanKind::kHeapOp:
+      return "heap_op";
+    case SpanKind::kWalSync:
+      return "wal_sync";
+    case SpanKind::kQueueWait:
+      return "queue_wait";
+    case SpanKind::kOther:
+      break;
+  }
+  return "other";
+}
+
+std::string FrameTrace::ToString() const {
+  std::string out = StrFormat(
+      "frame session=%" PRIu64 " index=%" PRIu64 " %" PRIu64
+      "us (deadline %" PRIu64 "us)\n",
+      session_id, frame_index, duration_ns / 1000, deadline_ns / 1000);
+  for (const SpanRecord& span : spans) {
+    out.append(2 * (static_cast<size_t>(span.depth) + 1), ' ');
+    out += StrFormat("%s %" PRIu64 "us", SpanKindName(span.kind),
+                     span.duration_ns / 1000);
+    if (span.detail != 0) {
+      out += StrFormat(" [%" PRIu64 "]", span.detail);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  Options options;
+  std::deque<FrameTrace> slow_frames;  // Guarded by mu.
+  uint64_t slow_frames_captured = 0;   // Guarded by mu.
+
+  Impl() {
+    options.slow_frame_ns = static_cast<uint64_t>(
+        GetEnvInt("DQMO_SLOW_FRAME_US", 0) * 1000);
+    options.sample_every =
+        static_cast<uint32_t>(GetEnvInt("DQMO_TRACE_SAMPLE", 0));
+  }
+};
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl* impl = new Impl();  // Leaked: tracer outlives everything.
+  return *impl;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  impl().options = options;
+}
+
+Tracer::Options Tracer::options() const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  return impl().options;
+}
+
+std::vector<FrameTrace> Tracer::SlowFrames() const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  return std::vector<FrameTrace>(impl().slow_frames.begin(),
+                                 impl().slow_frames.end());
+}
+
+uint64_t Tracer::slow_frames_captured() const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  return impl().slow_frames_captured;
+}
+
+void Tracer::ClearSlowFrames() {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  impl().slow_frames.clear();
+  impl().slow_frames_captured = 0;
+}
+
+bool Tracer::FrameArmed() {
+  const FrameState& state = Tls();
+  return state.open && state.armed;
+}
+
+Tracer::FrameScope::FrameScope(uint64_t session_id, uint64_t frame_index)
+    : tick_(TickNs()) {
+  if (tick_ == 0) return;  // Metrics off: frames cost one branch.
+  FrameState& state = Tls();
+  if (state.open) return;  // Nested frames: outer frame keeps ownership.
+  const Options options = Tracer::Global().options();
+  ++state.frame_counter;
+  const bool sampled = options.sample_every != 0 &&
+                       state.frame_counter % options.sample_every == 0;
+  state.open = true;
+  state.sampled = sampled;
+  state.armed = sampled || options.slow_frame_ns != 0;
+  state.start_ns = tick_;
+  state.session_id = session_id;
+  state.frame_index = frame_index;
+  state.deadline_ns = options.slow_frame_ns;
+  state.depth = 0;
+  state.spans.clear();
+  internal::tls_frame_armed = state.armed;
+  opened_ = true;
+}
+
+Tracer::FrameScope::~FrameScope() {
+  if (tick_ == 0) return;
+  const uint64_t duration = NowNs() - tick_;
+  FrameHistogram()->Record(duration);
+  if (!opened_) return;
+  FrameState& state = Tls();
+  state.open = false;
+  if (state.sampled) {
+    for (const SpanRecord& span : state.spans) {
+      SpanHistogram(span.kind)->Record(span.duration_ns);
+    }
+  }
+  if (state.deadline_ns != 0 && duration > state.deadline_ns) {
+    SlowFrameCounter()->Add();
+    FrameTrace trace;
+    trace.session_id = state.session_id;
+    trace.frame_index = state.frame_index;
+    trace.duration_ns = duration;
+    trace.deadline_ns = state.deadline_ns;
+    trace.spans = state.spans;  // Copy: tls buffer is reused.
+    Impl& impl = Tracer::Global().impl();
+    std::lock_guard<std::mutex> lock(impl.mu);
+    ++impl.slow_frames_captured;
+    impl.slow_frames.push_back(std::move(trace));
+    while (impl.slow_frames.size() > impl.options.slow_log_capacity) {
+      impl.slow_frames.pop_front();
+    }
+  }
+  state.armed = false;
+  state.sampled = false;
+  internal::tls_frame_armed = false;
+}
+
+void Tracer::SpanScope::Open(SpanKind kind, uint64_t detail) {
+  FrameState& state = Tls();
+  if (!state.open || !state.armed) return;
+  start_ = NowNs();
+  index_ = state.spans.size();
+  SpanRecord record;
+  record.kind = kind;
+  record.depth = state.depth;
+  record.start_ns = start_ - state.start_ns;
+  record.detail = detail;
+  state.spans.push_back(record);
+  ++state.depth;
+}
+
+void Tracer::SpanScope::Close() {
+  FrameState& state = Tls();
+  // The frame that owned this span may have closed already (a span held
+  // across the frame boundary is a bug, but must not corrupt memory).
+  if (index_ >= state.spans.size()) return;
+  state.spans[index_].duration_ns = NowNs() - start_;
+  if (state.depth > 0) --state.depth;
+}
+
+}  // namespace dqmo

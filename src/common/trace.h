@@ -1,0 +1,173 @@
+// Low-overhead sampling tracer for per-query / per-frame spans, plus the
+// slow-frame log.
+//
+// A dynamic query is served frame by frame; when one frame is slow the
+// interesting question is *where inside that frame* the time went — node
+// fetches, SoA decodes, kernel prunes, heap maintenance, WAL syncs, or
+// waiting on the TreeGate. This module records such spans into a
+// thread-local buffer while a frame is open, and:
+//
+//  * feeds per-kind latency histograms in the MetricsRegistry for sampled
+//    frames (every Nth frame per thread, DQMO_TRACE_SAMPLE; 0 disables),
+//  * captures the frame's full span tree into a global ring buffer — the
+//    slow-frame log — whenever the frame overruns the configured deadline
+//    (DQMO_SLOW_FRAME_US; 0 disables), so "which session/frame was slow
+//    and why" is answerable after the fact.
+//
+// Cost model: a frame is *armed* only when sampling or the slow-frame
+// deadline is active (and metrics are enabled). Unarmed, FrameScope costs
+// two thread-local writes and SpanScope a single thread-local read;
+// neither touches the clock. Armed, each span is two clock reads and one
+// push into a reused vector. The slow path (logging a slow frame) takes a
+// mutex — it is, by definition, rare.
+//
+// Frames never nest and spans belong to the thread's current frame; the
+// engines are single-threaded per session, matching this model exactly.
+#ifndef DQMO_COMMON_TRACE_H_
+#define DQMO_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dqmo {
+
+namespace internal {
+#ifndef DQMO_METRICS_DISABLED
+/// Mirror of the calling thread's frame-armed state, hoisted out of the
+/// (larger) frame struct so SpanScope's fast path is a single inline
+/// thread-local load — span sites sit inside per-node loops, where an
+/// out-of-line call per span is measurable on the A15 gate.
+extern thread_local bool tls_frame_armed;
+#endif
+inline bool ThreadFrameArmed() {
+#ifdef DQMO_METRICS_DISABLED
+  return false;
+#else
+  return tls_frame_armed;
+#endif
+}
+}  // namespace internal
+
+/// What a span measures. Kinds are fixed (an enum, not strings) so that
+/// recording is allocation-free and per-kind histograms are cheap.
+enum class SpanKind : uint8_t {
+  kFrame = 0,     // One whole query frame (implicit root span).
+  kGateWait,      // Waiting to acquire the TreeGate (reader side).
+  kNodeFetch,     // One R-tree node load (page read included).
+  kSoaDecode,     // SoA decode of freshly read page bytes.
+  kKernelPrune,   // One batch-prune kernel invocation.
+  kHeapOp,        // PDQ priority-queue maintenance for one pop cycle.
+  kWalSync,       // WalWriter::Sync (group commit + fsync).
+  kQueueWait,     // Scheduler queue wait before the session ran.
+  kOther,
+};
+constexpr int kNumSpanKinds = static_cast<int>(SpanKind::kOther) + 1;
+
+const char* SpanKindName(SpanKind kind);
+
+/// One recorded span. `depth` restores the tree shape: a span is the child
+/// of the nearest preceding record with smaller depth.
+struct SpanRecord {
+  SpanKind kind = SpanKind::kOther;
+  uint16_t depth = 0;
+  uint64_t start_ns = 0;     // Relative to the frame start.
+  uint64_t duration_ns = 0;
+  uint64_t detail = 0;       // Kind-specific (page id, batch size, ...).
+};
+
+/// A captured slow frame: identity, total duration, and the span tree.
+struct FrameTrace {
+  uint64_t session_id = 0;
+  uint64_t frame_index = 0;
+  uint64_t duration_ns = 0;
+  uint64_t deadline_ns = 0;
+  std::vector<SpanRecord> spans;
+
+  /// Indented multi-line rendering of the span tree, e.g.
+  ///   frame session=7 index=42 2143us (deadline 1000us)
+  ///     gate_wait 3us
+  ///     node_fetch 812us [page 19]
+  ///       soa_decode 790us
+  std::string ToString() const;
+};
+
+/// Process-wide tracer. All configuration is loaded from the environment on
+/// first use and may be overridden programmatically (tests, tools).
+class Tracer {
+ public:
+  struct Options {
+    /// Capture the span tree of any frame slower than this (0: off).
+    /// Env: DQMO_SLOW_FRAME_US (microseconds).
+    uint64_t slow_frame_ns = 0;
+    /// Record spans for every Nth frame per thread and feed the per-kind
+    /// span histograms (0: off, 1: every frame). Env: DQMO_TRACE_SAMPLE.
+    uint32_t sample_every = 0;
+    /// Slow-frame ring capacity; oldest entries are dropped.
+    size_t slow_log_capacity = 64;
+  };
+
+  static Tracer& Global();
+
+  /// Replaces the configuration. Takes the slow-log mutex; call while no
+  /// frame is being captured.
+  void Configure(const Options& options);
+  Options options() const;
+
+  /// Opens a frame on the calling thread for the scope's lifetime. Always
+  /// measures the frame's wall time into dqmo_query_frame_ns (when metrics
+  /// are on); arms span recording when sampled or deadline-armed.
+  class FrameScope {
+   public:
+    FrameScope(uint64_t session_id, uint64_t frame_index);
+    ~FrameScope();
+    FrameScope(const FrameScope&) = delete;
+    FrameScope& operator=(const FrameScope&) = delete;
+
+   private:
+    uint64_t tick_;
+    bool opened_ = false;
+  };
+
+  /// Records one span inside the thread's current armed frame; inert (one
+  /// thread-local read) otherwise.
+  class SpanScope {
+   public:
+    explicit SpanScope(SpanKind kind, uint64_t detail = 0) {
+      if (internal::ThreadFrameArmed()) Open(kind, detail);
+    }
+    ~SpanScope() {
+      if (index_ != SIZE_MAX) Close();
+    }
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+
+   private:
+    // Out-of-line slow paths, entered only inside an armed frame.
+    void Open(SpanKind kind, uint64_t detail);
+    void Close();
+
+    size_t index_ = SIZE_MAX;  // SIZE_MAX: not recording.
+    uint64_t start_ = 0;
+  };
+
+  /// True when the calling thread has an armed frame open (spans would be
+  /// recorded). For tests.
+  static bool FrameArmed();
+
+  /// Copy of the slow-frame ring, oldest first.
+  std::vector<FrameTrace> SlowFrames() const;
+  /// Total slow frames ever captured (monotonic; the ring may have evicted
+  /// older ones).
+  uint64_t slow_frames_captured() const;
+  void ClearSlowFrames();
+
+ private:
+  Tracer() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_COMMON_TRACE_H_

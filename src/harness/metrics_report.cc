@@ -1,0 +1,44 @@
+#include "harness/metrics_report.h"
+
+#include <cstdio>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "harness/table.h"
+
+namespace dqmo {
+namespace {
+
+std::string FormatCount(uint64_t v) {
+  return StrFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+std::string MetricsSummaryTable(bool include_empty) {
+  Table table({"metric", "kind", "count", "mean", "p50", "p95", "p99",
+               "max"});
+  for (const MetricsRegistry::Row& row : MetricsRegistry::Global().Rows()) {
+    if (!include_empty && row.count == 0) continue;
+    if (row.kind == "histogram") {
+      table.AddRow({row.name, row.kind, FormatCount(row.hist.count),
+                    StrFormat("%.0f", row.hist.mean()),
+                    FormatCount(row.hist.Percentile(50)),
+                    FormatCount(row.hist.Percentile(95)),
+                    FormatCount(row.hist.Percentile(99)),
+                    FormatCount(row.hist.max)});
+    } else {
+      table.AddRow({row.name, row.kind, FormatCount(row.count), "-", "-",
+                    "-", "-", "-"});
+    }
+  }
+  return table.ToString();
+}
+
+void PrintMetricsSummary() {
+  if (!MetricsEnabled()) return;
+  std::printf("\n== metrics summary ==\n%s",
+              MetricsSummaryTable().c_str());
+}
+
+}  // namespace dqmo

@@ -1,0 +1,23 @@
+// End-of-run observability summary for the experiment harness and
+// dqmo_tool: every registered metric rendered as one table row.
+#ifndef DQMO_HARNESS_METRICS_REPORT_H_
+#define DQMO_HARNESS_METRICS_REPORT_H_
+
+#include <string>
+
+namespace dqmo {
+
+/// Renders the global MetricsRegistry as a fixed-width table: counters and
+/// gauges as a single value, histograms with count/mean/p50/p95/p99/max.
+/// Metrics with zero activity are omitted so quick runs stay readable;
+/// pass `include_empty` to show everything.
+std::string MetricsSummaryTable(bool include_empty = false);
+
+/// Prints MetricsSummaryTable() to stdout under a header, unless metrics
+/// are disabled (then prints nothing). The figure runners call this after
+/// their sweeps so every benchmark run ends with the observability rollup.
+void PrintMetricsSummary();
+
+}  // namespace dqmo
+
+#endif  // DQMO_HARNESS_METRICS_REPORT_H_

@@ -4,11 +4,36 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "query/kernels.h"
 
 namespace dqmo {
 namespace {
+
+/// Moving-kNN fence economics: how often the cached candidate set answered
+/// a frame without touching the index at all.
+struct KnnMetrics {
+  Counter* full_searches;
+  Counter* cache_answers;
+  Histogram* nodes_per_search;
+
+  static KnnMetrics& Get() {
+    static KnnMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return KnnMetrics{
+          r.GetCounter("dqmo_knn_full_searches_total",
+                       "Moving-kNN frames that ran a full index search"),
+          r.GetCounter("dqmo_knn_cache_answers_total",
+                       "Moving-kNN frames answered from the cached fence"),
+          r.GetHistogram("dqmo_knn_nodes_per_search",
+                         "Node loads (physical + decoded) per full search"),
+      };
+    }();
+    return m;
+  }
+};
 
 struct HeapEntry {
   double min_distance;
@@ -57,6 +82,7 @@ Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
   std::vector<uint8_t> alive_scratch;
   const bool soa = options.hot_path == HotPath::kSoa;
 
+  Tracer::SpanScope heap_span(SpanKind::kHeapOp);
   MinHeap heap;
   heap.push(HeapEntry{0.0, false, tree.root(), StBox(), {}});
   while (!heap.empty()) {
@@ -186,6 +212,7 @@ Result<std::vector<Neighbor>> MovingKnnQuery::At(double t,
       if (kth <= safe) {
         now.resize(static_cast<size_t>(k_));
         ++cache_answers_;
+        KnnMetrics::Get().cache_answers->Add();
         stats_.objects_returned += now.size();
         return now;
       }
@@ -198,10 +225,17 @@ Result<std::vector<Neighbor>> MovingKnnQuery::At(double t,
   knn_options.fault_policy = options_.fault_policy;
   knn_options.skip_report = &skip_report_;
   knn_options.hot_path = options_.hot_path;
+  const uint64_t loads0 = stats_.node_reads.load(std::memory_order_relaxed) +
+                          stats_.decoded_hits.load(std::memory_order_relaxed);
   DQMO_ASSIGN_OR_RETURN(
       std::vector<Neighbor> candidates,
       KnnAt(*tree_, point, t, fetch_count(), &stats_, knn_options));
   ++full_searches_;
+  KnnMetrics& km = KnnMetrics::Get();
+  km.full_searches->Add();
+  km.nodes_per_search->Record(
+      stats_.node_reads.load(std::memory_order_relaxed) +
+      stats_.decoded_hits.load(std::memory_order_relaxed) - loads0);
   if (skip_report_.pages_skipped() == 0) {
     has_cache_ = true;
     cached_ = candidates;

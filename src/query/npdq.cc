@@ -1,9 +1,38 @@
 #include "query/npdq.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "query/kernels.h"
 
 namespace dqmo {
+namespace {
+
+/// Per-query traversal shape of the NPDQ hot path. The discard rate is the
+/// fraction of candidate subtrees pruned by the paper's discardability
+/// test — the quantity Figs. 8/10 trade against window size.
+struct NpdqMetrics {
+  Histogram* nodes_per_query;
+  Histogram* discarded_per_query;
+  Histogram* discard_rate_pct;
+
+  static NpdqMetrics& Get() {
+    static NpdqMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return NpdqMetrics{
+          r.GetHistogram("dqmo_npdq_nodes_per_query",
+                         "Node loads (physical + decoded) per NPDQ snapshot"),
+          r.GetHistogram("dqmo_npdq_discarded_per_query",
+                         "Subtrees pruned as discardable per NPDQ snapshot"),
+          r.GetHistogram("dqmo_npdq_discard_rate_pct",
+                         "Discarded / (discarded + visited) per snapshot, %"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 bool Discardable(const StBox& p, const StBox& q, const ChildEntry& r,
                  SpatialPruning pruning) {
@@ -67,9 +96,13 @@ Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
   if (node->is_leaf()) {
     // The batch kernel answers "in Q and not already retrieved by P" for
     // the whole leaf; only the emitted segments are ever materialized.
-    NpdqLeafMatchBatch(p_usable ? &*prev_ : nullptr, q,
-                       options_.leaf_semantics == LeafSemantics::kExact,
-                       *node, &leaf_match_);
+    {
+      Tracer::SpanScope prune_span(SpanKind::kKernelPrune,
+                                   static_cast<uint64_t>(node->count));
+      NpdqLeafMatchBatch(p_usable ? &*prev_ : nullptr, q,
+                         options_.leaf_semantics == LeafSemantics::kExact,
+                         *node, &leaf_match_);
+    }
     for (int k = 0; k < node->count; ++k) {
       if (!leaf_match_[static_cast<size_t>(k)]) continue;
       out->push_back(node->SegmentAt(k));
@@ -80,10 +113,14 @@ Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
   if (static_cast<size_t>(depth) >= cls_pool_.size()) {
     cls_pool_.resize(static_cast<size_t>(depth) + 1);
   }
-  NpdqClassifyBatch(
-      p_usable ? &*prev_ : nullptr, q,
-      options_.spatial_pruning == SpatialPruning::kIntersectionContained,
-      *node, &cls_pool_[static_cast<size_t>(depth)]);
+  {
+    Tracer::SpanScope prune_span(SpanKind::kKernelPrune,
+                                 static_cast<uint64_t>(node->count));
+    NpdqClassifyBatch(
+        p_usable ? &*prev_ : nullptr, q,
+        options_.spatial_pruning == SpatialPruning::kIntersectionContained,
+        *node, &cls_pool_[static_cast<size_t>(depth)]);
+  }
   for (int k = 0; k < node->count; ++k) {
     // Re-index the pool each iteration: the recursive Visit below may grow
     // it, which moves (but preserves) the per-depth buffers.
@@ -155,11 +192,28 @@ Result<std::vector<MotionSegment>> NonPredictiveDynamicQuery::Execute(
     return Status::InvalidArgument(
         "NPDQ snapshots must advance monotonically in time");
   }
+  const uint64_t loads0 = stats_.node_reads.load(std::memory_order_relaxed) +
+                          stats_.decoded_hits.load(std::memory_order_relaxed);
+  const uint64_t discarded0 =
+      stats_.nodes_discarded.load(std::memory_order_relaxed);
   std::vector<MotionSegment> out;
   skip_report_.Reset();
   DQMO_RETURN_IF_ERROR(Visit(tree_->root(), StBox(), q, 0, &out));
   prev_ = q;
   prev_stamp_ = tree_->stamp();
+  if (MetricsEnabled()) {
+    const uint64_t loads =
+        stats_.node_reads.load(std::memory_order_relaxed) +
+        stats_.decoded_hits.load(std::memory_order_relaxed) - loads0;
+    const uint64_t discarded =
+        stats_.nodes_discarded.load(std::memory_order_relaxed) - discarded0;
+    NpdqMetrics& nm = NpdqMetrics::Get();
+    nm.nodes_per_query->Record(loads);
+    nm.discarded_per_query->Record(discarded);
+    if (loads + discarded > 0) {
+      nm.discard_rate_pct->Record(100 * discarded / (loads + discarded));
+    }
+  }
   return out;
 }
 

@@ -3,9 +3,36 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace dqmo {
+namespace {
+
+/// Per-frame traversal shape of the PDQ hot path.
+struct PdqMetrics {
+  Histogram* queue_depth;
+  Histogram* nodes_per_frame;
+  Histogram* results_per_frame;
+
+  static PdqMetrics& Get() {
+    static PdqMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return PdqMetrics{
+          r.GetHistogram("dqmo_pdq_queue_depth",
+                         "PDQ priority-queue size at end of frame"),
+          r.GetHistogram("dqmo_pdq_nodes_per_frame",
+                         "Node loads (physical + decoded) per PDQ frame"),
+          r.GetHistogram("dqmo_pdq_results_per_frame",
+                         "Fresh objects delivered per PDQ frame"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Result<std::unique_ptr<PredictiveDynamicQuery>> PredictiveDynamicQuery::Make(
     RTree* tree, QueryTrajectory trajectory) {
@@ -103,6 +130,8 @@ Status PredictiveDynamicQuery::Explore(const Item& node_item,
                                options_.fault_policy, &skip_report_, &stats_,
                                options_.reader));
   if (node == nullptr) return Status::OK();  // Subtree skipped.
+  Tracer::SpanScope prune_span(SpanKind::kKernelPrune,
+                               static_cast<uint64_t>(node->count));
   // The legacy loop charges one distance computation per entry before the
   // empty-times filter; the batch kernels evaluate exactly those entries.
   stats_.distance_computations.fetch_add(static_cast<uint64_t>(node->count),
@@ -209,13 +238,25 @@ Result<std::optional<PdqResult>> PredictiveDynamicQuery::GetNext(
 
 Result<std::vector<PdqResult>> PredictiveDynamicQuery::Frame(double t_start,
                                                              double t_end) {
+  const uint64_t loads0 =
+      stats_.node_reads.load(std::memory_order_relaxed) +
+      stats_.decoded_hits.load(std::memory_order_relaxed);
   std::vector<PdqResult> out;
-  for (;;) {
-    DQMO_ASSIGN_OR_RETURN(std::optional<PdqResult> next,
-                          GetNext(t_start, t_end));
-    if (!next.has_value()) break;
-    out.push_back(std::move(*next));
+  {
+    Tracer::SpanScope heap_span(SpanKind::kHeapOp);
+    for (;;) {
+      DQMO_ASSIGN_OR_RETURN(std::optional<PdqResult> next,
+                            GetNext(t_start, t_end));
+      if (!next.has_value()) break;
+      out.push_back(std::move(*next));
+    }
   }
+  PdqMetrics& pm = PdqMetrics::Get();
+  pm.queue_depth->Record(queue_.size());
+  pm.nodes_per_frame->Record(
+      stats_.node_reads.load(std::memory_order_relaxed) +
+      stats_.decoded_hits.load(std::memory_order_relaxed) - loads0);
+  pm.results_per_frame->Record(out.size());
   return out;
 }
 

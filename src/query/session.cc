@@ -1,10 +1,34 @@
 #include "query/session.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace dqmo {
 namespace {
+
+/// Hand-off session health: how often sessions fall back to NPDQ and how
+/// often frames are served degraded (partial answers under faults).
+struct SessionMetrics {
+  Counter* handoffs_to_npdq;
+  Counter* handoffs_to_pdq;
+  Counter* degraded_frames;
+
+  static SessionMetrics& Get() {
+    static SessionMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return SessionMetrics{
+          r.GetCounter("dqmo_session_handoffs_to_npdq_total",
+                       "PDQ -> NPDQ hand-offs (deviation or degradation)"),
+          r.GetCounter("dqmo_session_handoffs_to_pdq_total",
+                       "NPDQ -> PDQ hand-offs (stable streak reached)"),
+          r.GetCounter("dqmo_session_degraded_frames_total",
+                       "Frames answered partial under storage faults"),
+      };
+    }();
+    return m;
+  }
+};
 
 NpdqOptions WithSessionOverrides(NpdqOptions npdq, FaultPolicy policy,
                                  HotPath hot_path) {
@@ -114,11 +138,13 @@ Result<DynamicQuerySession::FrameResult> DynamicQuerySession::OnFrame(
       spdq_skips_merged_ = spdq_skips;
       result.integrity = ResultIntegrity::kPartial;
       ++session_stats_.degraded_frames;
+      SessionMetrics::Get().degraded_frames->Add();
       mode_ = Mode::kNonPredictive;
       npdq_.ResetHistory();
       stable_streak_ = 0;
       streak_anchor_.reset();
       ++session_stats_.handoffs_to_npdq;
+      SessionMetrics::Get().handoffs_to_npdq->Add();
       ++session_stats_.degraded_fallbacks;
       result.handoff = true;
       return result;
@@ -130,6 +156,7 @@ Result<DynamicQuerySession::FrameResult> DynamicQuerySession::OnFrame(
     stable_streak_ = 0;
     streak_anchor_.reset();
     ++session_stats_.handoffs_to_npdq;
+    SessionMetrics::Get().handoffs_to_npdq->Add();
     result.handoff = true;
   }
 
@@ -141,6 +168,7 @@ Result<DynamicQuerySession::FrameResult> DynamicQuerySession::OnFrame(
     skip_report_.Merge(npdq_.skip_report());
     result.integrity = ResultIntegrity::kPartial;
     ++session_stats_.degraded_frames;
+    SessionMetrics::Get().degraded_frames->Add();
   }
 
   // Stability watch: hand back to PDQ after enough frames consistent with
@@ -166,6 +194,7 @@ Result<DynamicQuerySession::FrameResult> DynamicQuerySession::OnFrame(
     stable_streak_ = 0;
     streak_anchor_.reset();
     ++session_stats_.handoffs_to_pdq;
+    SessionMetrics::Get().handoffs_to_pdq->Add();
     result.handoff = true;
   }
   return result;

@@ -3,8 +3,38 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace dqmo {
+namespace {
+
+/// Process-wide decoded-node-cache metrics (every cache aggregates; the
+/// per-cache hits()/misses() accessors remain for per-instance deltas).
+struct NodeCacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Counter* invalidations;
+
+  static NodeCacheMetrics& Get() {
+    static NodeCacheMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return NodeCacheMetrics{
+          r.GetCounter("dqmo_node_cache_hits_total",
+                       "Decoded-node cache lookups served without a decode"),
+          r.GetCounter("dqmo_node_cache_misses_total",
+                       "Decoded-node cache lookups that fell through"),
+          r.GetCounter("dqmo_node_cache_evictions_total",
+                       "Decoded nodes evicted by the per-shard LRU"),
+          r.GetCounter("dqmo_node_cache_invalidations_total",
+                       "Decoded nodes dropped because their page changed"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 DecodedNodeCache::DecodedNodeCache(size_t capacity_nodes, int num_shards) {
   DQMO_CHECK(capacity_nodes >= 1);
@@ -24,9 +54,11 @@ std::shared_ptr<const SoaNode> DecodedNodeCache::Lookup(PageId id) {
   auto it = shard.index.find(id);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    NodeCacheMetrics::Get().misses->Add();
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  NodeCacheMetrics::Get().hits->Add();
   shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
   return it->second->node;
 }
@@ -44,6 +76,7 @@ void DecodedNodeCache::Insert(PageId id,
   if (shard.entries.size() >= shard_capacity_) {
     shard.index.erase(shard.entries.back().id);
     shard.entries.pop_back();
+    NodeCacheMetrics::Get().evictions->Add();
   }
   shard.entries.push_front(Entry{id, std::move(node)});
   shard.index[id] = shard.entries.begin();
@@ -56,6 +89,7 @@ void DecodedNodeCache::Invalidate(PageId id) {
   if (it == shard.index.end()) return;
   shard.entries.erase(it->second);
   shard.index.erase(it);
+  NodeCacheMetrics::Get().invalidations->Add();
 }
 
 void DecodedNodeCache::Clear() {

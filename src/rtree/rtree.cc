@@ -4,11 +4,40 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "rtree/split.h"
 
 namespace dqmo {
 namespace {
+
+/// The registry side of NodeAccounting (rtree/stats.h): every load charges
+/// `loads` plus exactly one of {decoded, physical, pooled}, always from the
+/// same callsite, so the sum invariant holds at any quiescent point.
+struct NodeLoadMetrics {
+  Counter* loads;
+  Counter* decoded;
+  Counter* physical;
+  Counter* pooled;
+
+  static NodeLoadMetrics& Get() {
+    static NodeLoadMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return NodeLoadMetrics{
+          r.GetCounter("dqmo_rtree_node_loads_total",
+                       "R-tree node loads requested by queries"),
+          r.GetCounter("dqmo_rtree_decoded_hits_total",
+                       "Node loads served by the decoded-node cache"),
+          r.GetCounter("dqmo_rtree_reads_physical_total",
+                       "Node loads that hit the physical page store"),
+          r.GetCounter("dqmo_rtree_reads_pooled_total",
+                       "Node loads served from a buffer-pool frame"),
+      };
+    }();
+    return m;
+  }
+};
 
 constexpr uint64_t kTreeMagic = 0x4451'4d4f'5254'5231ULL;  // "DQMORTR1"
 constexpr uint32_t kTreeVersion = 2;
@@ -50,6 +79,35 @@ std::string QueryStats::ToString() const {
       static_cast<unsigned long long>(nodes_discarded),
       static_cast<unsigned long long>(pages_skipped),
       static_cast<unsigned long long>(decoded_hits));
+}
+
+std::string NodeAccounting::ToString() const {
+  return StrFormat(
+      "node_accounting{loads=%llu, decoded=%llu, physical=%llu, pooled=%llu}",
+      static_cast<unsigned long long>(loads),
+      static_cast<unsigned long long>(decoded_hits),
+      static_cast<unsigned long long>(physical_reads),
+      static_cast<unsigned long long>(pooled_reads));
+}
+
+NodeAccounting ReadNodeAccounting() {
+  NodeLoadMetrics& nm = NodeLoadMetrics::Get();
+  NodeAccounting a;
+  a.loads = nm.loads->value();
+  a.decoded_hits = nm.decoded->value();
+  a.physical_reads = nm.physical->value();
+  a.pooled_reads = nm.pooled->value();
+  return a;
+}
+
+NodeAccounting CheckNodeAccounting() {
+  const NodeAccounting a = ReadNodeAccounting();
+  if (!a.Consistent()) {
+    std::fprintf(stderr, "node-load accounting violated: %s\n",
+                 a.ToString().c_str());
+  }
+  DQMO_CHECK(a.Consistent());
+  return a;
 }
 
 Result<std::unique_ptr<RTree>> RTree::Create(PageFile* file,
@@ -154,7 +212,11 @@ Status RTree::StoreNode(Node* node) const {
 Result<Node> RTree::LoadNode(PageId id, QueryStats* stats,
                              PageReader* reader) const {
   PageReader* src = reader != nullptr ? reader : file_;
+  Tracer::SpanScope fetch_span(SpanKind::kNodeFetch, id);
   DQMO_ASSIGN_OR_RETURN(auto read, src->Read(id));
+  NodeLoadMetrics& nm = NodeLoadMetrics::Get();
+  nm.loads->Add();
+  (read.physical ? nm.physical : nm.pooled)->Add();
   DQMO_ASSIGN_OR_RETURN(Node node, Node::DeserializeFrom(read.data, id));
   if (stats != nullptr && read.physical) {
     ++stats->node_reads;
@@ -186,13 +248,25 @@ Result<std::shared_ptr<const SoaNode>> RTree::LoadNodeSoa(
       if (stats != nullptr) {
         stats->decoded_hits.fetch_add(1, std::memory_order_relaxed);
       }
+      NodeLoadMetrics& nm = NodeLoadMetrics::Get();
+      nm.loads->Add();
+      nm.decoded->Add();
       return cached;
     }
   }
   PageReader* src = reader != nullptr ? reader : file_;
+  Tracer::SpanScope fetch_span(SpanKind::kNodeFetch, id);
   DQMO_ASSIGN_OR_RETURN(auto read, src->Read(id));
+  {
+    NodeLoadMetrics& nm = NodeLoadMetrics::Get();
+    nm.loads->Add();
+    (read.physical ? nm.physical : nm.pooled)->Add();
+  }
   auto node = std::make_shared<SoaNode>();
-  DQMO_RETURN_IF_ERROR(node->DecodeFrom(read.data, id));
+  {
+    Tracer::SpanScope decode_span(SpanKind::kSoaDecode, id);
+    DQMO_RETURN_IF_ERROR(node->DecodeFrom(read.data, id));
+  }
   if (stats != nullptr && read.physical) {
     stats->node_reads.fetch_add(1, std::memory_order_relaxed);
     if (node->is_leaf()) {

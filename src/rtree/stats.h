@@ -111,6 +111,40 @@ struct QueryStats {
   }
 };
 
+/// Process-wide node-load account mirrored into the metrics registry by
+/// RTree::LoadNode / LoadNodeSoa. Every node load is served by exactly one
+/// of three sources: a decoded-node cache hit (no page read at all), a
+/// physical page read (a disk access), or a buffer-pool frame (a page read
+/// whose ReadResult reports physical == false). The PR4 exact-accounting
+/// invariant — cached-run node_reads + decoded_hits == uncached-run
+/// node_reads — is a corollary; this is where it is asserted in one place.
+struct NodeAccounting {
+  uint64_t loads = 0;
+  uint64_t decoded_hits = 0;
+  uint64_t physical_reads = 0;
+  uint64_t pooled_reads = 0;
+
+  bool Consistent() const {
+    return loads == decoded_hits + physical_reads + pooled_reads;
+  }
+
+  NodeAccounting operator-(const NodeAccounting& o) const {
+    return NodeAccounting{loads - o.loads, decoded_hits - o.decoded_hits,
+                          physical_reads - o.physical_reads,
+                          pooled_reads - o.pooled_reads};
+  }
+
+  std::string ToString() const;
+};
+
+/// Reads the registry-backed node-load counters (all zero when metrics are
+/// disabled — trivially consistent).
+NodeAccounting ReadNodeAccounting();
+
+/// Reads the counters and DQMO_CHECK-asserts Consistent(). Call from a
+/// quiescent point (no query in flight); returns the counts read.
+NodeAccounting CheckNodeAccounting();
+
 }  // namespace dqmo
 
 #endif  // DQMO_RTREE_STATS_H_

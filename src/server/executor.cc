@@ -6,7 +6,9 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "geom/box.h"
 #include "query/knn.h"
 #include "query/npdq.h"
@@ -14,6 +16,41 @@
 
 namespace dqmo {
 namespace {
+
+/// Gate + scheduler metrics (process-wide; the ExecutorReport remains the
+/// exact per-run account).
+struct ExecMetrics {
+  Histogram* reader_wait_ns;
+  Histogram* writer_wait_ns;
+  Histogram* handover_ns;
+  Histogram* queue_wait_ns;
+  Histogram* session_ns;
+  Counter* sessions;
+  Counter* session_objects;
+
+  static ExecMetrics& Get() {
+    static ExecMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return ExecMetrics{
+          r.GetHistogram("dqmo_gate_reader_wait_ns",
+                         "TreeGate shared-side acquisition wait"),
+          r.GetHistogram("dqmo_gate_writer_wait_ns",
+                         "TreeGate exclusive-side acquisition wait"),
+          r.GetHistogram("dqmo_gate_handover_ns",
+                         "WriteGuard release: invalidate + seal + WAL sync"),
+          r.GetHistogram("dqmo_exec_queue_wait_ns",
+                         "Submit-to-start wait in the session thread pool"),
+          r.GetHistogram("dqmo_exec_session_ns",
+                         "Wall time of one complete query session"),
+          r.GetCounter("dqmo_exec_sessions_total",
+                       "Query sessions run to completion (or first error)"),
+          r.GetCounter("dqmo_exec_session_objects_total",
+                       "Objects delivered across all sessions"),
+      };
+    }();
+    return m;
+  }
+};
 
 // ---------------------------------------------------------------------------
 // Result checksums. FNV-1a over a canonical byte stream: frame index, then
@@ -146,10 +183,22 @@ void ThreadPool::WorkerLoop() {
 // ---------------------------------------------------------------------------
 // TreeGate.
 
-TreeGate::WriteGuard::WriteGuard(TreeGate* gate)
-    : gate_(gate), lock_(gate->mu_) {}
+std::shared_lock<std::shared_mutex> TreeGate::LockShared() {
+  const uint64_t tick = TickNs();
+  Tracer::SpanScope span(SpanKind::kGateWait);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ExecMetrics::Get().reader_wait_ns->RecordSince(tick);
+  return lock;
+}
+
+TreeGate::WriteGuard::WriteGuard(TreeGate* gate) : gate_(gate) {
+  const uint64_t tick = TickNs();
+  lock_ = std::unique_lock<std::shared_mutex>(gate->mu_);
+  ExecMetrics::Get().writer_wait_ns->RecordSince(tick);
+}
 
 TreeGate::WriteGuard::~WriteGuard() {
+  ScopedLatencyTimer handover_timer(ExecMetrics::Get().handover_ns);
   // Still exclusive here: hand the dirtied pages over to the readers.
   // Stale cached copies are dropped first, then every dirty page is
   // sealed, so the next shared section reads fresh, checksummed bytes
@@ -197,6 +246,7 @@ SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
   for (int i = 1; i <= spec.frames; ++i) {
     const double t = spec.t0 + i * spec.frame_dt;
     obs.Advance(&rng, spec, t);
+    Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto lock = LockFrame(gate);
     auto frame = session.OnFrame(t, obs.pos, obs.vel);
     if (!frame.ok()) {
@@ -233,6 +283,7 @@ SessionResult RunNpdqSession(RTree* tree, const SessionSpec& spec,
     const double t = spec.t0 + i * spec.frame_dt;
     obs.Advance(&rng, spec, t);
     const StBox q(Box::Centered(obs.pos, spec.window), Interval(prev_t, t));
+    Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto lock = LockFrame(gate);
     auto fresh = npdq.Execute(q);
     if (!fresh.ok()) {
@@ -264,6 +315,7 @@ SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
   for (int i = 1; i <= spec.frames; ++i) {
     const double t = spec.t0 + i * spec.frame_dt;
     obs.Advance(&rng, spec, t);
+    Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto lock = LockFrame(gate);
     auto neighbors = knn.At(t, obs.pos);
     if (!neighbors.ok()) {
@@ -286,15 +338,24 @@ SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
 
 SessionResult RunSession(RTree* tree, const SessionSpec& spec,
                          PageReader* reader, TreeGate* gate) {
+  const uint64_t tick = TickNs();
+  SessionResult out;
   switch (spec.kind) {
     case SessionKind::kNpdq:
-      return RunNpdqSession(tree, spec, reader, gate);
+      out = RunNpdqSession(tree, spec, reader, gate);
+      break;
     case SessionKind::kKnn:
-      return RunKnnSession(tree, spec, reader, gate);
+      out = RunKnnSession(tree, spec, reader, gate);
+      break;
     case SessionKind::kSession:
+      out = RunHandoffSession(tree, spec, reader, gate);
       break;
   }
-  return RunHandoffSession(tree, spec, reader, gate);
+  ExecMetrics& em = ExecMetrics::Get();
+  em.session_ns->RecordSince(tick);
+  em.sessions->Add();
+  em.session_objects->Add(out.objects_delivered);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -319,7 +380,9 @@ ExecutorReport SessionScheduler::Run(const std::vector<SessionSpec>& specs) {
     for (size_t i = 0; i < specs.size(); ++i) {
       SessionResult* slot = &report.sessions[i];
       const SessionSpec* spec = &specs[i];
-      pool.Submit([this, slot, spec] {
+      const uint64_t submit_tick = TickNs();
+      pool.Submit([this, slot, spec, submit_tick] {
+        ExecMetrics::Get().queue_wait_ns->RecordSince(submit_tick);
         *slot = RunSession(tree_, *spec, options_.reader, options_.gate);
       });
     }

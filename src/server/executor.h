@@ -103,10 +103,10 @@ class TreeGate {
   TreeGate(const TreeGate&) = delete;
   TreeGate& operator=(const TreeGate&) = delete;
 
-  /// Shared (reader) side; hold for at most one query frame.
-  [[nodiscard]] std::shared_lock<std::shared_mutex> LockShared() {
-    return std::shared_lock<std::shared_mutex>(mu_);
-  }
+  /// Shared (reader) side; hold for at most one query frame. Records the
+  /// wait (time to acquire while a writer holds the gate) in the
+  /// dqmo_gate_reader_wait_ns histogram.
+  [[nodiscard]] std::shared_lock<std::shared_mutex> LockShared();
 
   /// Exclusive (writer) side. Destruction performs the storage handover
   /// (pool invalidation + sealing) *before* readers resume.

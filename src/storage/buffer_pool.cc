@@ -4,10 +4,40 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace dqmo {
 namespace {
+
+/// Process-wide pool metrics (all BufferPool instances aggregate; the
+/// per-pool hits()/misses() accessors remain for per-instance deltas).
+struct PoolMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Histogram* hit_ns;
+  Histogram* miss_ns;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return PoolMetrics{
+          r.GetCounter("dqmo_pool_hits_total",
+                       "Buffer-pool reads served from a cached frame"),
+          r.GetCounter("dqmo_pool_misses_total",
+                       "Buffer-pool reads that fetched from the page store"),
+          r.GetCounter("dqmo_pool_evictions_total",
+                       "Frames evicted to make room (per-shard LRU)"),
+          r.GetHistogram("dqmo_pool_read_hit_ns",
+                         "Latency of buffer-pool cache hits"),
+          r.GetHistogram("dqmo_pool_read_miss_ns",
+                         "Latency of buffer-pool misses (fetch included)"),
+      };
+    }();
+    return m;
+  }
+};
 
 /// Per-thread scratch page the pool copies frames into before returning.
 /// Decouples the returned pointer from the frame's lifetime: another
@@ -34,6 +64,7 @@ BufferPool::BufferPool(PageFile* file, size_t capacity_pages, int num_shards)
 }
 
 Result<PageReader::ReadResult> BufferPool::Read(PageId id) {
+  const uint64_t tick = TickNs();
   Shard& shard = ShardFor(id);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -46,6 +77,8 @@ Result<PageReader::ReadResult> BufferPool::Read(PageId id) {
           1, std::memory_order_relaxed);
       std::memcpy(ScratchPage(), shard.frames.front().bytes.data(),
                   kPageSize);
+      PoolMetrics::Get().hits->Add();
+      PoolMetrics::Get().hit_ns->RecordSince(tick);
       return ReadResult{ScratchPage(), /*physical=*/false};
     }
   }
@@ -73,6 +106,7 @@ Result<PageReader::ReadResult> BufferPool::Read(PageId id) {
       if (shard.frames.size() >= shard_capacity_) {
         shard.index.erase(shard.frames.back().id);
         shard.frames.pop_back();
+        PoolMetrics::Get().evictions->Add();
       }
       Frame frame;
       frame.id = id;
@@ -83,6 +117,8 @@ Result<PageReader::ReadResult> BufferPool::Read(PageId id) {
       shard.frames.splice(shard.frames.begin(), shard.frames, it->second);
     }
   }
+  PoolMetrics::Get().misses->Add();
+  PoolMetrics::Get().miss_ns->RecordSince(tick);
   return ReadResult{ScratchPage(), /*physical=*/true};
 }
 

@@ -6,11 +6,41 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "storage/fault.h"
 
 namespace dqmo {
 namespace {
+
+/// Process-wide storage metrics (every PageFile instance aggregates; the
+/// per-file IoStats remain the exact per-instance account).
+struct StorageMetrics {
+  Counter* reads;
+  Counter* writes;
+  Counter* checksum_failures;
+  Histogram* save_ns;
+  Histogram* load_ns;
+
+  static StorageMetrics& Get() {
+    static StorageMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return StorageMetrics{
+          r.GetCounter("dqmo_storage_physical_reads_total",
+                       "Physical page reads (the paper's disk accesses)"),
+          r.GetCounter("dqmo_storage_physical_writes_total",
+                       "Physical page writes"),
+          r.GetCounter("dqmo_storage_checksum_failures_total",
+                       "Page reads whose CRC32C trailer did not match"),
+          r.GetHistogram("dqmo_storage_save_ns",
+                         "PageFile::SaveTo latency (atomic checkpoint)"),
+          r.GetHistogram("dqmo_storage_load_ns",
+                         "PageFile::LoadFrom latency (verify included)"),
+      };
+    }();
+    return m;
+  }
+};
 
 constexpr uint64_t kMagic = 0x4451'4d4f'5047'4631ULL;  // "DQMOPGF1"
 constexpr uint32_t kVersionLegacy = 1;  // No page checksums.
@@ -144,6 +174,7 @@ Status PageFile::Publish() {
 Result<PageReader::ReadResult> PageFile::Read(PageId id) {
   DQMO_RETURN_IF_ERROR(CheckId(id));
   stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
+  StorageMetrics::Get().reads->Add();
   SealIfDirty(id);
   const uint8_t* data = PageData(id);
   // Verify-once: a page is checked when it enters memory untrusted (an
@@ -153,6 +184,7 @@ Result<PageReader::ReadResult> PageFile::Read(PageId id) {
   if (verify_on_read_ && LoadFlag(verified_, id) == 0) {
     if (!PageChecksumOk(data)) {
       ++stats_.checksum_failures;
+      StorageMetrics::Get().checksum_failures->Add();
       return Status::Corruption(
           StrFormat("page %u checksum mismatch (stored %08x, computed %08x)",
                     id, StoredPageChecksum(data), ComputePageChecksum(data)));
@@ -170,6 +202,7 @@ Status PageFile::Write(PageId id, const uint8_t* data) {
   StoreFlag(verified_, id, 1);
   StoreFlag(dirty_, id, 0);
   stats_.physical_writes.fetch_add(1, std::memory_order_relaxed);
+  StorageMetrics::Get().writes->Add();
   return Status::OK();
 }
 
@@ -177,6 +210,7 @@ Result<PageView> PageFile::WritableView(PageId id) {
   DQMO_RETURN_IF_ERROR(CheckWritable());
   DQMO_RETURN_IF_ERROR(CheckId(id));
   stats_.physical_writes.fetch_add(1, std::memory_order_relaxed);
+  StorageMetrics::Get().writes->Add();
   if (LoadFlag(dirty_, id) == 0) {
     StoreFlag(dirty_, id, 1);  // Sealed lazily before the next read/save.
     dirty_pages_.push_back(id);
@@ -215,6 +249,7 @@ size_t PageFile::VerifyAllPages(std::vector<PageId>* bad) {
 }
 
 Status PageFile::SaveTo(const std::string& path) {
+  ScopedLatencyTimer timer(StorageMetrics::Get().save_ns);
   for (PageId id = 0; id < num_pages_; ++id) SealIfDirty(id);
   dirty_pages_.clear();
   // Write-to-temp + fsync + rename: the previous image at `path` stays
@@ -253,6 +288,7 @@ Status PageFile::SaveTo(const std::string& path) {
 
 Status PageFile::LoadFrom(const std::string& path,
                           const LoadOptions& options) {
+  ScopedLatencyTimer timer(StorageMetrics::Get().load_ns);
   File f(path.c_str(), "rb");
   if (!f.ok()) return Status::IOError("cannot open " + path + " for read");
   const long file_size = f.Size();

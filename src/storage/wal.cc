@@ -5,12 +5,40 @@
 #include <cstring>
 
 #include "common/crc32c.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "storage/fault.h"
 
 namespace dqmo {
 namespace {
+
+/// Process-wide WAL metrics (aggregate across writers; per-writer deltas
+/// stay in the IoStats each writer was opened with).
+struct WalMetrics {
+  Counter* appends;
+  Counter* syncs;
+  Counter* synced_bytes;
+  Histogram* sync_ns;
+
+  static WalMetrics& Get() {
+    static WalMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return WalMetrics{
+          r.GetCounter("dqmo_wal_appends_total",
+                       "Records buffered by WalWriter::Append*"),
+          r.GetCounter("dqmo_wal_syncs_total",
+                       "Batches made durable by WalWriter::Sync"),
+          r.GetCounter("dqmo_wal_synced_bytes_total",
+                       "Bytes pushed to the log by successful syncs"),
+          r.GetHistogram("dqmo_wal_sync_ns",
+                         "WalWriter::Sync latency (write + flush + fsync)"),
+      };
+    }();
+    return m;
+  }
+};
 
 constexpr uint64_t kWalMagic = 0x4451'4d4f'5741'4c31ULL;  // "DQMOWAL1"
 constexpr uint32_t kWalVersion = 1;
@@ -341,6 +369,7 @@ Result<uint64_t> WalWriter::AppendInsert(const MotionSegment& m) {
   if (stats_ != nullptr) {
     stats_->wal_appends.fetch_add(1, std::memory_order_relaxed);
   }
+  WalMetrics::Get().appends->Add();
   return lsn;
 }
 
@@ -356,12 +385,15 @@ Result<uint64_t> WalWriter::AppendCheckpoint(uint64_t checkpoint_lsn,
   if (stats_ != nullptr) {
     stats_->wal_appends.fetch_add(1, std::memory_order_relaxed);
   }
+  WalMetrics::Get().appends->Add();
   return lsn;
 }
 
 Status WalWriter::Sync() {
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
   if (batch_.empty()) return Status::OK();
+  const uint64_t tick = TickNs();
+  Tracer::SpanScope span(SpanKind::kWalSync, batch_.size());
   CrashPoints::Hit(crash_points::kWalBeforeSync);
   if (CrashPoints::ConsumeHit(crash_points::kWalTornWrite)) {
     // Model a write torn by power loss: push roughly half the batch's
@@ -379,6 +411,10 @@ Status WalWriter::Sync() {
   DQMO_RETURN_IF_ERROR(FlushAndMaybeFsync());
   CrashPoints::Hit(crash_points::kWalAfterSync);
   synced_lsn_ = next_lsn_ - 1;
+  WalMetrics& wm = WalMetrics::Get();
+  wm.syncs->Add();
+  wm.synced_bytes->Add(batch_.size());
+  wm.sync_ns->RecordSince(tick);
   batch_.clear();
   pending_records_ = 0;
   if (stats_ != nullptr) {

@@ -41,3 +41,38 @@ done
 
 echo "==== collected ===="
 ls -l BENCH_*.json
+
+# Latency-trajectory diff: every BENCH_*.json carries a MetricsSnapshot
+# block; compare each histogram's p99 against the committed (HEAD) copy so
+# a latency regression is visible in the run that introduces it.
+# Informational — machine noise makes an automatic gate here too twitchy;
+# the enforced overhead gate lives in tools/ci.sh.
+echo "==== p99 vs committed (HEAD) ===="
+for f in BENCH_*.json; do
+  git show "HEAD:${f}" > "${f}.head" 2>/dev/null || { rm -f "${f}.head"; continue; }
+  python3 - "$f" "${f}.head" <<'PYEOF'
+import json, sys
+
+def p99s(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    hists = doc.get("metrics", {}).get("histograms", {})
+    return {name: h["p99"] for name, h in hists.items() if h.get("count")}
+
+new, old = p99s(sys.argv[1]), p99s(sys.argv[2])
+rows = [(n, old[n], v) for n, v in sorted(new.items())
+        if n in old and old[n] > 0]
+if rows:
+    print(f"-- {sys.argv[1]}")
+    for name, was, now in rows:
+        delta = (now - was) / was * 100
+        flag = "  <-- regressed >25%" if delta > 25 else ""
+        print(f"  {name}: p99 {was} -> {now} ({delta:+.1f}%){flag}")
+elif new:
+    print(f"-- {sys.argv[1]}: no committed p99 baseline to diff against")
+PYEOF
+  rm -f "${f}.head"
+done

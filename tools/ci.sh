@@ -51,6 +51,8 @@ echo "==== [tsan] executor tests ===="
 "${tsan_dir}/tests/determinism_test"
 echo "==== [tsan] hot-path kernels + decoded-node cache ===="
 "${tsan_dir}/tests/kernels_test"
+echo "==== [tsan] metrics histogram hammer ===="
+"${tsan_dir}/tests/metrics_test"
 echo "==== [tsan] oracle sweep (seed 1) ===="
 "${tsan_dir}/tests/oracle_test" --gtest_filter='*seed1'
 
@@ -83,5 +85,92 @@ env "${hot_path_env[@]}" "build-ci/release/bench/abl_hot_path"
 echo "==== [hot-path] A15 ablation gate (DQMO_DISABLE_SIMD=1 fallback) ===="
 env "${hot_path_env[@]}" DQMO_DISABLE_SIMD=1 \
   "build-ci/release/bench/abl_hot_path"
+
+# Metrics stage, part 1: the observability layer must be free when turned
+# off. Build abl_hot_path once with the compile-time kill switch
+# (-DDQMO_METRICS=OFF — every record site folds out) and compare its full
+# hot-path ns/entry against the instrumented Release build running under
+# DQMO_METRICS=off (runtime gate only). Min of 5 runs each to shed timing
+# noise; the runtime-gated build must stay within 3% of the compiled-out
+# baseline, or the "one predictable branch" cost model is broken.
+nometrics_dir="build-ci/nometrics"
+echo "==== [metrics] configure compiled-out baseline ===="
+cmake -B "${nometrics_dir}" -S . -DDQMO_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=Release -DDQMO_METRICS=OFF
+echo "==== [metrics] build abl_hot_path (metrics compiled out) ===="
+cmake --build "${nometrics_dir}" -j "${jobs}" -- abl_hot_path
+
+# The binaries write BENCH_abl_hot_path.json into their cwd under --json;
+# run them in a scratch dir so the repo-root committed copy is untouched.
+metrics_tmp="build-ci/metrics-tmp"
+rm -rf "${metrics_tmp}"
+mkdir -p "${metrics_tmp}"
+hot_path_abs_env=(DQMO_OBJECTS=1500 DQMO_TRAJECTORIES=8
+                  DQMO_HOT_PATH_FRAMES=40
+                  DQMO_CACHE_DIR="${PWD}/build-ci/dqmo_cache")
+
+min_ns_per_entry() {  # $1: binary, $2: extra env (NAME=val or empty)
+  local binary="$1" extra="${2:-DQMO_UNUSED=0}" best="" run
+  for _ in 1 2 3 4 5; do
+    (cd "${metrics_tmp}" &&
+     env "${hot_path_abs_env[@]}" "${extra}" "${binary}" --json >/dev/null)
+    run="$(python3 -c '
+import json
+with open("'"${metrics_tmp}"'/BENCH_abl_hot_path.json") as f:
+    rows = json.load(f)["rows"]
+print(rows[-1]["ns_per_entry"])  # Last config = full hot path.
+')"
+    if [[ -z "${best}" ]] || python3 -c "exit(0 if ${run} < ${best} else 1)"
+    then best="${run}"; fi
+  done
+  echo "${best}"
+}
+
+echo "==== [metrics] hot-path overhead gate (3% vs compiled-out) ===="
+off_ns="$(min_ns_per_entry "${PWD}/${nometrics_dir}/bench/abl_hot_path")"
+on_ns="$(min_ns_per_entry "${PWD}/build-ci/release/bench/abl_hot_path" \
+                          DQMO_METRICS=off)"
+echo "compiled-out: ${off_ns} ns/entry; runtime-off: ${on_ns} ns/entry"
+python3 -c "
+off, on = ${off_ns}, ${on_ns}
+overhead = (on - off) / off * 100
+print(f'runtime-gated overhead: {overhead:+.2f}%')
+assert on <= off * 1.03, (
+    f'FAIL: DQMO_METRICS=off hot path {on:.2f} ns/entry exceeds the '
+    f'compiled-out baseline {off:.2f} by more than 3%')
+"
+
+# Metrics stage, part 2: `dqmo_tool stats` must emit parseable Prometheus
+# text exposition covering at least 12 distinct metric families across the
+# storage / WAL / gate / cache / query layers.
+echo "==== [metrics] dqmo_tool stats Prometheus exposition ===="
+stats_pgf="${metrics_tmp}/ci-stats.pgf"
+"build-ci/release/tools/dqmo_tool" build "${stats_pgf}" --objects 300
+"build-ci/release/tools/dqmo_tool" stats "${stats_pgf}" \
+  > "${metrics_tmp}/stats.prom"
+awk '
+  /^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* / { next }
+  /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$/ {
+    families[$3] = 1; next
+  }
+  /^#/ { print "bad comment line: " $0; bad = 1; next }
+  /^dqmo_[a-z0-9_]+(\{le="([0-9]+|\+Inf)"\})? -?[0-9]+(\.[0-9]+)?$/ { next }
+  { print "bad sample line: " $0; bad = 1 }
+  END {
+    layers["storage"]; layers["wal"]; layers["gate"]
+    layers["pool"]; layers["node_cache"]; layers["pdq"]
+    n = 0
+    for (f in families) {
+      ++n
+      for (l in layers) if (index(f, "dqmo_" l "_") == 1) seen[l] = 1
+    }
+    printf "prometheus exposition: %d metric families\n", n
+    if (n < 12) { print "FAIL: fewer than 12 metric families"; bad = 1 }
+    for (l in layers) if (!(l in seen)) {
+      print "FAIL: no dqmo_" l "_* metric in the exposition"; bad = 1
+    }
+    exit bad
+  }
+' "${metrics_tmp}/stats.prom"
 
 echo "==== ci.sh: all passes green ===="

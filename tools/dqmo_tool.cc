@@ -29,18 +29,31 @@
 //       Run crash recovery: load the last checkpoint image (if any),
 //       replay the WAL tail, report what was redone, and checkpoint the
 //       recovered tree back to <index.pgf> (resetting the WAL).
+//
+//   dqmo_tool stats <index.pgf> [--json] [--summary]
+//       Drive a short mixed workload (concurrent PDQ/NPDQ/kNN sessions
+//       against a buffer pool + decoded-node cache, with a writer thread
+//       inserting under the tree gate and logging to a scratch WAL) and
+//       dump the process-wide metrics registry: Prometheus text by
+//       default, JSON with --json, plus a quantile table with --summary.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "harness/metrics_report.h"
 #include "query/knn.h"
 #include "rtree/bulk_load.h"
+#include "rtree/node_cache.h"
 #include "rtree/rtree.h"
 #include "server/durability.h"
+#include "server/executor.h"
+#include "storage/buffer_pool.h"
 #include "storage/wal.h"
 #include "workload/data_generator.h"
 
@@ -63,7 +76,8 @@ int Usage() {
                "  dqmo_tool verify <index.pgf>\n"
                "  dqmo_tool scrub <index.pgf>\n"
                "  dqmo_tool walinfo <index.wal>\n"
-               "  dqmo_tool recover <index.pgf> <index.wal>\n");
+               "  dqmo_tool recover <index.pgf> <index.wal>\n"
+               "  dqmo_tool stats <index.pgf> [--json] [--summary]\n");
   return 2;
 }
 
@@ -349,6 +363,115 @@ int CmdRecover(const std::string& pgf_path, const std::string& wal_path) {
   return 0;
 }
 
+int CmdStats(const std::string& path, int argc, char** argv) {
+  bool json = false;
+  bool summary = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--summary") {
+      summary = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!MetricsEnabled()) {
+    std::fprintf(stderr,
+                 "metrics are disabled (DQMO_METRICS=off or compiled out); "
+                 "nothing to report\n");
+    return 1;
+  }
+
+  PageFile file;
+  if (Status s = file.LoadFrom(path); !s.ok()) return Fail(s);
+  auto opened = RTree::Open(&file);
+  if (!opened.ok()) return Fail(opened.status());
+  std::unique_ptr<RTree> tree = std::move(opened).value();
+  if (tree->dims() != 2) {
+    std::fprintf(stderr, "stats command supports 2-d indexes only\n");
+    return 2;
+  }
+
+  // The workload mirrors a small production deployment: shared pool +
+  // decoded-node cache, a writer thread inserting under the gate (logging
+  // to a scratch WAL so sync latency is real), and concurrent sessions of
+  // all three kinds. Every instrumented layer fires.
+  BufferPool pool(&file, /*capacity_pages=*/512, /*num_shards=*/8);
+  DecodedNodeCache cache(/*capacity_nodes=*/256, /*num_shards=*/8);
+  tree->AttachNodeCache(&cache);
+  const std::string wal_path = path + ".stats-wal";
+  WalWriter wal;
+  if (Status s = wal.Open(wal_path, file.mutable_stats()); !s.ok()) {
+    return Fail(s);
+  }
+  tree->AttachWal(&wal);
+  TreeGate gate(&file, &pool, &wal, &cache);
+
+  DataGeneratorOptions gen;
+  gen.num_objects = 40;
+  gen.horizon = 20.0;
+  gen.seed = 7;
+  auto fresh = GenerateMotionData(gen);
+  if (!fresh.ok()) return Fail(fresh.status());
+
+  Status writer_status;
+  std::thread writer([&] {
+    constexpr size_t kBatch = 16;
+    for (size_t at = 0; at < fresh->size(); at += kBatch) {
+      auto guard = gate.LockExclusive();
+      const size_t end = std::min(at + kBatch, fresh->size());
+      for (size_t i = at; i < end; ++i) {
+        if (Status s = tree->Insert((*fresh)[i]); !s.ok()) {
+          writer_status = s;
+          return;
+        }
+      }
+    }
+  });
+
+  std::vector<SessionSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    SessionSpec spec;
+    spec.kind = i % 3 == 0   ? SessionKind::kSession
+                : i % 3 == 1 ? SessionKind::kNpdq
+                             : SessionKind::kKnn;
+    spec.seed = static_cast<uint64_t>(100 + i);
+    spec.frames = 40;
+    specs.push_back(spec);
+  }
+  SessionScheduler::Options sched;
+  sched.num_threads = 4;
+  sched.reader = &pool;
+  sched.gate = &gate;
+  sched.pool = &pool;
+  SessionScheduler scheduler(tree.get(), sched);
+  ExecutorReport report = scheduler.Run(specs);
+  writer.join();
+  std::remove(wal_path.c_str());
+  if (!writer_status.ok()) return Fail(writer_status);
+  if (!report.status.ok()) return Fail(report.status);
+  if (Status s = gate.wal_status(); !s.ok()) return Fail(s);
+  CheckNodeAccounting();
+
+  std::fprintf(stderr,
+               "# workload: %zu sessions, %llu objects delivered, "
+               "%zu segments inserted, %.3fs\n",
+               report.sessions.size(),
+               static_cast<unsigned long long>(report.total_objects),
+               fresh->size(), report.wall_seconds);
+  if (json) {
+    std::printf("%s\n", MetricsRegistry::Global().JsonText().c_str());
+  } else {
+    std::printf("%s", MetricsRegistry::Global().PrometheusText().c_str());
+  }
+  if (summary) {
+    std::printf("\n%s", MetricsSummaryTable().c_str());
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string command = argv[1];
@@ -370,6 +493,7 @@ int Run(int argc, char** argv) {
     if (argc != 4) return Usage();
     return CmdRecover(path, argv[3]);
   }
+  if (command == "stats") return CmdStats(path, argc - 3, argv + 3);
   return Usage();
 }
 
