@@ -97,6 +97,15 @@ class Gauge {
   void Add(int64_t n) {
     if (MetricsEnabled()) value_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Monotone high-watermark update: keeps the largest value ever set
+  /// (peak queue depth, deepest recursion). Lock-free CAS loop.
+  void SetMax(int64_t v) {
+    if (!MetricsEnabled()) return;
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
 

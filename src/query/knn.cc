@@ -98,6 +98,16 @@ Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
       if (static_cast<int>(best.size()) > k) best.pop_back();
       continue;
     }
+    if (options.budget != nullptr && !options.budget->TryChargeNode()) {
+      // Out of budget: every remaining node is skipped (already-enqueued
+      // objects may still surface); the degraded-kNN contract applies.
+      if (options.skip_report != nullptr) {
+        options.skip_report->RecordSkip(top.page, top.bounds,
+                                        options.budget->StopStatus());
+      }
+      stats->pages_skipped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (soa) {
       DQMO_ASSIGN_OR_RETURN(
           std::shared_ptr<const SoaNode> node,
@@ -225,6 +235,7 @@ Result<std::vector<Neighbor>> MovingKnnQuery::At(double t,
   knn_options.fault_policy = options_.fault_policy;
   knn_options.skip_report = &skip_report_;
   knn_options.hot_path = options_.hot_path;
+  knn_options.budget = options_.budget;
   const uint64_t loads0 = stats_.node_reads.load(std::memory_order_relaxed) +
                           stats_.decoded_hits.load(std::memory_order_relaxed);
   DQMO_ASSIGN_OR_RETURN(

@@ -16,6 +16,7 @@
 #include "common/result.h"
 #include "geom/vec.h"
 #include "motion/motion_segment.h"
+#include "query/budget.h"
 #include "rtree/node_soa.h"
 #include "rtree/rtree.h"
 #include "rtree/stats.h"
@@ -47,6 +48,12 @@ struct KnnOptions {
   /// kernels (query/kernels.h); kLegacyAos keeps the original per-entry
   /// path. Results and counters are bit-identical either way.
   HotPath hot_path = HotPath::kSoa;
+  /// Per-frame work budget + cancellation (query/budget.h); not owned, may
+  /// be null (unbudgeted — the bit-identical default). One charge per node
+  /// pop; a failed charge skips the node (recorded in skip_report) and the
+  /// search finishes from what is already enqueued — the degraded-kNN
+  /// contract above applies.
+  QueryBudget* budget = nullptr;
 };
 
 /// Returns the (up to) k motion segments alive at time `t` whose positions
@@ -98,6 +105,10 @@ class MovingKnnQuery {
     FaultPolicy fault_policy = FaultPolicy::kFailFast;
     /// Hot-path selector forwarded to each full search (KnnOptions).
     HotPath hot_path = HotPath::kSoa;
+    /// Per-frame work budget forwarded to each full search (KnnOptions). A
+    /// budget-stopped search counts as degraded: answered, but no fence
+    /// installed.
+    QueryBudget* budget = nullptr;
   };
 
   /// `tree` must outlive the query. k >= 1.

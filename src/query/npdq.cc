@@ -80,6 +80,11 @@ Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
   if (options_.hot_path == HotPath::kLegacyAos) {
     return VisitLegacy(pid, entry_bounds, q, depth, out);
   }
+  if (options_.budget != nullptr && !options_.budget->TryChargeNode()) {
+    skip_report_.RecordSkip(pid, entry_bounds, options_.budget->StopStatus());
+    stats_.pages_skipped.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();  // Out of budget: prune, finish degraded.
+  }
   DQMO_ASSIGN_OR_RETURN(
       std::shared_ptr<const SoaNode> node,
       tree_->LoadNodeSoaOrSkip(pid, entry_bounds, options_.fault_policy,
@@ -140,6 +145,11 @@ Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
 Status NonPredictiveDynamicQuery::VisitLegacy(
     PageId pid, const StBox& entry_bounds, const StBox& q, int depth,
     std::vector<MotionSegment>* out) {
+  if (options_.budget != nullptr && !options_.budget->TryChargeNode()) {
+    skip_report_.RecordSkip(pid, entry_bounds, options_.budget->StopStatus());
+    stats_.pages_skipped.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();  // Out of budget: prune, finish degraded.
+  }
   DQMO_ASSIGN_OR_RETURN(
       std::optional<Node> maybe_node,
       tree_->LoadNodeOrSkip(pid, entry_bounds, options_.fault_policy,

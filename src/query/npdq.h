@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "geom/box.h"
 #include "motion/motion_segment.h"
+#include "query/budget.h"
 #include "rtree/node_soa.h"
 #include "rtree/rtree.h"
 #include "rtree/stats.h"
@@ -77,6 +78,14 @@ struct NpdqOptions {
   /// keeps the original per-entry path. Results and counters are
   /// bit-identical either way.
   HotPath hot_path = HotPath::kSoa;
+  /// Per-frame work budget + cancellation (query/budget.h); not owned, may
+  /// be null (unbudgeted — the bit-identical default). One charge per node
+  /// visit; a failed charge prunes the subtree, records it in
+  /// skip_report(), and the Execute finishes degraded (kPartial). Callers
+  /// pairing a budget with a sequence should ResetHistory() after a
+  /// degraded Execute so nothing stays masked by an incomplete "previous"
+  /// (DynamicQuerySession does).
+  QueryBudget* budget = nullptr;
 };
 
 /// True iff subtree entry `r` is discardable for current query `q` given

@@ -194,6 +194,12 @@ Result<std::optional<PdqResult>> PredictiveDynamicQuery::GetNext(
   last_t_start_ = t_start;
   const Interval frame(t_start, t_end);
 
+  // Already out of budget this frame (a previous GetNext stopped): answer
+  // "no more results" until the budget is re-armed for the next frame.
+  if (options_.budget != nullptr && options_.budget->stopped()) {
+    return std::optional<PdqResult>{};
+  }
+
   while (!queue_.empty()) {
     if (queue_.top().priority > t_end) return std::optional<PdqResult>{};
     // Move the item out of the heap slot instead of copying its TimeSet and
@@ -202,6 +208,19 @@ Result<std::optional<PdqResult>> PredictiveDynamicQuery::GetNext(
     Item item = std::move(const_cast<Item&>(queue_.top()));
     queue_.pop();
     stats_.queue_pops.fetch_add(1, std::memory_order_relaxed);
+    if (!item.is_object && options_.budget != nullptr &&
+        !options_.budget->TryChargeNode()) {
+      // Out of budget: record the unexplored subtree (the frame becomes
+      // kPartial) and push the node back for a later frame. The charge
+      // happens before the dedup window sees the item, so the retry pop is
+      // not mistaken for an update-management duplicate.
+      skip_report_.RecordSkip(item.page, item.bounds,
+                              options_.budget->StopStatus());
+      stats_.pages_skipped.fetch_add(1, std::memory_order_relaxed);
+      queue_.push(std::move(item));
+      stats_.queue_pushes.fetch_add(1, std::memory_order_relaxed);
+      return std::optional<PdqResult>{};
+    }
     if (IsDuplicate(item)) {
       stats_.duplicates_skipped.fetch_add(1, std::memory_order_relaxed);
       continue;

@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "geom/trajectory.h"
 #include "motion/motion_segment.h"
+#include "query/budget.h"
 #include "query/kernels.h"
 #include "rtree/rtree.h"
 #include "rtree/stats.h"
@@ -71,6 +72,12 @@ class PredictiveDynamicQuery : public UpdateListener {
     /// kernels (query/kernels.h); kLegacyAos keeps the original per-entry
     /// path. Results and counters are bit-identical either way.
     HotPath hot_path = HotPath::kSoa;
+    /// Per-frame work budget + cancellation (query/budget.h); not owned,
+    /// may be null (unbudgeted — the bit-identical default). One node
+    /// charge per queue pop of a node item; a failed charge requeues the
+    /// node for a later frame, records it in skip_report(), and ends the
+    /// frame degraded (kPartial) with the results found so far.
+    QueryBudget* budget = nullptr;
   };
 
   /// Creates the processor. `tree` must outlive it. `trajectory` dims must

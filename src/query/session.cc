@@ -31,9 +31,10 @@ struct SessionMetrics {
 };
 
 NpdqOptions WithSessionOverrides(NpdqOptions npdq, FaultPolicy policy,
-                                 HotPath hot_path) {
+                                 HotPath hot_path, QueryBudget* budget) {
   npdq.fault_policy = policy;
   npdq.hot_path = hot_path;
+  npdq.budget = budget;
   return npdq;
 }
 
@@ -43,7 +44,7 @@ DynamicQuerySession::DynamicQuerySession(RTree* tree, const Options& options)
     : tree_(tree),
       options_(options),
       npdq_(tree, WithSessionOverrides(options.npdq, options.fault_policy,
-                                       options.hot_path)),
+                                       options.hot_path, options.budget)),
       last_velocity_(tree->dims()) {
   DQMO_CHECK(tree != nullptr);
   DQMO_CHECK(options.window > 0.0);
@@ -86,6 +87,7 @@ Status DynamicQuerySession::StartPredictive(double t, const Vec& position,
   pdq_options.track_updates = true;  // Stay correct under live insertions.
   pdq_options.fault_policy = options_.fault_policy;
   pdq_options.hot_path = options_.hot_path;
+  pdq_options.budget = options_.budget;
   DQMO_ASSIGN_OR_RETURN(
       spdq_, PredictiveDynamicQuery::Make(tree_, std::move(trajectory),
                                           pdq_options));
@@ -169,6 +171,14 @@ Result<DynamicQuerySession::FrameResult> DynamicQuerySession::OnFrame(
     result.integrity = ResultIntegrity::kPartial;
     ++session_stats_.degraded_frames;
     SessionMetrics::Get().degraded_frames->Add();
+    // A degraded snapshot must not become future frames' "previous": NPDQ
+    // sequence semantics would mask everything the incomplete snapshot
+    // *should* have retrieved ("anything lost stays lost", npdq.h). Forget
+    // it, so the next frame is a fresh snapshot and recovers every visible
+    // object the moment the fault (or the budget squeeze) clears. The cost
+    // is re-delivery of cached objects, which the client cache absorbs —
+    // the same contract as a hand-off.
+    npdq_.ResetHistory();
   }
 
   // Stability watch: hand back to PDQ after enough frames consistent with
@@ -198,6 +208,11 @@ Result<DynamicQuerySession::FrameResult> DynamicQuerySession::OnFrame(
     result.handoff = true;
   }
   return result;
+}
+
+void DynamicQuerySession::set_prediction_horizon(double horizon) {
+  DQMO_CHECK(horizon > 0.0);
+  options_.prediction_horizon = horizon;
 }
 
 QueryStats DynamicQuerySession::TotalStats() const {

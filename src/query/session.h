@@ -66,6 +66,14 @@ class DynamicQuerySession {
     /// like fault_policy above). kSoa serves frames through the decoded-node
     /// cache and batch kernels; kLegacyAos keeps the pre-optimization path.
     HotPath hot_path = HotPath::kSoa;
+    /// Per-frame work budget + cancellation, applied to both engines
+    /// (overrides npdq.budget, like fault_policy above); not owned, may be
+    /// null. The caller arms it before each OnFrame; a budget-stopped
+    /// frame is served kPartial through the kSkipSubtree machinery, and —
+    /// like any degraded frame — never poisons future completeness: a
+    /// degraded predictive frame hands off to NPDQ, a degraded NPDQ frame
+    /// resets the snapshot history.
+    QueryBudget* budget = nullptr;
   };
 
   enum class Mode { kPredictive, kNonPredictive };
@@ -105,6 +113,12 @@ class DynamicQuerySession {
 
   Mode mode() const { return mode_; }
   const SessionStats& session_stats() const { return session_stats_; }
+
+  /// Adjusts the prediction horizon used by future predictive (re)fits —
+  /// the overload governor shrinks it under load so each SPDQ covers less
+  /// future and enqueues fewer subtrees. Takes effect at the next
+  /// StartPredictive; a running SPDQ is not rebuilt.
+  void set_prediction_horizon(double horizon);
 
   /// Every subtree skipped over the session's lifetime (both engines).
   const SkipReport& skip_report() const { return skip_report_; }

@@ -25,8 +25,13 @@ struct ExecMetrics {
   Histogram* handover_ns;
   Histogram* queue_wait_ns;
   Histogram* session_ns;
+  Histogram* frame_ns;
   Counter* sessions;
   Counter* session_objects;
+  Counter* frames_shed;
+  Counter* sessions_cancelled;
+  Gauge* queue_depth;
+  Gauge* queue_depth_peak;
 
   static ExecMetrics& Get() {
     static ExecMetrics m = [] {
@@ -42,10 +47,20 @@ struct ExecMetrics {
                          "Submit-to-start wait in the session thread pool"),
           r.GetHistogram("dqmo_exec_session_ns",
                          "Wall time of one complete query session"),
+          r.GetHistogram("dqmo_exec_frame_ns",
+                         "Wall time of one governed session frame"),
           r.GetCounter("dqmo_exec_sessions_total",
                        "Query sessions run to completion (or first error)"),
           r.GetCounter("dqmo_exec_session_objects_total",
                        "Objects delivered across all sessions"),
+          r.GetCounter("dqmo_frames_shed_total",
+                       "Frames dropped whole by the overload governor"),
+          r.GetCounter("dqmo_exec_sessions_cancelled_total",
+                       "Sessions ended by cooperative cancellation"),
+          r.GetGauge("dqmo_exec_queue_depth",
+                     "Session thread-pool tasks queued, awaiting a worker"),
+          r.GetGauge("dqmo_exec_queue_depth_peak",
+                     "Deepest session thread-pool queue observed"),
       };
     }();
     return m;
@@ -128,15 +143,90 @@ std::shared_lock<std::shared_mutex> LockFrame(TreeGate* gate) {
   return gate->LockShared();
 }
 
+/// Per-session glue between the spec's budget knobs, the overload
+/// governor, and the engines: arms the budget each frame with
+/// governor-scaled limits, decides shedding, and feeds frame latency back.
+/// Inactive (no budget, no limits, no governor) it hands the engines a
+/// null budget — the bit-identical pre-budget path.
+class FrameController {
+ public:
+  FrameController(const SessionSpec& spec, OverloadGovernor* governor)
+      : spec_(spec),
+        governor_(governor),
+        budget_(spec.budget != nullptr ? spec.budget : &local_),
+        active_(spec.budget != nullptr || governor != nullptr ||
+                spec.frame_deadline_us > 0 || spec.frame_node_budget > 0) {}
+
+  /// What the engines see: null when the session runs unbudgeted.
+  QueryBudget* engine_budget() { return active_ ? budget_ : nullptr; }
+
+  bool cancelled() const { return active_ && budget_->cancel_requested(); }
+
+  /// Arms the budget for the coming frame. True: the governor sheds this
+  /// frame instead — skip it entirely.
+  bool ShedOrArm() {
+    if (!active_) return false;
+    OverloadGovernor::Directive d;
+    d.frame_deadline_ns = spec_.frame_deadline_us * 1000;
+    d.node_budget = spec_.frame_node_budget;
+    if (governor_ != nullptr) {
+      d = governor_->FrameDirective(spec_.priority, d.frame_deadline_ns,
+                                    d.node_budget);
+    }
+    horizon_scale_ = d.horizon_scale;
+    if (d.shed_frame) {
+      ExecMetrics::Get().frames_shed->Add();
+      return true;
+    }
+    budget_->ArmFrame(
+        QueryBudget::Limits{d.frame_deadline_ns, d.node_budget});
+    frame_start_ns_ = governor_ != nullptr ? NowNs() : 0;
+    return false;
+  }
+
+  bool FrameDegraded() const { return active_ && budget_->stopped(); }
+
+  /// Reports the completed frame's wall time to the governor.
+  void EndFrame() {
+    if (governor_ == nullptr) return;
+    const uint64_t frame_ns = NowNs() - frame_start_ns_;
+    ExecMetrics::Get().frame_ns->Record(frame_ns);
+    governor_->OnFrame(frame_ns);
+  }
+
+  double horizon_scale() const { return horizon_scale_; }
+  bool governed() const { return governor_ != nullptr; }
+
+ private:
+  const SessionSpec& spec_;
+  OverloadGovernor* governor_;
+  QueryBudget local_;
+  QueryBudget* budget_;
+  bool active_;
+  double horizon_scale_ = 1.0;
+  uint64_t frame_start_ns_ = 0;
+};
+
+/// Shared end-of-session bookkeeping for the three runners.
+void FinishSession(SessionResult* out, const FrameController& ctl) {
+  if (ctl.cancelled()) {
+    out->outcome = SessionResult::Outcome::kCancelled;
+    ExecMetrics::Get().sessions_cancelled->Add();
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // ThreadPool.
 
-ThreadPool::ThreadPool(int num_threads) {
-  DQMO_CHECK(num_threads >= 1);
-  workers_.reserve(static_cast<size_t>(num_threads));
-  for (int i = 0; i < num_threads; ++i) {
+ThreadPool::ThreadPool(int num_threads)
+    : ThreadPool(Options{num_threads, 0}) {}
+
+ThreadPool::ThreadPool(const Options& options) : options_(options) {
+  DQMO_CHECK(options.num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -151,32 +241,81 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+size_t ThreadPool::QueueDepthLocked() const {
+  size_t depth = 0;
+  for (const auto& q : queues_) depth += q.size();
+  return depth;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QueueDepthLocked();
+}
+
+void ThreadPool::Submit(std::function<void()> task,
+                        SessionPriority priority) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (options_.max_queue > 0) {
+      // Backpressure: a full bounded queue slows the producer down instead
+      // of growing without limit.
+      space_cv_.wait(lock, [this] {
+        return QueueDepthLocked() < options_.max_queue;
+      });
+    }
+    queues_[static_cast<size_t>(priority)].push_back(std::move(task));
+    const size_t depth = QueueDepthLocked();
+    ExecMetrics::Get().queue_depth->Set(static_cast<int64_t>(depth));
+    ExecMetrics::Get().queue_depth_peak->SetMax(static_cast<int64_t>(depth));
   }
   work_cv_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task,
+                           SessionPriority priority) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.max_queue > 0 && QueueDepthLocked() >= options_.max_queue) {
+      return false;
+    }
+    queues_[static_cast<size_t>(priority)].push_back(std::move(task));
+    const size_t depth = QueueDepthLocked();
+    ExecMetrics::Get().queue_depth->Set(static_cast<int64_t>(depth));
+    ExecMetrics::Get().queue_depth_peak->SetMax(static_cast<int64_t>(depth));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock,
+                [this] { return QueueDepthLocked() == 0 && active_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stop_ and drained.
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
+    work_cv_.wait(lock, [this] { return stop_ || QueueDepthLocked() > 0; });
+    std::deque<std::function<void()>>* queue = nullptr;
+    for (auto& q : queues_) {  // Highest priority class first.
+      if (!q.empty()) {
+        queue = &q;
+        break;
+      }
+    }
+    if (queue == nullptr) return;  // stop_ and drained.
+    std::function<void()> task = std::move(queue->front());
+    queue->pop_front();
+    ExecMetrics::Get().queue_depth->Set(
+        static_cast<int64_t>(QueueDepthLocked()));
     ++active_;
     lock.unlock();
+    space_cv_.notify_one();
     task();
     lock.lock();
     --active_;
-    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    if (QueueDepthLocked() == 0 && active_ == 0) idle_cv_.notify_all();
   }
 }
 
@@ -230,22 +369,37 @@ TreeGate::WriteGuard::~WriteGuard() {
 namespace {
 
 SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
-                                PageReader* reader, TreeGate* gate) {
+                                PageReader* reader, TreeGate* gate,
+                                OverloadGovernor* governor) {
   SessionResult out;
   out.checksum = kFnvOffset;
   Rng rng(spec.seed);
   Observer obs = MakeObserver(&rng, spec);
+  FrameController ctl(spec, governor);
 
   DynamicQuerySession::Options sopt;
   sopt.window = spec.window;
   sopt.reader = reader;
   sopt.npdq.reader = reader;
   sopt.hot_path = spec.hot_path;
+  sopt.budget = ctl.engine_budget();
+  // A budgeted session must degrade (skip + kPartial), not fail.
+  if (sopt.budget != nullptr) sopt.fault_policy = FaultPolicy::kSkipSubtree;
   DynamicQuerySession session(tree, sopt);
+  const double base_horizon = sopt.prediction_horizon;
 
   for (int i = 1; i <= spec.frames; ++i) {
     const double t = spec.t0 + i * spec.frame_dt;
     obs.Advance(&rng, spec, t);
+    if (ctl.cancelled()) break;
+    if (ctl.ShedOrArm()) {
+      ++out.frames_shed;
+      continue;  // Next frame's [t0, t] interval covers the gap.
+    }
+    if (ctl.governed()) {
+      session.set_prediction_horizon(
+          std::max(1e-3, base_horizon * ctl.horizon_scale()));
+    }
     Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto lock = LockFrame(gate);
     auto frame = session.OnFrame(t, obs.pos, obs.vel);
@@ -257,7 +411,10 @@ SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
     FoldSegments(&out.checksum, &frame->fresh);
     out.objects_delivered += frame->fresh.size();
     ++out.frames_completed;
+    if (ctl.FrameDegraded()) ++out.frames_degraded;
+    ctl.EndFrame();
   }
+  FinishSession(&out, ctl);
   // The session (and its SPDQ's update listener) must unregister before
   // the gate lock of the last frame is long gone; destruction here is
   // outside any shared section, which is fine — AddListener/RemoveListener
@@ -267,21 +424,30 @@ SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
 }
 
 SessionResult RunNpdqSession(RTree* tree, const SessionSpec& spec,
-                             PageReader* reader, TreeGate* gate) {
+                             PageReader* reader, TreeGate* gate,
+                             OverloadGovernor* governor) {
   SessionResult out;
   out.checksum = kFnvOffset;
   Rng rng(spec.seed);
   Observer obs = MakeObserver(&rng, spec);
+  FrameController ctl(spec, governor);
 
   NpdqOptions nopt;
   nopt.reader = reader;
   nopt.hot_path = spec.hot_path;
+  nopt.budget = ctl.engine_budget();
+  if (nopt.budget != nullptr) nopt.fault_policy = FaultPolicy::kSkipSubtree;
   NonPredictiveDynamicQuery npdq(tree, nopt);
 
   double prev_t = spec.t0;
   for (int i = 1; i <= spec.frames; ++i) {
     const double t = spec.t0 + i * spec.frame_dt;
     obs.Advance(&rng, spec, t);
+    if (ctl.cancelled()) break;
+    if (ctl.ShedOrArm()) {
+      ++out.frames_shed;
+      continue;  // prev_t stays: the next snapshot covers the gap.
+    }
     const StBox q(Box::Centered(obs.pos, spec.window), Interval(prev_t, t));
     Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto lock = LockFrame(gate);
@@ -295,26 +461,43 @@ SessionResult RunNpdqSession(RTree* tree, const SessionSpec& spec,
     out.objects_delivered += fresh->size();
     ++out.frames_completed;
     prev_t = t;
+    if (ctl.FrameDegraded()) {
+      ++out.frames_degraded;
+      // An incomplete snapshot must not mask later frames (Lemma 1 assumes
+      // "previous" retrieved everything); re-read fresh next frame.
+      npdq.ResetHistory();
+    }
+    ctl.EndFrame();
   }
+  FinishSession(&out, ctl);
   out.stats = npdq.stats();
   return out;
 }
 
 SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
-                            PageReader* reader, TreeGate* gate) {
+                            PageReader* reader, TreeGate* gate,
+                            OverloadGovernor* governor) {
   SessionResult out;
   out.checksum = kFnvOffset;
   Rng rng(spec.seed);
   Observer obs = MakeObserver(&rng, spec);
+  FrameController ctl(spec, governor);
 
   MovingKnnQuery::Options kopt;
   kopt.reader = reader;
   kopt.hot_path = spec.hot_path;
+  kopt.budget = ctl.engine_budget();
+  if (kopt.budget != nullptr) kopt.fault_policy = FaultPolicy::kSkipSubtree;
   MovingKnnQuery knn(tree, spec.k, kopt);
 
   for (int i = 1; i <= spec.frames; ++i) {
     const double t = spec.t0 + i * spec.frame_dt;
     obs.Advance(&rng, spec, t);
+    if (ctl.cancelled()) break;
+    if (ctl.ShedOrArm()) {
+      ++out.frames_shed;
+      continue;
+    }
     Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto lock = LockFrame(gate);
     auto neighbors = knn.At(t, obs.pos);
@@ -329,7 +512,10 @@ SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
     }
     out.objects_delivered += neighbors->size();
     ++out.frames_completed;
+    if (ctl.FrameDegraded()) ++out.frames_degraded;
+    ctl.EndFrame();
   }
+  FinishSession(&out, ctl);
   out.stats = knn.stats();
   return out;
 }
@@ -337,18 +523,19 @@ SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
 }  // namespace
 
 SessionResult RunSession(RTree* tree, const SessionSpec& spec,
-                         PageReader* reader, TreeGate* gate) {
+                         PageReader* reader, TreeGate* gate,
+                         OverloadGovernor* governor) {
   const uint64_t tick = TickNs();
   SessionResult out;
   switch (spec.kind) {
     case SessionKind::kNpdq:
-      out = RunNpdqSession(tree, spec, reader, gate);
+      out = RunNpdqSession(tree, spec, reader, gate, governor);
       break;
     case SessionKind::kKnn:
-      out = RunKnnSession(tree, spec, reader, gate);
+      out = RunKnnSession(tree, spec, reader, gate, governor);
       break;
     case SessionKind::kSession:
-      out = RunHandoffSession(tree, spec, reader, gate);
+      out = RunHandoffSession(tree, spec, reader, gate, governor);
       break;
   }
   ExecMetrics& em = ExecMetrics::Get();
@@ -370,23 +557,57 @@ ExecutorReport SessionScheduler::Run(const std::vector<SessionSpec>& specs) {
       options_.pool != nullptr ? options_.pool->misses() : 0;
   const auto start = std::chrono::steady_clock::now();
 
+  // Admission decision for one spec; fills the slot on refusal.
+  auto admit = [this](const SessionSpec& spec, size_t queue_depth,
+                      SessionResult* slot) {
+    if (options_.admission == nullptr) return true;
+    const AdmissionOutcome outcome = options_.admission->TryAdmit(
+        spec.client_id, spec.priority, queue_depth);
+    if (outcome == AdmissionOutcome::kAdmitted) return true;
+    slot->status = AdmissionStatus(outcome);
+    slot->outcome = SessionResult::Outcome::kRejected;
+    return false;
+  };
+
   if (options_.num_threads <= 1) {
     for (size_t i = 0; i < specs.size(); ++i) {
-      report.sessions[i] =
-          RunSession(tree_, specs[i], options_.reader, options_.gate);
+      if (!admit(specs[i], 0, &report.sessions[i])) continue;
+      report.sessions[i] = RunSession(tree_, specs[i], options_.reader,
+                                      options_.gate, options_.governor);
+      if (options_.admission != nullptr) {
+        options_.admission->OnSessionDone(specs[i].client_id);
+      }
     }
   } else {
-    ThreadPool pool(options_.num_threads);
+    ThreadPool pool(
+        ThreadPool::Options{options_.num_threads, options_.max_queue});
+    if (options_.governor != nullptr) {
+      options_.governor->AttachQueueProbe(
+          [&pool] { return pool.queue_depth(); });
+    }
     for (size_t i = 0; i < specs.size(); ++i) {
       SessionResult* slot = &report.sessions[i];
       const SessionSpec* spec = &specs[i];
+      const size_t depth = pool.queue_depth();
+      report.max_queue_depth = std::max(report.max_queue_depth, depth);
+      if (!admit(*spec, depth, slot)) continue;
       const uint64_t submit_tick = TickNs();
-      pool.Submit([this, slot, spec, submit_tick] {
-        ExecMetrics::Get().queue_wait_ns->RecordSince(submit_tick);
-        *slot = RunSession(tree_, *spec, options_.reader, options_.gate);
-      });
+      pool.Submit(
+          [this, slot, spec, submit_tick] {
+            ExecMetrics::Get().queue_wait_ns->RecordSince(submit_tick);
+            *slot = RunSession(tree_, *spec, options_.reader, options_.gate,
+                               options_.governor);
+            if (options_.admission != nullptr) {
+              options_.admission->OnSessionDone(spec->client_id);
+            }
+          },
+          spec->priority);
     }
     pool.Wait();
+    if (options_.governor != nullptr) {
+      // The pool dies with this scope; the probe must not outlive it.
+      options_.governor->AttachQueueProbe(nullptr);
+    }
   }
 
   report.wall_seconds =
@@ -395,7 +616,21 @@ ExecutorReport SessionScheduler::Run(const std::vector<SessionSpec>& specs) {
   for (const SessionResult& s : report.sessions) {
     report.total_stats += s.stats;
     report.total_objects += s.objects_delivered;
-    if (report.status.ok() && !s.status.ok()) report.status = s.status;
+    report.total_frames_shed += s.frames_shed;
+    report.total_frames_degraded += s.frames_degraded;
+    switch (s.outcome) {
+      case SessionResult::Outcome::kRejected:
+        ++report.sessions_rejected;
+        break;
+      case SessionResult::Outcome::kCancelled:
+        ++report.sessions_cancelled;
+        break;
+      case SessionResult::Outcome::kCompleted:
+        // Only completed sessions' failures poison the aggregate; a
+        // rejection is a policy outcome, not an engine error.
+        if (report.status.ok() && !s.status.ok()) report.status = s.status;
+        break;
+    }
   }
   if (options_.pool != nullptr) {
     report.pool_hits = options_.pool->hits() - hits0;

@@ -24,6 +24,7 @@
 #ifndef DQMO_SERVER_EXECUTOR_H_
 #define DQMO_SERVER_EXECUTOR_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -34,39 +35,67 @@
 #include <vector>
 
 #include "common/status.h"
+#include "query/budget.h"
 #include "rtree/rtree.h"
 #include "rtree/stats.h"
+#include "server/overload.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 
 namespace dqmo {
 
-/// Fixed-size pool of worker threads draining a FIFO task queue.
+/// Fixed-size pool of worker threads draining per-priority FIFO task
+/// queues (higher priority classes are always dequeued first). The queue
+/// may be bounded: a full bounded pool either rejects (TrySubmit) or
+/// back-pressures the submitter (Submit blocks) instead of growing without
+/// limit — the overload-resilience contract of DESIGN.md.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` (>= 1) workers immediately.
+  struct Options {
+    int num_threads = 1;
+    /// Upper bound on queued-but-not-running tasks across all priorities;
+    /// 0 = unbounded (the pre-admission-control behaviour).
+    size_t max_queue = 0;
+  };
+
+  /// Spawns `num_threads` (>= 1) workers immediately (unbounded queue).
   explicit ThreadPool(int num_threads);
+  explicit ThreadPool(const Options& options);
   /// Blocks until every submitted task finished, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task; blocks while a bounded queue is full (backpressure).
+  /// Tasks must not throw.
+  void Submit(std::function<void()> task,
+              SessionPriority priority = SessionPriority::kNormal);
+
+  /// Enqueues unless the bounded queue is full; false = rejected (the task
+  /// was not consumed in that case). Never blocks.
+  bool TrySubmit(std::function<void()> task,
+                 SessionPriority priority = SessionPriority::kNormal);
 
   /// Blocks until the queue is empty and no task is running.
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks queued but not yet running, across all priorities.
+  size_t queue_depth() const;
+
  private:
   void WorkerLoop();
+  size_t QueueDepthLocked() const;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // Signaled when tasks arrive / stop.
-  std::condition_variable idle_cv_;  // Signaled when the pool drains.
-  std::deque<std::function<void()>> queue_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // Signaled when tasks arrive / stop.
+  std::condition_variable idle_cv_;   // Signaled when the pool drains.
+  std::condition_variable space_cv_;  // Signaled when a bounded slot frees.
+  /// One FIFO per priority class, indexed by SessionPriority.
+  std::array<std::deque<std::function<void()>>, 3> queues_;
   size_t active_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;
@@ -177,15 +206,44 @@ struct SessionSpec {
   /// QueryStats are bit-identical across paths; the determinism tests
   /// assert exactly that).
   HotPath hot_path = HotPath::kSoa;
+
+  // --- Overload-resilience knobs (all defaults preserve the pre-budget
+  // engine bit-for-bit: no budget is consulted, no frame is shed). ---
+
+  /// Client identity for admission quotas.
+  uint64_t client_id = 0;
+  /// Service class: admission headroom and governor shedding order.
+  SessionPriority priority = SessionPriority::kNormal;
+  /// Per-frame wall-clock deadline in microseconds; a frame that exceeds
+  /// it finishes degraded (kPartial). 0 = unbounded.
+  uint64_t frame_deadline_us = 0;
+  /// Per-frame node-read budget; same degradation. 0 = unbounded.
+  uint64_t frame_node_budget = 0;
+  /// Optional externally owned budget, the cooperative-cancellation
+  /// channel: another thread calls budget->RequestCancel() and the session
+  /// winds up with Outcome::kCancelled after its current frame. When null
+  /// and a deadline/node budget (or governor) is active, the runner uses a
+  /// private budget. Must outlive the run.
+  QueryBudget* budget = nullptr;
 };
 
 /// Outcome of one session.
 struct SessionResult {
-  Status status;  // First frame failure, or OK.
+  /// How the session ended. Only kCompleted sessions contribute a failure
+  /// Status to the report-level aggregate; rejected sessions carry their
+  /// ResourceExhausted status here without poisoning it.
+  enum class Outcome : uint8_t { kCompleted, kRejected, kCancelled };
+
+  Status status;  // First frame failure / rejection cause, or OK.
+  Outcome outcome = Outcome::kCompleted;
   /// FNV-1a over (frame index, sorted result keys / neighbor distances).
   uint64_t checksum = 0;
   uint64_t objects_delivered = 0;
   uint64_t frames_completed = 0;
+  /// Frames dropped whole by the overload governor (not evaluated at all).
+  uint64_t frames_shed = 0;
+  /// Frames answered degraded because the budget stopped the traversal.
+  uint64_t frames_degraded = 0;
   /// This session's query-processing cost (disk accesses etc.).
   QueryStats stats;
 };
@@ -199,15 +257,25 @@ struct ExecutorReport {
   /// Shared-pool hit/miss deltas over this run (0 when no pool was given).
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  /// Sessions refused at admission / cancelled cooperatively.
+  uint64_t sessions_rejected = 0;
+  uint64_t sessions_cancelled = 0;
+  uint64_t total_frames_shed = 0;
+  uint64_t total_frames_degraded = 0;
+  /// Deepest pool-queue depth observed at submit time during this run.
+  size_t max_queue_depth = 0;
   double wall_seconds = 0.0;
-  Status status;  // First session failure, or OK.
+  Status status;  // First completed-session failure, or OK.
 };
 
 /// Runs one session to completion. `reader` is the page source for every
 /// query read (null: the tree's file). When `gate` is non-null the shared
-/// side is held for each frame; pass null in single-threaded use.
+/// side is held for each frame; pass null in single-threaded use. When
+/// `governor` is non-null every frame consults it (shed / tightened
+/// limits) and reports its wall time back.
 SessionResult RunSession(RTree* tree, const SessionSpec& spec,
-                         PageReader* reader, TreeGate* gate);
+                         PageReader* reader, TreeGate* gate,
+                         OverloadGovernor* governor = nullptr);
 
 /// Runs a batch of sessions, one task per session, over a fixed-size
 /// thread pool (num_threads <= 1: inline on the calling thread, in spec
@@ -223,6 +291,17 @@ class SessionScheduler {
     TreeGate* gate = nullptr;
     /// When set, the report carries this pool's hit/miss deltas.
     BufferPool* pool = nullptr;
+    /// Bound on the thread pool's task queue; 0 = unbounded. With no
+    /// admission controller a full queue back-pressures the submitter.
+    size_t max_queue = 0;
+    /// Admission policy (not owned, may be null: admit everything).
+    /// Rejected specs get a ResourceExhausted SessionResult with
+    /// Outcome::kRejected and are never queued.
+    AdmissionController* admission = nullptr;
+    /// Overload governor (not owned, may be null). Attached to the pool's
+    /// queue-depth probe for the duration of the run; every frame consults
+    /// it and feeds its latency back.
+    OverloadGovernor* governor = nullptr;
   };
 
   SessionScheduler(RTree* tree, const Options& options)

@@ -1,0 +1,224 @@
+#include "server/overload.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+namespace {
+
+struct OverloadMetrics {
+  Counter* admission_rejected;
+  Counter* admission_admitted;
+  Gauge* governor_state;
+  Counter* governor_escalations;
+
+  static OverloadMetrics& Get() {
+    static OverloadMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return OverloadMetrics{
+          r.GetCounter("dqmo_admission_rejected_total",
+                       "Sessions refused at admission (queue full or quota)"),
+          r.GetCounter("dqmo_admission_admitted_total",
+                       "Sessions admitted into the scheduler"),
+          r.GetGauge("dqmo_governor_state",
+                     "Overload-governor degradation level (0 = transparent)"),
+          r.GetCounter("dqmo_governor_escalations_total",
+                       "Overload-governor level increases"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+const char* SessionPriorityName(SessionPriority priority) {
+  switch (priority) {
+    case SessionPriority::kInteractive:
+      return "interactive";
+    case SessionPriority::kNormal:
+      return "normal";
+    case SessionPriority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+AdmissionOptions AdmissionOptions::FromEnv() {
+  AdmissionOptions o;
+  o.max_queue_depth = static_cast<size_t>(std::max<int64_t>(
+      0, GetEnvInt("DQMO_EXEC_QUEUE_MAX",
+                   static_cast<int64_t>(o.max_queue_depth))));
+  o.per_client_quota = static_cast<uint64_t>(std::max<int64_t>(
+      0, GetEnvInt("DQMO_CLIENT_QUOTA",
+                   static_cast<int64_t>(o.per_client_quota))));
+  return o;
+}
+
+Status AdmissionStatus(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return Status::OK();
+    case AdmissionOutcome::kRejectedQueueFull:
+      return Status::ResourceExhausted("admission rejected: queue full");
+    case AdmissionOutcome::kRejectedQuota:
+      return Status::ResourceExhausted(
+          "admission rejected: per-client quota exceeded");
+  }
+  return Status::Internal("unknown admission outcome");
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+AdmissionOutcome AdmissionController::TryAdmit(uint64_t client_id,
+                                               SessionPriority priority,
+                                               size_t queue_depth) {
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+  if (options_.max_queue_depth > 0) {
+    // Priority headroom: batch loses queue space first, interactive last.
+    size_t allowed = options_.max_queue_depth;
+    if (priority == SessionPriority::kBatch) {
+      allowed = options_.max_queue_depth / 2;
+    } else if (priority == SessionPriority::kNormal) {
+      allowed = options_.max_queue_depth * 4 / 5;
+    }
+    allowed = std::max<size_t>(allowed, 1);
+    if (queue_depth >= allowed) outcome = AdmissionOutcome::kRejectedQueueFull;
+  }
+  if (outcome == AdmissionOutcome::kAdmitted &&
+      options_.per_client_quota > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t& in_flight = in_flight_[client_id];
+    if (in_flight >= options_.per_client_quota) {
+      outcome = AdmissionOutcome::kRejectedQuota;
+    } else {
+      ++in_flight;
+    }
+  }
+  if (outcome == AdmissionOutcome::kAdmitted) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    OverloadMetrics::Get().admission_admitted->Add();
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    OverloadMetrics::Get().admission_rejected->Add();
+  }
+  return outcome;
+}
+
+void AdmissionController::OnSessionDone(uint64_t client_id) {
+  if (options_.per_client_quota == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = in_flight_.find(client_id);
+  if (it != in_flight_.end() && it->second > 0) --it->second;
+}
+
+OverloadGovernor::Options OverloadGovernor::Options::FromEnv() {
+  Options o;
+  o.overload_latency_ns = 1000 * static_cast<uint64_t>(std::max<int64_t>(
+      1, GetEnvInt("DQMO_GOV_LATENCY_US",
+                   static_cast<int64_t>(o.overload_latency_ns / 1000))));
+  o.queue_high_watermark = static_cast<size_t>(std::max<int64_t>(
+      1, GetEnvInt("DQMO_GOV_QUEUE_HIGH",
+                   static_cast<int64_t>(o.queue_high_watermark))));
+  o.queue_low_watermark = static_cast<size_t>(std::max<int64_t>(
+      0, GetEnvInt("DQMO_GOV_QUEUE_LOW",
+                   static_cast<int64_t>(o.queue_low_watermark))));
+  o.window = static_cast<uint64_t>(std::max<int64_t>(
+      1, GetEnvInt("DQMO_GOV_WINDOW", static_cast<int64_t>(o.window))));
+  return o;
+}
+
+OverloadGovernor::OverloadGovernor() : OverloadGovernor(Options()) {}
+
+OverloadGovernor::OverloadGovernor(const Options& options)
+    : options_(options) {
+  OverloadMetrics::Get().governor_state->Set(0);
+}
+
+void OverloadGovernor::AttachQueueProbe(std::function<size_t()> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_ = std::move(probe);
+}
+
+void OverloadGovernor::OnFrame(uint64_t frame_ns) {
+  if (frame_ns >= options_.overload_latency_ns) {
+    window_slow_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint64_t n = window_frames_.fetch_add(1, std::memory_order_relaxed);
+  if ((n + 1) % options_.window == 0) Evaluate();
+}
+
+void OverloadGovernor::Evaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t frames = window_frames_.exchange(0);
+  const uint64_t slow = window_slow_.exchange(0);
+  if (frames == 0) return;  // Another worker evaluated this window.
+  const double slow_frac =
+      static_cast<double>(slow) / static_cast<double>(frames);
+  const size_t depth = probe_ ? probe_() : 0;
+
+  const bool overloaded =
+      slow_frac > 0.5 || depth >= options_.queue_high_watermark;
+  const bool healthy =
+      slow_frac < 0.25 && depth <= options_.queue_low_watermark;
+
+  int level = level_.load(std::memory_order_relaxed);
+  if (overloaded) {
+    healthy_streak_ = 0;
+    if (level < options_.max_level) {
+      level_.store(level + 1, std::memory_order_relaxed);
+      OverloadMetrics::Get().governor_escalations->Add();
+    }
+  } else if (healthy && level > 0) {
+    // Hysteresis: one healthy window is not recovery — overload relieved
+    // by shedding looks healthy while the pressure persists.
+    if (++healthy_streak_ >= options_.recovery_windows) {
+      healthy_streak_ = 0;
+      level_.store(level - 1, std::memory_order_relaxed);
+    }
+  } else {
+    healthy_streak_ = 0;
+  }
+  OverloadMetrics::Get().governor_state->Set(
+      level_.load(std::memory_order_relaxed));
+}
+
+OverloadGovernor::Directive OverloadGovernor::FrameDirective(
+    SessionPriority priority, uint64_t base_deadline_ns,
+    uint64_t base_node_budget) const {
+  Directive d;
+  d.frame_deadline_ns = base_deadline_ns;
+  d.node_budget = base_node_budget;
+  const int level = level_.load(std::memory_order_relaxed);
+  if (level <= 0) return d;
+
+  // Shedding: the deepest levels drop whole frames for the lower classes;
+  // interactive sessions are always served (degraded).
+  if ((level >= 2 && priority == SessionPriority::kBatch) ||
+      (level >= 3 && priority == SessionPriority::kNormal)) {
+    d.shed_frame = true;
+    return d;
+  }
+
+  const double scale = 1.0 / static_cast<double>(uint64_t{1} << level);
+  const uint64_t base = base_deadline_ns != 0
+                            ? base_deadline_ns
+                            : options_.default_frame_deadline_ns;
+  d.frame_deadline_ns = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(base) * scale));
+  if (base_node_budget != 0) {
+    d.node_budget = std::max<uint64_t>(
+        1,
+        static_cast<uint64_t>(static_cast<double>(base_node_budget) * scale));
+  } else if (level >= 2) {
+    d.node_budget = options_.node_budget_cap;
+  }
+  d.horizon_scale = scale;
+  return d;
+}
+
+}  // namespace dqmo

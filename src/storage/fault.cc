@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 #include "common/check.h"
 #include "common/string_util.h"
@@ -76,22 +78,33 @@ FaultInjector::FaultInjector(const Options& options)
 void FaultInjector::AddBitFlip(PageId page, size_t offset, uint8_t mask,
                                bool transient) {
   DQMO_CHECK(offset < kPageSize);
+  std::lock_guard<std::mutex> lock(mu_);
   flips_[page].push_back(BitFlip{offset, mask, transient});
 }
 
 void FaultInjector::AddPermanentFault(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
   dead_pages_[page] = true;
 }
 
 FaultInjector::Decision FaultInjector::NextRead(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t n = ++reads_seen_;
-  // The Bernoulli stream advances on *every* read regardless of which
+  // The Bernoulli streams advance on *every* read regardless of which
   // branch fires, so decisions for read #n are independent of the pages
   // read before it — this is what makes schedules replayable across query
-  // plans that reorder their page accesses.
+  // plans that reorder their page accesses. The slow-read stream draws
+  // strictly after the fault stream (and only when its rate is non-zero),
+  // so pre-existing schedules are unchanged by the new option.
   const bool rate_fault = options_.transient_fault_rate > 0.0 &&
                           rng_.Bernoulli(options_.transient_fault_rate);
+  const bool rate_slow = options_.slow_read_rate > 0.0 &&
+                         rng_.Bernoulli(options_.slow_read_rate);
   Decision d;
+  if (options_.stop_after != 0 && n > options_.stop_after) {
+    // The fault window has closed: everything passes from here on.
+    return d;
+  }
   if (dead_pages_.count(page) != 0) {
     d.kind = Decision::Kind::kPermanentFail;
   } else if (options_.fail_after != 0 && n > options_.fail_after) {
@@ -101,6 +114,12 @@ FaultInjector::Decision FaultInjector::NextRead(PageId page) {
     d.kind = Decision::Kind::kTransientFail;
   } else if (rate_fault) {
     d.kind = Decision::Kind::kTransientFail;
+  } else if ((options_.slow_every_kth != 0 &&
+              n % options_.slow_every_kth == 0) ||
+             rate_slow) {
+    d.kind = Decision::Kind::kSlow;
+    d.delay_us = options_.slow_read_delay_us;
+    ++slow_reads_;
   } else {
     auto it = flips_.find(page);
     if (it != flips_.end()) {
@@ -117,6 +136,7 @@ FaultInjector::Decision FaultInjector::NextRead(PageId page) {
 }
 
 void FaultInjector::ApplyCorruption(PageId page, uint8_t* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = flips_.find(page);
   if (it == flips_.end()) return;
   for (BitFlip& flip : it->second) {
@@ -126,9 +146,15 @@ void FaultInjector::ApplyCorruption(PageId page, uint8_t* buf) {
   }
 }
 
-FaultyPageReader::FaultyPageReader(PageReader* base, FaultInjector* injector)
-    : base_(base), injector_(injector) {
+FaultyPageReader::FaultyPageReader(PageReader* base, FaultInjector* injector,
+                                   Sleeper sleeper)
+    : base_(base), injector_(injector), sleeper_(std::move(sleeper)) {
   DQMO_CHECK(base != nullptr && injector != nullptr);
+  if (!sleeper_) {
+    sleeper_ = [](uint64_t delay_us) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    };
+  }
 }
 
 Result<PageReader::ReadResult> FaultyPageReader::Read(PageId id) {
@@ -147,6 +173,10 @@ Result<PageReader::ReadResult> FaultyPageReader::Read(PageId id) {
       injector_->ApplyCorruption(id, scratch_.data());
       return ReadResult{scratch_.data(), read.physical};
     }
+    case Kind::kSlow:
+      // Latency, not loss: serve the delay, then the intact page.
+      sleeper_(d.delay_us);
+      break;
     case Kind::kPass:
       break;
   }
@@ -155,10 +185,18 @@ Result<PageReader::ReadResult> FaultyPageReader::Read(PageId id) {
 
 RetryingPageReader::RetryingPageReader(PageReader* base,
                                        const RetryPolicy& policy,
-                                       IoStats* stats, Clock clock)
-    : base_(base), policy_(policy), stats_(stats), clock_(std::move(clock)) {
+                                       IoStats* stats, Clock clock,
+                                       Sleeper sleeper)
+    : base_(base),
+      policy_(policy),
+      stats_(stats),
+      clock_(std::move(clock)),
+      sleeper_(std::move(sleeper)),
+      backoff_rng_(policy.backoff_seed) {
   DQMO_CHECK(base != nullptr);
   DQMO_CHECK(policy.max_attempts >= 1);
+  DQMO_CHECK(policy.backoff_base >= 0.0);
+  DQMO_CHECK(policy.backoff_max >= policy.backoff_base);
   if (!clock_) {
     clock_ = [] {
       return std::chrono::duration<double>(
@@ -166,11 +204,17 @@ RetryingPageReader::RetryingPageReader(PageReader* base,
           .count();
     };
   }
+  if (!sleeper_) {
+    sleeper_ = [](double seconds) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    };
+  }
 }
 
 Result<PageReader::ReadResult> RetryingPageReader::Read(PageId id) {
   const double start = clock_();
   Status last = Status::OK();
+  double prev_delay = policy_.backoff_base;
   for (int attempt = 1;; ++attempt) {
     if (attempt > 1 && stats_ != nullptr) ++stats_->retries;
     Result<ReadResult> r = base_->Read(id);
@@ -188,14 +232,37 @@ Result<PageReader::ReadResult> RetryingPageReader::Read(PageId id) {
       if (!Retryable(last)) return last;  // e.g. OutOfRange: a bad request.
     }
     if (attempt >= policy_.max_attempts) break;
+    const double elapsed = clock_() - start;
     if (policy_.per_read_deadline > 0.0 &&
-        clock_() - start >= policy_.per_read_deadline) {
+        elapsed >= policy_.per_read_deadline) {
       last = Status(last.code(),
                     last.message() + StrFormat(" (deadline %.3fs exceeded "
                                                "after %d attempts)",
                                                policy_.per_read_deadline,
                                                attempt));
       break;
+    }
+    if (policy_.backoff_base > 0.0) {
+      // Decorrelated jitter: each delay is drawn from [base, 3 * previous],
+      // capped at backoff_max — spreads concurrent retriers apart instead of
+      // marching them in exponential lockstep.
+      const double hi = std::max(policy_.backoff_base, 3.0 * prev_delay);
+      const double delay = std::min(policy_.backoff_max,
+                                    backoff_rng_.Uniform(policy_.backoff_base,
+                                                         hi));
+      if (policy_.per_read_deadline > 0.0 &&
+          elapsed + delay >= policy_.per_read_deadline) {
+        // The sleep alone would blow the deadline: give up now rather than
+        // sleep past it and discover the overrun afterwards.
+        last = Status(last.code(),
+                      last.message() + StrFormat(" (deadline %.3fs exceeded "
+                                                 "after %d attempts)",
+                                                 policy_.per_read_deadline,
+                                                 attempt));
+        break;
+      }
+      sleeper_(delay);
+      prev_delay = delay;
     }
   }
   ++exhausted_reads_;

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -99,14 +100,27 @@ class CrashPoints {
 /// Decides, deterministically, whether each successive read fails and how.
 /// A schedule combines:
 ///   - a seeded Bernoulli stream of *transient* faults (transient_fault_rate),
+///   - a seeded Bernoulli stream of *slow* reads (slow_read_rate): the page
+///     is delivered intact, but only after a configured delay — the
+///     overload-bench's model of a saturated or degraded disk,
 ///   - "hard" points: fail permanently after N reads (fail_after), fail
-///     transiently on every Kth read (fail_every_kth),
+///     transiently on every Kth read (fail_every_kth), delay every Kth read
+///     (slow_every_kth), stop injecting anything after N reads (stop_after:
+///     "the fault window closes"),
 ///   - targeted corruptions: flip bits of page P at byte B, either once
 ///     (transient: the stored page is intact, only the returned copy is
 ///     damaged) or persistently (every read of P returns damaged bytes).
 ///
 /// Determinism contract: the outcome of read #n depends only on the seed,
-/// the options, and n — never on wall-clock or pointer values.
+/// the options, and n — never on wall-clock or pointer values. New option
+/// streams (slow reads) draw from the Rng only when their rate is non-zero,
+/// so schedules produced by older option sets replay bit-for-bit.
+///
+/// Thread-safe: decision state is guarded by a mutex, so one injector may
+/// be shared by concurrent readers (the overload chaos harness does). Under
+/// concurrency the read *numbering* follows arrival order, so which thread
+/// draws fault #n depends on scheduling — single-threaded use remains
+/// bit-for-bit reproducible.
 class FaultInjector {
  public:
   struct Options {
@@ -118,6 +132,17 @@ class FaultInjector {
     uint64_t fail_after = 0;
     /// Every Kth read (K, 2K, ...) fails transiently. 0 disables.
     uint64_t fail_every_kth = 0;
+    /// Probability that any given read is delayed by slow_read_delay_us
+    /// before being delivered intact. 0 disables.
+    double slow_read_rate = 0.0;
+    /// Every Kth read (K, 2K, ...) is delayed. 0 disables.
+    uint64_t slow_every_kth = 0;
+    /// Delay applied to slow reads, microseconds.
+    uint64_t slow_read_delay_us = 1000;
+    /// After this many reads, every further read passes untouched — no
+    /// faults, no delays (registered per-page flips/dead pages included).
+    /// Models a fault window that clears; 0 = faults never stop.
+    uint64_t stop_after = 0;
   };
 
   /// What the injector decided for one read.
@@ -127,8 +152,10 @@ class FaultInjector {
       kTransientFail,  // IOError this time; a retry may succeed.
       kPermanentFail,  // IOError now and on every future attempt.
       kCorrupt,        // Deliver the page with bytes flipped.
+      kSlow,           // Deliver the page untouched after delay_us.
     };
     Kind kind = Kind::kPass;
+    uint64_t delay_us = 0;  // Meaningful for kSlow.
   };
 
   explicit FaultInjector(const Options& options);
@@ -151,9 +178,20 @@ class FaultInjector {
   void ApplyCorruption(PageId page, uint8_t* buf);
 
   /// Total reads decided so far.
-  uint64_t reads_seen() const { return reads_seen_; }
-  /// Faults injected so far (all kinds).
-  uint64_t faults_injected() const { return faults_injected_; }
+  uint64_t reads_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reads_seen_;
+  }
+  /// Faults injected so far (all kinds, slow reads included).
+  uint64_t faults_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_injected_;
+  }
+  /// Slow (delayed) reads decided so far.
+  uint64_t slow_reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slow_reads_;
+  }
 
  private:
   struct BitFlip {
@@ -164,9 +202,12 @@ class FaultInjector {
   };
 
   Options options_;
+  mutable std::mutex mu_;
+  // All decision state below is guarded by mu_.
   Rng rng_;
   uint64_t reads_seen_ = 0;
   uint64_t faults_injected_ = 0;
+  uint64_t slow_reads_ = 0;
   std::unordered_map<PageId, std::vector<BitFlip>> flips_;
   std::unordered_map<PageId, bool> dead_pages_;
 };
@@ -177,15 +218,23 @@ class FaultInjector {
 /// does read the page; transient/permanent failures abort before it).
 class FaultyPageReader : public PageReader {
  public:
+  /// How a kSlow decision's delay is served; injectable so latency-fault
+  /// tests stay deterministic and sleep-free. The default performs a real
+  /// sleep_for of that many microseconds.
+  using Sleeper = std::function<void(uint64_t delay_us)>;
+
   /// Neither pointer is owned. `injector` may be shared across readers
-  /// (its stream then interleaves in call order).
-  FaultyPageReader(PageReader* base, FaultInjector* injector);
+  /// (its stream then interleaves in call order). A null `sleeper` uses a
+  /// real sleep.
+  FaultyPageReader(PageReader* base, FaultInjector* injector,
+                   Sleeper sleeper = nullptr);
 
   Result<ReadResult> Read(PageId id) override;
 
  private:
   PageReader* base_;
   FaultInjector* injector_;
+  Sleeper sleeper_;
   // Corrupted deliveries need a private buffer: the base reader's bytes
   // must stay pristine (transient corruption, by definition, is not
   // written back).
@@ -213,7 +262,23 @@ class RetryingPageReader : public PageReader {
     /// Verify the delivered page's checksum even when the base reader
     /// claims success; a mismatch counts as a retryable corruption.
     bool verify_checksums = true;
+    /// Decorrelated-jitter backoff between attempts, seconds. 0 (default)
+    /// keeps the legacy back-to-back retries (no sleeps, no Rng draws).
+    /// With base > 0, the delay before retry k is
+    ///   min(backoff_max, Uniform(backoff_base, 3 * previous_delay))
+    /// — the AWS "decorrelated jitter" scheme, which spreads retry storms
+    /// without the lockstep of plain exponential backoff. A sleep is never
+    /// started when it would overrun per_read_deadline; the read gives up
+    /// with the deadline message instead.
+    double backoff_base = 0.0;
+    double backoff_max = 0.1;
+    /// Seed for the jitter stream (deterministic per reader).
+    uint64_t backoff_seed = 1;
   };
+
+  /// Serves a backoff delay (seconds); injectable so backoff tests run
+  /// without real sleeps. A null sleeper sleeps for real.
+  using Sleeper = std::function<void(double seconds)>;
 
   /// Seconds-valued monotonic clock; injectable so deadline behaviour is
   /// testable without sleeping.
@@ -222,9 +287,11 @@ class RetryingPageReader : public PageReader {
   /// `base` is not owned. `stats` (may be null) receives retry and
   /// checksum-failure counts; pass the PageFile's mutable_stats() to fold
   /// them into the experiment accounting. A default clock (steady_clock)
-  /// is used when `clock` is null.
+  /// is used when `clock` is null; a default real sleep when `sleeper` is
+  /// null.
   RetryingPageReader(PageReader* base, const RetryPolicy& policy,
-                     IoStats* stats = nullptr, Clock clock = nullptr);
+                     IoStats* stats = nullptr, Clock clock = nullptr,
+                     Sleeper sleeper = nullptr);
 
   Result<ReadResult> Read(PageId id) override;
 
@@ -242,6 +309,8 @@ class RetryingPageReader : public PageReader {
   RetryPolicy policy_;
   IoStats* stats_;
   Clock clock_;
+  Sleeper sleeper_;
+  Rng backoff_rng_;
   uint64_t exhausted_reads_ = 0;
 };
 

@@ -261,5 +261,184 @@ TEST(RetryingPageReaderTest, EndToEndStackIsDeterministic) {
   EXPECT_GT(retries[0], 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Latency faults (slow reads).
+
+TEST(FaultInjectorTest, SlowReadScheduleIsDeterministic) {
+  FaultInjector::Options options;
+  options.seed = 321;
+  options.slow_read_rate = 0.2;
+  options.slow_read_delay_us = 750;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int i = 0; i < 2000; ++i) {
+    const auto da = a.NextRead(static_cast<PageId>(i % 5));
+    const auto db = b.NextRead(static_cast<PageId>(i % 5));
+    EXPECT_EQ(static_cast<int>(da.kind), static_cast<int>(db.kind))
+        << "diverged at read " << i;
+    if (da.kind == FaultInjector::Decision::Kind::kSlow) {
+      EXPECT_EQ(da.delay_us, 750u);
+    }
+  }
+  EXPECT_EQ(a.slow_reads(), b.slow_reads());
+  EXPECT_GT(a.slow_reads(), 0u);  // 0.2 over 2000 reads: certain.
+}
+
+TEST(FaultInjectorTest, SlowEveryKthDelaysExactlyEveryKth) {
+  FaultInjector::Options options;
+  options.slow_every_kth = 4;
+  options.slow_read_delay_us = 500;
+  FaultInjector injector(options);
+  for (int i = 1; i <= 40; ++i) {
+    const auto d = injector.NextRead(0);
+    if (i % 4 == 0) {
+      EXPECT_EQ(d.kind, FaultInjector::Decision::Kind::kSlow) << i;
+      EXPECT_EQ(d.delay_us, 500u);
+    } else {
+      EXPECT_EQ(d.kind, FaultInjector::Decision::Kind::kPass) << i;
+    }
+  }
+  EXPECT_EQ(injector.slow_reads(), 10u);
+  EXPECT_EQ(injector.faults_injected(), 10u);
+}
+
+TEST(FaultInjectorTest, SlowEveryKthDoesNotPerturbFaultStream) {
+  // Adding the (draw-free) slow_every_kth option must leave the seeded
+  // transient-fault positions bit-identical — the determinism contract for
+  // replaying old schedules under new option sets.
+  FaultInjector::Options base;
+  base.seed = 99;
+  base.transient_fault_rate = 0.25;
+  FaultInjector::Options with_slow = base;
+  with_slow.slow_every_kth = 8;
+  FaultInjector a(base);
+  FaultInjector b(with_slow);
+  for (int i = 1; i <= 2000; ++i) {
+    const auto da = a.NextRead(0);
+    const auto db = b.NextRead(0);
+    const bool fault_a = da.kind == FaultInjector::Decision::Kind::kTransientFail;
+    const bool fault_b = db.kind == FaultInjector::Decision::Kind::kTransientFail;
+    EXPECT_EQ(fault_a, fault_b) << "fault stream diverged at read " << i;
+  }
+  EXPECT_GT(b.slow_reads(), 0u);
+}
+
+TEST(FaultInjectorTest, StopAfterClosesTheFaultWindow) {
+  FaultInjector::Options options;
+  options.fail_every_kth = 2;
+  options.stop_after = 10;
+  FaultInjector injector(options);
+  injector.AddPermanentFault(3);
+  uint64_t faults_in_window = 0;
+  for (int i = 1; i <= 10; ++i) {
+    if (injector.NextRead(3).kind != FaultInjector::Decision::Kind::kPass) {
+      ++faults_in_window;
+    }
+  }
+  EXPECT_EQ(faults_in_window, 10u);  // Dead page: every read in the window.
+  // Past stop_after even the dead page reads clean: the outage is over.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(injector.NextRead(3).kind,
+              FaultInjector::Decision::Kind::kPass);
+  }
+  EXPECT_EQ(injector.faults_injected(), 10u);
+}
+
+TEST(FaultyPageReaderTest, SlowReadsDeliverIntactPagesThroughTheSleeper) {
+  PageFile file = MakeFile(2);
+  FaultInjector::Options options;
+  options.slow_every_kth = 2;
+  options.slow_read_delay_us = 1234;
+  FaultInjector injector(options);
+  std::vector<uint64_t> slept;
+  FaultyPageReader faulty(&file, &injector,
+                          [&slept](uint64_t us) { slept.push_back(us); });
+  for (int i = 0; i < 6; ++i) {
+    auto r = faulty.Read(static_cast<PageId>(i % 2));
+    ASSERT_TRUE(r.ok());
+    auto direct = file.Read(static_cast<PageId>(i % 2));
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(std::memcmp(r->data, direct->data, kPageSize), 0);
+  }
+  EXPECT_EQ(slept, (std::vector<uint64_t>{1234, 1234, 1234}));
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff.
+
+TEST(RetryingPageReaderTest, DecorrelatedJitterBackoffIsSeededAndBounded) {
+  auto run = [](uint64_t seed) {
+    PageFile file = MakeFile(1);
+    FaultInjector injector(FaultInjector::Options{});
+    injector.AddPermanentFault(0);
+    FaultyPageReader faulty(&file, &injector);
+    RetryingPageReader::RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.backoff_base = 0.001;
+    policy.backoff_max = 0.020;
+    policy.backoff_seed = seed;
+    std::vector<double> slept;
+    RetryingPageReader retrying(
+        &faulty, policy, file.mutable_stats(), /*clock=*/nullptr,
+        [&slept](double seconds) { slept.push_back(seconds); });
+    EXPECT_FALSE(retrying.Read(0).ok());
+    return slept;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  // One delay between each pair of attempts; deterministic per seed.
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (const double d : a) {
+    EXPECT_GE(d, 0.001);
+    EXPECT_LE(d, 0.020);
+  }
+}
+
+TEST(RetryingPageReaderTest, BackoffNeverSleepsPastTheDeadline) {
+  // Fake clock + fake sleeper: the reader must give up with the deadline
+  // message the moment a planned sleep would overrun per_read_deadline —
+  // it never starts that sleep.
+  PageFile file = MakeFile(1);
+  FaultInjector injector(FaultInjector::Options{});
+  injector.AddPermanentFault(0);
+  FaultyPageReader faulty(&file, &injector);
+  RetryingPageReader::RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.per_read_deadline = 0.050;
+  policy.backoff_base = 0.015;
+  policy.backoff_max = 0.015;  // Every delay is exactly 15 ms.
+  double now = 0.0;
+  double slept_total = 0.0;
+  RetryingPageReader retrying(
+      &faulty, policy, file.mutable_stats(), [&now] { return now; },
+      [&now, &slept_total](double seconds) {
+        now += seconds;
+        slept_total += seconds;
+      });
+  const Status s = retrying.Read(0).status();
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.message().find("deadline"), std::string::npos) << s.message();
+  // 3 sleeps of 15 ms fit in 50 ms; the 4th would overrun and is refused.
+  EXPECT_DOUBLE_EQ(slept_total, 0.045);
+  EXPECT_LE(now, policy.per_read_deadline);
+}
+
+TEST(RetryingPageReaderTest, ZeroBackoffBaseNeverSleeps) {
+  PageFile file = MakeFile(1);
+  FaultInjector injector(FaultInjector::Options{});
+  injector.AddPermanentFault(0);
+  FaultyPageReader faulty(&file, &injector);
+  RetryingPageReader::RetryPolicy policy;  // backoff_base defaults to 0.
+  policy.max_attempts = 5;
+  RetryingPageReader retrying(&faulty, policy, file.mutable_stats(),
+                              /*clock=*/nullptr, [](double) {
+                                FAIL() << "legacy policy must not sleep";
+                              });
+  EXPECT_FALSE(retrying.Read(0).ok());
+}
+
 }  // namespace
 }  // namespace dqmo

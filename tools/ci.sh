@@ -55,6 +55,8 @@ echo "==== [tsan] metrics histogram hammer ===="
 "${tsan_dir}/tests/metrics_test"
 echo "==== [tsan] oracle sweep (seed 1) ===="
 "${tsan_dir}/tests/oracle_test" --gtest_filter='*seed1'
+echo "==== [tsan] overload: cancellation/deadline hammer + chaos sweep ===="
+"${tsan_dir}/tests/overload_test"
 
 # Crash-recovery stage: the fork-based kill tests kill a child at every
 # registered CrashPoint and assert recovery matches the oracle on the
@@ -85,6 +87,17 @@ env "${hot_path_env[@]}" "build-ci/release/bench/abl_hot_path"
 echo "==== [hot-path] A15 ablation gate (DQMO_DISABLE_SIMD=1 fallback) ===="
 env "${hot_path_env[@]}" DQMO_DISABLE_SIMD=1 \
   "build-ci/release/bench/abl_hot_path"
+
+# Overload-resilience gate: the A16 ablation with its invariants armed.
+# DQMO_CHECK_OVERLOAD=1 makes the binary abort unless the resilient stack
+# sheds before it falls over — at 1x load zero sheds and zero rejections;
+# under the 4x burst with injected slow reads the queue depth stays at its
+# bound, p99 submit-to-start wait beats the unbounded baseline, shed and
+# reject counters are nonzero, and the protected-class (interactive +
+# normal) goodput holds at >= 50% of the 1x yardstick.
+echo "==== [overload] A16 overload-resilience gate ===="
+env DQMO_OBJECTS=2000 DQMO_CACHE_DIR=build-ci/dqmo_cache \
+  DQMO_CHECK_OVERLOAD=1 "build-ci/release/bench/abl_overload"
 
 # Metrics stage, part 1: the observability layer must be free when turned
 # off. Build abl_hot_path once with the compile-time kill switch

@@ -53,6 +53,7 @@
 #include "rtree/rtree.h"
 #include "server/durability.h"
 #include "server/executor.h"
+#include "server/overload.h"
 #include "storage/buffer_pool.h"
 #include "storage/wal.h"
 #include "workload/data_generator.h"
@@ -432,20 +433,38 @@ int CmdStats(const std::string& path, int argc, char** argv) {
   });
 
   std::vector<SessionSpec> specs;
-  for (int i = 0; i < 6; ++i) {
+  for (int i = 0; i < 10; ++i) {
     SessionSpec spec;
     spec.kind = i % 3 == 0   ? SessionKind::kSession
                 : i % 3 == 1 ? SessionKind::kNpdq
                              : SessionKind::kKnn;
     spec.seed = static_cast<uint64_t>(100 + i);
     spec.frames = 40;
+    spec.priority = static_cast<SessionPriority>(i % 3);
+    // Four sessions share client 9 against a quota of two — two of them
+    // are refused at admission, so the rejection counter is nonzero. The
+    // rest get a client each and run unimpeded.
+    spec.client_id = i >= 6 ? 9 : static_cast<uint64_t>(i);
+    if (i < 2) {
+      // A starvation-level node budget: these sessions' frames finish
+      // degraded, so the budget-exhausted counter is nonzero.
+      spec.frame_node_budget = 1;
+    }
     specs.push_back(spec);
   }
+  // The overload families (admission, governor, budget) register on first
+  // use; wire the whole resilience stack in so `stats` exposes them too.
+  AdmissionOptions aopt;
+  aopt.per_client_quota = 2;
+  AdmissionController admission(aopt);
+  OverloadGovernor governor;
   SessionScheduler::Options sched;
   sched.num_threads = 4;
   sched.reader = &pool;
   sched.gate = &gate;
   sched.pool = &pool;
+  sched.admission = &admission;
+  sched.governor = &governor;
   SessionScheduler scheduler(tree.get(), sched);
   ExecutorReport report = scheduler.Run(specs);
   writer.join();
