@@ -1,0 +1,168 @@
+// Ablation A17 — sharded scale-out: node reads and frame-latency tails vs
+// shard count over one large bulk-loaded population.
+//
+// For each shard count the same mixed session sweep (PDQ handoff, NPDQ,
+// moving kNN) runs through the ShardRouter against a freshly bulk-loaded
+// N-shard engine. Per-session merged checksums MUST be identical across
+// every shard count — the bench aborts on the first mismatch, so a
+// committed BENCH_abl_sharding.json is itself a differential certificate.
+// The perf story: the NPDQ root-bounds prune and the smaller per-shard
+// trees cut node reads and the p99 frame latency as shards are added,
+// until fan-out overhead (kNN searches every shard) catches up.
+//
+// Scale knobs:
+//   DQMO_OBJECTS=N   population size (default 200000; the committed JSON
+//                    was produced with DQMO_OBJECTS=1000000)
+//   DQMO_FULL=1      shorthand for 1M objects
+//   DQMO_SESSIONS=N  sessions per shard count (default 12, 1/3 each kind)
+//   DQMO_FRAMES=N    frames per session (default 15)
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/env.h"
+#include "server/router.h"
+#include "server/shard.h"
+#include "workload/data_generator.h"
+
+namespace {
+
+using namespace dqmo;
+using namespace dqmo::bench;
+
+const int kShardCounts[] = {1, 4, 16, 64};
+
+std::vector<SessionSpec> MakeSpecs(int sessions, int frames) {
+  const SessionKind kinds[] = {SessionKind::kSession, SessionKind::kNpdq,
+                               SessionKind::kKnn};
+  std::vector<SessionSpec> specs;
+  for (int i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    spec.kind = kinds[i % 3];
+    spec.seed = 7000 + static_cast<uint64_t>(i);
+    spec.frames = frames;
+    // Stay well inside the generated horizon so every frame has live
+    // segments to deliver.
+    spec.t0 = 0.2 + 0.02 * i;
+    spec.record_frame_latency = true;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+uint64_t PercentileUs(std::vector<uint64_t>* latencies, double p) {
+  if (latencies->empty()) return 0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(latencies->size() - 1) / 100.0 + 0.5);
+  return (*latencies)[std::min(idx, latencies->size() - 1)];
+}
+
+struct Point {
+  int shards = 0;
+  uint64_t node_reads = 0;
+  uint64_t decoded_hits = 0;
+  uint64_t objects = 0;
+  uint64_t frame_p50_us = 0;
+  uint64_t frame_p99_us = 0;
+  double wall_seconds = 0.0;
+  std::vector<uint64_t> checksums;
+};
+
+int Main() {
+  const bool full = GetEnvInt("DQMO_FULL", 0) != 0;
+  const int objects = static_cast<int>(
+      GetEnvInt("DQMO_OBJECTS", full ? 1'000'000 : 200'000));
+  const int sessions = static_cast<int>(GetEnvInt("DQMO_SESSIONS", 12));
+  const int frames = static_cast<int>(GetEnvInt("DQMO_FRAMES", 15));
+
+  DataGeneratorOptions dopt;
+  dopt.num_objects = objects;
+  dopt.horizon = 2.0;  // ~2 segments per object: population >= 2x objects.
+  dopt.seed = 42;
+  auto data = GenerateMotionData(dopt);
+  DQMO_CHECK(data.ok());
+  std::printf("# population: %d objects, %zu segments\n", objects,
+              data->size());
+
+  const std::vector<SessionSpec> specs = MakeSpecs(sessions, frames);
+  std::vector<Point> points;
+
+  for (const int n : kShardCounts) {
+    ShardedEngineOptions sopt;
+    sopt.num_shards = n;
+    auto engine = ShardedEngine::Create(sopt);
+    DQMO_CHECK(engine.ok());
+    DQMO_CHECK((*engine)->BulkLoad(*data).ok());
+
+    const ExecutorReport report = ShardRouter(engine->get()).Run(specs);
+    DQMO_CHECK(report.status.ok());
+
+    Point pt;
+    pt.shards = n;
+    pt.node_reads = report.total_stats.node_reads.load();
+    pt.decoded_hits = report.total_stats.decoded_hits.load();
+    pt.objects = report.total_objects;
+    pt.wall_seconds = report.wall_seconds;
+    std::vector<uint64_t> latencies;
+    for (const SessionResult& s : report.sessions) {
+      pt.checksums.push_back(s.checksum);
+      latencies.insert(latencies.end(), s.frame_latencies_us.begin(),
+                       s.frame_latencies_us.end());
+    }
+    pt.frame_p50_us = PercentileUs(&latencies, 50.0);
+    pt.frame_p99_us = PercentileUs(&latencies, 99.0);
+    points.push_back(std::move(pt));
+  }
+
+  // The differential gate: every shard count must deliver byte-identical
+  // per-session results. A perf table over wrong answers is worthless.
+  for (size_t i = 1; i < points.size(); ++i) {
+    DQMO_CHECK(points[i].checksums == points[0].checksums);
+  }
+  std::printf("# checksums: identical across shard counts %d..%d (%zu "
+              "sessions)\n",
+              kShardCounts[0], points.back().shards,
+              points[0].checksums.size());
+
+  BenchJsonWriter json("abl_sharding");
+  Table table({"shards", "node reads", "decoded hits", "objects",
+               "frame p50 (us)", "frame p99 (us)", "wall (s)"});
+  for (const Point& pt : points) {
+    table.AddRow({std::to_string(pt.shards), std::to_string(pt.node_reads),
+                  std::to_string(pt.decoded_hits),
+                  std::to_string(pt.objects),
+                  std::to_string(pt.frame_p50_us),
+                  std::to_string(pt.frame_p99_us), Fmt(pt.wall_seconds, 2)});
+    JsonObject& row = json.AddRow();
+    row.Int("shards", static_cast<uint64_t>(pt.shards))
+        .Int("objects_population", static_cast<uint64_t>(objects))
+        .Int("segments", static_cast<uint64_t>(data->size()))
+        .Int("sessions", static_cast<uint64_t>(sessions))
+        .Int("node_reads", pt.node_reads)
+        .Int("decoded_hits", pt.decoded_hits)
+        .Int("objects_returned", pt.objects)
+        .Int("frame_p50_us", pt.frame_p50_us)
+        .Int("frame_p99_us", pt.frame_p99_us)
+        .Num("wall_seconds", pt.wall_seconds)
+        .Int("checksum_fold", [&pt] {
+          uint64_t fold = 1469598103934665603ULL;
+          for (const uint64_t c : pt.checksums) {
+            fold ^= c;
+            fold *= 1099511628211ULL;
+          }
+          return fold;
+        }());
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
+  return Main();
+}

@@ -19,6 +19,15 @@ int64_t GetEnvInt(const char* name, int64_t fallback) {
   return parsed;
 }
 
+double GetEnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
 bool GetEnvBool(const char* name, bool fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || v[0] == '\0') return fallback;

@@ -14,6 +14,9 @@ std::string GetEnvString(const char* name, const std::string& fallback);
 /// Parses the environment variable as int64; `fallback` on unset/garbage.
 int64_t GetEnvInt(const char* name, int64_t fallback);
 
+/// Parses the environment variable as double; `fallback` on unset/garbage.
+double GetEnvDouble(const char* name, double fallback);
+
 /// True when the variable is set to a truthy value ("1", "true", "yes").
 bool GetEnvBool(const char* name, bool fallback);
 

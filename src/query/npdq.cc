@@ -74,6 +74,13 @@ void NonPredictiveDynamicQuery::ResetHistory() {
   prev_stamp_ = 0;
 }
 
+void NonPredictiveDynamicQuery::NoteSkippedSnapshot(const StBox& q) {
+  // Exactly the prev-installation Execute performs, minus the traversal:
+  // the caller certified the answer set is empty.
+  prev_ = q;
+  prev_stamp_ = tree_->stamp();
+}
+
 Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
                                         const StBox& q, int depth,
                                         std::vector<MotionSegment>* out) {

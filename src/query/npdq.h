@@ -111,6 +111,17 @@ class NonPredictiveDynamicQuery {
   /// the next Execute behaves as a first query.
   void ResetHistory();
 
+  /// Records `q` as the previous snapshot *without* evaluating it — for a
+  /// caller that proved q matches nothing in this tree (the sharded router
+  /// skips shards whose root bounds miss q). Sound exactly under that
+  /// proof: an empty answer set makes "retrieved by P" trivially empty, so
+  /// installing q as P (with the current tree stamp, as Execute would)
+  /// leaves every later delta identical to having executed q. Without the
+  /// prev update a skipped snapshot would be silently wrong: a segment
+  /// matching q_{i-1} and q_{i+1} but not q_i must still be suppressed in
+  /// frame i+1.
+  void NoteSkippedSnapshot(const StBox& q);
+
   const QueryStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 

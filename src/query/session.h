@@ -20,6 +20,16 @@
 // disappearance-time cache absorbs duplicates). No visible object is ever
 // missed. SPDQ frames may deliver a superset of the exact view (the
 // inflated window), exactly as Sect. 4 describes.
+//
+// Sharded lockstep contract (server/router.h): the sharded engine runs one
+// DynamicQuerySession per shard, all fed the identical observer state each
+// frame. Every decision a session makes — hand-off, refit, horizon renewal
+// — depends only on the observer's motion, never on what the frame
+// delivered, so N lockstep sessions stay in the same mode on the same
+// frames and their per-frame streams union (deduplicated, entry-time
+// merged) to exactly the single-tree session's stream. Keep it that way:
+// a future heuristic that consults delivered results would silently break
+// the router's exactness argument.
 #ifndef DQMO_QUERY_SESSION_H_
 #define DQMO_QUERY_SESSION_H_
 

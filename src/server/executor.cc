@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
-#include <cstring>
 
 #include "common/check.h"
 #include "common/metrics.h"
@@ -13,209 +11,20 @@
 #include "query/knn.h"
 #include "query/npdq.h"
 #include "query/session.h"
+#include "server/session_runner.h"
 
 namespace dqmo {
-namespace {
 
-/// Gate + scheduler metrics (process-wide; the ExecutorReport remains the
-/// exact per-run account).
-struct ExecMetrics {
-  Histogram* reader_wait_ns;
-  Histogram* writer_wait_ns;
-  Histogram* handover_ns;
-  Histogram* queue_wait_ns;
-  Histogram* session_ns;
-  Histogram* frame_ns;
-  Counter* sessions;
-  Counter* session_objects;
-  Counter* frames_shed;
-  Counter* sessions_cancelled;
-  Gauge* queue_depth;
-  Gauge* queue_depth_peak;
-
-  static ExecMetrics& Get() {
-    static ExecMetrics m = [] {
-      MetricsRegistry& r = MetricsRegistry::Global();
-      return ExecMetrics{
-          r.GetHistogram("dqmo_gate_reader_wait_ns",
-                         "TreeGate shared-side acquisition wait"),
-          r.GetHistogram("dqmo_gate_writer_wait_ns",
-                         "TreeGate exclusive-side acquisition wait"),
-          r.GetHistogram("dqmo_gate_handover_ns",
-                         "WriteGuard release: invalidate + seal + WAL sync"),
-          r.GetHistogram("dqmo_exec_queue_wait_ns",
-                         "Submit-to-start wait in the session thread pool"),
-          r.GetHistogram("dqmo_exec_session_ns",
-                         "Wall time of one complete query session"),
-          r.GetHistogram("dqmo_exec_frame_ns",
-                         "Wall time of one governed session frame"),
-          r.GetCounter("dqmo_exec_sessions_total",
-                       "Query sessions run to completion (or first error)"),
-          r.GetCounter("dqmo_exec_session_objects_total",
-                       "Objects delivered across all sessions"),
-          r.GetCounter("dqmo_frames_shed_total",
-                       "Frames dropped whole by the overload governor"),
-          r.GetCounter("dqmo_exec_sessions_cancelled_total",
-                       "Sessions ended by cooperative cancellation"),
-          r.GetGauge("dqmo_exec_queue_depth",
-                     "Session thread-pool tasks queued, awaiting a worker"),
-          r.GetGauge("dqmo_exec_queue_depth_peak",
-                     "Deepest session thread-pool queue observed"),
-      };
-    }();
-    return m;
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Result checksums. FNV-1a over a canonical byte stream: frame index, then
-// the frame's results sorted by key. Canonicalization makes the checksum a
-// function of *what* was delivered, never of thread scheduling.
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr uint64_t kFnvPrime = 1099511628211ULL;
-
-inline void FoldBytes(uint64_t* h, const void* p, size_t n) {
-  const uint8_t* bytes = static_cast<const uint8_t*>(p);
-  for (size_t i = 0; i < n; ++i) {
-    *h ^= bytes[i];
-    *h *= kFnvPrime;
-  }
-}
-
-inline void FoldU64(uint64_t* h, uint64_t v) { FoldBytes(h, &v, sizeof(v)); }
-
-inline void FoldDouble(uint64_t* h, double v) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  FoldU64(h, bits);
-}
-
-void FoldSegments(uint64_t* h, std::vector<MotionSegment>* fresh) {
-  SortByKey(fresh);
-  for (const MotionSegment& m : *fresh) {
-    FoldU64(h, m.oid);
-    FoldDouble(h, m.seg.time.lo);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Observer model: the same random-turn flight as bench/abl_session.cc's
-// Pilot, parameterized by the bounce region so tests can confine sessions
-// spatially. Driven entirely by the session's own Rng — deterministic.
-
-struct Observer {
-  Vec pos;
-  Vec vel;
-  double next_turn = 0.0;
-
-  void Advance(Rng* rng, const SessionSpec& spec, double t) {
-    if (t >= next_turn) {
-      const double angle = rng->Uniform(0, 2 * M_PI);
-      const double speed = rng->Uniform(0.5, 2.0);
-      vel = Vec(speed * std::cos(angle), speed * std::sin(angle));
-      next_turn = t + rng->Uniform(0.5 * spec.mean_leg, 1.5 * spec.mean_leg);
-    }
-    for (int d = 0; d < 2; ++d) {
-      pos[d] += vel[d] * spec.frame_dt;
-      if (pos[d] < spec.region_lo || pos[d] > spec.region_hi) {
-        vel[d] = -vel[d];
-        pos[d] = std::clamp(pos[d], spec.region_lo, spec.region_hi);
-      }
-    }
-  }
-};
-
-Observer MakeObserver(Rng* rng, const SessionSpec& spec) {
-  // Start well inside the region so the first frames are not all bounces.
-  const double margin = 0.1 * (spec.region_hi - spec.region_lo);
-  Observer obs;
-  obs.pos = Vec(rng->Uniform(spec.region_lo + margin, spec.region_hi - margin),
-                rng->Uniform(spec.region_lo + margin, spec.region_hi - margin));
-  obs.vel = Vec(1.0, 0.0);
-  return obs;
-}
-
-/// Holds the gate's shared side for one frame (no-op when gate is null).
-std::shared_lock<std::shared_mutex> LockFrame(TreeGate* gate) {
-  if (gate == nullptr) return std::shared_lock<std::shared_mutex>();
-  return gate->LockShared();
-}
-
-/// Per-session glue between the spec's budget knobs, the overload
-/// governor, and the engines: arms the budget each frame with
-/// governor-scaled limits, decides shedding, and feeds frame latency back.
-/// Inactive (no budget, no limits, no governor) it hands the engines a
-/// null budget — the bit-identical pre-budget path.
-class FrameController {
- public:
-  FrameController(const SessionSpec& spec, OverloadGovernor* governor)
-      : spec_(spec),
-        governor_(governor),
-        budget_(spec.budget != nullptr ? spec.budget : &local_),
-        active_(spec.budget != nullptr || governor != nullptr ||
-                spec.frame_deadline_us > 0 || spec.frame_node_budget > 0) {}
-
-  /// What the engines see: null when the session runs unbudgeted.
-  QueryBudget* engine_budget() { return active_ ? budget_ : nullptr; }
-
-  bool cancelled() const { return active_ && budget_->cancel_requested(); }
-
-  /// Arms the budget for the coming frame. True: the governor sheds this
-  /// frame instead — skip it entirely.
-  bool ShedOrArm() {
-    if (!active_) return false;
-    OverloadGovernor::Directive d;
-    d.frame_deadline_ns = spec_.frame_deadline_us * 1000;
-    d.node_budget = spec_.frame_node_budget;
-    if (governor_ != nullptr) {
-      d = governor_->FrameDirective(spec_.priority, d.frame_deadline_ns,
-                                    d.node_budget);
-    }
-    horizon_scale_ = d.horizon_scale;
-    if (d.shed_frame) {
-      ExecMetrics::Get().frames_shed->Add();
-      return true;
-    }
-    budget_->ArmFrame(
-        QueryBudget::Limits{d.frame_deadline_ns, d.node_budget});
-    frame_start_ns_ = governor_ != nullptr ? NowNs() : 0;
-    return false;
-  }
-
-  bool FrameDegraded() const { return active_ && budget_->stopped(); }
-
-  /// Reports the completed frame's wall time to the governor.
-  void EndFrame() {
-    if (governor_ == nullptr) return;
-    const uint64_t frame_ns = NowNs() - frame_start_ns_;
-    ExecMetrics::Get().frame_ns->Record(frame_ns);
-    governor_->OnFrame(frame_ns);
-  }
-
-  double horizon_scale() const { return horizon_scale_; }
-  bool governed() const { return governor_ != nullptr; }
-
- private:
-  const SessionSpec& spec_;
-  OverloadGovernor* governor_;
-  QueryBudget local_;
-  QueryBudget* budget_;
-  bool active_;
-  double horizon_scale_ = 1.0;
-  uint64_t frame_start_ns_ = 0;
-};
-
-/// Shared end-of-session bookkeeping for the three runners.
-void FinishSession(SessionResult* out, const FrameController& ctl) {
-  if (ctl.cancelled()) {
-    out->outcome = SessionResult::Outcome::kCancelled;
-    ExecMetrics::Get().sessions_cancelled->Add();
-  }
-}
-
-}  // namespace
+using server_internal::ExecMetrics;
+using server_internal::FoldDouble;
+using server_internal::FoldSegments;
+using server_internal::FoldU64;
+using server_internal::FrameController;
+using server_internal::FrameLatencyScope;
+using server_internal::kFnvOffset;
+using server_internal::LockFrame;
+using server_internal::MakeObserver;
+using server_internal::Observer;
 
 // ---------------------------------------------------------------------------
 // ThreadPool.
@@ -400,6 +209,7 @@ SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
       session.set_prediction_horizon(
           std::max(1e-3, base_horizon * ctl.horizon_scale()));
     }
+    FrameLatencyScope latency(spec, &out);
     Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto lock = LockFrame(gate);
     auto frame = session.OnFrame(t, obs.pos, obs.vel);
@@ -414,7 +224,7 @@ SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
     if (ctl.FrameDegraded()) ++out.frames_degraded;
     ctl.EndFrame();
   }
-  FinishSession(&out, ctl);
+  server_internal::FinishSession(&out, ctl);
   // The session (and its SPDQ's update listener) must unregister before
   // the gate lock of the last frame is long gone; destruction here is
   // outside any shared section, which is fine — AddListener/RemoveListener
@@ -449,6 +259,7 @@ SessionResult RunNpdqSession(RTree* tree, const SessionSpec& spec,
       continue;  // prev_t stays: the next snapshot covers the gap.
     }
     const StBox q(Box::Centered(obs.pos, spec.window), Interval(prev_t, t));
+    FrameLatencyScope latency(spec, &out);
     Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto lock = LockFrame(gate);
     auto fresh = npdq.Execute(q);
@@ -469,7 +280,7 @@ SessionResult RunNpdqSession(RTree* tree, const SessionSpec& spec,
     }
     ctl.EndFrame();
   }
-  FinishSession(&out, ctl);
+  server_internal::FinishSession(&out, ctl);
   out.stats = npdq.stats();
   return out;
 }
@@ -498,6 +309,7 @@ SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
       ++out.frames_shed;
       continue;
     }
+    FrameLatencyScope latency(spec, &out);
     Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto lock = LockFrame(gate);
     auto neighbors = knn.At(t, obs.pos);
@@ -515,7 +327,7 @@ SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
     if (ctl.FrameDegraded()) ++out.frames_degraded;
     ctl.EndFrame();
   }
-  FinishSession(&out, ctl);
+  server_internal::FinishSession(&out, ctl);
   out.stats = knn.stats();
   return out;
 }
@@ -549,89 +361,22 @@ SessionResult RunSession(RTree* tree, const SessionSpec& spec,
 // SessionScheduler.
 
 ExecutorReport SessionScheduler::Run(const std::vector<SessionSpec>& specs) {
-  ExecutorReport report;
-  report.sessions.resize(specs.size());
   const uint64_t hits0 =
       options_.pool != nullptr ? options_.pool->hits() : 0;
   const uint64_t misses0 =
       options_.pool != nullptr ? options_.pool->misses() : 0;
-  const auto start = std::chrono::steady_clock::now();
 
-  // Admission decision for one spec; fills the slot on refusal.
-  auto admit = [this](const SessionSpec& spec, size_t queue_depth,
-                      SessionResult* slot) {
-    if (options_.admission == nullptr) return true;
-    const AdmissionOutcome outcome = options_.admission->TryAdmit(
-        spec.client_id, spec.priority, queue_depth);
-    if (outcome == AdmissionOutcome::kAdmitted) return true;
-    slot->status = AdmissionStatus(outcome);
-    slot->outcome = SessionResult::Outcome::kRejected;
-    return false;
-  };
+  server_internal::ScheduleOptions sched;
+  sched.num_threads = options_.num_threads;
+  sched.max_queue = options_.max_queue;
+  sched.admission = options_.admission;
+  sched.governor = options_.governor;
+  ExecutorReport report = server_internal::RunScheduledSessions(
+      specs, sched, [this](const SessionSpec& spec) {
+        return RunSession(tree_, spec, options_.reader, options_.gate,
+                          options_.governor);
+      });
 
-  if (options_.num_threads <= 1) {
-    for (size_t i = 0; i < specs.size(); ++i) {
-      if (!admit(specs[i], 0, &report.sessions[i])) continue;
-      report.sessions[i] = RunSession(tree_, specs[i], options_.reader,
-                                      options_.gate, options_.governor);
-      if (options_.admission != nullptr) {
-        options_.admission->OnSessionDone(specs[i].client_id);
-      }
-    }
-  } else {
-    ThreadPool pool(
-        ThreadPool::Options{options_.num_threads, options_.max_queue});
-    if (options_.governor != nullptr) {
-      options_.governor->AttachQueueProbe(
-          [&pool] { return pool.queue_depth(); });
-    }
-    for (size_t i = 0; i < specs.size(); ++i) {
-      SessionResult* slot = &report.sessions[i];
-      const SessionSpec* spec = &specs[i];
-      const size_t depth = pool.queue_depth();
-      report.max_queue_depth = std::max(report.max_queue_depth, depth);
-      if (!admit(*spec, depth, slot)) continue;
-      const uint64_t submit_tick = TickNs();
-      pool.Submit(
-          [this, slot, spec, submit_tick] {
-            ExecMetrics::Get().queue_wait_ns->RecordSince(submit_tick);
-            *slot = RunSession(tree_, *spec, options_.reader, options_.gate,
-                               options_.governor);
-            if (options_.admission != nullptr) {
-              options_.admission->OnSessionDone(spec->client_id);
-            }
-          },
-          spec->priority);
-    }
-    pool.Wait();
-    if (options_.governor != nullptr) {
-      // The pool dies with this scope; the probe must not outlive it.
-      options_.governor->AttachQueueProbe(nullptr);
-    }
-  }
-
-  report.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  for (const SessionResult& s : report.sessions) {
-    report.total_stats += s.stats;
-    report.total_objects += s.objects_delivered;
-    report.total_frames_shed += s.frames_shed;
-    report.total_frames_degraded += s.frames_degraded;
-    switch (s.outcome) {
-      case SessionResult::Outcome::kRejected:
-        ++report.sessions_rejected;
-        break;
-      case SessionResult::Outcome::kCancelled:
-        ++report.sessions_cancelled;
-        break;
-      case SessionResult::Outcome::kCompleted:
-        // Only completed sessions' failures poison the aggregate; a
-        // rejection is a policy outcome, not an engine error.
-        if (report.status.ok() && !s.status.ok()) report.status = s.status;
-        break;
-    }
-  }
   if (options_.pool != nullptr) {
     report.pool_hits = options_.pool->hits() - hits0;
     report.pool_misses = options_.pool->misses() - misses0;

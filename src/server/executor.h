@@ -225,6 +225,10 @@ struct SessionSpec {
   /// and a deadline/node budget (or governor) is active, the runner uses a
   /// private budget. Must outlive the run.
   QueryBudget* budget = nullptr;
+  /// Record each evaluated frame's wall time into
+  /// SessionResult::frame_latencies_us (the abl_sharding p99 source). Off
+  /// by default: no extra clock reads on the frame path.
+  bool record_frame_latency = false;
 };
 
 /// Outcome of one session.
@@ -246,6 +250,9 @@ struct SessionResult {
   uint64_t frames_degraded = 0;
   /// This session's query-processing cost (disk accesses etc.).
   QueryStats stats;
+  /// Wall time of each evaluated frame, microseconds, in frame order
+  /// (empty unless SessionSpec::record_frame_latency).
+  std::vector<uint64_t> frame_latencies_us;
 };
 
 /// Aggregate outcome of one SessionScheduler::Run.

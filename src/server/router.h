@@ -1,0 +1,118 @@
+// Query fan-out over the sharded engine (server/shard.h): the control
+// plane that makes N shards answer exactly like one tree.
+//
+// A sharded session replays the same seed-derived observer trajectory as
+// the single-tree executor, but drives one engine instance per shard
+// (DynamicQuerySession / NonPredictiveDynamicQuery / MovingKnnQuery). Per
+// frame it takes the shared side of every shard's gate, evaluates the
+// relevant shards, and merges the per-shard answers:
+//
+//  * PDQ/NPDQ streams: a k-way heap merge ordered by window entry time
+//    (segment start time, key-tiebroken), duplicate-free. Shards partition
+//    the segment set, and every delivery rule in the engines is
+//    per-segment and trajectory-driven, so the union of per-shard frame
+//    deliveries equals the single-tree frame delivery — the differential
+//    sweeps in tests/shard_test.cc assert byte-identical checksums.
+//  * kNN candidates: merged by (distance, key) and truncated to k. Every
+//    true global neighbor is in its shard's local top-k, and distances are
+//    computed on identical quantized geometry, so the merged distances are
+//    bit-identical to the single tree's (equal-distance ties may order
+//    differently; the random workloads the tests sweep have none).
+//
+// Overload semantics are preserved: one FrameController arms one
+// QueryBudget per frame and hands the same pointer to every shard's
+// engine, so deadline + node allowance are charged once across the whole
+// fan-out; governor shed/degrade decisions apply to the frame as a unit.
+// ResultIntegrity aggregates conservatively — if any evaluated shard
+// answers kPartial, the merged frame is kPartial, and the per-shard
+// SkipReports say which shard lost what.
+//
+// NPDQ fan-out is pruned by shard root bounds: a shard whose root MBR
+// misses the snapshot provably contributes nothing, and the router tells
+// its NPDQ instance via NoteSkippedSnapshot so later deltas stay exact
+// (see that method's soundness note).
+#ifndef DQMO_SERVER_ROUTER_H_
+#define DQMO_SERVER_ROUTER_H_
+
+#include <vector>
+
+#include "motion/motion_segment.h"
+#include "query/knn.h"
+#include "rtree/fault_policy.h"
+#include "rtree/stats.h"
+#include "server/executor.h"
+#include "server/overload.h"
+#include "server/shard.h"
+
+namespace dqmo {
+
+/// Stable k-way heap merge of per-shard result streams by window entry
+/// time. Each input stream must be sorted by (seg.time.lo, key); the
+/// output is sorted the same way, with exact-tie stability by (stream
+/// index, position) and duplicates (same key) dropped keeping the first
+/// occurrence in merge order. Empty streams are fine. Consumes the inputs.
+std::vector<MotionSegment> MergeStreamsByEntryTime(
+    std::vector<std::vector<MotionSegment>>* streams);
+
+/// Merges per-shard kNN candidate lists into the global top-k by
+/// (distance, key). Inputs need not be sorted; the result is.
+std::vector<Neighbor> MergeNeighborsByDistance(
+    const std::vector<std::vector<Neighbor>>& streams, size_t k);
+
+/// SessionResult plus the per-shard detail the aggregate hides.
+struct ShardedSessionResult {
+  SessionResult result;
+  /// Frames whose merged answer was kPartial (some shard skipped
+  /// subtrees — faults or budget stops). Superset counter of
+  /// result.frames_degraded, which only counts budget stops.
+  uint64_t frames_partial = 0;
+  /// Per-shard query cost; sums to result.stats.
+  std::vector<QueryStats> shard_stats;
+  /// Per-shard skipped subtrees over the session's lifetime. A fault
+  /// injected into one shard shows up in exactly that slot — the
+  /// never-silently-wrong contract the fault tests pin down.
+  std::vector<SkipReport> shard_skips;
+  /// Shard evaluations skipped by the NPDQ root-bounds prune.
+  uint64_t shard_frames_pruned = 0;
+};
+
+/// Fans deterministic query sessions out over a ShardedEngine, mirroring
+/// SessionScheduler's contract (admission, priorities, governor, serial
+/// replay at num_threads <= 1) for sharded execution.
+class ShardRouter {
+ public:
+  struct Options {
+    int num_threads = 1;
+    /// Bound on the session pool's task queue; 0 = unbounded.
+    size_t max_queue = 0;
+    AdmissionController* admission = nullptr;
+    OverloadGovernor* governor = nullptr;
+    /// Skip NPDQ evaluation of shards whose root bounds miss the snapshot
+    /// (exactness preserved; see header comment). The differential tests
+    /// sweep both settings.
+    bool spatial_prune = true;
+  };
+
+  explicit ShardRouter(ShardedEngine* engine) : engine_(engine) {}
+  ShardRouter(ShardedEngine* engine, const Options& options)
+      : engine_(engine), options_(options) {}
+
+  /// Runs one sharded session (inline, on the calling thread).
+  ShardedSessionResult RunOne(const SessionSpec& spec) const;
+
+  /// Runs a batch of sharded sessions over a thread pool (num_threads <= 1:
+  /// inline in spec order — the serial replay the differential tests
+  /// compare against).
+  ExecutorReport Run(const std::vector<SessionSpec>& specs) const;
+
+  ShardedEngine* engine() const { return engine_; }
+  const Options& options() const { return options_; }
+
+ private:
+  ShardedEngine* engine_;
+  Options options_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_SERVER_ROUTER_H_

@@ -1,0 +1,356 @@
+// Shared internals of the session runners (single-tree executor and the
+// sharded router): the deterministic observer model, the FNV-1a result
+// checksum folds, the per-frame budget/governor controller, and the
+// scheduling loop that fans session specs over a ThreadPool.
+//
+// Everything here is an implementation detail shared by
+// src/server/executor.cc and src/server/router.cc — the namespace name
+// says so. The pieces were extracted verbatim from executor.cc so the
+// sharded engine reproduces the single-tree engine's checksums bit for
+// bit: equal observer trajectories, equal fold order, equal shed/degrade
+// decisions.
+#ifndef DQMO_SERVER_SESSION_RUNNER_H_
+#define DQMO_SERVER_SESSION_RUNNER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "geom/vec.h"
+#include "motion/motion_segment.h"
+#include "query/budget.h"
+#include "server/executor.h"
+#include "server/overload.h"
+
+namespace dqmo::server_internal {
+
+/// Gate + scheduler metrics (process-wide; the ExecutorReport remains the
+/// exact per-run account).
+struct ExecMetrics {
+  Histogram* reader_wait_ns;
+  Histogram* writer_wait_ns;
+  Histogram* handover_ns;
+  Histogram* queue_wait_ns;
+  Histogram* session_ns;
+  Histogram* frame_ns;
+  Counter* sessions;
+  Counter* session_objects;
+  Counter* frames_shed;
+  Counter* sessions_cancelled;
+  Gauge* queue_depth;
+  Gauge* queue_depth_peak;
+
+  static ExecMetrics& Get() {
+    static ExecMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return ExecMetrics{
+          r.GetHistogram("dqmo_gate_reader_wait_ns",
+                         "TreeGate shared-side acquisition wait"),
+          r.GetHistogram("dqmo_gate_writer_wait_ns",
+                         "TreeGate exclusive-side acquisition wait"),
+          r.GetHistogram("dqmo_gate_handover_ns",
+                         "WriteGuard release: invalidate + seal + WAL sync"),
+          r.GetHistogram("dqmo_exec_queue_wait_ns",
+                         "Submit-to-start wait in the session thread pool"),
+          r.GetHistogram("dqmo_exec_session_ns",
+                         "Wall time of one complete query session"),
+          r.GetHistogram("dqmo_exec_frame_ns",
+                         "Wall time of one governed session frame"),
+          r.GetCounter("dqmo_exec_sessions_total",
+                       "Query sessions run to completion (or first error)"),
+          r.GetCounter("dqmo_exec_session_objects_total",
+                       "Objects delivered across all sessions"),
+          r.GetCounter("dqmo_frames_shed_total",
+                       "Frames dropped whole by the overload governor"),
+          r.GetCounter("dqmo_exec_sessions_cancelled_total",
+                       "Sessions ended by cooperative cancellation"),
+          r.GetGauge("dqmo_exec_queue_depth",
+                     "Session thread-pool tasks queued, awaiting a worker"),
+          r.GetGauge("dqmo_exec_queue_depth_peak",
+                     "Deepest session thread-pool queue observed"),
+      };
+    }();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Result checksums. FNV-1a over a canonical byte stream: frame index, then
+// the frame's results sorted by key. Canonicalization makes the checksum a
+// function of *what* was delivered, never of thread scheduling — and never
+// of how many shards delivered it.
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+inline void FoldBytes(uint64_t* h, const void* p, size_t n) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(p);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= bytes[i];
+    *h *= kFnvPrime;
+  }
+}
+
+inline void FoldU64(uint64_t* h, uint64_t v) { FoldBytes(h, &v, sizeof(v)); }
+
+inline void FoldDouble(uint64_t* h, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  FoldU64(h, bits);
+}
+
+inline void FoldSegments(uint64_t* h, std::vector<MotionSegment>* fresh) {
+  SortByKey(fresh);
+  for (const MotionSegment& m : *fresh) {
+    FoldU64(h, m.oid);
+    FoldDouble(h, m.seg.time.lo);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observer model: the same random-turn flight as bench/abl_session.cc's
+// Pilot, parameterized by the bounce region so tests can confine sessions
+// spatially. Driven entirely by the session's own Rng — deterministic, and
+// independent of the index layout (the sharded engine relies on this: N
+// per-shard sessions all replay the identical trajectory).
+
+struct Observer {
+  Vec pos;
+  Vec vel;
+  double next_turn = 0.0;
+
+  void Advance(Rng* rng, const SessionSpec& spec, double t) {
+    if (t >= next_turn) {
+      const double angle = rng->Uniform(0, 2 * M_PI);
+      const double speed = rng->Uniform(0.5, 2.0);
+      vel = Vec(speed * std::cos(angle), speed * std::sin(angle));
+      next_turn = t + rng->Uniform(0.5 * spec.mean_leg, 1.5 * spec.mean_leg);
+    }
+    for (int d = 0; d < 2; ++d) {
+      pos[d] += vel[d] * spec.frame_dt;
+      if (pos[d] < spec.region_lo || pos[d] > spec.region_hi) {
+        vel[d] = -vel[d];
+        pos[d] = std::clamp(pos[d], spec.region_lo, spec.region_hi);
+      }
+    }
+  }
+};
+
+inline Observer MakeObserver(Rng* rng, const SessionSpec& spec) {
+  // Start well inside the region so the first frames are not all bounces.
+  const double margin = 0.1 * (spec.region_hi - spec.region_lo);
+  Observer obs;
+  obs.pos = Vec(rng->Uniform(spec.region_lo + margin, spec.region_hi - margin),
+                rng->Uniform(spec.region_lo + margin, spec.region_hi - margin));
+  obs.vel = Vec(1.0, 0.0);
+  return obs;
+}
+
+/// Holds the gate's shared side for one frame (no-op when gate is null).
+inline std::shared_lock<std::shared_mutex> LockFrame(TreeGate* gate) {
+  if (gate == nullptr) return std::shared_lock<std::shared_mutex>();
+  return gate->LockShared();
+}
+
+/// Per-session glue between the spec's budget knobs, the overload
+/// governor, and the engines: arms the budget each frame with
+/// governor-scaled limits, decides shedding, and feeds frame latency back.
+/// Inactive (no budget, no limits, no governor) it hands the engines a
+/// null budget — the bit-identical pre-budget path.
+///
+/// In the sharded engine one controller serves the whole fan-out: every
+/// shard's engine is handed the same budget pointer, so a frame's deadline
+/// and node allowance are charged once across all its shards.
+class FrameController {
+ public:
+  FrameController(const SessionSpec& spec, OverloadGovernor* governor)
+      : spec_(spec),
+        governor_(governor),
+        budget_(spec.budget != nullptr ? spec.budget : &local_),
+        active_(spec.budget != nullptr || governor != nullptr ||
+                spec.frame_deadline_us > 0 || spec.frame_node_budget > 0) {}
+
+  /// What the engines see: null when the session runs unbudgeted.
+  QueryBudget* engine_budget() { return active_ ? budget_ : nullptr; }
+
+  bool cancelled() const { return active_ && budget_->cancel_requested(); }
+
+  /// Arms the budget for the coming frame. True: the governor sheds this
+  /// frame instead — skip it entirely.
+  bool ShedOrArm() {
+    if (!active_) return false;
+    OverloadGovernor::Directive d;
+    d.frame_deadline_ns = spec_.frame_deadline_us * 1000;
+    d.node_budget = spec_.frame_node_budget;
+    if (governor_ != nullptr) {
+      d = governor_->FrameDirective(spec_.priority, d.frame_deadline_ns,
+                                    d.node_budget);
+    }
+    horizon_scale_ = d.horizon_scale;
+    if (d.shed_frame) {
+      ExecMetrics::Get().frames_shed->Add();
+      return true;
+    }
+    budget_->ArmFrame(
+        QueryBudget::Limits{d.frame_deadline_ns, d.node_budget});
+    frame_start_ns_ = governor_ != nullptr ? NowNs() : 0;
+    return false;
+  }
+
+  bool FrameDegraded() const { return active_ && budget_->stopped(); }
+
+  /// Reports the completed frame's wall time to the governor.
+  void EndFrame() {
+    if (governor_ == nullptr) return;
+    const uint64_t frame_ns = NowNs() - frame_start_ns_;
+    ExecMetrics::Get().frame_ns->Record(frame_ns);
+    governor_->OnFrame(frame_ns);
+  }
+
+  double horizon_scale() const { return horizon_scale_; }
+  bool governed() const { return governor_ != nullptr; }
+
+ private:
+  const SessionSpec& spec_;
+  OverloadGovernor* governor_;
+  QueryBudget local_;
+  QueryBudget* budget_;
+  bool active_;
+  double horizon_scale_ = 1.0;
+  uint64_t frame_start_ns_ = 0;
+};
+
+/// Shared end-of-session bookkeeping for the runners.
+inline void FinishSession(SessionResult* out, const FrameController& ctl) {
+  if (ctl.cancelled()) {
+    out->outcome = SessionResult::Outcome::kCancelled;
+    ExecMetrics::Get().sessions_cancelled->Add();
+  }
+}
+
+/// Measures one evaluated frame's wall time into
+/// SessionResult::frame_latencies_us when the spec asks for it (the
+/// sharding ablation's p99 source; off by default — no clock reads).
+class FrameLatencyScope {
+ public:
+  FrameLatencyScope(const SessionSpec& spec, SessionResult* out)
+      : out_(spec.record_frame_latency ? out : nullptr),
+        start_ns_(out_ != nullptr ? NowNs() : 0) {}
+  ~FrameLatencyScope() {
+    if (out_ != nullptr) {
+      out_->frame_latencies_us.push_back((NowNs() - start_ns_) / 1000);
+    }
+  }
+  FrameLatencyScope(const FrameLatencyScope&) = delete;
+  FrameLatencyScope& operator=(const FrameLatencyScope&) = delete;
+
+ private:
+  SessionResult* out_;
+  uint64_t start_ns_;
+};
+
+// ---------------------------------------------------------------------------
+// Scheduling loop shared by SessionScheduler (single tree) and ShardRouter
+// (sharded engine): admission, pool fan-out or inline serial execution,
+// and report aggregation. `run` maps one admitted spec to its result.
+
+struct ScheduleOptions {
+  int num_threads = 1;
+  size_t max_queue = 0;
+  AdmissionController* admission = nullptr;
+  OverloadGovernor* governor = nullptr;
+};
+
+template <typename RunFn>
+ExecutorReport RunScheduledSessions(const std::vector<SessionSpec>& specs,
+                                    const ScheduleOptions& options,
+                                    const RunFn& run) {
+  ExecutorReport report;
+  report.sessions.resize(specs.size());
+  const auto start = std::chrono::steady_clock::now();
+
+  // Admission decision for one spec; fills the slot on refusal.
+  auto admit = [&options](const SessionSpec& spec, size_t queue_depth,
+                          SessionResult* slot) {
+    if (options.admission == nullptr) return true;
+    const AdmissionOutcome outcome = options.admission->TryAdmit(
+        spec.client_id, spec.priority, queue_depth);
+    if (outcome == AdmissionOutcome::kAdmitted) return true;
+    slot->status = AdmissionStatus(outcome);
+    slot->outcome = SessionResult::Outcome::kRejected;
+    return false;
+  };
+
+  if (options.num_threads <= 1) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (!admit(specs[i], 0, &report.sessions[i])) continue;
+      report.sessions[i] = run(specs[i]);
+      if (options.admission != nullptr) {
+        options.admission->OnSessionDone(specs[i].client_id);
+      }
+    }
+  } else {
+    ThreadPool pool(
+        ThreadPool::Options{options.num_threads, options.max_queue});
+    if (options.governor != nullptr) {
+      options.governor->AttachQueueProbe(
+          [&pool] { return pool.queue_depth(); });
+    }
+    for (size_t i = 0; i < specs.size(); ++i) {
+      SessionResult* slot = &report.sessions[i];
+      const SessionSpec* spec = &specs[i];
+      const size_t depth = pool.queue_depth();
+      report.max_queue_depth = std::max(report.max_queue_depth, depth);
+      if (!admit(*spec, depth, slot)) continue;
+      const uint64_t submit_tick = TickNs();
+      pool.Submit(
+          [&options, &run, slot, spec, submit_tick] {
+            ExecMetrics::Get().queue_wait_ns->RecordSince(submit_tick);
+            *slot = run(*spec);
+            if (options.admission != nullptr) {
+              options.admission->OnSessionDone(spec->client_id);
+            }
+          },
+          spec->priority);
+    }
+    pool.Wait();
+    if (options.governor != nullptr) {
+      // The pool dies with this scope; the probe must not outlive it.
+      options.governor->AttachQueueProbe(nullptr);
+    }
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const SessionResult& s : report.sessions) {
+    report.total_stats += s.stats;
+    report.total_objects += s.objects_delivered;
+    report.total_frames_shed += s.frames_shed;
+    report.total_frames_degraded += s.frames_degraded;
+    switch (s.outcome) {
+      case SessionResult::Outcome::kRejected:
+        ++report.sessions_rejected;
+        break;
+      case SessionResult::Outcome::kCancelled:
+        ++report.sessions_cancelled;
+        break;
+      case SessionResult::Outcome::kCompleted:
+        // Only completed sessions' failures poison the aggregate; a
+        // rejection is a policy outcome, not an engine error.
+        if (report.status.ok() && !s.status.ok()) report.status = s.status;
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace dqmo::server_internal
+
+#endif  // DQMO_SERVER_SESSION_RUNNER_H_

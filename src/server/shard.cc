@@ -1,0 +1,298 @@
+#include "server/shard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "rtree/bulk_load.h"
+
+namespace dqmo {
+namespace {
+
+struct ShardMetrics {
+  Gauge* shard_count;
+  Counter* inserts;
+  Counter* batches;
+  Histogram* batch_fanout;
+
+  static ShardMetrics& Get() {
+    static ShardMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return ShardMetrics{
+          r.GetGauge("dqmo_shard_count",
+                     "Shards in the most recently created sharded engine"),
+          r.GetCounter("dqmo_shard_inserts_total",
+                       "Motion updates routed through the sharded engine"),
+          r.GetCounter("dqmo_shard_insert_batches_total",
+                       "Insert batches routed through the sharded engine"),
+          r.GetHistogram("dqmo_shard_batch_fanout",
+                         "Shards touched (gate acquisitions) per batch"),
+      };
+    }();
+    return m;
+  }
+};
+
+std::string ShardFileName(const std::string& dir, int shard,
+                          const char* suffix) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04d.%s", shard, suffix);
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardMap.
+
+ShardMap::ShardMap(int num_shards, double space_size, bool speed_split,
+                   double speed_split_threshold)
+    : num_shards_(num_shards),
+      space_size_(space_size),
+      // One shard cannot split by speed; the whole world is one cell.
+      split_(speed_split && num_shards >= 2),
+      threshold_(speed_split_threshold) {
+  DQMO_CHECK(num_shards >= 1);
+  DQMO_CHECK(space_size > 0.0);
+  if (split_) {
+    const int fast = std::max(1, num_shards / 4);
+    slow_ = MakeGrid(0, num_shards - fast);
+    fast_ = MakeGrid(num_shards - fast, fast);
+  } else {
+    slow_ = MakeGrid(0, num_shards);
+    fast_ = slow_;
+  }
+}
+
+ShardMap::ClassGrid ShardMap::MakeGrid(int first, int count) {
+  ClassGrid g;
+  g.first = first;
+  g.count = count;
+  // Largest divisor <= sqrt(count) keeps cells near-square for any count.
+  g.rows = 1;
+  for (int r = 1; r * r <= count; ++r) {
+    if (count % r == 0) g.rows = r;
+  }
+  g.cols = count / g.rows;
+  return g;
+}
+
+int ShardMap::CellOf(const ClassGrid& grid, const MotionSegment& m) const {
+  // Route by the segment's spatial midpoint: one owner per segment, and a
+  // pure function of the geometry.
+  const double mx = 0.5 * (m.seg.p0[0] + m.seg.p1[0]);
+  const double my = 0.5 * (m.seg.p0[1] + m.seg.p1[1]);
+  const int col = std::clamp(
+      static_cast<int>(mx / space_size_ * grid.cols), 0, grid.cols - 1);
+  const int row = std::clamp(
+      static_cast<int>(my / space_size_ * grid.rows), 0, grid.rows - 1);
+  return grid.first + row * grid.cols + col;
+}
+
+int ShardMap::ShardOf(const MotionSegment& m) const {
+  if (!split_) return CellOf(slow_, m);
+  const bool fast = m.seg.Speed() >= threshold_;
+  return CellOf(fast ? fast_ : slow_, m);
+}
+
+std::string ShardMap::Describe() const {
+  if (!split_) {
+    return StrFormat("%d shard(s): %dx%d grid, no speed split", num_shards_,
+                     slow_.rows, slow_.cols);
+  }
+  return StrFormat("%d shards: slow %dx%d grid + fast %dx%d grid (speed >= %s)",
+                   num_shards_, slow_.rows, slow_.cols, fast_.rows, fast_.cols,
+                   FormatDouble(threshold_).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngineOptions.
+
+ShardedEngineOptions ShardedEngineOptions::FromEnv() {
+  ShardedEngineOptions o;
+  o.num_shards = static_cast<int>(GetEnvInt("DQMO_SHARDS", o.num_shards));
+  // DQMO_SPEED_SPLIT: "off" / "0" disables; a number sets the threshold.
+  const std::string split =
+      GetEnvString("DQMO_SPEED_SPLIT", std::to_string(o.speed_split_threshold));
+  if (split == "off" || split == "0") {
+    o.speed_split = false;
+  } else {
+    o.speed_split_threshold = GetEnvDouble("DQMO_SPEED_SPLIT",
+                                           o.speed_split_threshold);
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine.
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
+    const ShardedEngineOptions& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("need at least one shard");
+  }
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine(options));
+
+  const bool durable = !options.durable_dir.empty();
+  if (durable) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.durable_dir, ec);
+    if (ec) {
+      return Status::IOError(StrFormat("cannot create %s: %s",
+                                       options.durable_dir.c_str(),
+                                       ec.message().c_str()));
+    }
+  }
+
+  for (int i = 0; i < options.num_shards; ++i) {
+    auto s = std::make_unique<Shard>();
+    WalWriter* wal = nullptr;
+    if (durable) {
+      DurableIndex::Options dopt;
+      dopt.tree = options.tree;
+      // Group commit: the shard gate's write-guard release syncs the batch.
+      dopt.sync_each_insert = false;
+      DQMO_ASSIGN_OR_RETURN(
+          s->durable,
+          DurableIndex::Open(ShardFileName(options.durable_dir, i, "pgf"),
+                             ShardFileName(options.durable_dir, i, "wal"),
+                             dopt));
+      s->file = s->durable->file();
+      s->tree = s->durable->tree();
+      wal = s->durable->wal();
+    } else {
+      DQMO_ASSIGN_OR_RETURN(s->memory_tree,
+                            RTree::Create(&s->memory_file, options.tree));
+      s->file = &s->memory_file;
+      s->tree = s->memory_tree.get();
+    }
+    s->pool = std::make_unique<BufferPool>(s->file, options.pool_pages,
+                                           options.pool_shards);
+    if (options.cache_nodes > 0) {
+      s->node_cache = std::make_unique<DecodedNodeCache>(options.cache_nodes);
+      s->tree->AttachNodeCache(s->node_cache.get());
+    }
+    s->gate = std::make_unique<TreeGate>(s->file, s->pool.get(), wal,
+                                         s->node_cache.get());
+    engine->shards_.push_back(std::move(s));
+  }
+  ShardMetrics::Get().shard_count->Set(options.num_shards);
+  return engine;
+}
+
+Status ShardedEngine::InsertIntoShard(Shard* s, const MotionSegment& m) {
+  const bool durable = s->durable != nullptr;
+  {
+    auto guard = s->gate->LockExclusive();
+    DQMO_RETURN_IF_ERROR(durable ? s->durable->Insert(m) : s->tree->Insert(m));
+  }
+  // The guard's release synced this shard's WAL; an insert is only
+  // acknowledged once its redo record is durable.
+  return durable ? s->gate->wal_status() : Status::OK();
+}
+
+Status ShardedEngine::Insert(const MotionSegment& m) {
+  ShardMetrics::Get().inserts->Add();
+  return InsertIntoShard(shards_[static_cast<size_t>(map_.ShardOf(m))].get(),
+                         m);
+}
+
+Status ShardedEngine::InsertBatch(const std::vector<MotionSegment>& batch) {
+  // Group by shard first so each shard's gate is taken exactly once.
+  std::unordered_map<int, std::vector<const MotionSegment*>> groups;
+  for (const MotionSegment& m : batch) {
+    groups[map_.ShardOf(m)].push_back(&m);
+  }
+  ShardMetrics& sm = ShardMetrics::Get();
+  sm.batches->Add();
+  sm.batch_fanout->Record(groups.size());
+  sm.inserts->Add(batch.size());
+  for (auto& [shard, group] : groups) {
+    Shard* s = shards_[static_cast<size_t>(shard)].get();
+    const bool durable = s->durable != nullptr;
+    {
+      auto guard = s->gate->LockExclusive();
+      for (const MotionSegment* m : group) {
+        DQMO_RETURN_IF_ERROR(durable ? s->durable->Insert(*m)
+                                     : s->tree->Insert(*m));
+      }
+    }
+    if (durable) DQMO_RETURN_IF_ERROR(s->gate->wal_status());
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::BulkLoad(std::vector<MotionSegment> data) {
+  if (!options_.durable_dir.empty()) {
+    return Status::InvalidArgument("BulkLoad: in-memory engines only");
+  }
+  for (const auto& s : shards_) {
+    if (s->tree->num_segments() != 0) {
+      return Status::InvalidArgument("BulkLoad requires empty shards");
+    }
+  }
+  std::vector<std::vector<MotionSegment>> parts(shards_.size());
+  for (MotionSegment& m : data) {
+    parts[static_cast<size_t>(map_.ShardOf(m))].push_back(std::move(m));
+  }
+  data.clear();
+  ShardMetrics::Get().inserts->Add(
+      [&parts] {
+        size_t n = 0;
+        for (const auto& p : parts) n += p.size();
+        return n;
+      }());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // STR packing needs an empty file; rebuild the shard's stack around a
+    // fresh one (the old stack held only the empty insert-built tree).
+    auto s = std::make_unique<Shard>();
+    DQMO_ASSIGN_OR_RETURN(
+        s->memory_tree,
+        dqmo::BulkLoad(&s->memory_file, std::move(parts[i]),
+                       BulkLoadOptions{options_.tree, 0.5}));
+    DQMO_RETURN_IF_ERROR(s->memory_file.Publish());
+    s->file = &s->memory_file;
+    s->tree = s->memory_tree.get();
+    s->pool = std::make_unique<BufferPool>(s->file, options_.pool_pages,
+                                           options_.pool_shards);
+    if (options_.cache_nodes > 0) {
+      s->node_cache = std::make_unique<DecodedNodeCache>(options_.cache_nodes);
+      s->tree->AttachNodeCache(s->node_cache.get());
+    }
+    s->gate = std::make_unique<TreeGate>(s->file, s->pool.get(), nullptr,
+                                         s->node_cache.get());
+    shards_[i] = std::move(s);
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::Checkpoint() {
+  for (const auto& s : shards_) {
+    if (s->durable == nullptr) {
+      return Status::InvalidArgument("Checkpoint: durable engines only");
+    }
+    auto guard = s->gate->LockExclusive();
+    DQMO_RETURN_IF_ERROR(s->durable->Checkpoint());
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedEngine::num_segments() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->tree->num_segments();
+  return n;
+}
+
+IoStats ShardedEngine::TotalIoStats() const {
+  IoStats total;
+  for (const auto& s : shards_) total += s->file->stats();
+  return total;
+}
+
+}  // namespace dqmo

@@ -46,6 +46,26 @@ struct IoStats {
 
   void Reset() { CopyFrom(IoStats{}); }
 
+  /// Accumulates another account into this one — the sharded engine sums
+  /// its per-shard PageFile stats this way. Sound only because shards own
+  /// disjoint storage: each physical read/write/hit is charged to exactly
+  /// one shard's counters, so the sum never double counts.
+  IoStats& operator+=(const IoStats& other) {
+    auto add = [](std::atomic<uint64_t>* a, const std::atomic<uint64_t>& b) {
+      a->store(a->load(std::memory_order_relaxed) +
+                   b.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    };
+    add(&physical_reads, other.physical_reads);
+    add(&physical_writes, other.physical_writes);
+    add(&cache_hits, other.cache_hits);
+    add(&checksum_failures, other.checksum_failures);
+    add(&retries, other.retries);
+    add(&wal_appends, other.wal_appends);
+    add(&wal_syncs, other.wal_syncs);
+    return *this;
+  }
+
   IoStats operator-(const IoStats& other) const {
     IoStats d;
     d.physical_reads = physical_reads.load(std::memory_order_relaxed) -

@@ -44,6 +44,32 @@ Result<std::vector<MotionSegment>> GenerateMotionData(
   if (options.min_update_interval <= 0.0) {
     return Status::InvalidArgument("min update interval must be positive");
   }
+  if (options.shape == WorkloadShape::kSkewed && options.hotspots < 1) {
+    return Status::InvalidArgument("skewed workload needs >= 1 hotspot");
+  }
+  if (options.shape == WorkloadShape::kClusteredFastMovers &&
+      (options.fast_fraction < 0.0 || options.fast_fraction > 1.0)) {
+    return Status::InvalidArgument("fast_fraction must be in [0, 1]");
+  }
+
+  // Shape state is drawn from a separate stream so WorkloadShape::kUniform
+  // stays byte-identical to the pre-shape generator (same master forks).
+  Rng shape_rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Vec> hotspot_centers;
+  if (options.shape == WorkloadShape::kSkewed) {
+    hotspot_centers.reserve(static_cast<size_t>(options.hotspots));
+    for (int h = 0; h < options.hotspots; ++h) {
+      Vec c(options.dims);
+      for (int i = 0; i < options.dims; ++i) {
+        c[i] = shape_rng.Uniform(0.0, options.space_size);
+      }
+      hotspot_centers.push_back(c);
+    }
+  }
+  const int num_fast =
+      options.shape == WorkloadShape::kClusteredFastMovers
+          ? static_cast<int>(options.fast_fraction * options.num_objects)
+          : 0;
 
   Rng master(options.seed);
   std::vector<MotionSegment> segments;
@@ -52,10 +78,29 @@ Result<std::vector<MotionSegment>> GenerateMotionData(
 
   for (int oid = 0; oid < options.num_objects; ++oid) {
     Rng rng = master.Fork();
+    const bool fast = oid < num_fast;
     Vec pos(options.dims);
     for (int i = 0; i < options.dims; ++i) {
       pos[i] = rng.Uniform(0.0, options.space_size);
     }
+    if (options.shape == WorkloadShape::kSkewed) {
+      const Vec& center =
+          hotspot_centers[static_cast<size_t>(oid) %
+                          hotspot_centers.size()];
+      const double stddev = options.hotspot_stddev_frac * options.space_size;
+      for (int i = 0; i < options.dims; ++i) {
+        pos[i] = std::clamp(center[i] + shape_rng.Normal(0.0, stddev), 0.0,
+                            options.space_size);
+      }
+    } else if (fast) {
+      for (int i = 0; i < options.dims; ++i) {
+        pos[i] = shape_rng.Uniform(0.10 * options.space_size,
+                                   0.25 * options.space_size);
+      }
+    }
+    const double mean_speed =
+        fast ? options.mean_speed * options.fast_speed_multiplier
+             : options.mean_speed;
     double t = 0.0;
     while (t < options.horizon) {
       const double dt = std::min(
@@ -64,7 +109,7 @@ Result<std::vector<MotionSegment>> GenerateMotionData(
                    rng.Normal(options.mean_update_interval,
                               options.update_interval_stddev)));
       const double speed =
-          std::max(0.0, rng.Normal(options.mean_speed, options.speed_stddev));
+          std::max(0.0, rng.Normal(mean_speed, options.speed_stddev));
       const Vec dir = RandomDirection(&rng, options.dims);
       Vec end(options.dims);
       for (int i = 0; i < options.dims; ++i) {

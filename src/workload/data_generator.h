@@ -15,6 +15,25 @@
 
 namespace dqmo {
 
+/// Spatial/kinematic shape of the generated population. The sharding
+/// differential sweeps (tests/shard_test.cc) run every shape: kUniform
+/// spreads load evenly over a spatial grid of shards, kSkewed concentrates
+/// it on few cells, and kClusteredFastMovers stresses the speed split
+/// (fast objects both cluster spatially and land in the fast shard class).
+enum class WorkloadShape {
+  /// Paper's Sect. 5 workload: uniform start positions, N(mean, stddev)
+  /// speeds. The default; byte-identical to the pre-shape generator.
+  kUniform,
+  /// Start positions drawn from `hotspots` Gaussian blobs (centers
+  /// seed-derived, stddev = hotspot_stddev_frac * space_size), clamped to
+  /// the space. Motion model unchanged.
+  kSkewed,
+  /// The first fast_fraction of objects start inside one cluster box
+  /// ([0.1, 0.25] * space_size per dim) and move with mean speed scaled by
+  /// fast_speed_multiplier; the rest are kUniform objects.
+  kClusteredFastMovers,
+};
+
 struct DataGeneratorOptions {
   int dims = 2;
   int num_objects = 5000;
@@ -31,6 +50,18 @@ struct DataGeneratorOptions {
   /// Emit segments ordered by start time (the order updates would reach
   /// the database); false keeps per-object order.
   bool sort_by_start_time = true;
+
+  /// Population shape (see WorkloadShape). kUniform reproduces the
+  /// pre-shape generator bit for bit.
+  WorkloadShape shape = WorkloadShape::kUniform;
+  /// kSkewed: number of Gaussian hotspots and their spread as a fraction
+  /// of space_size.
+  int hotspots = 8;
+  double hotspot_stddev_frac = 0.05;
+  /// kClusteredFastMovers: fraction of objects that are clustered fast
+  /// movers, and their mean-speed scale factor.
+  double fast_fraction = 0.2;
+  double fast_speed_multiplier = 4.0;
 };
 
 /// Generates the motion-segment stream. Each object starts at a uniform

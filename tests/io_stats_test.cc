@@ -53,6 +53,25 @@ TEST(IoStatsTest, DifferenceIsFieldwise) {
   EXPECT_EQ(d, MakeStats(9, 18, 27, 0, 0, 54, 0));
 }
 
+TEST(IoStatsTest, AccumulationIsFieldwiseAndGolden) {
+  // operator+= is how the sharded engine folds disjoint per-shard
+  // accounts into the global one; every counter must participate, exactly
+  // once.
+  IoStats sum;
+  sum += MakeStats(1, 2, 3, 4, 5, 6, 7);
+  sum += MakeStats(10, 20, 30, 40, 50, 60, 70);
+  EXPECT_EQ(sum, MakeStats(11, 22, 33, 44, 55, 66, 77));
+  EXPECT_EQ(sum.ToString(),
+            "io{reads=11, writes=22, hits=33, crc_fail=44, retries=55, "
+            "wal_app=66, wal_sync=77}");
+  // Adding zero is the identity; accumulation is associative with
+  // operator- (the per-run delta idiom).
+  sum += IoStats{};
+  EXPECT_EQ(sum, MakeStats(11, 22, 33, 44, 55, 66, 77));
+  const IoStats delta = sum - MakeStats(1, 2, 3, 4, 5, 6, 7);
+  EXPECT_EQ(delta, MakeStats(10, 20, 30, 40, 50, 60, 70));
+}
+
 TEST(IoStatsTest, CopyAndResetRoundTrip) {
   IoStats a = MakeStats(1, 2, 3, 4, 5, 6, 7);
   IoStats b = a;  // Copy snapshots every counter.

@@ -36,6 +36,7 @@
 #include "motion/motion_segment.h"
 #include "query/knn.h"
 #include "rtree/layout.h"
+#include "server/shard.h"
 #include "test_util.h"
 
 namespace dqmo::testing {
@@ -143,6 +144,84 @@ class NpdqOracle {
  private:
   const NaiveOracle* oracle_;
   std::optional<StBox> prev_;
+};
+
+/// Differential reference for the sharded engine's partitioning: routes
+/// every insert through the same ShardMap the engine uses, keeps one
+/// NaiveOracle per shard plus the flat union, and certifies the partition
+/// invariants the router's exactness argument rests on — each segment
+/// lives in exactly one shard, and merged per-shard answers equal the flat
+/// oracle's. Segments are routed *before* quantization, exactly as
+/// ShardedEngine::Insert routes them.
+class ShardedOracle {
+ public:
+  explicit ShardedOracle(const ShardMap& map)
+      : map_(map), shards_(static_cast<size_t>(map.num_shards())) {}
+
+  void Insert(const MotionSegment& m) {
+    flat_.Insert(m);
+    shards_[static_cast<size_t>(map_.ShardOf(m))].Insert(m);
+  }
+
+  int num_shards() const { return map_.num_shards(); }
+  const ShardMap& map() const { return map_; }
+  const NaiveOracle& flat() const { return flat_; }
+  const NaiveOracle& shard(int s) const {
+    return shards_[static_cast<size_t>(s)];
+  }
+
+  /// Exactly-once routing: shard contents are pairwise key-disjoint and
+  /// their union is exactly the flat data set.
+  bool PartitionExact() const {
+    std::set<MotionSegment::Key> seen;
+    size_t total = 0;
+    for (const NaiveOracle& s : shards_) {
+      for (const MotionSegment& m : s.data()) {
+        if (!seen.insert(m.key()).second) return false;  // Duplicate.
+        ++total;
+      }
+    }
+    if (total != flat_.data().size()) return false;
+    for (const MotionSegment& m : flat_.data()) {
+      if (seen.count(m.key()) == 0) return false;  // Lost.
+    }
+    return true;
+  }
+
+  /// Union of per-shard snapshot answers, as a key set. Equals
+  /// flat().Snapshot(q)'s key set iff the partition is exact — the
+  /// per-frame identity the sharded PDQ/NPDQ merges inherit.
+  std::set<MotionSegment::Key> MergedSnapshot(const StBox& q) const {
+    std::set<MotionSegment::Key> out;
+    for (const NaiveOracle& s : shards_) {
+      for (const MotionSegment& m : s.Snapshot(q)) out.insert(m.key());
+    }
+    return out;
+  }
+
+  /// Global top-k assembled from per-shard local top-k lists, merged by
+  /// (distance, key) — the router's MergeNeighborsByDistance rule. Equals
+  /// flat().Knn() because every true global neighbor is in its own shard's
+  /// local top-k.
+  std::vector<Neighbor> MergedKnn(const Vec& point, double t, int k) const {
+    std::vector<Neighbor> all;
+    for (const NaiveOracle& s : shards_) {
+      const std::vector<Neighbor> local = s.Knn(point, t, k);
+      all.insert(all.end(), local.begin(), local.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.motion.key() < b.motion.key();
+              });
+    if (static_cast<int>(all.size()) > k) all.resize(static_cast<size_t>(k));
+    return all;
+  }
+
+ private:
+  ShardMap map_;
+  NaiveOracle flat_;
+  std::vector<NaiveOracle> shards_;
 };
 
 }  // namespace dqmo::testing

@@ -2,6 +2,7 @@
 // contiguity, scale) and query trajectories (overlap targeting, bouncing).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "workload/data_generator.h"
@@ -107,6 +108,111 @@ TEST(DataGeneratorTest, SortedByStartTimeWhenRequested) {
   for (size_t i = 1; i < data->size(); ++i) {
     EXPECT_LE((*data)[i - 1].seg.time.lo, (*data)[i].seg.time.lo);
   }
+}
+
+TEST(DataGeneratorTest, ShapeValidation) {
+  DataGeneratorOptions bad;
+  bad.shape = WorkloadShape::kSkewed;
+  bad.hotspots = 0;
+  EXPECT_TRUE(GenerateMotionData(bad).status().IsInvalidArgument());
+  bad = DataGeneratorOptions();
+  bad.shape = WorkloadShape::kClusteredFastMovers;
+  bad.fast_fraction = 1.5;
+  EXPECT_TRUE(GenerateMotionData(bad).status().IsInvalidArgument());
+}
+
+TEST(DataGeneratorTest, UniformShapeIsByteIdenticalToDefault) {
+  // kUniform must reproduce the pre-shape generator bit for bit — the
+  // shape stream is forked off a separate rng precisely so the default
+  // workload (and every committed benchmark built on it) is unchanged.
+  DataGeneratorOptions options;
+  options.num_objects = 30;
+  options.horizon = 8.0;
+  auto plain = GenerateMotionData(options);
+  options.shape = WorkloadShape::kUniform;
+  options.hotspots = 3;            // Ignored under kUniform.
+  options.fast_fraction = 0.9;     // Ignored under kUniform.
+  auto shaped = GenerateMotionData(options);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(shaped.ok());
+  ASSERT_EQ(plain->size(), shaped->size());
+  for (size_t i = 0; i < plain->size(); ++i) {
+    EXPECT_EQ((*plain)[i].oid, (*shaped)[i].oid);
+    EXPECT_EQ((*plain)[i].seg.p0, (*shaped)[i].seg.p0);
+    EXPECT_EQ((*plain)[i].seg.p1, (*shaped)[i].seg.p1);
+    EXPECT_EQ((*plain)[i].seg.time, (*shaped)[i].seg.time);
+  }
+}
+
+TEST(DataGeneratorTest, SkewedShapeConcentratesStartPositions) {
+  DataGeneratorOptions options;
+  options.num_objects = 200;
+  options.horizon = 2.0;
+  options.shape = WorkloadShape::kSkewed;
+  options.hotspots = 2;
+  options.hotspot_stddev_frac = 0.02;
+  auto data = GenerateMotionData(options);
+  ASSERT_TRUE(data.ok());
+  // With 2 tight hotspots the first segments' start positions cover far
+  // less of the space than uniform would: measure the mean pairwise-cell
+  // occupancy of a 10x10 grid over first-segment starts.
+  std::map<ObjectId, Vec> first_start;
+  for (const auto& m : *data) {
+    if (first_start.find(m.oid) == first_start.end() ||
+        m.seg.time.lo == 0.0) {
+      if (m.seg.time.lo == 0.0) first_start[m.oid] = m.seg.p0;
+    }
+  }
+  std::map<int, int> cells;
+  for (const auto& [oid, pos] : first_start) {
+    const int cx = std::min(9, static_cast<int>(pos[0] / 10.0));
+    const int cy = std::min(9, static_cast<int>(pos[1] / 10.0));
+    cells[cx * 10 + cy]++;
+  }
+  // Uniform occupancy over 100 cells would touch ~86 of them with 200
+  // objects; 2 tight blobs touch a small handful.
+  EXPECT_LT(cells.size(), 30u);
+  for (const auto& m : *data) {
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_GE(m.seg.p0[d], 0.0);
+      EXPECT_LE(m.seg.p0[d], options.space_size);
+    }
+  }
+}
+
+TEST(DataGeneratorTest, ClusteredFastMoversAreFasterAndClustered) {
+  DataGeneratorOptions options;
+  options.num_objects = 100;
+  options.horizon = 4.0;
+  options.shape = WorkloadShape::kClusteredFastMovers;
+  options.fast_fraction = 0.2;
+  options.fast_speed_multiplier = 4.0;
+  options.sort_by_start_time = false;  // Keep per-object order for split.
+  auto data = GenerateMotionData(options);
+  ASSERT_TRUE(data.ok());
+  double fast_speed_sum = 0.0, slow_speed_sum = 0.0;
+  uint64_t fast_n = 0, slow_n = 0;
+  for (const auto& m : *data) {
+    const double speed = m.seg.Speed();
+    if (m.oid < 20) {
+      fast_speed_sum += speed;
+      ++fast_n;
+      if (m.seg.time.lo == 0.0) {
+        // Fast movers start inside the cluster box.
+        for (int d = 0; d < 2; ++d) {
+          EXPECT_GE(m.seg.p0[d], 0.10 * options.space_size);
+          EXPECT_LE(m.seg.p0[d], 0.25 * options.space_size);
+        }
+      }
+    } else {
+      slow_speed_sum += speed;
+      ++slow_n;
+    }
+  }
+  ASSERT_GT(fast_n, 0u);
+  ASSERT_GT(slow_n, 0u);
+  // Mean fast speed ~4x mean slow speed; require a comfortable 2x.
+  EXPECT_GT(fast_speed_sum / fast_n, 2.0 * slow_speed_sum / slow_n);
 }
 
 TEST(QueryGeneratorTest, ValidatesOptions) {

@@ -99,6 +99,19 @@ echo "==== [overload] A16 overload-resilience gate ===="
 env DQMO_OBJECTS=2000 DQMO_CACHE_DIR=build-ci/dqmo_cache \
   DQMO_CHECK_OVERLOAD=1 "build-ci/release/bench/abl_overload"
 
+# Sharding stage: the cross-shard differential layer (merge exactness,
+# per-shard fault attribution, durable shard layout) under ASan, the
+# router/writer hammer under TSan, and the A17 ablation at CI scale — the
+# binary itself aborts unless every shard count's merged per-session
+# checksums are byte-identical, so this doubles as the N-shard vs 1-shard
+# equality gate.
+echo "==== [sharding] shard_test (asan) ===="
+"build-ci/sanitize/tests/shard_test"
+echo "==== [sharding] router + per-shard writer hammer (tsan) ===="
+"build-ci/tsan/tests/shard_test" --gtest_filter='ShardConcurrencyTest.*'
+echo "==== [sharding] A17 ablation merged-checksum equality gate ===="
+env DQMO_OBJECTS=60000 "build-ci/release/bench/abl_sharding"
+
 # Metrics stage, part 1: the observability layer must be free when turned
 # off. Build abl_hot_path once with the compile-time kill switch
 # (-DDQMO_METRICS=OFF — every record site folds out) and compare its full

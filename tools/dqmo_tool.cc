@@ -30,15 +30,22 @@
 //       replay the WAL tail, report what was redone, and checkpoint the
 //       recovered tree back to <index.pgf> (resetting the WAL).
 //
+//   scrub, walinfo, and recover also accept a sharded engine directory
+//   (the <durable_dir>/shard-NNNN.pgf + shard-NNNN.wal layout written by
+//   ShardedEngine): each shard is processed in id order and the exit code
+//   is the OR of the per-shard results.
+//
 //   dqmo_tool stats <index.pgf> [--json] [--summary]
 //       Drive a short mixed workload (concurrent PDQ/NPDQ/kNN sessions
 //       against a buffer pool + decoded-node cache, with a writer thread
 //       inserting under the tree gate and logging to a scratch WAL) and
 //       dump the process-wide metrics registry: Prometheus text by
 //       default, JSON with --json, plus a quantile table with --summary.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -66,6 +73,42 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Shard files `shard-*<ext>` under `dir`, in shard-id order — the layout
+/// ShardedEngine's durable mode writes (`ext` includes the dot).
+std::vector<std::string> ShardFilesIn(const std::string& dir,
+                                      const std::string& ext) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (StartsWith(name, "shard-") && entry.path().extension() == ext) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Runs `per_file` over every shard file with the given extension under
+/// `dir`, OR-ing exit codes. Fails when the directory holds no shards.
+template <typename Fn>
+int ForEachShardFile(const std::string& dir, const std::string& ext,
+                     Fn per_file) {
+  const std::vector<std::string> files = ShardFilesIn(dir, ext);
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no shard-*%s files under %s\n",
+                 ext.c_str(), dir.c_str());
+    return 1;
+  }
+  int rc = 0;
+  for (const std::string& f : files) {
+    std::printf("== %s\n", f.c_str());
+    rc |= per_file(f);
+  }
+  return rc;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -75,9 +118,10 @@ int Usage() {
                "  dqmo_tool query <index.pgf> x0 x1 y0 y1 t0 t1\n"
                "  dqmo_tool knn <index.pgf> x y t k\n"
                "  dqmo_tool verify <index.pgf>\n"
-               "  dqmo_tool scrub <index.pgf>\n"
-               "  dqmo_tool walinfo <index.wal>\n"
+               "  dqmo_tool scrub <index.pgf | shard-dir>\n"
+               "  dqmo_tool walinfo <index.wal | shard-dir>\n"
                "  dqmo_tool recover <index.pgf> <index.wal>\n"
+               "  dqmo_tool recover <shard-dir>\n"
                "  dqmo_tool stats <index.pgf> [--json] [--summary]\n");
   return 2;
 }
@@ -506,9 +550,27 @@ int Run(int argc, char** argv) {
     return CmdKnn(path, argv + 3);
   }
   if (command == "verify") return CmdVerify(path);
-  if (command == "scrub") return CmdScrub(path);
-  if (command == "walinfo") return CmdWalInfo(path);
+  if (command == "scrub") {
+    if (std::filesystem::is_directory(path)) {
+      return ForEachShardFile(path, ".pgf", CmdScrub);
+    }
+    return CmdScrub(path);
+  }
+  if (command == "walinfo") {
+    if (std::filesystem::is_directory(path)) {
+      return ForEachShardFile(path, ".wal", CmdWalInfo);
+    }
+    return CmdWalInfo(path);
+  }
   if (command == "recover") {
+    if (argc == 3 && std::filesystem::is_directory(path)) {
+      // Sharded layout: recover every shard-NNNN.pgf with its paired WAL.
+      return ForEachShardFile(path, ".pgf", [](const std::string& pgf) {
+        std::string wal = pgf;
+        wal.replace(wal.size() - 4, 4, ".wal");
+        return CmdRecover(pgf, wal);
+      });
+    }
     if (argc != 4) return Usage();
     return CmdRecover(path, argv[3]);
   }
