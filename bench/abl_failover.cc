@@ -1,0 +1,260 @@
+// Ablation A18 — failure-domain failover: frame-latency tails and
+// delivery integrity with 1 of N shards killed, then repaired online.
+//
+// Three phases run the same mixed session sweep (PDQ handoff, NPDQ,
+// moving kNN) against one failure-domain engine:
+//
+//   healthy   baseline: p50/p99 frame latency and per-session checksums
+//   dark      one shard killed (every read fails, breaker forced open —
+//             detection latency is the chaos harness's business, this
+//             bench measures steady-state quarantined service): frames
+//             come back kPartial around the quarantine while the healthy
+//             shards hold the latency tail
+//   repaired  fault cleared, online scrub + half-open probation: the
+//             sweep must be byte-identical to the healthy baseline again
+//
+// DQMO_CHECK_FAILOVER=1 turns the two load-bearing claims into process
+// exit gates (CI runs this):
+//   * dark p99 <= 1.2x healthy p99 (+500us scheduler slack at the tiny
+//     absolute latencies of an in-memory run)
+//   * repaired checksums identical to healthy, breaker closed
+//
+// Scale knobs:
+//   DQMO_OBJECTS=N   population size (default 120000)
+//   DQMO_FULL=1      shorthand for 600000 objects
+//   DQMO_SESSIONS=N  sessions in the sweep (default 12, 1/3 each kind)
+//   DQMO_FRAMES=N    frames per session (default 20)
+//   DQMO_SHARDS=N    shard count (default 16; 1 is killed)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/env.h"
+#include "server/health.h"
+#include "server/router.h"
+#include "server/scrubber.h"
+#include "server/shard.h"
+#include "storage/fault.h"
+#include "workload/data_generator.h"
+
+namespace {
+
+using namespace dqmo;
+using namespace dqmo::bench;
+
+std::vector<SessionSpec> MakeSpecs(int sessions, int frames,
+                                   uint64_t seed_base) {
+  const SessionKind kinds[] = {SessionKind::kSession, SessionKind::kNpdq,
+                               SessionKind::kKnn};
+  std::vector<SessionSpec> specs;
+  for (int i = 0; i < sessions; ++i) {
+    SessionSpec spec;
+    spec.kind = kinds[i % 3];
+    spec.seed = seed_base + static_cast<uint64_t>(i);
+    spec.frames = frames;
+    spec.t0 = 0.2 + 0.02 * i;
+    spec.record_frame_latency = true;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+uint64_t PercentileUs(std::vector<uint64_t>* latencies, double p) {
+  if (latencies->empty()) return 0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(latencies->size() - 1) / 100.0 + 0.5);
+  return (*latencies)[std::min(idx, latencies->size() - 1)];
+}
+
+struct Phase {
+  std::string name;
+  uint64_t frame_p50_us = 0;
+  uint64_t frame_p99_us = 0;
+  uint64_t frames_partial = 0;
+  uint64_t frames_quarantined = 0;
+  uint64_t objects = 0;
+  double wall_seconds = 0.0;
+  std::vector<uint64_t> checksums;
+  std::vector<uint64_t> shard_objects;
+};
+
+Phase RunPhase(ShardedEngine* engine, const std::vector<SessionSpec>& specs,
+               const std::string& name) {
+  Phase ph;
+  ph.name = name;
+  const ShardRouter router(engine);
+  std::vector<uint64_t> latencies;
+  const auto start = std::chrono::steady_clock::now();
+  for (const SessionSpec& spec : specs) {
+    const ShardedSessionResult r = router.RunOne(spec);
+    DQMO_CHECK(r.result.status.ok());
+    ph.frames_partial += r.frames_partial;
+    ph.frames_quarantined += r.frames_quarantined;
+    ph.objects += r.result.objects_delivered;
+    ph.shard_objects.resize(r.shard_stats.size(), 0);
+    for (size_t s = 0; s < r.shard_stats.size(); ++s) {
+      ph.shard_objects[s] += r.shard_stats[s].objects_returned.load();
+    }
+    ph.checksums.push_back(r.result.checksum);
+    latencies.insert(latencies.end(), r.result.frame_latencies_us.begin(),
+                     r.result.frame_latencies_us.end());
+  }
+  ph.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ph.frame_p50_us = PercentileUs(&latencies, 50.0);
+  ph.frame_p99_us = PercentileUs(&latencies, 99.0);
+  return ph;
+}
+
+int Main() {
+  const bool full = GetEnvInt("DQMO_FULL", 0) != 0;
+  const int objects = static_cast<int>(
+      GetEnvInt("DQMO_OBJECTS", full ? 600'000 : 120'000));
+  const int sessions = static_cast<int>(GetEnvInt("DQMO_SESSIONS", 12));
+  const int frames = static_cast<int>(GetEnvInt("DQMO_FRAMES", 20));
+  const int shards = static_cast<int>(GetEnvInt("DQMO_SHARDS", 16));
+  const bool gate = GetEnvInt("DQMO_CHECK_FAILOVER", 0) != 0;
+
+  DataGeneratorOptions dopt;
+  dopt.num_objects = objects;
+  dopt.horizon = 2.0;
+  dopt.seed = 42;
+  auto data = GenerateMotionData(dopt);
+  DQMO_CHECK(data.ok());
+  std::printf("# population: %d objects, %zu segments, %d shards\n", objects,
+              data->size(), shards);
+
+  ShardedEngineOptions sopt;
+  sopt.num_shards = shards;
+  sopt.failure_domains = true;
+  sopt.breaker.cooldown_frames = 0;  // Promotion only through the scrubber.
+  sopt.breaker.probe_rate = 1.0;
+  sopt.breaker.probe_successes_to_close = 2;
+  auto engine = ShardedEngine::Create(sopt);
+  DQMO_CHECK(engine.ok());
+  DQMO_CHECK((*engine)->BulkLoad(*data).ok());
+
+  const std::vector<SessionSpec> specs = MakeSpecs(sessions, frames, 8000);
+  std::vector<Phase> phases;
+
+  // Warm the pools once so the healthy baseline measures steady-state
+  // tails, not cold-cache misses.
+  RunPhase(engine->get(), specs, "warmup");
+  phases.push_back(RunPhase(engine->get(), specs, "healthy"));
+
+  // Kill the shard that contributed the most deliveries to the healthy
+  // baseline (the worst-case single failure for this sweep): every read
+  // fails at the device, and the breaker is forced open up front so the
+  // phase measures steady-state quarantine.
+  int dead = 0;
+  uint64_t most = 0;
+  for (int s = 0; s < shards; ++s) {
+    const uint64_t n = phases[0].shard_objects[static_cast<size_t>(s)];
+    if (n > most) {
+      most = n;
+      dead = s;
+    }
+  }
+  std::printf("# killing shard %d (%llu of %llu delivered objects)\n", dead,
+              static_cast<unsigned long long>(most),
+              static_cast<unsigned long long>(phases[0].objects));
+  FaultInjector::Options kill;
+  kill.fail_every_kth = 1;
+  (*engine)->ArmShardFault(dead, kill);
+  (*engine)->breaker(dead)->ForceOpen("bench kill");
+  phases.push_back(RunPhase(engine->get(), specs, "dark"));
+
+  // Online repair: clear the fault, scrub the quarantined shard, then let
+  // a short probation sweep close the breaker through half-open probes.
+  (*engine)->ClearShardFault(dead);
+  const ShardScrubber::PassReport rep =
+      ShardScrubber(engine->get(), ScrubOptions()).ScrubPass();
+  DQMO_CHECK(rep.shards_scrubbed == 1);
+  ShardRouter(engine->get()).Run(MakeSpecs(1, 6, 9000));
+  DQMO_CHECK((*engine)->breaker(dead)->state() == BreakerState::kClosed);
+  phases.push_back(RunPhase(engine->get(), specs, "repaired"));
+
+  const Phase& healthy = phases[0];
+  const Phase& dark = phases[1];
+  const Phase& repaired = phases[2];
+  DQMO_CHECK(healthy.frames_partial == 0);
+  DQMO_CHECK(dark.frames_partial > 0);  // Degraded visibly, never silently.
+  const bool identical = repaired.checksums == healthy.checksums;
+  std::printf("# repaired checksums %s healthy baseline (%zu sessions)\n",
+              identical ? "identical to" : "DIFFER from",
+              healthy.checksums.size());
+
+  BenchJsonWriter json("abl_failover");
+  Table table({"phase", "frame p50 (us)", "frame p99 (us)", "partial",
+               "quarantined", "objects", "wall (s)"});
+  for (const Phase& ph : phases) {
+    table.AddRow({ph.name, std::to_string(ph.frame_p50_us),
+                  std::to_string(ph.frame_p99_us),
+                  std::to_string(ph.frames_partial),
+                  std::to_string(ph.frames_quarantined),
+                  std::to_string(ph.objects), Fmt(ph.wall_seconds, 2)});
+    JsonObject& row = json.AddRow();
+    row.Str("phase", ph.name)
+        .Int("shards", static_cast<uint64_t>(shards))
+        .Int("dead_shards", ph.name == "dark" ? 1 : 0)
+        .Int("objects_population", static_cast<uint64_t>(objects))
+        .Int("sessions", static_cast<uint64_t>(sessions))
+        .Int("frame_p50_us", ph.frame_p50_us)
+        .Int("frame_p99_us", ph.frame_p99_us)
+        .Int("frames_partial", ph.frames_partial)
+        .Int("frames_quarantined", ph.frames_quarantined)
+        .Int("objects_returned", ph.objects)
+        .Num("wall_seconds", ph.wall_seconds)
+        .Int("recovered_identical", identical ? 1 : 0)
+        .Int("checksum_fold", [&ph] {
+          uint64_t fold = 1469598103934665603ULL;
+          for (const uint64_t c : ph.checksums) {
+            fold ^= c;
+            fold *= 1099511628211ULL;
+          }
+          return fold;
+        }());
+  }
+  table.Print();
+
+  if (gate) {
+    // The failover gate: quarantined service must hold the healthy tail
+    // (20% + 500us scheduler slack at in-memory latencies), and repair
+    // must restore byte-identical answers.
+    const uint64_t budget =
+        healthy.frame_p99_us + healthy.frame_p99_us / 5 + 500;
+    if (dark.frame_p99_us > budget) {
+      std::fprintf(stderr,
+                   "FAILOVER GATE: dark p99 %llu us exceeds budget %llu us "
+                   "(healthy p99 %llu us)\n",
+                   static_cast<unsigned long long>(dark.frame_p99_us),
+                   static_cast<unsigned long long>(budget),
+                   static_cast<unsigned long long>(healthy.frame_p99_us));
+      return 1;
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAILOVER GATE: repaired sweep not byte-identical to "
+                   "healthy baseline\n");
+      return 1;
+    }
+    std::printf("# failover gate: PASS (dark p99 %llu us <= %llu us, "
+                "repaired byte-identical)\n",
+                static_cast<unsigned long long>(dark.frame_p99_us),
+                static_cast<unsigned long long>(budget));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dqmo::bench::InitJsonMode(argc, argv);
+  return Main();
+}

@@ -22,6 +22,9 @@ std::string FormatDouble(double v, int digits = 3);
 /// Returns true if `s` begins with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);
 
+/// Returns true if `s` ends with `suffix`.
+bool EndsWith(const std::string& s, const std::string& suffix);
+
 }  // namespace dqmo
 
 #endif  // DQMO_COMMON_STRING_UTIL_H_

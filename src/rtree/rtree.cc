@@ -171,6 +171,38 @@ Result<std::unique_ptr<RTree>> RTree::Open(PageFile* file) {
   return tree;
 }
 
+Status RTree::Reopen() {
+  if (file_->num_pages() == 0) {
+    return Status::FailedPrecondition("page file is empty");
+  }
+  DQMO_ASSIGN_OR_RETURN(auto read, file_->Read(0));
+  MetaPage meta;
+  std::memcpy(&meta, read.data, sizeof(meta));
+  if (meta.magic != kTreeMagic) {
+    return Status::Corruption("page 0 is not a DQMO R-tree meta page");
+  }
+  if (meta.version != kTreeVersion) {
+    return Status::NotSupported(
+        StrFormat("tree version %u unsupported", meta.version));
+  }
+  if (static_cast<int>(meta.dims) != options_.dims) {
+    return Status::Corruption(
+        StrFormat("reopened tree dims %u != live tree dims %d", meta.dims,
+                  options_.dims));
+  }
+  root_ = meta.root;
+  height_ = static_cast<int>(meta.height);
+  num_segments_ = meta.num_segments;
+  num_nodes_ = meta.num_nodes;
+  max_speed_ = meta.max_speed;
+  applied_lsn_ = meta.wal_lsn;
+  // Strictly newer than every stamp any cache has seen from this tree, on
+  // either side of the reload.
+  stamp_ = std::max(stamp_, meta.stamp) + 1;
+  pending_ = PendingNotice{};
+  return Status::OK();
+}
+
 Status RTree::WriteMeta() {
   DQMO_ASSIGN_OR_RETURN(auto view, file_->WritableView(meta_page_));
   std::memset(view.data(), 0, view.size());

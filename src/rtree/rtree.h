@@ -71,6 +71,17 @@ class RTree {
   /// Opens a tree previously persisted in `file` (via Flush + SaveTo).
   static Result<std::unique_ptr<RTree>> Open(PageFile* file);
 
+  /// Re-reads the meta page from the (already re-loaded) backing file into
+  /// *this* object, in place. This is the repair path: the scrubber reloads
+  /// a quarantined shard's PageFile from its checkpoint image and then
+  /// Reopen()s the tree so every pointer the router captured at session
+  /// build (tree, reader, gate) stays valid. Must be called with the
+  /// shard's exclusive gate held — no traversal may be in flight. The
+  /// update stamp is forced strictly past both the in-memory and persisted
+  /// stamps so stamp-keyed caches (router BoundsCache, NPDQ discard prune)
+  /// can never mistake post-repair state for pre-repair state.
+  Status Reopen();
+
   RTree(const RTree&) = delete;
   RTree& operator=(const RTree&) = delete;
 

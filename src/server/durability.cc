@@ -114,4 +114,32 @@ Status DurableIndex::Checkpoint() {
   return wal_.Reset();
 }
 
+Status DurableIndex::ReloadFromDisk() {
+  if (!FileExists(pgf_path_)) {
+    return Status::FailedPrecondition(
+        "no checkpoint image to reload from; checkpoint before relying on "
+        "online repair");
+  }
+  // Anything buffered but unsynced would be lost by the rebuild below even
+  // though it was never acknowledged; sync first so the WAL is the complete
+  // story.
+  if (wal_.pending_records() > 0) DQMO_RETURN_IF_ERROR(wal_.Sync());
+  DQMO_RETURN_IF_ERROR(file_.LoadFrom(pgf_path_));
+  DQMO_RETURN_IF_ERROR(tree_->Reopen());
+  DQMO_ASSIGN_OR_RETURN(WalScan scan, ScanWal(wal_path_));
+  // Replay without the WAL attached, exactly like Open(): redone inserts
+  // must not be re-logged.
+  tree_->AttachWal(nullptr);
+  Status st = Status::OK();
+  const uint64_t base_lsn = tree_->applied_lsn();
+  for (const WalRecord& rec : scan.records) {
+    if (rec.type != WalRecordType::kInsert || rec.lsn <= base_lsn) continue;
+    st = tree_->Insert(rec.motion);
+    if (!st.ok()) break;
+    tree_->set_applied_lsn(rec.lsn);
+  }
+  tree_->AttachWal(&wal_);
+  return st;
+}
+
 }  // namespace dqmo

@@ -107,6 +107,19 @@ class DurableIndex {
   /// simply re-Open after a failure.
   Status Checkpoint();
 
+  /// Online repair: rebuilds the live tree, in place, from the durable pair
+  /// (checkpoint image + full WAL) — the recovery sequence of Open(), but
+  /// into the existing file_/tree_/wal_ objects so every pointer captured
+  /// by sessions, pools, and gates stays valid. Used by the ShardScrubber
+  /// on a quarantined shard whose in-memory pages are damaged; the
+  /// source-of-truth durable state is untouched. Requires a checkpoint
+  /// image to exist (the caller quarantines, it does not create state) and
+  /// the single-writer side of the gate to be held. The WAL is left open,
+  /// un-reset, with its LSN sequence intact — records parked for a
+  /// quarantined shard replay into the rebuilt tree here, which is exactly
+  /// how the redo queue drains through a repair.
+  Status ReloadFromDisk();
+
   RTree* tree() { return tree_.get(); }
   PageFile* file() { return &file_; }
   WalWriter* wal() { return &wal_; }

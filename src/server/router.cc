@@ -12,6 +12,7 @@
 #include "geom/box.h"
 #include "query/npdq.h"
 #include "query/session.h"
+#include "server/health.h"
 #include "server/session_runner.h"
 
 namespace dqmo {
@@ -101,6 +102,83 @@ bool CanPruneShard(RTree* tree, BoundsCache* cache, const StBox& q) {
   return !cache->bounds.Overlaps(q);
 }
 
+/// Per-frame breaker bookkeeping shared by the three runners. StartFrame
+/// runs before any shard lock is held: it advances each breaker's frame
+/// plane, drains the redo queue of every shard whose reads will flow this
+/// frame (DrainRedo takes the exclusive gate itself; no-op at depth zero),
+/// and records blocked / probe / just-reinstated per shard.
+struct BreakerFramePlane {
+  std::vector<uint8_t> blocked;
+  std::vector<uint8_t> probe;
+  /// Blocked on the previous evaluated frame, flowing on this one — the
+  /// resync boundary (NPDQ histories of such shards must be forgotten).
+  std::vector<uint8_t> reinstated;
+  bool any_blocked = false;
+  bool active = false;
+
+  void Init(ShardedEngine* engine) {
+    active = engine->failure_domains();
+    const size_t n = static_cast<size_t>(engine->num_shards());
+    blocked.assign(n, 0);
+    probe.assign(n, 0);
+    reinstated.assign(n, 0);
+  }
+
+  void StartFrame(ShardedEngine* engine) {
+    if (!active) return;
+    any_blocked = false;
+    for (int s = 0; s < engine->num_shards(); ++s) {
+      const size_t si = static_cast<size_t>(s);
+      CircuitBreaker* b = engine->breaker(s);
+      if (b == nullptr) continue;
+      const CircuitBreaker::FrameDecision d = b->OnFrameStart();
+      bool now_blocked = d.blocked;
+      probe[si] = d.probe ? 1 : 0;
+      if (!now_blocked) {
+        // Parked writes become visible before this frame reads. A failed
+        // drain re-opened the breaker; treat the frame as blocked.
+        now_blocked = !engine->DrainRedo(s).ok();
+      }
+      reinstated[si] = (blocked[si] != 0 && !now_blocked) ? 1 : 0;
+      blocked[si] = now_blocked ? 1 : 0;
+      any_blocked |= now_blocked;
+    }
+  }
+};
+
+/// Wires the frame budget into every shard's hedged reader for the
+/// session's lifetime (budget-cancelled frames suppress speculative second
+/// probes) and unwires it on exit, so no reader is left pointing at a
+/// dead FrameController. Sessions racing on one engine overwrite each
+/// other's pointer — harmless for the heuristic, so concurrent *budgeted*
+/// chaos runs should keep hedging off.
+struct HedgeBudgetScope {
+  ShardedEngine* engine = nullptr;
+
+  HedgeBudgetScope(ShardedEngine* e, QueryBudget* budget) {
+    if (!e->failure_domains() || budget == nullptr) return;
+    engine = e;
+    for (int s = 0; s < e->num_shards(); ++s) {
+      e->shard(s).hedged->set_budget(budget);
+    }
+  }
+  ~HedgeBudgetScope() {
+    if (engine == nullptr) return;
+    for (int s = 0; s < engine->num_shards(); ++s) {
+      engine->shard(s).hedged->set_budget(nullptr);
+    }
+  }
+};
+
+/// Fold of one delivery stream on its own (order-insensitive: FoldSegments
+/// sorts by key first). Copies — the stream still has to feed the merge.
+uint64_t StreamChecksum(const std::vector<MotionSegment>& stream) {
+  std::vector<MotionSegment> copy = stream;
+  uint64_t h = kFnvOffset;
+  FoldSegments(&h, &copy);
+  return h;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -169,14 +247,14 @@ std::vector<Neighbor> MergeNeighborsByDistance(
 namespace {
 
 void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
-                       OverloadGovernor* governor,
+                       const ShardRouter::Options& options,
                        ShardedSessionResult* out) {
   const int n = engine->num_shards();
   SessionResult& res = out->result;
   res.checksum = kFnvOffset;
   Rng rng(spec.seed);
   Observer obs = MakeObserver(&rng, spec);
-  FrameController ctl(spec, governor);
+  FrameController ctl(spec, options.governor);
 
   std::vector<std::unique_ptr<DynamicQuerySession>> sessions;
   sessions.reserve(static_cast<size_t>(n));
@@ -188,16 +266,25 @@ void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
     sopt.npdq.reader = sopt.reader;
     sopt.hot_path = spec.hot_path;
     sopt.budget = ctl.engine_budget();
-    if (sopt.budget != nullptr) sopt.fault_policy = FaultPolicy::kSkipSubtree;
+    // Failure domains: a quarantined shard answers reads with IOError;
+    // skip-subtree turns that into an attributed kPartial frame instead
+    // of killing the whole fan-out.
+    if (sopt.budget != nullptr || engine->failure_domains()) {
+      sopt.fault_policy = FaultPolicy::kSkipSubtree;
+    }
     base_horizon = sopt.prediction_horizon;
     sessions.push_back(std::make_unique<DynamicQuerySession>(
         engine->shard(s).tree, sopt));
   }
+  HedgeBudgetScope hedge_scope(engine, ctl.engine_budget());
+  BreakerFramePlane plane;
+  plane.Init(engine);
 
   std::vector<std::vector<MotionSegment>> streams(static_cast<size_t>(n));
   for (int i = 1; i <= spec.frames; ++i) {
     const double t = spec.t0 + i * spec.frame_dt;
     obs.Advance(&rng, spec, t);
+    if (options.frame_hook) options.frame_hook(i);
     if (ctl.cancelled()) break;
     if (ctl.ShedOrArm()) {
       ++res.frames_shed;
@@ -209,23 +296,37 @@ void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
             std::max(1e-3, base_horizon * ctl.horizon_scale()));
       }
     }
+    plane.StartFrame(engine);
     FrameLatencyScope latency(spec, &res);
     Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto locks = LockAllShards(engine);
     bool partial = false;
     bool failed = false;
+    std::vector<uint64_t> shard_cs;
+    if (options.record_frames) {
+      shard_cs.assign(static_cast<size_t>(n), kFnvOffset);
+    }
     for (int s = 0; s < n; ++s) {
-      streams[static_cast<size_t>(s)].clear();
-      auto frame = sessions[static_cast<size_t>(s)]->OnFrame(t, obs.pos,
-                                                             obs.vel);
+      const size_t si = static_cast<size_t>(s);
+      streams[si].clear();
+      const uint64_t skips0 =
+          plane.active ? sessions[si]->skip_report().pages_skipped() : 0;
+      auto frame = sessions[si]->OnFrame(t, obs.pos, obs.vel);
       if (!frame.ok()) {
         res.status = frame.status();
         failed = true;
         break;
       }
       partial |= frame->integrity == ResultIntegrity::kPartial;
+      if (plane.active && plane.probe[si] != 0) {
+        // Probe verdict: the frame ran end to end without a single new
+        // skip. One bad probe re-opens; a streak of good ones closes.
+        engine->breaker(s)->OnProbeOutcome(
+            sessions[si]->skip_report().pages_skipped() == skips0);
+      }
       SortStreamByEntryTime(&frame->fresh);
-      streams[static_cast<size_t>(s)] = std::move(frame->fresh);
+      if (options.record_frames) shard_cs[si] = StreamChecksum(frame->fresh);
+      streams[si] = std::move(frame->fresh);
     }
     if (failed) break;
     RouterMetrics::Get().fanout_width->Record(static_cast<uint64_t>(n));
@@ -237,6 +338,22 @@ void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
     if (partial) {
       ++out->frames_partial;
       RouterMetrics::Get().frames_partial->Add();
+    }
+    if (plane.any_blocked) {
+      ++out->frames_quarantined;
+      HealthMetrics::Get().quarantined_frames->Add();
+    }
+    if (options.record_frames) {
+      ShardedSessionResult::FrameRecord rec;
+      rec.frame = i;
+      rec.partial = partial;
+      rec.shard_blocked = plane.blocked;
+      rec.shard_checksums = std::move(shard_cs);
+      uint64_t h = kFnvOffset;
+      FoldU64(&h, static_cast<uint64_t>(i));
+      FoldSegments(&h, &merged);
+      rec.merged_checksum = h;
+      out->frames.push_back(std::move(rec));
     }
     if (ctl.FrameDegraded()) ++res.frames_degraded;
     ctl.EndFrame();
@@ -254,14 +371,14 @@ void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
 }
 
 void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
-                    OverloadGovernor* governor, bool spatial_prune,
+                    const ShardRouter::Options& options,
                     ShardedSessionResult* out) {
   const int n = engine->num_shards();
   SessionResult& res = out->result;
   res.checksum = kFnvOffset;
   Rng rng(spec.seed);
   Observer obs = MakeObserver(&rng, spec);
-  FrameController ctl(spec, governor);
+  FrameController ctl(spec, options.governor);
 
   std::vector<std::unique_ptr<NonPredictiveDynamicQuery>> npdq;
   npdq.reserve(static_cast<size_t>(n));
@@ -270,10 +387,15 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
     nopt.reader = engine->shard(s).reader();
     nopt.hot_path = spec.hot_path;
     nopt.budget = ctl.engine_budget();
-    if (nopt.budget != nullptr) nopt.fault_policy = FaultPolicy::kSkipSubtree;
+    if (nopt.budget != nullptr || engine->failure_domains()) {
+      nopt.fault_policy = FaultPolicy::kSkipSubtree;
+    }
     npdq.push_back(std::make_unique<NonPredictiveDynamicQuery>(
         engine->shard(s).tree, nopt));
   }
+  HedgeBudgetScope hedge_scope(engine, ctl.engine_budget());
+  BreakerFramePlane plane;
+  plane.Init(engine);
   out->shard_stats.resize(static_cast<size_t>(n));
   out->shard_skips.resize(static_cast<size_t>(n));
 
@@ -283,10 +405,24 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
   for (int i = 1; i <= spec.frames; ++i) {
     const double t = spec.t0 + i * spec.frame_dt;
     obs.Advance(&rng, spec, t);
+    if (options.frame_hook) options.frame_hook(i);
     if (ctl.cancelled()) break;
     if (ctl.ShedOrArm()) {
       ++res.frames_shed;
       continue;  // prev_t stays: the next snapshot covers the gap.
+    }
+    plane.StartFrame(engine);
+    if (plane.active) {
+      for (int s = 0; s < n; ++s) {
+        // Quarantined frames left this shard's "previous" snapshots
+        // incomplete; anything they masked must not stay lost. Forgetting
+        // the history makes the first flowing frame a full re-delivery —
+        // the resync after which the merged stream is byte-identical to a
+        // never-faulted engine's.
+        if (plane.reinstated[static_cast<size_t>(s)] != 0) {
+          npdq[static_cast<size_t>(s)]->ResetHistory();
+        }
+      }
     }
     const StBox q(Box::Centered(obs.pos, spec.window), Interval(prev_t, t));
     FrameLatencyScope latency(spec, &res);
@@ -295,10 +431,14 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
     uint64_t evaluated = 0;
     bool partial = false;
     bool failed = false;
+    std::vector<uint64_t> shard_cs;
+    if (options.record_frames) {
+      shard_cs.assign(static_cast<size_t>(n), kFnvOffset);
+    }
     for (int s = 0; s < n; ++s) {
       const size_t si = static_cast<size_t>(s);
       streams[si].clear();
-      if (spatial_prune &&
+      if (options.spatial_prune &&
           CanPruneShard(engine->shard(s).tree, &bounds[si], q)) {
         // The shard provably matches nothing; install q as its previous
         // snapshot so later deltas stay exact.
@@ -315,8 +455,13 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
         break;
       }
       partial |= npdq[si]->integrity() == ResultIntegrity::kPartial;
+      if (plane.active && plane.probe[si] != 0) {
+        engine->breaker(s)->OnProbeOutcome(
+            npdq[si]->skip_report().pages_skipped() == 0);
+      }
       out->shard_skips[si].Merge(npdq[si]->skip_report());
       SortStreamByEntryTime(&*fresh);
+      if (options.record_frames) shard_cs[si] = StreamChecksum(*fresh);
       streams[si] = std::move(*fresh);
     }
     if (failed) break;
@@ -330,6 +475,22 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
     if (partial) {
       ++out->frames_partial;
       RouterMetrics::Get().frames_partial->Add();
+    }
+    if (plane.any_blocked) {
+      ++out->frames_quarantined;
+      HealthMetrics::Get().quarantined_frames->Add();
+    }
+    if (options.record_frames) {
+      ShardedSessionResult::FrameRecord rec;
+      rec.frame = i;
+      rec.partial = partial;
+      rec.shard_blocked = plane.blocked;
+      rec.shard_checksums = std::move(shard_cs);
+      uint64_t h = kFnvOffset;
+      FoldU64(&h, static_cast<uint64_t>(i));
+      FoldSegments(&h, &merged);
+      rec.merged_checksum = h;
+      out->frames.push_back(std::move(rec));
     }
     if (ctl.FrameDegraded()) {
       ++res.frames_degraded;
@@ -348,13 +509,17 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
 }
 
 void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
-                   OverloadGovernor* governor, ShardedSessionResult* out) {
+                   const ShardRouter::Options& options,
+                   ShardedSessionResult* out) {
   const int n = engine->num_shards();
   SessionResult& res = out->result;
   res.checksum = kFnvOffset;
   Rng rng(spec.seed);
   Observer obs = MakeObserver(&rng, spec);
-  FrameController ctl(spec, governor);
+  FrameController ctl(spec, options.governor);
+  HedgeBudgetScope hedge_scope(engine, ctl.engine_budget());
+  BreakerFramePlane plane;
+  plane.Init(engine);
 
   // Every shard answers each frame with a stateless full KnnAt search, NOT
   // a per-shard MovingKnnQuery fence cache. The fence argument ("anything
@@ -375,16 +540,22 @@ void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
   for (int i = 1; i <= spec.frames; ++i) {
     const double t = spec.t0 + i * spec.frame_dt;
     obs.Advance(&rng, spec, t);
+    if (options.frame_hook) options.frame_hook(i);
     if (ctl.cancelled()) break;
     if (ctl.ShedOrArm()) {
       ++res.frames_shed;
       continue;
     }
+    plane.StartFrame(engine);
     FrameLatencyScope latency(spec, &res);
     Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto locks = LockAllShards(engine);
     bool partial = false;
     bool failed = false;
+    std::vector<uint64_t> shard_cs;
+    if (options.record_frames) {
+      shard_cs.assign(static_cast<size_t>(n), kFnvOffset);
+    }
     for (int s = 0; s < n; ++s) {
       const size_t si = static_cast<size_t>(s);
       SkipReport frame_skip;
@@ -393,7 +564,7 @@ void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
       kopt.hot_path = spec.hot_path;
       kopt.budget = ctl.engine_budget();
       kopt.skip_report = &frame_skip;
-      if (kopt.budget != nullptr) {
+      if (kopt.budget != nullptr || engine->failure_domains()) {
         kopt.fault_policy = FaultPolicy::kSkipSubtree;
       }
       auto neighbors = KnnAt(*engine->shard(s).tree, obs.pos, t, spec.k,
@@ -404,8 +575,19 @@ void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
         break;
       }
       partial |= frame_skip.pages_skipped() > 0;
+      if (plane.active && plane.probe[si] != 0) {
+        engine->breaker(s)->OnProbeOutcome(frame_skip.pages_skipped() == 0);
+      }
       out->shard_skips[si].Merge(frame_skip);
       candidates[si] = std::move(*neighbors);
+      if (options.record_frames) {
+        uint64_t h = kFnvOffset;
+        for (const Neighbor& nb : candidates[si]) {
+          FoldU64(&h, nb.motion.oid);
+          FoldDouble(&h, nb.distance);
+        }
+        shard_cs[si] = h;
+      }
     }
     if (failed) break;
     RouterMetrics::Get().fanout_width->Record(static_cast<uint64_t>(n));
@@ -421,6 +603,25 @@ void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
     if (partial) {
       ++out->frames_partial;
       RouterMetrics::Get().frames_partial->Add();
+    }
+    if (plane.any_blocked) {
+      ++out->frames_quarantined;
+      HealthMetrics::Get().quarantined_frames->Add();
+    }
+    if (options.record_frames) {
+      ShardedSessionResult::FrameRecord rec;
+      rec.frame = i;
+      rec.partial = partial;
+      rec.shard_blocked = plane.blocked;
+      rec.shard_checksums = std::move(shard_cs);
+      uint64_t h = kFnvOffset;
+      FoldU64(&h, static_cast<uint64_t>(i));
+      for (const Neighbor& nb : merged) {
+        FoldU64(&h, nb.motion.oid);
+        FoldDouble(&h, nb.distance);
+      }
+      rec.merged_checksum = h;
+      out->frames.push_back(std::move(rec));
     }
     if (ctl.FrameDegraded()) ++res.frames_degraded;
     ctl.EndFrame();
@@ -442,14 +643,13 @@ ShardedSessionResult ShardRouter::RunOne(const SessionSpec& spec) const {
   ShardedSessionResult out;
   switch (spec.kind) {
     case SessionKind::kNpdq:
-      RunShardedNpdq(engine_, spec, options_.governor,
-                     options_.spatial_prune, &out);
+      RunShardedNpdq(engine_, spec, options_, &out);
       break;
     case SessionKind::kKnn:
-      RunShardedKnn(engine_, spec, options_.governor, &out);
+      RunShardedKnn(engine_, spec, options_, &out);
       break;
     case SessionKind::kSession:
-      RunShardedHandoff(engine_, spec, options_.governor, &out);
+      RunShardedHandoff(engine_, spec, options_, &out);
       break;
   }
   ExecMetrics& em = ExecMetrics::Get();

@@ -31,9 +31,23 @@
 // misses the snapshot provably contributes nothing, and the router tells
 // its NPDQ instance via NoteSkippedSnapshot so later deltas stay exact
 // (see that method's soundness note).
+//
+// Failure domains (server/health.h, when the engine runs with them): the
+// router is the breakers' frame plane. Each frame it advances every
+// shard's breaker (OnFrameStart), drains any pending redo queue of an
+// unblocked shard *before* taking the read locks, and keeps calling every
+// shard's session — a quarantined shard's reads short-circuit at the
+// breaker gate, so its frames come back as attributed kPartial through
+// the ordinary kSkipSubtree machinery while the per-shard control state
+// stays in observer lockstep for a clean resync at reinstatement. On
+// half-open probe frames the shard serves reads normally and the router
+// reports the verdict (frame completed with zero new skips) back via
+// OnProbeOutcome; enough healthy probes close the breaker.
 #ifndef DQMO_SERVER_ROUTER_H_
 #define DQMO_SERVER_ROUTER_H_
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "motion/motion_segment.h"
@@ -74,6 +88,25 @@ struct ShardedSessionResult {
   std::vector<SkipReport> shard_skips;
   /// Shard evaluations skipped by the NPDQ root-bounds prune.
   uint64_t shard_frames_pruned = 0;
+  /// Frames evaluated while at least one shard's breaker blocked reads.
+  uint64_t frames_quarantined = 0;
+
+  /// One completed frame's answer, per shard (Options::record_frames).
+  /// This is the vehicle for the chaos harness's strongest invariant:
+  /// run the same session against a clean twin engine and require
+  /// shard_checksums[s] equal for every *healthy* shard on every frame —
+  /// quarantining shard X must never change a byte of shard Y's answers.
+  struct FrameRecord {
+    int frame = 0;
+    /// Fold of this frame's merged delivery alone (kFnvOffset-seeded).
+    uint64_t merged_checksum = 0;
+    bool partial = false;
+    /// Per-shard fold of the shard's own (pre-merge) delivery.
+    std::vector<uint64_t> shard_checksums;
+    /// 1 when the shard's breaker blocked its reads this frame.
+    std::vector<uint8_t> shard_blocked;
+  };
+  std::vector<FrameRecord> frames;
 };
 
 /// Fans deterministic query sessions out over a ShardedEngine, mirroring
@@ -91,6 +124,13 @@ class ShardRouter {
     /// (exactness preserved; see header comment). The differential tests
     /// sweep both settings.
     bool spatial_prune = true;
+    /// Called at the top of every session frame (shed or not), before any
+    /// shard gate is held — the injection point for chaos programs, which
+    /// arm/clear per-shard faults and force breakers at scripted frames.
+    std::function<void(int frame)> frame_hook;
+    /// Record a FrameRecord per completed frame (chaos differential runs;
+    /// costs a per-shard stream copy, leave off outside tests).
+    bool record_frames = false;
   };
 
   explicit ShardRouter(ShardedEngine* engine) : engine_(engine) {}

@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "rtree/bulk_load.h"
+#include "rtree/layout.h"
 
 namespace dqmo {
 namespace {
@@ -126,6 +127,11 @@ ShardedEngineOptions ShardedEngineOptions::FromEnv() {
     o.speed_split_threshold = GetEnvDouble("DQMO_SPEED_SPLIT",
                                            o.speed_split_threshold);
   }
+  o.failure_domains = GetEnvBool("DQMO_FAILURE_DOMAINS", o.failure_domains);
+  if (o.failure_domains) {
+    o.breaker = BreakerOptions::FromEnv();
+    o.hedge = HedgeOptions::FromEnv();
+  }
   return o;
 }
 
@@ -180,21 +186,158 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
     }
     s->gate = std::make_unique<TreeGate>(s->file, s->pool.get(), wal,
                                          s->node_cache.get());
+    engine->AttachFailureDomain(s.get(), i);
     engine->shards_.push_back(std::move(s));
   }
   ShardMetrics::Get().shard_count->Set(options.num_shards);
   return engine;
 }
 
+void ShardedEngine::AttachFailureDomain(Shard* s, int i) {
+  if (!options_.failure_domains) return;
+  BreakerOptions bopt = options_.breaker;
+  // Distinct, deterministic probe schedule per shard.
+  bopt.probe_seed = options_.breaker.probe_seed + static_cast<uint64_t>(i);
+  s->breaker = std::make_unique<CircuitBreaker>(i, bopt);
+  s->faulty_primary = std::make_unique<FaultyPageReader>(
+      s->file, nullptr, options_.fault_sleeper);
+  s->faulty_secondary = std::make_unique<FaultyPageReader>(
+      s->file, nullptr, options_.fault_sleeper);
+  s->hedged = std::make_unique<HedgedPageReader>(
+      s->faulty_primary.get(), s->faulty_secondary.get(), s->breaker.get(),
+      options_.hedge);
+  RetryingPageReader::RetryPolicy retry = options_.retry;
+  retry.verify_checksums = true;  // The integrity net under the pool.
+  s->retry = std::make_unique<RetryingPageReader>(s->hedged.get(), retry,
+                                                  s->file->mutable_stats());
+  s->breaker_gate =
+      std::make_unique<BreakerGateReader>(s->retry.get(), s->breaker.get());
+  s->redo = std::make_unique<RedoQueue>();
+  s->pool->set_source(s->breaker_gate.get());
+}
+
+FaultInjector* ShardedEngine::ArmShardFault(int i,
+                                            const FaultInjector::Options& o) {
+  Shard* s = shards_[static_cast<size_t>(i)].get();
+  DQMO_CHECK(s->faulty_primary != nullptr);  // failure_domains mode only.
+  auto guard = s->gate->LockExclusive();
+  s->hedged->Quiesce();  // No probe may hold the old injector mid-read.
+  s->injector = std::make_unique<FaultInjector>(o);
+  s->faulty_primary->set_injector(s->injector.get());
+  s->faulty_secondary->set_injector(s->injector.get());
+  // Drop the shard's caches so the schedule bites on the next read rather
+  // than whenever eviction happens to reach the hot pages.
+  s->pool->Clear();
+  if (s->node_cache != nullptr) s->node_cache->Clear();
+  return s->injector.get();
+}
+
+void ShardedEngine::ClearShardFault(int i) {
+  Shard* s = shards_[static_cast<size_t>(i)].get();
+  DQMO_CHECK(s->faulty_primary != nullptr);
+  auto guard = s->gate->LockExclusive();
+  s->hedged->Quiesce();
+  s->faulty_primary->set_injector(nullptr);
+  s->faulty_secondary->set_injector(nullptr);
+  s->injector.reset();
+  s->pool->Clear();
+  if (s->node_cache != nullptr) s->node_cache->Clear();
+}
+
+Status ShardedEngine::DrainRedo(int i) {
+  Shard* s = shards_[static_cast<size_t>(i)].get();
+  if (s->redo == nullptr || s->redo->depth() == 0) return Status::OK();
+  auto guard = s->gate->LockExclusive();
+  return DrainRedoLocked(s);
+}
+
+Status ShardedEngine::DrainRedoLocked(Shard* s) {
+  std::vector<RedoQueue::Entry> entries = s->redo->Take();
+  if (entries.empty()) return Status::OK();
+  Status st = Status::OK();
+  uint64_t applied = 0;
+  size_t next = 0;
+  if (s->durable != nullptr) {
+    // The parked records already sit in the shard's WAL (parking appended
+    // them there; that sync was the ack) — apply without re-logging,
+    // exactly like recovery replay, and skip by LSN anything a repair's
+    // full-WAL replay already materialized.
+    RTree* tree = s->tree;
+    tree->AttachWal(nullptr);
+    for (; next < entries.size(); ++next) {
+      const RedoQueue::Entry& e = entries[next];
+      if (e.lsn <= tree->applied_lsn()) continue;
+      st = tree->Insert(e.motion);
+      if (!st.ok()) break;
+      tree->set_applied_lsn(e.lsn);
+      ++applied;
+    }
+    tree->AttachWal(s->durable->wal());
+  } else {
+    for (; next < entries.size(); ++next) {
+      st = s->tree->Insert(entries[next].motion);
+      if (!st.ok()) break;
+      ++applied;
+    }
+  }
+  if (!st.ok()) {
+    // Put the unapplied tail back (front of the queue, order preserved) so
+    // a later drain — typically after the scrubber repairs whatever made
+    // this insert fail — still applies every acked write.
+    std::vector<RedoQueue::Entry> tail(entries.begin() +
+                                           static_cast<long>(next),
+                                       entries.end());
+    s->redo->Restore(std::move(tail));
+    if (s->breaker != nullptr) s->breaker->ForceOpen("redo drain failed");
+  }
+  HealthMetrics::Get().redo_drained->Add(applied);
+  return st;
+}
+
+Status ShardedEngine::ParkLocked(Shard* s, const MotionSegment& m) {
+  MotionSegment stored = m;
+  stored.seg = QuantizeStored(m.seg);
+  uint64_t lsn = 0;
+  if (s->durable != nullptr) {
+    // Park = append to the shard's own WAL without touching the (possibly
+    // damaged) tree. The gate's write-guard release syncs the batch, and
+    // the caller's wal_status check makes the ack honest — the same
+    // contract as a normal durable insert, so "acked writes are never
+    // lost" needs no new recovery machinery: restart replays them from
+    // the log, live reinstatement drains them by LSN.
+    DQMO_ASSIGN_OR_RETURN(lsn, s->durable->wal()->AppendInsert(stored));
+  }
+  s->redo->Park(lsn, stored);
+  return Status::OK();
+}
+
 Status ShardedEngine::InsertIntoShard(Shard* s, const MotionSegment& m) {
   const bool durable = s->durable != nullptr;
   {
     auto guard = s->gate->LockExclusive();
-    DQMO_RETURN_IF_ERROR(durable ? s->durable->Insert(m) : s->tree->Insert(m));
+    // The quarantine decision and any pending drain happen under the same
+    // guard as the insert itself: a parked entry's LSN is always below any
+    // later normal insert's, so "drain before insert" can never skip one.
+    if (s->breaker != nullptr &&
+        s->breaker->state() == BreakerState::kOpen) {
+      DQMO_RETURN_IF_ERROR(ParkLocked(s, m));
+    } else {
+      if (s->redo != nullptr && s->redo->depth() > 0) {
+        DQMO_RETURN_IF_ERROR(DrainRedoLocked(s));
+      }
+      Status st = durable ? s->durable->Insert(m) : s->tree->Insert(m);
+      if (!st.ok()) {
+        if (s->breaker != nullptr) s->breaker->OnWalOutcome(false);
+        return st;
+      }
+    }
   }
-  // The guard's release synced this shard's WAL; an insert is only
-  // acknowledged once its redo record is durable.
-  return durable ? s->gate->wal_status() : Status::OK();
+  // The guard's release synced this shard's WAL; an insert (parked or not)
+  // is only acknowledged once its redo record is durable.
+  if (!durable) return Status::OK();
+  Status ack = s->gate->wal_status();
+  if (!ack.ok() && s->breaker != nullptr) s->breaker->OnWalOutcome(false);
+  return ack;
 }
 
 Status ShardedEngine::Insert(const MotionSegment& m) {
@@ -218,9 +361,15 @@ Status ShardedEngine::InsertBatch(const std::vector<MotionSegment>& batch) {
     const bool durable = s->durable != nullptr;
     {
       auto guard = s->gate->LockExclusive();
+      const bool open = s->breaker != nullptr &&
+                        s->breaker->state() == BreakerState::kOpen;
+      if (!open && s->redo != nullptr && s->redo->depth() > 0) {
+        DQMO_RETURN_IF_ERROR(DrainRedoLocked(s));
+      }
       for (const MotionSegment* m : group) {
-        DQMO_RETURN_IF_ERROR(durable ? s->durable->Insert(*m)
-                                     : s->tree->Insert(*m));
+        DQMO_RETURN_IF_ERROR(open ? ParkLocked(s, *m)
+                                  : (durable ? s->durable->Insert(*m)
+                                             : s->tree->Insert(*m)));
       }
     }
     if (durable) DQMO_RETURN_IF_ERROR(s->gate->wal_status());
@@ -267,6 +416,7 @@ Status ShardedEngine::BulkLoad(std::vector<MotionSegment> data) {
     }
     s->gate = std::make_unique<TreeGate>(s->file, s->pool.get(), nullptr,
                                          s->node_cache.get());
+    AttachFailureDomain(s.get(), static_cast<int>(i));
     shards_[i] = std::move(s);
   }
   return Status::OK();
@@ -278,6 +428,16 @@ Status ShardedEngine::Checkpoint() {
       return Status::InvalidArgument("Checkpoint: durable engines only");
     }
     auto guard = s->gate->LockExclusive();
+    if (s->redo != nullptr && s->redo->depth() > 0) {
+      if (s->breaker != nullptr &&
+          s->breaker->state() == BreakerState::kOpen) {
+        // Checkpointing would reset a WAL whose parked records the tree
+        // has not applied — the one way to lose an acked write. Skip; the
+        // shard checkpoints after reinstatement.
+        continue;
+      }
+      DQMO_RETURN_IF_ERROR(DrainRedoLocked(s.get()));
+    }
     DQMO_RETURN_IF_ERROR(s->durable->Checkpoint());
   }
   return Status::OK();

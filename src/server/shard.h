@@ -41,7 +41,9 @@
 #include "rtree/rtree.h"
 #include "server/durability.h"
 #include "server/executor.h"
+#include "server/health.h"
 #include "storage/buffer_pool.h"
+#include "storage/fault.h"
 #include "storage/io_stats.h"
 #include "storage/page_file.h"
 
@@ -115,8 +117,23 @@ struct ShardedEngineOptions {
   /// dqmo_tool scrub/walinfo/recover accept), group-commit WAL synced by
   /// each shard gate's write-guard release. Empty: in-memory page files.
   std::string durable_dir;
-  /// Reads DQMO_SHARDS (shard count) and DQMO_SPEED_SPLIT (threshold;
-  /// "off"/"0" disables the split) over these defaults.
+  /// Per-shard failure domains (server/health.h): each shard gains a
+  /// circuit breaker + quarantine gate, a hedged/faulty/retrying read
+  /// chain under its BufferPool, and a redo queue that parks writes while
+  /// the breaker is open. Off (the default) leaves the PR 7 chain — and
+  /// its byte-for-byte I/O accounting — untouched.
+  bool failure_domains = false;
+  BreakerOptions breaker;
+  HedgeOptions hedge;
+  /// Retry layer of the failure-domain chain (post-hedge, pre-breaker).
+  RetryingPageReader::RetryPolicy retry;
+  /// Serves injected slow-read delays for the per-shard fault planes;
+  /// null sleeps for real. Tests inject a counting no-op for sleep-free
+  /// slow-storm chaos programs.
+  FaultyPageReader::Sleeper fault_sleeper;
+  /// Reads DQMO_SHARDS (shard count), DQMO_SPEED_SPLIT (threshold;
+  /// "off"/"0" disables the split), DQMO_FAILURE_DOMAINS, and the
+  /// DQMO_BREAKER_* / DQMO_HEDGE_* knobs over these defaults.
   static ShardedEngineOptions FromEnv();
 };
 
@@ -138,6 +155,22 @@ class ShardedEngine {
     std::unique_ptr<BufferPool> pool;
     std::unique_ptr<DecodedNodeCache> node_cache;
     std::unique_ptr<TreeGate> gate;
+
+    /// Failure-domain chain (options.failure_domains only; otherwise the
+    /// pool reads the file directly). Pool misses flow
+    ///   breaker_gate -> retry -> hedged -> faulty_{primary,secondary}
+    /// -> file; the two faulty readers share one per-shard injector (the
+    /// satellite-3 fix: fault config addressable per shard) but never a
+    /// scratch buffer, because the hedge worker reads the primary while
+    /// the caller probes the secondary.
+    std::unique_ptr<CircuitBreaker> breaker;
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<FaultyPageReader> faulty_primary;
+    std::unique_ptr<FaultyPageReader> faulty_secondary;
+    std::unique_ptr<HedgedPageReader> hedged;
+    std::unique_ptr<RetryingPageReader> retry;
+    std::unique_ptr<BreakerGateReader> breaker_gate;
+    std::unique_ptr<RedoQueue> redo;
 
     /// Page source for this shard's queries (the shard's pool).
     PageReader* reader() { return pool.get(); }
@@ -165,8 +198,31 @@ class ShardedEngine {
   /// uses the same ShardMap and storage the same quantization.
   Status BulkLoad(std::vector<MotionSegment> data);
 
-  /// Durable mode: checkpoints every shard (image + WAL reset).
+  /// Durable mode: checkpoints every shard (image + WAL reset). A
+  /// quarantined shard holding parked writes is skipped — resetting its
+  /// WAL would orphan records the tree has not applied; its checkpoint
+  /// resumes after reinstatement. Reinstated shards drain first.
   Status Checkpoint();
+
+  /// Satellite 3: per-shard fault addressing. Swaps shard `i`'s fault
+  /// injector (under its exclusive gate, with the hedge worker quiesced
+  /// and that shard's caches dropped, so the new schedule bites on the
+  /// very next read). failure_domains mode only. The injector stays owned
+  /// by the engine; the returned pointer is valid until the next
+  /// Arm/Clear on the same shard.
+  FaultInjector* ArmShardFault(int i, const FaultInjector::Options& o);
+  void ClearShardFault(int i);
+
+  /// Applies shard `i`'s parked writes to its tree (exclusive gate taken
+  /// inside). Durable shards replay by LSN — entries a repair already
+  /// replayed from the WAL are skipped, so draining is idempotent across
+  /// crash/repair interleavings. Called by the router at reinstatement,
+  /// the scrubber after repair, and the insert path before a post-
+  /// quarantine insert.
+  Status DrainRedo(int i);
+
+  bool failure_domains() const { return options_.failure_domains; }
+  CircuitBreaker* breaker(int i) { return shard(i).breaker.get(); }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   Shard& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
@@ -186,6 +242,12 @@ class ShardedEngine {
              options.speed_split_threshold) {}
 
   Status InsertIntoShard(Shard* s, const MotionSegment& m);
+  /// Builds the failure-domain read chain + redo queue for shard `i` and
+  /// points its pool at it. No-op unless options_.failure_domains.
+  void AttachFailureDomain(Shard* s, int i);
+  /// Caller holds s->gate exclusively.
+  Status DrainRedoLocked(Shard* s);
+  Status ParkLocked(Shard* s, const MotionSegment& m);
 
   ShardedEngineOptions options_;
   ShardMap map_;

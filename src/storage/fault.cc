@@ -149,7 +149,7 @@ void FaultInjector::ApplyCorruption(PageId page, uint8_t* buf) {
 FaultyPageReader::FaultyPageReader(PageReader* base, FaultInjector* injector,
                                    Sleeper sleeper)
     : base_(base), injector_(injector), sleeper_(std::move(sleeper)) {
-  DQMO_CHECK(base != nullptr && injector != nullptr);
+  DQMO_CHECK(base != nullptr);
   if (!sleeper_) {
     sleeper_ = [](uint64_t delay_us) {
       std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
@@ -158,6 +158,7 @@ FaultyPageReader::FaultyPageReader(PageReader* base, FaultInjector* injector,
 }
 
 Result<PageReader::ReadResult> FaultyPageReader::Read(PageId id) {
+  if (injector_ == nullptr) return base_->Read(id);  // Disarmed shard.
   const FaultInjector::Decision d = injector_->NextRead(id);
   using Kind = FaultInjector::Decision::Kind;
   switch (d.kind) {

@@ -224,12 +224,21 @@ class FaultyPageReader : public PageReader {
   using Sleeper = std::function<void(uint64_t delay_us)>;
 
   /// Neither pointer is owned. `injector` may be shared across readers
-  /// (its stream then interleaves in call order). A null `sleeper` uses a
-  /// real sleep.
+  /// (its stream then interleaves in call order) or null — a null injector
+  /// makes the reader a pure pass-through, which is how a per-shard fault
+  /// plane sits permanently in a read chain without costing anything until
+  /// a chaos program arms that shard. A null `sleeper` uses a real sleep.
   FaultyPageReader(PageReader* base, FaultInjector* injector,
                    Sleeper sleeper = nullptr);
 
   Result<ReadResult> Read(PageId id) override;
+
+  /// Swaps the injector (null disarms). Not synchronized against concurrent
+  /// Read calls — callers must hold the owning shard's exclusive gate (or
+  /// otherwise quiesce readers) while swapping, which is exactly what
+  /// ShardedEngine::ArmShardFault/ClearShardFault do.
+  void set_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* injector() const { return injector_; }
 
  private:
   PageReader* base_;

@@ -219,6 +219,17 @@ Result<PageView> PageFile::WritableView(PageId id) {
   return PageView(PageData(id), kPageSize);
 }
 
+Status PageFile::CorruptPageForTest(PageId id, size_t offset, uint8_t mask) {
+  DQMO_RETURN_IF_ERROR(CheckId(id));
+  if (offset >= kPageSize) {
+    return Status::InvalidArgument("corruption offset past page end");
+  }
+  SealIfDirty(id);  // Damage the sealed form; sealing must not heal it.
+  PageData(id)[offset] ^= mask;
+  StoreFlag(verified_, id, 0);
+  return Status::OK();
+}
+
 Status PageFile::VerifyPage(PageId id) {
   DQMO_RETURN_IF_ERROR(CheckId(id));
   SealIfDirty(id);

@@ -148,6 +148,15 @@ class PageFile : public PageReader {
   /// cache. Corruption carries the page id.
   Status VerifyPage(PageId id);
 
+  /// Test hook: flips `mask` into byte `offset` of page `id` *at rest* —
+  /// storage itself is damaged (not just a delivered copy, which is
+  /// FaultInjector territory), the trailer is left stale, and the page's
+  /// verified flag is cleared so the next Read re-hashes and fails with
+  /// Corruption. This is what VerifyAllPages/scrub detect and what
+  /// DurableIndex::ReloadFromDisk repairs. Requires exclusion from
+  /// concurrent readers, like any mutation.
+  Status CorruptPageForTest(PageId id, size_t offset, uint8_t mask);
+
   /// Verifies every page, appending the ids of all corrupt pages to `bad`
   /// (unlike Read/LoadFrom it does not stop at the first). Returns the
   /// number of corrupt pages found. Used by `dqmo_tool scrub`.

@@ -13,6 +13,10 @@
 
 #include "common/trace.h"
 #include "rtree/stats.h"
+#include "server/health.h"
+#include "server/scrubber.h"
+#include "server/shard.h"
+#include "workload/data_generator.h"
 
 namespace dqmo {
 namespace {
@@ -429,6 +433,100 @@ TEST_F(MetricsTest, ReadNodeAccountingMatchesRegistry) {
   EXPECT_EQ(a.decoded_hits, 3u);
   EXPECT_EQ(a.physical_reads, 1u);
   EXPECT_EQ(a.pooled_reads, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure-domain metric families (server/health.h). Golden exposition:
+// every family the ops surface documents must exist under its exact name
+// with the right type, and the breaker / redo-queue lifecycles must move
+// the right series.
+
+void ExpectContains(const std::string& text, const std::string& needle) {
+  EXPECT_NE(text.find(needle), std::string::npos) << "missing: " << needle;
+}
+
+TEST_F(MetricsTest, HealthMetricFamiliesExposedWithTypes) {
+  HealthMetrics::Get();  // Registers every family on first touch.
+  const std::string text = MetricsRegistry::Global().PrometheusText();
+  ExpectContains(text, "# TYPE dqmo_breaker_state gauge");
+  ExpectContains(text, "# TYPE dqmo_breaker_transitions_total counter");
+  ExpectContains(text, "# TYPE dqmo_quarantine_events_total counter");
+  ExpectContains(text, "# TYPE dqmo_quarantined_frames_total counter");
+  ExpectContains(text, "# TYPE dqmo_hedged_reads_total counter");
+  ExpectContains(text, "# TYPE dqmo_hedged_reads_won_total counter");
+  ExpectContains(text, "# TYPE dqmo_hedged_reads_lost_total counter");
+  ExpectContains(text, "# TYPE dqmo_scrub_pages_total counter");
+  ExpectContains(text, "# TYPE dqmo_scrub_pages_rebuilt_total counter");
+  ExpectContains(text, "# TYPE dqmo_redo_queue_depth gauge");
+  ExpectContains(text, "# TYPE dqmo_redo_parked_total counter");
+  ExpectContains(text, "# TYPE dqmo_redo_drained_total counter");
+  ExpectContains(text,
+                 "# HELP dqmo_breaker_state Shards currently quarantined "
+                 "or probing (not closed)");
+}
+
+TEST_F(MetricsTest, BreakerLifecycleMovesHealthSeries) {
+  BreakerOptions opt;
+  opt.consecutive_failures = 4;
+  opt.probe_rate = 1.0;
+  opt.probe_successes_to_close = 2;
+  CircuitBreaker breaker(/*shard=*/0, opt);
+  for (int i = 0; i < 4; ++i) breaker.OnReadOutcome(false, 1000);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  std::string text = MetricsRegistry::Global().PrometheusText();
+  ExpectContains(text, "dqmo_breaker_state 1\n");
+  ExpectContains(text, "dqmo_breaker_transitions_total 1\n");
+  ExpectContains(text, "dqmo_quarantine_events_total 1\n");
+
+  breaker.OnRepairComplete();  // open -> half-open: still not closed.
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.OnFrameStart();  // probe_rate 1.0: every frame probes.
+  breaker.OnProbeOutcome(true);
+  breaker.OnFrameStart();
+  breaker.OnProbeOutcome(true);
+  ASSERT_EQ(breaker.state(), BreakerState::kClosed);
+  text = MetricsRegistry::Global().PrometheusText();
+  ExpectContains(text, "dqmo_breaker_state 0\n");
+  ExpectContains(text, "dqmo_breaker_transitions_total 3\n");
+  ExpectContains(text, "dqmo_quarantine_events_total 1\n");  // Unchanged.
+}
+
+TEST_F(MetricsTest, RedoQueueAndScrubSeriesTrackEngineLifecycle) {
+  DataGeneratorOptions gen;
+  gen.num_objects = 40;
+  gen.horizon = 6.0;
+  gen.seed = 11;
+  auto data = GenerateMotionData(gen);
+  ASSERT_TRUE(data.ok());
+
+  ShardedEngineOptions eopt;
+  eopt.num_shards = 2;
+  eopt.cache_nodes = 0;
+  eopt.failure_domains = true;
+  auto engine = ShardedEngine::Create(eopt);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE((*engine)->InsertBatch(*data).ok());
+
+  const MotionSegment extra(
+      9005, StSegment(Vec(40, 40), Vec(41, 41), Interval(2.0, 3.0)));
+  const int sick = (*engine)->map().ShardOf(extra);
+  (*engine)->breaker(sick)->ForceOpen("test");
+  ASSERT_TRUE((*engine)->Insert(extra).ok());
+  std::string text = MetricsRegistry::Global().PrometheusText();
+  ExpectContains(text, "dqmo_redo_queue_depth 1\n");
+  ExpectContains(text, "dqmo_redo_parked_total 1\n");
+  ExpectContains(text, "dqmo_redo_drained_total 0\n");
+
+  // Scrub: scans the quarantined shard (clean pages in memory), drains the
+  // parked write, and promotes to half-open.
+  const ShardScrubber::PassReport rep =
+      ShardScrubber(engine->get(), ScrubOptions()).ScrubPass();
+  EXPECT_EQ(rep.shards_promoted, 1) << rep.ToString();
+  text = MetricsRegistry::Global().PrometheusText();
+  ExpectContains(text, "dqmo_redo_queue_depth 0\n");
+  ExpectContains(text, "dqmo_redo_drained_total 1\n");
+  const uint64_t scanned = HealthMetrics::Get().scrub_pages->value();
+  EXPECT_GE(scanned, (*engine)->shard(sick).file->num_pages());
 }
 
 }  // namespace

@@ -24,7 +24,9 @@
 #include "common/random.h"
 #include "oracle.h"
 #include "server/executor.h"
+#include "server/health.h"
 #include "server/router.h"
+#include "server/scrubber.h"
 #include "server/shard.h"
 #include "storage/fault.h"
 #include "test_util.h"
@@ -685,6 +687,123 @@ TEST(ShardedEngineTest, DurableShardsRecoverAcrossReopen) {
     ExpectSameResults(after, before, "durable reopen");
   }
   std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Failure domains: a predictive session hit mid-stream by its shard's
+// circuit breaker.
+
+TEST(ShardFaultTest, PdqSessionQuarantinedMidStreamResumesByteIdentical) {
+  // A predictive (kSession) stream reads the tree only at prediction
+  // renewals, so a shard that dies mid-run stays invisible until the next
+  // renewal — at which point the frame must come back kPartial with the
+  // skips attributed to exactly that shard, the session must hand off to
+  // NPDQ, and the healthy shards must keep delivering byte-identically to
+  // an untouched twin the whole way. After scrub + probation the engine
+  // must serve fresh sweeps byte-identically again.
+  constexpr int kFrames = 36;
+  constexpr int kArmFrame = 10;
+  constexpr int kHealFrame = 28;
+  const std::vector<MotionSegment> data =
+      ShapedData(WorkloadShape::kUniform, 23, 220);
+
+  ShardedEngineOptions eopt;
+  eopt.num_shards = 4;
+  eopt.cache_nodes = 0;  // Every node visit reaches the gated pool.
+  eopt.failure_domains = true;
+  eopt.breaker.consecutive_failures = 1;
+  eopt.breaker.cooldown_frames = 0;  // Promotion only through the scrubber.
+  eopt.breaker.probe_rate = 1.0;
+  eopt.breaker.probe_successes_to_close = 2;
+  auto chaos = ShardedEngine::Create(eopt);
+  auto twin = ShardedEngine::Create(eopt);
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+  ASSERT_TRUE(twin.ok()) << twin.status().ToString();
+  ASSERT_TRUE((*chaos)->InsertBatch(data).ok());
+  ASSERT_TRUE((*twin)->InsertBatch(data).ok());
+  const int sick = (*chaos)->map().ShardOf(data[0]);
+
+  SessionSpec spec;
+  spec.kind = SessionKind::kSession;
+  spec.seed = 104;
+  spec.frames = kFrames;
+  // Stretch the frame step so a prediction renewal (default horizon 5.0)
+  // lands inside the quarantine window instead of past the end of the run.
+  spec.frame_dt = 0.4;
+  spec.t0 = 1.0;
+
+  ShardRouter::Options twin_opt;
+  twin_opt.spatial_prune = false;
+  twin_opt.record_frames = true;
+  ShardRouter::Options ropt = twin_opt;
+  ropt.frame_hook = [&](int frame) {
+    if (frame == kArmFrame) {
+      FaultInjector::Options f;
+      f.fail_every_kth = 1;  // Shard-wide death: every read fails.
+      (*chaos)->ArmShardFault(sick, f);
+    } else if (frame == kHealFrame) {
+      (*chaos)->ClearShardFault(sick);
+      const ShardScrubber::PassReport rep =
+          ShardScrubber(chaos->get(), ScrubOptions()).ScrubPass();
+      EXPECT_EQ(rep.shards_scrubbed, 1) << rep.ToString();
+      EXPECT_EQ(rep.shards_promoted, 1) << rep.ToString();
+    }
+  };
+
+  const ShardedSessionResult got = ShardRouter(chaos->get(), ropt).RunOne(spec);
+  const ShardedSessionResult want =
+      ShardRouter(twin->get(), twin_opt).RunOne(spec);
+  ASSERT_TRUE(got.result.status.ok()) << got.result.status.ToString();
+  ASSERT_TRUE(want.result.status.ok()) << want.result.status.ToString();
+  EXPECT_EQ(want.frames_partial, 0u);
+
+  // The fault stayed dormant while the PDQ served from its prediction
+  // buffer: the first partial frame is the renewal, strictly after the arm
+  // frame and before the heal.
+  ASSERT_GT(got.frames_partial, 0u);
+  int first_partial = 0;
+  for (const ShardedSessionResult::FrameRecord& rec : got.frames) {
+    if (rec.partial) {
+      first_partial = rec.frame;
+      break;
+    }
+  }
+  EXPECT_GT(first_partial, kArmFrame);
+  EXPECT_LT(first_partial, kHealFrame);
+  EXPECT_GT(got.frames_quarantined, 0u);
+
+  // Attribution: skips land in the sick slot and nowhere else.
+  ASSERT_EQ(got.shard_skips.size(), 4u);
+  EXPECT_GT(got.shard_skips[sick].pages_skipped(), 0u);
+  for (int s = 0; s < 4; ++s) {
+    if (s != sick) {
+      EXPECT_EQ(got.shard_skips[s].pages_skipped(), 0u) << "shard " << s;
+    }
+  }
+
+  // Healthy shards delivered byte-identically to the twin on every frame,
+  // fault window included, and were never blocked.
+  ASSERT_EQ(got.frames.size(), want.frames.size());
+  for (size_t f = 0; f < got.frames.size(); ++f) {
+    for (int s = 0; s < 4; ++s) {
+      if (s == sick) continue;
+      EXPECT_EQ(got.frames[f].shard_checksums[s],
+                want.frames[f].shard_checksums[s])
+          << "frame " << got.frames[f].frame << " shard " << s;
+      EXPECT_EQ(got.frames[f].shard_blocked[s], 0)
+          << "frame " << got.frames[f].frame << " shard " << s;
+    }
+  }
+
+  // Reinstated through half-open probation, and fresh sweeps across all
+  // session kinds are byte-identical again.
+  EXPECT_EQ((*chaos)->breaker(sick)->state(), BreakerState::kClosed);
+  EXPECT_GE((*chaos)->breaker(sick)->open_events(), 1u);
+  EXPECT_GT((*chaos)->breaker(sick)->probe_frames(), 0u);
+  const std::vector<SessionSpec> sweep = SweepSpecs(2, 12);
+  ExpectSameResults(ShardRouter(chaos->get()).Run(sweep),
+                    ShardRouter(twin->get()).Run(sweep),
+                    "post-reinstatement sweep");
 }
 
 }  // namespace

@@ -112,6 +112,22 @@ echo "==== [sharding] router + per-shard writer hammer (tsan) ===="
 echo "==== [sharding] A17 ablation merged-checksum equality gate ===="
 env DQMO_OBJECTS=60000 "build-ci/release/bench/abl_sharding"
 
+# Chaos stage: the shard failure-domain layer under its seeded chaos
+# harness — shard death, corruption bursts, slow-I/O storms, and
+# crash-restart mid-repair at every scrub crash point, each program run
+# differentially against a clean twin (ASan); the frames/inserts/faults/
+# scrubber race under TSan; then the A18 failover ablation with its gate
+# armed — with 1 of 16 shards killed the healthy-shard p99 must hold
+# within 20% of the healthy baseline, and after online scrub + probation
+# the same sweep must be byte-identical to it.
+echo "==== [chaos] chaos harness (asan) ===="
+"build-ci/sanitize/tests/chaos_test"
+echo "==== [chaos] scrubber/router/writer hammer (tsan) ===="
+"build-ci/tsan/tests/chaos_test" --gtest_filter='ChaosHammer*'
+echo "==== [chaos] A18 failover gate ===="
+env DQMO_OBJECTS=60000 DQMO_CHECK_FAILOVER=1 \
+  "build-ci/release/bench/abl_failover"
+
 # Metrics stage, part 1: the observability layer must be free when turned
 # off. Build abl_hot_path once with the compile-time kill switch
 # (-DDQMO_METRICS=OFF — every record site folds out) and compare its full

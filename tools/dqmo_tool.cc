@@ -16,10 +16,15 @@
 //   dqmo_tool verify <index.pgf>
 //       Run the structural invariant checker.
 //
-//   dqmo_tool scrub <index.pgf>
+//   dqmo_tool scrub <index.pgf | shard-dir> [--repair]
 //       Check every page's CRC32C and report each corrupt page with its
 //       file offset. Unlike a normal load (which stops at the first bad
-//       page), scrub reads the whole file and lists all damage.
+//       page), scrub reads the whole file and lists all damage. On a
+//       sharded directory a per-shard corrupt-page summary follows the
+//       per-file reports. With --repair, a damaged .pgf is rebuilt from
+//       its durable pair (checkpoint image + WAL replay; the image is
+//       reconstructed purely from a full-history WAL when damaged beyond
+//       loading) and re-verified.
 //
 //   dqmo_tool walinfo <index.wal>
 //       Scan a write-ahead log: record count by type, LSN range, and the
@@ -60,7 +65,11 @@
 #include "rtree/rtree.h"
 #include "server/durability.h"
 #include "server/executor.h"
+#include "server/health.h"
 #include "server/overload.h"
+#include "server/router.h"
+#include "server/scrubber.h"
+#include "server/shard.h"
 #include "storage/buffer_pool.h"
 #include "storage/wal.h"
 #include "workload/data_generator.h"
@@ -118,7 +127,7 @@ int Usage() {
                "  dqmo_tool query <index.pgf> x0 x1 y0 y1 t0 t1\n"
                "  dqmo_tool knn <index.pgf> x y t k\n"
                "  dqmo_tool verify <index.pgf>\n"
-               "  dqmo_tool scrub <index.pgf | shard-dir>\n"
+               "  dqmo_tool scrub <index.pgf | shard-dir> [--repair]\n"
                "  dqmo_tool walinfo <index.wal | shard-dir>\n"
                "  dqmo_tool recover <index.pgf> <index.wal>\n"
                "  dqmo_tool recover <shard-dir>\n"
@@ -305,16 +314,28 @@ int CmdVerify(const std::string& path) {
   return 0;
 }
 
-int CmdScrub(const std::string& path) {
+struct ScrubOutcome {
+  size_t pages = 0;
+  size_t corrupt = 0;
+  bool repaired = false;
+  int rc = 0;
+};
+
+ScrubOutcome ScrubOneFile(const std::string& path, bool repair) {
+  ScrubOutcome out;
   // Forensic load: skip verification so damaged files still open, legacy
   // (v1) files included — their pages are sealed in memory on load, so the
   // sweep below verifies them too.
   PageFile file;
   PageFile::LoadOptions options;
   options.verify_checksums = false;
-  if (Status s = file.LoadFrom(path, options); !s.ok()) return Fail(s);
+  if (Status s = file.LoadFrom(path, options); !s.ok()) {
+    out.rc = Fail(s);
+    return out;
+  }
   std::vector<PageId> bad;
-  const size_t corrupt = file.VerifyAllPages(&bad);
+  out.corrupt = file.VerifyAllPages(&bad);
+  out.pages = file.num_pages();
   for (const PageId id : bad) {
     const Status detail = file.VerifyPage(id);
     std::printf("CORRUPT page %u at file offset %llu: %s\n", id,
@@ -324,8 +345,70 @@ int CmdScrub(const std::string& path) {
   }
   std::printf("-- scrubbed %zu pages (%zu KiB%s): %zu corrupt\n",
               file.num_pages(), file.num_pages() * kPageSize / 1024,
-              file.legacy_read_only() ? ", legacy v1" : "", corrupt);
-  return corrupt == 0 ? 0 : 1;
+              file.legacy_read_only() ? ", legacy v1" : "", out.corrupt);
+  if (out.corrupt > 0 && repair && EndsWith(path, ".pgf")) {
+    // Offline repair from the durable pair: reload the checkpoint image +
+    // WAL tail (or rebuild the image from a full-history WAL) and verify
+    // the healed file end to end.
+    std::string wal = path;
+    wal.replace(wal.size() - 4, 4, ".wal");
+    auto rep = RepairDurableShard(path, wal, RTree::Options());
+    if (!rep.ok()) {
+      std::printf("UNREPAIRABLE: %s\n", rep.status().ToString().c_str());
+      out.rc = 1;
+      return out;
+    }
+    std::printf("-- repaired: %llu bad pages, %llu wal records replayed, "
+                "%llu segments%s\n",
+                static_cast<unsigned long long>(rep->pages_bad),
+                static_cast<unsigned long long>(rep->replayed),
+                static_cast<unsigned long long>(rep->segments),
+                rep->image_rebuilt ? ", image rebuilt from wal" : "");
+    PageFile healed;
+    if (Status s = healed.LoadFrom(path); !s.ok()) {
+      out.rc = Fail(s);
+      return out;
+    }
+    if (healed.VerifyAllPages(nullptr) != 0) {
+      std::printf("UNREPAIRABLE: damage persists after repair\n");
+      out.rc = 1;
+      return out;
+    }
+    out.repaired = true;
+    return out;
+  }
+  out.rc = out.corrupt == 0 ? 0 : 1;
+  return out;
+}
+
+int CmdScrub(const std::string& path, bool repair) {
+  if (!std::filesystem::is_directory(path)) {
+    return ScrubOneFile(path, repair).rc;
+  }
+  // Sharded layout: scrub every shard and summarize per-shard damage.
+  const std::vector<std::string> files = ShardFilesIn(path, ".pgf");
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no shard-*.pgf files under %s\n",
+                 path.c_str());
+    return 1;
+  }
+  int rc = 0;
+  std::vector<ScrubOutcome> outcomes;
+  for (const std::string& f : files) {
+    std::printf("== %s\n", f.c_str());
+    outcomes.push_back(ScrubOneFile(f, repair));
+    rc |= outcomes.back().rc;
+  }
+  std::printf("-- per-shard corrupt pages:\n");
+  for (size_t i = 0; i < files.size(); ++i) {
+    const ScrubOutcome& out = outcomes[i];
+    std::printf("   %s: %zu/%zu%s\n",
+                std::filesystem::path(files[i]).filename().string().c_str(),
+                out.corrupt, out.pages,
+                out.repaired ? " (repaired)"
+                             : (out.corrupt > 0 ? " (damaged)" : ""));
+  }
+  return rc;
 }
 
 int CmdWalInfo(const std::string& path) {
@@ -518,6 +601,44 @@ int CmdStats(const std::string& path, int argc, char** argv) {
   if (Status s = gate.wal_status(); !s.ok()) return Fail(s);
   CheckNodeAccounting();
 
+  // Failure-domain families: run a short quarantine -> park -> scrub ->
+  // reinstate episode on a small sharded twin so the breaker, redo-queue,
+  // and scrubber series are live in the dump, then summarize the breaker
+  // plane the way an operator would read it.
+  ShardedEngineOptions eopt;
+  eopt.num_shards = 2;
+  eopt.failure_domains = true;
+  eopt.breaker.cooldown_frames = 0;
+  eopt.breaker.probe_rate = 1.0;
+  eopt.breaker.probe_successes_to_close = 2;
+  auto sharded = ShardedEngine::Create(eopt);
+  if (!sharded.ok()) return Fail(sharded.status());
+  if (Status s = (*sharded)->InsertBatch(*fresh); !s.ok()) return Fail(s);
+  const MotionSegment extra(
+      9001, StSegment(Vec(40, 40), Vec(41, 41), Interval(2.0, 3.0)));
+  const int sick = (*sharded)->map().ShardOf(extra);
+  (*sharded)->breaker(sick)->ForceOpen("stats workload");
+  if (Status s = (*sharded)->Insert(extra); !s.ok()) return Fail(s);
+  SessionSpec qspec;
+  qspec.kind = SessionKind::kNpdq;
+  qspec.seed = 5;
+  qspec.frames = 6;
+  ShardRouter::Options sropt;
+  sropt.spatial_prune = false;
+  const ShardRouter srouter(sharded->get(), sropt);
+  (void)srouter.RunOne(qspec);  // Quarantined frames, attributed skips.
+  ShardScrubber(sharded->get(), ScrubOptions()).ScrubPass();
+  (void)srouter.RunOne(qspec);  // Half-open probes close the breaker.
+  std::string breaker_line;
+  for (int s = 0; s < (*sharded)->num_shards(); ++s) {
+    const CircuitBreaker* b = (*sharded)->breaker(s);
+    breaker_line += StrFormat(
+        "%sshard %d %s (opened %llux)", s == 0 ? "" : ", ", s,
+        BreakerStateName(b->state()),
+        static_cast<unsigned long long>(b->open_events()));
+  }
+  std::fprintf(stderr, "# failure domains: %s\n", breaker_line.c_str());
+
   std::fprintf(stderr,
                "# workload: %zu sessions, %llu objects delivered, "
                "%zu segments inserted, %.3fs\n",
@@ -551,10 +672,15 @@ int Run(int argc, char** argv) {
   }
   if (command == "verify") return CmdVerify(path);
   if (command == "scrub") {
-    if (std::filesystem::is_directory(path)) {
-      return ForEachShardFile(path, ".pgf", CmdScrub);
+    bool repair = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--repair") {
+        repair = true;
+      } else {
+        return Usage();
+      }
     }
-    return CmdScrub(path);
+    return CmdScrub(path, repair);
   }
   if (command == "walinfo") {
     if (std::filesystem::is_directory(path)) {
