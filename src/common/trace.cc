@@ -60,10 +60,6 @@ Histogram* SpanHistogram(SpanKind kind) {
 
 }  // namespace
 
-namespace internal {
-thread_local bool tls_frame_armed = false;
-}  // namespace internal
-
 const char* SpanKindName(SpanKind kind) {
   switch (kind) {
     case SpanKind::kFrame:

@@ -37,8 +37,13 @@ namespace internal {
 /// Mirror of the calling thread's frame-armed state, hoisted out of the
 /// (larger) frame struct so SpanScope's fast path is a single inline
 /// thread-local load — span sites sit inside per-node loops, where an
-/// out-of-line call per span is measurable on the A15 gate.
-extern thread_local bool tls_frame_armed;
+/// out-of-line call per span is measurable on the A15 gate. An inline
+/// variable (not extern + out-of-line definition): with the
+/// constant-initialized definition visible in every TU, no TLS wrapper
+/// function is emitted — the access stays a direct TLS load, and GCC's
+/// UBSan does not trip its spurious null-pointer check on the wrapper
+/// (fatal under -fno-sanitize-recover in the sanitize CI pass).
+inline thread_local bool tls_frame_armed = false;
 #endif
 inline bool ThreadFrameArmed() {
 #ifdef DQMO_METRICS_DISABLED

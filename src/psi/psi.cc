@@ -20,7 +20,7 @@ Interval IntervalMul(const Interval& vs, const Interval& ts) {
 
 }  // namespace
 
-Result<std::unique_ptr<PsiIndex>> PsiIndex::Create(PageFile* file,
+Result<std::unique_ptr<PsiIndex>> PsiIndex::Create(PageStore* file,
                                                    const Options& options) {
   if (options.dims < 1 || 2 * options.dims > kMaxSpatialDims) {
     return Status::InvalidArgument(

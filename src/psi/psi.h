@@ -39,7 +39,7 @@ class PsiIndex {
   };
 
   /// Creates a fresh parametric index in the (empty) page file.
-  static Result<std::unique_ptr<PsiIndex>> Create(PageFile* file,
+  static Result<std::unique_ptr<PsiIndex>> Create(PageStore* file,
                                                   const Options& options);
 
   int dims() const { return options_.dims; }

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "query/kernels.h"
+#include "storage/prefetch.h"
 
 namespace dqmo {
 namespace {
@@ -47,8 +48,38 @@ struct HeapEntry {
   }
 };
 
-using MinHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+/// Min-heap with a read-only window onto its backing array: raw()[0] is the
+/// top and the heap-property prefix clusters the nearest entries — the
+/// pages worth speculating on. The heap invariant is never touched.
+struct MinHeap
+    : std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                          std::greater<>> {
+  const std::vector<HeapEntry>& raw() const { return c; }
+};
+
+/// Hints the prefetcher with the node pages in the heap's front region.
+/// Called after a node pop, before its scan, so speculative reads overlap
+/// the node's CPU work.
+void HintPrefetch(const KnnOptions& options, const MinHeap& heap,
+                  std::vector<PageId>* scratch) {
+  Prefetcher* pf = options.prefetcher;
+  if (pf == nullptr || pf->depth() == 0 || heap.empty()) return;
+  const std::vector<HeapEntry>& raw = heap.raw();
+  const size_t window = std::min(raw.size(), 2 * pf->depth() + 4);
+  scratch->clear();
+  for (size_t i = 0; i < window; ++i) {
+    if (raw[i].is_object) continue;
+    scratch->push_back(raw[i].page);
+    if (scratch->size() >= pf->depth()) break;
+  }
+  if (scratch->empty()) return;
+  QueryBudget* budget = options.budget;
+  pf->Hint(scratch->data(), scratch->size(),
+           budget == nullptr
+               ? Prefetcher::ChargeFn()
+               : Prefetcher::ChargeFn(
+                     [budget] { return budget->TryChargePrefetch(); }));
+}
 
 }  // namespace
 
@@ -80,6 +111,7 @@ Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
   // Kernel outputs, reused across every node scan of this search.
   std::vector<double> dist_scratch;
   std::vector<uint8_t> alive_scratch;
+  std::vector<PageId> hint_scratch;
   const bool soa = options.hot_path == HotPath::kSoa;
 
   Tracer::SpanScope heap_span(SpanKind::kHeapOp);
@@ -108,6 +140,9 @@ Result<std::vector<Neighbor>> KnnAt(const RTree& tree, const Vec& point,
       stats->pages_skipped.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    // Declare the heap's nearest node pages before the (synchronous) scan
+    // of this one: the speculative reads land while it is scanned.
+    HintPrefetch(options, heap, &hint_scratch);
     if (soa) {
       DQMO_ASSIGN_OR_RETURN(
           std::shared_ptr<const SoaNode> node,
@@ -236,6 +271,7 @@ Result<std::vector<Neighbor>> MovingKnnQuery::At(double t,
   knn_options.skip_report = &skip_report_;
   knn_options.hot_path = options_.hot_path;
   knn_options.budget = options_.budget;
+  knn_options.prefetcher = options_.prefetcher;
   const uint64_t loads0 = stats_.node_reads.load(std::memory_order_relaxed) +
                           stats_.decoded_hits.load(std::memory_order_relaxed);
   DQMO_ASSIGN_OR_RETURN(

@@ -23,6 +23,8 @@
 
 namespace dqmo {
 
+class Prefetcher;
+
 /// One nearest-neighbor answer: the motion segment alive at the query time
 /// and its distance from the query point at that time.
 struct Neighbor {
@@ -54,6 +56,12 @@ struct KnnOptions {
   /// search finishes from what is already enqueued — the degraded-kNN
   /// contract above applies.
   QueryBudget* budget = nullptr;
+  /// Speculative read driver (storage/prefetch.h); not owned, may be null
+  /// (no speculation — the bit-identical default). The best-first heap's
+  /// front region is peeked after each node pop and its node pages hinted,
+  /// so their disk reads land while the popped node is scanned. Results and
+  /// node-level counters are unchanged; only prefetch_* IoStats move.
+  Prefetcher* prefetcher = nullptr;
 };
 
 /// Returns the (up to) k motion segments alive at time `t` whose positions
@@ -109,6 +117,8 @@ class MovingKnnQuery {
     /// budget-stopped search counts as degraded: answered, but no fence
     /// installed.
     QueryBudget* budget = nullptr;
+    /// Speculative read driver forwarded to each full search (KnnOptions).
+    Prefetcher* prefetcher = nullptr;
   };
 
   /// `tree` must outlive the query. k >= 1.

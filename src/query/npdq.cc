@@ -4,6 +4,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "query/kernels.h"
+#include "storage/prefetch.h"
 
 namespace dqmo {
 namespace {
@@ -81,6 +82,17 @@ void NonPredictiveDynamicQuery::NoteSkippedSnapshot(const StBox& q) {
   prev_stamp_ = tree_->stamp();
 }
 
+void NonPredictiveDynamicQuery::HintCollected() {
+  if (hint_scratch_.empty()) return;
+  QueryBudget* budget = options_.budget;
+  options_.prefetcher->Hint(
+      hint_scratch_.data(), hint_scratch_.size(),
+      budget == nullptr
+          ? Prefetcher::ChargeFn()
+          : Prefetcher::ChargeFn(
+                [budget] { return budget->TryChargePrefetch(); }));
+}
+
 Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
                                         const StBox& q, int depth,
                                         std::vector<MotionSegment>* out) {
@@ -132,6 +144,26 @@ Status NonPredictiveDynamicQuery::Visit(PageId pid, const StBox& entry_bounds,
         p_usable ? &*prev_ : nullptr, q,
         options_.spatial_pruning == SpatialPruning::kIntersectionContained,
         *node, &cls_pool_[static_cast<size_t>(depth)]);
+  }
+  if (options_.prefetcher != nullptr) {
+    // The surviving siblings beyond the first ARE the traversal's declared
+    // future: the first is read synchronously right away, the rest while
+    // its subtree is walked. Issued before recursing, so the recursion may
+    // reuse hint_scratch_.
+    hint_scratch_.clear();
+    bool first = true;
+    for (int k = 0; k < node->count; ++k) {
+      if (cls_pool_[static_cast<size_t>(depth)][static_cast<size_t>(k)] !=
+          kNpdqVisit) {
+        continue;
+      }
+      if (first) {
+        first = false;
+        continue;
+      }
+      hint_scratch_.push_back(node->child[static_cast<size_t>(k)]);
+    }
+    HintCollected();
   }
   for (int k = 0; k < node->count; ++k) {
     // Re-index the pool each iteration: the recursive Visit below may grow
@@ -186,6 +218,26 @@ Status NonPredictiveDynamicQuery::VisitLegacy(
       ++stats_.objects_returned;
     }
     return Status::OK();
+  }
+  if (options_.prefetcher != nullptr) {
+    // Pre-pass mirror of the loop below, stats-free: collect the surviving
+    // siblings beyond the first and hint them before any recursion. The
+    // duplicate Overlaps/Discardable work only runs with a prefetcher
+    // attached, keeping the bare legacy path untouched.
+    hint_scratch_.clear();
+    bool first = true;
+    for (const ChildEntry& e : node.children) {
+      if (!e.bounds.Overlaps(q)) continue;
+      if (p_usable && Discardable(*prev_, q, e, options_.spatial_pruning)) {
+        continue;
+      }
+      if (first) {
+        first = false;
+        continue;
+      }
+      hint_scratch_.push_back(e.child);
+    }
+    HintCollected();
   }
   for (const ChildEntry& e : node.children) {
     ++stats_.distance_computations;

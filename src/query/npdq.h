@@ -27,6 +27,8 @@
 
 namespace dqmo {
 
+class Prefetcher;
+
 /// How a motion segment is tested against a query box at the leaf level.
 ///
 /// The two semantics pair with the two spatial pruning rules below; see the
@@ -86,6 +88,14 @@ struct NpdqOptions {
   /// degraded Execute so nothing stays masked by an incomplete "previous"
   /// (DynamicQuerySession does).
   QueryBudget* budget = nullptr;
+  /// Speculative read driver (storage/prefetch.h); not owned, may be null
+  /// (no speculation — the bit-identical default). NPDQ's declared future
+  /// is its recursion frontier: after classifying a node's children, the
+  /// surviving siblings beyond the first are hinted before recursing into
+  /// the first, so their disk reads land while its subtree is walked.
+  /// Results and node-level counters are unchanged; only prefetch_* IoStats
+  /// move.
+  Prefetcher* prefetcher = nullptr;
 };
 
 /// True iff subtree entry `r` is discardable for current query `q` given
@@ -138,6 +148,9 @@ class NonPredictiveDynamicQuery {
                int depth, std::vector<MotionSegment>* out);
   Status VisitLegacy(PageId pid, const StBox& entry_bounds, const StBox& q,
                      int depth, std::vector<MotionSegment>* out);
+  /// Issues the hint_scratch_ pages to the prefetcher (budget-charged).
+  /// Must be called before any recursion reuses hint_scratch_.
+  void HintCollected();
 
   RTree* tree_;
   NpdqOptions options_;
@@ -148,6 +161,9 @@ class NonPredictiveDynamicQuery {
   // Leaf emission flags, reused across leaves (leaf visits never recurse,
   // so unlike cls_pool_ one buffer serves every depth).
   std::vector<uint8_t> leaf_match_;
+  // Frontier pages collected for HintCollected; safe to share across
+  // recursion depths because the hint is issued before recursing.
+  std::vector<PageId> hint_scratch_;
   UpdateStamp prev_stamp_ = 0;  // Tree stamp when prev_ was executed.
   QueryStats stats_;
   SkipReport skip_report_;

@@ -6,6 +6,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "storage/prefetch.h"
 
 namespace dqmo {
 namespace {
@@ -102,6 +103,30 @@ void PredictiveDynamicQuery::PushObjectItem(const MotionSegment& m,
   item.times = std::move(times);
   queue_.push(std::move(item));
   stats_.queue_pushes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PredictiveDynamicQuery::HintPrefetch() {
+  Prefetcher* pf = options_.prefetcher;
+  if (pf == nullptr || pf->depth() == 0 || queue_.empty()) return;
+  // The heap array's prefix is not sorted, but the heap property keeps the
+  // most-imminent items clustered at the front (every slot's priority is
+  // >= its parent's), so scanning ~2*depth slots covers the next pops with
+  // high probability at O(depth) cost — no heap mutation, no full sort.
+  const std::vector<Item>& raw = queue_.raw();
+  const size_t window = std::min(raw.size(), 2 * pf->depth() + 4);
+  hint_scratch_.clear();
+  for (size_t i = 0; i < window; ++i) {
+    if (raw[i].is_object) continue;
+    hint_scratch_.push_back(raw[i].page);
+    if (hint_scratch_.size() >= pf->depth()) break;
+  }
+  if (hint_scratch_.empty()) return;
+  QueryBudget* budget = options_.budget;
+  pf->Hint(hint_scratch_.data(), hint_scratch_.size(),
+           budget == nullptr
+               ? Prefetcher::ChargeFn()
+               : Prefetcher::ChargeFn(
+                     [budget] { return budget->TryChargePrefetch(); }));
 }
 
 bool PredictiveDynamicQuery::IsDuplicate(const Item& item) {
@@ -250,6 +275,10 @@ Result<std::optional<PdqResult>> PredictiveDynamicQuery::GetNext(
       return std::optional<PdqResult>(
           PdqResult{item.motion, std::move(item.times)});
     }
+    // Declare the heap's most-imminent node pages before the (synchronous)
+    // exploration of this one: the speculative reads land while this
+    // node's entries are decoded and filtered.
+    HintPrefetch();
     DQMO_RETURN_IF_ERROR(Explore(item, t_start));
   }
   return std::optional<PdqResult>{};

@@ -27,6 +27,8 @@
 
 namespace dqmo {
 
+class Prefetcher;
+
 /// One retrieved object plus the exact times it is inside the moving window.
 struct PdqResult {
   MotionSegment motion;
@@ -78,6 +80,15 @@ class PredictiveDynamicQuery : public UpdateListener {
     /// node for a later frame, records it in skip_report(), and ends the
     /// frame degraded (kPartial) with the results found so far.
     QueryBudget* budget = nullptr;
+    /// Speculative read driver (storage/prefetch.h); not owned, may be null
+    /// (no speculation — the bit-identical default). The priority queue IS
+    /// the declared future: before exploring a popped node the query peeks
+    /// the heap's front region and hints the node pages most imminent to
+    /// pop, so their disk reads land while this node's entries are being
+    /// decoded and filtered. Results and node-level counters are unchanged;
+    /// only prefetch_* IoStats counters move. Pair with `budget` to bound
+    /// speculation per frame (Limits::prefetch_budget).
+    Prefetcher* prefetcher = nullptr;
   };
 
   /// Creates the processor. `tree` must outlive it. `trajectory` dims must
@@ -139,10 +150,23 @@ class PredictiveDynamicQuery : public UpdateListener {
     }
   };
 
+  /// Min-heap with a window onto its backing array: raw()[0] is the top and
+  /// the heap-property prefix around it holds the most-imminent items —
+  /// exactly the pages worth speculating on. Read-only access; the heap
+  /// invariant is never touched.
+  struct PeekQueue
+      : std::priority_queue<Item, std::vector<Item>, ItemCompare> {
+    const std::vector<Item>& raw() const { return c; }
+  };
+
   void PushNodeItem(PageId page, const StBox& bounds, TimeSet times,
                     double not_before);
   void PushObjectItem(const MotionSegment& m, TimeSet times,
                       double not_before);
+  /// Hints the prefetcher with the node pages in the heap's front region
+  /// (no-op without a prefetcher). Called after a node pop, before its
+  /// exploration, so speculative reads overlap the node's CPU work.
+  void HintPrefetch();
   void RebuildFromRoot();
   Status Explore(const Item& node_item, double t_start);
   Status ExploreLegacy(const Item& node_item, double t_start);
@@ -169,7 +193,7 @@ class PredictiveDynamicQuery : public UpdateListener {
   QueryTrajectory trajectory_;
   Options options_;
   TrajectoryCoeffs coeffs_;
-  std::priority_queue<Item, std::vector<Item>, ItemCompare> queue_;
+  PeekQueue queue_;
   // Objects already returned; guards exactly-once delivery across update
   // notifications and queue rebuilds.
   std::unordered_set<MotionSegment::Key, MotionKeyHash> returned_;
@@ -177,6 +201,8 @@ class PredictiveDynamicQuery : public UpdateListener {
   // Kernel output TimeSets, reused across Explore calls so the hot path
   // performs no per-node allocation once capacities have warmed up.
   std::vector<TimeSet> overlap_scratch_;
+  // Page ids collected by HintPrefetch, reused across calls.
+  std::vector<PageId> hint_scratch_;
   double dedup_priority_ = -kInf;
   double last_t_start_;
   bool attached_ = false;

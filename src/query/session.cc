@@ -31,10 +31,12 @@ struct SessionMetrics {
 };
 
 NpdqOptions WithSessionOverrides(NpdqOptions npdq, FaultPolicy policy,
-                                 HotPath hot_path, QueryBudget* budget) {
+                                 HotPath hot_path, QueryBudget* budget,
+                                 Prefetcher* prefetcher) {
   npdq.fault_policy = policy;
   npdq.hot_path = hot_path;
   npdq.budget = budget;
+  npdq.prefetcher = prefetcher;
   return npdq;
 }
 
@@ -44,7 +46,8 @@ DynamicQuerySession::DynamicQuerySession(RTree* tree, const Options& options)
     : tree_(tree),
       options_(options),
       npdq_(tree, WithSessionOverrides(options.npdq, options.fault_policy,
-                                       options.hot_path, options.budget)),
+                                       options.hot_path, options.budget,
+                                       options.prefetcher)),
       last_velocity_(tree->dims()) {
   DQMO_CHECK(tree != nullptr);
   DQMO_CHECK(options.window > 0.0);
@@ -88,6 +91,7 @@ Status DynamicQuerySession::StartPredictive(double t, const Vec& position,
   pdq_options.fault_policy = options_.fault_policy;
   pdq_options.hot_path = options_.hot_path;
   pdq_options.budget = options_.budget;
+  pdq_options.prefetcher = options_.prefetcher;
   DQMO_ASSIGN_OR_RETURN(
       spdq_, PredictiveDynamicQuery::Make(tree_, std::move(trajectory),
                                           pdq_options));

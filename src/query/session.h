@@ -84,6 +84,12 @@ class DynamicQuerySession {
     /// degraded predictive frame hands off to NPDQ, a degraded NPDQ frame
     /// resets the snapshot history.
     QueryBudget* budget = nullptr;
+    /// Speculative read driver, applied to both engines (overrides
+    /// npdq.prefetcher, like budget above); not owned, may be null. Each
+    /// engine declares its own future — the SPDQ its priority-queue front,
+    /// the NPDQ its recursion frontier — through the same Prefetcher, so a
+    /// hand-off simply changes who is hinting.
+    Prefetcher* prefetcher = nullptr;
   };
 
   enum class Mode { kPredictive, kNonPredictive };

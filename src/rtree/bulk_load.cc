@@ -58,7 +58,7 @@ void Tile(std::vector<MotionSegment>* items, size_t begin, size_t end,
 
 }  // namespace
 
-Result<std::unique_ptr<RTree>> BulkLoad(PageFile* file,
+Result<std::unique_ptr<RTree>> BulkLoad(PageStore* file,
                                         std::vector<MotionSegment> segments,
                                         const BulkLoadOptions& options) {
   if (options.pack_fraction <= 0.0 || options.pack_fraction > 1.0) {

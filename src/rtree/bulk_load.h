@@ -27,7 +27,7 @@ struct BulkLoadOptions {
 /// Builds an R-tree over `segments` into the empty `file` using STR
 /// packing: items are sorted into tiles by time, then by each spatial
 /// coordinate, and nodes are packed bottom-up.
-Result<std::unique_ptr<RTree>> BulkLoad(PageFile* file,
+Result<std::unique_ptr<RTree>> BulkLoad(PageStore* file,
                                         std::vector<MotionSegment> segments,
                                         const BulkLoadOptions& options);
 

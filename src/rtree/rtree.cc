@@ -110,7 +110,7 @@ NodeAccounting CheckNodeAccounting() {
   return a;
 }
 
-Result<std::unique_ptr<RTree>> RTree::Create(PageFile* file,
+Result<std::unique_ptr<RTree>> RTree::Create(PageStore* file,
                                              const Options& options) {
   if (file == nullptr) return Status::InvalidArgument("null page file");
   if (file->num_pages() != 0) {
@@ -141,7 +141,7 @@ Result<std::unique_ptr<RTree>> RTree::Create(PageFile* file,
   return tree;
 }
 
-Result<std::unique_ptr<RTree>> RTree::Open(PageFile* file) {
+Result<std::unique_ptr<RTree>> RTree::Open(PageStore* file) {
   if (file == nullptr) return Status::InvalidArgument("null page file");
   if (file->num_pages() == 0) {
     return Status::FailedPrecondition("page file is empty");

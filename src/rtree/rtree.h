@@ -65,11 +65,11 @@ class RTree {
 
   /// Creates a fresh tree (meta page + empty root leaf) in `file`, which
   /// must be empty. The tree does not own the file.
-  static Result<std::unique_ptr<RTree>> Create(PageFile* file,
+  static Result<std::unique_ptr<RTree>> Create(PageStore* file,
                                                const Options& options);
 
   /// Opens a tree previously persisted in `file` (via Flush + SaveTo).
-  static Result<std::unique_ptr<RTree>> Open(PageFile* file);
+  static Result<std::unique_ptr<RTree>> Open(PageStore* file);
 
   /// Re-reads the meta page from the (already re-loaded) backing file into
   /// *this* object, in place. This is the repair path: the scrubber reloads
@@ -232,10 +232,10 @@ class RTree {
 
  private:
   friend Result<std::unique_ptr<RTree>> BulkLoad(
-      PageFile* file, std::vector<MotionSegment> segments,
+      PageStore* file, std::vector<MotionSegment> segments,
       const struct BulkLoadOptions& options);
 
-  RTree(PageFile* file, Options options)
+  RTree(PageStore* file, Options options)
       : file_(file), options_(options) {}
 
   struct InsertOutcome {
@@ -269,7 +269,7 @@ class RTree {
   Status StoreNode(Node* node) const;
 
   Status WriteMeta();
-  static Result<Options> ReadMeta(PageFile* file, PageId* root, int* height,
+  static Result<Options> ReadMeta(PageStore* file, PageId* root, int* height,
                                   uint64_t* num_segments, size_t* num_nodes,
                                   UpdateStamp* stamp);
 
@@ -285,7 +285,7 @@ class RTree {
     int topmost_level = 0;
   };
 
-  PageFile* file_;
+  PageStore* file_;
   Options options_;
   PageId meta_page_ = 0;
   PageId root_ = kInvalidPageId;

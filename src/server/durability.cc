@@ -40,14 +40,34 @@ Result<std::unique_ptr<DurableIndex>> DurableIndex::Open(
 
   // 1. Checkpoint image, if one was ever installed. A crash-left .tmp next
   // to it is ignored by construction: only the rename installs an image.
-  if (FileExists(pgf_path)) {
-    DQMO_RETURN_IF_ERROR(index->file_.LoadFrom(pgf_path));
-    DQMO_ASSIGN_OR_RETURN(index->tree_, RTree::Open(&index->file_));
+  // Disk mode rebuilds the live file (pgf_path + ".live") from the image —
+  // the live file is a disposable working copy, never the durable truth,
+  // so a crash mid-build costs nothing.
+  const bool had_image = FileExists(pgf_path);
+  if (options.io_backend != IoBackend::kMemory) {
+    DiskPageFile::Options disk_options = options.disk;
+    disk_options.backend = options.io_backend;
+    const std::string live_path = pgf_path + ".live";
+    if (had_image) {
+      DQMO_ASSIGN_OR_RETURN(index->disk_,
+                            DiskPageFile::CreateFromImage(
+                                live_path, pgf_path, disk_options));
+    } else {
+      DQMO_ASSIGN_OR_RETURN(index->disk_,
+                            DiskPageFile::Create(live_path, disk_options));
+    }
+    index->store_ = index->disk_.get();
+  } else {
+    if (had_image) DQMO_RETURN_IF_ERROR(index->file_.LoadFrom(pgf_path));
+    index->store_ = &index->file_;
+  }
+  if (had_image) {
+    DQMO_ASSIGN_OR_RETURN(index->tree_, RTree::Open(index->store_));
     index->report_.checkpoint_loaded = true;
     index->report_.checkpoint_lsn = index->tree_->applied_lsn();
   } else {
     DQMO_ASSIGN_OR_RETURN(index->tree_,
-                          RTree::Create(&index->file_, options.tree));
+                          RTree::Create(index->store_, options.tree));
   }
 
   // 2. Scan the log: torn tails are tolerated (nothing past the tear was
@@ -78,7 +98,7 @@ Result<std::unique_ptr<DurableIndex>> DurableIndex::Open(
   WalWriter::Options wal_options = options.wal;
   wal_options.min_next_lsn = index->tree_->applied_lsn() + 1;
   DQMO_RETURN_IF_ERROR(index->wal_.Open(
-      wal_path, index->file_.mutable_stats(), wal_options));
+      wal_path, index->store_->mutable_stats(), wal_options));
   index->tree_->AttachWal(&index->wal_);
   return index;
 }
@@ -100,7 +120,7 @@ Status DurableIndex::Checkpoint() {
   // is installed atomically — SaveTo's temp + fsync + rename, with the
   // kSaveBeforeRename crash point between the two.
   DQMO_RETURN_IF_ERROR(tree_->Flush());
-  DQMO_RETURN_IF_ERROR(file_.SaveTo(pgf_path_));
+  DQMO_RETURN_IF_ERROR(store_->SaveTo(pgf_path_));
   // Marker after the image: recovery does not need it (the meta LSN is
   // authoritative), but walinfo uses it to explain a log whose reset never
   // happened.
@@ -124,7 +144,11 @@ Status DurableIndex::ReloadFromDisk() {
   // though it was never acknowledged; sync first so the WAL is the complete
   // story.
   if (wal_.pending_records() > 0) DQMO_RETURN_IF_ERROR(wal_.Sync());
-  DQMO_RETURN_IF_ERROR(file_.LoadFrom(pgf_path_));
+  if (disk_ != nullptr) {
+    DQMO_RETURN_IF_ERROR(disk_->ReloadFromImage(pgf_path_));
+  } else {
+    DQMO_RETURN_IF_ERROR(file_.LoadFrom(pgf_path_));
+  }
   DQMO_RETURN_IF_ERROR(tree_->Reopen());
   DQMO_ASSIGN_OR_RETURN(WalScan scan, ScanWal(wal_path_));
   // Replay without the WAL attached, exactly like Open(): redone inserts

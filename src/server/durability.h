@@ -37,6 +37,8 @@
 #include "common/status.h"
 #include "motion/motion_segment.h"
 #include "rtree/rtree.h"
+#include "storage/async_io.h"
+#include "storage/disk_file.h"
 #include "storage/page_file.h"
 #include "storage/wal.h"
 
@@ -78,6 +80,17 @@ class DurableIndex {
     /// to group-commit: Insert only buffers, and the caller syncs per
     /// batch — explicitly or via the TreeGate write guard.
     bool sync_each_insert = true;
+    /// Where the live pages reside. kMemory (the default): an in-process
+    /// PageFile, the original behavior. kPread/kUring: a DiskPageFile at
+    /// pgf_path + ".live" — a disposable working copy rebuilt from the
+    /// checkpoint image on every Open (a crash mid-build costs nothing).
+    /// The durable contract is unchanged either way: the durable state is
+    /// always (installed image, synced WAL tail); only where the *live*
+    /// pages sit moves.
+    IoBackend io_backend = IoBackend::kMemory;
+    /// Disk-mode tuning (o_direct, dirty_frame_budget); `backend` is
+    /// overwritten with io_backend above. Ignored for kMemory.
+    DiskPageFile::Options disk;
   };
 
   /// Opens (recovering if needed) the index persisted as `pgf_path` +
@@ -121,7 +134,10 @@ class DurableIndex {
   Status ReloadFromDisk();
 
   RTree* tree() { return tree_.get(); }
-  PageFile* file() { return &file_; }
+  PageStore* file() { return store_; }
+  /// Non-null exactly in disk mode (io_backend != kMemory); the shard
+  /// layer builds its Prefetcher over this.
+  DiskPageFile* disk_file() { return disk_.get(); }
   WalWriter* wal() { return &wal_; }
   const std::string& pgf_path() const { return pgf_path_; }
   const std::string& wal_path() const { return wal_path_; }
@@ -134,7 +150,9 @@ class DurableIndex {
   std::string pgf_path_;
   std::string wal_path_;
   Options options_;
-  PageFile file_;
+  PageFile file_;                        // kMemory mode.
+  std::unique_ptr<DiskPageFile> disk_;   // Disk mode.
+  PageStore* store_ = nullptr;           // Points at file_ or *disk_.
   WalWriter wal_;
   std::unique_ptr<RTree> tree_;
   RecoveryReport report_;

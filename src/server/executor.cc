@@ -12,6 +12,7 @@
 #include "query/npdq.h"
 #include "query/session.h"
 #include "server/session_runner.h"
+#include "storage/prefetch.h"
 
 namespace dqmo {
 
@@ -192,6 +193,7 @@ SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
   sopt.npdq.reader = reader;
   sopt.hot_path = spec.hot_path;
   sopt.budget = ctl.engine_budget();
+  sopt.prefetcher = spec.prefetcher;
   // A budgeted session must degrade (skip + kPartial), not fail.
   if (sopt.budget != nullptr) sopt.fault_policy = FaultPolicy::kSkipSubtree;
   DynamicQuerySession session(tree, sopt);
@@ -203,6 +205,9 @@ SessionResult RunHandoffSession(RTree* tree, const SessionSpec& spec,
     if (ctl.cancelled()) break;
     if (ctl.ShedOrArm()) {
       ++out.frames_shed;
+      // A shed frame voids its declared future: speculative reads hinted
+      // for it would only land as wasted I/O.
+      if (spec.prefetcher != nullptr) spec.prefetcher->CancelPending();
       continue;  // Next frame's [t0, t] interval covers the gap.
     }
     if (ctl.governed()) {
@@ -246,6 +251,7 @@ SessionResult RunNpdqSession(RTree* tree, const SessionSpec& spec,
   nopt.reader = reader;
   nopt.hot_path = spec.hot_path;
   nopt.budget = ctl.engine_budget();
+  nopt.prefetcher = spec.prefetcher;
   if (nopt.budget != nullptr) nopt.fault_policy = FaultPolicy::kSkipSubtree;
   NonPredictiveDynamicQuery npdq(tree, nopt);
 
@@ -256,6 +262,7 @@ SessionResult RunNpdqSession(RTree* tree, const SessionSpec& spec,
     if (ctl.cancelled()) break;
     if (ctl.ShedOrArm()) {
       ++out.frames_shed;
+      if (spec.prefetcher != nullptr) spec.prefetcher->CancelPending();
       continue;  // prev_t stays: the next snapshot covers the gap.
     }
     const StBox q(Box::Centered(obs.pos, spec.window), Interval(prev_t, t));
@@ -298,6 +305,7 @@ SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
   kopt.reader = reader;
   kopt.hot_path = spec.hot_path;
   kopt.budget = ctl.engine_budget();
+  kopt.prefetcher = spec.prefetcher;
   if (kopt.budget != nullptr) kopt.fault_policy = FaultPolicy::kSkipSubtree;
   MovingKnnQuery knn(tree, spec.k, kopt);
 
@@ -307,6 +315,7 @@ SessionResult RunKnnSession(RTree* tree, const SessionSpec& spec,
     if (ctl.cancelled()) break;
     if (ctl.ShedOrArm()) {
       ++out.frames_shed;
+      if (spec.prefetcher != nullptr) spec.prefetcher->CancelPending();
       continue;
     }
     FrameLatencyScope latency(spec, &out);

@@ -44,6 +44,8 @@
 
 namespace dqmo {
 
+class Prefetcher;
+
 /// Fixed-size pool of worker threads draining per-priority FIFO task
 /// queues (higher priority classes are always dequeued first). The queue
 /// may be bounded: a full bounded pool either rejects (TrySubmit) or
@@ -124,7 +126,7 @@ class TreeGate {
   /// already invalidates it synchronously on every StoreNode/FreePage (see
   /// RTree::AttachNodeCache), so the guard's sweep over the dirty page ids
   /// only matters for pages dirtied behind the tree's back.
-  explicit TreeGate(PageFile* file, BufferPool* pool = nullptr,
+  explicit TreeGate(PageStore* file, BufferPool* pool = nullptr,
                     WalWriter* wal = nullptr,
                     DecodedNodeCache* node_cache = nullptr)
       : file_(file), pool_(pool), wal_(wal), node_cache_(node_cache) {}
@@ -165,7 +167,7 @@ class TreeGate {
 
  private:
   std::shared_mutex mu_;
-  PageFile* file_;
+  PageStore* file_;
   BufferPool* pool_;
   WalWriter* wal_;
   DecodedNodeCache* node_cache_;
@@ -229,6 +231,15 @@ struct SessionSpec {
   /// SessionResult::frame_latencies_us (the abl_sharding p99 source). Off
   /// by default: no extra clock reads on the frame path.
   bool record_frame_latency = false;
+  /// Speculative read driver handed to every engine the session runs
+  /// (storage/prefetch.h); not owned, may be null — no speculation, the
+  /// bit-identical default. A shed frame cancels pending speculations (the
+  /// frame's declared future is void). In the sharded engine the router
+  /// overrides this per shard with that shard's own Prefetcher.
+  Prefetcher* prefetcher = nullptr;
+  /// Per-frame cap on speculative reads, charged through
+  /// QueryBudget::Limits::prefetch_budget; 0 = unlimited.
+  uint64_t frame_prefetch_budget = 0;
 };
 
 /// Outcome of one session.

@@ -14,6 +14,7 @@
 #include "query/session.h"
 #include "server/health.h"
 #include "server/session_runner.h"
+#include "storage/prefetch.h"
 
 namespace dqmo {
 
@@ -64,6 +65,15 @@ std::vector<std::shared_lock<std::shared_mutex>> LockAllShards(
     locks.push_back(engine->shard(s).gate->LockShared());
   }
   return locks;
+}
+
+/// A shed frame voids every shard's declared future: speculative reads
+/// hinted for it would only land as wasted I/O (no-op on memory backends).
+void CancelShardPrefetch(ShardedEngine* engine) {
+  for (int s = 0; s < engine->num_shards(); ++s) {
+    Prefetcher* pf = engine->shard(s).prefetcher.get();
+    if (pf != nullptr) pf->CancelPending();
+  }
 }
 
 /// Canonical per-stream order the entry-time merge expects.
@@ -266,6 +276,7 @@ void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
     sopt.npdq.reader = sopt.reader;
     sopt.hot_path = spec.hot_path;
     sopt.budget = ctl.engine_budget();
+    sopt.prefetcher = engine->shard(s).prefetcher.get();
     // Failure domains: a quarantined shard answers reads with IOError;
     // skip-subtree turns that into an attributed kPartial frame instead
     // of killing the whole fan-out.
@@ -288,6 +299,7 @@ void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
     if (ctl.cancelled()) break;
     if (ctl.ShedOrArm()) {
       ++res.frames_shed;
+      CancelShardPrefetch(engine);
       continue;  // Next frame's [t0, t] interval covers the gap.
     }
     if (ctl.governed()) {
@@ -387,6 +399,7 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
     nopt.reader = engine->shard(s).reader();
     nopt.hot_path = spec.hot_path;
     nopt.budget = ctl.engine_budget();
+    nopt.prefetcher = engine->shard(s).prefetcher.get();
     if (nopt.budget != nullptr || engine->failure_domains()) {
       nopt.fault_policy = FaultPolicy::kSkipSubtree;
     }
@@ -409,6 +422,7 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
     if (ctl.cancelled()) break;
     if (ctl.ShedOrArm()) {
       ++res.frames_shed;
+      CancelShardPrefetch(engine);
       continue;  // prev_t stays: the next snapshot covers the gap.
     }
     plane.StartFrame(engine);
@@ -544,6 +558,7 @@ void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
     if (ctl.cancelled()) break;
     if (ctl.ShedOrArm()) {
       ++res.frames_shed;
+      CancelShardPrefetch(engine);
       continue;
     }
     plane.StartFrame(engine);
@@ -563,6 +578,7 @@ void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
       kopt.reader = engine->shard(s).reader();
       kopt.hot_path = spec.hot_path;
       kopt.budget = ctl.engine_budget();
+      kopt.prefetcher = engine->shard(s).prefetcher.get();
       kopt.skip_report = &frame_skip;
       if (kopt.budget != nullptr || engine->failure_domains()) {
         kopt.fault_policy = FaultPolicy::kSkipSubtree;

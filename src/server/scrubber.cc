@@ -101,6 +101,9 @@ void ShardScrubber::ScrubShard(int i, PassReport* report) {
     auto guard = s.gate->LockExclusive();
     // No hedge probe may be mid-read while we verify or reload the file.
     s.hedged->Quiesce();
+    // Nor any speculative read: a reload rewrites the file under the fd,
+    // and a speculation issued pre-rebuild must never land post-rebuild.
+    if (s.prefetcher != nullptr) s.prefetcher->Quiesce();
     std::vector<PageId> bad;
     const uint64_t bad_count = s.file->VerifyAllPages(&bad);
     report->pages_scanned += s.file->num_pages();

@@ -174,7 +174,8 @@ class FrameController {
         governor_(governor),
         budget_(spec.budget != nullptr ? spec.budget : &local_),
         active_(spec.budget != nullptr || governor != nullptr ||
-                spec.frame_deadline_us > 0 || spec.frame_node_budget > 0) {}
+                spec.frame_deadline_us > 0 || spec.frame_node_budget > 0 ||
+                spec.frame_prefetch_budget > 0) {}
 
   /// What the engines see: null when the session runs unbudgeted.
   QueryBudget* engine_budget() { return active_ ? budget_ : nullptr; }
@@ -197,8 +198,8 @@ class FrameController {
       ExecMetrics::Get().frames_shed->Add();
       return true;
     }
-    budget_->ArmFrame(
-        QueryBudget::Limits{d.frame_deadline_ns, d.node_budget});
+    budget_->ArmFrame(QueryBudget::Limits{d.frame_deadline_ns, d.node_budget,
+                                          spec_.frame_prefetch_budget});
     frame_start_ns_ = governor_ != nullptr ? NowNs() : 0;
     return false;
   }

@@ -132,6 +132,12 @@ ShardedEngineOptions ShardedEngineOptions::FromEnv() {
     o.breaker = BreakerOptions::FromEnv();
     o.hedge = HedgeOptions::FromEnv();
   }
+  o.io_backend = IoBackendFromEnv();
+  o.o_direct = GetEnvBool("DQMO_O_DIRECT", o.o_direct);
+  o.prefetch_depth = PrefetchDepthFromEnv();
+  o.page_budget_mb = static_cast<size_t>(
+      GetEnvInt("DQMO_PAGE_BUDGET_MB",
+                static_cast<int64_t>(o.page_budget_mb)));
   return o;
 }
 
@@ -156,6 +162,19 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
     }
   }
 
+  // Per-shard slice of the DQMO_PAGE_BUDGET_MB memory budget: 3/4 to the
+  // BufferPool, 1/4 to the disk store's dirty-frame table, floors of 16
+  // pages each so tiny budgets stay functional.
+  size_t pool_pages = options.pool_pages;
+  size_t dirty_frame_budget = DiskPageFile::Options().dirty_frame_budget;
+  if (options.page_budget_mb > 0) {
+    const size_t budget_pages = options.page_budget_mb *
+                                (size_t{1} << 20) / kPageSize /
+                                static_cast<size_t>(options.num_shards);
+    pool_pages = std::max<size_t>(16, budget_pages * 3 / 4);
+    dirty_frame_budget = std::max<size_t>(16, budget_pages / 4);
+  }
+
   for (int i = 0; i < options.num_shards; ++i) {
     auto s = std::make_unique<Shard>();
     WalWriter* wal = nullptr;
@@ -164,6 +183,9 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
       dopt.tree = options.tree;
       // Group commit: the shard gate's write-guard release syncs the batch.
       dopt.sync_each_insert = false;
+      dopt.io_backend = options.io_backend;
+      dopt.disk.o_direct = options.o_direct;
+      dopt.disk.dirty_frame_budget = dirty_frame_budget;
       DQMO_ASSIGN_OR_RETURN(
           s->durable,
           DurableIndex::Open(ShardFileName(options.durable_dir, i, "pgf"),
@@ -172,14 +194,25 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
       s->file = s->durable->file();
       s->tree = s->durable->tree();
       wal = s->durable->wal();
+      if (s->durable->disk_file() != nullptr && options.prefetch_depth > 0) {
+        // Each shard gets its own Prefetcher over its own fd + async queue;
+        // shards share nothing, so speculation in one never steals another's
+        // queue slots.
+        Prefetcher::Options popt;
+        popt.depth = options.prefetch_depth;
+        popt.sleeper = options.fault_sleeper;
+        s->prefetcher = std::make_unique<Prefetcher>(
+            s->durable->disk_file(), popt);
+      }
     } else {
       DQMO_ASSIGN_OR_RETURN(s->memory_tree,
                             RTree::Create(&s->memory_file, options.tree));
       s->file = &s->memory_file;
       s->tree = s->memory_tree.get();
     }
-    s->pool = std::make_unique<BufferPool>(s->file, options.pool_pages,
+    s->pool = std::make_unique<BufferPool>(s->file, pool_pages,
                                            options.pool_shards);
+    if (s->prefetcher != nullptr) s->pool->set_source(s->prefetcher.get());
     if (options.cache_nodes > 0) {
       s->node_cache = std::make_unique<DecodedNodeCache>(options.cache_nodes);
       s->tree->AttachNodeCache(s->node_cache.get());
@@ -199,10 +232,16 @@ void ShardedEngine::AttachFailureDomain(Shard* s, int i) {
   // Distinct, deterministic probe schedule per shard.
   bopt.probe_seed = options_.breaker.probe_seed + static_cast<uint64_t>(i);
   s->breaker = std::make_unique<CircuitBreaker>(i, bopt);
+  // Disk mode slots the Prefetcher at the BOTTOM of the chain (directly
+  // over the DiskPageFile): the fault plane above keeps drawing its
+  // synchronous stream in consumption order, untouched by speculation.
+  PageReader* bottom =
+      s->prefetcher != nullptr ? static_cast<PageReader*>(s->prefetcher.get())
+                               : static_cast<PageReader*>(s->file);
   s->faulty_primary = std::make_unique<FaultyPageReader>(
-      s->file, nullptr, options_.fault_sleeper);
+      bottom, nullptr, options_.fault_sleeper);
   s->faulty_secondary = std::make_unique<FaultyPageReader>(
-      s->file, nullptr, options_.fault_sleeper);
+      bottom, nullptr, options_.fault_sleeper);
   s->hedged = std::make_unique<HedgedPageReader>(
       s->faulty_primary.get(), s->faulty_secondary.get(), s->breaker.get(),
       options_.hedge);
@@ -222,9 +261,13 @@ FaultInjector* ShardedEngine::ArmShardFault(int i,
   DQMO_CHECK(s->faulty_primary != nullptr);  // failure_domains mode only.
   auto guard = s->gate->LockExclusive();
   s->hedged->Quiesce();  // No probe may hold the old injector mid-read.
+  // Speculations issued under the old schedule must not land under the
+  // new one; quiescing also stops any async read from racing the swap.
+  if (s->prefetcher != nullptr) s->prefetcher->Quiesce();
   s->injector = std::make_unique<FaultInjector>(o);
   s->faulty_primary->set_injector(s->injector.get());
   s->faulty_secondary->set_injector(s->injector.get());
+  if (s->prefetcher != nullptr) s->prefetcher->set_injector(s->injector.get());
   // Drop the shard's caches so the schedule bites on the next read rather
   // than whenever eviction happens to reach the hot pages.
   s->pool->Clear();
@@ -237,8 +280,10 @@ void ShardedEngine::ClearShardFault(int i) {
   DQMO_CHECK(s->faulty_primary != nullptr);
   auto guard = s->gate->LockExclusive();
   s->hedged->Quiesce();
+  if (s->prefetcher != nullptr) s->prefetcher->Quiesce();
   s->faulty_primary->set_injector(nullptr);
   s->faulty_secondary->set_injector(nullptr);
+  if (s->prefetcher != nullptr) s->prefetcher->set_injector(nullptr);
   s->injector.reset();
   s->pool->Clear();
   if (s->node_cache != nullptr) s->node_cache->Clear();

@@ -42,10 +42,12 @@
 #include "server/durability.h"
 #include "server/executor.h"
 #include "server/health.h"
+#include "storage/async_io.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault.h"
 #include "storage/io_stats.h"
 #include "storage/page_file.h"
+#include "storage/prefetch.h"
 
 namespace dqmo {
 
@@ -117,6 +119,21 @@ struct ShardedEngineOptions {
   /// dqmo_tool scrub/walinfo/recover accept), group-commit WAL synced by
   /// each shard gate's write-guard release. Empty: in-memory page files.
   std::string durable_dir;
+  /// Live-page backend for durable shards (storage/async_io.h). kMemory
+  /// (default) keeps the PR-7 in-process PageFile. kPread/kUring give each
+  /// shard its own DiskPageFile (shard-NNNN.pgf.live, own fd + async read
+  /// queue) plus a Prefetcher the per-shard query sessions hint. Ignored
+  /// for in-memory (non-durable) engines.
+  IoBackend io_backend = IoBackend::kMemory;
+  /// O_DIRECT for the disk backends (downgraded when the fs refuses).
+  bool o_direct = false;
+  /// Speculative reads outstanding per shard (0 disables prefetch).
+  size_t prefetch_depth = 8;
+  /// Memory budget (MiB) split across all shards' page caches: each shard
+  /// gets budget/num_shards, of which 3/4 sizes its BufferPool and 1/4 its
+  /// DiskPageFile dirty-frame table (floors of 16 pages each). 0 keeps
+  /// pool_pages and the default dirty budget as given.
+  size_t page_budget_mb = 0;
   /// Per-shard failure domains (server/health.h): each shard gains a
   /// circuit breaker + quarantine gate, a hedged/faulty/retrying read
   /// chain under its BufferPool, and a redo queue that parks writes while
@@ -132,8 +149,10 @@ struct ShardedEngineOptions {
   /// slow-storm chaos programs.
   FaultyPageReader::Sleeper fault_sleeper;
   /// Reads DQMO_SHARDS (shard count), DQMO_SPEED_SPLIT (threshold;
-  /// "off"/"0" disables the split), DQMO_FAILURE_DOMAINS, and the
-  /// DQMO_BREAKER_* / DQMO_HEDGE_* knobs over these defaults.
+  /// "off"/"0" disables the split), DQMO_FAILURE_DOMAINS, the
+  /// DQMO_BREAKER_* / DQMO_HEDGE_* knobs, and the disk knobs —
+  /// DQMO_IO_BACKEND, DQMO_O_DIRECT, DQMO_PREFETCH_DEPTH,
+  /// DQMO_PAGE_BUDGET_MB — over these defaults.
   static ShardedEngineOptions FromEnv();
 };
 
@@ -150,11 +169,17 @@ class ShardedEngine {
     PageFile memory_file;
     std::unique_ptr<RTree> memory_tree;
 
-    PageFile* file = nullptr;  // Points into durable or memory_file.
+    PageStore* file = nullptr;  // Points into durable or memory_file.
     RTree* tree = nullptr;
     std::unique_ptr<BufferPool> pool;
     std::unique_ptr<DecodedNodeCache> node_cache;
     std::unique_ptr<TreeGate> gate;
+
+    /// Disk mode only: speculative read driver over the shard's own
+    /// DiskPageFile (own fd + async queue). Sits at the bottom of the read
+    /// chain — pool (or the failure-domain chain) reads through it — and
+    /// is hinted by this shard's query sessions.
+    std::unique_ptr<Prefetcher> prefetcher;
 
     /// Failure-domain chain (options.failure_domains only; otherwise the
     /// pool reads the file directly). Pool misses flow

@@ -51,7 +51,7 @@ uint8_t* ScratchPage() {
 
 }  // namespace
 
-BufferPool::BufferPool(PageFile* file, size_t capacity_pages, int num_shards)
+BufferPool::BufferPool(PageStore* file, size_t capacity_pages, int num_shards)
     : file_(file), capacity_(capacity_pages) {
   DQMO_CHECK(file != nullptr);
   DQMO_CHECK(capacity_pages >= 1);

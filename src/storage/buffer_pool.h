@@ -44,7 +44,7 @@ class BufferPool : public PageReader {
   /// `capacity_pages` must be >= 1. The pool does not own `file`.
   /// `num_shards` must be >= 1 and is clamped to `capacity_pages` (each
   /// shard needs at least one frame).
-  BufferPool(PageFile* file, size_t capacity_pages, int num_shards = 1);
+  BufferPool(PageStore* file, size_t capacity_pages, int num_shards = 1);
 
   /// Interposes `source` (not owned; nullptr to remove) between the pool
   /// and the file: misses fetch through it instead of the file directly.
@@ -98,7 +98,7 @@ class BufferPool : public PageReader {
     return shards_[(h >> 32) % static_cast<uint64_t>(num_shards_)];
   }
 
-  PageFile* file_;
+  PageStore* file_;
   PageReader* source_ = nullptr;
   size_t capacity_;
   size_t shard_capacity_;

@@ -1,0 +1,230 @@
+// DiskPageFile: the disk-resident PageStore — pages live in a real file and
+// reads are real pread(2) calls, so the paper's I/O counts finally have
+// milliseconds attached (bench/abl_disk.cc).
+//
+// File layout (image format v3, storage/image_format.h): a PgfHeader padded
+// to one full 4 KiB block, then the pages. Every page therefore sits at a
+// 4 KiB-aligned file offset — the alignment O_DIRECT demands and io_uring
+// reads prefer. v2 images (24-byte header) open too, for compatibility with
+// PageFile::SaveTo checkpoints; their unaligned layout disables O_DIRECT.
+//
+// Memory model: reads are served from a small per-thread aligned scratch
+// buffer (no page cache of its own — the BufferPool above provides caching,
+// and DQMO_PAGE_BUDGET_MB sizes pool + store together). Writes land in a
+// bounded dirty-frame table; when it overflows its budget the oldest frame
+// is sealed and written back (FIFO), and SealAllDirty/Publish/SaveTo flush
+// everything. Accounting is deliberately identical to the in-memory
+// PageFile: every Read charges one physical read — even when served from a
+// dirty frame — and every Write/WritableView one physical write, so
+// node-level I/O counts are byte-identical across backends (the
+// differential sweep in tests/disk_backend_test.cc holds this line).
+//
+// Threading: same contract as PageFile (see page_store.h) — concurrent
+// Read calls race only on atomic flags and scratch buffers keyed by thread;
+// all mutations require the TreeGate's exclusion.
+#ifndef DQMO_STORAGE_DISK_FILE_H_
+#define DQMO_STORAGE_DISK_FILE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/async_io.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+
+namespace dqmo {
+
+/// 4 KiB-aligned heap buffer (posix_memalign), the shape O_DIRECT and
+/// io_uring transfers require. Move-only.
+class AlignedPageBuf {
+ public:
+  AlignedPageBuf();
+  ~AlignedPageBuf();
+  AlignedPageBuf(AlignedPageBuf&& other) noexcept : data_(other.data_) {
+    other.data_ = nullptr;
+  }
+  AlignedPageBuf& operator=(AlignedPageBuf&& other) noexcept;
+  AlignedPageBuf(const AlignedPageBuf&) = delete;
+  AlignedPageBuf& operator=(const AlignedPageBuf&) = delete;
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+
+ private:
+  uint8_t* data_;
+};
+
+class DiskPageFile : public PageStore {
+ public:
+  struct Options {
+    /// Async machinery for this store's prefetch queues (kPread/kUring;
+    /// kMemory is treated as kPread — a DiskPageFile is disk by
+    /// definition).
+    IoBackend backend = IoBackend::kPread;
+    /// Open the file O_DIRECT (v3 images only; silently ignored for v2,
+    /// whose 24-byte header misaligns every page, and downgraded when the
+    /// filesystem refuses the flag).
+    bool o_direct = false;
+    /// Dirty frames resident before the oldest is written back (FIFO).
+    /// This is the store's share of DQMO_PAGE_BUDGET_MB; 0 means a
+    /// minimal working set of one frame.
+    size_t dirty_frame_budget = 256;
+    /// Deterministic slow-device model (bench/abl_disk.cc's cold-cache
+    /// knob, not a production setting): every pread costs this much extra,
+    /// served in the caller thread on synchronous reads and in the async
+    /// queue's workers on speculative reads — so prefetch can genuinely
+    /// hide it, exactly like real device latency. Dirty-frame hits are
+    /// memory and stay free. 0 disables.
+    uint64_t sim_read_delay_us = 0;
+  };
+
+  ~DiskPageFile() override;
+  DiskPageFile(const DiskPageFile&) = delete;
+  DiskPageFile& operator=(const DiskPageFile&) = delete;
+
+  /// Creates a fresh, empty v3 file at `path` (truncating any existing
+  /// file) and opens it.
+  static Result<std::unique_ptr<DiskPageFile>> Create(
+      const std::string& path, const Options& options);
+
+  /// Opens an existing v2/v3 image at `path` read-write. Pages are
+  /// stream-verified during open (the shared image_format loader), so a
+  /// corrupt image fails here, not mid-query.
+  static Result<std::unique_ptr<DiskPageFile>> Open(
+      const std::string& path, const Options& options);
+
+  /// Builds a live v3 file at `live_path` from the checkpoint image at
+  /// `image_path` (stream-verified, O(1) memory) and opens it. The live
+  /// file is a disposable working copy: DurableIndex rebuilds it from the
+  /// durable image on every open, so a crash mid-build costs nothing.
+  static Result<std::unique_ptr<DiskPageFile>> CreateFromImage(
+      const std::string& live_path, const std::string& image_path,
+      const Options& options);
+
+  /// Rebuilds this store's file in place from `image_path`, discarding all
+  /// current pages and dirty frames. The object's address is stable across
+  /// the reload — exactly what DurableIndex::ReloadFromDisk needs, since
+  /// tree/pool/gate all hold this pointer. Requires exclusion from
+  /// readers.
+  Status ReloadFromImage(const std::string& image_path);
+
+  // PageStore interface.
+  PageId Allocate() override;
+  size_t num_pages() const override { return num_pages_; }
+  Result<ReadResult> Read(PageId id) override;
+  Status Write(PageId id, const uint8_t* data) override;
+  Result<PageView> WritableView(PageId id) override;
+  void SealAllDirty() override;
+  const std::vector<PageId>& dirty_page_ids() const override {
+    return dirty_pages_;
+  }
+  Status Publish() override;
+  Status VerifyPage(PageId id) override;
+  size_t VerifyAllPages(std::vector<PageId>* bad) override;
+  Status SaveTo(const std::string& path) override;
+  Status CorruptPageForTest(PageId id, size_t offset, uint8_t mask) override;
+  void set_verify_on_read(bool verify) override { verify_on_read_ = verify; }
+  bool verify_on_read() const override { return verify_on_read_; }
+  const IoStats& stats() const override { return stats_; }
+  IoStats* mutable_stats() override { return &stats_; }
+  void ResetStats() override { stats_.Reset(); }
+
+  // Disk-specific surface (the Prefetcher rides on these).
+
+  const std::string& path() const { return path_; }
+  int fd() const { return fd_; }
+  IoBackend backend() const { return backend_; }
+  bool o_direct() const { return o_direct_; }
+
+  /// File offset of page `id`'s first byte.
+  uint64_t PageOffset(PageId id) const {
+    return data_offset_ + static_cast<uint64_t>(id) * kPageSize;
+  }
+
+  /// Builds an AsyncReadQueue over this store's fd for `depth` in-flight
+  /// reads, using the store's configured backend (uring degrades to the
+  /// thread queue when unavailable) and slow-device model.
+  std::unique_ptr<AsyncReadQueue> MakeReadQueue(size_t depth) const {
+    return CreateAsyncReadQueue(backend_, fd_, depth, sim_read_delay_us_);
+  }
+
+  /// True when `id` currently has an unflushed dirty frame — its on-disk
+  /// bytes are stale, so speculative disk reads of it must be skipped.
+  bool HasDirtyFrame(PageId id) const;
+
+  /// Verify-once bookkeeping shared with the Prefetcher: prefetched bytes
+  /// bypass Read, so the consumer applies the same first-read checksum
+  /// policy through these.
+  bool PageVerified(PageId id) const;
+  void MarkPageVerified(PageId id);
+
+  /// Dirty frames currently resident (test/introspection).
+  size_t resident_dirty_frames() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    AlignedPageBuf buf;
+    bool sealed = false;
+  };
+
+  DiskPageFile() = default;
+
+  Status CheckId(PageId id) const;
+  /// Writes `header` + current num_pages_ at offset 0 (v3 pads the block).
+  Status WriteHeader();
+  /// pread of page `id` into `buf`, no verification, no accounting.
+  Status RawRead(PageId id, uint8_t* buf) const;
+  /// pwrite of page `id` from `buf`, no accounting.
+  Status RawWrite(PageId id, const uint8_t* buf) const;
+  /// Returns `id`'s frame, creating it (seeded from disk when the page
+  /// already exists on disk) if absent. Mutation path only.
+  Result<Frame*> EnsureFrame(PageId id, bool load_existing);
+  /// Seals + writes back + drops the oldest frames until the budget holds.
+  Status EvictFramesOverBudget(PageId keep);
+  /// Seals + writes back + drops one specific frame.
+  Status FlushFrame(PageId id, Frame* frame);
+  /// Per-thread aligned scratch for Read results.
+  uint8_t* ThreadScratch();
+
+  std::string path_;
+  int fd_ = -1;
+  IoBackend backend_ = IoBackend::kPread;
+  bool o_direct_ = false;
+  uint64_t data_offset_ = 0;
+  uint32_t version_ = 0;
+  size_t num_pages_ = 0;
+  size_t dirty_frame_budget_ = 256;
+  uint64_t sim_read_delay_us_ = 0;
+  bool verify_on_read_ = true;
+
+  /// Unflushed writes, bounded by dirty_frame_budget_. frame_fifo_ orders
+  /// eviction (oldest first; ids may repeat — stale entries are skipped).
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> frame_fifo_;
+  std::vector<PageId> dirty_pages_;
+
+  /// Per-page verified flags (atomic_ref on the read path), same
+  /// verify-once model as PageFile.
+  std::vector<uint8_t> verified_;
+
+  /// Per-thread scratch buffers for Read results (guarded by scratch_mu_;
+  /// the pointer handed out is stable — the map stores unique buffers).
+  mutable std::mutex scratch_mu_;
+  mutable std::unordered_map<std::thread::id, AlignedPageBuf> scratch_;
+
+  IoStats stats_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_STORAGE_DISK_FILE_H_

@@ -70,7 +70,13 @@ std::vector<std::string> CrashPoints::All() {
 }
 
 FaultInjector::FaultInjector(const Options& options)
-    : options_(options), rng_(options.seed) {
+    : options_(options),
+      rng_(options.seed),
+      // The async stream derives from the same seed (one seed still
+      // replays the whole run) but is an independent generator, so the
+      // synchronous stream's draw sequence is identical whether or not a
+      // prefetcher is issuing speculative reads.
+      async_rng_(options.seed ^ 0xa5f3'c6d1'9b27'e48dULL) {
   DQMO_CHECK(options.transient_fault_rate >= 0.0 &&
              options.transient_fault_rate <= 1.0);
 }
@@ -132,6 +138,41 @@ FaultInjector::Decision FaultInjector::NextRead(PageId page) {
     }
   }
   if (d.kind != Decision::Kind::kPass) ++faults_injected_;
+  return d;
+}
+
+FaultInjector::Decision FaultInjector::NextAsyncRead(PageId page) {
+  (void)page;  // Page-targeted faults stay on the synchronous stream.
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t n = ++async_reads_seen_;
+  // Mirror NextRead's structure on the independent stream: both Bernoulli
+  // draws advance on every read so decision #n is position-dependent only,
+  // and the slow draw comes strictly after the fault draw.
+  const bool rate_fault = options_.transient_fault_rate > 0.0 &&
+                          async_rng_.Bernoulli(options_.transient_fault_rate);
+  const bool rate_slow = options_.slow_read_rate > 0.0 &&
+                         async_rng_.Bernoulli(options_.slow_read_rate);
+  Decision d;
+  if (options_.stop_after != 0 && n > options_.stop_after) {
+    return d;
+  }
+  if (options_.fail_after != 0 && n > options_.fail_after) {
+    // Speculative reads have a synchronous fallback, so even the
+    // "permanent" point degrades them transiently: the sync retry path
+    // owns permanence.
+    d.kind = Decision::Kind::kTransientFail;
+  } else if (options_.fail_every_kth != 0 &&
+             n % options_.fail_every_kth == 0) {
+    d.kind = Decision::Kind::kTransientFail;
+  } else if (rate_fault) {
+    d.kind = Decision::Kind::kTransientFail;
+  } else if ((options_.slow_every_kth != 0 &&
+              n % options_.slow_every_kth == 0) ||
+             rate_slow) {
+    d.kind = Decision::Kind::kSlow;
+    d.delay_us = options_.slow_read_delay_us;
+  }
+  if (d.kind != Decision::Kind::kPass) ++async_faults_injected_;
   return d;
 }
 

@@ -173,6 +173,31 @@ class FaultInjector {
   /// stream, so call exactly once per physical read attempt.
   Decision NextRead(PageId page);
 
+  /// Decides the fate of the next *asynchronous* (speculative prefetch)
+  /// read. Same Options knobs — transient_fault_rate, fail_after,
+  /// fail_every_kth, slow_read_rate, slow_every_kth, stop_after — but
+  /// drawn from a separately-seeded Rng stream with its own read counter,
+  /// so arming a prefetcher never shifts the synchronous schedule (which
+  /// chaos_test replays bit-for-bit) and a seeded slow-read storm delays
+  /// io_uring completions exactly as it delays synchronous reads.
+  /// Page-targeted faults (bit flips, dead pages) stay on the synchronous
+  /// stream: a failed speculative read merely degrades to the sync path,
+  /// where those are injected, retried, and repaired as usual. Never
+  /// returns kCorrupt or kPermanentFail; a speculative read either
+  /// passes, fails transiently, or is slow.
+  Decision NextAsyncRead(PageId page);
+
+  /// Total asynchronous reads decided so far.
+  uint64_t async_reads_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return async_reads_seen_;
+  }
+  /// Asynchronous faults injected so far (slow completions included).
+  uint64_t async_faults_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return async_faults_injected_;
+  }
+
   /// Applies any registered (still-armed) bit flips for `page` to `buf`
   /// (kPageSize bytes). Consumes transient flips.
   void ApplyCorruption(PageId page, uint8_t* buf);
@@ -208,6 +233,11 @@ class FaultInjector {
   uint64_t reads_seen_ = 0;
   uint64_t faults_injected_ = 0;
   uint64_t slow_reads_ = 0;
+  /// The async (speculative-read) stream: independent Rng and counters so
+  /// the synchronous schedule is untouched by prefetch activity.
+  Rng async_rng_;
+  uint64_t async_reads_seen_ = 0;
+  uint64_t async_faults_injected_ = 0;
   std::unordered_map<PageId, std::vector<BitFlip>> flips_;
   std::unordered_map<PageId, bool> dead_pages_;
 };

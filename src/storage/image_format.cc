@@ -1,0 +1,125 @@
+#include "storage/image_format.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dqmo {
+namespace {
+
+/// RAII wrapper over std::FILE for the streaming reader.
+class File {
+ public:
+  File(const char* path, const char* mode) : f_(std::fopen(path, mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  std::FILE* get() { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+long FileSize(std::FILE* f) {
+  if (std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long size = std::ftell(f);
+  if (std::fseek(f, 0, SEEK_SET) != 0) return -1;
+  return size;
+}
+
+}  // namespace
+
+Result<PgfHeader> ReadPgfHeader(std::FILE* f, const std::string& path) {
+  const long file_size = FileSize(f);
+  if (file_size < 0) return Status::IOError("cannot stat " + path);
+  PgfHeader header{};
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    return Status::Corruption("short header read from " + path);
+  }
+  if (header.magic != kPgfMagic) {
+    return Status::Corruption(path + " is not a DQMO page file");
+  }
+  if (header.version != kPgfVersion && header.version != kPgfVersionLegacy &&
+      header.version != kPgfVersionAligned) {
+    return Status::NotSupported(
+        StrFormat("page file version %u unsupported", header.version));
+  }
+  // Never size anything from the header before sanity-checking it against
+  // reality: a corrupt count must not drive a huge allocation or let a
+  // truncated file masquerade as intact.
+  if (header.num_pages > kMaxLoadablePages) {
+    return Status::Corruption(
+        StrFormat("%s: absurd page count %llu in header", path.c_str(),
+                  static_cast<unsigned long long>(header.num_pages)));
+  }
+  const uint64_t expected_size =
+      PgfDataOffset(header.version) + header.num_pages * kPageSize;
+  if (static_cast<uint64_t>(file_size) != expected_size) {
+    return Status::Corruption(StrFormat(
+        "%s: header claims %llu pages (%llu bytes) but file is %ld bytes "
+        "(%s at offset %ld)",
+        path.c_str(), static_cast<unsigned long long>(header.num_pages),
+        static_cast<unsigned long long>(expected_size), file_size,
+        static_cast<uint64_t>(file_size) < expected_size ? "truncated"
+                                                         : "trailing data",
+        file_size));
+  }
+  if (std::fseek(f, static_cast<long>(PgfDataOffset(header.version)),
+                 SEEK_SET) != 0) {
+    return Status::IOError("cannot seek to page data in " + path);
+  }
+  return header;
+}
+
+Result<StreamPgfResult> StreamPgfPages(const std::string& path,
+                                       const StreamPgfOptions& options,
+                                       const PgfPageSink& sink) {
+  File f(path.c_str(), "rb");
+  if (!f.ok()) return Status::IOError("cannot open " + path + " for read");
+  auto header_or = ReadPgfHeader(f.get(), path);
+  if (!header_or.ok()) return header_or.status();
+  StreamPgfResult result;
+  result.header = header_or.value();
+  if (options.on_header) {
+    Status s = options.on_header(result.header);
+    if (!s.ok()) return s;
+  }
+  const bool verify = options.verify_checksums &&
+                      result.header.version != kPgfVersionLegacy;
+  // One page resident at a time: the whole point. An image far larger than
+  // RAM verifies in constant memory.
+  std::vector<uint8_t> page(kPageSize);
+  for (uint64_t id = 0; id < result.header.num_pages; ++id) {
+    if (std::fread(page.data(), kPageSize, 1, f.get()) != 1) {
+      return Status::Corruption(
+          StrFormat("short page read from %s at page %llu", path.c_str(),
+                    static_cast<unsigned long long>(id)));
+    }
+    if (verify && !PageChecksumOk(page.data())) {
+      ++result.corrupt_pages;
+      if (!options.continue_on_corruption) {
+        return Status::Corruption(StrFormat(
+            "%s: page %llu checksum mismatch at file offset %llu "
+            "(stored %08x, computed %08x)",
+            path.c_str(), static_cast<unsigned long long>(id),
+            static_cast<unsigned long long>(
+                PgfDataOffset(result.header.version) + id * kPageSize),
+            StoredPageChecksum(page.data()),
+            ComputePageChecksum(page.data())));
+      }
+    }
+    if (sink) {
+      Status s = sink(id, page.data());
+      if (!s.ok()) return s;
+    }
+    ++result.pages_streamed;
+  }
+  return result;
+}
+
+}  // namespace dqmo

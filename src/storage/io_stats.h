@@ -36,6 +36,16 @@ struct IoStats {
   /// comparable whether or not durability is enabled.
   std::atomic<uint64_t> wal_appends{0};
   std::atomic<uint64_t> wal_syncs{0};
+  /// Speculative reads issued by the Prefetcher (storage/prefetch.h).
+  /// Accounting invariant (after Quiesce): issued == hits + wasted +
+  /// failed-in-flight. A *hit* is charged exactly once, at consumption —
+  /// the consuming Read also charges the one physical_read the store
+  /// would have charged synchronously, so physical_reads stays
+  /// byte-identical to the memory backend plus `prefetch_wasted` (wasted
+  /// speculative reads did touch the disk; hits replaced a sync read 1:1).
+  std::atomic<uint64_t> prefetch_issued{0};
+  std::atomic<uint64_t> prefetch_hits{0};
+  std::atomic<uint64_t> prefetch_wasted{0};
 
   IoStats() = default;
   IoStats(const IoStats& other) { CopyFrom(other); }
@@ -63,6 +73,9 @@ struct IoStats {
     add(&retries, other.retries);
     add(&wal_appends, other.wal_appends);
     add(&wal_syncs, other.wal_syncs);
+    add(&prefetch_issued, other.prefetch_issued);
+    add(&prefetch_hits, other.prefetch_hits);
+    add(&prefetch_wasted, other.prefetch_wasted);
     return *this;
   }
 
@@ -83,6 +96,14 @@ struct IoStats {
                     other.wal_appends.load(std::memory_order_relaxed);
     d.wal_syncs = wal_syncs.load(std::memory_order_relaxed) -
                   other.wal_syncs.load(std::memory_order_relaxed);
+    d.prefetch_issued =
+        prefetch_issued.load(std::memory_order_relaxed) -
+        other.prefetch_issued.load(std::memory_order_relaxed);
+    d.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed) -
+                      other.prefetch_hits.load(std::memory_order_relaxed);
+    d.prefetch_wasted =
+        prefetch_wasted.load(std::memory_order_relaxed) -
+        other.prefetch_wasted.load(std::memory_order_relaxed);
     return d;
   }
 
@@ -92,7 +113,10 @@ struct IoStats {
            a.cache_hits == b.cache_hits &&
            a.checksum_failures == b.checksum_failures &&
            a.retries == b.retries && a.wal_appends == b.wal_appends &&
-           a.wal_syncs == b.wal_syncs;
+           a.wal_syncs == b.wal_syncs &&
+           a.prefetch_issued == b.prefetch_issued &&
+           a.prefetch_hits == b.prefetch_hits &&
+           a.prefetch_wasted == b.prefetch_wasted;
   }
 
   std::string ToString() const;
@@ -127,6 +151,14 @@ struct IoStats {
                       std::memory_order_relaxed);
     wal_syncs.store(other.wal_syncs.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+    prefetch_issued.store(
+        other.prefetch_issued.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    prefetch_hits.store(other.prefetch_hits.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    prefetch_wasted.store(
+        other.prefetch_wasted.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
 };
 

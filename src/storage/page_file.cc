@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "storage/fault.h"
+#include "storage/image_format.h"
 
 namespace dqmo {
 namespace {
@@ -42,23 +43,6 @@ struct StorageMetrics {
   }
 };
 
-constexpr uint64_t kMagic = 0x4451'4d4f'5047'4631ULL;  // "DQMOPGF1"
-constexpr uint32_t kVersionLegacy = 1;  // No page checksums.
-constexpr uint32_t kVersion = 2;        // CRC32C trailer per page.
-
-/// Upper bound on a plausible page count (256 GiB of pages). Headers
-/// claiming more are rejected as corrupt before any allocation is sized
-/// from them.
-constexpr uint64_t kMaxLoadablePages = 1ULL << 26;
-
-struct FileHeader {
-  uint64_t magic;
-  uint32_t version;
-  uint32_t reserved;
-  uint64_t num_pages;
-};
-static_assert(sizeof(FileHeader) == 24);
-
 /// RAII wrapper over std::FILE.
 class File {
  public:
@@ -71,14 +55,6 @@ class File {
 
   bool ok() const { return f_ != nullptr; }
   std::FILE* get() { return f_; }
-
-  /// Size in bytes, or -1 on error. Leaves the position at the start.
-  long Size() {
-    if (std::fseek(f_, 0, SEEK_END) != 0) return -1;
-    const long size = std::ftell(f_);
-    if (std::fseek(f_, 0, SEEK_SET) != 0) return -1;
-    return size;
-  }
 
  private:
   std::FILE* f_;
@@ -274,7 +250,7 @@ Status PageFile::SaveTo(const std::string& path) {
     if (!f.ok()) {
       return Status::IOError("cannot open " + tmp + " for write");
     }
-    FileHeader header{kMagic, kVersion, 0, num_pages_};
+    PgfHeader header{kPgfMagic, kPgfVersion, 0, num_pages_};
     if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1) {
       return Status::IOError("short header write to " + tmp);
     }
@@ -300,76 +276,43 @@ Status PageFile::SaveTo(const std::string& path) {
 Status PageFile::LoadFrom(const std::string& path,
                           const LoadOptions& options) {
   ScopedLatencyTimer timer(StorageMetrics::Get().load_ns);
-  File f(path.c_str(), "rb");
-  if (!f.ok()) return Status::IOError("cannot open " + path + " for read");
-  const long file_size = f.Size();
-  if (file_size < 0) return Status::IOError("cannot stat " + path);
-  FileHeader header{};
-  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) {
-    return Status::Corruption("short header read from " + path);
-  }
-  if (header.magic != kMagic) {
-    return Status::Corruption(path + " is not a DQMO page file");
-  }
-  if (header.version != kVersion && header.version != kVersionLegacy) {
-    return Status::NotSupported(
-        StrFormat("page file version %u unsupported", header.version));
-  }
-  // Never size anything from the header before sanity-checking it against
-  // reality: a corrupt count must not drive a huge allocation or let a
-  // truncated file masquerade as intact.
-  if (header.num_pages > kMaxLoadablePages) {
-    return Status::Corruption(
-        StrFormat("%s: absurd page count %llu in header", path.c_str(),
-                  static_cast<unsigned long long>(header.num_pages)));
-  }
-  const uint64_t expected_size =
-      sizeof(FileHeader) + header.num_pages * kPageSize;
-  if (static_cast<uint64_t>(file_size) != expected_size) {
-    return Status::Corruption(StrFormat(
-        "%s: header claims %llu pages (%llu bytes) but file is %ld bytes "
-        "(%s at offset %ld)",
-        path.c_str(), static_cast<unsigned long long>(header.num_pages),
-        static_cast<unsigned long long>(expected_size), file_size,
-        static_cast<uint64_t>(file_size) < expected_size ? "truncated"
-                                                         : "trailing data",
-        file_size));
-  }
-  std::vector<uint8_t> bytes(header.num_pages * kPageSize);
-  if (header.num_pages > 0 &&
-      std::fread(bytes.data(), kPageSize, header.num_pages, f.get()) !=
-          header.num_pages) {
-    return Status::Corruption("short page read from " + path);
-  }
-  const bool legacy = header.version == kVersionLegacy;
-  if (legacy) {
-    // v1 pages carry no checksum; their trailer bytes were zeroed slack.
-    // Seal them in memory so subsequent reads verify uniformly.
-    for (uint64_t id = 0; id < header.num_pages; ++id) {
-      SealPage(bytes.data() + id * kPageSize);
-    }
-  } else if (options.verify_checksums) {
-    for (uint64_t id = 0; id < header.num_pages; ++id) {
-      const uint8_t* page = bytes.data() + id * kPageSize;
-      if (!PageChecksumOk(page)) {
-        ++stats_.checksum_failures;
-        return Status::Corruption(StrFormat(
-            "%s: page %llu checksum mismatch at file offset %llu "
-            "(stored %08x, computed %08x)",
-            path.c_str(), static_cast<unsigned long long>(id),
-            static_cast<unsigned long long>(sizeof(FileHeader) +
-                                            id * kPageSize),
-            StoredPageChecksum(page), ComputePageChecksum(page)));
-      }
-    }
+  // Stream the image through the shared loader: checksums are verified
+  // page-at-a-time as pages arrive, so a corrupt page fails the load after
+  // O(1) extra memory (the loader's single page buffer), not after the
+  // whole image has been materialized. The destination vector is still
+  // sized up front from the validated header — PageFile is the in-memory
+  // backend — but verification no longer depends on that residency; the
+  // same loader backs DiskPageFile and the tool's bounded-memory scrub.
+  std::vector<uint8_t> bytes;
+  bool legacy = false;
+  StreamPgfOptions stream;
+  stream.verify_checksums = options.verify_checksums;
+  stream.on_header = [&](const PgfHeader& header) {
+    legacy = header.version == kPgfVersionLegacy;
+    bytes.resize(header.num_pages * kPageSize);
+    return Status::OK();
+  };
+  auto streamed = StreamPgfPages(
+      path, stream, [&](uint64_t id, const uint8_t* page) {
+        uint8_t* dst = bytes.data() + id * kPageSize;
+        std::memcpy(dst, page, kPageSize);
+        // v1 pages carry no checksum; their trailer bytes were zeroed
+        // slack. Seal them in memory so subsequent reads verify uniformly.
+        if (legacy) SealPage(dst);
+        return Status::OK();
+      });
+  if (!streamed.ok()) {
+    if (streamed.status().IsCorruption()) ++stats_.checksum_failures;
+    return streamed.status();
   }
   bytes_ = std::move(bytes);
-  num_pages_ = header.num_pages;
+  num_pages_ = streamed.value().header.num_pages;
   dirty_.assign(num_pages_, 0);
   dirty_pages_.clear();
-  // Legacy pages were sealed just above (consistent by construction) and
-  // v2 pages were verified unless the caller opted out — only the opt-out
-  // leaves pages untrusted, to be verified on first read.
+  // Legacy pages were sealed during the stream (consistent by
+  // construction) and v2/v3 pages were verified unless the caller opted
+  // out — only the opt-out leaves pages untrusted, to be verified on
+  // first read.
   verified_.assign(num_pages_,
                    (legacy || options.verify_checksums) ? 1 : 0);
   legacy_read_only_ = legacy;

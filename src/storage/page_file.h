@@ -30,38 +30,19 @@
 #include "common/types.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
+#include "storage/page_store.h"
 
 namespace dqmo {
-
-/// Abstract source of pages. Query processors read through this interface;
-/// implementations are PageFile (every read is a disk access), BufferPool
-/// (reads may be served from cache), and the fault-tolerance wrappers in
-/// storage/fault.h (FaultyPageReader, RetryingPageReader).
-class PageReader {
- public:
-  virtual ~PageReader() = default;
-
-  /// Result of a page read: a pointer to the page's kPageSize bytes (valid
-  /// until the next call on the same reader — for BufferPool, until the
-  /// calling thread's next read on any pool) and whether the read hit the
-  /// physical store (i.e. counts as a disk access).
-  struct ReadResult {
-    const uint8_t* data = nullptr;
-    bool physical = false;
-  };
-
-  /// Reads page `id`. Fails with NotFound/OutOfRange for unknown ids and
-  /// with Corruption (message carries the page id) for checksum mismatches.
-  virtual Result<ReadResult> Read(PageId id) = 0;
-};
 
 /// In-memory paged store standing in for the disk of the paper's testbed.
 ///
 /// The substitution (documented in DESIGN.md) preserves the paper's metric:
 /// every PageFile read/write is counted as one disk access, exactly what the
 /// paper measures; actual seek latency is irrelevant to the reported
-/// figures, which plot access *counts*.
-class PageFile : public PageReader {
+/// figures, which plot access *counts*. For real milliseconds, use the
+/// disk-resident DiskPageFile backend (storage/disk_file.h) behind the same
+/// PageStore interface.
+class PageFile : public PageStore {
  public:
   /// Options for LoadFrom.
   struct LoadOptions {
@@ -84,9 +65,9 @@ class PageFile : public PageReader {
 
   /// Appends a zeroed page and returns its id. Requires exclusion from
   /// concurrent readers (page storage may reallocate).
-  PageId Allocate();
+  PageId Allocate() override;
 
-  size_t num_pages() const { return num_pages_; }
+  size_t num_pages() const override { return num_pages_; }
 
   /// Reads page `id`, charging one physical read. Verifies the page's
   /// checksum on the first read after the page entered memory untrusted
@@ -101,41 +82,43 @@ class PageFile : public PageReader {
   /// Writes the kPageSize bytes at `data` into page `id` and seals it,
   /// charging one physical write. (The trailer bytes of `data` are
   /// overwritten by the freshly computed checksum.)
-  Status Write(PageId id, const uint8_t* data);
+  Status Write(PageId id, const uint8_t* data) override;
 
   /// Mutable view of a page for in-place serialization, charging one
   /// physical write (the caller is about to overwrite the page). The page
   /// is re-sealed lazily before it is next read, verified, or saved.
-  Result<PageView> WritableView(PageId id);
+  Result<PageView> WritableView(PageId id) override;
 
   /// Seals every page dirtied via WritableView right now, instead of
   /// lazily on the next read. A writer that shares the file with
   /// concurrent readers must call this before readers resume (the
   /// TreeGate write guard does), so no two readers race to seal the same
   /// page; cost is proportional to the number of dirtied pages.
-  void SealAllDirty();
+  void SealAllDirty() override;
 
   /// Pages dirtied via WritableView/Allocate since the last SealAllDirty.
   /// May contain duplicates of already-resealed ids. The TreeGate write
   /// guard walks this to invalidate stale BufferPool frames before
   /// sealing. Requires exclusion from writers.
-  const std::vector<PageId>& dirty_page_ids() const { return dirty_pages_; }
+  const std::vector<PageId>& dirty_page_ids() const override {
+    return dirty_pages_;
+  }
 
   /// Prepares the file for concurrent readers: seals every dirty page and
   /// verifies every page's checksum up front, so the steady-state Read
   /// path mutates nothing but atomic counters. Fails with Corruption on
   /// the first bad page. Idempotent.
-  Status Publish();
+  Status Publish() override;
 
-  const IoStats& stats() const { return stats_; }
-  IoStats* mutable_stats() { return &stats_; }
-  void ResetStats() { stats_.Reset(); }
+  const IoStats& stats() const override { return stats_; }
+  IoStats* mutable_stats() override { return &stats_; }
+  void ResetStats() override { stats_.Reset(); }
 
   /// Toggles checksum verification on Read (default on). Exists so the
   /// fault-tolerance bench can measure verification cost; leave on
   /// otherwise.
-  void set_verify_on_read(bool verify) { verify_on_read_ = verify; }
-  bool verify_on_read() const { return verify_on_read_; }
+  void set_verify_on_read(bool verify) override { verify_on_read_ = verify; }
+  bool verify_on_read() const override { return verify_on_read_; }
 
   /// True when this file was loaded from a legacy (v1) image; such files
   /// are readable but immutable (Write/WritableView fail with
@@ -146,7 +129,7 @@ class PageFile : public PageReader {
   /// Verifies one page's checksum (sealing it first if it has pending
   /// in-place writes). Always recomputes — scrub semantics, no trust
   /// cache. Corruption carries the page id.
-  Status VerifyPage(PageId id);
+  Status VerifyPage(PageId id) override;
 
   /// Test hook: flips `mask` into byte `offset` of page `id` *at rest* —
   /// storage itself is damaged (not just a delivered copy, which is
@@ -155,19 +138,19 @@ class PageFile : public PageReader {
   /// Corruption. This is what VerifyAllPages/scrub detect and what
   /// DurableIndex::ReloadFromDisk repairs. Requires exclusion from
   /// concurrent readers, like any mutation.
-  Status CorruptPageForTest(PageId id, size_t offset, uint8_t mask);
+  Status CorruptPageForTest(PageId id, size_t offset, uint8_t mask) override;
 
   /// Verifies every page, appending the ids of all corrupt pages to `bad`
   /// (unlike Read/LoadFrom it does not stop at the first). Returns the
   /// number of corrupt pages found. Used by `dqmo_tool scrub`.
-  size_t VerifyAllPages(std::vector<PageId>* bad);
+  size_t VerifyAllPages(std::vector<PageId>* bad) override;
 
   /// Persists all pages atomically: writes `<path>.tmp`, fflush+fsync,
   /// then rename(2) over `path` — a crash mid-save (including at the
   /// kSaveBeforeRename crash point) leaves the previous file at `path`
   /// intact and loadable. Format: magic, version 2, page count, then raw
   /// sealed pages.
-  Status SaveTo(const std::string& path);
+  Status SaveTo(const std::string& path) override;
 
   /// Loads a file written by SaveTo, replacing current contents. The byte
   /// count is validated against the header before anything is trusted:

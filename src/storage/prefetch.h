@@ -1,0 +1,164 @@
+// Prefetcher: speculative page reads driven by the query's own declared
+// future — PDQ/kNN peek the next k entries of their priority queues, NPDQ
+// its recursion frontier, and hand those page ids here; the Prefetcher
+// issues async reads (storage/async_io.h) that land while the traversal
+// chews on the current node. By the time the traversal pops the next entry,
+// its page is (ideally) already resident: the disk latency was hidden
+// behind CPU work instead of serialized after it.
+//
+// Position in the read chain — at the BOTTOM, directly over the
+// DiskPageFile:
+//
+//   BufferPool -> [breaker -> retry -> hedge -> faulty] -> Prefetcher -> disk
+//
+// Everything above sees one PageReader and stays byte-identical: the
+// FaultyPageReader still draws its synchronous fault stream in consumption
+// order (chaos_test determinism), while the Prefetcher's speculative reads
+// draw from FaultInjector::NextAsyncRead — a separate seeded stream that
+// never shifts the synchronous one.
+//
+// Accounting (the differential-test contract, tests/disk_backend_test.cc):
+//   * Hint charges prefetch_issued at submit.
+//   * A consumed landing charges prefetch_hits + the one physical_read the
+//     store would have charged synchronously — hits are counted exactly
+//     once, and node-level read counts stay identical to the memory
+//     backend.
+//   * A discarded landing (cancel, shed, quiesce) charges prefetch_wasted +
+//     physical_read (the disk really was read).
+//   * A failed speculative read charges nothing and the consumer falls
+//     through to the synchronous path — same observable behaviour as if
+//     the hint had never been issued; the frame is never poisoned.
+#ifndef DQMO_STORAGE_PREFETCH_H_
+#define DQMO_STORAGE_PREFETCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk_file.h"
+#include "storage/page_store.h"
+
+namespace dqmo {
+
+class FaultInjector;
+
+/// Default speculative depth; overridden by DQMO_PREFETCH_DEPTH.
+size_t PrefetchDepthFromEnv();
+
+class Prefetcher : public PageReader {
+ public:
+  struct Options {
+    /// Max speculative reads outstanding (landed + in flight). Also sizes
+    /// the async queue.
+    size_t depth = 8;
+    /// Optional fault plane: speculative reads draw decisions from
+    /// injector->NextAsyncRead at submit (deterministic order); kSlow
+    /// delays are served at consumption through `sleeper`, so a seeded
+    /// slow-read storm delays async completions exactly like sync reads.
+    /// May be swapped later via set_injector (under shard exclusion, like
+    /// FaultyPageReader::set_injector).
+    FaultInjector* injector = nullptr;
+    /// Serves injected completion delays (microseconds); null sleeps for
+    /// real. Injectable so latency-fault tests stay sleep-free.
+    std::function<void(uint64_t delay_us)> sleeper;
+  };
+
+  /// `file` is not owned and must outlive the Prefetcher. The async queue
+  /// is created from the file's configured backend (uring degrades to the
+  /// thread queue automatically).
+  Prefetcher(DiskPageFile* file, const Options& options);
+  ~Prefetcher() override;
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Reads `id`, consuming a landed speculative read when one exists (the
+  /// hit path), waiting for it when still in flight, or falling through to
+  /// the synchronous store read (miss / failed speculation). Same result
+  /// and error surface as DiskPageFile::Read.
+  Result<ReadResult> Read(PageId id) override;
+
+  /// Charging hook: called once per speculative read about to be issued;
+  /// returning false skips it (and stops this Hint call). The query layer
+  /// passes QueryBudget::TryChargePrefetch through this — a function, not
+  /// the type, so storage stays below query in the layering.
+  using ChargeFn = std::function<bool()>;
+
+  /// Declares the traversal's next page ids (most-imminent first). Issues
+  /// speculative reads for ids not already tracked, up to the depth bound,
+  /// each charged through `charge` (null: unbudgeted). Dirty-framed,
+  /// out-of-range, and duplicate ids are skipped. Best-effort and cheap to
+  /// call every pop.
+  void Hint(const PageId* ids, size_t n, const ChargeFn& charge = nullptr);
+  void Hint(const std::vector<PageId>& ids,
+            const ChargeFn& charge = nullptr) {
+    Hint(ids.data(), ids.size(), charge);
+  }
+
+  /// Discards every tracked speculation (landed ones charge wasted;
+  /// in-flight ones are marked canceled and discarded on completion).
+  /// Called when a frame is shed or a session canceled. Returns the number
+  /// of entries discarded or doomed.
+  size_t CancelPending();
+
+  /// Blocks until nothing is in flight, discarding all landings as wasted.
+  /// After Quiesce: issued == hits + wasted + failed.
+  void Quiesce();
+
+  /// Swaps the async fault plane (null disarms). Requires the same
+  /// exclusion as FaultyPageReader::set_injector.
+  void set_injector(FaultInjector* injector);
+  FaultInjector* injector() const { return options_.injector; }
+
+  size_t depth() const { return options_.depth; }
+  /// Entries currently tracked (landed + in flight); test introspection.
+  size_t tracked() const;
+  /// Speculative reads that failed (I/O error or injected) so far.
+  uint64_t failed() const;
+  const char* queue_name() const { return queue_->name(); }
+
+ private:
+  enum class EntryState : uint8_t { kInflight, kLanded, kFailed };
+
+  struct Entry {
+    AlignedPageBuf buf;
+    EntryState state = EntryState::kInflight;
+    uint64_t tag = 0;
+    uint64_t delay_us = 0;  // Injected completion delay, served at consume.
+    bool inject_fail = false;  // Decision drawn at submit: fail on landing.
+    bool canceled = false;     // Discard (as wasted) when it completes.
+  };
+
+  /// Drains queue completions into the table. mu_ held.
+  size_t ReapLocked(bool block);
+  /// Charges a wasted discard (physical_read + prefetch_wasted). mu_ held.
+  void ChargeWasted();
+  /// Removes `it`'s entry. mu_ held.
+  void EraseLocked(std::unordered_map<PageId, Entry>::iterator it);
+  uint8_t* ThreadScratch();
+
+  DiskPageFile* file_;
+  Options options_;
+  std::unique_ptr<AsyncReadQueue> queue_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, Entry> table_;
+  std::unordered_map<uint64_t, PageId> tag_to_page_;
+  uint64_t next_tag_ = 1;
+  uint64_t failed_ = 0;
+  std::vector<AsyncCompletion> reap_scratch_;
+
+  mutable std::mutex scratch_mu_;
+  std::unordered_map<std::thread::id, AlignedPageBuf> scratch_;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_STORAGE_PREFETCH_H_

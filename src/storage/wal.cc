@@ -313,6 +313,102 @@ Result<WalScan> ScanWal(const std::string& path) {
   return scan;
 }
 
+Result<WalScanStats> ScanWalStreaming(const std::string& path) {
+  WalScanStats stats;
+  File f(path.c_str(), "rb");
+  if (!f.ok()) return stats;  // Absent log: nothing was ever acknowledged.
+  const long fsize = f.Size();
+  if (fsize < 0) return Status::IOError("cannot stat " + path);
+  const uint64_t size = static_cast<uint64_t>(fsize);
+  if (size < kWalHeaderSize) {
+    stats.torn_bytes = size;
+    stats.torn_tail = size > 0;
+    return stats;
+  }
+  uint8_t header[kWalHeaderSize];
+  if (std::fread(header, 1, kWalHeaderSize, f.get()) != kWalHeaderSize) {
+    return Status::IOError("short read from " + path);
+  }
+  if (GetU64(header) != kWalMagic) {
+    return Status::Corruption(path + " is not a DQMO WAL file");
+  }
+  const uint32_t version = GetU32(header + 8);
+  if (version != kWalVersion) {
+    return Status::NotSupported(
+        StrFormat("WAL version %u unsupported", version));
+  }
+
+  // One frame resident at a time. Only the torn-vs-hole look-ahead below
+  // ever reads more, and only on a damaged log.
+  std::vector<uint8_t> frame(kRecordHeaderSize + kMaxWalPayload);
+  uint64_t offset = kWalHeaderSize;
+  while (offset < size) {
+    bool bad = false;
+    uint32_t len = 0;
+    if (offset + kRecordHeaderSize > size) {
+      bad = true;  // Frame header cut off by EOF.
+    } else {
+      if (std::fread(frame.data(), 1, kRecordHeaderSize, f.get()) !=
+          kRecordHeaderSize) {
+        return Status::IOError("short read from " + path);
+      }
+      len = GetU32(frame.data() + 4);
+      if (len > kMaxWalPayload || offset + kRecordHeaderSize + len > size) {
+        bad = true;
+      } else {
+        if (len > 0 &&
+            std::fread(frame.data() + kRecordHeaderSize, 1, len, f.get()) !=
+                len) {
+          return Status::IOError("short read from " + path);
+        }
+        bad = Crc32c(frame.data() + 4, kRecordHeaderSize - 4 + len) !=
+              GetU32(frame.data());
+      }
+    }
+    if (bad) {
+      std::vector<uint8_t> rest(size - offset);
+      if (std::fseek(f.get(), static_cast<long>(offset), SEEK_SET) != 0 ||
+          std::fread(rest.data(), 1, rest.size(), f.get()) != rest.size()) {
+        return Status::IOError("short read from " + path);
+      }
+      if (AnyValidRecordAfter(rest.data(), rest.size(), 0)) {
+        return Status::Corruption(StrFormat(
+            "%s: corrupt WAL record at offset %llu with well-formed records "
+            "after it — refusing to replay past a hole",
+            path.c_str(), static_cast<unsigned long long>(offset)));
+      }
+      stats.torn_bytes = size - offset;
+      stats.torn_tail = true;
+      break;
+    }
+    WalRecord rec;
+    rec.lsn = GetU64(frame.data() + 8);
+    rec.type = static_cast<WalRecordType>(frame[16]);
+    DQMO_RETURN_IF_ERROR(
+        DecodePayload(frame.data() + kRecordHeaderSize, len, offset, &rec));
+    if (stats.last_lsn != 0 && rec.lsn != stats.last_lsn + 1) {
+      return Status::Corruption(StrFormat(
+          "%s: LSN discontinuity at offset %llu (%llu after %llu)",
+          path.c_str(), static_cast<unsigned long long>(offset),
+          static_cast<unsigned long long>(rec.lsn),
+          static_cast<unsigned long long>(stats.last_lsn)));
+    }
+    if (stats.records == 0) stats.first_lsn = rec.lsn;
+    stats.last_lsn = rec.lsn;
+    ++stats.records;
+    if (rec.type == WalRecordType::kInsert) {
+      ++stats.inserts;
+    } else {
+      ++stats.checkpoints;
+      stats.last_ckpt_lsn = rec.checkpoint_lsn;
+      stats.last_ckpt_segments = rec.checkpoint_segments;
+    }
+    offset += kRecordHeaderSize + len;
+  }
+  stats.good_bytes = size - stats.torn_bytes;
+  return stats;
+}
+
 WalWriter::~WalWriter() { Close(); }
 
 Status WalWriter::Open(const std::string& path, IoStats* stats,

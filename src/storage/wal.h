@@ -86,6 +86,27 @@ struct WalScan {
 /// version fail with a typed Status.
 Result<WalScan> ScanWal(const std::string& path);
 
+/// Summary counters over a log, computed record-at-a-time without ever
+/// materializing the record list or the file — O(max record) memory, the
+/// backing for `dqmo_tool walinfo --backend=pread` on logs larger than
+/// RAM. Validation matches ScanWal: same torn-tail tolerance, same
+/// mid-log-corruption rejection (the look-ahead that discriminates the two
+/// reads the remainder after a bad frame, so only a damaged log pays more
+/// than O(1)).
+struct WalScanStats {
+  uint64_t records = 0;
+  uint64_t inserts = 0;
+  uint64_t checkpoints = 0;
+  uint64_t first_lsn = 0;  ///< LSN of the first record (0: empty log).
+  uint64_t last_lsn = 0;
+  uint64_t last_ckpt_lsn = 0;
+  uint64_t last_ckpt_segments = 0;
+  uint64_t good_bytes = 0;
+  uint64_t torn_bytes = 0;
+  bool torn_tail = false;
+};
+Result<WalScanStats> ScanWalStreaming(const std::string& path);
+
 /// Appender with group commit. Append* buffers records in memory and
 /// assigns LSNs; Sync() writes the batch and fsyncs, after which every
 /// buffered record is durable — the moment an insert may be acknowledged.

@@ -1,0 +1,566 @@
+// DiskPageFile contract tests: the disk-resident PageStore must honour the
+// accounting the in-memory PageFile established (every Read is one charged
+// physical access — even a dirty-frame hit), bound its dirty working set,
+// interoperate byte-for-byte with PageFile checkpoint images, and reject
+// corrupt images at open. Plus the Prefetcher charging contract (hits
+// counted exactly once; cancel/quiesce charge wasted; failed speculation
+// falls through without poisoning anything) and the streaming WAL scan's
+// equivalence with the materializing one.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/async_io.h"
+#include "storage/disk_file.h"
+#include "storage/fault.h"
+#include "storage/image_format.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/prefetch.h"
+#include "storage/wal.h"
+#include "test_util.h"
+
+namespace dqmo {
+namespace {
+
+struct TempDir {
+  std::filesystem::path dir;
+  explicit TempDir(const std::string& tag) {
+    dir = std::filesystem::temp_directory_path() /
+          ("dqmo_disk_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir); }
+  std::string path(const std::string& name) const {
+    return (dir / name).string();
+  }
+};
+
+/// Deterministic page payload: byte j of page i is (i * 131 + j) & 0xff.
+void FillPage(uint64_t id, uint8_t* page) {
+  for (size_t j = 0; j < kPageSize; ++j) {
+    page[j] = static_cast<uint8_t>((id * 131 + j) & 0xff);
+  }
+}
+
+bool PayloadMatches(uint64_t id, const uint8_t* page) {
+  for (size_t j = 0; j < kPagePayloadSize; ++j) {
+    if (page[j] != static_cast<uint8_t>((id * 131 + j) & 0xff)) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<DiskPageFile> MakeDiskFile(const std::string& path, int pages,
+                                           size_t dirty_budget = 256) {
+  DiskPageFile::Options options;
+  options.dirty_frame_budget = dirty_budget;
+  auto file = DiskPageFile::Create(path, options);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  if (!file.ok()) return nullptr;
+  std::vector<uint8_t> buf(kPageSize);
+  for (int i = 0; i < pages; ++i) {
+    const PageId id = (*file)->Allocate();
+    FillPage(id, buf.data());
+    EXPECT_TRUE((*file)->Write(id, buf.data()).ok());
+  }
+  EXPECT_TRUE((*file)->Publish().ok());
+  (*file)->ResetStats();
+  return std::move(file).value();
+}
+
+TEST(DiskPageFileTest, WriteReadRoundtripChargesEveryRead) {
+  TempDir tmp("roundtrip");
+  auto file = MakeDiskFile(tmp.path("f.pgf"), 8);
+  ASSERT_NE(file, nullptr);
+
+  for (PageId id = 0; id < 8; ++id) {
+    auto r = file->Read(id);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->physical);
+    EXPECT_TRUE(PayloadMatches(id, r->data)) << "page " << id;
+  }
+  // Re-reads are never cached by the store itself: the second pass charges
+  // eight more physical reads (caching is the BufferPool's job).
+  for (PageId id = 0; id < 8; ++id) ASSERT_TRUE(file->Read(id).ok());
+  EXPECT_EQ(file->stats().physical_reads, 16u);
+
+  // A dirty-frame hit is still one charged physical read: the paper's
+  // metric counts accesses to the store, not to the medium.
+  auto view = file->WritableView(3);
+  ASSERT_TRUE(view.ok());
+  const IoStats before = file->stats();
+  ASSERT_TRUE(file->HasDirtyFrame(3));
+  auto r = file->Read(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(file->stats().physical_reads,
+            before.physical_reads.load() + 1);
+}
+
+TEST(DiskPageFileTest, DirtyFrameBudgetBoundsResidency) {
+  TempDir tmp("evict");
+  auto file = MakeDiskFile(tmp.path("f.pgf"), 0, /*dirty_budget=*/4);
+  ASSERT_NE(file, nullptr);
+
+  std::vector<uint8_t> buf(kPageSize);
+  for (int i = 0; i < 12; ++i) {
+    const PageId id = file->Allocate();
+    auto view = file->WritableView(id);
+    ASSERT_TRUE(view.ok());
+    FillPage(id, view->data());
+    EXPECT_LE(file->resident_dirty_frames(), 4u) << "after page " << id;
+  }
+  // Evicted-and-rewritten pages read back intact (they were flushed, not
+  // dropped), and sealing the rest leaves nothing resident beyond budget.
+  file->SealAllDirty();
+  ASSERT_TRUE(file->Publish().ok());
+  for (PageId id = 0; id < 12; ++id) {
+    auto r = file->Read(id);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(PayloadMatches(id, r->data)) << "page " << id;
+  }
+}
+
+TEST(DiskPageFileTest, ImageInteropWithPageFile) {
+  TempDir tmp("interop");
+  // Memory -> image -> disk: the disk store must serve the exact bytes the
+  // in-memory store checkpointed.
+  PageFile mem;
+  std::vector<uint8_t> buf(kPageSize);
+  for (int i = 0; i < 6; ++i) {
+    const PageId id = mem.Allocate();
+    FillPage(id, buf.data());
+    ASSERT_TRUE(mem.Write(id, buf.data()).ok());
+  }
+  ASSERT_TRUE(mem.Publish().ok());
+  const std::string image = tmp.path("ckpt.pgf");
+  ASSERT_TRUE(mem.SaveTo(image).ok());
+
+  DiskPageFile::Options options;
+  auto disk = DiskPageFile::CreateFromImage(tmp.path("live.pgf"), image,
+                                            options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_EQ((*disk)->num_pages(), mem.num_pages());
+  for (PageId id = 0; id < 6; ++id) {
+    auto dm = mem.Read(id);
+    auto dd = (*disk)->Read(id);
+    ASSERT_TRUE(dm.ok());
+    ASSERT_TRUE(dd.ok());
+    EXPECT_EQ(std::memcmp(dm->data, dd->data, kPageSize), 0) << "page " << id;
+  }
+
+  // Disk -> image -> memory: the round trip back is just as exact.
+  const std::string image2 = tmp.path("ckpt2.pgf");
+  ASSERT_TRUE((*disk)->SaveTo(image2).ok());
+  PageFile mem2;
+  ASSERT_TRUE(mem2.LoadFrom(image2).ok());
+  ASSERT_EQ(mem2.num_pages(), mem.num_pages());
+  for (PageId id = 0; id < 6; ++id) {
+    auto a = mem.Read(id);
+    auto b = mem2.Read(id);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(std::memcmp(a->data, b->data, kPageSize), 0) << "page " << id;
+  }
+}
+
+TEST(DiskPageFileTest, CorruptImageRejectedAtOpen) {
+  TempDir tmp("corrupt_open");
+  PageFile mem;
+  std::vector<uint8_t> buf(kPageSize);
+  for (int i = 0; i < 4; ++i) {
+    const PageId id = mem.Allocate();
+    FillPage(id, buf.data());
+    ASSERT_TRUE(mem.Write(id, buf.data()).ok());
+  }
+  ASSERT_TRUE(mem.Publish().ok());
+  const std::string image = tmp.path("ckpt.pgf");
+  ASSERT_TRUE(mem.SaveTo(image).ok());
+
+  // Flip one payload byte of page 2 in the image file itself.
+  std::FILE* f = std::fopen(image.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f,
+                       static_cast<long>(PgfDataOffset(kPgfVersion) +
+                                         2 * kPageSize + 77),
+                       SEEK_SET),
+            0);
+  const uint8_t bad = 0xa5;
+  ASSERT_EQ(std::fwrite(&bad, 1, 1, f), 1u);
+  std::fclose(f);
+
+  auto disk = DiskPageFile::CreateFromImage(tmp.path("live.pgf"), image,
+                                            DiskPageFile::Options{});
+  EXPECT_FALSE(disk.ok());
+  EXPECT_TRUE(disk.status().IsCorruption()) << disk.status().ToString();
+}
+
+TEST(DiskPageFileTest, VerifyAndScrubSurface) {
+  TempDir tmp("scrub");
+  auto file = MakeDiskFile(tmp.path("f.pgf"), 5);
+  ASSERT_NE(file, nullptr);
+
+  std::vector<PageId> bad;
+  EXPECT_EQ(file->VerifyAllPages(&bad), 0u);
+  ASSERT_TRUE(file->CorruptPageForTest(1, 200, 0x40).ok());
+  EXPECT_FALSE(file->VerifyPage(1).ok());
+  bad.clear();
+  EXPECT_EQ(file->VerifyAllPages(&bad), 1u);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], 1u);
+}
+
+TEST(DiskPageFileTest, ReloadFromImageRestores) {
+  TempDir tmp("reload");
+  PageFile mem;
+  std::vector<uint8_t> buf(kPageSize);
+  for (int i = 0; i < 4; ++i) {
+    const PageId id = mem.Allocate();
+    FillPage(id, buf.data());
+    ASSERT_TRUE(mem.Write(id, buf.data()).ok());
+  }
+  ASSERT_TRUE(mem.Publish().ok());
+  const std::string image = tmp.path("ckpt.pgf");
+  ASSERT_TRUE(mem.SaveTo(image).ok());
+
+  auto disk = DiskPageFile::CreateFromImage(tmp.path("live.pgf"), image,
+                                            DiskPageFile::Options{});
+  ASSERT_TRUE(disk.ok());
+
+  // Scribble over page 0, then reload: the checkpoint's bytes win.
+  auto view = (*disk)->WritableView(0);
+  ASSERT_TRUE(view.ok());
+  std::memset(view->data(), 0xee, kPagePayloadSize);
+  (*disk)->SealAllDirty();
+  ASSERT_TRUE((*disk)->ReloadFromImage(image).ok());
+  ASSERT_EQ((*disk)->num_pages(), 4u);
+  auto r = (*disk)->Read(0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(PayloadMatches(0, r->data));
+}
+
+TEST(AsyncReadQueueTest, SubmitReapRoundtrip) {
+  TempDir tmp("queue");
+  auto file = MakeDiskFile(tmp.path("f.pgf"), 6);
+  ASSERT_NE(file, nullptr);
+
+  auto queue = file->MakeReadQueue(4);
+  ASSERT_NE(queue, nullptr);
+  std::vector<AlignedPageBuf> bufs(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    AsyncRead read;
+    read.tag = 100 + i;
+    read.offset = file->PageOffset(i);
+    read.buf = bufs[i].data();
+    read.len = kPageSize;
+    ASSERT_TRUE(queue->Submit(read).ok());
+  }
+  std::vector<AsyncCompletion> done;
+  while (done.size() < 4) {
+    ASSERT_GT(queue->Reap(&done, /*block=*/true), 0u);
+  }
+  EXPECT_EQ(queue->inflight(), 0u);
+  for (const AsyncCompletion& c : done) {
+    ASSERT_GE(c.tag, 100u);
+    const uint64_t id = c.tag - 100;
+    ASSERT_LT(id, 4u);
+    EXPECT_EQ(c.result, static_cast<int32_t>(kPageSize)) << "tag " << c.tag;
+    EXPECT_TRUE(PayloadMatches(id, bufs[id].data())) << "page " << id;
+  }
+}
+
+TEST(AsyncReadQueueTest, UringSelectionDegradesSafely) {
+  TempDir tmp("uring");
+  auto file = MakeDiskFile(tmp.path("f.pgf"), 2);
+  ASSERT_NE(file, nullptr);
+
+  // Whatever the kernel allows, asking for uring must yield a working
+  // queue — io_uring when the probe passes, the thread pool otherwise.
+  auto queue = CreateAsyncReadQueue(IoBackend::kUring, file->fd(), 2);
+  ASSERT_NE(queue, nullptr);
+  if (!UringAvailable()) {
+    EXPECT_STREQ(queue->name(),
+                 CreateAsyncReadQueue(IoBackend::kPread, file->fd(), 2)
+                     ->name());
+  }
+  AlignedPageBuf buf;
+  AsyncRead read;
+  read.tag = 7;
+  read.offset = file->PageOffset(1);
+  read.buf = buf.data();
+  read.len = kPageSize;
+  ASSERT_TRUE(queue->Submit(read).ok());
+  std::vector<AsyncCompletion> done;
+  while (done.empty()) queue->Reap(&done, /*block=*/true);
+  EXPECT_EQ(done[0].tag, 7u);
+  EXPECT_EQ(done[0].result, static_cast<int32_t>(kPageSize));
+  EXPECT_TRUE(PayloadMatches(1, buf.data()));
+}
+
+struct PrefetcherFixture {
+  TempDir tmp;
+  std::unique_ptr<DiskPageFile> file;
+  std::unique_ptr<Prefetcher> prefetcher;
+
+  explicit PrefetcherFixture(const std::string& tag, int pages = 16,
+                             FaultInjector* injector = nullptr,
+                             std::function<void(uint64_t)> sleeper = nullptr)
+      : tmp(tag) {
+    file = MakeDiskFile(tmp.path("f.pgf"), pages);
+    if (file == nullptr) return;
+    Prefetcher::Options options;
+    options.depth = 8;
+    options.injector = injector;
+    options.sleeper = sleeper ? std::move(sleeper) : [](uint64_t) {};
+    prefetcher = std::make_unique<Prefetcher>(file.get(), options);
+  }
+};
+
+TEST(PrefetcherTest, HitChargedExactlyOnce) {
+  PrefetcherFixture fx("hit");
+  ASSERT_NE(fx.prefetcher, nullptr);
+
+  const std::vector<PageId> hints = {3, 4};
+  fx.prefetcher->Hint(hints);
+  EXPECT_EQ(fx.file->stats().prefetch_issued, 2u);
+
+  auto r = fx.prefetcher->Read(3);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->physical);
+  EXPECT_TRUE(PayloadMatches(3, r->data));
+  // The hit replaced the sync read 1:1 — one physical read, one hit.
+  EXPECT_EQ(fx.file->stats().prefetch_hits, 1u);
+  EXPECT_EQ(fx.file->stats().physical_reads, 1u);
+
+  // Quiesce discards the unconsumed speculation as wasted (its disk read
+  // really happened), closing the accounting identity.
+  fx.prefetcher->Quiesce();
+  EXPECT_EQ(fx.file->stats().prefetch_wasted, 1u);
+  EXPECT_EQ(fx.file->stats().physical_reads, 2u);
+  EXPECT_EQ(fx.file->stats().prefetch_issued.load(),
+            fx.file->stats().prefetch_hits.load() +
+                fx.file->stats().prefetch_wasted.load() +
+                fx.prefetcher->failed());
+}
+
+TEST(PrefetcherTest, CancelPendingChargesWasted) {
+  PrefetcherFixture fx("cancel");
+  ASSERT_NE(fx.prefetcher, nullptr);
+
+  const std::vector<PageId> hints = {0, 1, 2, 5};
+  fx.prefetcher->Hint(hints);
+  fx.prefetcher->CancelPending();
+  fx.prefetcher->Quiesce();
+  EXPECT_EQ(fx.prefetcher->tracked(), 0u);
+  EXPECT_EQ(fx.file->stats().prefetch_hits, 0u);
+  EXPECT_EQ(fx.file->stats().prefetch_issued.load(),
+            fx.file->stats().prefetch_wasted.load() +
+                fx.prefetcher->failed());
+}
+
+TEST(PrefetcherTest, FailedSpeculationFallsThroughToSync) {
+  FaultInjector::Options fopt;
+  fopt.seed = 3;
+  fopt.fail_every_kth = 1;  // Every speculative read fails.
+  FaultInjector injector(fopt);
+  PrefetcherFixture fx("fail", 16, &injector);
+  ASSERT_NE(fx.prefetcher, nullptr);
+
+  const std::vector<PageId> hints = {6};
+  fx.prefetcher->Hint(hints);
+  auto r = fx.prefetcher->Read(6);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(PayloadMatches(6, r->data));  // The frame was never poisoned.
+  EXPECT_EQ(fx.prefetcher->failed(), 1u);
+  EXPECT_EQ(fx.file->stats().prefetch_hits, 0u);
+  // The failed speculation charged nothing; the sync fallthrough charged
+  // its one read.
+  EXPECT_EQ(fx.file->stats().physical_reads, 1u);
+  // And the page stays readable afterwards — no sticky failure state.
+  auto again = fx.prefetcher->Read(6);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(PayloadMatches(6, again->data));
+}
+
+TEST(PrefetcherTest, ChargeFnBoundsSpeculation) {
+  PrefetcherFixture fx("charge");
+  ASSERT_NE(fx.prefetcher, nullptr);
+
+  int allowance = 2;
+  const std::vector<PageId> hints = {0, 1, 2, 3, 4, 5};
+  fx.prefetcher->Hint(hints, [&allowance]() { return allowance-- > 0; });
+  EXPECT_EQ(fx.file->stats().prefetch_issued, 2u);
+  EXPECT_LE(fx.prefetcher->tracked(), 2u);
+  fx.prefetcher->Quiesce();
+}
+
+TEST(PrefetcherTest, DirtyFramedPagesAreSkipped) {
+  PrefetcherFixture fx("dirty");
+  ASSERT_NE(fx.prefetcher, nullptr);
+
+  auto view = fx.file->WritableView(2);
+  ASSERT_TRUE(view.ok());
+  view->data()[0] ^= 0xff;
+  ASSERT_TRUE(fx.file->HasDirtyFrame(2));
+
+  const std::vector<PageId> hints = {2};
+  fx.prefetcher->Hint(hints);
+  // The on-disk bytes are stale, so no speculation was issued; the read
+  // falls through to the store and serves the fresh frame.
+  EXPECT_EQ(fx.file->stats().prefetch_issued, 0u);
+  EXPECT_EQ(fx.prefetcher->tracked(), 0u);
+  auto r = fx.prefetcher->Read(2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data[0],
+            static_cast<uint8_t>(((2 * 131 + 0) & 0xff) ^ 0xff));
+}
+
+TEST(PrefetcherTest, SlowCompletionServedThroughSleeper) {
+  FaultInjector::Options fopt;
+  fopt.seed = 9;
+  fopt.slow_every_kth = 1;
+  fopt.slow_read_delay_us = 500;
+  FaultInjector injector(fopt);
+  std::vector<uint64_t> delays;
+  PrefetcherFixture fx("slow", 16, &injector,
+                       [&delays](uint64_t us) { delays.push_back(us); });
+  ASSERT_NE(fx.prefetcher, nullptr);
+
+  const std::vector<PageId> hints = {7};
+  fx.prefetcher->Hint(hints);
+  auto r = fx.prefetcher->Read(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(PayloadMatches(7, r->data));
+  ASSERT_EQ(delays.size(), 1u);  // Delay served at consumption, injected.
+  EXPECT_EQ(delays[0], 500u);
+}
+
+MotionSegment TestSegment(uint64_t i) {
+  Rng rng(1000 + i);
+  return dqmo::testing::RandomSegment(&rng, static_cast<ObjectId>(i), 2, 100,
+                                      100);
+}
+
+void WriteWal(const std::string& path, int inserts, bool checkpoint) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path, nullptr).ok());
+  for (int i = 0; i < inserts; ++i) {
+    ASSERT_TRUE(writer.AppendInsert(TestSegment(i)).ok());
+  }
+  if (checkpoint) {
+    ASSERT_TRUE(writer.AppendCheckpoint(2, 42).ok());
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+  writer.Close();
+}
+
+void ExpectStreamMatchesScan(const std::string& path) {
+  auto scan = ScanWal(path);
+  auto stream = ScanWalStreaming(path);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(stream->records, scan->records.size());
+  EXPECT_EQ(stream->last_lsn, scan->last_lsn);
+  EXPECT_EQ(stream->good_bytes, scan->good_bytes);
+  EXPECT_EQ(stream->torn_bytes, scan->torn_bytes);
+  EXPECT_EQ(stream->torn_tail, scan->torn_tail);
+  uint64_t inserts = 0, checkpoints = 0;
+  for (const WalRecord& r : scan->records) {
+    if (r.type == WalRecordType::kInsert) ++inserts;
+    if (r.type == WalRecordType::kCheckpoint) ++checkpoints;
+  }
+  EXPECT_EQ(stream->inserts, inserts);
+  EXPECT_EQ(stream->checkpoints, checkpoints);
+  if (!scan->records.empty()) {
+    EXPECT_EQ(stream->first_lsn, scan->records.front().lsn);
+  }
+}
+
+TEST(WalStreamingTest, MatchesMaterializingScan) {
+  TempDir tmp("wal_match");
+  const std::string path = tmp.path("log.wal");
+  WriteWal(path, 5, /*checkpoint=*/true);
+  ExpectStreamMatchesScan(path);
+
+  auto stream = ScanWalStreaming(path);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->records, 6u);
+  EXPECT_EQ(stream->inserts, 5u);
+  EXPECT_EQ(stream->checkpoints, 1u);
+  EXPECT_EQ(stream->first_lsn, 1u);
+  EXPECT_EQ(stream->last_lsn, 6u);
+  EXPECT_EQ(stream->last_ckpt_lsn, 2u);
+  EXPECT_EQ(stream->last_ckpt_segments, 42u);
+  EXPECT_FALSE(stream->torn_tail);
+}
+
+TEST(WalStreamingTest, EmptyAndAbsentLogs) {
+  TempDir tmp("wal_empty");
+  // Absent: both scans report an empty log.
+  ExpectStreamMatchesScan(tmp.path("missing.wal"));
+  // Present but record-free (header only).
+  const std::string path = tmp.path("empty.wal");
+  WriteWal(path, 0, /*checkpoint=*/false);
+  ExpectStreamMatchesScan(path);
+  auto stream = ScanWalStreaming(path);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->records, 0u);
+  EXPECT_EQ(stream->first_lsn, 0u);
+}
+
+TEST(WalStreamingTest, TornTailToleratedIdentically) {
+  TempDir tmp("wal_torn");
+  const std::string path = tmp.path("log.wal");
+  WriteWal(path, 4, /*checkpoint=*/false);
+
+  // A torn write: a few garbage bytes where a record header should be.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const uint8_t garbage[9] = {0xde, 0xad, 0xbe, 0xef, 0x01,
+                              0x02, 0x03, 0x04, 0x05};
+  ASSERT_EQ(std::fwrite(garbage, 1, sizeof(garbage), f), sizeof(garbage));
+  std::fclose(f);
+
+  ExpectStreamMatchesScan(path);
+  auto stream = ScanWalStreaming(path);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->records, 4u);
+  EXPECT_TRUE(stream->torn_tail);
+  EXPECT_EQ(stream->torn_bytes, sizeof(garbage));
+}
+
+TEST(WalStreamingTest, MidLogCorruptionRejectedIdentically) {
+  TempDir tmp("wal_hole");
+  const std::string path = tmp.path("log.wal");
+  WriteWal(path, 4, /*checkpoint=*/false);
+
+  // Damage the first record's payload: a well-formed record follows, so
+  // this is a hole, not a torn tail — both scans must refuse to replay
+  // past it.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 16 + 17 + 3, SEEK_SET), 0);
+  uint8_t byte = 0;
+  ASSERT_EQ(std::fread(&byte, 1, 1, f), 1u);
+  byte ^= 0x10;
+  ASSERT_EQ(std::fseek(f, 16 + 17 + 3, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&byte, 1, 1, f), 1u);
+  std::fclose(f);
+
+  auto scan = ScanWal(path);
+  auto stream = ScanWalStreaming(path);
+  EXPECT_FALSE(scan.ok());
+  EXPECT_FALSE(stream.ok());
+  EXPECT_TRUE(scan.status().IsCorruption()) << scan.status().ToString();
+  EXPECT_TRUE(stream.status().IsCorruption()) << stream.status().ToString();
+}
+
+}  // namespace
+}  // namespace dqmo

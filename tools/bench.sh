@@ -27,6 +27,7 @@ json_benches=(
   fig06_pdq_io fig07_pdq_cpu fig08_pdq_size_io fig09_pdq_size_cpu
   fig10_npdq_io fig11_npdq_cpu fig12_npdq_size_io fig13_npdq_size_cpu
   abl_session abl_hot_path abl_overload abl_sharding abl_failover
+  abl_disk
 )
 cmake --build "${build}" -j "${jobs}" -- "${json_benches[@]}"
 

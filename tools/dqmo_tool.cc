@@ -16,7 +16,7 @@
 //   dqmo_tool verify <index.pgf>
 //       Run the structural invariant checker.
 //
-//   dqmo_tool scrub <index.pgf | shard-dir> [--repair]
+//   dqmo_tool scrub <index.pgf | shard-dir> [--repair] [--backend=B]
 //       Check every page's CRC32C and report each corrupt page with its
 //       file offset. Unlike a normal load (which stops at the first bad
 //       page), scrub reads the whole file and lists all damage. On a
@@ -24,11 +24,17 @@
 //       per-file reports. With --repair, a damaged .pgf is rebuilt from
 //       its durable pair (checkpoint image + WAL replay; the image is
 //       reconstructed purely from a full-history WAL when damaged beyond
-//       loading) and re-verified.
+//       loading) and re-verified. --backend=pread verifies page-at-a-time
+//       through the streaming loader — constant memory, so images far
+//       larger than RAM scrub fine; --backend=memory (the default)
+//       materializes the file first, which also covers legacy v1 images
+//       (their pages carry no on-disk checksums to stream-verify).
 //
-//   dqmo_tool walinfo <index.wal>
+//   dqmo_tool walinfo <index.wal> [--backend=B]
 //       Scan a write-ahead log: record count by type, LSN range, and the
 //       torn-tail report (bytes dropped by a crash mid-append, if any).
+//       --backend=pread streams one record at a time instead of
+//       materializing the log.
 //
 //   dqmo_tool recover <index.pgf> <index.wal>
 //       Run crash recovery: load the last checkpoint image (if any),
@@ -71,6 +77,8 @@
 #include "server/scrubber.h"
 #include "server/shard.h"
 #include "storage/buffer_pool.h"
+#include "storage/image_format.h"
+#include "storage/page.h"
 #include "storage/wal.h"
 #include "workload/data_generator.h"
 
@@ -127,8 +135,10 @@ int Usage() {
                "  dqmo_tool query <index.pgf> x0 x1 y0 y1 t0 t1\n"
                "  dqmo_tool knn <index.pgf> x y t k\n"
                "  dqmo_tool verify <index.pgf>\n"
-               "  dqmo_tool scrub <index.pgf | shard-dir> [--repair]\n"
-               "  dqmo_tool walinfo <index.wal | shard-dir>\n"
+               "  dqmo_tool scrub <index.pgf | shard-dir> [--repair]"
+               " [--backend=memory|pread]\n"
+               "  dqmo_tool walinfo <index.wal | shard-dir>"
+               " [--backend=memory|pread]\n"
                "  dqmo_tool recover <index.pgf> <index.wal>\n"
                "  dqmo_tool recover <shard-dir>\n"
                "  dqmo_tool stats <index.pgf> [--json] [--summary]\n");
@@ -381,9 +391,61 @@ ScrubOutcome ScrubOneFile(const std::string& path, bool repair) {
   return out;
 }
 
-int CmdScrub(const std::string& path, bool repair) {
+/// The pread-backend scrub: pages stream through the shared image loader
+/// one at a time, so the verify is O(1) memory regardless of image size —
+/// exactly the loader DiskPageFile::Open runs, aimed at durable shard
+/// images too large to materialize. Repair (which inherently rebuilds the
+/// image in memory) falls back to the materializing path.
+ScrubOutcome ScrubOneFileStreaming(const std::string& path, bool repair) {
+  ScrubOutcome out;
+  uint32_t version = kPgfVersion;
+  StreamPgfOptions options;
+  // The sink verifies each page itself so every corrupt page is reported
+  // with its offset (the built-in verify would abort at the first or only
+  // count them).
+  options.verify_checksums = false;
+  options.on_header = [&version](const PgfHeader& h) {
+    version = h.version;
+    return Status::OK();
+  };
+  auto streamed = StreamPgfPages(
+      path, options, [&](uint64_t id, const uint8_t* page) {
+        if (version != kPgfVersionLegacy && !PageChecksumOk(page)) {
+          ++out.corrupt;
+          std::printf(
+              "CORRUPT page %llu at file offset %llu: checksum mismatch "
+              "(stored %08x, computed %08x)\n",
+              static_cast<unsigned long long>(id),
+              static_cast<unsigned long long>(PgfDataOffset(version) +
+                                              id * kPageSize),
+              StoredPageChecksum(page), ComputePageChecksum(page));
+        }
+        return Status::OK();
+      });
+  if (!streamed.ok()) {
+    out.rc = Fail(streamed.status());
+    return out;
+  }
+  out.pages = streamed->pages_streamed;
+  std::printf("-- scrubbed %zu pages (%zu KiB%s, streamed): %zu corrupt\n",
+              out.pages, out.pages * kPageSize / 1024,
+              version == kPgfVersionLegacy
+                  ? ", legacy v1 — no on-disk checksums to verify"
+                  : "",
+              out.corrupt);
+  if (out.corrupt > 0 && repair && EndsWith(path, ".pgf")) {
+    return ScrubOneFile(path, repair);
+  }
+  out.rc = out.corrupt == 0 ? 0 : 1;
+  return out;
+}
+
+int CmdScrub(const std::string& path, bool repair, bool stream) {
+  auto scrub_one = [repair, stream](const std::string& f) {
+    return stream ? ScrubOneFileStreaming(f, repair) : ScrubOneFile(f, repair);
+  };
   if (!std::filesystem::is_directory(path)) {
-    return ScrubOneFile(path, repair).rc;
+    return scrub_one(path).rc;
   }
   // Sharded layout: scrub every shard and summarize per-shard damage.
   const std::vector<std::string> files = ShardFilesIn(path, ".pgf");
@@ -396,7 +458,7 @@ int CmdScrub(const std::string& path, bool repair) {
   std::vector<ScrubOutcome> outcomes;
   for (const std::string& f : files) {
     std::printf("== %s\n", f.c_str());
-    outcomes.push_back(ScrubOneFile(f, repair));
+    outcomes.push_back(scrub_one(f));
     rc |= outcomes.back().rc;
   }
   std::printf("-- per-shard corrupt pages:\n");
@@ -448,6 +510,39 @@ int CmdWalInfo(const std::string& path) {
     std::printf("torn tail  : %llu trailing bytes damaged (crash "
                 "mid-append; recovery truncates them)\n",
                 static_cast<unsigned long long>(scan->torn_bytes));
+  } else {
+    std::printf("torn tail  : none\n");
+  }
+  return 0;
+}
+
+/// The pread-backend walinfo: same report as CmdWalInfo, but the scan
+/// streams one record at a time and keeps only counters — a full-history
+/// log larger than RAM stats fine.
+int CmdWalInfoStreaming(const std::string& path) {
+  auto stats = ScanWalStreaming(path);
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("wal        : %s (streamed)\n", path.c_str());
+  std::printf("records    : %llu (%llu inserts, %llu checkpoint markers)\n",
+              static_cast<unsigned long long>(stats->records),
+              static_cast<unsigned long long>(stats->inserts),
+              static_cast<unsigned long long>(stats->checkpoints));
+  if (stats->records > 0) {
+    std::printf("lsn range  : %llu .. %llu\n",
+                static_cast<unsigned long long>(stats->first_lsn),
+                static_cast<unsigned long long>(stats->last_lsn));
+  }
+  if (stats->checkpoints > 0) {
+    std::printf("last ckpt  : lsn %llu, %llu segments\n",
+                static_cast<unsigned long long>(stats->last_ckpt_lsn),
+                static_cast<unsigned long long>(stats->last_ckpt_segments));
+  }
+  std::printf("good bytes : %llu\n",
+              static_cast<unsigned long long>(stats->good_bytes));
+  if (stats->torn_tail) {
+    std::printf("torn tail  : %llu trailing bytes damaged (crash "
+                "mid-append; recovery truncates them)\n",
+                static_cast<unsigned long long>(stats->torn_bytes));
   } else {
     std::printf("torn tail  : none\n");
   }
@@ -673,20 +768,40 @@ int Run(int argc, char** argv) {
   if (command == "verify") return CmdVerify(path);
   if (command == "scrub") {
     bool repair = false;
+    bool stream = false;
     for (int i = 3; i < argc; ++i) {
-      if (std::string(argv[i]) == "--repair") {
+      const std::string arg = argv[i];
+      if (arg == "--repair") {
         repair = true;
+      } else if (arg == "--backend=pread") {
+        stream = true;
+      } else if (arg == "--backend=memory") {
+        stream = false;
       } else {
         return Usage();
       }
     }
-    return CmdScrub(path, repair);
+    return CmdScrub(path, repair, stream);
   }
   if (command == "walinfo") {
-    if (std::filesystem::is_directory(path)) {
-      return ForEachShardFile(path, ".wal", CmdWalInfo);
+    bool stream = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--backend=pread") {
+        stream = true;
+      } else if (arg == "--backend=memory") {
+        stream = false;
+      } else {
+        return Usage();
+      }
     }
-    return CmdWalInfo(path);
+    auto walinfo_one = [stream](const std::string& f) {
+      return stream ? CmdWalInfoStreaming(f) : CmdWalInfo(f);
+    };
+    if (std::filesystem::is_directory(path)) {
+      return ForEachShardFile(path, ".wal", walinfo_one);
+    }
+    return walinfo_one(path);
   }
   if (command == "recover") {
     if (argc == 3 && std::filesystem::is_directory(path)) {
