@@ -26,6 +26,7 @@
 #include "common/env.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "harness/experiment.h"
 #include "harness/metrics_report.h"
 #include "harness/table.h"
@@ -43,11 +44,55 @@ inline bool& JsonMode() {
   return enabled;
 }
 
+/// Arms the tracer's slowest-frame tracking (idempotent). In JSON mode
+/// every bench keeps the single slowest frame it produced so the written
+/// file carries its merged span tree — the diagnosis of the run's worst
+/// case rides along with its numbers. Arming every frame costs span
+/// recording on the hot path, which is acceptable here: the overhead
+/// gates compare like against like (both legs run --json), and with
+/// metrics off (runtime or compile-time) frames never arm at all.
+inline void ArmSlowestFrameTracking() {
+  Tracer::Options options = Tracer::Global().options();
+  if (options.track_slowest) return;
+  options.track_slowest = true;
+  Tracer::Global().Configure(options);
+  Tracer::Global().ResetSlowestFrame();
+}
+
 /// Scans argv for --json. Call first thing in main().
 inline void InitJsonMode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json") JsonMode() = true;
   }
+  if (JsonMode()) ArmSlowestFrameTracking();
+}
+
+/// Escapes a string for embedding in a JSON string literal. Handles the
+/// control characters (notably newlines) that multi-line span-tree
+/// renderings contain; JsonObject::Str only escapes quotes/backslashes.
+inline std::string JsonEscape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size() + 16);
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
 }
 
 /// One flat JSON object (a sweep point / result row) under construction.
@@ -92,7 +137,11 @@ class JsonObject {
 /// destruction) when JSON mode is on; a silent no-op otherwise.
 class BenchJsonWriter {
  public:
-  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {
+    // Normally armed by InitJsonMode already; this covers binaries that
+    // construct the writer without calling it (and is free otherwise).
+    if (JsonMode()) ArmSlowestFrameTracking();
+  }
   ~BenchJsonWriter() { Write(); }
 
   JsonObject& AddRow() {
@@ -103,6 +152,7 @@ class BenchJsonWriter {
   void Write() {
     if (written_ || !JsonMode()) return;
     written_ = true;
+    const FrameTrace slowest = Tracer::Global().SlowestFrame();
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -114,10 +164,29 @@ class BenchJsonWriter {
       std::fprintf(f, "  %s%s\n", rows_[i].ToString().c_str(),
                    i + 1 < rows_.size() ? "," : "");
     }
+    // Slow-frame block: identity and merged span tree of the single slowest
+    // frame the run produced (null when the bench never opened a frame —
+    // e.g. raw kernel loops that bypass the session layer).
+    if (slowest.duration_ns == 0) {
+      std::fprintf(f, "],\n\"slow_frame\": null,\n");
+    } else {
+      std::fprintf(
+          f,
+          "],\n\"slow_frame\": {\"trace_id\": %llu, \"session_id\": %llu, "
+          "\"frame_index\": %llu, \"duration_ns\": %llu, \"spans\": %zu, "
+          "\"remote_spans\": %llu, \"tree\": \"%s\"},\n",
+          static_cast<unsigned long long>(slowest.trace_id),
+          static_cast<unsigned long long>(slowest.session_id),
+          static_cast<unsigned long long>(slowest.frame_index),
+          static_cast<unsigned long long>(slowest.duration_ns),
+          slowest.spans.size(),
+          static_cast<unsigned long long>(slowest.remote_spans),
+          JsonEscape(slowest.ToString()).c_str());
+    }
     // MetricsSnapshot block: the run's process-wide metrics (latency
     // quantiles included), so committed BENCH_*.json carry the perf
     // trajectory and tools/bench.sh can diff p99s between runs.
-    std::fprintf(f, "],\n\"metrics\": %s}\n",
+    std::fprintf(f, "\"metrics\": %s}\n",
                  MetricsRegistry::Global().JsonText().c_str());
     std::fclose(f);
     std::printf("# json: wrote %s (%zu rows)\n", path.c_str(), rows_.size());

@@ -51,8 +51,14 @@ uint64_t Histogram::BucketUpperBound(int b) {
 
 void Histogram::Record(uint64_t v) {
   if (!MetricsEnabled()) return;
-  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  const int b = BucketIndex(v);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+  // Exemplar: stamp the bucket with the recording thread's trace id so a
+  // tail bucket can be joined back to a captured trace. One inline TLS
+  // load; the store only happens inside an armed frame.
+  const uint64_t trace_id = ActiveTraceId();
+  if (trace_id != 0) exemplars_[b].store(trace_id, std::memory_order_relaxed);
   // Running max via CAS: contended only while the maximum actually moves.
   uint64_t seen = max_.load(std::memory_order_relaxed);
   while (v > seen &&
@@ -64,6 +70,7 @@ HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   for (int b = 0; b < kNumBuckets; ++b) {
     snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    snap.exemplars[b] = exemplars_[b].load(std::memory_order_relaxed);
     snap.count += snap.buckets[b];
   }
   snap.sum = sum_.load(std::memory_order_relaxed);
@@ -82,13 +89,17 @@ uint64_t Histogram::count() const {
 void Histogram::ResetForTest() {
   for (int b = 0; b < kNumBuckets; ++b) {
     buckets_[b].store(0, std::memory_order_relaxed);
+    exemplars_[b].store(0, std::memory_order_relaxed);
   }
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
 }
 
 HistogramSnapshot& HistogramSnapshot::Merge(const HistogramSnapshot& other) {
-  for (int b = 0; b < kNumBuckets; ++b) buckets[b] += other.buckets[b];
+  for (int b = 0; b < kNumBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+    if (other.exemplars[b] != 0) exemplars[b] = other.exemplars[b];
+  }
   count += other.count;
   sum += other.sum;
   max = std::max(max, other.max);
@@ -112,6 +123,35 @@ uint64_t HistogramSnapshot::Percentile(double p) const {
     }
   }
   return max;
+}
+
+uint64_t HistogramSnapshot::ExemplarNear(double p) const {
+  if (count == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::min<double>(static_cast<double>(count),
+                              clamped / 100.0 * static_cast<double>(count) +
+                                  0.9999999)));
+  int target = kNumBuckets - 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      target = b;
+      break;
+    }
+  }
+  // The target bucket's exemplar may have been recorded before tracing
+  // armed; fall back to the nearest stamped bucket, preferring the tail
+  // (slower samples explain a tail percentile better than faster ones).
+  for (int b = target; b < kNumBuckets; ++b) {
+    if (exemplars[b] != 0) return exemplars[b];
+  }
+  for (int b = target - 1; b >= 0; --b) {
+    if (exemplars[b] != 0) return exemplars[b];
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -276,9 +316,11 @@ std::string MetricsRegistry::JsonText() const {
         histograms += StrFormat(
             "\"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
             ", \"mean\": %.1f, \"max\": %" PRIu64 ", \"p50\": %" PRIu64
-            ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64 "}",
+            ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64
+            ", \"p99_exemplar\": %" PRIu64 "}",
             name.c_str(), snap.count, snap.sum, snap.mean(), snap.max,
-            snap.Percentile(50), snap.Percentile(95), snap.Percentile(99));
+            snap.Percentile(50), snap.Percentile(95), snap.Percentile(99),
+            snap.ExemplarNear(99));
         break;
       }
     }

@@ -58,6 +58,27 @@ inline void SetMetricsEnabled(bool enabled) {
 }
 #endif  // DQMO_METRICS_DISABLED
 
+namespace internal {
+/// Trace id of the calling thread's current armed frame (0: none). Owned
+/// here rather than in trace.h so histogram exemplars and flight-recorder
+/// events can stamp the id without a layering cycle; the tracer writes it
+/// when an armed frame opens/closes. Inline thread_local for the same
+/// no-TLS-wrapper reason as tls_frame_armed (see trace.h); defined
+/// unconditionally so writers compile when metrics are compiled out.
+inline thread_local uint64_t tls_active_trace_id = 0;
+}  // namespace internal
+
+/// Trace id of the calling thread's current armed frame, 0 when none (or
+/// when metrics are compiled out). Set by the tracer; read by histogram
+/// exemplars and the flight recorder.
+inline uint64_t ActiveTraceId() {
+#ifdef DQMO_METRICS_DISABLED
+  return 0;
+#else
+  return internal::tls_active_trace_id;
+#endif
+}
+
 /// Monotonic nanoseconds (steady_clock). Not gated — call through TickNs()
 /// on record paths so disabled builds never touch the clock.
 inline uint64_t NowNs() {
@@ -123,11 +144,16 @@ struct HistogramSnapshot {
   static constexpr int kNumBuckets = 65;
 
   uint64_t buckets[kNumBuckets] = {};
+  /// Exemplar per bucket: the trace id of the most recent sample recorded
+  /// into that bucket from inside an armed frame (0: none). Joins a p99
+  /// bucket back to the captured trace that landed there.
+  uint64_t exemplars[kNumBuckets] = {};
   uint64_t count = 0;
   uint64_t sum = 0;
   uint64_t max = 0;
 
-  /// Merge is commutative and associative: element-wise sums, max of maxes.
+  /// Merge is commutative and associative: element-wise sums, max of maxes;
+  /// a non-zero exemplar from `other` wins (it is the more recent view).
   HistogramSnapshot& Merge(const HistogramSnapshot& other);
 
   double mean() const {
@@ -139,6 +165,11 @@ struct HistogramSnapshot {
   /// cumulative count reaches p% of all samples (clamped to max). The
   /// estimate never undershoots the true quantile's bucket. p in [0, 100].
   uint64_t Percentile(double p) const;
+
+  /// Trace-id exemplar nearest the p-th percentile bucket: that bucket's
+  /// exemplar if set, else the nearest non-empty-exemplar bucket above it,
+  /// else below. 0 when no exemplar was ever recorded.
+  uint64_t ExemplarNear(double p) const;
 };
 
 /// Log-bucketed distribution (latencies in ns, depths, sizes). Lock-free:
@@ -169,6 +200,9 @@ class Histogram {
 
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  // Last trace id to land in each bucket (0: none). Plain relaxed store on
+  // record — an exemplar is a hint, not an invariant.
+  std::atomic<uint64_t> exemplars_[kNumBuckets] = {};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_{0};
 };

@@ -1,0 +1,406 @@
+#include "common/recorder.h"
+
+#include <sys/time.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/crc32c.h"
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace dqmo {
+
+#ifndef DQMO_METRICS_DISABLED
+namespace internal {
+namespace {
+bool RecorderEnabledFromEnv() {
+  const std::string v = GetEnvString("DQMO_RECORDER", "on");
+  return !(v == "off" || v == "0" || v == "false" || v == "no");
+}
+}  // namespace
+
+std::atomic<bool>& RecorderEnabledFlag() {
+  static std::atomic<bool> flag{RecorderEnabledFromEnv()};
+  return flag;
+}
+}  // namespace internal
+#endif  // DQMO_METRICS_DISABLED
+
+namespace {
+
+// Blackbox wire format v1. All integers little-endian (the only targets).
+//
+//   u32 magic "DQBB"   u32 version
+//   u64 snapshot_ns    u64 wall_unix_us
+//   u32 reason_len     u32 thread_count    <reason bytes>
+//   per thread: u32 thread_index, u32 event_count, u64 recorded,
+//               event_count * 3 u64 words
+//   u32 crc32c over everything above
+constexpr uint32_t kBlackboxMagic = 0x42425144;  // "DQBB" little-endian.
+constexpr uint32_t kBlackboxVersion = 1;
+
+// kind (8) | shard as u16 (16) | trace_low (32) packed into word 2.
+uint64_t PackMeta(FlightEventKind kind, int16_t shard, uint32_t trace_low) {
+  return static_cast<uint64_t>(static_cast<uint8_t>(kind)) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(shard)) << 8) |
+         (static_cast<uint64_t>(trace_low) << 24);
+}
+
+void UnpackMeta(uint64_t meta, FlightEvent* e) {
+  e->kind = static_cast<FlightEventKind>(meta & 0xff);
+  e->shard = static_cast<int16_t>(static_cast<uint16_t>((meta >> 8) & 0xffff));
+  e->trace_low = static_cast<uint32_t>(meta >> 24);
+}
+
+struct RecorderMetrics {
+  Counter* events;
+  Counter* dumps;
+  static RecorderMetrics& Get() {
+    static RecorderMetrics m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return RecorderMetrics{
+          r.GetCounter("dqmo_recorder_events_total",
+                       "Flight-recorder events appended to thread rings"),
+          r.GetCounter("dqmo_recorder_dumps_total",
+                       "Blackbox files written (manual + auto-trigger)"),
+      };
+    }();
+    return m;
+  }
+};
+
+size_t RingCapacityFromEnv() {
+  int64_t n = GetEnvInt("DQMO_RECORDER_EVENTS", 4096);
+  if (n < 64) n = 64;
+  if (n > 65536) n = 65536;
+  // Round down to a power of two so the write index wraps with a mask.
+  size_t cap = 1;
+  while (cap * 2 <= static_cast<size_t>(n)) cap *= 2;
+  return cap;
+}
+
+// One thread's ring: single writer (the owning thread), any-thread
+// snapshot. Three relaxed atomic words per event keep TSan clean without
+// fences; head is released so a snapshot that observes head >= n also
+// observes the slots of events 0..n-1 (modulo the one event being written
+// concurrently, which may tear — acceptable for diagnostics).
+struct ThreadRing {
+  explicit ThreadRing(size_t capacity)
+      : cap(capacity), words(new std::atomic<uint64_t>[capacity * 3]) {
+    for (size_t i = 0; i < capacity * 3; ++i) {
+      words[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void Append(uint64_t ts_ns, uint64_t detail, uint64_t meta) {
+    const uint64_t pos = head.load(std::memory_order_relaxed);
+    const size_t slot = (pos & (cap - 1)) * 3;
+    words[slot].store(ts_ns, std::memory_order_relaxed);
+    words[slot + 1].store(detail, std::memory_order_relaxed);
+    words[slot + 2].store(meta, std::memory_order_relaxed);
+    head.store(pos + 1, std::memory_order_release);
+  }
+
+  const size_t cap;
+  std::unique_ptr<std::atomic<uint64_t>[]> words;
+  std::atomic<uint64_t> head{0};
+};
+
+uint64_t WallUnixMicros() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return static_cast<uint64_t>(tv.tv_sec) * 1000000u +
+         static_cast<uint64_t>(tv.tv_usec);
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(const std::string& in, size_t* off, uint32_t* v) {
+  if (*off + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *off, sizeof(*v));
+  *off += sizeof(*v);
+  return true;
+}
+bool ReadU64(const std::string& in, size_t* off, uint64_t* v) {
+  if (*off + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *off, sizeof(*v));
+  *off += sizeof(*v);
+  return true;
+}
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kMark:
+      return "mark";
+    case FlightEventKind::kBreakerOpen:
+      return "breaker_open";
+    case FlightEventKind::kBreakerHalfOpen:
+      return "breaker_half_open";
+    case FlightEventKind::kBreakerClose:
+      return "breaker_close";
+    case FlightEventKind::kFrameShed:
+      return "frame_shed";
+    case FlightEventKind::kFrameSlow:
+      return "frame_slow";
+    case FlightEventKind::kGovernorLevel:
+      return "governor_level";
+    case FlightEventKind::kAdmissionReject:
+      return "admission_reject";
+    case FlightEventKind::kWalSync:
+      return "wal_sync";
+    case FlightEventKind::kSlowRead:
+      return "slow_read";
+    case FlightEventKind::kRedoPark:
+      return "redo_park";
+    case FlightEventKind::kRedoDrain:
+      return "redo_drain";
+    case FlightEventKind::kScrubRepair:
+      return "scrub_repair";
+    case FlightEventKind::kPrefetchCancel:
+      return "prefetch_cancel";
+    case FlightEventKind::kQuarantine:
+      return "quarantine";
+    case FlightEventKind::kNumKinds:
+      break;
+  }
+  return "unknown";
+}
+
+struct FlightRecorder::Impl {
+  const size_t capacity = RingCapacityFromEnv();
+
+  // Ring registry: rings are created on a thread's first record and never
+  // destroyed (a post-mortem dump must include exited threads).
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;  // Guarded by mu.
+  std::string blackbox_dir;                        // Guarded by mu.
+  bool blackbox_dir_loaded = false;                // Guarded by mu.
+
+  // Auto-dump throttle: monotone ns of the last dump + total dumps.
+  std::atomic<uint64_t> last_dump_ns{0};
+  std::atomic<uint32_t> auto_dumps{0};
+  std::atomic<uint32_t> dump_seq{0};
+
+  ThreadRing* RegisterRing() {
+    auto ring = std::make_unique<ThreadRing>(capacity);
+    ThreadRing* raw = ring.get();
+    std::lock_guard<std::mutex> lock(mu);
+    rings.push_back(std::move(ring));
+    return raw;
+  }
+};
+
+FlightRecorder::Impl& FlightRecorder::impl() const {
+  static Impl* impl = new Impl();  // Leaked: recorder outlives everything.
+  return *impl;
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Record(FlightEventKind kind, int shard, uint64_t detail) {
+  if (!RecorderEnabled()) return;
+  // One ring pointer per thread, registered on first use.
+  thread_local ThreadRing* ring = Global().impl().RegisterRing();
+  ring->Append(NowNs(), detail,
+               PackMeta(kind, static_cast<int16_t>(shard),
+                        static_cast<uint32_t>(ActiveTraceId())));
+  RecorderMetrics::Get().events->Add();
+}
+
+std::vector<BlackboxDump::ThreadSection> FlightRecorder::Snapshot() const {
+  Impl& im = impl();
+  std::vector<BlackboxDump::ThreadSection> sections;
+  std::lock_guard<std::mutex> lock(im.mu);
+  sections.reserve(im.rings.size());
+  for (size_t t = 0; t < im.rings.size(); ++t) {
+    const ThreadRing& ring = *im.rings[t];
+    BlackboxDump::ThreadSection section;
+    section.thread_index = static_cast<uint32_t>(t);
+    const uint64_t head = ring.head.load(std::memory_order_acquire);
+    section.recorded = head;
+    const uint64_t n = head < ring.cap ? head : ring.cap;
+    section.events.reserve(n);
+    for (uint64_t i = head - n; i < head; ++i) {
+      const size_t slot = (i & (ring.cap - 1)) * 3;
+      FlightEvent e;
+      e.ts_ns = ring.words[slot].load(std::memory_order_relaxed);
+      e.detail = ring.words[slot + 1].load(std::memory_order_relaxed);
+      UnpackMeta(ring.words[slot + 2].load(std::memory_order_relaxed), &e);
+      section.events.push_back(e);
+    }
+    sections.push_back(std::move(section));
+  }
+  return sections;
+}
+
+Status FlightRecorder::WriteBlackbox(const std::string& path,
+                                     const std::string& reason) {
+  const std::vector<BlackboxDump::ThreadSection> sections = Snapshot();
+  std::string out;
+  AppendU32(&out, kBlackboxMagic);
+  AppendU32(&out, kBlackboxVersion);
+  AppendU64(&out, NowNs());
+  AppendU64(&out, WallUnixMicros());
+  const std::string trimmed = reason.substr(0, 256);
+  AppendU32(&out, static_cast<uint32_t>(trimmed.size()));
+  AppendU32(&out, static_cast<uint32_t>(sections.size()));
+  out += trimmed;
+  for (const BlackboxDump::ThreadSection& section : sections) {
+    AppendU32(&out, section.thread_index);
+    AppendU32(&out, static_cast<uint32_t>(section.events.size()));
+    AppendU64(&out, section.recorded);
+    for (const FlightEvent& e : section.events) {
+      AppendU64(&out, e.ts_ns);
+      AppendU64(&out, e.detail);
+      AppendU64(&out, PackMeta(e.kind, e.shard, e.trace_low));
+    }
+  }
+  AppendU32(&out, Crc32c(out.data(), out.size()));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create blackbox file " + path);
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = written == out.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write to blackbox file " + path);
+  RecorderMetrics::Get().dumps->Add();
+  return Status::OK();
+}
+
+Status FlightRecorder::ReadBlackbox(const std::string& path,
+                                    BlackboxDump* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string data;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  if (data.size() < 12) return Status::Corruption("blackbox too short");
+  const uint32_t stored_crc = [&] {
+    uint32_t v;
+    std::memcpy(&v, data.data() + data.size() - 4, 4);
+    return v;
+  }();
+  if (Crc32c(data.data(), data.size() - 4) != stored_crc) {
+    return Status::Corruption("blackbox CRC mismatch in " + path);
+  }
+
+  size_t off = 0;
+  uint32_t magic = 0, version = 0, reason_len = 0, thread_count = 0;
+  uint64_t snapshot_ns = 0, wall_us = 0;
+  if (!ReadU32(data, &off, &magic) || magic != kBlackboxMagic) {
+    return Status::Corruption("not a blackbox file: " + path);
+  }
+  if (!ReadU32(data, &off, &version) || version == 0 ||
+      version > kBlackboxVersion) {
+    return Status::NotSupported(
+        StrFormat("blackbox version %u not supported", version));
+  }
+  if (!ReadU64(data, &off, &snapshot_ns) || !ReadU64(data, &off, &wall_us) ||
+      !ReadU32(data, &off, &reason_len) ||
+      !ReadU32(data, &off, &thread_count) ||
+      off + reason_len > data.size()) {
+    return Status::Corruption("truncated blackbox header");
+  }
+  out->version = version;
+  out->snapshot_ns = snapshot_ns;
+  out->wall_unix_us = wall_us;
+  out->reason = data.substr(off, reason_len);
+  off += reason_len;
+  out->threads.clear();
+  for (uint32_t t = 0; t < thread_count; ++t) {
+    BlackboxDump::ThreadSection section;
+    uint32_t event_count = 0;
+    if (!ReadU32(data, &off, &section.thread_index) ||
+        !ReadU32(data, &off, &event_count) ||
+        !ReadU64(data, &off, &section.recorded)) {
+      return Status::Corruption("truncated blackbox thread header");
+    }
+    section.events.reserve(event_count);
+    for (uint32_t i = 0; i < event_count; ++i) {
+      uint64_t ts = 0, detail = 0, meta = 0;
+      if (!ReadU64(data, &off, &ts) || !ReadU64(data, &off, &detail) ||
+          !ReadU64(data, &off, &meta)) {
+        return Status::Corruption("truncated blackbox event");
+      }
+      FlightEvent e;
+      e.ts_ns = ts;
+      e.detail = detail;
+      UnpackMeta(meta, &e);
+      section.events.push_back(e);
+    }
+    out->threads.push_back(std::move(section));
+  }
+  return Status::OK();
+}
+
+bool FlightRecorder::MaybeAutoDump(const std::string& reason) {
+  if (!RecorderEnabled()) return false;
+  const std::string dir = blackbox_dir();
+  if (dir.empty()) return false;
+  Impl& im = impl();
+  // Rate limit: one dump per second, 64 per process. CAS on the last-dump
+  // tick keeps concurrent triggers from stacking dumps.
+  if (im.auto_dumps.load(std::memory_order_relaxed) >= 64) return false;
+  const uint64_t now = NowNs();
+  uint64_t last = im.last_dump_ns.load(std::memory_order_relaxed);
+  if (last != 0 && now - last < 1000000000ull) return false;
+  if (!im.last_dump_ns.compare_exchange_strong(last, now,
+                                               std::memory_order_relaxed)) {
+    return false;
+  }
+  im.auto_dumps.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t seq = im.dump_seq.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = StrFormat("%s/blackbox-%04u.dqbb", dir.c_str(), seq);
+  return WriteBlackbox(path, reason).ok();
+}
+
+void FlightRecorder::SetBlackboxDir(const std::string& dir) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.blackbox_dir = dir;
+  im.blackbox_dir_loaded = true;
+}
+
+std::string FlightRecorder::blackbox_dir() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (!im.blackbox_dir_loaded) {
+    im.blackbox_dir = GetEnvString("DQMO_BLACKBOX_DIR", "");
+    im.blackbox_dir_loaded = true;
+  }
+  return im.blackbox_dir;
+}
+
+size_t FlightRecorder::ring_capacity() const { return impl().capacity; }
+
+void FlightRecorder::ClearForTest() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (std::unique_ptr<ThreadRing>& ring : im.rings) {
+    // Writers may be appending concurrently; dropping buffered events via
+    // head reset is test-only and called from quiescent states.
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+  im.last_dump_ns.store(0, std::memory_order_relaxed);
+  im.auto_dumps.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dqmo

@@ -1,0 +1,148 @@
+// Always-on flight recorder: per-thread lock-free event rings plus a
+// versioned binary "blackbox" dump.
+//
+// Metrics aggregate and traces sample; neither answers "what was the
+// engine doing in the seconds *before* this breaker opened?" after the
+// fact. The flight recorder does: every thread that emits an operational
+// event (breaker transition, frame shed, governor level change, WAL sync,
+// slow read, redo park/drain, scrub repair, ...) appends a compact 24-byte
+// record to its own fixed-size ring. Nothing is written anywhere until an
+// anomaly fires — a slow frame over DQMO_SLOW_FRAME_US, a breaker opening,
+// the governor reaching L2+ — at which point the rings are snapshotted
+// into a versioned blackbox file that `dqmo_tool blackbox` decodes.
+//
+// Cost model (the always-on contract, gated in CI like DQMO_METRICS=off):
+// recording is one relaxed enabled-load, one TLS load, three relaxed
+// atomic stores into a preallocated ring, and one relaxed counter bump —
+// no locks, no clock beyond the caller-supplied timestamp, no allocation
+// after a thread's first event. Events fire at operational edges, not in
+// per-node loops, so the hot path never sees the recorder at all; the CI
+// gate proves the residual cost is within 3% of a recorder-off run.
+//
+// Threading: each ring has exactly one writer (its thread). Slots are
+// relaxed atomics so a concurrent snapshot reads cleanly under TSan; a
+// snapshot taken mid-write may carry one half-written event, which is
+// acceptable for a diagnostic artifact. Rings are leaked into the global
+// registry so a dump can include threads that have already exited.
+#ifndef DQMO_COMMON_RECORDER_H_
+#define DQMO_COMMON_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace dqmo {
+
+/// What happened. Values are stable across builds (they are written into
+/// blackbox files); append only.
+enum class FlightEventKind : uint8_t {
+  kMark = 0,          // Manual mark (tests, tools). detail: caller-defined.
+  kBreakerOpen,       // detail: open-event ordinal for the shard.
+  kBreakerHalfOpen,   // detail: open-event ordinal.
+  kBreakerClose,      // detail: open-event ordinal.
+  kFrameShed,         // detail: session priority.
+  kFrameSlow,         // detail: frame duration in microseconds.
+  kGovernorLevel,     // detail: new level (0-3).
+  kAdmissionReject,   // detail: session priority.
+  kWalSync,           // detail: frames in the synced batch.
+  kSlowRead,          // detail: read latency in microseconds.
+  kRedoPark,          // detail: parked-write LSN.
+  kRedoDrain,         // detail: writes applied.
+  kScrubRepair,       // detail: pages rebuilt.
+  kPrefetchCancel,    // detail: in-flight reads canceled.
+  kQuarantine,        // detail: frames served partial so far.
+  kNumKinds,
+};
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+/// One decoded event. On the wire this is three little-endian u64 words
+/// (24 bytes): ts_ns, detail, then kind/shard/trace packed.
+struct FlightEvent {
+  uint64_t ts_ns = 0;     // NowNs() at record time (steady clock).
+  uint64_t detail = 0;    // Kind-specific payload.
+  uint32_t trace_low = 0; // Low 32 bits of the active trace id (0: none).
+  int16_t shard = -1;     // Shard attribution (-1: engine-wide).
+  FlightEventKind kind = FlightEventKind::kMark;
+};
+
+/// A decoded blackbox file.
+struct BlackboxDump {
+  uint32_t version = 0;
+  uint64_t snapshot_ns = 0;   // Monotonic clock at dump time.
+  uint64_t wall_unix_us = 0;  // Wall clock at dump time (for humans).
+  std::string reason;         // What triggered the dump.
+  struct ThreadSection {
+    uint32_t thread_index = 0;  // Registration order, stable per process.
+    uint64_t recorded = 0;      // Events ever recorded by this thread.
+    std::vector<FlightEvent> events;  // Oldest first; at most ring size.
+  };
+  std::vector<ThreadSection> threads;
+};
+
+/// True unless the recorder is compiled out (DQMO_METRICS_DISABLED) or was
+/// disabled with DQMO_RECORDER=off / SetRecorderEnabled(false). Checked
+/// (relaxed) on every record; the recorder is otherwise always on.
+#ifdef DQMO_METRICS_DISABLED
+constexpr bool RecorderEnabled() { return false; }
+inline void SetRecorderEnabled(bool) {}
+#else
+namespace internal {
+std::atomic<bool>& RecorderEnabledFlag();
+}  // namespace internal
+inline bool RecorderEnabled() {
+  return internal::RecorderEnabledFlag().load(std::memory_order_relaxed);
+}
+inline void SetRecorderEnabled(bool enabled) {
+  internal::RecorderEnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+#endif
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  /// Appends one event to the calling thread's ring. The active trace id
+  /// is stamped automatically. Lock-free after the thread's first call.
+  static void Record(FlightEventKind kind, int shard, uint64_t detail);
+
+  /// Copies every thread's ring, oldest events first per thread.
+  std::vector<BlackboxDump::ThreadSection> Snapshot() const;
+
+  /// Writes a versioned blackbox file (all rings + header + CRC32C).
+  Status WriteBlackbox(const std::string& path, const std::string& reason);
+
+  /// Decodes a blackbox file written by WriteBlackbox (any version).
+  static Status ReadBlackbox(const std::string& path, BlackboxDump* out);
+
+  /// Anomaly hook: when a blackbox directory is configured
+  /// (DQMO_BLACKBOX_DIR or SetBlackboxDir), writes
+  /// `<dir>/blackbox-NNNN.dqbb`, rate-limited to one dump per second and
+  /// 64 dumps per process so a flapping trigger cannot fill the disk.
+  /// Returns true when a dump was written.
+  bool MaybeAutoDump(const std::string& reason);
+
+  /// Overrides DQMO_BLACKBOX_DIR ("" disables auto-dumps). Tests/tools.
+  void SetBlackboxDir(const std::string& dir);
+  std::string blackbox_dir() const;
+
+  /// Events per thread ring (DQMO_RECORDER_EVENTS rounded to a power of
+  /// two, default 4096).
+  size_t ring_capacity() const;
+
+  /// Drops all buffered events (rings stay registered). Tests only.
+  void ClearForTest();
+
+ private:
+  FlightRecorder() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace dqmo
+
+#endif  // DQMO_COMMON_RECORDER_H_

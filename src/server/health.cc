@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "common/metrics.h"
+#include "common/recorder.h"
 #include "common/string_util.h"
 
 namespace dqmo {
@@ -101,6 +102,13 @@ void CircuitBreaker::SetStateLocked(BreakerState next) {
   if (cur == BreakerState::kClosed) m.breaker_state->Add(1);
   if (next == BreakerState::kClosed) m.breaker_state->Add(-1);
   state_.store(static_cast<uint8_t>(next), std::memory_order_relaxed);
+  // Every transition is a flight-recorder event: the blackbox's whole job
+  // is answering "what did this breaker do, and when" after the fact.
+  const FlightEventKind ev =
+      next == BreakerState::kOpen     ? FlightEventKind::kBreakerOpen
+      : next == BreakerState::kHalfOpen ? FlightEventKind::kBreakerHalfOpen
+                                        : FlightEventKind::kBreakerClose;
+  FlightRecorder::Record(ev, shard_, static_cast<uint64_t>(cur));
 }
 
 void CircuitBreaker::OpenLocked(const std::string& cause) {
@@ -112,6 +120,10 @@ void CircuitBreaker::OpenLocked(const std::string& cause) {
   ++open_events_;
   probe_frame_.store(false, std::memory_order_relaxed);
   HealthMetrics::Get().quarantine_events->Add(1);
+  FlightRecorder::Record(FlightEventKind::kQuarantine, shard_, open_events_);
+  // A breaker trip is an anomaly worth a blackbox snapshot: the ring still
+  // holds the reads/WAL events that caused it.
+  FlightRecorder::Global().MaybeAutoDump("breaker open");
 }
 
 void CircuitBreaker::OnReadOutcome(bool ok, uint64_t latency_ns) {
@@ -305,8 +317,20 @@ void HedgedPageReader::WorkerLoop() {
     work_cv_.wait(lock, [&] { return stop_ || job_.pending; });
     if (stop_) return;
     const PageId id = job_.id;
+    const Tracer::FrameHandle trace = job_.trace;
+    const int16_t shard = job_.shard;
+    const uint64_t submit_ns = job_.submit_ns;
     lock.unlock();
     Result<ReadResult> r = primary_->Read(id);
+    if (trace != nullptr) {
+      // Report the primary leg back to the frame that submitted it —
+      // whether it won or was abandoned to the hedge. This is exactly the
+      // span that used to vanish: the worker has no armed TLS frame.
+      const uint64_t now = NowNs();
+      Tracer::RecordRemote(trace, SpanKind::kHedgeProbe,
+                           SpanOrigin::kHedgeWorker, shard, submit_ns,
+                           now - submit_ns, id);
+    }
     lock.lock();
     job_.pending = false;
     job_.done = true;
@@ -326,6 +350,13 @@ void HedgedPageReader::DrainWorker(std::unique_lock<std::mutex>& lock) {
   job_.done = false;  // Discard any abandoned (hedge-won) result.
 }
 
+PageReader::ReadResult HedgedPageReader::Localize(const ReadResult& r) {
+  if (r.data == nullptr) return r;
+  std::vector<uint8_t>& buf = caller_pages_[std::this_thread::get_id()];
+  buf.assign(r.data, r.data + kPageSize);
+  return ReadResult{buf.data(), r.physical};
+}
+
 void HedgedPageReader::Quiesce() {
   std::unique_lock<std::mutex> lock(mu_);
   DrainWorker(lock);
@@ -333,6 +364,14 @@ void HedgedPageReader::Quiesce() {
 
 Result<PageReader::ReadResult> HedgedPageReader::Read(PageId id) {
   if (!options_.enabled) return primary_->Read(id);
+  // Captured on the frame thread, before any blocking: thread-locals are
+  // meaningless once the job crosses to the worker.
+  Tracer::FrameHandle frame_trace;
+  int16_t frame_shard = -1;
+  if (internal::ThreadFrameArmed()) {
+    frame_trace = Tracer::ActiveFrame();
+    frame_shard = internal::ThreadCurrentShard();
+  }
   QueryBudget* budget = budget_.load(std::memory_order_relaxed);
   const bool can_hedge = budget == nullptr || !budget->stopped();
   const uint64_t ewma = health_ != nullptr ? health_->latency_ewma_ns() : 0;
@@ -354,6 +393,9 @@ Result<PageReader::ReadResult> HedgedPageReader::Read(PageId id) {
   job_ = Job{};
   job_.id = id;
   job_.pending = true;
+  job_.trace = std::move(frame_trace);
+  job_.shard = frame_shard;
+  if (job_.trace != nullptr) job_.submit_ns = NowNs();
   work_cv_.notify_one();
 
   if (!can_hedge) {
@@ -361,14 +403,14 @@ Result<PageReader::ReadResult> HedgedPageReader::Read(PageId id) {
     // away. Wait for the primary, however slow.
     done_cv_.wait(lock, [&] { return job_.done; });
     job_.done = false;
-    if (job_.status.ok()) return job_.result;
+    if (job_.status.ok()) return Localize(job_.result);
     return job_.status;
   }
 
   if (done_cv_.wait_for(lock, std::chrono::nanoseconds(threshold_ns),
                         [&] { return job_.done; })) {
     job_.done = false;
-    if (job_.status.ok()) return job_.result;
+    if (job_.status.ok()) return Localize(job_.result);
     return job_.status;
   }
 
@@ -377,14 +419,18 @@ Result<PageReader::ReadResult> HedgedPageReader::Read(PageId id) {
   ++hedges_;
   HealthMetrics::Get().hedged_reads->Add(1);
   lock.unlock();
-  Result<ReadResult> second = secondary_->Read(id);
+  // The hedge leg runs on the frame thread itself, so a plain span suffices.
+  Result<ReadResult> second = [&] {
+    Tracer::SpanScope hedge_span(SpanKind::kHedgeProbe, id);
+    return secondary_->Read(id);
+  }();
   lock.lock();
   if (job_.done) {
     // Primary finished while the hedge ran: by arrival order it won.
     job_.done = false;
     ++hedges_lost_;
     HealthMetrics::Get().hedged_reads_lost->Add(1);
-    if (job_.status.ok()) return job_.result;
+    if (job_.status.ok()) return Localize(job_.result);
     if (second.ok()) return *second;  // Hedge masked a primary failure.
     return job_.status;
   }
@@ -401,7 +447,7 @@ Result<PageReader::ReadResult> HedgedPageReader::Read(PageId id) {
   job_.done = false;
   ++hedges_lost_;
   HealthMetrics::Get().hedged_reads_lost->Add(1);
-  if (job_.status.ok()) return job_.result;
+  if (job_.status.ok()) return Localize(job_.result);
   return job_.status;
 }
 

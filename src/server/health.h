@@ -41,11 +41,13 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "motion/motion_segment.h"
 #include "query/budget.h"
@@ -277,6 +279,13 @@ class HedgedPageReader : public PageReader {
     bool done = false;      // Finished, result not yet consumed.
     Status status = Status::OK();
     ReadResult result;
+    // Causal attribution for the worker leg: the armed frame (if any) that
+    // submitted this read, the shard it ran under, and the submit tick. The
+    // worker reports its kHedgeProbe span back into that frame's merged
+    // tree when it finishes — even if the hedge already won the race.
+    Tracer::FrameHandle trace;
+    int16_t shard = -1;
+    uint64_t submit_ns = 0;
   };
 
   void WorkerLoop();
@@ -284,6 +293,15 @@ class HedgedPageReader : public PageReader {
   /// the worker mid-read; its result buffer must not be overwritten while
   /// a caller still holds it, so we join here, at the *next* read).
   void DrainWorker(std::unique_lock<std::mutex>& lock);
+  /// Copies a worker-produced page into this caller thread's own buffer.
+  /// The worker's result points into the *worker thread's* per-thread
+  /// scratch (the DiskPageFile contract ties scratch lifetime to the
+  /// reading thread), which is recycled as soon as the worker accepts the
+  /// next job — possibly while this caller is still decoding the page.
+  /// Must be called with mu_ held: that orders the copy before any next
+  /// job submission. Results produced on the caller's own thread (the
+  /// hedge leg) keep the base contract and must NOT be localized.
+  ReadResult Localize(const ReadResult& r);
 
   PageReader* primary_;
   PageReader* secondary_;
@@ -299,6 +317,10 @@ class HedgedPageReader : public PageReader {
   std::mutex mu_;
   std::condition_variable work_cv_;   // Caller -> worker: job submitted.
   std::condition_variable done_cv_;   // Worker -> caller: job finished.
+  // One page buffer per caller thread (touched only under mu_): holds the
+  // localized copy of a worker-produced result until that caller's next
+  // read through this reader.
+  std::unordered_map<std::thread::id, std::vector<uint8_t>> caller_pages_;
   Job job_;
   bool stop_ = false;
   std::thread worker_;  // Spawned lazily on the first enabled Read.

@@ -4,6 +4,7 @@
 
 #include "common/env.h"
 #include "common/metrics.h"
+#include "common/recorder.h"
 #include "common/string_util.h"
 
 namespace dqmo {
@@ -105,6 +106,8 @@ AdmissionOutcome AdmissionController::TryAdmit(uint64_t client_id,
   } else {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     OverloadMetrics::Get().admission_rejected->Add();
+    FlightRecorder::Record(FlightEventKind::kAdmissionReject, -1,
+                           static_cast<uint64_t>(priority));
   }
   return outcome;
 }
@@ -172,6 +175,13 @@ void OverloadGovernor::Evaluate() {
     if (level < options_.max_level) {
       level_.store(level + 1, std::memory_order_relaxed);
       OverloadMetrics::Get().governor_escalations->Add();
+      FlightRecorder::Record(FlightEventKind::kGovernorLevel, -1,
+                             static_cast<uint64_t>(level + 1));
+      // Deep degradation (L2+) means real client impact — snapshot the
+      // rings while the events that drove the escalation are still there.
+      if (level + 1 >= 2) {
+        FlightRecorder::Global().MaybeAutoDump("governor escalation");
+      }
     }
   } else if (healthy && level > 0) {
     // Hysteresis: one healthy window is not recovery — overload relieved
@@ -179,6 +189,8 @@ void OverloadGovernor::Evaluate() {
     if (++healthy_streak_ >= options_.recovery_windows) {
       healthy_streak_ = 0;
       level_.store(level - 1, std::memory_order_relaxed);
+      FlightRecorder::Record(FlightEventKind::kGovernorLevel, -1,
+                             static_cast<uint64_t>(level - 1));
     }
   } else {
     healthy_streak_ = 0;

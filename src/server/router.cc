@@ -62,6 +62,9 @@ std::vector<std::shared_lock<std::shared_mutex>> LockAllShards(
   std::vector<std::shared_lock<std::shared_mutex>> locks;
   locks.reserve(static_cast<size_t>(engine->num_shards()));
   for (int s = 0; s < engine->num_shards(); ++s) {
+    // Tag so the gate-wait span inside LockShared lands in this shard's
+    // subtree of the frame's merged trace.
+    Tracer::ShardTag tag(s);
     locks.push_back(engine->shard(s).gate->LockShared());
   }
   return locks;
@@ -147,6 +150,7 @@ struct BreakerFramePlane {
       if (!now_blocked) {
         // Parked writes become visible before this frame reads. A failed
         // drain re-opened the breaker; treat the frame as blocked.
+        Tracer::ShardScope drain_scope(s, SpanKind::kRedoDrain);
         now_blocked = !engine->DrainRedo(s).ok();
       }
       reinstated[si] = (blocked[si] != 0 && !now_blocked) ? 1 : 0;
@@ -308,9 +312,11 @@ void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
             std::max(1e-3, base_horizon * ctl.horizon_scale()));
       }
     }
+    // The frame scope opens before breaker/redo work so the merged trace
+    // captures redo drains and gate waits, not just shard evaluation.
+    Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     plane.StartFrame(engine);
     FrameLatencyScope latency(spec, &res);
-    Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto locks = LockAllShards(engine);
     bool partial = false;
     bool failed = false;
@@ -319,6 +325,7 @@ void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
       shard_cs.assign(static_cast<size_t>(n), kFnvOffset);
     }
     for (int s = 0; s < n; ++s) {
+      Tracer::ShardScope shard_scope(s);
       const size_t si = static_cast<size_t>(s);
       streams[si].clear();
       const uint64_t skips0 =
@@ -342,7 +349,11 @@ void RunShardedHandoff(ShardedEngine* engine, const SessionSpec& spec,
     }
     if (failed) break;
     RouterMetrics::Get().fanout_width->Record(static_cast<uint64_t>(n));
-    std::vector<MotionSegment> merged = MergeStreamsByEntryTime(&streams);
+    std::vector<MotionSegment> merged = [&] {
+      Tracer::SpanScope merge_span(SpanKind::kMerge,
+                                   static_cast<uint64_t>(n));
+      return MergeStreamsByEntryTime(&streams);
+    }();
     FoldU64(&res.checksum, static_cast<uint64_t>(i));
     FoldSegments(&res.checksum, &merged);
     res.objects_delivered += merged.size();
@@ -425,6 +436,7 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
       CancelShardPrefetch(engine);
       continue;  // prev_t stays: the next snapshot covers the gap.
     }
+    Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     plane.StartFrame(engine);
     if (plane.active) {
       for (int s = 0; s < n; ++s) {
@@ -440,7 +452,6 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
     }
     const StBox q(Box::Centered(obs.pos, spec.window), Interval(prev_t, t));
     FrameLatencyScope latency(spec, &res);
-    Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto locks = LockAllShards(engine);
     uint64_t evaluated = 0;
     bool partial = false;
@@ -450,6 +461,7 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
       shard_cs.assign(static_cast<size_t>(n), kFnvOffset);
     }
     for (int s = 0; s < n; ++s) {
+      Tracer::ShardScope shard_scope(s);
       const size_t si = static_cast<size_t>(s);
       streams[si].clear();
       if (options.spatial_prune &&
@@ -480,7 +492,10 @@ void RunShardedNpdq(ShardedEngine* engine, const SessionSpec& spec,
     }
     if (failed) break;
     RouterMetrics::Get().fanout_width->Record(evaluated);
-    std::vector<MotionSegment> merged = MergeStreamsByEntryTime(&streams);
+    std::vector<MotionSegment> merged = [&] {
+      Tracer::SpanScope merge_span(SpanKind::kMerge, evaluated);
+      return MergeStreamsByEntryTime(&streams);
+    }();
     FoldU64(&res.checksum, static_cast<uint64_t>(i));
     FoldSegments(&res.checksum, &merged);
     res.objects_delivered += merged.size();
@@ -561,9 +576,9 @@ void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
       CancelShardPrefetch(engine);
       continue;
     }
+    Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     plane.StartFrame(engine);
     FrameLatencyScope latency(spec, &res);
-    Tracer::FrameScope frame_scope(spec.seed, static_cast<uint64_t>(i));
     auto locks = LockAllShards(engine);
     bool partial = false;
     bool failed = false;
@@ -573,6 +588,7 @@ void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
     }
     for (int s = 0; s < n; ++s) {
       const size_t si = static_cast<size_t>(s);
+      Tracer::ShardScope shard_scope(s);
       SkipReport frame_skip;
       KnnOptions kopt;
       kopt.reader = engine->shard(s).reader();
@@ -607,8 +623,12 @@ void RunShardedKnn(ShardedEngine* engine, const SessionSpec& spec,
     }
     if (failed) break;
     RouterMetrics::Get().fanout_width->Record(static_cast<uint64_t>(n));
-    std::vector<Neighbor> merged =
-        MergeNeighborsByDistance(candidates, static_cast<size_t>(spec.k));
+    std::vector<Neighbor> merged = [&] {
+      Tracer::SpanScope merge_span(SpanKind::kMerge,
+                                   static_cast<uint64_t>(n));
+      return MergeNeighborsByDistance(candidates,
+                                      static_cast<size_t>(spec.k));
+    }();
     FoldU64(&res.checksum, static_cast<uint64_t>(i));
     for (const Neighbor& nb : merged) {
       FoldU64(&res.checksum, nb.motion.oid);

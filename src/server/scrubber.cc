@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "common/metrics.h"
+#include "common/recorder.h"
 #include "common/string_util.h"
 #include "server/durability.h"
 #include "server/health.h"
@@ -127,6 +128,7 @@ void ShardScrubber::ScrubShard(int i, PassReport* report) {
       }
       report->pages_rebuilt += bad_count;
       HealthMetrics::Get().scrub_pages_rebuilt->Add(bad_count);
+      FlightRecorder::Record(FlightEventKind::kScrubRepair, i, bad_count);
     }
     // Caches may hold frames/nodes decoded from the damaged bytes.
     s.pool->Clear();

@@ -21,6 +21,7 @@
 
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/recorder.h"
 #include "geom/vec.h"
 #include "motion/motion_segment.h"
 #include "query/budget.h"
@@ -196,6 +197,8 @@ class FrameController {
     horizon_scale_ = d.horizon_scale;
     if (d.shed_frame) {
       ExecMetrics::Get().frames_shed->Add();
+      FlightRecorder::Record(FlightEventKind::kFrameShed, -1,
+                             static_cast<uint64_t>(spec_.priority));
       return true;
     }
     budget_->ArmFrame(QueryBudget::Limits{d.frame_deadline_ns, d.node_budget,

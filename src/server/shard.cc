@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "common/metrics.h"
+#include "common/recorder.h"
 #include "common/string_util.h"
 #include "rtree/bulk_load.h"
 #include "rtree/layout.h"
@@ -336,6 +337,11 @@ Status ShardedEngine::DrainRedoLocked(Shard* s) {
     if (s->breaker != nullptr) s->breaker->ForceOpen("redo drain failed");
   }
   HealthMetrics::Get().redo_drained->Add(applied);
+  if (applied != 0) {
+    FlightRecorder::Record(
+        FlightEventKind::kRedoDrain,
+        s->breaker != nullptr ? s->breaker->shard() : -1, applied);
+  }
   return st;
 }
 
@@ -353,6 +359,9 @@ Status ShardedEngine::ParkLocked(Shard* s, const MotionSegment& m) {
     DQMO_ASSIGN_OR_RETURN(lsn, s->durable->wal()->AppendInsert(stored));
   }
   s->redo->Park(lsn, stored);
+  FlightRecorder::Record(FlightEventKind::kRedoPark,
+                         s->breaker != nullptr ? s->breaker->shard() : -1,
+                         lsn);
   return Status::OK();
 }
 

@@ -13,7 +13,9 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/metrics.h"
+#include "common/recorder.h"
 #include "common/string_util.h"
 #include "storage/fault.h"
 #include "storage/image_format.h"
@@ -41,6 +43,16 @@ struct DiskMetrics {
     return m;
   }
 };
+
+/// Synchronous reads slower than this land in the flight recorder as
+/// kSlowRead events (microseconds; DQMO_SLOW_READ_US, default 1000).
+uint64_t SlowReadThresholdUs() {
+  static const uint64_t us = [] {
+    const int64_t v = GetEnvInt("DQMO_SLOW_READ_US", 1000);
+    return v <= 0 ? UINT64_MAX : static_cast<uint64_t>(v);
+  }();
+  return us;
+}
 
 inline uint8_t LoadFlag(const std::vector<uint8_t>& flags, PageId id) {
   return std::atomic_ref<uint8_t>(const_cast<uint8_t&>(flags[id]))
@@ -308,6 +320,7 @@ Result<PageReader::ReadResult> DiskPageFile::Read(PageId id) {
     return ReadResult{scratch, /*physical=*/true};
   }
   {
+    const uint64_t tick = TickNs();
     ScopedLatencyTimer timer(DiskMetrics::Get().read_ns);
     DQMO_RETURN_IF_ERROR(RawRead(id, scratch));
     if (sim_read_delay_us_ > 0) {
@@ -316,6 +329,12 @@ Result<PageReader::ReadResult> DiskPageFile::Read(PageId id) {
       // in a queue worker — the asymmetry prefetch exists to exploit.
       std::this_thread::sleep_for(
           std::chrono::microseconds(sim_read_delay_us_));
+    }
+    if (tick != 0) {
+      const uint64_t elapsed_us = (NowNs() - tick) / 1000;
+      if (elapsed_us >= SlowReadThresholdUs()) {
+        FlightRecorder::Record(FlightEventKind::kSlowRead, -1, elapsed_us);
+      }
     }
   }
   if (verify_on_read_ && LoadFlag(verified_, id) == 0) {

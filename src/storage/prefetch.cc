@@ -6,6 +6,7 @@
 
 #include "common/env.h"
 #include "common/metrics.h"
+#include "common/recorder.h"
 #include "common/string_util.h"
 #include "storage/fault.h"
 
@@ -85,7 +86,7 @@ uint64_t Prefetcher::failed() const {
   return failed_;
 }
 
-void Prefetcher::ChargeWasted() {
+void Prefetcher::ChargeWasted(const Entry& entry, PageId id) {
   // The disk really was read; the memory backend never would have — this
   // is exactly the physical_reads delta the differential test predicts:
   // disk == memory + prefetch_wasted.
@@ -94,6 +95,12 @@ void Prefetcher::ChargeWasted() {
   file_->mutable_stats()->prefetch_wasted.fetch_add(
       1, std::memory_order_relaxed);
   PrefetchMetrics::Get().wasted->Add();
+  if (entry.trace != nullptr) {
+    const uint64_t now = NowNs();
+    Tracer::RecordRemote(entry.trace, SpanKind::kPrefetchWaste,
+                         SpanOrigin::kPrefetchWorker, entry.shard,
+                         entry.submit_ns, now - entry.submit_ns, id);
+  }
 }
 
 void Prefetcher::EraseLocked(
@@ -117,7 +124,7 @@ size_t Prefetcher::ReapLocked(bool block) {
       // Doomed while in flight: the buffer is safe to free now; the read
       // happened, so it is wasted, not failed.
       if (io_ok) {
-        ChargeWasted();
+        ChargeWasted(entry, tag_it->second);
       } else {
         ++failed_;
         PrefetchMetrics::Get().failed->Add();
@@ -138,6 +145,17 @@ size_t Prefetcher::ReapLocked(bool block) {
 
 void Prefetcher::Hint(const PageId* ids, size_t n, const ChargeFn& charge) {
   if (options_.depth == 0 || n == 0) return;
+  // Causal capture happens here, on the frame thread, before the lock: the
+  // active-frame handle and shard tag are thread-local and meaningless on
+  // the completion side. One out-of-line call per Hint, zero when unarmed.
+  Tracer::FrameHandle frame_trace;
+  int16_t hint_shard = -1;
+  uint64_t submit_ns = 0;
+  if (internal::ThreadFrameArmed()) {
+    frame_trace = Tracer::ActiveFrame();
+    hint_shard = internal::ThreadCurrentShard();
+    submit_ns = NowNs();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   // Free completed slots first so a steady traversal keeps the pipe full.
   ReapLocked(/*block=*/false);
@@ -151,6 +169,9 @@ void Prefetcher::Hint(const PageId* ids, size_t n, const ChargeFn& charge) {
     if (charge && !charge()) break;
     Entry entry;
     entry.tag = next_tag_++;
+    entry.trace = frame_trace;
+    entry.shard = hint_shard;
+    entry.submit_ns = submit_ns;
     if (options_.injector != nullptr) {
       // Decision drawn at submit: submission order is deterministic (it
       // follows the traversal's hint order), so the async schedule
@@ -231,11 +252,17 @@ Result<PageReader::ReadResult> Prefetcher::Read(PageId id) {
         file_->mutable_stats()->prefetch_hits.fetch_add(
             1, std::memory_order_relaxed);
         PrefetchMetrics::Get().hits->Add();
+        if (entry.trace != nullptr) {
+          const uint64_t now = NowNs();
+          Tracer::RecordRemote(entry.trace, SpanKind::kPrefetchRead,
+                               SpanOrigin::kPrefetchWorker, entry.shard,
+                               entry.submit_ns, now - entry.submit_ns, id);
+        }
         EraseLocked(it);
       } else if (entry.state == EntryState::kLanded) {
         // Landed but the page has since been dirtied: the speculation is
         // stale. Discard as wasted and read synchronously.
-        ChargeWasted();
+        ChargeWasted(entry, id);
         EraseLocked(it);
       }
     }
@@ -262,7 +289,7 @@ size_t Prefetcher::CancelPending() {
       continue;
     }
     if (entry.state == EntryState::kLanded) {
-      ChargeWasted();
+      ChargeWasted(entry, it->first);
     } else {
       ++failed_;
       PrefetchMetrics::Get().failed->Add();
@@ -272,6 +299,9 @@ size_t Prefetcher::CancelPending() {
     it = table_.erase(it);
   }
   PrefetchMetrics::Get().inflight->Set(static_cast<int64_t>(table_.size()));
+  if (affected != 0) {
+    FlightRecorder::Record(FlightEventKind::kPrefetchCancel, -1, affected);
+  }
   return affected;
 }
 
@@ -282,10 +312,10 @@ void Prefetcher::Quiesce() {
   }
   for (auto it = table_.begin(); it != table_.end();) {
     if (it->second.state == EntryState::kLanded) {
-      ChargeWasted();
+      ChargeWasted(it->second, it->first);
     } else if (it->second.state == EntryState::kInflight) {
       // Unreachable after the drain above, but never leak silently.
-      ChargeWasted();
+      ChargeWasted(it->second, it->first);
     }
     tag_to_page_.erase(it->second.tag);
     it = table_.erase(it);

@@ -41,6 +41,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "storage/disk_file.h"
 #include "storage/page_store.h"
@@ -134,12 +135,21 @@ class Prefetcher : public PageReader {
     uint64_t delay_us = 0;  // Injected completion delay, served at consume.
     bool inject_fail = false;  // Decision drawn at submit: fail on landing.
     bool canceled = false;     // Discard (as wasted) when it completes.
+    // Causal attribution: the armed frame (if any) whose traversal hinted
+    // this page, the shard it was hinted under, and the submit tick. A
+    // consumed or discarded speculation reports a kPrefetchRead /
+    // kPrefetchWaste span back into that frame's merged tree; if the frame
+    // already closed, the span counts as an orphan instead of vanishing.
+    Tracer::FrameHandle trace;
+    int16_t shard = -1;
+    uint64_t submit_ns = 0;
   };
 
   /// Drains queue completions into the table. mu_ held.
   size_t ReapLocked(bool block);
-  /// Charges a wasted discard (physical_read + prefetch_wasted). mu_ held.
-  void ChargeWasted();
+  /// Charges a wasted discard (physical_read + prefetch_wasted) and reports
+  /// the entry's kPrefetchWaste span to its hinting frame. mu_ held.
+  void ChargeWasted(const Entry& entry, PageId id);
   /// Removes `it`'s entry. mu_ held.
   void EraseLocked(std::unordered_map<PageId, Entry>::iterator it);
   uint8_t* ThreadScratch();

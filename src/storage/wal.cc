@@ -6,6 +6,7 @@
 
 #include "common/crc32c.h"
 #include "common/metrics.h"
+#include "common/recorder.h"
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "common/types.h"
@@ -511,6 +512,7 @@ Status WalWriter::Sync() {
   wm.syncs->Add();
   wm.synced_bytes->Add(batch_.size());
   wm.sync_ns->RecordSince(tick);
+  FlightRecorder::Record(FlightEventKind::kWalSync, -1, batch_.size());
   batch_.clear();
   pending_records_ = 0;
   if (stats_ != nullptr) {

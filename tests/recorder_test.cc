@@ -1,0 +1,348 @@
+// Flight-recorder tests (common/recorder.h): ring semantics, blackbox
+// write/read round-trips (including corruption rejection), the anomaly
+// auto-dump path, and — the acceptance program — a seeded breaker-trip
+// chaos run whose auto-written blackbox provably contains the trip's
+// cause event. The multi-writer hammer runs under TSan via tools/ci.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/recorder.h"
+#include "server/health.h"
+#include "server/router.h"
+#include "server/scrubber.h"
+#include "server/shard.h"
+#include "storage/fault.h"
+#include "workload/data_generator.h"
+
+namespace dqmo {
+namespace {
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Clears buffered events on entry and detaches the blackbox dir on exit
+/// so tests cannot observe each other's events or trigger surprise dumps.
+class RecorderGuard {
+ public:
+  RecorderGuard() {
+    FlightRecorder::Global().SetBlackboxDir("");
+    FlightRecorder::Global().ClearForTest();
+  }
+  ~RecorderGuard() {
+    FlightRecorder::Global().SetBlackboxDir("");
+    FlightRecorder::Global().ClearForTest();
+  }
+};
+
+/// Sum of buffered events of `kind` across all thread sections.
+uint64_t CountKind(const std::vector<BlackboxDump::ThreadSection>& sections,
+                   FlightEventKind kind) {
+  uint64_t n = 0;
+  for (const auto& section : sections) {
+    for (const FlightEvent& ev : section.events) {
+      if (ev.kind == kind) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(FlightRecorderTest, RecordsAndSnapshotsInOrder) {
+  RecorderGuard guard;
+  for (uint64_t i = 0; i < 10; ++i) {
+    FlightRecorder::Record(FlightEventKind::kMark, static_cast<int>(i), i);
+  }
+  const auto sections = FlightRecorder::Global().Snapshot();
+  uint64_t marks = 0;
+  for (const auto& section : sections) {
+    uint64_t prev_ts = 0;
+    uint64_t prev_detail = 0;
+    for (const FlightEvent& ev : section.events) {
+      if (ev.kind != FlightEventKind::kMark) continue;
+      EXPECT_GE(ev.ts_ns, prev_ts) << "events not oldest-first";
+      if (marks > 0) {
+        EXPECT_GT(ev.detail, prev_detail);
+      }
+      prev_ts = ev.ts_ns;
+      prev_detail = ev.detail;
+      EXPECT_EQ(ev.shard, static_cast<int16_t>(ev.detail));
+      ++marks;
+    }
+  }
+  EXPECT_EQ(marks, 10u);
+}
+
+TEST(FlightRecorderTest, RingWrapKeepsNewestEvents) {
+  RecorderGuard guard;
+  const size_t cap = FlightRecorder::Global().ring_capacity();
+  ASSERT_GT(cap, 0u);
+  const uint64_t total = static_cast<uint64_t>(cap) + 100;
+  for (uint64_t i = 0; i < total; ++i) {
+    FlightRecorder::Record(FlightEventKind::kMark, -1, i);
+  }
+  const auto sections = FlightRecorder::Global().Snapshot();
+  // Find this thread's section: the one holding the newest mark.
+  bool found = false;
+  for (const auto& section : sections) {
+    if (section.events.empty()) continue;
+    if (section.events.back().detail != total - 1) continue;
+    found = true;
+    EXPECT_GE(section.recorded, total);
+    EXPECT_LE(section.events.size(), cap);
+    // The buffered window is exactly the newest `cap` events, in order.
+    const uint64_t oldest = total - section.events.size();
+    for (size_t i = 0; i < section.events.size(); ++i) {
+      EXPECT_EQ(section.events[i].detail, oldest + i);
+    }
+  }
+  EXPECT_TRUE(found) << "no section held the newest event";
+}
+
+TEST(FlightRecorderTest, DisabledRecorderDropsEvents) {
+  RecorderGuard guard;
+  SetRecorderEnabled(false);
+  FlightRecorder::Record(FlightEventKind::kMark, -1, 1);
+  SetRecorderEnabled(true);
+  EXPECT_EQ(CountKind(FlightRecorder::Global().Snapshot(),
+                      FlightEventKind::kMark),
+            0u);
+}
+
+TEST(FlightRecorderTest, BlackboxRoundTripPreservesEverything) {
+  RecorderGuard guard;
+  FlightRecorder::Record(FlightEventKind::kBreakerOpen, 3, 1);
+  FlightRecorder::Record(FlightEventKind::kWalSync, -1, 17);
+  FlightRecorder::Record(FlightEventKind::kGovernorLevel, -1, 2);
+  const std::string dir = ScratchDir("dqmo_recorder_rt");
+  const std::string path = dir + "/box.dqbb";
+  ASSERT_TRUE(
+      FlightRecorder::Global().WriteBlackbox(path, "unit round-trip").ok());
+
+  BlackboxDump dump;
+  ASSERT_TRUE(FlightRecorder::ReadBlackbox(path, &dump).ok());
+  EXPECT_EQ(dump.version, 1u);
+  EXPECT_EQ(dump.reason, "unit round-trip");
+  EXPECT_GT(dump.snapshot_ns, 0u);
+  EXPECT_GT(dump.wall_unix_us, 0u);
+  std::vector<BlackboxDump::ThreadSection> sections = dump.threads;
+  EXPECT_EQ(CountKind(sections, FlightEventKind::kBreakerOpen), 1u);
+  EXPECT_EQ(CountKind(sections, FlightEventKind::kWalSync), 1u);
+  EXPECT_EQ(CountKind(sections, FlightEventKind::kGovernorLevel), 1u);
+  for (const auto& section : sections) {
+    for (const FlightEvent& ev : section.events) {
+      if (ev.kind == FlightEventKind::kBreakerOpen) {
+        EXPECT_EQ(ev.shard, 3);
+        EXPECT_EQ(ev.detail, 1u);
+      }
+      if (ev.kind == FlightEventKind::kWalSync) {
+        EXPECT_EQ(ev.detail, 17u);
+      }
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(FlightRecorderTest, CorruptBlackboxIsRejected) {
+  RecorderGuard guard;
+  FlightRecorder::Record(FlightEventKind::kMark, -1, 1);
+  const std::string dir = ScratchDir("dqmo_recorder_bad");
+  const std::string path = dir + "/box.dqbb";
+  ASSERT_TRUE(FlightRecorder::Global().WriteBlackbox(path, "victim").ok());
+
+  // Flip one byte in the event payload region; the CRC trailer must
+  // catch it.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 40, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, 40, SEEK_SET), 0);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  BlackboxDump dump;
+  EXPECT_FALSE(FlightRecorder::ReadBlackbox(path, &dump).ok());
+
+  BlackboxDump missing;
+  EXPECT_FALSE(
+      FlightRecorder::ReadBlackbox(dir + "/nope.dqbb", &missing).ok());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(FlightRecorderTest, AutoDumpRequiresDirAndRateLimits) {
+  RecorderGuard guard;
+  // No directory configured: the anomaly hook is a no-op.
+  EXPECT_FALSE(FlightRecorder::Global().MaybeAutoDump("no dir"));
+
+  const std::string dir = ScratchDir("dqmo_recorder_auto");
+  FlightRecorder::Global().SetBlackboxDir(dir);
+  FlightRecorder::Record(FlightEventKind::kMark, -1, 7);
+  const bool first = FlightRecorder::Global().MaybeAutoDump("first anomaly");
+  // A second trigger within the same second must be swallowed.
+  const bool second = FlightRecorder::Global().MaybeAutoDump("flap");
+  FlightRecorder::Global().SetBlackboxDir("");
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+
+  size_t dumps = 0;
+  std::string dump_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++dumps;
+    dump_path = entry.path().string();
+  }
+  ASSERT_EQ(dumps, 1u);
+  BlackboxDump dump;
+  ASSERT_TRUE(FlightRecorder::ReadBlackbox(dump_path, &dump).ok());
+  EXPECT_EQ(dump.reason, "first anomaly");
+  EXPECT_GE(CountKind(dump.threads, FlightEventKind::kMark), 1u);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance program: a seeded chaos run that trips one shard's breaker
+// auto-writes a blackbox whose decoded event stream contains the trip's
+// cause — the kBreakerOpen event for that shard, preceded by the
+// quarantine marker the breaker records alongside it.
+
+TEST(FlightRecorderChaosTest, BreakerTripAutoDumpContainsCauseEvent) {
+  RecorderGuard guard;
+  DataGeneratorOptions dopt;
+  dopt.num_objects = 200;
+  dopt.horizon = 12.0;
+  dopt.seed = 21;
+  dopt.shape = WorkloadShape::kUniform;
+  auto data = GenerateMotionData(dopt);
+  ASSERT_TRUE(data.ok());
+
+  ShardedEngineOptions eopt;
+  eopt.num_shards = 4;
+  eopt.cache_nodes = 0;  // Every node visit reaches the breaker-gated pool.
+  eopt.failure_domains = true;
+  eopt.breaker.consecutive_failures = 2;
+  eopt.breaker.cooldown_frames = 0;
+  auto engine = ShardedEngine::Create(eopt);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->InsertBatch(*data).ok());
+
+  const std::string dir = ScratchDir("dqmo_recorder_chaos");
+  FlightRecorder::Global().SetBlackboxDir(dir);
+
+  const int sick = 2;
+  SessionSpec spec;
+  spec.kind = SessionKind::kNpdq;  // Re-reads the tree every frame.
+  spec.seed = 121;
+  spec.frames = 12;
+  spec.t0 = 1.0;
+  spec.region_hi = 94.0;
+  ShardRouter::Options ropt;
+  ropt.spatial_prune = false;
+  ropt.frame_hook = [&](int frame) {
+    if (frame == 4) {
+      FaultInjector::Options f;
+      f.fail_every_kth = 1;  // Every read fails: the shard is dead.
+      (*engine)->ArmShardFault(sick, f);
+    }
+  };
+  const ShardedSessionResult res = ShardRouter(engine->get(), ropt).RunOne(spec);
+  FlightRecorder::Global().SetBlackboxDir("");
+  ASSERT_TRUE(res.result.status.ok()) << res.result.status.ToString();
+  ASSERT_GE((*engine)->breaker(sick)->open_events(), 1u);
+
+  // The trip auto-dumped exactly once (rate limit absorbs re-trips).
+  std::vector<std::string> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    dumps.push_back(entry.path().string());
+  }
+  ASSERT_GE(dumps.size(), 1u);
+  std::sort(dumps.begin(), dumps.end());
+
+  BlackboxDump dump;
+  ASSERT_TRUE(FlightRecorder::ReadBlackbox(dumps.front(), &dump).ok());
+  EXPECT_NE(dump.reason.find("breaker open"), std::string::npos)
+      << dump.reason;
+  bool cause_seen = false;
+  for (const auto& section : dump.threads) {
+    for (const FlightEvent& ev : section.events) {
+      if (ev.kind == FlightEventKind::kBreakerOpen && ev.shard == sick) {
+        cause_seen = true;
+      }
+      // No other shard's breaker may have tripped in this program.
+      if (ev.kind == FlightEventKind::kBreakerOpen) {
+        EXPECT_EQ(ev.shard, sick);
+      }
+    }
+  }
+  EXPECT_TRUE(cause_seen)
+      << "blackbox dump does not contain the kBreakerOpen cause event";
+  EXPECT_GE(CountKind(dump.threads, FlightEventKind::kQuarantine), 1u);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-writer hammer (run under TSan by tools/ci.sh): every thread owns
+// its ring, so concurrent recording plus snapshotting plus a blackbox
+// write must be race-free. Totals are exact per thread (recording never
+// drops while enabled); buffered windows are bounded by the ring.
+
+TEST(FlightRecorderConcurrencyTest, WritersSnapshotsAndDumpsRaceCleanly) {
+  RecorderGuard guard;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 5000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([t] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        FlightRecorder::Record(FlightEventKind::kMark, t, i);
+      }
+    });
+  }
+  threads.emplace_back([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto sections = FlightRecorder::Global().Snapshot();
+      for (const auto& section : sections) {
+        // A mid-write slot may be half-stamped; the structure must hold.
+        EXPECT_LE(section.events.size(),
+                  FlightRecorder::Global().ring_capacity());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int t = 0; t < kWriters; ++t) threads[static_cast<size_t>(t)].join();
+  stop.store(true);
+  threads.back().join();
+
+  const std::string dir = ScratchDir("dqmo_recorder_hammer");
+  const std::string path = dir + "/box.dqbb";
+  ASSERT_TRUE(FlightRecorder::Global().WriteBlackbox(path, "hammer").ok());
+  BlackboxDump dump;
+  ASSERT_TRUE(FlightRecorder::ReadBlackbox(path, &dump).ok());
+  uint64_t recorded = 0;
+  for (const auto& section : dump.threads) recorded += section.recorded;
+  EXPECT_GE(recorded, static_cast<uint64_t>(kWriters) * kPerWriter);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace dqmo

@@ -57,6 +57,9 @@ echo "==== [tsan] oracle sweep (seed 1) ===="
 "${tsan_dir}/tests/oracle_test" --gtest_filter='*seed1'
 echo "==== [tsan] overload: cancellation/deadline hammer + chaos sweep ===="
 "${tsan_dir}/tests/overload_test"
+echo "==== [tsan] tracer remote-attribution + flight-recorder ring hammer ===="
+"${tsan_dir}/tests/trace_test"
+"${tsan_dir}/tests/recorder_test"
 
 # Crash-recovery stage: the fork-based kill tests kill a child at every
 # registered CrashPoint and assert recovery matches the oracle on the
@@ -204,9 +207,32 @@ assert on <= off * 1.03, (
     f'compiled-out baseline {off:.2f} by more than 3%')
 "
 
+# Recorder overhead gate: the always-on flight recorder must be nearly
+# free. Same protocol as the metrics gate above (min of 5, full hot path
+# ns/entry, instrumented Release build), comparing DQMO_RECORDER=off
+# against the default-on configuration: recording an event is three
+# relaxed stores plus a release head bump, so default-on must stay within
+# 3% of off or the always-on posture is not viable.
+echo "==== [recorder] flight-recorder overhead gate (3% vs off) ===="
+rec_off_ns="$(min_ns_per_entry "${PWD}/build-ci/release/bench/abl_hot_path" \
+                               DQMO_RECORDER=off)"
+rec_on_ns="$(min_ns_per_entry "${PWD}/build-ci/release/bench/abl_hot_path")"
+echo "recorder-off: ${rec_off_ns} ns/entry; recorder-on: ${rec_on_ns} ns/entry"
+python3 -c "
+off, on = ${rec_off_ns}, ${rec_on_ns}
+overhead = (on - off) / off * 100
+print(f'flight-recorder overhead: {overhead:+.2f}%')
+assert on <= off * 1.03, (
+    f'FAIL: default-on flight recorder hot path {on:.2f} ns/entry exceeds '
+    f'the DQMO_RECORDER=off baseline {off:.2f} by more than 3%')
+"
+
 # Metrics stage, part 2: `dqmo_tool stats` must emit parseable Prometheus
-# text exposition covering at least 12 distinct metric families across the
-# storage / WAL / gate / cache / query layers.
+# text exposition covering at least 40 distinct metric families across the
+# storage / WAL / gate / cache / query layers, plus the resilience and
+# observability layers added since: breaker / hedged / scrub / redo (shard
+# failure domains), disk / prefetch (disk-resident store), trace / span /
+# recorder (causal tracing + flight recorder).
 echo "==== [metrics] dqmo_tool stats Prometheus exposition ===="
 stats_pgf="${metrics_tmp}/ci-stats.pgf"
 "build-ci/release/tools/dqmo_tool" build "${stats_pgf}" --objects 300
@@ -223,13 +249,16 @@ awk '
   END {
     layers["storage"]; layers["wal"]; layers["gate"]
     layers["pool"]; layers["node_cache"]; layers["pdq"]
+    layers["breaker"]; layers["hedged"]; layers["scrub"]; layers["redo"]
+    layers["disk"]; layers["prefetch"]
+    layers["trace"]; layers["span"]; layers["recorder"]
     n = 0
     for (f in families) {
       ++n
       for (l in layers) if (index(f, "dqmo_" l "_") == 1) seen[l] = 1
     }
     printf "prometheus exposition: %d metric families\n", n
-    if (n < 12) { print "FAIL: fewer than 12 metric families"; bad = 1 }
+    if (n < 40) { print "FAIL: fewer than 40 metric families"; bad = 1 }
     for (l in layers) if (!(l in seen)) {
       print "FAIL: no dqmo_" l "_* metric in the exposition"; bad = 1
     }

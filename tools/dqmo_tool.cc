@@ -46,16 +46,37 @@
 //   ShardedEngine): each shard is processed in id order and the exit code
 //   is the OR of the per-shard results.
 //
-//   dqmo_tool stats <index.pgf> [--json] [--summary]
+//   dqmo_tool stats <index.pgf> [--json] [--summary] [--watch[=SECS]]
 //       Drive a short mixed workload (concurrent PDQ/NPDQ/kNN sessions
 //       against a buffer pool + decoded-node cache, with a writer thread
 //       inserting under the tree gate and logging to a scratch WAL) and
 //       dump the process-wide metrics registry: Prometheus text by
 //       default, JSON with --json, plus a quantile table with --summary.
+//       --watch runs the workload in the background and renders metric
+//       deltas every SECS seconds (default 2) while it runs.
+//
+//   dqmo_tool explain <index.pgf> [--kind=pdq|npdq|knn] [--frames N]
+//                     [--seed S] [--shards N] [--k K] [--memory]
+//       Run one traced query session against a sharded twin of the index
+//       (durable, pread-backed, prefetching — unless --memory) and render
+//       the slowest frame's merged cross-shard span tree: per-shard
+//       subtrees with gate waits, redo drains, the k-way merge, and
+//       worker-thread prefetch/hedge spans, followed by per-shard
+//       nodes-visited / prune-effectiveness / prefetch attribution.
+//
+//   dqmo_tool blackbox <dump.dqbb> [--since=US] [--frame=TRACE]
+//       Decode a flight-recorder blackbox dump: header, then every
+//       thread's ring merged chronologically. --since=US keeps only the
+//       last US microseconds before the snapshot; --frame=TRACE keeps
+//       only events stamped with that trace id.
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <map>
 #include <string>
@@ -63,7 +84,9 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/recorder.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "harness/metrics_report.h"
 #include "query/knn.h"
 #include "rtree/bulk_load.h"
@@ -141,7 +164,12 @@ int Usage() {
                " [--backend=memory|pread]\n"
                "  dqmo_tool recover <index.pgf> <index.wal>\n"
                "  dqmo_tool recover <shard-dir>\n"
-               "  dqmo_tool stats <index.pgf> [--json] [--summary]\n");
+               "  dqmo_tool stats <index.pgf> [--json] [--summary]"
+               " [--watch[=secs]]\n"
+               "  dqmo_tool explain <index.pgf> [--kind=pdq|npdq|knn]"
+               " [--frames N] [--seed S] [--shards N] [--k K] [--memory]\n"
+               "  dqmo_tool blackbox <dump.dqbb> [--since=us]"
+               " [--frame=trace]\n");
   return 2;
 }
 
@@ -586,15 +614,26 @@ int CmdRecover(const std::string& pgf_path, const std::string& wal_path) {
   return 0;
 }
 
+int RunStatsWorkload(const std::string& path, PageFile* file_ptr,
+                     RTree* tree);
+
 int CmdStats(const std::string& path, int argc, char** argv) {
   bool json = false;
   bool summary = false;
+  bool watch = false;
+  uint64_t watch_ms = 2000;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg == "--summary") {
       summary = true;
+    } else if (arg == "--watch" || StartsWith(arg, "--watch=")) {
+      watch = true;
+      if (StartsWith(arg, "--watch=")) {
+        const double secs = std::atof(arg.c_str() + 8);
+        if (secs > 0) watch_ms = static_cast<uint64_t>(secs * 1000.0);
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -617,6 +656,80 @@ int CmdStats(const std::string& path, int argc, char** argv) {
     return 2;
   }
 
+  auto workload = [&]() -> int {
+    return RunStatsWorkload(path, &file, tree.get());
+  };
+  if (!watch) {
+    if (const int rc = workload(); rc != 0) return rc;
+  } else {
+    // The workload runs in the background; the foreground renders metric
+    // deltas at each tick so an operator sees which families are moving.
+    std::atomic<int> wrc{-1};
+    std::thread bg([&] { wrc.store(workload(), std::memory_order_release); });
+    auto counter_values = [] {
+      std::map<std::string, uint64_t> v;
+      for (const MetricsRegistry::Row& row : MetricsRegistry::Global().Rows())
+        v[row.name] = row.count;
+      return v;
+    };
+    std::map<std::string, uint64_t> prev = counter_values();
+    uint64_t tick = 0;
+    while (wrc.load(std::memory_order_acquire) < 0) {
+      // Sleep in slices so a finished workload ends the watch promptly.
+      for (uint64_t slept = 0;
+           slept < watch_ms && wrc.load(std::memory_order_acquire) < 0;
+           slept += 50) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      std::map<std::string, uint64_t> cur = counter_values();
+      std::printf("-- watch tick %llu (+%llums)\n",
+                  static_cast<unsigned long long>(++tick),
+                  static_cast<unsigned long long>(watch_ms));
+      for (const auto& [name, value] : cur) {
+        const auto it = prev.find(name);
+        const uint64_t before = it == prev.end() ? 0 : it->second;
+        if (value == before) continue;
+        std::printf("   %-48s %+lld (now %llu)\n", name.c_str(),
+                    static_cast<long long>(value) -
+                        static_cast<long long>(before),
+                    static_cast<unsigned long long>(value));
+      }
+      prev = std::move(cur);
+    }
+    bg.join();
+    if (const int rc = wrc.load(); rc != 0) return rc;
+  }
+
+  if (json) {
+    std::printf("%s\n", MetricsRegistry::Global().JsonText().c_str());
+  } else {
+    std::printf("%s", MetricsRegistry::Global().PrometheusText().c_str());
+  }
+  if (summary) {
+    std::printf("\n%s", MetricsSummaryTable().c_str());
+  }
+  return 0;
+}
+
+/// Arms the tracer (slowest-frame tracking + sampling) for one scope so
+/// the trace metric families register during the stats workload, then
+/// restores the previous configuration.
+struct TracerArmGuard {
+  Tracer::Options saved = Tracer::Global().options();
+  TracerArmGuard() {
+    Tracer::Options o = saved;
+    o.track_slowest = true;
+    if (o.sample_every == 0) o.sample_every = 4;
+    Tracer::Global().Configure(o);
+  }
+  ~TracerArmGuard() { Tracer::Global().Configure(saved); }
+};
+
+int RunStatsWorkload(const std::string& path, PageFile* file_ptr,
+                     RTree* tree) {
+  PageFile& file = *file_ptr;
+  TracerArmGuard trace_arm;
+  FlightRecorder::Record(FlightEventKind::kMark, -1, 1);
   // The workload mirrors a small production deployment: shared pool +
   // decoded-node cache, a writer thread inserting under the gate (logging
   // to a scratch WAL so sync latency is real), and concurrent sessions of
@@ -687,7 +800,7 @@ int CmdStats(const std::string& path, int argc, char** argv) {
   sched.pool = &pool;
   sched.admission = &admission;
   sched.governor = &governor;
-  SessionScheduler scheduler(tree.get(), sched);
+  SessionScheduler scheduler(tree, sched);
   ExecutorReport report = scheduler.Run(specs);
   writer.join();
   std::remove(wal_path.c_str());
@@ -699,13 +812,18 @@ int CmdStats(const std::string& path, int argc, char** argv) {
   // Failure-domain families: run a short quarantine -> park -> scrub ->
   // reinstate episode on a small sharded twin so the breaker, redo-queue,
   // and scrubber series are live in the dump, then summarize the breaker
-  // plane the way an operator would read it.
+  // plane the way an operator would read it. The twin is durable and
+  // pread-backed so the disk and prefetch families register too — `stats`
+  // is the one dump tools/ci.sh validates family coverage against.
   ShardedEngineOptions eopt;
   eopt.num_shards = 2;
   eopt.failure_domains = true;
   eopt.breaker.cooldown_frames = 0;
   eopt.breaker.probe_rate = 1.0;
   eopt.breaker.probe_successes_to_close = 2;
+  eopt.durable_dir = path + ".stats-shards";
+  eopt.io_backend = IoBackend::kPread;
+  std::filesystem::create_directories(eopt.durable_dir);
   auto sharded = ShardedEngine::Create(eopt);
   if (!sharded.ok()) return Fail(sharded.status());
   if (Status s = (*sharded)->InsertBatch(*fresh); !s.ok()) return Fail(s);
@@ -733,6 +851,9 @@ int CmdStats(const std::string& path, int argc, char** argv) {
         static_cast<unsigned long long>(b->open_events()));
   }
   std::fprintf(stderr, "# failure domains: %s\n", breaker_line.c_str());
+  (*sharded).reset();
+  std::error_code ec;
+  std::filesystem::remove_all(eopt.durable_dir, ec);
 
   std::fprintf(stderr,
                "# workload: %zu sessions, %llu objects delivered, "
@@ -740,13 +861,260 @@ int CmdStats(const std::string& path, int argc, char** argv) {
                report.sessions.size(),
                static_cast<unsigned long long>(report.total_objects),
                fresh->size(), report.wall_seconds);
-  if (json) {
-    std::printf("%s\n", MetricsRegistry::Global().JsonText().c_str());
-  } else {
-    std::printf("%s", MetricsRegistry::Global().PrometheusText().c_str());
+  return 0;
+}
+
+int CmdExplain(const std::string& path, int argc, char** argv) {
+  SessionKind kind = SessionKind::kSession;
+  int frames = 24;
+  uint64_t seed = 7;
+  int shards = 4;
+  int k = 8;
+  bool memory = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--kind=pdq") {
+      kind = SessionKind::kSession;
+    } else if (arg == "--kind=npdq") {
+      kind = SessionKind::kNpdq;
+    } else if (arg == "--kind=knn") {
+      kind = SessionKind::kKnn;
+    } else if (arg == "--frames") {
+      frames = static_cast<int>(next_value());
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(next_value());
+    } else if (arg == "--shards") {
+      shards = static_cast<int>(next_value());
+    } else if (arg == "--k") {
+      k = static_cast<int>(next_value());
+    } else if (arg == "--memory") {
+      memory = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
   }
-  if (summary) {
-    std::printf("\n%s", MetricsSummaryTable().c_str());
+  if (!MetricsEnabled()) {
+    std::fprintf(stderr,
+                 "metrics are disabled (DQMO_METRICS=off or compiled out); "
+                 "tracing needs them\n");
+    return 1;
+  }
+
+  auto opened = OpenIndex(path);
+  if (!opened.ok()) return Fail(opened.status());
+  auto& [file, tree] = *opened;
+  (void)file;
+  if (tree->dims() != 2) {
+    std::fprintf(stderr, "explain command supports 2-d indexes only\n");
+    return 2;
+  }
+  // Pull every segment out of the index; the traced run replays them on a
+  // sharded twin so the span tree shows real cross-shard structure.
+  const StBox everything(
+      Box(Interval(-1e30, 1e30), Interval(-1e30, 1e30)), Interval(-1e30, 1e30));
+  QueryStats scan_stats;
+  auto segments = tree->RangeSearch(everything, &scan_stats);
+  if (!segments.ok()) return Fail(segments.status());
+  if (segments->empty()) {
+    std::fprintf(stderr, "index holds no segments; nothing to explain\n");
+    return 1;
+  }
+
+  ShardedEngineOptions eopt = ShardedEngineOptions::FromEnv();
+  eopt.num_shards = shards;
+  std::string scratch_dir;
+  if (!memory) {
+    scratch_dir = StrFormat("%s.explain-%d", path.c_str(),
+                            static_cast<int>(::getpid()));
+    std::filesystem::create_directories(scratch_dir);
+    eopt.durable_dir = scratch_dir;
+    if (eopt.io_backend == IoBackend::kMemory) {
+      eopt.io_backend = IoBackend::kPread;
+    }
+  }
+  auto engine = ShardedEngine::Create(eopt);
+  if (!engine.ok()) return Fail(engine.status());
+  auto cleanup = [&] {
+    (*engine).reset();
+    if (!scratch_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(scratch_dir, ec);
+    }
+  };
+  if (Status s = (*engine)->InsertBatch(*segments); !s.ok()) {
+    cleanup();
+    return Fail(s);
+  }
+
+  // Arm every frame and keep the slowest — the one worth explaining.
+  Tracer& tracer = Tracer::Global();
+  const Tracer::Options saved = tracer.options();
+  Tracer::Options topt = saved;
+  topt.track_slowest = true;
+  tracer.Configure(topt);
+  tracer.ResetSlowestFrame();
+
+  SessionSpec spec;
+  spec.kind = kind;
+  spec.seed = seed;
+  spec.frames = frames;
+  spec.k = k;
+  const ShardRouter router(engine->get(), ShardRouter::Options());
+  ShardedSessionResult res = router.RunOne(spec);
+  const FrameTrace slowest = tracer.SlowestFrame();
+  tracer.Configure(saved);
+  if (!res.result.status.ok()) {
+    cleanup();
+    return Fail(res.result.status);
+  }
+
+  std::printf("session  : kind=%s frames=%d seed=%llu shards=%d backend=%s\n",
+              kind == SessionKind::kSession ? "pdq"
+              : kind == SessionKind::kNpdq  ? "npdq"
+                                            : "knn",
+              frames, static_cast<unsigned long long>(seed), shards,
+              memory ? "memory" : "pread");
+  std::printf("checksum : %016llx (%llu objects delivered)\n",
+              static_cast<unsigned long long>(res.result.checksum),
+              static_cast<unsigned long long>(res.result.objects_delivered));
+  if (slowest.spans.empty()) {
+    std::printf("no frame was captured (session ran zero frames?)\n");
+    cleanup();
+    return 1;
+  }
+  std::printf("\nslowest frame (merged cross-shard span tree):\n%s\n",
+              slowest.ToString().c_str());
+
+  std::printf("per-shard attribution (whole session):\n");
+  for (size_t s = 0; s < res.shard_stats.size(); ++s) {
+    const QueryStats& st = res.shard_stats[s];
+    const uint64_t considered = st.node_reads + st.nodes_discarded;
+    std::printf(
+        "  shard %zu: %llu nodes visited (%llu leaves), %llu pruned "
+        "(%.1f%% prune), %llu geometric tests, %llu pages skipped\n",
+        s, static_cast<unsigned long long>(st.node_reads),
+        static_cast<unsigned long long>(st.leaf_reads),
+        static_cast<unsigned long long>(st.nodes_discarded),
+        considered == 0 ? 0.0
+                        : 100.0 * static_cast<double>(st.nodes_discarded) /
+                              static_cast<double>(considered),
+        static_cast<unsigned long long>(st.distance_computations),
+        static_cast<unsigned long long>(st.pages_skipped));
+  }
+
+  // Worker-thread attribution inside the slowest frame: how much of the
+  // speculation landed usefully, and what the hedged reads cost.
+  uint64_t prefetch_spans = 0, prefetch_ns = 0;
+  uint64_t waste_spans = 0, waste_ns = 0;
+  uint64_t hedge_spans = 0, hedge_ns = 0;
+  for (const SpanRecord& span : slowest.spans) {
+    if (span.kind == SpanKind::kPrefetchRead) {
+      ++prefetch_spans;
+      prefetch_ns += span.duration_ns;
+    } else if (span.kind == SpanKind::kPrefetchWaste) {
+      ++waste_spans;
+      waste_ns += span.duration_ns;
+    } else if (span.kind == SpanKind::kHedgeProbe) {
+      ++hedge_spans;
+      hedge_ns += span.duration_ns;
+    }
+  }
+  std::printf(
+      "prefetch attribution (slowest frame): %llu consumed (%llu us), "
+      "%llu wasted (%llu us), %llu hedge probes (%llu us), "
+      "%llu worker spans total\n",
+      static_cast<unsigned long long>(prefetch_spans),
+      static_cast<unsigned long long>(prefetch_ns / 1000),
+      static_cast<unsigned long long>(waste_spans),
+      static_cast<unsigned long long>(waste_ns / 1000),
+      static_cast<unsigned long long>(hedge_spans),
+      static_cast<unsigned long long>(hedge_ns / 1000),
+      static_cast<unsigned long long>(slowest.remote_spans));
+  cleanup();
+  return 0;
+}
+
+int CmdBlackbox(const std::string& path, int argc, char** argv) {
+  uint64_t since_us = 0;   // 0: no time filter.
+  uint64_t frame_id = 0;   // 0: no trace filter.
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--since=")) {
+      since_us = static_cast<uint64_t>(std::atoll(arg.c_str() + 8));
+    } else if (StartsWith(arg, "--frame=")) {
+      frame_id = static_cast<uint64_t>(std::atoll(arg.c_str() + 8));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  BlackboxDump dump;
+  if (Status s = FlightRecorder::ReadBlackbox(path, &dump); !s.ok()) {
+    return Fail(s);
+  }
+  char when[64] = "?";
+  const time_t secs = static_cast<time_t>(dump.wall_unix_us / 1000000);
+  struct tm tm_buf;
+  if (gmtime_r(&secs, &tm_buf) != nullptr) {
+    std::strftime(when, sizeof(when), "%Y-%m-%dT%H:%M:%SZ", &tm_buf);
+  }
+  std::printf("blackbox : %s\n", path.c_str());
+  std::printf("version  : %u\n", dump.version);
+  std::printf("reason   : %s\n", dump.reason.c_str());
+  std::printf("captured : %s (unix %llu us)\n", when,
+              static_cast<unsigned long long>(dump.wall_unix_us));
+  std::printf("threads  : %zu\n", dump.threads.size());
+  for (const BlackboxDump::ThreadSection& t : dump.threads) {
+    std::printf("  thread %u: %zu buffered of %llu recorded\n",
+                t.thread_index, t.events.size(),
+                static_cast<unsigned long long>(t.recorded));
+  }
+
+  struct Row {
+    uint32_t thread;
+    FlightEvent ev;
+  };
+  std::vector<Row> rows;
+  for (const BlackboxDump::ThreadSection& t : dump.threads) {
+    for (const FlightEvent& ev : t.events) {
+      if (since_us != 0 &&
+          ev.ts_ns + since_us * 1000 < dump.snapshot_ns) {
+        continue;
+      }
+      if (frame_id != 0 &&
+          ev.trace_low != static_cast<uint32_t>(frame_id)) {
+        continue;
+      }
+      rows.push_back(Row{t.thread_index, ev});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.ev.ts_ns < b.ev.ts_ns;
+  });
+  std::printf("events   : %zu%s\n", rows.size(),
+              since_us != 0 || frame_id != 0 ? " (filtered)" : "");
+  for (const Row& row : rows) {
+    // Offsets are relative to the snapshot: "-512.3ms" = half a second
+    // before the dump fired.
+    const double offset_ms =
+        (static_cast<double>(row.ev.ts_ns) -
+         static_cast<double>(dump.snapshot_ns)) /
+        1e6;
+    std::printf("  %+12.3fms  t%-3u %-16s shard=%-3d detail=%-12llu%s\n",
+                offset_ms, row.thread, FlightEventKindName(row.ev.kind),
+                row.ev.shard,
+                static_cast<unsigned long long>(row.ev.detail),
+                row.ev.trace_low != 0
+                    ? StrFormat(" trace=%u", row.ev.trace_low).c_str()
+                    : "");
   }
   return 0;
 }
@@ -816,6 +1184,8 @@ int Run(int argc, char** argv) {
     return CmdRecover(path, argv[3]);
   }
   if (command == "stats") return CmdStats(path, argc - 3, argv + 3);
+  if (command == "explain") return CmdExplain(path, argc - 3, argv + 3);
+  if (command == "blackbox") return CmdBlackbox(path, argc - 3, argv + 3);
   return Usage();
 }
 
